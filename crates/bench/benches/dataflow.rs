@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the dataflow substrates: reference GEMM, the
+//! cycle-stepped systolic array, address generation, and tile scheduling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iconv_core::addrgen::{AddrGen, VectorMemSpec};
+use iconv_core::schedule::TileSchedule;
+use iconv_systolic::{ArrayConfig, SystolicArray};
+use iconv_tensor::{ConvShape, Matrix};
+use std::hint::black_box;
+
+fn bench_reference_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reference_gemm");
+    for n in [32usize, 64, 128] {
+        let a = Matrix::<f32>::from_fn(n, n, |r, s| (r * 31 + s) as f32 * 0.01);
+        let b = Matrix::<f32>::from_fn(n, n, |r, s| (r + s * 17) as f32 * 0.01);
+        g.throughput(criterion::Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).matmul(&b))
+        });
+        g.bench_with_input(BenchmarkId::new("blocked32", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).matmul_blocked(&b, 32))
+        });
+    }
+    g.finish();
+}
+
+fn bench_systolic_array(c: &mut Criterion) {
+    // Stepping the PE grid is the expensive ground-truth path: quantify it.
+    let cfg = ArrayConfig { rows: 16, cols: 16 };
+    let a = Matrix::<i64>::from_fn(64, 16, |r, s| (r + s) as i64 % 7 - 3);
+    let b = Matrix::<i64>::from_fn(16, 16, |r, s| (r * s) as i64 % 5 - 2);
+    c.bench_function("systolic_16x16_stream64", |bch| {
+        bch.iter(|| {
+            let mut arr = SystolicArray::with_weights(cfg, black_box(&b));
+            arr.stream(&a)
+        })
+    });
+}
+
+fn bench_addrgen(c: &mut Criterion) {
+    let shape = ConvShape::square(8, 8, 28, 32, 3, 1, 1).unwrap();
+    let spec = VectorMemSpec { arrays: 32, word_elems: 8 };
+    let sched = TileSchedule::tpu(&shape, 32);
+    c.bench_function("addrgen_full_stream", |b| {
+        b.iter(|| {
+            let mut reads = 0u64;
+            for group in sched.groups() {
+                let gen = AddrGen::new(&shape, spec, group);
+                for step in 0..gen.steps() {
+                    for array in 0..spec.arrays {
+                        if let iconv_core::ArrayOp::Read(_) = gen.op(step, array) {
+                            reads += 1;
+                        }
+                    }
+                }
+            }
+            black_box(reads)
+        })
+    });
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let shape = ConvShape::square(8, 8, 56, 128, 7, 1, 3).unwrap();
+    c.bench_function("tile_schedule_tpu", |b| {
+        b.iter(|| TileSchedule::tpu(black_box(&shape), 128))
+    });
+    c.bench_function("reordered_taps_7x7", |b| {
+        b.iter(|| iconv_core::block::reordered_taps(black_box(&shape)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_reference_gemm,
+    bench_systolic_array,
+    bench_addrgen,
+    bench_scheduling
+);
+criterion_main!(benches);

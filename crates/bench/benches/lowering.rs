@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks of the im2col lowering paths: explicit
+//! materialization versus the implicit index algebra that replaces it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iconv_core::LoweredView;
+use iconv_tensor::conv_ref::ifmap_dims;
+use iconv_tensor::{im2col, ColumnOrder, ConvShape, Layout, Tensor};
+use std::hint::black_box;
+
+fn layer(ci: usize, hw: usize) -> ConvShape {
+    ConvShape::square(1, ci, hw, 32, 3, 1, 1).expect("valid bench layer")
+}
+
+fn bench_explicit_lowering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explicit_im2col");
+    for (ci, hw) in [(16usize, 28usize), (64, 28), (64, 56)] {
+        let shape = layer(ci, hw);
+        let x = Tensor::<f32>::random(ifmap_dims(&shape), Layout::Nhwc, 1);
+        g.throughput(criterion::Throughput::Elements(shape.lowered_elems() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ci}x{hw}")),
+            &shape,
+            |b, s| b.iter(|| im2col::lower(s, &x, black_box(ColumnOrder::ChannelFirst))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_implicit_indexing(c: &mut Criterion) {
+    // The implicit algorithms never materialize: their cost per element is
+    // this index computation.
+    let shape = layer(64, 56);
+    let view = LoweredView::new(shape, ColumnOrder::ChannelFirst);
+    c.bench_function("implicit_entry_algebra_1M", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for row in (0..view.rows()).step_by(7) {
+                for col in (0..view.cols()).step_by(3) {
+                    if let Some(coord) = view.entry(black_box(row), black_box(col)) {
+                        acc += coord.h;
+                    }
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_filter_matrix(c: &mut Criterion) {
+    let shape = layer(64, 56);
+    let f = Tensor::<f32>::random(iconv_tensor::conv_ref::filter_dims(&shape), Layout::Nchw, 2);
+    c.bench_function("filter_matrix_64x3x3x32", |b| {
+        b.iter(|| im2col::filter_matrix(&shape, &f, black_box(ColumnOrder::ChannelFirst)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_explicit_lowering,
+    bench_implicit_indexing,
+    bench_filter_matrix
+);
+criterion_main!(benches);

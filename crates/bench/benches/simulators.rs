@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the simulators themselves: cycles-of-simulation
+//! per layer/model — the practical cost of regenerating each paper figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iconv_gpusim::{GpuAlgo, GpuConfig, GpuSim};
+use iconv_models::TpuMeasuredProxy;
+use iconv_tensor::ConvShape;
+use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+use std::hint::black_box;
+
+fn bench_tpusim_layer(c: &mut Criterion) {
+    let sim = Simulator::new(TpuConfig::tpu_v2());
+    let mut g = c.benchmark_group("tpusim_layer");
+    for (name, shape) in [
+        ("res2_3x3", ConvShape::square(8, 64, 56, 64, 3, 1, 1).unwrap()),
+        ("res5_3x3", ConvShape::square(8, 512, 14, 512, 3, 1, 1).unwrap()),
+        ("conv1_7x7", ConvShape::square(8, 3, 224, 64, 7, 2, 3).unwrap()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &shape, |b, s| {
+            b.iter(|| sim.simulate_conv("l", black_box(s), SimMode::ChannelFirst))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tpusim_models(c: &mut Criterion) {
+    let sim = Simulator::new(TpuConfig::tpu_v2());
+    let mut g = c.benchmark_group("tpusim_model");
+    g.sample_size(20);
+    for model in [iconv_workloads::resnet50(8), iconv_workloads::vgg16(8)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(model.name),
+            &model,
+            |b, m| b.iter(|| sim.simulate_model(black_box(m), SimMode::ChannelFirst)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_gpusim_layer(c: &mut Criterion) {
+    let sim = GpuSim::new(GpuConfig::v100());
+    let shape = ConvShape::square(8, 64, 56, 64, 3, 2, 1).unwrap();
+    let mut g = c.benchmark_group("gpusim_layer");
+    for algo in [
+        GpuAlgo::CudnnImplicit,
+        GpuAlgo::ChannelFirst { reuse: true },
+        GpuAlgo::ChannelFirst { reuse: false },
+        GpuAlgo::GemmEquivalent,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{algo}")), &algo, |b, a| {
+            b.iter(|| sim.simulate_conv("l", black_box(&shape), *a))
+        });
+    }
+    g.finish();
+}
+
+fn bench_proxy(c: &mut Criterion) {
+    let proxy = TpuMeasuredProxy::tpu_v2();
+    let shape = ConvShape::square(8, 256, 28, 256, 3, 1, 1).unwrap();
+    c.bench_function("tpu_proxy_conv", |b| {
+        b.iter(|| proxy.conv_cycles(black_box(&shape)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tpusim_layer,
+    bench_tpusim_models,
+    bench_gpusim_layer,
+    bench_proxy
+);
+criterion_main!(benches);

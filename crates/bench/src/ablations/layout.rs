@@ -1,0 +1,114 @@
+//! **Ablation: DRAM layout (paper Fig. 7)** — HWCN versus the conventional
+//! NCHW for the DRAM-resident IFMap, across strides.
+//!
+//! The paper's Fig. 7 argues the HWC-family layouts turn tile fills into
+//! long contiguous runs while CHW scatters them, and that the gap widens
+//! with stride. This ablation measures it three ways: the closed-form DRAM
+//! efficiency, full-layer TPUSim cycles, and a trace-driven bank-simulator
+//! cross-check on an actual tile-fill address stream.
+
+use crate::fmt::{banner, header};
+use iconv_dram::{BankSim, DramConfig, DramModel, Request};
+use iconv_tensor::{ConvShape, Coord, Dims, Layout};
+use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+
+/// Generate the DRAM request trace for filling one tile's working set
+/// (all channels, batch item 0) from an IFMap stored in `layout`.
+fn fill_trace(shape: &ConvShape, layout: Layout, elem_bytes: u64) -> Vec<Request> {
+    let dims = Dims::new(shape.n, shape.ci, shape.hi, shape.wi);
+    let tile = iconv_core::FilterTile::new(0, 0);
+    let mut trace = Vec::new();
+    for (h, w) in tile.working_set(shape) {
+        for c in 0..shape.ci {
+            let off = layout.offset(dims, Coord::new(0, c, h, w)) as u64;
+            trace.push(Request::new(off * elem_bytes, elem_bytes));
+        }
+    }
+    // The DMA engine issues in address order.
+    trace.sort_by_key(|r| r.addr);
+    // Coalesce adjacent requests (the memory controller would).
+    let mut coalesced: Vec<Request> = Vec::new();
+    for r in trace {
+        match coalesced.last_mut() {
+            Some(last) if last.addr + last.bytes == r.addr => last.bytes += r.bytes,
+            _ => coalesced.push(r),
+        }
+    }
+    coalesced
+}
+
+/// Run the ablation.
+pub fn run() {
+    banner("Ablation (Fig. 7): HWCN vs NCHW DRAM layout for IFMap fills");
+
+    // 1. Closed-form efficiency per stride.
+    let model = DramModel::new(DramConfig::hbm_tpu_v2());
+    header(&["stride", "HWCN run B", "eff%", "NCHW run B", "eff%"], &[6, 10, 6, 10, 6]);
+    for stride in [1usize, 2, 4] {
+        let shape = ConvShape::square(8, 64, 56, 64, 3, stride, 1).expect("valid layer");
+        let hwcn_run = if stride == 1 {
+            (shape.ci * shape.n * shape.wi * 4) as u64
+        } else {
+            (shape.ci * shape.n * 4) as u64
+        };
+        let nchw_run = if stride == 1 { (shape.wi * 4) as u64 } else { 4 };
+        println!(
+            "{:>6}  {:>10}  {:>6.1}  {:>10}  {:>6.1}",
+            stride,
+            hwcn_run,
+            100.0 * model.efficiency(hwcn_run),
+            nchw_run,
+            100.0 * model.efficiency(nchw_run)
+        );
+    }
+
+    // 2. Full-layer TPUSim cycles under each layout.
+    banner("TPUSim layer cycles by layout (N=8, Ci=64, 56x56, 3x3)");
+    header(&["stride", "HWCN", "NCHW", "NCHW/HWCN"], &[6, 10, 10, 10]);
+    for stride in [1usize, 2, 4] {
+        let shape = ConvShape::square(8, 64, 56, 64, 3, stride, 1).expect("valid layer");
+        let mut cycles = Vec::new();
+        for layout in [Layout::Hwcn, Layout::Nchw] {
+            let mut cfg = TpuConfig::tpu_v2();
+            cfg.ifmap_layout = layout;
+            let sim = Simulator::new(cfg);
+            cycles.push(sim.simulate_conv("l", &shape, SimMode::ChannelFirst).cycles);
+        }
+        println!(
+            "{:>6}  {:>10}  {:>10}  {:>9.2}x",
+            stride,
+            cycles[0],
+            cycles[1],
+            cycles[1] as f64 / cycles[0] as f64
+        );
+    }
+
+    // 3. Trace-driven bank-simulator cross-check on one tile fill.
+    banner("BankSim trace cross-check (tile <1,1> fill, Ci=64, 28x28, stride 2)");
+    let shape = ConvShape::square(1, 64, 28, 64, 3, 2, 1).expect("valid layer");
+    header(&["layout", "requests", "cycles", "hit rate%"], &[8, 9, 9, 10]);
+    let mut measured = Vec::new();
+    for layout in [Layout::Hwcn, Layout::Nhwc, Layout::Nchw] {
+        let trace = fill_trace(&shape, layout, 4);
+        let mut sim = BankSim::new(DramConfig::hbm_tpu_v2());
+        let cycles = sim.run(&trace);
+        println!(
+            "{:>8}  {:>9}  {:>9}  {:>10.1}",
+            layout.to_string(),
+            trace.len(),
+            cycles,
+            100.0 * sim.hit_rate()
+        );
+        measured.push((layout, cycles));
+    }
+    let hwcn = measured[0].1 as f64;
+    let nchw = measured[2].1 as f64;
+    println!(
+        "NCHW fill takes {:.2}x the cycles of HWCN on the trace-driven model.\n\
+         (The closed-form model above is more pessimistic than the bank trace at\n\
+         single-element runs — it charges a per-run command residue the trace\n\
+         model overlaps — so the layer-level NCHW ratios are upper bounds; the\n\
+         direction and stride trend are what Fig. 7 claims.)",
+        nchw / hwcn
+    );
+}

@@ -1,0 +1,14 @@
+//! Ablation studies beyond the paper's figures: design-choice experiments
+//! DESIGN.md calls out (DRAM layout, batch/word packing, the TPU-v3
+//! dual-MXU hypothesis, and the training-step extension).
+
+pub mod batching;
+pub mod dataflow;
+pub mod depthwise;
+pub mod energy;
+pub mod layout;
+pub mod multicore;
+pub mod scalability;
+pub mod sparsity;
+pub mod tpuv3;
+pub mod training;

@@ -1,0 +1,43 @@
+//! **Ablation: hardware-scalability argument (paper Sec. II-C)** — quantify
+//! "Unscalable Hardware": the crossbar + banked SRAM the channel-last
+//! implicit design needs at each GEMM-engine scale, versus channel-first's
+//! single-bank, crossbar-free requirement.
+
+use crate::fmt::{banner, header};
+use iconv_sram::{AreaModel, CrossbarModel};
+
+/// Run the ablation.
+pub fn run() {
+    banner("Ablation (Sec. II-C): routing hardware required per GEMM-engine scale");
+    let xbar = CrossbarModel::default();
+    let area = AreaModel::freepdk45();
+    header(
+        &["PE rows", "xbar area*", "xbar pJ/bit", "banked mm2", "chan-first"],
+        &[8, 10, 11, 10, 10],
+    );
+    // Banked-SRAM penalty: P banks of (2MB/P) each versus one wide-word
+    // macro bank of the same total capacity.
+    let total = 2 * 1024 * 1024u64;
+    let single = area.area_mm2(total, 32);
+    for ports in [32usize, 64, 128, 256, 512] {
+        let per_bank = (total / ports as u64).max(64);
+        let banked: f64 = area.area_mm2(per_bank, 4) * ports as f64;
+        println!(
+            "{:>8}  {:>10.1}  {:>11.1}  {:>10.2}  {:>10}",
+            ports,
+            xbar.area(ports, 32),
+            xbar.energy_per_bit(ports),
+            banked,
+            "0 (none)"
+        );
+    }
+    println!(
+        "\n*area in units of one 32-lane GPU shuffle network (what Lym et al. reuse\n\
+         for free on an SM). At TPU scale the crossbar alone costs tens of such\n\
+         networks and grows quadratically, while {}-way banking inflates the SRAM\n\
+         ~{:.1}x over a single wide-word bank — the paper's reason channel-last\n\
+         implicit im2col cannot ride up to a 128x128 systolic array.",
+        128,
+        area.area_mm2((total / 128).max(64), 4) * 128.0 / single
+    );
+}

@@ -1,0 +1,55 @@
+//! **Ablation: structured sparsity on the channel-first schedule** — the
+//! paper's conclusion proposes sparse CNN accelerators built on this
+//! algorithm; this ablation measures what its scheduling units already buy:
+//! pruned filter taps vanish from the schedule, so speedup tracks schedule
+//! density directly (no indexing hardware, no load imbalance).
+
+use crate::fmt::{banner, header};
+use iconv_core::sparse::{conv_sparse, prune_taps, SparseFilter};
+use iconv_tensor::conv_ref::{direct_conv, filter_dims, ifmap_dims};
+use iconv_tensor::{ConvShape, Layout, Tensor};
+use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+
+/// Run the ablation.
+pub fn run() {
+    banner("Ablation: tap-structured sparsity on the channel-first schedule");
+    let sim = Simulator::new(TpuConfig::tpu_v2());
+    let shape = ConvShape::square(8, 256, 28, 256, 3, 1, 1).expect("valid layer");
+    let dense_cycles = sim
+        .simulate_conv("l", &shape, SimMode::ChannelFirst)
+        .cycles;
+
+    // Functional check on a small sibling layer first: the sparse schedule
+    // is bit-exact against the dense conv of the pruned weights.
+    let small = ConvShape::square(1, 16, 8, 8, 3, 1, 1).expect("valid layer");
+    let x = Tensor::<i64>::random(ifmap_dims(&small), Layout::Nchw, 1);
+    let f = Tensor::<i64>::random(filter_dims(&small), Layout::Nchw, 2);
+    let pruned = prune_taps(&small, &f, 0.5, 3);
+    let sparse = SparseFilter::from_dense(small, pruned.clone());
+    assert!(direct_conv(&small, &x, &pruned).approx_eq(&conv_sparse(&sparse, &x), 0.0));
+    println!("functional check: sparse schedule == dense conv of pruned weights ✓\n");
+
+    header(
+        &["keep", "tap density", "sched density", "cycles", "speedup"],
+        &[6, 11, 13, 10, 8],
+    );
+    let filter = Tensor::<f32>::random(filter_dims(&shape), Layout::Nchw, 7);
+    for keep in [1.0f64, 0.8, 0.6, 0.4, 0.2, 0.0] {
+        let pruned = prune_taps(&shape, &filter, keep, 17);
+        let sparse = SparseFilter::from_dense(shape, pruned);
+        let rep = sim.simulate_conv_sparse("l", &sparse);
+        println!(
+            "{:>6.2}  {:>11.2}  {:>13.2}  {:>10}  {:>7.2}x",
+            keep,
+            sparse.tap_density(),
+            sparse.schedule_density(),
+            rep.cycles,
+            dense_cycles as f64 / rep.cycles as f64
+        );
+    }
+    println!(
+        "\nSpeedup tracks schedule density ~1:1 because pruned taps are whole\n\
+         scheduling units — the structural advantage over channel-last layouts,\n\
+         where a zero tap still occupies its K columns inside every lowered row."
+    );
+}

@@ -1,0 +1,4 @@
+//! Runner for the `layout` ablation; see `iconv_bench::ablations`.
+fn main() {
+    iconv_bench::ablations::layout::run();
+}

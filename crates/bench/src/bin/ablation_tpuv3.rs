@@ -1,0 +1,4 @@
+//! Runner for the `tpuv3` ablation; see `iconv_bench::ablations`.
+fn main() {
+    iconv_bench::ablations::tpuv3::run();
+}

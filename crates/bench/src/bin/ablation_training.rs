@@ -1,0 +1,4 @@
+//! Runner for the `training` ablation; see `iconv_bench::ablations`.
+fn main() {
+    iconv_bench::ablations::training::run();
+}

@@ -1,0 +1,25 @@
+//! Run every experiment runner in sequence (Table I + Figs. 2-18).
+use iconv_bench::experiments as e;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    e::table1::run();
+    e::fig02::run();
+    e::fig04::run();
+    e::fig13::run();
+    e::fig14::run();
+    e::fig15::run();
+    e::fig16::run();
+    e::fig17::run();
+    e::fig18::run();
+    // Machine-readable headline metrics for regression tracking.
+    let summary = iconv_bench::summary::compute();
+    let json = iconv_bench::summary::to_json(&summary);
+    match std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/summary.json", &json))
+    {
+        Ok(()) => eprintln!("\n[wrote results/summary.json]"),
+        Err(err) => eprintln!("\n[could not write results/summary.json: {err}]"),
+    }
+    eprintln!("[expall completed in {:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,4 @@
+//! Runner for the paper's fig04 experiment; see `iconv_bench::experiments`.
+fn main() {
+    iconv_bench::experiments::fig04::run();
+}

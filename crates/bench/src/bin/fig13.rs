@@ -1,0 +1,4 @@
+//! Runner for the paper's fig13 experiment; see `iconv_bench::experiments`.
+fn main() {
+    iconv_bench::experiments::fig13::run();
+}

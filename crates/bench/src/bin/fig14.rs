@@ -1,0 +1,4 @@
+//! Runner for the paper's fig14 experiment; see `iconv_bench::experiments`.
+fn main() {
+    iconv_bench::experiments::fig14::run();
+}

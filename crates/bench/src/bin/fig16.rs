@@ -1,0 +1,4 @@
+//! Runner for the paper's fig16 experiment; see `iconv_bench::experiments`.
+fn main() {
+    iconv_bench::experiments::fig16::run();
+}

@@ -1,0 +1,4 @@
+//! Runner for the paper's fig17 experiment; see `iconv_bench::experiments`.
+fn main() {
+    iconv_bench::experiments::fig17::run();
+}

@@ -1,0 +1,4 @@
+//! Runner for the paper's fig18 experiment; see `iconv_bench::experiments`.
+fn main() {
+    iconv_bench::experiments::fig18::run();
+}

@@ -1,0 +1,4 @@
+//! Runner for the paper's table1 experiment; see `iconv_bench::experiments`.
+fn main() {
+    iconv_bench::experiments::table1::run();
+}

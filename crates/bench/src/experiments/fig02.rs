@@ -1,0 +1,82 @@
+//! **Fig. 2** — execution-time comparison of explicit and implicit im2col
+//! on the V100 GPU model (a) and on TPUSim (b), batch 64, all 7 CNNs.
+//!
+//! Paper shape targets: explicit ≈ 25–30 % slower on the GPU and ≈ 23 %
+//! slower on the TPU; the *GEMM portion* of the explicit method is close to
+//! the total time of the implicit method (i.e. implicit im2col has
+//! near-zero overhead).
+
+use crate::fmt::{banner, header};
+use iconv_gpusim::{GpuAlgo, GpuConfig, GpuSim};
+use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+use iconv_workloads::all_models;
+
+/// Run the experiment.
+pub fn run() {
+    let batch = 64;
+    let models = all_models(batch);
+
+    banner("Fig. 2a: explicit vs implicit im2col on V100 (batch 64, normalized)");
+    header(
+        &["model", "implicit", "expl.GEMM", "expl.im2col", "expl.total"],
+        &[10, 9, 10, 12, 11],
+    );
+    let gpu = GpuSim::new(GpuConfig::v100());
+    let mut overhead_acc = 0.0;
+    for m in &models {
+        let imp: f64 = gpu.model_seconds(m, GpuAlgo::CudnnImplicit);
+        let exp_reports = gpu.simulate_model(m, GpuAlgo::ExplicitIm2col);
+        let exp_total: f64 = exp_reports
+            .iter()
+            .map(|(r, k)| r.seconds(gpu.config()) * *k as f64)
+            .sum();
+        let transform: f64 = exp_reports
+            .iter()
+            .map(|(r, k)| gpu.config().cycles_to_seconds(r.transform_cycles) * *k as f64)
+            .sum();
+        let gemm_part = exp_total - transform;
+        overhead_acc += exp_total / imp - 1.0;
+        println!(
+            "{:>10}  {:>9.2}  {:>10.2}  {:>12.2}  {:>11.2}",
+            m.name,
+            1.0,
+            gemm_part / imp,
+            transform / imp,
+            exp_total / imp
+        );
+    }
+    println!(
+        "average explicit slowdown on GPU: {:.0}% (paper: ~28%)",
+        100.0 * overhead_acc / models.len() as f64
+    );
+
+    banner("Fig. 2b: explicit vs implicit im2col on TPUSim (batch 64, normalized)");
+    header(
+        &["model", "implicit", "expl.GEMM", "expl.im2col", "expl.total"],
+        &[10, 9, 10, 12, 11],
+    );
+    let tpu = Simulator::new(TpuConfig::tpu_v2());
+    let mut overhead_acc = 0.0;
+    for m in &models {
+        let imp = tpu.simulate_model(m, SimMode::ChannelFirst).total_cycles() as f64;
+        let exp = tpu.simulate_model(m, SimMode::Explicit).total_cycles() as f64;
+        let transform: f64 = m
+            .layers
+            .iter()
+            .map(|l| tpu.explicit_transform_cycles(&l.shape) as f64 * l.count as f64)
+            .sum();
+        overhead_acc += exp / imp - 1.0;
+        println!(
+            "{:>10}  {:>9.2}  {:>10.2}  {:>12.2}  {:>11.2}",
+            m.name,
+            1.0,
+            (exp - transform) / imp,
+            transform / imp,
+            exp / imp
+        );
+    }
+    println!(
+        "average explicit slowdown on TPU: {:.0}% (paper: ~23%)",
+        100.0 * overhead_acc / models.len() as f64
+    );
+}

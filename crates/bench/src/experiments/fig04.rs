@@ -1,0 +1,93 @@
+//! **Fig. 4** — TFLOPS of implicit im2col on representative ResNet layers
+//! under strides 1/2/4, with the equivalent plain GEMM as reference:
+//! (a) the GPU (channel-last proxy) degrades with stride; (b) the TPU
+//! (channel-first) is insensitive.
+
+use crate::fmt::{banner, header};
+use iconv_gpusim::{GpuAlgo, GpuConfig, GpuSim};
+use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+use iconv_workloads::resnet_representative_layers;
+
+/// Run the experiment.
+pub fn run() {
+    let batch = 64;
+
+    banner("Fig. 4a: V100 TFLOPS vs stride (channel-last implicit + GEMM ref)");
+    header(
+        &["layer", "s1 conv", "s1 gemm", "s2 conv", "s2 gemm", "s4 conv", "s4 gemm"],
+        &[16, 8, 8, 8, 8, 8, 8],
+    );
+    let gpu = GpuSim::new(GpuConfig::v100());
+    let mut drops2 = Vec::new();
+    let mut drops4 = Vec::new();
+    for i in 0..4 {
+        let mut cells = vec![format!(
+            "{:>16}",
+            resnet_representative_layers(batch, 1)[i]
+                .name
+                .trim_end_matches("-s1")
+        )];
+        let mut tf_s1 = 0.0;
+        for stride in [1usize, 2, 4] {
+            let layer = &resnet_representative_layers(batch, stride)[i];
+            let conv = gpu
+                .simulate_conv(&layer.name, &layer.shape, GpuAlgo::CudnnImplicit)
+                .tflops(gpu.config());
+            let gemm = gpu
+                .simulate_conv(&layer.name, &layer.shape, GpuAlgo::GemmEquivalent)
+                .tflops(gpu.config());
+            cells.push(format!("{conv:>8.1}"));
+            cells.push(format!("{gemm:>8.1}"));
+            match stride {
+                1 => tf_s1 = conv,
+                2 => drops2.push(1.0 - conv / tf_s1),
+                _ => drops4.push(1.0 - conv / tf_s1),
+            }
+        }
+        println!("{}", cells.join("  "));
+    }
+    println!(
+        "mean GPU degradation: stride2 {:.0}%, stride4 {:.0}% (paper: ~30% / ~60%)",
+        100.0 * drops2.iter().sum::<f64>() / drops2.len() as f64,
+        100.0 * drops4.iter().sum::<f64>() / drops4.len() as f64
+    );
+
+    banner("Fig. 4b: TPU TFLOPS vs stride (channel-first implicit + GEMM ref)");
+    header(
+        &["layer", "s1 conv", "s1 gemm", "s2 conv", "s2 gemm", "s4 conv", "s4 gemm"],
+        &[16, 8, 8, 8, 8, 8, 8],
+    );
+    let tpu = Simulator::new(TpuConfig::tpu_v2());
+    let mut drops2 = Vec::new();
+    let mut drops4 = Vec::new();
+    for i in 0..4 {
+        let mut cells = vec![format!(
+            "{:>16}",
+            resnet_representative_layers(batch, 1)[i]
+                .name
+                .trim_end_matches("-s1")
+        )];
+        let mut tf_s1 = 0.0;
+        for stride in [1usize, 2, 4] {
+            let layer = &resnet_representative_layers(batch, stride)[i];
+            let rep = tpu.simulate_conv(&layer.name, &layer.shape, SimMode::ChannelFirst);
+            let conv = rep.tflops(tpu.config());
+            let (m, n, k) = layer.shape.gemm_mnk();
+            let g = tpu.simulate_gemm("g", m, n, k);
+            let gemm = g.tflops(tpu.config());
+            cells.push(format!("{conv:>8.1}"));
+            cells.push(format!("{gemm:>8.1}"));
+            match stride {
+                1 => tf_s1 = conv,
+                2 => drops2.push(1.0 - conv / tf_s1),
+                _ => drops4.push(1.0 - conv / tf_s1),
+            }
+        }
+        println!("{}", cells.join("  "));
+    }
+    println!(
+        "mean TPU degradation: stride2 {:.0}%, stride4 {:.0}% (paper: insensitive)",
+        100.0 * drops2.iter().sum::<f64>() / drops2.len() as f64,
+        100.0 * drops4.iter().sum::<f64>() / drops4.len() as f64
+    );
+}

@@ -1,0 +1,119 @@
+//! **Fig. 13** — TPUSim validation against the "measured" TPU-v2 proxy:
+//! (a) the GEMM primitive over M/N/K ∈ {256…8192}; (b) synthetic CONV
+//! layers that do not trigger the multi-tile optimization (Ci ≥ 128).
+//!
+//! Paper shape targets: average error ≈ 4.4 % (GEMM) and ≈ 4.9 % (CONV).
+//! Also prints the Table II simulator configuration for reference.
+
+use crate::fmt::banner;
+use iconv_models::{mean_abs_pct_error, TpuMeasuredProxy};
+use iconv_tensor::ConvShape;
+use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+
+/// The GEMM sweep of Fig. 13a.
+pub fn gemm_sweep() -> Vec<(usize, usize, usize)> {
+    let dims = [256usize, 512, 1024, 2048, 4096, 8192];
+    let mut out = Vec::new();
+    for &m in &dims {
+        for &n in &[256usize, 1024, 4096, 8192] {
+            for &k in &[256usize, 1024, 4096, 8192] {
+                out.push((m, n, k));
+            }
+        }
+    }
+    out
+}
+
+/// The CONV sweep of Fig. 13b (no multi-tile: Ci ≥ 128).
+pub fn conv_sweep(batch: usize) -> Vec<ConvShape> {
+    let mut out = Vec::new();
+    for &(ci, hw, co, f, s) in &[
+        (128usize, 112usize, 128usize, 3usize, 1usize),
+        (128, 56, 128, 3, 1),
+        (128, 56, 256, 3, 1),
+        (128, 56, 256, 3, 2),
+        (256, 56, 256, 3, 1),
+        (256, 28, 256, 3, 1),
+        (256, 28, 512, 3, 2),
+        (512, 28, 512, 3, 1),
+        (512, 14, 512, 3, 1),
+        (512, 14, 512, 3, 2),
+        (1024, 14, 1024, 3, 1),
+        (1024, 7, 1024, 3, 1),
+        (128, 56, 128, 5, 1),
+        (256, 28, 256, 5, 1),
+        (256, 56, 256, 1, 1),
+        (512, 28, 512, 1, 2),
+        (1024, 14, 1024, 1, 1),
+        (2048, 7, 2048, 1, 1),
+    ] {
+        out.push(ConvShape::square(batch, ci, hw, co, f, s, f / 2).expect("valid sweep entry"));
+    }
+    out
+}
+
+/// Run the experiment.
+pub fn run() {
+    let cfg = TpuConfig::tpu_v2();
+    banner("Table II: TPUSim configuration");
+    println!(
+        "  {}x{} systolic array @ {} MHz ({:.1} peak TFLOPS)",
+        cfg.array.rows,
+        cfg.array.cols,
+        cfg.clock_mhz,
+        cfg.peak_tflops()
+    );
+    println!(
+        "  {} MB unified on-chip memory: {} SRAMs, {} x {} B words",
+        cfg.total_sram_bytes() / (1024 * 1024),
+        cfg.array.rows,
+        cfg.vector_mem.word_elems,
+        cfg.vector_mem.elem_bytes
+    );
+    println!(
+        "  {:.0} GB/s HBM ({} B/cycle)",
+        cfg.dram.bytes_per_cycle * cfg.clock_mhz * 1e6 / 1e9,
+        cfg.dram.bytes_per_cycle
+    );
+
+    let sim = Simulator::new(cfg);
+    let proxy = TpuMeasuredProxy::tpu_v2();
+
+    banner("Fig. 13a: GEMM primitive — TPUSim vs TPU-v2(proxy) cycles");
+    let mut pairs = Vec::new();
+    for (m, n, k) in gemm_sweep() {
+        let s = sim.simulate_gemm("g", m, n, k).cycles as f64;
+        let p = proxy.gemm_cycles(m, n, k);
+        pairs.push((s, p));
+    }
+    // Print a sample of the sweep.
+    for (i, (m, n, k)) in gemm_sweep().iter().enumerate().step_by(19) {
+        let (s, p) = pairs[i];
+        println!(
+            "  M{m:>5} N{n:>5} K{k:>5}: sim {s:>12.0}  measured {p:>12.0}  err {:>5.1}%",
+            100.0 * (s - p).abs() / p
+        );
+    }
+    println!(
+        "GEMM average error over {} points: {:.2}% (paper: 4.42%)",
+        pairs.len(),
+        100.0 * mean_abs_pct_error(&pairs)
+    );
+
+    banner("Fig. 13b: CONV layers (no multi-tile) — TPUSim vs TPU-v2(proxy)");
+    let mut pairs = Vec::new();
+    for shape in conv_sweep(8) {
+        let s = sim.simulate_conv("c", &shape, SimMode::ChannelFirst).cycles as f64;
+        let p = proxy.conv_cycles(&shape);
+        println!(
+            "  {shape}: sim {s:>10.0}  measured {p:>10.0}  err {:>5.1}%",
+            100.0 * (s - p).abs() / p
+        );
+        pairs.push((s, p));
+    }
+    println!(
+        "CONV average error over {} layers: {:.2}% (paper: 4.87%)",
+        pairs.len(),
+        100.0 * mean_abs_pct_error(&pairs)
+    );
+}

@@ -1,0 +1,72 @@
+//! **Fig. 14** — the multi-tile optimization: (a) performance and on-chip
+//! workspace versus the number of merged tiles for the paper's probe layer
+//! (N=8, Ci=8, Wi=Co=128, Wf=3); (b) validation of the reverse-engineered
+//! TPU strategy `tiles = MIN(128/Ci, Wf)` across channel counts.
+//!
+//! Paper shape targets: (a) workspace grows linearly while performance
+//! saturates around 3 tiles; (b) average error ≈ 5.3 %.
+
+use crate::fmt::{banner, header};
+use iconv_models::{mean_abs_pct_error, TpuMeasuredProxy};
+use iconv_tensor::ConvShape;
+use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+
+/// Run the experiment.
+pub fn run() {
+    let sim = Simulator::new(TpuConfig::tpu_v2());
+    let proxy = TpuMeasuredProxy::tpu_v2();
+
+    banner("Fig. 14a: multi-tile parameter sweep (N=8, Ci=8, Wi=Co=128, Wf=3)");
+    let shape = ConvShape::square(8, 8, 128, 128, 3, 1, 1).expect("valid layer");
+    header(
+        &["tiles", "TFLOPS", "speedup", "workspace MB"],
+        &[6, 8, 8, 13],
+    );
+    let base = sim
+        .simulate_conv("l", &shape, SimMode::ChannelFirstGrouped(1))
+        .cycles as f64;
+    for tiles in 1..=8usize {
+        let rep = sim.simulate_conv("l", &shape, SimMode::ChannelFirstGrouped(tiles));
+        println!(
+            "{:>6}  {:>8.1}  {:>7.2}x  {:>13.2}",
+            tiles,
+            rep.tflops(sim.config()),
+            base / rep.cycles as f64,
+            rep.workspace_bytes as f64 / 1e6
+        );
+    }
+    let auto = sim.simulate_conv("l", &shape, SimMode::ChannelFirst);
+    let measured = proxy.conv_cycles(&shape);
+    println!(
+        "TPU strategy picks MIN(128/8, 3) = 3 tiles; sim {} vs measured {:.0} cycles ({:.1}% err)",
+        auto.cycles,
+        measured,
+        100.0 * (auto.cycles as f64 - measured).abs() / measured
+    );
+
+    banner("Fig. 14b: strategy validation, tiles = MIN(128/Ci, Wf)");
+    header(
+        &["Ci", "Wf", "tiles", "sim TF/s", "meas TF/s", "err%"],
+        &[5, 4, 6, 9, 10, 6],
+    );
+    let mut pairs = Vec::new();
+    for &wf in &[3usize, 5, 7] {
+        for &ci in &[4usize, 8, 16, 32, 64, 128] {
+            let s = ConvShape::square(8, ci, 56, 128, wf, 1, wf / 2).expect("valid layer");
+            let tiles = iconv_core::tpu_group_size(128, ci, wf);
+            let rep = sim.simulate_conv("l", &s, SimMode::ChannelFirst);
+            let sim_tf = rep.tflops(sim.config());
+            let meas_cycles = proxy.conv_cycles(&s);
+            let meas_tf = s.flops() as f64 / (meas_cycles / 700e6) / 1e12;
+            let err = 100.0 * (sim_tf - meas_tf).abs() / meas_tf;
+            println!(
+                "{ci:>5}  {wf:>4}  {tiles:>6}  {sim_tf:>9.1}  {meas_tf:>10.1}  {err:>6.1}"
+            );
+            pairs.push((sim_tf, meas_tf));
+        }
+    }
+    println!(
+        "average error: {:.2}% (paper: 5.3%)",
+        100.0 * mean_abs_pct_error(&pairs)
+    );
+}

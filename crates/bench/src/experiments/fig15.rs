@@ -1,0 +1,60 @@
+//! **Fig. 15** — end-to-end model validation at batch 8: (a) per-model
+//! TPUSim vs "measured" execution time; (b) the layer-wise error
+//! distribution.
+//!
+//! Paper shape target: per-model agreement with a layer-wise MAE ≈ 5.8 %.
+
+use crate::fmt::{banner, header};
+use iconv_models::{error_distribution, mean_abs_pct_error, TpuMeasuredProxy};
+use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+use iconv_workloads::all_models;
+
+/// Run the experiment.
+pub fn run() {
+    let sim = Simulator::new(TpuConfig::tpu_v2());
+    let proxy = TpuMeasuredProxy::tpu_v2();
+    let models = all_models(8);
+
+    banner("Fig. 15a: end-to-end model results, batch 8 (ms per batch)");
+    header(&["model", "TPUSim", "measured", "err%"], &[10, 9, 9, 6]);
+    let mut layer_pairs = Vec::new();
+    for m in &models {
+        let rep = sim.simulate_model(m, SimMode::ChannelFirst);
+        let sim_ms = sim.config().cycles_to_seconds(rep.total_cycles()) * 1e3;
+        let meas_cycles: f64 = m
+            .layers
+            .iter()
+            .map(|l| proxy.conv_cycles(&l.shape) * l.count as f64)
+            .sum();
+        let meas_ms = meas_cycles / 700e6 * 1e3;
+        println!(
+            "{:>10}  {:>9.3}  {:>9.3}  {:>5.1}",
+            m.name,
+            sim_ms,
+            meas_ms,
+            100.0 * (sim_ms - meas_ms).abs() / meas_ms
+        );
+        // Collect layer-wise pairs for (b).
+        for (l, (r, _)) in m.layers.iter().zip(rep.layers.iter()) {
+            layer_pairs.push((r.cycles as f64, proxy.conv_cycles(&l.shape)));
+        }
+    }
+
+    banner("Fig. 15b: layer-wise error distribution (all layers, all models)");
+    let (edges, counts) = error_distribution(&layer_pairs, 10);
+    let total: usize = counts.iter().sum();
+    for (i, c) in counts.iter().enumerate() {
+        let bar = "#".repeat((c * 60 / total.max(1)).max(usize::from(*c > 0)));
+        println!(
+            "  {:>5.1}%-{:>5.1}%  {:>4}  {bar}",
+            100.0 * edges[i],
+            100.0 * edges[i + 1],
+            c
+        );
+    }
+    println!(
+        "layer-wise MAE over {} layers: {:.2}% (paper: 5.8%)",
+        layer_pairs.len(),
+        100.0 * mean_abs_pct_error(&layer_pairs)
+    );
+}

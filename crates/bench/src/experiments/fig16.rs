@@ -1,0 +1,70 @@
+//! **Fig. 16** — hardware design-space exploration with TPUSim on VGG16:
+//! (a) systolic-array size versus achieved FLOPS and utilization;
+//! (b) vector-memory word size versus SRAM area and bandwidth idle ratio.
+//!
+//! Paper shape targets: (a) FLOPS rise but utilization falls with array
+//! size, roughly halving from 128 to 256 — the rationale for TPU-v2's
+//! 128×128 choice; (b) the area curve is minimized at large words (word 1 ≈
+//! 5× overhead, word 8 near the minimum) while the port idle ratio grows
+//! with word size (>50 % idle at word 8 — the slack TPU-v3 spends on a
+//! second array).
+
+use crate::fmt::{banner, header};
+use iconv_sram::AreaModel;
+use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+use iconv_workloads::vgg16;
+
+/// Run the experiment.
+pub fn run() {
+    let model = vgg16(8);
+
+    banner("Fig. 16a: systolic array size DSE (VGG16, total SRAM fixed)");
+    header(
+        &["array", "peak TF/s", "achieved TF/s", "utilization%"],
+        &[8, 10, 14, 13],
+    );
+    let mut prev_util: Option<f64> = None;
+    let mut halving = f64::NAN;
+    for size in [32usize, 64, 128, 256, 512] {
+        let cfg = TpuConfig::tpu_v2().with_array_size(size);
+        let sim = Simulator::new(cfg);
+        let rep = sim.simulate_model(&model, SimMode::ChannelFirst);
+        let util = rep.tflops(&cfg) / cfg.peak_tflops();
+        println!(
+            "{:>4}x{:<3}  {:>10.1}  {:>14.1}  {:>13.1}",
+            size,
+            size,
+            cfg.peak_tflops(),
+            rep.tflops(&cfg),
+            100.0 * util
+        );
+        if size == 256 {
+            if let Some(p) = prev_util {
+                halving = util / p;
+            }
+        }
+        prev_util = Some(util);
+    }
+    println!("utilization(256)/utilization(128) = {halving:.2} (paper: ~0.5)");
+
+    banner("Fig. 16b: vector-memory word size DSE (256 KB macro, VGG16)");
+    header(
+        &["word", "area mm2", "rel. area", "idle ratio%"],
+        &[6, 10, 10, 12],
+    );
+    let area = AreaModel::freepdk45();
+    let words_bytes: Vec<u64> = [1u64, 2, 4, 8, 16, 32].iter().map(|e| e * 4).collect();
+    for elems in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = TpuConfig::tpu_v2().with_word_elems(elems);
+        let sim = Simulator::new(cfg);
+        let rep = sim.simulate_model(&model, SimMode::ChannelFirst);
+        let bytes = (elems * 4) as u64;
+        println!(
+            "{:>6}  {:>10.2}  {:>10.2}  {:>12.1}",
+            elems,
+            area.area_mm2(256 * 1024, bytes),
+            area.relative_area(256 * 1024, bytes, &words_bytes),
+            100.0 * rep.sram_idle_ratio()
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! **Fig. 18** — GPU optimizations: (a) speedup over the cuDNN proxy on the
+//! benchmarked models' layers with stride > 1; (b) the inter-tile-reuse
+//! reordering on layers whose global-memory fills are not fully overlapped.
+//!
+//! Paper shape targets: (a) average ≈ +20 %, up to ≈ +40 %; (b) average
+//! ≈ +16.7 %.
+
+use crate::fmt::{banner, header};
+use iconv_gpusim::{GpuAlgo, GpuConfig, GpuSim};
+use iconv_workloads::{all_models, Layer};
+
+fn label(l: &Layer) -> String {
+    format!(
+        "{}-{}-{}-{}-{}",
+        l.shape.wi, l.shape.ci, l.shape.co, l.shape.wf, l.shape.stride_w
+    )
+}
+
+/// Run the experiment.
+pub fn run() {
+    let gpu = GpuSim::new(GpuConfig::v100());
+    let models = all_models(8);
+
+    banner("Fig. 18a: strided layers — ours vs cuDNN proxy (batch 8)");
+    header(&["layer (Wi-Ci-Co-Wf-s)", "cuDNN us", "ours us", "speedup"], &[22, 9, 9, 8]);
+    let mut speedups = Vec::new();
+    for m in &models {
+        for l in m.strided_layers() {
+            if l.shape.ci < 16 {
+                continue; // first layers: both implementations fall back
+            }
+            let cudnn = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::CudnnImplicit);
+            let ours = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::ChannelFirst { reuse: true });
+            let speedup = cudnn.timing.cycles / ours.timing.cycles;
+            println!(
+                "{:>22}  {:>9.1}  {:>9.1}  {:>7.2}x",
+                label(l),
+                cudnn.seconds(gpu.config()) * 1e6,
+                ours.seconds(gpu.config()) * 1e6,
+                speedup
+            );
+            speedups.push(speedup);
+        }
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let max = speedups.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "average speedup {:.0}%, max {:.0}% (paper: avg ~20%, up to ~40%)",
+        100.0 * (avg - 1.0),
+        100.0 * (max - 1.0)
+    );
+
+    banner("Fig. 18b: inter-tile reuse impact (memory-bound layers, batch 8)");
+    header(&["layer (Wi-Ci-Co-Wf)", "no-reuse us", "reuse us", "gain"], &[20, 11, 9, 7]);
+    // Select layers whose no-reuse fills are not fully overlapped by
+    // compute — the paper's selection criterion.
+    let mut gains = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for m in &models {
+        for l in &m.layers {
+            if l.shape.hf == 1 || l.shape.ci < 16 || !seen.insert(label(l)) {
+                continue; // 1x1: single tap; ci<16: fallback path
+            }
+            let naive = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::ChannelFirst { reuse: false });
+            if naive.timing.memory_cycles < 0.8 * naive.timing.compute_cycles {
+                continue; // fill fully overlapped: reuse cannot show
+            }
+            let reuse = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::ChannelFirst { reuse: true });
+            let gain = naive.timing.cycles / reuse.timing.cycles;
+            println!(
+                "{:>20}  {:>11.1}  {:>9.1}  {:>6.2}x",
+                label(l),
+                naive.seconds(gpu.config()) * 1e6,
+                reuse.seconds(gpu.config()) * 1e6,
+                gain
+            );
+            gains.push(gain);
+            if gains.len() >= 12 {
+                break;
+            }
+        }
+        if gains.len() >= 12 {
+            break;
+        }
+    }
+    let avg = gains.iter().sum::<f64>() / gains.len().max(1) as f64;
+    println!(
+        "average improvement {:.1}% over {} layers (paper: 16.7%)",
+        100.0 * (avg - 1.0),
+        gains.len()
+    );
+}

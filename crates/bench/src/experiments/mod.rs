@@ -1,0 +1,12 @@
+//! One module per paper table/figure; each exposes `run()` printing the
+//! paper-formatted rows. The `expall` binary runs them all.
+
+pub mod fig02;
+pub mod fig04;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod table1;

@@ -1,0 +1,34 @@
+//! **Table I** — memory usage breakdown for executing different CNNs with
+//! explicit im2col.
+//!
+//! Paper shape target: the lowered IFMap ("Lower IFmaps") is 1.5–10× the
+//! raw IFMaps across AlexNet, ResNet, VGG16, YOLO and DenseNet.
+
+use crate::fmt::{banner, header};
+use iconv_workloads::table1_models;
+
+/// Run the experiment, printing paper-formatted rows.
+pub fn run() {
+    banner("Table I: explicit-im2col memory usage (MB), batch 64, FP16");
+    let models = table1_models(64);
+    let elem_bytes = 2; // the GPU experiments use FP16
+    header(
+        &["", "AlexNet", "ResNet", "VGG16", "YOLO", "DesNet"],
+        &[13, 9, 9, 9, 9, 9],
+    );
+    let row = |label: &str, f: &dyn Fn(&iconv_workloads::Model) -> f64| {
+        let mut cells = vec![format!("{label:>13}")];
+        for m in &models {
+            cells.push(format!("{:>9.1}", f(m)));
+        }
+        println!("{}", cells.join("  "));
+    };
+    row("IFmaps", &|m| m.ifmap_bytes(elem_bytes) as f64 / 1e6);
+    row("Lower IFmaps", &|m| m.lowered_bytes(elem_bytes) as f64 / 1e6);
+    row("ratio", &|m| {
+        m.lowered_bytes(elem_bytes) as f64 / m.ifmap_bytes(elem_bytes) as f64
+    });
+    println!(
+        "\nShape target: ratios within ~1.5-10x (paper Table I measured 1.6x-10.5x on V100/cuDNN)."
+    );
+}

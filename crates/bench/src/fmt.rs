@@ -1,0 +1,23 @@
+//! Small table-printing helpers shared by the experiment runners.
+
+/// Print a header row followed by a separator.
+pub fn header(cols: &[&str], widths: &[usize]) {
+    let row: Vec<String> = cols
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", row.join("  "));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+/// Format a float with the given precision, right-aligned to `w`.
+pub fn num(v: f64, prec: usize, w: usize) -> String {
+    format!("{v:>w$.prec$}")
+}
+
+/// Section banner for a runner's output.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,13 @@
+//! # iconv-bench
+//!
+//! Experiment runners (one binary per paper table/figure) and criterion
+//! microbenchmarks. See `EXPERIMENTS.md` at the repository root for the
+//! experiment index and recorded results.
+//!
+//! Run a single experiment with e.g. `cargo run --release -p iconv-bench
+//! --bin fig13`, or everything with `--bin expall`.
+
+pub mod ablations;
+pub mod experiments;
+pub mod fmt;
+pub mod summary;

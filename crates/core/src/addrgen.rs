@@ -1,0 +1,397 @@
+//! Address generation for the TPU's per-PE-row vector memories
+//! (paper Sec. IV-A, Figs. 9 & 10).
+//!
+//! The TPU has no crossbar: it has `R` *independent* single-port SRAM arrays,
+//! one per PE row. Channel-first im2col maps channel `ci` of tile-group
+//! member `m` to array `m·Ci + ci`, so every IFMap element always feeds the
+//! same fixed PE row. The systolic time delay is absorbed by **skewing the
+//! address generation** (array `a` issues step `k` at cycle `k·w + a`), not
+//! the data layout.
+//!
+//! With the batched `HWCN` layout, one `w`-element word holds `w` batch items
+//! of one pixel/channel, so a single SRAM read feeds the serializer for `w`
+//! consecutive GEMM rows — each array is read only once every `w` cycles,
+//! leaving the other port-slots free for interleaved OFMap writes
+//! (de-serializer), which is how the unified memory sustains full duplex.
+
+use crate::decompose::FilterTile;
+use crate::schedule::TileGroup;
+use iconv_tensor::{ConvShape, Coord};
+
+/// Geometry of the vector-memory file: number of independent SRAM arrays
+/// (= PE rows) and elements per word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VectorMemSpec {
+    /// Number of independent SRAM arrays (TPU-v2: 128).
+    pub arrays: usize,
+    /// Elements per word (TPU-v2: 8).
+    pub word_elems: usize,
+}
+
+impl VectorMemSpec {
+    /// The TPU-v2 configuration from paper Table II.
+    pub fn tpu_v2() -> Self {
+        Self {
+            arrays: 128,
+            word_elems: 8,
+        }
+    }
+}
+
+/// A logical word address inside one SRAM array: pixel `(h, w)` of the
+/// array's channel, batch-word `bw` (batch items `bw·w .. bw·w + w`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WordAddr {
+    /// Input row.
+    pub h: usize,
+    /// Input column.
+    pub w: usize,
+    /// Which group of `word_elems` batch items.
+    pub batch_word: usize,
+}
+
+/// What one array does at one logical step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayOp {
+    /// Array is not assigned to any (member, channel) — idle PE row.
+    Unassigned,
+    /// The tap lands in the padding: the serializer injects zeros, the SRAM
+    /// port stays free.
+    ZeroInject,
+    /// A real word read.
+    Read(WordAddr),
+}
+
+/// Address generator for streaming one [`TileGroup`]'s merged GEMM out of
+/// the vector memories.
+///
+/// A *step* is one word-time: all active arrays logically read (or
+/// zero-inject) once per step, and the serializer drains the word over the
+/// next `word_elems` cycles. Steps advance through output pixels in raster
+/// order with the batch dimension innermost (the `HWCN` stream).
+///
+/// # Examples
+///
+/// ```
+/// # use iconv_core::addrgen::{AddrGen, VectorMemSpec, ArrayOp};
+/// # use iconv_core::schedule::TileSchedule;
+/// # use iconv_tensor::ConvShape;
+/// # fn main() -> Result<(), iconv_tensor::ShapeError> {
+/// // Paper Fig. 10: N=2, Ci=4, 5x5 input, 3x3 filter, 4x4 array, word=2.
+/// let shape = ConvShape::square(2, 4, 5, 4, 3, 1, 0)?;
+/// let spec = VectorMemSpec { arrays: 4, word_elems: 2 };
+/// let sched = TileSchedule::single_tile(&shape);
+/// let gen = AddrGen::new(&shape, spec, &sched.groups()[0]);
+/// assert_eq!(gen.steps(), 9); // 3x3 outputs x (2 batch / word 2)
+/// // All four arrays read every step (Ci=4 fills the array):
+/// assert!(matches!(gen.op(0, 0), ArrayOp::Read(_)));
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddrGen<'a> {
+    shape: &'a ConvShape,
+    spec: VectorMemSpec,
+    group: &'a TileGroup,
+}
+
+impl<'a> AddrGen<'a> {
+    /// Create a generator for one tile group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group needs more PE rows than `spec.arrays` provides.
+    pub fn new(shape: &'a ConvShape, spec: VectorMemSpec, group: &'a TileGroup) -> Self {
+        assert!(
+            group.occupied_rows(shape) <= spec.arrays,
+            "tile group needs {} rows but the array has {}",
+            group.occupied_rows(shape),
+            spec.arrays
+        );
+        Self { shape, spec, group }
+    }
+
+    /// Words needed to hold one pixel across the batch: `ceil(N / w)`.
+    pub fn batch_words(&self) -> usize {
+        self.shape.n.div_ceil(self.spec.word_elems)
+    }
+
+    /// Logical steps to stream the whole merged GEMM: `Ho·Wo·batch_words`.
+    pub fn steps(&self) -> usize {
+        self.shape.out_h() * self.shape.out_w() * self.batch_words()
+    }
+
+    /// The `(member, channel)` assignment of array `a`, or `None` when the
+    /// array is idle for this group.
+    pub fn assignment(&self, array: usize) -> Option<(usize, usize)> {
+        (array < self.group.occupied_rows(self.shape))
+            .then(|| (array / self.shape.ci, array % self.shape.ci))
+    }
+
+    /// Output pixel and batch-word of step `s`: `(oh, ow, bw)`.
+    pub fn step_target(&self, step: usize) -> (usize, usize, usize) {
+        let bw = self.batch_words();
+        let pix = step / bw;
+        (
+            pix / self.shape.out_w(),
+            pix % self.shape.out_w(),
+            step % bw,
+        )
+    }
+
+    /// What array `a` does at step `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step >= self.steps()` or `array >= spec.arrays`.
+    pub fn op(&self, step: usize, array: usize) -> ArrayOp {
+        assert!(step < self.steps(), "step {step} out of range");
+        assert!(array < self.spec.arrays, "array {array} out of range");
+        let Some((member, _ci)) = self.assignment(array) else {
+            return ArrayOp::Unassigned;
+        };
+        let (oh, ow, bw) = self.step_target(step);
+        let tile = self.group.tiles()[member];
+        match tile.input_pixel(self.shape, oh, ow) {
+            Some((h, w)) => ArrayOp::Read(WordAddr { h, w, batch_word: bw }),
+            None => ArrayOp::ZeroInject,
+        }
+    }
+
+    /// The cycle at which array `a` *issues* step `s`: reads are spaced one
+    /// word-time apart and skewed by the array index to fit the systolic
+    /// dataflow ("we skew the address generation", Sec. IV-A).
+    pub fn issue_cycle(&self, step: usize, array: usize) -> u64 {
+        (step * self.spec.word_elems + array) as u64
+    }
+
+    /// IFMap element delivered by array `a` in lane `lane` (0-based within
+    /// the word) of step `s`; `None` for padding/idle/beyond-batch lanes.
+    pub fn element(&self, step: usize, array: usize, lane: usize) -> Option<Coord> {
+        let (member, ci) = self.assignment(array)?;
+        let (oh, ow, bw) = self.step_target(step);
+        let n = bw * self.spec.word_elems + lane;
+        if n >= self.shape.n {
+            return None;
+        }
+        let tile = self.group.tiles()[member];
+        let (h, w) = tile.input_pixel(self.shape, oh, ow)?;
+        Some(Coord::new(n, ci, h, w))
+    }
+
+    /// The lowered-matrix row fed by `(step, lane)` — the stream is a
+    /// permutation of the `N·Ho·Wo` lowered rows (batch innermost instead of
+    /// outermost), which is legal because GEMM is row-order invariant.
+    pub fn lowered_row(&self, step: usize, lane: usize) -> Option<usize> {
+        let (oh, ow, bw) = self.step_target(step);
+        let n = bw * self.spec.word_elems + lane;
+        (n < self.shape.n)
+            .then(|| iconv_tensor::im2col::output_to_row(self.shape, n, oh, ow))
+    }
+
+    /// Total real word reads issued across all arrays and steps (padding
+    /// taps inject zeros without a read).
+    pub fn total_reads(&self) -> u64 {
+        let mut reads = 0u64;
+        let bw = self.batch_words() as u64;
+        for (member, tile) in self.group.tiles().iter().enumerate() {
+            let _ = member;
+            let valid_pixels = (0..self.shape.out_h())
+                .flat_map(|oh| (0..self.shape.out_w()).map(move |ow| (oh, ow)))
+                .filter(|&(oh, ow)| tile.input_pixel(self.shape, oh, ow).is_some())
+                .count() as u64;
+            reads += valid_pixels * bw * self.shape.ci as u64;
+        }
+        reads
+    }
+
+    /// Words each active array must hold resident for its member tile:
+    /// `|working_set| · batch_words` (the Fig. 14a workspace metric, per
+    /// array).
+    pub fn resident_words(&self, array: usize) -> usize {
+        match self.assignment(array) {
+            Some((member, _)) => {
+                self.group.tiles()[member].working_set_len(self.shape) * self.batch_words()
+            }
+            None => 0,
+        }
+    }
+
+    /// Total resident words across all arrays — the on-chip workspace for
+    /// this group. Grows ∝ group size (IFMap duplication).
+    pub fn total_resident_words(&self) -> usize {
+        (0..self.spec.arrays).map(|a| self.resident_words(a)).sum()
+    }
+
+    /// The tile of group member `m`.
+    pub fn member_tile(&self, member: usize) -> FilterTile {
+        self.group.tiles()[member]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::TileSchedule;
+    use iconv_tensor::conv_ref::ifmap_dims;
+    use iconv_tensor::{ColumnOrder, Layout, Tensor};
+
+    /// Paper Fig. 10 configuration.
+    fn fig10() -> (ConvShape, VectorMemSpec) {
+        (
+            ConvShape::square(2, 4, 5, 4, 3, 1, 0).unwrap(),
+            VectorMemSpec { arrays: 4, word_elems: 2 },
+        )
+    }
+
+    #[test]
+    fn fixed_pe_row_per_channel() {
+        // The defining property: every element of channel ci is only ever
+        // delivered by array ci (single-tile groups).
+        let (shape, spec) = fig10();
+        let sched = TileSchedule::single_tile(&shape);
+        for group in sched.groups() {
+            let gen = AddrGen::new(&shape, spec, group);
+            for step in 0..gen.steps() {
+                for array in 0..spec.arrays {
+                    for lane in 0..spec.word_elems {
+                        if let Some(c) = gen.element(step, array, lane) {
+                            assert_eq!(c.c, array, "channel must match array");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_covers_lowered_matrix_exactly() {
+        // Across all steps/lanes, each (lowered_row) appears exactly once per
+        // step-pixel, and the delivered elements equal the channel-first
+        // lowered matrix entries for the tile's columns.
+        let (shape, spec) = fig10();
+        let x = Tensor::<i64>::random(ifmap_dims(&shape), Layout::Nchw, 9);
+        let lowered = iconv_tensor::im2col::lower(&shape, &x, ColumnOrder::ChannelFirst);
+        let sched = TileSchedule::single_tile(&shape);
+        for (tix, group) in sched.groups().iter().enumerate() {
+            let gen = AddrGen::new(&shape, spec, group);
+            let mut seen_rows = vec![0usize; shape.lowered_rows()];
+            for step in 0..gen.steps() {
+                for lane in 0..spec.word_elems {
+                    let Some(row) = gen.lowered_row(step, lane) else { continue };
+                    seen_rows[row] += 1;
+                    for array in 0..spec.arrays {
+                        let col = tix * shape.ci + array; // channel-first col
+                        let want = lowered[(row, col)];
+                        let got = gen.element(step, array, lane).map_or(0, |c| x.get(c));
+                        assert_eq!(got, want, "tile {tix} row {row} array {array}");
+                    }
+                }
+            }
+            assert!(seen_rows.iter().all(|&n| n == 1), "each row streamed once");
+        }
+    }
+
+    #[test]
+    fn skewed_issue_cycles() {
+        let (shape, spec) = fig10();
+        let sched = TileSchedule::single_tile(&shape);
+        let gen = AddrGen::new(&shape, spec, &sched.groups()[0]);
+        // Array a issues step k at cycle 2k + a: adjacent arrays one apart.
+        assert_eq!(gen.issue_cycle(0, 0), 0);
+        assert_eq!(gen.issue_cycle(0, 3), 3);
+        assert_eq!(gen.issue_cycle(5, 1), 11);
+        // Port never re-used within a word time: consecutive steps of one
+        // array are word_elems cycles apart.
+        assert_eq!(
+            gen.issue_cycle(1, 2) - gen.issue_cycle(0, 2),
+            spec.word_elems as u64
+        );
+    }
+
+    #[test]
+    fn multi_tile_assignment_replicates_channels() {
+        // Fig. 11: Ci=2, array 4, group of 2 tiles -> arrays (0,1) = member 0
+        // channels (0,1); arrays (2,3) = member 1 channels (0,1).
+        let shape = ConvShape::square(2, 2, 5, 4, 3, 1, 0).unwrap();
+        let spec = VectorMemSpec { arrays: 4, word_elems: 2 };
+        let sched = TileSchedule::multi_tile(&shape, 2);
+        let gen = AddrGen::new(&shape, spec, &sched.groups()[0]);
+        assert_eq!(gen.assignment(0), Some((0, 0)));
+        assert_eq!(gen.assignment(1), Some((0, 1)));
+        assert_eq!(gen.assignment(2), Some((1, 0)));
+        assert_eq!(gen.assignment(3), Some((1, 1)));
+        // Members read *different* pixels at the same step.
+        let (a0, a2) = (gen.op(0, 0), gen.op(0, 2));
+        match (a0, a2) {
+            (ArrayOp::Read(w0), ArrayOp::Read(w2)) => {
+                assert_eq!((w0.h, w0.w), (0, 0));
+                assert_eq!((w2.h, w2.w), (0, 1)); // tile ⟨1,2⟩ shifted by 1
+            }
+            other => panic!("expected reads, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn padding_taps_zero_inject_without_reads() {
+        let shape = ConvShape::square(2, 4, 5, 4, 3, 1, 1).unwrap();
+        let spec = VectorMemSpec { arrays: 4, word_elems: 2 };
+        let sched = TileSchedule::single_tile(&shape);
+        // Tile (0,0), output (0,0) -> pixel (-1,-1): padding.
+        let gen = AddrGen::new(&shape, spec, &sched.groups()[0]);
+        assert_eq!(gen.op(0, 0), ArrayOp::ZeroInject);
+        assert_eq!(gen.element(0, 0, 0), None);
+        // total_reads excludes those steps.
+        let full_steps = gen.steps() as u64 * shape.ci as u64;
+        assert!(gen.total_reads() < full_steps);
+    }
+
+    #[test]
+    fn unassigned_arrays_idle() {
+        let shape = ConvShape::square(2, 2, 5, 4, 3, 1, 0).unwrap();
+        let spec = VectorMemSpec { arrays: 8, word_elems: 2 };
+        let sched = TileSchedule::single_tile(&shape);
+        let gen = AddrGen::new(&shape, spec, &sched.groups()[0]);
+        assert_eq!(gen.op(0, 7), ArrayOp::Unassigned);
+        assert_eq!(gen.resident_words(7), 0);
+    }
+
+    #[test]
+    fn group_too_large_for_array_panics() {
+        let shape = ConvShape::square(1, 4, 5, 4, 3, 1, 0).unwrap();
+        let spec = VectorMemSpec { arrays: 4, word_elems: 2 };
+        let sched = TileSchedule::multi_tile(&shape, 2); // needs 8 rows
+        let result = std::panic::catch_unwind(|| {
+            AddrGen::new(&shape, spec, &sched.groups()[0]);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn workspace_grows_linearly_with_group_size() {
+        // Fig. 14a: vector-memory workspace ∝ multi-tile parameter.
+        let shape = ConvShape::square(8, 8, 16, 16, 3, 1, 1).unwrap();
+        let spec = VectorMemSpec { arrays: 128, word_elems: 8 };
+        let w1: usize = {
+            let sched = TileSchedule::multi_tile(&shape, 1);
+            AddrGen::new(&shape, spec, &sched.groups()[0]).total_resident_words()
+        };
+        let w3: usize = {
+            let sched = TileSchedule::multi_tile(&shape, 3);
+            AddrGen::new(&shape, spec, &sched.groups()[0]).total_resident_words()
+        };
+        let ratio = w3 as f64 / w1 as f64;
+        assert!(ratio > 2.8 && ratio < 3.2, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn batch_words_rounds_up() {
+        let shape = ConvShape::square(3, 4, 5, 4, 3, 1, 0).unwrap();
+        let spec = VectorMemSpec { arrays: 4, word_elems: 2 };
+        let sched = TileSchedule::single_tile(&shape);
+        let gen = AddrGen::new(&shape, spec, &sched.groups()[0]);
+        assert_eq!(gen.batch_words(), 2);
+        // Lane 1 of the last batch word is beyond N=3.
+        assert_eq!(gen.element(1, 0, 1), None);
+        assert!(gen.lowered_row(1, 1).is_none());
+    }
+}

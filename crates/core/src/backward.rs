@@ -1,0 +1,299 @@
+//! Training-pass lowering: the convolution **gradients** through the same
+//! channel-first decomposition.
+//!
+//! The paper targets TPU-v2/v3 — *training* chips ("batching ... is common
+//! in training — a key focus of TPU-v2/v3", Sec. IV-C) — so a faithful
+//! system must lower the backward pass too. Both gradients inherit the
+//! per-tap 1×1 structure of the forward decomposition:
+//!
+//! * **weight gradient** — `dW⟨fh,fw⟩ = A⟨fh,fw⟩ᵀ · dY`: per tap, the
+//!   `M × Ci` lowered slice (the very same [`FilterTile::a_tile`] the
+//!   forward pass streams) transposed against the `M × Co` output
+//!   gradient. No im2col materialization, no new data layout.
+//! * **input gradient** — `dX ⟨at tap positions⟩ += dY · B⟨fh,fw⟩ᵀ`: per
+//!   tap, a `M × Co` by `Co × Ci` GEMM scattered through the same
+//!   output→input pixel map the forward pass gathers through.
+//!
+//! Correctness is pinned two ways: against direct loop references derived
+//! from the chain rule, and by the adjoint identity
+//! `⟨dY, conv(X)⟩ = ⟨wgrad(X, dY), W⟩ = ⟨dgrad(W, dY), X⟩` (convolution is
+//! bilinear), which property tests verify exactly on integers.
+
+use crate::decompose::FilterTile;
+use iconv_tensor::conv_ref::{filter_dims, ifmap_dims, input_pixel, ofmap_dims};
+use iconv_tensor::{ConvShape, Coord, Layout, Matrix, Scalar, Tensor};
+
+/// Weight gradient via the channel-first decomposition: for each tap,
+/// `dW_tap = A_tapᵀ · dY` — the implicit-im2col training kernel.
+/// # Examples
+///
+/// ```
+/// # use iconv_core::backward::{wgrad, dgrad, inner};
+/// # use iconv_tensor::{conv_ref, ConvShape, Layout, Tensor};
+/// # fn main() -> Result<(), iconv_tensor::ShapeError> {
+/// let shape = ConvShape::square(1, 4, 6, 8, 3, 1, 1)?;
+/// let x = Tensor::<i64>::random(conv_ref::ifmap_dims(&shape), Layout::Nchw, 1);
+/// let w = Tensor::<i64>::random(conv_ref::filter_dims(&shape), Layout::Nchw, 2);
+/// let dy = Tensor::<i64>::random(conv_ref::ofmap_dims(&shape), Layout::Nchw, 3);
+/// // The adjoint identity holds bit-exactly: <dY, conv(X)> = <dW, W> = <dX, X>.
+/// let y = conv_ref::direct_conv(&shape, &x, &w);
+/// assert_eq!(inner(&dy, &y), inner(&wgrad(&shape, &x, &dy), &w));
+/// assert_eq!(inner(&dy, &y), inner(&dgrad(&shape, &w, &dy), &x));
+/// # Ok(()) }
+/// ```
+///
+
+///
+/// `dout` must have [`ofmap_dims`]`(shape)`; the result has
+/// [`filter_dims`]`(shape)`.
+///
+/// # Panics
+///
+/// Panics if tensor dims do not match `shape`.
+pub fn wgrad<T: Scalar>(shape: &ConvShape, ifmap: &Tensor<T>, dout: &Tensor<T>) -> Tensor<T> {
+    assert_eq!(ifmap.dims(), ifmap_dims(shape), "ifmap dims mismatch");
+    assert_eq!(dout.dims(), ofmap_dims(shape), "dout dims mismatch");
+    let dy = dout_matrix(shape, dout);
+    let mut dw = Tensor::zeros(filter_dims(shape), Layout::Nchw);
+    for tile in FilterTile::all(shape) {
+        let a = tile.a_tile(shape, ifmap); // M × Ci
+        let grad = a.transpose().matmul(&dy); // Ci × Co
+        for ci in 0..shape.ci {
+            for co in 0..shape.co {
+                dw.set(Coord::new(co, ci, tile.fh, tile.fw), grad[(ci, co)]);
+            }
+        }
+    }
+    dw
+}
+
+/// Input gradient via the channel-first decomposition: for each tap,
+/// scatter `dY · B_tapᵀ` through the tap's output→input pixel map.
+///
+/// # Panics
+///
+/// Panics if tensor dims do not match `shape`.
+pub fn dgrad<T: Scalar>(shape: &ConvShape, filter: &Tensor<T>, dout: &Tensor<T>) -> Tensor<T> {
+    assert_eq!(filter.dims(), filter_dims(shape), "filter dims mismatch");
+    assert_eq!(dout.dims(), ofmap_dims(shape), "dout dims mismatch");
+    let dy = dout_matrix(shape, dout);
+    let mut dx = Tensor::zeros(ifmap_dims(shape), Layout::Nchw);
+    let (ho, wo) = (shape.out_h(), shape.out_w());
+    for tile in FilterTile::all(shape) {
+        let b_t = tile.b_tile(shape, filter).transpose(); // Co × Ci
+        let partial = dy.matmul(&b_t); // M × Ci
+        for row in 0..partial.rows() {
+            let n = row / (ho * wo);
+            let oh = (row / wo) % ho;
+            let ow = row % wo;
+            let Some((h, w)) = tile.input_pixel(shape, oh, ow) else {
+                continue; // gradient into the zero padding is discarded
+            };
+            for ci in 0..shape.ci {
+                dx.accumulate(Coord::new(n, ci, h, w), partial[(row, ci)]);
+            }
+        }
+    }
+    dx
+}
+
+/// Direct-loop weight-gradient reference (chain rule, no lowering).
+pub fn wgrad_ref<T: Scalar>(shape: &ConvShape, ifmap: &Tensor<T>, dout: &Tensor<T>) -> Tensor<T> {
+    assert_eq!(ifmap.dims(), ifmap_dims(shape), "ifmap dims mismatch");
+    assert_eq!(dout.dims(), ofmap_dims(shape), "dout dims mismatch");
+    let mut dw = Tensor::zeros(filter_dims(shape), Layout::Nchw);
+    for co in 0..shape.co {
+        for ci in 0..shape.ci {
+            for fh in 0..shape.hf {
+                for fw in 0..shape.wf {
+                    let mut acc = T::zero();
+                    for n in 0..shape.n {
+                        for oh in 0..shape.out_h() {
+                            for ow in 0..shape.out_w() {
+                                if let Some((h, w)) = input_pixel(shape, oh, ow, fh, fw) {
+                                    acc += dout.get(Coord::new(n, co, oh, ow))
+                                        * ifmap.get(Coord::new(n, ci, h, w));
+                                }
+                            }
+                        }
+                    }
+                    dw.set(Coord::new(co, ci, fh, fw), acc);
+                }
+            }
+        }
+    }
+    dw
+}
+
+/// Direct-loop input-gradient reference (chain rule, no lowering).
+pub fn dgrad_ref<T: Scalar>(shape: &ConvShape, filter: &Tensor<T>, dout: &Tensor<T>) -> Tensor<T> {
+    assert_eq!(filter.dims(), filter_dims(shape), "filter dims mismatch");
+    assert_eq!(dout.dims(), ofmap_dims(shape), "dout dims mismatch");
+    let mut dx = Tensor::zeros(ifmap_dims(shape), Layout::Nchw);
+    for n in 0..shape.n {
+        for co in 0..shape.co {
+            for oh in 0..shape.out_h() {
+                for ow in 0..shape.out_w() {
+                    let g = dout.get(Coord::new(n, co, oh, ow));
+                    for ci in 0..shape.ci {
+                        for fh in 0..shape.hf {
+                            for fw in 0..shape.wf {
+                                if let Some((h, w)) = input_pixel(shape, oh, ow, fh, fw) {
+                                    let wv = filter.get(Coord::new(co, ci, fh, fw));
+                                    dx.accumulate(Coord::new(n, ci, h, w), g * wv);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Transposed convolution (a.k.a. deconvolution / fractionally-strided
+/// convolution), as used by decoders and GANs: maps a small `(N, Co, Ho,
+/// Wo)` input up to the `(N, Ci, Hi, Wi)` geometry that `shape` would have
+/// convolved *down* from. Mathematically identical to [`dgrad`] — the
+/// transpose of the forward lowering — so it inherits the per-tap schedule
+/// unchanged.
+///
+/// # Panics
+///
+/// Panics if tensor dims do not match `shape`.
+pub fn conv_transpose<T: Scalar>(
+    shape: &ConvShape,
+    filter: &Tensor<T>,
+    input: &Tensor<T>,
+) -> Tensor<T> {
+    dgrad(shape, filter, input)
+}
+
+/// Flatten the output-gradient tensor to the `M × Co` matrix the per-tap
+/// GEMMs consume.
+fn dout_matrix<T: Scalar>(shape: &ConvShape, dout: &Tensor<T>) -> Matrix<T> {
+    let (ho, wo) = (shape.out_h(), shape.out_w());
+    Matrix::from_fn(shape.lowered_rows(), shape.co, |row, co| {
+        let n = row / (ho * wo);
+        let oh = (row / wo) % ho;
+        let ow = row % wo;
+        dout.get(Coord::new(n, co, oh, ow))
+    })
+}
+
+/// Inner product of two same-dims tensors (adjoint-identity test helper).
+pub fn inner<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> T {
+    assert_eq!(a.dims(), b.dims(), "dims mismatch");
+    let mut acc = T::zero();
+    for c in a.dims().iter() {
+        acc += a.get(c) * b.get(c);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iconv_tensor::conv_ref::direct_conv;
+
+    fn cases() -> Vec<ConvShape> {
+        vec![
+            ConvShape::square(1, 3, 5, 2, 3, 1, 0).unwrap(),
+            ConvShape::square(2, 2, 6, 3, 3, 2, 1).unwrap(),
+            ConvShape::square(1, 4, 4, 2, 1, 1, 0).unwrap(),
+            ConvShape::new(1, 2, 9, 7, 2, 3, 2).dilation(2).pad(1).build().unwrap(),
+        ]
+    }
+
+    #[test]
+    fn wgrad_matches_reference() {
+        for (i, s) in cases().into_iter().enumerate() {
+            let x = Tensor::<i64>::random(ifmap_dims(&s), Layout::Nchw, i as u64);
+            let dy = Tensor::<i64>::random(ofmap_dims(&s), Layout::Nchw, 40 + i as u64);
+            assert!(
+                wgrad(&s, &x, &dy).approx_eq(&wgrad_ref(&s, &x, &dy), 0.0),
+                "case {i} ({s})"
+            );
+        }
+    }
+
+    #[test]
+    fn dgrad_matches_reference() {
+        for (i, s) in cases().into_iter().enumerate() {
+            let f = Tensor::<i64>::random(filter_dims(&s), Layout::Nchw, 60 + i as u64);
+            let dy = Tensor::<i64>::random(ofmap_dims(&s), Layout::Nchw, 80 + i as u64);
+            assert!(
+                dgrad(&s, &f, &dy).approx_eq(&dgrad_ref(&s, &f, &dy), 0.0),
+                "case {i} ({s})"
+            );
+        }
+    }
+
+    #[test]
+    fn adjoint_identities_hold_exactly() {
+        // <dY, conv(X; W)> = <wgrad(X, dY), W> = <dgrad(W, dY), X>.
+        for (i, s) in cases().into_iter().enumerate() {
+            let x = Tensor::<i64>::random(ifmap_dims(&s), Layout::Nchw, 7 + i as u64);
+            let f = Tensor::<i64>::random(filter_dims(&s), Layout::Nchw, 17 + i as u64);
+            let dy = Tensor::<i64>::random(ofmap_dims(&s), Layout::Nchw, 27 + i as u64);
+            let y = direct_conv(&s, &x, &f);
+            let lhs = inner(&dy, &y);
+            assert_eq!(lhs, inner(&wgrad(&s, &x, &dy), &f), "wgrad adjoint, case {i}");
+            assert_eq!(lhs, inner(&dgrad(&s, &f, &dy), &x), "dgrad adjoint, case {i}");
+        }
+    }
+
+    #[test]
+    fn padding_gradient_is_discarded_not_leaked() {
+        // With padding, some dY contributions map to padding pixels; dgrad
+        // must drop them, and the adjoint identity (which it passes) plus
+        // this bound check confirm nothing lands out of bounds.
+        let s = ConvShape::square(1, 1, 3, 1, 3, 1, 1).unwrap();
+        let f = Tensor::<i64>::from_fn(filter_dims(&s), Layout::Nchw, |_| 1);
+        let dy = Tensor::<i64>::from_fn(ofmap_dims(&s), Layout::Nchw, |_| 1);
+        let dx = dgrad(&s, &f, &dy);
+        // Centre pixel is covered by all 9 windows; corners by 4.
+        assert_eq!(dx.get(Coord::new(0, 0, 1, 1)), 9);
+        assert_eq!(dx.get(Coord::new(0, 0, 0, 0)), 4);
+    }
+
+    #[test]
+    fn conv_transpose_upsamples_stride_2() {
+        // Stride-2 transpose conv with a one-hot 1x1-ish filter scatters
+        // each input pixel to every other output position.
+        let s = ConvShape::square(1, 1, 4, 1, 2, 2, 0).unwrap(); // Ho=Wo=2
+        let f = Tensor::<i64>::from_fn(filter_dims(&s), Layout::Nchw, |c| {
+            i64::from(c.h == 0 && c.w == 0)
+        });
+        let up = Tensor::<i64>::from_fn(ofmap_dims(&s), Layout::Nchw, |c| {
+            (c.h * 2 + c.w + 1) as i64
+        });
+        let out = conv_transpose(&s, &f, &up);
+        assert_eq!(out.dims(), ifmap_dims(&s));
+        // Input (oh, ow) lands at output (2oh, 2ow).
+        assert_eq!(out.get(Coord::new(0, 0, 0, 0)), 1);
+        assert_eq!(out.get(Coord::new(0, 0, 0, 2)), 2);
+        assert_eq!(out.get(Coord::new(0, 0, 2, 2)), 4);
+        // Odd positions stay zero.
+        assert_eq!(out.get(Coord::new(0, 0, 1, 1)), 0);
+    }
+
+    #[test]
+    fn pointwise_wgrad_is_plain_gemm() {
+        let s = ConvShape::square(2, 3, 4, 5, 1, 1, 0).unwrap();
+        let x = Tensor::<i64>::random(ifmap_dims(&s), Layout::Nchw, 5);
+        let dy = Tensor::<i64>::random(ofmap_dims(&s), Layout::Nchw, 6);
+        let dw = wgrad(&s, &x, &dy);
+        // Hand-compute one entry: dW[co=2][ci=1] = sum over pixels.
+        let mut acc = 0i64;
+        for n in 0..2 {
+            for h in 0..4 {
+                for w in 0..4 {
+                    acc += x.get(Coord::new(n, 1, h, w)) * dy.get(Coord::new(n, 2, h, w));
+                }
+            }
+        }
+        assert_eq!(dw.get(Coord::new(2, 1, 0, 0)), acc);
+    }
+}

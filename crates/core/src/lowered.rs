@@ -1,0 +1,240 @@
+//! The *conceptual* lowered IFMap matrix.
+//!
+//! In implicit im2col the lowered matrix never physically exists — it is
+//! "dynamically generated and consumed" (paper Sec. III-A). This module gives
+//! that virtual matrix a concrete algebra: a [`LoweredView`] answers, for any
+//! `(row, col)`, which IFMap element lives there (or that it is a padding
+//! zero), without materializing anything.
+//!
+//! The correctness of channel-first im2col is the statement that the
+//! channel-first view is a column permutation of the channel-last view, and
+//! GEMM is invariant under paired column/row permutations — proved
+//! constructively by [`LoweredView::permutation_to`] and tested against
+//! `iconv_tensor::Matrix::permute_cols`.
+
+use iconv_tensor::im2col::{entry_coord, output_to_row, row_to_output};
+use iconv_tensor::{ColumnOrder, ConvShape, Coord, Matrix, Scalar, Tap, Tensor};
+use std::ops::Range;
+
+/// A zero-cost view of the conceptual lowered IFMap matrix for one
+/// convolution and one column order.
+///
+/// # Examples
+///
+/// ```
+/// # use iconv_core::LoweredView;
+/// # use iconv_tensor::{ColumnOrder, ConvShape};
+/// # fn main() -> Result<(), iconv_tensor::ShapeError> {
+/// let shape = ConvShape::square(1, 8, 5, 4, 3, 1, 0)?;
+/// let view = LoweredView::new(shape, ColumnOrder::ChannelFirst);
+/// assert_eq!(view.rows(), 9);
+/// assert_eq!(view.cols(), 72);
+/// // Column 1 of row 0 is channel 1 of input pixel (0,0):
+/// let coord = view.entry(0, 1).unwrap();
+/// assert_eq!((coord.c, coord.h, coord.w), (1, 0, 0));
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoweredView {
+    shape: ConvShape,
+    order: ColumnOrder,
+}
+
+impl LoweredView {
+    /// Create a view for `shape` with column order `order`.
+    pub fn new(shape: ConvShape, order: ColumnOrder) -> Self {
+        Self { shape, order }
+    }
+
+    /// The convolution this view lowers.
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// The column order of this view.
+    pub fn order(&self) -> ColumnOrder {
+        self.order
+    }
+
+    /// Row count `N·Ho·Wo`.
+    pub fn rows(&self) -> usize {
+        self.shape.lowered_rows()
+    }
+
+    /// Column count `Hf·Wf·Ci`.
+    pub fn cols(&self) -> usize {
+        self.shape.lowered_cols()
+    }
+
+    /// The IFMap coordinate at `(row, col)`, or `None` for a padding zero.
+    pub fn entry(&self, row: usize, col: usize) -> Option<Coord> {
+        entry_coord(&self.shape, self.order, row, col)
+    }
+
+    /// The filter tap addressed by column `col`.
+    pub fn tap(&self, col: usize) -> Tap {
+        self.order.tap(&self.shape, col)
+    }
+
+    /// The column holding filter tap `tap`.
+    pub fn col_of(&self, tap: Tap) -> usize {
+        self.order.col(&self.shape, tap)
+    }
+
+    /// The output pixel `(n, oh, ow)` addressed by row `row`.
+    pub fn output_of(&self, row: usize) -> (usize, usize, usize) {
+        row_to_output(&self.shape, row)
+    }
+
+    /// The row addressing output pixel `(n, oh, ow)`.
+    pub fn row_of(&self, n: usize, oh: usize, ow: usize) -> usize {
+        output_to_row(&self.shape, n, oh, ow)
+    }
+
+    /// In the channel-first order the columns of filter-tap `(fh, fw)` are
+    /// contiguous: this returns that `Ci`-wide range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is channel-last (where tap columns are scattered)
+    /// or the tap is out of range.
+    pub fn tap_col_range(&self, fh: usize, fw: usize) -> Range<usize> {
+        assert_eq!(
+            self.order,
+            ColumnOrder::ChannelFirst,
+            "tap columns are only contiguous in the channel-first order"
+        );
+        assert!(fh < self.shape.hf && fw < self.shape.wf, "tap out of range");
+        let start = self
+            .order
+            .col(&self.shape, Tap { fh, fw, ci: 0 });
+        start..start + self.shape.ci
+    }
+
+    /// Materialize the view (for tests and the explicit baseline): identical
+    /// to `iconv_tensor::im2col::lower`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ifmap` dims do not match the shape.
+    pub fn materialize<T: Scalar>(&self, ifmap: &Tensor<T>) -> Matrix<T> {
+        iconv_tensor::im2col::lower(&self.shape, ifmap, self.order)
+    }
+
+    /// Column permutation carrying this view onto `other`'s column order:
+    /// `other.materialize(x).permute_cols(&perm) == self.materialize(x)`.
+    pub fn permutation_to(&self, other: &LoweredView) -> Vec<usize> {
+        debug_assert_eq!(self.shape, other.shape, "views must share a shape");
+        self.order.permutation_to(other.order, &self.shape)
+    }
+
+    /// Count of non-padding entries in the whole matrix; used by traffic
+    /// accounting (padding entries are generated, never loaded).
+    pub fn nonzero_entries(&self) -> usize {
+        let mut count = 0;
+        for row in 0..self.rows() {
+            let (_, oh, ow) = self.output_of(row);
+            for fh in 0..self.shape.hf {
+                for fw in 0..self.shape.wf {
+                    if iconv_tensor::conv_ref::input_pixel(&self.shape, oh, ow, fh, fw).is_some() {
+                        count += self.shape.ci;
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iconv_tensor::conv_ref::ifmap_dims;
+    use iconv_tensor::Layout;
+
+    fn fig5_shape() -> ConvShape {
+        ConvShape::square(1, 8, 5, 4, 3, 1, 0).unwrap()
+    }
+
+    #[test]
+    fn entries_match_materialized_matrix() {
+        let shape = ConvShape::square(2, 3, 6, 2, 3, 2, 1).unwrap();
+        let x = Tensor::<i64>::random(ifmap_dims(&shape), Layout::Nchw, 77);
+        for order in ColumnOrder::ALL {
+            let view = LoweredView::new(shape, order);
+            let mat = view.materialize(&x);
+            for r in 0..view.rows() {
+                for c in 0..view.cols() {
+                    let want = view.entry(r, c).map_or(0, |coord| x.get(coord));
+                    assert_eq!(mat[(r, c)], want, "({r},{c}) {order}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_carries_channel_last_onto_channel_first() {
+        let shape = fig5_shape();
+        let x = Tensor::<i32>::random(ifmap_dims(&shape), Layout::Nchw, 3);
+        let first = LoweredView::new(shape, ColumnOrder::ChannelFirst);
+        let last = LoweredView::new(shape, ColumnOrder::ChannelLast);
+        let perm = first.permutation_to(&last);
+        assert_eq!(
+            last.materialize(&x).permute_cols(&perm),
+            first.materialize(&x)
+        );
+    }
+
+    #[test]
+    fn tap_col_range_is_contiguous_and_correct() {
+        let shape = fig5_shape();
+        let view = LoweredView::new(shape, ColumnOrder::ChannelFirst);
+        let range = view.tap_col_range(1, 2);
+        assert_eq!(range.len(), 8);
+        for (i, col) in range.enumerate() {
+            let tap = view.tap(col);
+            assert_eq!((tap.fh, tap.fw, tap.ci), (1, 2, i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only contiguous in the channel-first order")]
+    fn tap_col_range_rejects_channel_last() {
+        let view = LoweredView::new(fig5_shape(), ColumnOrder::ChannelLast);
+        let _ = view.tap_col_range(0, 0);
+    }
+
+    #[test]
+    fn nonzero_entries_no_padding_is_full() {
+        let shape = fig5_shape();
+        let view = LoweredView::new(shape, ColumnOrder::ChannelFirst);
+        assert_eq!(view.nonzero_entries(), view.rows() * view.cols());
+    }
+
+    #[test]
+    fn nonzero_entries_with_padding_is_smaller() {
+        let shape = ConvShape::square(1, 4, 5, 2, 3, 1, 1).unwrap();
+        let view = LoweredView::new(shape, ColumnOrder::ChannelFirst);
+        let nz = view.nonzero_entries();
+        assert!(nz < view.rows() * view.cols());
+        // Cross-check against the materialized matrix of an all-ones input.
+        let x = Tensor::<i32>::from_fn(ifmap_dims(&shape), Layout::Nchw, |_| 1);
+        let ones: usize = view
+            .materialize(&x)
+            .as_slice()
+            .iter()
+            .filter(|&&v| v == 1)
+            .count();
+        assert_eq!(nz, ones);
+    }
+
+    #[test]
+    fn row_output_roundtrip() {
+        let shape = ConvShape::square(3, 2, 7, 2, 3, 2, 0).unwrap();
+        let view = LoweredView::new(shape, ColumnOrder::ChannelFirst);
+        for row in 0..view.rows() {
+            let (n, oh, ow) = view.output_of(row);
+            assert_eq!(view.row_of(n, oh, ow), row);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Tile schedules: execution order of the decomposed 1×1 convolutions and
+//! the **multi-tile** optimization (paper Sec. IV-B, Figs. 11 & 14).
+//!
+//! On a `R × R` systolic array, a single tile occupies only `Ci` PE rows.
+//! When `Ci < R` (e.g. the 3-channel first layer), the multi-tile
+//! optimization merges `g` tiles into one larger GEMM, occupying `g · Ci`
+//! rows at the cost of duplicating the IFMap `g×` in the vector memories.
+//! The strategy the paper reverse-engineers from TPU-v2 measurements is
+//! `g = MIN(R / Ci, Wf)` ([`tpu_group_size`]) — bounded by the filter width
+//! so grouped taps share a filter row, and just enough to fill the array.
+
+use crate::decompose::FilterTile;
+use iconv_tensor::{ConvShape, Matrix, Scalar, Tensor};
+use std::fmt;
+
+/// The multi-tile group size used by the TPU: `min(array_rows / ci, wf)`,
+/// at least 1.
+///
+/// The division rounds *up*: for channel counts that do not divide the
+/// array (e.g. `Ci = 96`), merging a second (partially resident) tile lets
+/// the K dimension pack the PE rows densely — every point of the paper's
+/// Fig. 14b sweep uses exact divisors, where ceiling and floor agree.
+///
+/// # Examples
+///
+/// ```
+/// # use iconv_core::schedule::tpu_group_size;
+/// // Paper Fig. 14: Ci=8, Wf=3 on a 128-row array -> bounded by Wf: 3 tiles.
+/// assert_eq!(tpu_group_size(128, 8, 3), 3);
+/// // Ci=64: 128/64 = 2 tiles.
+/// assert_eq!(tpu_group_size(128, 64, 3), 2);
+/// // Ci >= rows: no merging possible.
+/// assert_eq!(tpu_group_size(128, 256, 3), 1);
+/// // Non-dividing channel count: round up to keep the rows packed.
+/// assert_eq!(tpu_group_size(128, 96, 5), 2);
+/// ```
+pub fn tpu_group_size(array_rows: usize, ci: usize, wf: usize) -> usize {
+    array_rows.div_ceil(ci.max(1)).min(wf).max(1)
+}
+
+/// A group of filter tiles executed as one merged GEMM.
+///
+/// The merged operands are the horizontal/vertical concatenations of the
+/// member tiles' `a_tile`/`b_tile`; correctness is "guaranteed by the
+/// associativity of GEMM" (paper Sec. IV-B) and tested in [`crate::algo`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileGroup {
+    tiles: Vec<FilterTile>,
+}
+
+impl TileGroup {
+    /// Create a group from tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is empty.
+    pub fn new(tiles: Vec<FilterTile>) -> Self {
+        assert!(!tiles.is_empty(), "a tile group must contain at least one tile");
+        Self { tiles }
+    }
+
+    /// The member tiles.
+    pub fn tiles(&self) -> &[FilterTile] {
+        &self.tiles
+    }
+
+    /// Number of member tiles = IFMap duplication factor in the vector
+    /// memories (paper Fig. 11: computing ⟨1,1⟩ and ⟨1,2⟩ together stores
+    /// each channel twice).
+    pub fn duplication(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Systolic-array rows occupied by the merged GEMM: `len · Ci`.
+    pub fn occupied_rows(&self, shape: &ConvShape) -> usize {
+        self.tiles.len() * shape.ci
+    }
+
+    /// Merged `M × (g·Ci)` lowered slice: member `a_tile`s side by side.
+    pub fn a_merged<T: Scalar>(&self, shape: &ConvShape, ifmap: &Tensor<T>) -> Matrix<T> {
+        let parts: Vec<Matrix<T>> = self.tiles.iter().map(|t| t.a_tile(shape, ifmap)).collect();
+        Matrix::from_fn(shape.lowered_rows(), self.tiles.len() * shape.ci, |r, c| {
+            parts[c / shape.ci][(r, c % shape.ci)]
+        })
+    }
+
+    /// Merged `(g·Ci) × Co` filter slice: member `b_tile`s stacked.
+    pub fn b_merged<T: Scalar>(&self, shape: &ConvShape, filter: &Tensor<T>) -> Matrix<T> {
+        let parts: Vec<Matrix<T>> = self.tiles.iter().map(|t| t.b_tile(shape, filter)).collect();
+        Matrix::from_fn(self.tiles.len() * shape.ci, shape.co, |k, co| {
+            parts[k / shape.ci][(k % shape.ci, co)]
+        })
+    }
+}
+
+impl fmt::Display for TileGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group[")?;
+        for (i, t) in self.tiles.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A complete schedule: every filter tile assigned to exactly one group,
+/// groups executed in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileSchedule {
+    groups: Vec<TileGroup>,
+}
+
+impl TileSchedule {
+    /// One tile per group, raster order — the unmerged baseline.
+    pub fn single_tile(shape: &ConvShape) -> Self {
+        Self {
+            groups: FilterTile::all(shape)
+                .into_iter()
+                .map(|t| TileGroup::new(vec![t]))
+                .collect(),
+        }
+    }
+
+    /// Group up to `group_size` tiles *within each filter row* (taps with the
+    /// same `fh`), raster order — the multi-tile schedule. `group_size` is
+    /// clamped to `[1, Wf]`.
+    pub fn multi_tile(shape: &ConvShape, group_size: usize) -> Self {
+        let g = group_size.clamp(1, shape.wf);
+        let mut groups = Vec::new();
+        for fh in 0..shape.hf {
+            let mut fw = 0;
+            while fw < shape.wf {
+                let end = (fw + g).min(shape.wf);
+                groups.push(TileGroup::new(
+                    (fw..end).map(|w| FilterTile::new(fh, w)).collect(),
+                ));
+                fw = end;
+            }
+        }
+        Self { groups }
+    }
+
+    /// The TPU strategy: [`multi_tile`](Self::multi_tile) with
+    /// [`tpu_group_size`]`(array_rows, ci, wf)`.
+    /// # Examples
+    ///
+    /// ```
+    /// # use iconv_core::TileSchedule;
+    /// # use iconv_tensor::ConvShape;
+    /// # fn main() -> Result<(), iconv_tensor::ShapeError> {
+    /// // An 8-channel 3x3 layer on a 128-row array: merge 3 taps per pass.
+    /// let shape = ConvShape::square(8, 8, 56, 64, 3, 1, 1)?;
+    /// let sched = TileSchedule::tpu(&shape, 128);
+    /// assert_eq!(sched.max_duplication(), 3);
+    /// assert_eq!(sched.max_occupied_rows(&shape), 24);
+    /// # Ok(()) }
+    /// ```
+
+    pub fn tpu(shape: &ConvShape, array_rows: usize) -> Self {
+        Self::multi_tile(shape, tpu_group_size(array_rows, shape.ci, shape.wf))
+    }
+
+    /// The groups, in execution order.
+    pub fn groups(&self) -> &[TileGroup] {
+        &self.groups
+    }
+
+    /// Iterate over all tiles in execution order.
+    pub fn tiles(&self) -> impl Iterator<Item = FilterTile> + '_ {
+        self.groups.iter().flat_map(|g| g.tiles().iter().copied())
+    }
+
+    /// Largest group size = peak IFMap duplication in the vector memories.
+    pub fn max_duplication(&self) -> usize {
+        self.groups.iter().map(TileGroup::duplication).max().unwrap_or(1)
+    }
+
+    /// Peak systolic rows occupied by any group.
+    pub fn max_occupied_rows(&self, shape: &ConvShape) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.occupied_rows(shape))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean PE-row occupancy across groups (each group weighted by its GEMM
+    /// work), as a fraction of `array_rows`; the array-utilization metric of
+    /// Figs. 14a/16a. Capped at 1.
+    pub fn row_utilization(&self, shape: &ConvShape, array_rows: usize) -> f64 {
+        if self.groups.is_empty() {
+            return 0.0;
+        }
+        // Every group streams the same M rows, so weights are proportional
+        // to occupied rows; utilization = sum(occ·occ)/sum(occ)/R would
+        // overweight big groups. The natural metric: total MACs done /
+        // (cycles · R) where cycles ∝ sum over groups of M. Both numerator
+        // and denominator share M, giving mean occupied/R.
+        let total: usize = self.groups.iter().map(|g| g.occupied_rows(shape)).sum();
+        (total as f64 / self.groups.len() as f64 / array_rows as f64).min(1.0)
+    }
+}
+
+impl fmt::Display for TileSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule({} groups)", self.groups.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn shape(ci: usize, f: usize) -> ConvShape {
+        ConvShape::square(1, ci, 12, 16, f, 1, f / 2).unwrap()
+    }
+
+    #[test]
+    fn tpu_group_size_matches_paper_table() {
+        // Fig. 14b sweep: Ci in {4, 8, 16, 32, 64, 128}, Wf = 3.
+        for (ci, want) in [(4, 3), (8, 3), (16, 3), (32, 3), (64, 2), (128, 1)] {
+            assert_eq!(tpu_group_size(128, ci, 3), want, "ci={ci}");
+        }
+        // 7x7 first layer with Ci=3: 128/3 = 42 > 7 -> bounded by Wf = 7.
+        assert_eq!(tpu_group_size(128, 3, 7), 7);
+    }
+
+    #[test]
+    fn single_tile_schedule_covers_all_tiles_once() {
+        let s = shape(8, 3);
+        let sched = TileSchedule::single_tile(&s);
+        assert_eq!(sched.groups().len(), 9);
+        assert_eq!(sched.max_duplication(), 1);
+        let tiles: Vec<_> = sched.tiles().collect();
+        assert_eq!(tiles, FilterTile::all(&s));
+    }
+
+    #[test]
+    fn multi_tile_partitions_within_filter_rows() {
+        let s = shape(8, 3);
+        let sched = TileSchedule::multi_tile(&s, 2);
+        // Each filter row of 3 taps splits into [2, 1] -> 6 groups.
+        assert_eq!(sched.groups().len(), 6);
+        for g in sched.groups() {
+            let fh0 = g.tiles()[0].fh;
+            assert!(g.tiles().iter().all(|t| t.fh == fh0), "group spans rows");
+        }
+        // Exact cover.
+        let seen: BTreeSet<_> = sched.tiles().collect();
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn multi_tile_clamps_group_size() {
+        let s = shape(8, 3);
+        assert_eq!(TileSchedule::multi_tile(&s, 0).max_duplication(), 1);
+        assert_eq!(TileSchedule::multi_tile(&s, 99).max_duplication(), 3);
+    }
+
+    #[test]
+    fn tpu_schedule_fills_array_for_small_channels() {
+        // Ci=8 on 128 rows, 3x3 filter: groups of 3 -> 24 rows occupied.
+        let s = shape(8, 3);
+        let sched = TileSchedule::tpu(&s, 128);
+        assert_eq!(sched.max_duplication(), 3);
+        assert_eq!(sched.max_occupied_rows(&s), 24);
+        // Ci=128: no merging.
+        let s = shape(128, 3);
+        assert_eq!(TileSchedule::tpu(&s, 128).max_duplication(), 1);
+    }
+
+    #[test]
+    fn utilization_improves_with_grouping() {
+        let s = shape(8, 3);
+        let u1 = TileSchedule::single_tile(&s).row_utilization(&s, 128);
+        let u3 = TileSchedule::tpu(&s, 128).row_utilization(&s, 128);
+        assert!((u1 - 8.0 / 128.0).abs() < 1e-12);
+        assert!(u3 > 2.9 * u1 && u3 <= 3.0 * u1 + 1e-12);
+    }
+
+    #[test]
+    fn merged_operands_have_expected_shapes() {
+        let s = shape(4, 3);
+        let x = iconv_tensor::Tensor::<i32>::random(
+            iconv_tensor::conv_ref::ifmap_dims(&s),
+            iconv_tensor::Layout::Nchw,
+            1,
+        );
+        let f = iconv_tensor::Tensor::<i32>::random(
+            iconv_tensor::conv_ref::filter_dims(&s),
+            iconv_tensor::Layout::Nchw,
+            2,
+        );
+        let g = TileGroup::new(vec![FilterTile::new(0, 0), FilterTile::new(0, 1)]);
+        let a = g.a_merged(&s, &x);
+        let b = g.b_merged(&s, &f);
+        assert_eq!(a.shape(), (s.lowered_rows(), 8));
+        assert_eq!(b.shape(), (8, s.co));
+        // Merged product equals the sum of per-tile products.
+        let want_sum = {
+            let p0 = g.tiles()[0].a_tile(&s, &x).matmul(&g.tiles()[0].b_tile(&s, &f));
+            let p1 = g.tiles()[1].a_tile(&s, &x).matmul(&g.tiles()[1].b_tile(&s, &f));
+            iconv_tensor::Matrix::from_fn(p0.rows(), p0.cols(), |r, c| p0[(r, c)] + p1[(r, c)])
+        };
+        assert_eq!(a.matmul(&b), want_sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn empty_group_panics() {
+        let _ = TileGroup::new(vec![]);
+    }
+}

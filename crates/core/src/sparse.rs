@@ -1,0 +1,270 @@
+//! Structured sparsity on the channel-first schedule — the paper's stated
+//! future work ("we believe that our work can encourage future study for
+//! designing sparse CNN accelerators based on the described channel-first
+//! implicit im2col algorithm", Sec. VIII).
+//!
+//! The channel-first decomposition makes two sparsity granularities *free*
+//! to exploit, because they align with whole scheduling units:
+//!
+//! * **tap sparsity** — a pruned filter position `⟨fh, fw⟩` that is zero
+//!   across all `Ci × Co` weights is simply dropped from the tile schedule:
+//!   no gather, no pass, no partial sum. (Channel-last schedules interleave
+//!   taps inside every lowered row, so a zero tap still occupies its K
+//!   columns.)
+//! * **channel-block sparsity** — within a tap, a block of input channels
+//!   whose weights are all zero skips its PE rows in the merged pass.
+//!
+//! [`SparseFilter`] captures both masks from a (pruned) dense filter;
+//! [`conv_sparse`] executes the reduced schedule functionally (bit-equal to
+//! the dense convolution of the same weights); `iconv-tpusim`'s
+//! `simulate_conv_sparse` times it.
+
+use crate::decompose::FilterTile;
+use iconv_tensor::conv_ref::{filter_dims, ifmap_dims};
+use iconv_tensor::im2col::ofmap_from_matrix;
+use iconv_tensor::{ConvShape, Coord, Matrix, Scalar, Tensor};
+
+/// Channel-block granularity for the within-tap mask (PE rows are skipped
+/// in blocks of this many channels).
+pub const CHANNEL_BLOCK: usize = 8;
+
+/// A filter annotated with its structured-sparsity masks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseFilter<T> {
+    shape: ConvShape,
+    filter: Tensor<T>,
+    /// `active_taps[tile.index]`: any nonzero weight at this tap.
+    active_taps: Vec<bool>,
+    /// `active_blocks[tile.index][block]`: any nonzero weight in channel
+    /// block `block` of this tap.
+    active_blocks: Vec<Vec<bool>>,
+}
+
+impl<T: Scalar> SparseFilter<T> {
+    /// Analyze a (pruned) dense filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `filter` dims do not match `shape`.
+    pub fn from_dense(shape: ConvShape, filter: Tensor<T>) -> Self {
+        assert_eq!(filter.dims(), filter_dims(&shape), "filter dims mismatch");
+        let blocks = shape.ci.div_ceil(CHANNEL_BLOCK);
+        let mut active_taps = Vec::with_capacity(shape.hf * shape.wf);
+        let mut active_blocks = Vec::with_capacity(shape.hf * shape.wf);
+        for tile in FilterTile::all(&shape) {
+            let mut tap_active = false;
+            let mut block_mask = vec![false; blocks];
+            for ci in 0..shape.ci {
+                for co in 0..shape.co {
+                    if filter.get(Coord::new(co, ci, tile.fh, tile.fw)) != T::zero() {
+                        tap_active = true;
+                        block_mask[ci / CHANNEL_BLOCK] = true;
+                    }
+                }
+            }
+            active_taps.push(tap_active);
+            active_blocks.push(block_mask);
+        }
+        Self {
+            shape,
+            filter,
+            active_taps,
+            active_blocks,
+        }
+    }
+
+    /// The convolution shape.
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// The underlying (pruned) dense filter.
+    pub fn filter(&self) -> &Tensor<T> {
+        &self.filter
+    }
+
+    /// The taps with any nonzero weight, in raster order.
+    pub fn active_tiles(&self) -> Vec<FilterTile> {
+        FilterTile::all(&self.shape)
+            .into_iter()
+            .filter(|t| self.active_taps[t.index(&self.shape)])
+            .collect()
+    }
+
+    /// Fraction of taps that are active.
+    pub fn tap_density(&self) -> f64 {
+        self.active_taps.iter().filter(|&&a| a).count() as f64 / self.active_taps.len() as f64
+    }
+
+    /// Fraction of (tap × channel-block) scheduling units that are active —
+    /// the quantity cycle savings scale with.
+    pub fn schedule_density(&self) -> f64 {
+        let total: usize = self.active_blocks.iter().map(Vec::len).sum();
+        let active: usize = self
+            .active_blocks
+            .iter()
+            .map(|m| m.iter().filter(|&&a| a).count())
+            .sum();
+        active as f64 / total.max(1) as f64
+    }
+
+    /// Active channel blocks of a tap.
+    pub fn active_blocks_of(&self, tile: FilterTile) -> &[bool] {
+        &self.active_blocks[tile.index(&self.shape)]
+    }
+}
+
+/// Prune a filter to tap-structured sparsity: keep each tap with
+/// probability `keep` (deterministic in `seed`), zeroing pruned taps; the
+/// centre tap is always kept so the filter never vanishes.
+pub fn prune_taps<T: Scalar>(
+    shape: &ConvShape,
+    filter: &Tensor<T>,
+    keep: f64,
+    seed: u64,
+) -> Tensor<T> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(7);
+    let mut keep_mask = Vec::new();
+    for tile in FilterTile::all(shape) {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let unit = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        let centre = tile.fh == shape.hf / 2 && tile.fw == shape.wf / 2;
+        keep_mask.push(centre || unit < keep);
+    }
+    Tensor::from_fn(filter_dims(shape), filter.layout(), |c| {
+        if keep_mask[c.h * shape.wf + c.w] {
+            filter.get(c)
+        } else {
+            T::zero()
+        }
+    })
+}
+
+/// Channel-first convolution executing only the active scheduling units —
+/// bit-equal to the dense convolution of the same (pruned) weights.
+///
+/// # Panics
+///
+/// Panics if `ifmap` dims do not match the sparse filter's shape.
+pub fn conv_sparse<T: Scalar>(sparse: &SparseFilter<T>, ifmap: &Tensor<T>) -> Tensor<T> {
+    let shape = sparse.shape;
+    assert_eq!(ifmap.dims(), ifmap_dims(&shape), "ifmap dims mismatch");
+    let (ho, wo) = (shape.out_h(), shape.out_w());
+    let mut out = Matrix::<T>::zeros(shape.lowered_rows(), shape.co);
+    for tile in sparse.active_tiles() {
+        let blocks = sparse.active_blocks_of(tile);
+        for row in 0..shape.lowered_rows() {
+            let n = row / (ho * wo);
+            let oh = (row / wo) % ho;
+            let ow = row % wo;
+            let Some((h, w)) = tile.input_pixel(&shape, oh, ow) else {
+                continue;
+            };
+            for (b, &active) in blocks.iter().enumerate() {
+                if !active {
+                    continue; // a skipped channel block: no PE rows, no reads
+                }
+                let ci_end = ((b + 1) * CHANNEL_BLOCK).min(shape.ci);
+                for ci in b * CHANNEL_BLOCK..ci_end {
+                    let a = ifmap.get(Coord::new(n, ci, h, w));
+                    if a == T::zero() {
+                        continue;
+                    }
+                    for co in 0..shape.co {
+                        let wv = sparse.filter.get(Coord::new(co, ci, tile.fh, tile.fw));
+                        out[(row, co)] += a * wv;
+                    }
+                }
+            }
+        }
+    }
+    ofmap_from_matrix(&shape, &out)
+}
+
+/// Convenience: the fraction of dense MACs the sparse schedule performs.
+pub fn mac_fraction<T: Scalar>(sparse: &SparseFilter<T>) -> f64 {
+    sparse.schedule_density()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iconv_tensor::conv_ref::direct_conv;
+    use iconv_tensor::Layout;
+
+    fn shape() -> ConvShape {
+        ConvShape::square(2, 16, 8, 6, 3, 1, 1).unwrap()
+    }
+
+    fn pruned(keep: f64, seed: u64) -> (Tensor<i64>, SparseFilter<i64>) {
+        let s = shape();
+        let dense = Tensor::<i64>::random(filter_dims(&s), Layout::Nchw, seed);
+        let pruned = prune_taps(&s, &dense, keep, seed + 1);
+        let sparse = SparseFilter::from_dense(s, pruned.clone());
+        (pruned, sparse)
+    }
+
+    #[test]
+    fn sparse_conv_equals_dense_of_pruned_weights() {
+        let s = shape();
+        let x = Tensor::<i64>::random(ifmap_dims(&s), Layout::Nchw, 3);
+        for keep in [1.0, 0.6, 0.3, 0.0] {
+            let (pruned_filter, sparse) = pruned(keep, 11);
+            let want = direct_conv(&s, &x, &pruned_filter);
+            let got = conv_sparse(&sparse, &x);
+            assert!(want.approx_eq(&got, 0.0), "keep={keep}");
+        }
+    }
+
+    #[test]
+    fn density_tracks_pruning() {
+        let (_, dense) = pruned(1.0, 5);
+        assert_eq!(dense.tap_density(), 1.0);
+        let (_, heavy) = pruned(0.0, 5);
+        // Only the centre tap survives keep=0.
+        assert!((heavy.tap_density() - 1.0 / 9.0).abs() < 1e-12);
+        assert!(heavy.schedule_density() <= heavy.tap_density());
+    }
+
+    #[test]
+    fn centre_tap_always_survives() {
+        let s = shape();
+        let (_, sparse) = pruned(0.0, 99);
+        let tiles = sparse.active_tiles();
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0], FilterTile::new(1, 1));
+        let _ = s;
+    }
+
+    #[test]
+    fn channel_block_mask_detected() {
+        // Zero out channels 8..16 at every tap: one of two blocks inactive.
+        let s = shape();
+        let f = Tensor::<i64>::from_fn(filter_dims(&s), Layout::Nchw, |c| {
+            if c.c >= 8 {
+                0
+            } else {
+                (c.n + c.c + c.h + c.w) as i64 + 1
+            }
+        });
+        let sparse = SparseFilter::from_dense(s, f);
+        assert_eq!(sparse.tap_density(), 1.0);
+        assert!((sparse.schedule_density() - 0.5).abs() < 1e-12);
+        for tile in FilterTile::all(&s) {
+            assert_eq!(sparse.active_blocks_of(tile), &[true, false]);
+        }
+    }
+
+    #[test]
+    fn all_zero_filter_is_fully_inactive() {
+        let s = shape();
+        let sparse = SparseFilter::from_dense(s, Tensor::zeros(filter_dims(&s), Layout::Nchw));
+        assert_eq!(sparse.tap_density(), 0.0);
+        assert!(sparse.active_tiles().is_empty());
+        let x = Tensor::<i64>::random(ifmap_dims(&s), Layout::Nchw, 2);
+        let y = conv_sparse(&sparse, &x);
+        assert!(y.as_slice().iter().all(|&v| v == 0));
+    }
+}

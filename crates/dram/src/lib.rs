@@ -1,0 +1,24 @@
+//! # iconv-dram
+//!
+//! Off-chip memory timing for the simulators — the workspace's substitute
+//! for DRAMSim3 (see `DESIGN.md` §1).
+//!
+//! Two models with one calibration:
+//!
+//! * [`BankSim`] — a trace-driven bank/row-buffer model: per-bank open-row
+//!   state, activate/precharge penalties, a shared data bus, bank-level
+//!   parallelism. Used at small scale and to validate the fast model.
+//! * [`DramModel::transfer_cycles`] — a closed-form model in terms of bytes
+//!   moved and the *contiguous run length* of the access pattern. This is
+//!   what the layer-scale simulators call.
+//!
+//! The run-length dependence is the whole point (paper Fig. 7): an `HWC`
+//! IFMap yields long contiguous runs (all channels of consecutive pixels)
+//! while `CHW` yields short, strided runs, so `HWC` sustains far more of the
+//! peak bandwidth — especially under stride > 1.
+
+pub mod banksim;
+pub mod model;
+
+pub use banksim::{BankSim, Request};
+pub use model::{DramConfig, DramModel};

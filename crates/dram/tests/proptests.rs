@@ -1,0 +1,78 @@
+//! Property-based tests of the DRAM models: the closed-form efficiency
+//! curve and the trace-driven bank simulator must agree on orderings and
+//! respect physical bounds over randomized access patterns.
+
+use iconv_dram::{BankSim, DramConfig, DramModel, Request};
+use proptest::prelude::*;
+
+fn config() -> DramConfig {
+    DramConfig::hbm_tpu_v2()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Efficiency is a proper fraction and non-decreasing in run length.
+    #[test]
+    fn efficiency_monotone(run_a in 1u64..1_000_000, run_b in 1u64..1_000_000) {
+        let m = DramModel::new(config());
+        let (lo, hi) = if run_a <= run_b { (run_a, run_b) } else { (run_b, run_a) };
+        let (e_lo, e_hi) = (m.efficiency(lo), m.efficiency(hi));
+        prop_assert!(e_lo > 0.0 && e_hi <= 1.0);
+        // Monotone up to the burst-rounding sawtooth (a partial tail burst
+        // can nudge efficiency down by less than one burst's share).
+        prop_assert!(e_hi >= e_lo - 1e-3, "eff({hi})={e_hi} < eff({lo})={e_lo}");
+    }
+
+    /// Transfer time scales (super)linearly in bytes at fixed run length and
+    /// never dips below the peak-bandwidth bound.
+    #[test]
+    fn transfer_time_bounds(bytes in 1u64..100_000_000, run in 1u64..100_000) {
+        let m = DramModel::new(config());
+        let c = m.transfer_cycles(bytes, run);
+        let peak_bound = bytes as f64 / config().bytes_per_cycle;
+        prop_assert!(c as f64 >= peak_bound.floor(), "{c} cycles beats peak {peak_bound}");
+        // Doubling the bytes at least doubles the streamed portion.
+        let c2 = m.transfer_cycles(bytes * 2, run);
+        prop_assert!(c2 >= c, "more bytes got faster");
+    }
+
+    /// The bank simulator never finishes before the data-bus lower bound,
+    /// and accounts exactly one row event per burst.
+    #[test]
+    fn banksim_physical_bounds(
+        n_reqs in 1usize..200,
+        stride in 1u64..8192,
+        bytes in 1u64..512,
+    ) {
+        let reqs: Vec<Request> = (0..n_reqs as u64)
+            .map(|i| Request::new(i * stride, bytes))
+            .collect();
+        let mut sim = BankSim::new(config());
+        let cycles = sim.run(&reqs);
+        // Lower bound: the touched bursts on the shared bus.
+        let bursts: u64 = reqs
+            .iter()
+            .map(|r| {
+                let first = r.addr / config().burst_bytes;
+                let last = (r.addr + r.bytes - 1) / config().burst_bytes;
+                last - first + 1
+            })
+            .sum();
+        let bus = bursts as f64 * config().burst_bytes as f64 / config().bytes_per_cycle;
+        prop_assert!(cycles >= config().base_latency + bus.floor() as u64);
+        prop_assert_eq!(sim.row_hits() + sim.row_misses(), bursts);
+    }
+
+    /// Sequential traces are never slower than the same bytes scattered one
+    /// element per row.
+    #[test]
+    fn sequential_beats_scattered(kb in 1u64..256) {
+        let total = kb * 1024;
+        let seq: Vec<Request> = (0..total / 64).map(|i| Request::new(i * 64, 64)).collect();
+        let scat: Vec<Request> = (0..total / 64).map(|i| Request::new(i * 1024, 64)).collect();
+        let a = BankSim::new(config()).run(&seq);
+        let b = BankSim::new(config()).run(&scat);
+        prop_assert!(a <= b, "sequential {a} slower than scattered {b}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Wave-level kernel timing: thread-block compute/fill overlap on the SM
+//! fleet.
+
+use crate::config::GpuConfig;
+use crate::traffic::Traffic;
+
+/// Timing result for one kernel (= one conv layer under one schedule).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTiming {
+    /// Total cycles including launch overhead.
+    pub cycles: f64,
+    /// Pure tensor-core compute cycles (chip-level, occupancy-adjusted).
+    pub compute_cycles: f64,
+    /// Pure DRAM transfer cycles (efficiency-adjusted).
+    pub memory_cycles: f64,
+    /// Thread blocks launched.
+    pub blocks: u64,
+    /// FLOPs performed.
+    pub flops: u64,
+}
+
+impl KernelTiming {
+    /// Achieved TFLOPS.
+    pub fn tflops(&self, cfg: &GpuConfig) -> f64 {
+        if self.cycles == 0.0 {
+            return 0.0;
+        }
+        self.flops as f64 / cfg.cycles_to_seconds(self.cycles) / 1e12
+    }
+
+    /// Wall-clock seconds.
+    pub fn seconds(&self, cfg: &GpuConfig) -> f64 {
+        cfg.cycles_to_seconds(self.cycles)
+    }
+}
+
+/// How many ways the kernel-selection heuristic may split a thread-block
+/// tile to restore occupancy on small problems (e.g. 128×128 → four 64×64
+/// tiles), mirroring cuDNN's per-shape kernel choice.
+const TILE_SPLIT_MAX: u64 = 4;
+
+/// Time a blocked GEMM of `m × n × k_padded` (the K already padded to the
+/// schedule's slice granularity) with the given global-memory traffic.
+///
+/// The kernel is modeled as waves of `sms × blocks_per_sm` concurrent
+/// blocks; within a block, shared-memory fills are double-buffered against
+/// tensor-core slices, so the kernel costs `max(compute, fill)`. When the
+/// launch has fewer blocks than the machine has slots, the kernel-selection
+/// heuristic splits tiles (up to `TILE_SPLIT_MAX` = 4×) to restore occupancy;
+/// the residual shortfall shows up as an occupancy factor on compute.
+/// `fill_penalty` multiplies the `A`-side transfer time (used for the
+/// channel-last schedule's strided shared-memory bank conflicts).
+pub fn time_kernel_with_penalty(
+    cfg: &GpuConfig,
+    m: usize,
+    n: usize,
+    k_padded: usize,
+    traffic: &Traffic,
+    sw_efficiency: f64,
+    fill_penalty: f64,
+) -> KernelTiming {
+    let dram = iconv_dram::DramModel::new(cfg.dram);
+    let blocks_m = m.div_ceil(cfg.block.bm) as u64;
+    let blocks_n = n.div_ceil(cfg.block.bn) as u64;
+    let blocks = blocks_m * blocks_n;
+
+    // Compute: every block runs the padded tile GEMM.
+    let block_macs = (cfg.block.bm * cfg.block.bn * k_padded) as u64;
+    let total_macs = blocks * block_macs;
+    let concurrency = (cfg.sms * cfg.blocks_per_sm) as f64;
+    let occupancy = ((blocks * TILE_SPLIT_MAX) as f64 / concurrency).min(1.0);
+    let chip_rate = (cfg.sms as u64 * cfg.tc_macs_per_sm_cycle) as f64;
+    let compute_cycles = total_macs as f64 / chip_rate / occupancy / sw_efficiency;
+
+    // Memory: all concurrent blocks share the chip bandwidth.
+    let eff = dram.efficiency(traffic.a_run_bytes.max(1));
+    let a_cycles = traffic.a_bytes as f64 / (cfg.dram.bytes_per_cycle * eff) * fill_penalty;
+    let bc_eff = dram.efficiency(4096);
+    let bc_cycles =
+        (traffic.b_bytes + traffic.c_bytes) as f64 / (cfg.dram.bytes_per_cycle * bc_eff);
+    let memory_cycles = a_cycles + bc_cycles;
+
+    KernelTiming {
+        cycles: compute_cycles.max(memory_cycles) + cfg.launch_cycles as f64,
+        compute_cycles,
+        memory_cycles,
+        blocks,
+        flops: 2 * total_macs,
+    }
+}
+
+/// [`time_kernel_with_penalty`] without a fill penalty.
+pub fn time_kernel(
+    cfg: &GpuConfig,
+    m: usize,
+    n: usize,
+    k_padded: usize,
+    traffic: &Traffic,
+    sw_efficiency: f64,
+) -> KernelTiming {
+    time_kernel_with_penalty(cfg, m, n, k_padded, traffic, sw_efficiency, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::v100()
+    }
+
+    fn dense_traffic(m: usize, n: usize, k: usize) -> Traffic {
+        let eb = cfg().elem_bytes;
+        Traffic {
+            a_bytes: (m * k) as u64 * eb,
+            b_bytes: (k * n) as u64 * eb,
+            c_bytes: (m * n) as u64 * eb,
+            a_run_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn big_gemm_near_peak() {
+        let (m, n, k) = (16384, 4096, 4096);
+        let t = time_kernel(&cfg(), m, n, k, &dense_traffic(m, n, k), 1.0);
+        let tf = t.tflops(&cfg());
+        assert!(tf > 0.85 * cfg().peak_tflops(), "{tf} TFLOPS");
+    }
+
+    #[test]
+    fn small_kernel_dominated_by_launch() {
+        let t = time_kernel(&cfg(), 128, 128, 64, &dense_traffic(128, 128, 64), 1.0);
+        assert!(t.cycles >= cfg().launch_cycles as f64);
+        assert!(t.tflops(&cfg()) < 0.1 * cfg().peak_tflops());
+    }
+
+    #[test]
+    fn memory_bound_kernel_limited_by_traffic() {
+        // Tiny K: almost no compute per byte.
+        let (m, n, k) = (131072, 128, 32);
+        let t = time_kernel(&cfg(), m, n, k, &dense_traffic(m, n, k), 1.0);
+        assert!(t.memory_cycles > t.compute_cycles);
+        assert!(t.cycles >= t.memory_cycles);
+    }
+
+    #[test]
+    fn sw_efficiency_slows_compute_bound_kernels() {
+        let (m, n, k) = (16384, 4096, 4096);
+        let fast = time_kernel(&cfg(), m, n, k, &dense_traffic(m, n, k), 1.0);
+        let slow = time_kernel(&cfg(), m, n, k, &dense_traffic(m, n, k), 0.9);
+        assert!(slow.cycles > fast.cycles);
+    }
+
+    #[test]
+    fn waves_scale_with_blocks() {
+        let t1 = time_kernel(&cfg(), 128 * 160, 128, 512, &dense_traffic(128 * 160, 128, 512), 1.0);
+        let t2 = time_kernel(&cfg(), 128 * 320, 128, 512, &dense_traffic(128 * 320, 128, 512), 1.0);
+        let ratio = t2.compute_cycles / t1.compute_cycles;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based sanity of the GPU model over randomized layers.
+
+use iconv_gpusim::{GpuAlgo, GpuConfig, GpuSim};
+use iconv_models::Roofline;
+use iconv_tensor::ConvShape;
+use proptest::prelude::*;
+
+fn conv_shapes() -> impl Strategy<Value = ConvShape> {
+    (
+        1usize..=8,       // n
+        prop::sample::select(vec![16usize, 32, 64, 128]),
+        1usize..=3,       // hf=wf
+        prop::sample::select(vec![16usize, 64, 128]),
+        1usize..=2,       // stride
+        prop::sample::select(vec![7usize, 14, 28]),
+    )
+        .prop_filter_map("valid", |(n, ci, f, co, s, hw)| {
+            ConvShape::new(n, ci, hw, hw, co, f, f)
+                .stride(s)
+                .pad(f / 2)
+                .build()
+                .ok()
+        })
+}
+
+fn all_algos() -> Vec<GpuAlgo> {
+    vec![
+        GpuAlgo::CudnnImplicit,
+        GpuAlgo::ChannelFirst { reuse: true },
+        GpuAlgo::ChannelFirst { reuse: false },
+        GpuAlgo::ExplicitIm2col,
+        GpuAlgo::GemmEquivalent,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// No schedule beats the chip's compute roofline on useful FLOPs.
+    #[test]
+    fn never_beats_compute_roofline(shape in conv_shapes()) {
+        let sim = GpuSim::new(GpuConfig::v100());
+        let roof = Roofline::v100();
+        for algo in all_algos() {
+            let r = sim.simulate_conv("l", &shape, algo);
+            let min = shape.macs() as f64 / roof.macs_per_cycle;
+            prop_assert!(
+                r.timing.cycles >= min * 0.999,
+                "{algo}: {} cycles < compute roofline {min:.0}",
+                r.timing.cycles
+            );
+        }
+    }
+
+    /// Reuse never hurts: the reordered schedule is never slower than the
+    /// no-reuse one.
+    #[test]
+    fn reuse_never_slower(shape in conv_shapes()) {
+        let sim = GpuSim::new(GpuConfig::v100());
+        let with = sim.simulate_conv("l", &shape, GpuAlgo::ChannelFirst { reuse: true });
+        let without = sim.simulate_conv("l", &shape, GpuAlgo::ChannelFirst { reuse: false });
+        prop_assert!(
+            with.timing.cycles <= without.timing.cycles * 1.0001,
+            "reuse slower: {} vs {}",
+            with.timing.cycles,
+            without.timing.cycles
+        );
+    }
+
+    /// The explicit algorithm is never faster than the plain GEMM of the
+    /// same lowered problem (it runs that GEMM *plus* a transform).
+    #[test]
+    fn explicit_slower_than_its_own_gemm(shape in conv_shapes()) {
+        let sim = GpuSim::new(GpuConfig::v100());
+        let exp = sim.simulate_conv("l", &shape, GpuAlgo::ExplicitIm2col);
+        let gemm = sim.simulate_conv("l", &shape, GpuAlgo::GemmEquivalent);
+        prop_assert!(exp.timing.cycles > gemm.timing.cycles);
+        prop_assert!(exp.transform_cycles > 0.0);
+    }
+
+    /// Every timing is at least the launch overhead and all components are
+    /// non-negative and consistent.
+    #[test]
+    fn timings_are_sane(shape in conv_shapes()) {
+        let sim = GpuSim::new(GpuConfig::v100());
+        for algo in all_algos() {
+            let r = sim.simulate_conv("l", &shape, algo);
+            prop_assert!(r.timing.cycles >= sim.config().launch_cycles as f64);
+            prop_assert!(r.timing.compute_cycles >= 0.0 && r.timing.memory_cycles >= 0.0);
+            prop_assert!(r.timing.blocks > 0);
+            let tf = r.tflops(sim.config());
+            prop_assert!(tf >= 0.0 && tf <= sim.config().peak_tflops() * 1.001, "{tf}");
+        }
+    }
+
+    /// Batch scaling is monotone and at most mildly superlinear.
+    #[test]
+    fn batch_monotone(shape in conv_shapes()) {
+        let sim = GpuSim::new(GpuConfig::v100());
+        let double = ConvShape { n: shape.n * 2, ..shape };
+        for algo in [GpuAlgo::CudnnImplicit, GpuAlgo::ChannelFirst { reuse: true }] {
+            let a = sim.simulate_conv("l", &shape, algo).timing.cycles;
+            let b = sim.simulate_conv("l", &double, algo).timing.cycles;
+            prop_assert!(b >= a * 0.999, "{algo}: batch x2 faster");
+            prop_assert!(b <= 2.5 * a, "{algo}: batch x2 superlinear {a} -> {b}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Error metrics for the simulator-vs-hardware validation figures
+//! (Figs. 13, 14b, 15).
+
+/// Mean absolute percentage error between `(simulated, measured)` pairs:
+/// `mean(|sim − meas| / meas)`, as a fraction (0.05 = 5 %).
+/// # Examples
+///
+/// ```
+/// # use iconv_models::mean_abs_pct_error;
+/// let pairs = [(105.0, 100.0), (97.0, 100.0)];
+/// assert!((mean_abs_pct_error(&pairs) - 0.04).abs() < 1e-12);
+/// ```
+///
+
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty or any measured value is non-positive.
+pub fn mean_abs_pct_error(pairs: &[(f64, f64)]) -> f64 {
+    assert!(!pairs.is_empty(), "no pairs to compare");
+    let sum: f64 = pairs
+        .iter()
+        .map(|&(sim, meas)| {
+            assert!(meas > 0.0, "measured value must be positive");
+            (sim - meas).abs() / meas
+        })
+        .sum();
+    sum / pairs.len() as f64
+}
+
+/// Histogram of absolute percentage errors: returns `(bin_edges, counts)`
+/// for `bins` equal-width bins spanning `[0, max_error]` — the Fig. 15b
+/// layer-wise error distribution.
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty, `bins` is zero, or a measured value is
+/// non-positive.
+pub fn error_distribution(pairs: &[(f64, f64)], bins: usize) -> (Vec<f64>, Vec<usize>) {
+    assert!(bins > 0, "need at least one bin");
+    let errs: Vec<f64> = pairs
+        .iter()
+        .map(|&(sim, meas)| {
+            assert!(meas > 0.0, "measured value must be positive");
+            (sim - meas).abs() / meas
+        })
+        .collect();
+    assert!(!errs.is_empty(), "no pairs to compare");
+    let max = errs.iter().cloned().fold(0.0, f64::max).max(1e-12);
+    let width = max / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for &e in &errs {
+        let idx = ((e / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    let edges = (0..=bins).map(|i| i as f64 * width).collect();
+    (edges, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_basic() {
+        let pairs = [(110.0, 100.0), (95.0, 100.0)];
+        assert!((mean_abs_pct_error(&pairs) - 0.075).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_zero_for_perfect_match() {
+        assert_eq!(mean_abs_pct_error(&[(5.0, 5.0)]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no pairs")]
+    fn mape_empty_panics() {
+        let _ = mean_abs_pct_error(&[]);
+    }
+
+    #[test]
+    fn distribution_counts_everything() {
+        let pairs: Vec<(f64, f64)> = (1..=100)
+            .map(|i| (100.0 + i as f64 * 0.1, 100.0))
+            .collect();
+        let (edges, counts) = error_distribution(&pairs, 10);
+        assert_eq!(edges.len(), 11);
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        // Uniform-ish errors spread across bins.
+        assert!(counts.iter().filter(|&&c| c > 0).count() >= 9);
+    }
+
+    #[test]
+    fn distribution_single_bin_catches_all() {
+        let (_, counts) = error_distribution(&[(1.0, 2.0), (3.0, 2.0)], 1);
+        assert_eq!(counts, vec![2]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Roofline sanity bounds.
+
+/// A classic roofline: peak compute rate and peak memory bandwidth.
+///
+/// Used as a *lower bound* on any simulated latency — a simulator reporting
+/// fewer cycles than the roofline has a bug (checked by integration tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak MACs per cycle.
+    pub macs_per_cycle: f64,
+    /// Peak bytes per cycle.
+    pub bytes_per_cycle: f64,
+}
+
+impl Roofline {
+    /// TPU-v2 core roofline (Table II).
+    pub fn tpu_v2() -> Self {
+        Self {
+            macs_per_cycle: 128.0 * 128.0,
+            bytes_per_cycle: 1000.0,
+        }
+    }
+
+    /// V100 FP16 tensor-core roofline.
+    pub fn v100() -> Self {
+        Self {
+            macs_per_cycle: 80.0 * 512.0,
+            bytes_per_cycle: 588.0,
+        }
+    }
+
+    /// Minimum cycles to perform `macs` MACs while moving `bytes` bytes.
+    pub fn min_cycles(&self, macs: u64, bytes: u64) -> f64 {
+        (macs as f64 / self.macs_per_cycle).max(bytes as f64 / self.bytes_per_cycle)
+    }
+
+    /// Arithmetic intensity (MACs/byte) at which the machine is balanced.
+    pub fn balance_point(&self) -> f64 {
+        self.macs_per_cycle / self.bytes_per_cycle
+    }
+
+    /// True when a workload of the given intensity is compute-bound.
+    pub fn is_compute_bound(&self, macs: u64, bytes: u64) -> bool {
+        bytes == 0 || (macs as f64 / bytes as f64) >= self.balance_point()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balance_points() {
+        assert!((Roofline::tpu_v2().balance_point() - 16.384).abs() < 0.01);
+        assert!((Roofline::v100().balance_point() - 69.66).abs() < 0.1);
+    }
+
+    #[test]
+    fn min_cycles_takes_the_max() {
+        let r = Roofline::tpu_v2();
+        // Compute-bound.
+        assert_eq!(r.min_cycles(16384 * 100, 1000), 100.0);
+        // Memory-bound.
+        assert_eq!(r.min_cycles(16384, 1_000_000), 1000.0);
+    }
+
+    #[test]
+    fn boundness_classification() {
+        let r = Roofline::tpu_v2();
+        assert!(r.is_compute_bound(1_000_000, 1));
+        assert!(!r.is_compute_bound(1, 1_000_000));
+        assert!(r.is_compute_bound(42, 0));
+    }
+}

@@ -1,0 +1,186 @@
+//! The TPU-v2 "measured hardware" stand-in.
+
+use iconv_core::schedule::tpu_group_size;
+use iconv_tensor::ConvShape;
+
+/// Analytical performance model of a TPU-v2-class channel-first machine,
+/// playing the role of the measured hardware in the validation experiments.
+///
+/// The model is a roofline over the published Table II parameters — peak
+/// MAC rate with pass-tiling occupancy, HBM bandwidth at a fixed efficiency
+/// — plus a fixed per-op overhead and a deterministic, shape-keyed jitter
+/// that stands in for measurement noise (cloud TPU latencies vary a few
+/// percent run to run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpuMeasuredProxy {
+    /// PE rows (128).
+    pub rows: usize,
+    /// PE columns (128).
+    pub cols: usize,
+    /// HBM bytes per core cycle (1000 at 700 GB/s / 700 MHz).
+    pub bytes_per_cycle: f64,
+    /// Fixed fraction of peak bandwidth the hardware sustains.
+    pub mem_efficiency: f64,
+    /// Element size in bytes.
+    pub elem_bytes: u64,
+    /// Fixed per-operation overhead cycles (dispatch, DMA setup, sync).
+    pub overhead_cycles: f64,
+    /// Relative amplitude of the deterministic measurement jitter.
+    pub jitter: f64,
+}
+
+impl TpuMeasuredProxy {
+    /// The TPU-v2 proxy.
+    pub fn tpu_v2() -> Self {
+        Self {
+            rows: 128,
+            cols: 128,
+            bytes_per_cycle: 1000.0,
+            mem_efficiency: 0.88,
+            elem_bytes: 4,
+            overhead_cycles: 1_600.0,
+            jitter: 0.045,
+        }
+    }
+
+    /// Deterministic jitter factor in `[1 − jitter, 1 + jitter]`, keyed by
+    /// the operation's dimensions (FNV-1a hash) so repeated queries agree.
+    fn jitter_factor(&self, key: &[u64]) -> f64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &v in key {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        1.0 + self.jitter * (2.0 * unit - 1.0)
+    }
+
+    /// "Measured" cycles for an `M × N × K` GEMM.
+    pub fn gemm_cycles(&self, m: usize, n: usize, k: usize) -> f64 {
+        let passes = k.div_ceil(self.rows) as f64 * n.div_ceil(self.cols) as f64;
+        let compute = passes * m as f64;
+        let bytes = ((m * k + k * n + m * n) as u64 * self.elem_bytes) as f64;
+        let mem = bytes / (self.bytes_per_cycle * self.mem_efficiency);
+        (compute.max(mem) + self.overhead_cycles)
+            * self.jitter_factor(&[m as u64, n as u64, k as u64])
+    }
+
+    /// "Measured" cycles for a convolution executed with the channel-first
+    /// algorithm and the TPU multi-tile strategy.
+    pub fn conv_cycles(&self, shape: &ConvShape) -> f64 {
+        self.conv_cycles_grouped(shape, tpu_group_size(self.rows, shape.ci, shape.wf))
+    }
+
+    /// "Measured" cycles with a forced multi-tile group size (the Fig. 14a
+    /// sweep; the hardware is configured via layout padding).
+    pub fn conv_cycles_grouped(&self, shape: &ConvShape, group: usize) -> f64 {
+        let group = group.clamp(1, (self.rows / shape.ci).max(1)).min(shape.wf);
+        let m = shape.lowered_rows() as f64;
+        // Groups along each filter row: full groups plus a remainder.
+        let full = shape.wf / group;
+        let rem = shape.wf % group;
+        let n_tiles = shape.co.div_ceil(self.cols) as f64;
+        let mut compute = 0.0;
+        let per_group = |g: usize| -> f64 {
+            (g * shape.ci).div_ceil(self.rows) as f64 * n_tiles * m
+        };
+        compute += shape.hf as f64 * full as f64 * per_group(group);
+        if rem > 0 {
+            compute += shape.hf as f64 * per_group(rem);
+        }
+        let bytes = ((shape.ifmap_elems() + shape.filter_elems() + shape.ofmap_elems()) as u64
+            * self.elem_bytes) as f64;
+        let mem = bytes / (self.bytes_per_cycle * self.mem_efficiency);
+        let key = [
+            shape.n as u64,
+            shape.ci as u64,
+            shape.hi as u64,
+            shape.wi as u64,
+            shape.co as u64,
+            shape.hf as u64,
+            shape.stride_h as u64,
+            group as u64,
+        ];
+        (compute.max(mem) + self.overhead_cycles) * self.jitter_factor(&key)
+    }
+
+    /// "Measured" TFLOPS for a convolution at 700 MHz.
+    pub fn conv_tflops(&self, shape: &ConvShape) -> f64 {
+        let secs = self.conv_cycles(shape) / 700e6;
+        shape.flops() as f64 / secs / 1e12
+    }
+}
+
+impl Default for TpuMeasuredProxy {
+    fn default() -> Self {
+        Self::tpu_v2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proxy() -> TpuMeasuredProxy {
+        TpuMeasuredProxy::tpu_v2()
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = proxy();
+        let a = p.gemm_cycles(1024, 1024, 1024);
+        let b = p.gemm_cycles(1024, 1024, 1024);
+        assert_eq!(a, b);
+        // Different shapes get different jitter.
+        let c = p.gemm_cycles(1024, 1024, 1025);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn big_gemm_near_ideal_tiling() {
+        let p = proxy();
+        let cycles = p.gemm_cycles(8192, 8192, 8192);
+        let ideal = 64.0 * 64.0 * 8192.0;
+        let ratio = cycles / ideal;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn skinny_gemm_memory_bound() {
+        let p = proxy();
+        // K=N=128 tall-skinny: 1 pass, big A: compute = m, mem > m.
+        let m = 1 << 20;
+        // mem ≈ 1.19 m cycles, modulated by ±4.5% jitter.
+        let cycles = p.gemm_cycles(m, 128, 128);
+        assert!(cycles > 1.1 * m as f64);
+    }
+
+    #[test]
+    fn conv_uses_multi_tile_strategy() {
+        // Ci=8, Wf=3: groups of 3 -> one merged pass per filter row.
+        let s = ConvShape::square(8, 8, 56, 128, 3, 1, 1).unwrap();
+        let grouped = proxy().conv_cycles(&s);
+        let single = proxy().conv_cycles_grouped(&s, 1);
+        assert!(grouped * 2.0 < single, "{grouped} vs {single}");
+    }
+
+    #[test]
+    fn conv_stride_insensitive_tflops() {
+        let t1 = proxy().conv_tflops(&ConvShape::square(8, 256, 28, 256, 3, 1, 1).unwrap());
+        let t2 = proxy().conv_tflops(&ConvShape::square(8, 256, 28, 256, 3, 2, 1).unwrap());
+        let drop = (t1 - t2) / t1;
+        assert!(drop.abs() < 0.25, "drop {drop}");
+    }
+
+    #[test]
+    fn remainder_groups_counted() {
+        // Wf=5, group=3 -> groups of 3 and 2 per filter row.
+        let s = ConvShape::square(8, 40, 28, 128, 5, 1, 2).unwrap();
+        let c = proxy().conv_cycles_grouped(&s, 3);
+        // Lower bound: 5 filter rows x (one group of 3 + one of 2) x M.
+        let m = s.lowered_rows() as f64;
+        assert!(c > 10.0 * m * 0.9);
+    }
+}

@@ -1,0 +1,126 @@
+//! Crossbar cost model — the quantitative form of the paper's Sec. II-C
+//! scalability argument.
+//!
+//! The channel-last implicit im2col design (Lym et al.) needs an `P × P`
+//! crossbar between a `P`-banked SRAM and the GEMM engine, because each
+//! element maps to *different* PEs at different cycles. "The crossbar area
+//! and power increase quadratically with respect to the number of ports"
+//! (paper, citing Kilo-NOC), so what is free on a GPU SM (32 lanes) is
+//! untenable at TPU scale (128–256 rows). The channel-first design needs
+//! **no crossbar at all** — every element feeds one fixed row.
+//!
+//! The model follows the standard matrix-crossbar decomposition: a `P × P`
+//! grid of crosspoints (area/energy ∝ `P² · w` for datapath width `w`) plus
+//! per-port arbitration/drivers (∝ `P·log₂P`). Constants are normalized to
+//! a 32×32, 32-bit crossbar (one SM's shuffle network) = 1 area unit, so
+//! results read as "how many GPU-shuffle-networks of silicon".
+
+/// Analytical crossbar area/power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossbarModel {
+    /// Area of one crosspoint switch per bit, in normalized units.
+    pub crosspoint_per_bit: f64,
+    /// Per-port periphery (arbiter, drivers) per bit per log₂(ports).
+    pub port_per_bit: f64,
+}
+
+impl Default for CrossbarModel {
+    fn default() -> Self {
+        // Normalized so a 32-port, 32-bit crossbar = 1.0 area unit, with
+        // ~80% of that area in the crosspoint grid (typical for flat
+        // matrix crossbars at this radix).
+        let grid_share = 0.8;
+        let p = 32.0f64;
+        let w = 32.0f64;
+        Self {
+            crosspoint_per_bit: grid_share / (p * p * w),
+            port_per_bit: (1.0 - grid_share) / (p * p.log2() * w),
+        }
+    }
+}
+
+impl CrossbarModel {
+    /// Area (in 32×32×32-bit crossbar units) of a `ports × ports` crossbar
+    /// with `bits`-wide datapaths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports < 2` or `bits == 0`.
+    pub fn area(&self, ports: usize, bits: usize) -> f64 {
+        assert!(ports >= 2, "a crossbar needs at least 2 ports");
+        assert!(bits > 0, "zero-width datapath");
+        let p = ports as f64;
+        let w = bits as f64;
+        self.crosspoint_per_bit * p * p * w + self.port_per_bit * p * p.log2() * w
+    }
+
+    /// Dynamic energy per transported bit, relative to the 32-port design
+    /// (wire length across the grid grows ∝ `P`).
+    pub fn energy_per_bit(&self, ports: usize) -> f64 {
+        assert!(ports >= 2, "a crossbar needs at least 2 ports");
+        ports as f64 / 32.0
+    }
+
+    /// Area of the crossbar the channel-last design needs to feed a
+    /// `rows × rows` GEMM engine with `elem_bits`-wide elements.
+    pub fn channel_last_requirement(&self, rows: usize, elem_bits: usize) -> f64 {
+        self.area(rows, elem_bits)
+    }
+
+    /// Area of the routing the channel-first design needs: none — each
+    /// SRAM array wires straight to its PE row.
+    pub fn channel_first_requirement(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_at_gpu_scale() {
+        let m = CrossbarModel::default();
+        let a = m.area(32, 32);
+        assert!((a - 1.0).abs() < 1e-9, "32x32x32b = {a}");
+    }
+
+    #[test]
+    fn quadratic_growth_with_ports() {
+        // Paper: "crossbar area and power increase quadratically with
+        // respect to the number of ports."
+        let m = CrossbarModel::default();
+        let a128 = m.area(128, 32);
+        let a256 = m.area(256, 32);
+        let ratio = a256 / a128;
+        assert!((3.7..4.2).contains(&ratio), "256/128 area ratio {ratio}");
+        // TPU-v1 scale (256 rows): tens of GPU shuffle networks of silicon.
+        assert!(a256 > 50.0, "256-port crossbar = {a256} units");
+    }
+
+    #[test]
+    fn linear_growth_with_width() {
+        let m = CrossbarModel::default();
+        let ratio = m.area(64, 64) / m.area(64, 32);
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_grows_with_radix() {
+        let m = CrossbarModel::default();
+        assert!(m.energy_per_bit(256) > 7.9 * m.energy_per_bit(32));
+    }
+
+    #[test]
+    fn channel_first_needs_nothing() {
+        let m = CrossbarModel::default();
+        assert_eq!(m.channel_first_requirement(), 0.0);
+        assert!(m.channel_last_requirement(128, 32) > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ports")]
+    fn tiny_crossbar_rejected() {
+        let _ = CrossbarModel::default().area(1, 32);
+    }
+}

@@ -1,0 +1,15 @@
+//! # iconv-sram
+//!
+//! On-chip SRAM modelling for the simulators: an analytical **area model**
+//! (the workspace's substitute for CACTI/OpenRAM, used by the Fig. 16b word
+//! size design-space exploration) and a **port-occupancy model** for the
+//! TPU's single-port vector memories (read/write interleaving, idle-ratio
+//! statistics).
+
+pub mod area;
+pub mod crossbar;
+pub mod port;
+
+pub use area::AreaModel;
+pub use crossbar::CrossbarModel;
+pub use port::{PortStats, VectorMemConfig};

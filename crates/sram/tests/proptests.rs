@@ -1,0 +1,76 @@
+//! Property-based tests of the SRAM area, port and crossbar models.
+
+use iconv_sram::{AreaModel, CrossbarModel, PortStats, VectorMemConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Area is positive and monotone in capacity at fixed word size.
+    #[test]
+    fn area_monotone_in_capacity(
+        cap_kb in 1u64..4096,
+        word in prop::sample::select(vec![4u64, 8, 16, 32, 64, 128]),
+    ) {
+        let m = AreaModel::freepdk45();
+        let a1 = m.area_um2(cap_kb * 1024, word);
+        let a2 = m.area_um2(cap_kb * 2048, word);
+        prop_assert!(a1 > 0.0);
+        prop_assert!(a2 > a1, "double capacity must cost more area");
+    }
+
+    /// For vector-memory-class macros (≥ 64 KB), narrowing the word never
+    /// reduces area: the row periphery dominates. (Tiny macros flip — the
+    /// column periphery term moves the U-curve minimum left — so the range
+    /// is restricted to the regime the Fig. 16b sweep lives in.)
+    #[test]
+    fn area_monotone_in_word_narrowing(cap_kb in 64u64..1024) {
+        let m = AreaModel::freepdk45();
+        let cap = cap_kb * 1024;
+        let mut prev = f64::INFINITY;
+        for word in [4u64, 8, 16, 32, 64] {
+            let a = m.area_um2(cap, word);
+            prop_assert!(a <= prev * 1.0001, "area rose when widening to {word}B");
+            prev = a;
+        }
+    }
+
+    /// Port stats: idle ratio and demand are consistent and bounded.
+    #[test]
+    fn port_stats_consistent(cycles in 1u64..100_000, reads in 0u64..100_000, writes in 0u64..100_000) {
+        let s = PortStats { cycles, reads, writes };
+        let d = s.demand();
+        prop_assert!(d >= 0.0);
+        prop_assert!((s.idle_ratio() - (1.0 - d).clamp(0.0, 1.0)).abs() < 1e-12);
+        prop_assert!(s.stall_factor() >= 1.0);
+        if reads + writes <= cycles {
+            prop_assert!(s.idle_ratio() >= 0.0 && s.idle_ratio() <= 1.0);
+        } else {
+            prop_assert_eq!(s.idle_ratio(), 0.0);
+        }
+    }
+
+    /// Crossbar area grows strictly with ports and the quadratic term
+    /// dominates at scale.
+    #[test]
+    fn crossbar_superlinear(ports_log in 2u32..8) {
+        let m = CrossbarModel::default();
+        let p = 1usize << ports_log;
+        let a1 = m.area(p, 32);
+        let a2 = m.area(p * 2, 32);
+        prop_assert!(a2 > 2.0 * a1, "doubling ports must more than double area");
+        prop_assert!(a2 < 4.5 * a1, "growth should stay near quadratic");
+    }
+
+    /// Vector-memory word geometry is self-consistent.
+    #[test]
+    fn vector_mem_geometry(word in 1usize..64, cap_kb in 1u64..1024) {
+        let cfg = VectorMemConfig {
+            word_elems: word,
+            elem_bytes: 4,
+            capacity_bytes: cap_kb * 1024,
+        };
+        prop_assert_eq!(cfg.word_bytes(), (word * 4) as u64);
+        prop_assert_eq!(cfg.capacity_words() * cfg.word_bytes() <= cfg.capacity_bytes, true);
+    }
+}

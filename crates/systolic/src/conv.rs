@@ -1,0 +1,185 @@
+//! Channel-first implicit convolution executed on the functional systolic
+//! array — the end-to-end dataflow proof.
+//!
+//! For each tile group of the schedule, the group's `(g·Ci) × Co` weight
+//! slice is made stationary and the group's lowered rows are streamed
+//! through the grid; partial OFMaps accumulate across groups. This is
+//! exactly the TPU execution of Sec. IV at PE granularity, and it must (and
+//! does, by test) reproduce the direct convolution bit-exactly for integer
+//! data while reporting exact cycle counts.
+
+use crate::array::{ArrayConfig, SystolicArray};
+use crate::timing;
+use iconv_tensor::conv_ref::{filter_dims, ifmap_dims};
+use iconv_tensor::im2col::ofmap_from_matrix;
+use iconv_core::schedule::TileSchedule;
+use iconv_tensor::{ConvShape, Layout, Matrix, Scalar, Tensor};
+
+/// Result of running a convolution on the functional array.
+#[derive(Debug, Clone)]
+pub struct ConvRun<T> {
+    /// The OFMap, `NCHW`.
+    pub ofmap: Tensor<T>,
+    /// Exact cycles spent streaming (including per-group weight loads).
+    pub cycles: u64,
+    /// Cycles the closed-form model predicts for the same schedule.
+    pub predicted_cycles: u64,
+}
+
+/// Execute `shape` with the channel-first schedule on a functional array.
+///
+/// Each group's `N ≤ cols` requirement is handled by splitting `Co` into
+/// column tiles.
+///
+/// # Panics
+///
+/// Panics if a group needs more than `config.rows` PE rows (choose the
+/// schedule with [`TileSchedule::tpu`] to avoid this) or tensor dims
+/// mismatch `shape`.
+pub fn run_conv_channel_first<T: Scalar>(
+    config: ArrayConfig,
+    shape: &ConvShape,
+    ifmap: &Tensor<T>,
+    filter: &Tensor<T>,
+    schedule: &TileSchedule,
+) -> ConvRun<T> {
+    assert_eq!(ifmap.dims(), ifmap_dims(shape), "ifmap dims mismatch");
+    assert_eq!(filter.dims(), filter_dims(shape), "filter dims mismatch");
+    let m = shape.lowered_rows();
+    let mut acc = Matrix::<T>::zeros(m, shape.co);
+    let mut cycles = 0u64;
+    let mut predicted = 0u64;
+    for group in schedule.groups() {
+        let k = group.occupied_rows(shape);
+        assert!(k <= config.rows, "group {group} needs {k} rows");
+        let a = group.a_merged(shape, ifmap);
+        let b = group.b_merged(shape, filter);
+        // Column-tile Co over the array width.
+        let mut col0 = 0;
+        while col0 < shape.co {
+            let cols = config.cols.min(shape.co - col0);
+            let b_sub = Matrix::from_fn(k, cols, |r, c| b[(r, col0 + c)]);
+            let mut arr = SystolicArray::with_weights(config, &b_sub);
+            cycles += SystolicArray::<T>::weight_load_cycles(config);
+            let (out, elapsed) = arr.stream(&a);
+            cycles += elapsed;
+            predicted += SystolicArray::<T>::weight_load_cycles(config)
+                + timing::tile_stream_cycles(config, m, k, cols);
+            for r in 0..m {
+                for c in 0..cols {
+                    acc[(r, col0 + c)] += out[(r, c)];
+                }
+            }
+            col0 += cols;
+        }
+    }
+    ConvRun {
+        ofmap: ofmap_from_matrix(shape, &acc),
+        cycles,
+        predicted_cycles: predicted,
+    }
+}
+
+/// Convenience: run with the TPU multi-tile schedule and return just the
+/// OFMap, checking the cycle prediction internally.
+///
+/// # Panics
+///
+/// Panics on dims mismatch, or if the closed-form prediction diverges from
+/// the stepped array (which would indicate a dataflow bug).
+pub fn conv_on_array<T: Scalar>(
+    config: ArrayConfig,
+    shape: &ConvShape,
+    ifmap: &Tensor<T>,
+    filter: &Tensor<T>,
+) -> Tensor<T> {
+    let schedule = TileSchedule::tpu(shape, config.rows);
+    let run = run_conv_channel_first(config, shape, ifmap, filter, &schedule);
+    assert_eq!(
+        run.cycles, run.predicted_cycles,
+        "closed-form timing diverged from the stepped array"
+    );
+    run.ofmap
+}
+
+/// Quick self-check helper used by examples: random tensors, both paths.
+pub fn self_check(config: ArrayConfig, shape: &ConvShape, seed: u64) -> bool {
+    let x = Tensor::<i64>::random(ifmap_dims(shape), Layout::Nchw, seed);
+    let f = Tensor::<i64>::random(filter_dims(shape), Layout::Nchw, seed + 1);
+    let want = iconv_tensor::conv_ref::direct_conv(shape, &x, &f);
+    let got = conv_on_array(config, shape, &x, &f);
+    want.approx_eq(&got, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iconv_tensor::conv_ref::direct_conv;
+
+    #[test]
+    fn fig10_example_on_4x4_array() {
+        // Paper Fig. 10: N=2, Ci=4, 5x5, f=3x3, Co=4 on a 4x4 array.
+        let shape = ConvShape::square(2, 4, 5, 4, 3, 1, 0).unwrap();
+        let cfg = ArrayConfig { rows: 4, cols: 4 };
+        assert!(self_check(cfg, &shape, 42));
+    }
+
+    #[test]
+    fn fig11_multi_tile_on_4x4_array() {
+        // Paper Fig. 11: Ci=2, group of 2 tiles fills the 4-row array.
+        let shape = ConvShape::square(2, 2, 5, 4, 3, 1, 0).unwrap();
+        let cfg = ArrayConfig { rows: 4, cols: 4 };
+        let sched = TileSchedule::tpu(&shape, cfg.rows);
+        assert_eq!(sched.max_duplication(), 2);
+        assert!(self_check(cfg, &shape, 7));
+    }
+
+    #[test]
+    fn strided_and_padded_conv_on_array() {
+        let shape = ConvShape::square(1, 3, 9, 5, 3, 2, 1).unwrap();
+        let cfg = ArrayConfig { rows: 9, cols: 5 };
+        assert!(self_check(cfg, &shape, 3));
+    }
+
+    #[test]
+    fn co_wider_than_array_column_tiles() {
+        let shape = ConvShape::square(1, 2, 6, 7, 3, 1, 0).unwrap();
+        let cfg = ArrayConfig { rows: 6, cols: 3 }; // Co=7 > 3 columns
+        assert!(self_check(cfg, &shape, 9));
+    }
+
+    #[test]
+    fn multi_tile_cycles_fewer_than_single_tile() {
+        // The whole point of multi-tile: fewer groups -> fewer streamed
+        // passes -> fewer cycles.
+        let shape = ConvShape::square(1, 2, 7, 4, 3, 1, 0).unwrap();
+        let cfg = ArrayConfig { rows: 8, cols: 4 };
+        let x = Tensor::<i64>::random(ifmap_dims(&shape), Layout::Nchw, 1);
+        let f = Tensor::<i64>::random(filter_dims(&shape), Layout::Nchw, 2);
+        let single =
+            run_conv_channel_first(cfg, &shape, &x, &f, &TileSchedule::single_tile(&shape));
+        let multi = run_conv_channel_first(cfg, &shape, &x, &f, &TileSchedule::tpu(&shape, 8));
+        let want = direct_conv(&shape, &x, &f);
+        assert!(want.approx_eq(&single.ofmap, 0.0));
+        assert!(want.approx_eq(&multi.ofmap, 0.0));
+        assert!(
+            multi.cycles < single.cycles,
+            "multi {} vs single {}",
+            multi.cycles,
+            single.cycles
+        );
+    }
+
+    #[test]
+    fn prediction_matches_for_every_group_shape() {
+        let shape = ConvShape::square(2, 3, 6, 5, 2, 1, 0).unwrap();
+        let cfg = ArrayConfig { rows: 6, cols: 5 };
+        let x = Tensor::<i64>::random(ifmap_dims(&shape), Layout::Nchw, 11);
+        let f = Tensor::<i64>::random(filter_dims(&shape), Layout::Nchw, 12);
+        for g in [1usize, 2] {
+            let sched = TileSchedule::multi_tile(&shape, g);
+            let run = run_conv_channel_first(cfg, &shape, &x, &f, &sched);
+            assert_eq!(run.cycles, run.predicted_cycles, "group size {g}");
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! An **output-stationary** systolic dataflow, for comparison with the
+//! weight-stationary TPU design.
+//!
+//! The paper's related work contrasts with SCALE-Sim, which simulates
+//! systolic arrays under multiple dataflows but assumes *explicit* im2col.
+//! This module provides the output-stationary alternative at the same
+//! cycle-stepped fidelity as [`crate::array`]: each PE accumulates one
+//! output element in place while `A` rows stream from the left and `B`
+//! columns stream from the top; results shift out afterwards.
+//!
+//! The comparison it enables (see tests): for im2col-lowered convolutions
+//! (`M ≫ K, N`), weight-stationary wins because the long `M` dimension
+//! streams while small `K × N` weights sit still; output-stationary must
+//! tile `M` into array-sized chunks and pay a drain per chunk — one more
+//! reason the TPU's choice fits the channel-first algorithm.
+
+use iconv_tensor::{Matrix, Scalar};
+
+/// Geometry of the output-stationary grid: `rows × cols` accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OsArrayConfig {
+    /// PE rows (one output row of the tile each).
+    pub rows: usize,
+    /// PE columns (one output column of the tile each).
+    pub cols: usize,
+}
+
+/// Closed-form cycles for one output-stationary tile computing an
+/// `rows × cols` output block over a `k`-deep reduction:
+/// `k` cycles of streaming + `rows + cols − 2` skew + `cols` drain shifts.
+pub fn os_tile_cycles(config: OsArrayConfig, k: usize) -> u64 {
+    (k + config.rows + config.cols - 2 + config.cols) as u64
+}
+
+/// Closed-form cycles for a full `M × N × K` GEMM on an output-stationary
+/// grid: every `rows × cols` output tile pays a full `K` stream plus drain.
+pub fn os_gemm_cycles(config: OsArrayConfig, m: usize, n: usize, k: usize) -> u64 {
+    let tiles = m.div_ceil(config.rows) as u64 * n.div_ceil(config.cols) as u64;
+    tiles * os_tile_cycles(config, k)
+}
+
+/// Cycle-stepped functional output-stationary GEMM of one tile
+/// (`a`: `rows × K` slice, `b`: `K × cols` slice), returning the tile
+/// product and exact cycles, matching [`os_tile_cycles`].
+///
+/// # Panics
+///
+/// Panics if the operand shapes exceed the grid.
+pub fn os_tile<T: Scalar>(config: OsArrayConfig, a: &Matrix<T>, b: &Matrix<T>) -> (Matrix<T>, u64) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "reduction mismatch");
+    assert!(m <= config.rows, "M tile exceeds rows");
+    assert!(n <= config.cols, "N tile exceeds cols");
+    // Accumulators, one per PE.
+    let mut acc = Matrix::<T>::zeros(config.rows, config.cols);
+    // a-values flow right (skewed by row), b-values flow down (skewed by
+    // col); PE (r, c) sees a[r][t - r - c] and b[t - r - c][c] at cycle t.
+    let horizon = k + config.rows + config.cols - 2;
+    for t in 0..horizon {
+        for r in 0..m {
+            for c in 0..n {
+                if let Some(step) = t.checked_sub(r + c) {
+                    if step < k {
+                        let prod = a[(r, step)] * b[(step, c)];
+                        acc[(r, c)] += prod;
+                    }
+                }
+            }
+        }
+    }
+    // Drain: results shift out column by column.
+    let cycles = horizon as u64 + config.cols as u64;
+    (Matrix::from_fn(m, n, |r, c| acc[(r, c)]), cycles)
+}
+
+/// Full functional output-stationary GEMM with tiling, plus exact cycles.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn os_gemm<T: Scalar>(
+    config: OsArrayConfig,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> (Matrix<T>, u64) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "reduction mismatch");
+    let mut out = Matrix::<T>::zeros(m, n);
+    let mut cycles = 0u64;
+    let mut r0 = 0;
+    while r0 < m {
+        let rows = config.rows.min(m - r0);
+        let mut c0 = 0;
+        while c0 < n {
+            let cols = config.cols.min(n - c0);
+            let a_sub = Matrix::from_fn(rows, k, |r, kk| a[(r0 + r, kk)]);
+            let b_sub = Matrix::from_fn(k, cols, |kk, c| b[(kk, c0 + c)]);
+            let (tile, t_cycles) = os_tile(config, &a_sub, &b_sub);
+            cycles += t_cycles;
+            for r in 0..rows {
+                for c in 0..cols {
+                    out[(r0 + r, c0 + c)] = tile[(r, c)];
+                }
+            }
+            c0 += cols;
+        }
+        r0 += rows;
+    }
+    (out, cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::gemm_timing;
+    use crate::ArrayConfig;
+
+    fn cfg() -> OsArrayConfig {
+        OsArrayConfig { rows: 4, cols: 4 }
+    }
+
+    #[test]
+    fn os_tile_correct_and_cycle_exact() {
+        let a = Matrix::<i64>::from_fn(4, 6, |r, c| (r * 6 + c) as i64 % 7 - 3);
+        let b = Matrix::<i64>::from_fn(6, 4, |r, c| (r + 2 * c) as i64 % 5 - 2);
+        let (got, cycles) = os_tile(cfg(), &a, &b);
+        assert_eq!(got, a.matmul(&b));
+        assert_eq!(cycles, os_tile_cycles(cfg(), 6));
+    }
+
+    #[test]
+    fn os_gemm_correct_with_ragged_tiles() {
+        let a = Matrix::<i64>::from_fn(10, 5, |r, c| (r * 5 + c) as i64 % 9 - 4);
+        let b = Matrix::<i64>::from_fn(5, 7, |r, c| (3 * r + c) as i64 % 6 - 3);
+        let (got, cycles) = os_gemm(cfg(), &a, &b);
+        assert_eq!(got, a.matmul(&b));
+        // 3 row tiles x 2 col tiles.
+        assert_eq!(cycles, 6 * os_tile_cycles(cfg(), 5));
+        assert_eq!(cycles, os_gemm_cycles(cfg(), 10, 7, 5));
+    }
+
+    #[test]
+    fn weight_stationary_wins_for_im2col_shapes() {
+        // A lowered conv GEMM: M >> K, N (e.g. M = N·Ho·Wo = 6272 rows,
+        // K = 9·Ci = 576, N = Co = 128) on a 128x128 grid.
+        let ws = ArrayConfig { rows: 128, cols: 128 };
+        let os = OsArrayConfig { rows: 128, cols: 128 };
+        let (m, n, k) = (6272usize, 128usize, 576usize);
+        let ws_cycles = gemm_timing(ws, m, n, k, true).cycles;
+        let os_cycles = os_gemm_cycles(os, m, n, k);
+        assert!(
+            ws_cycles < os_cycles,
+            "WS {ws_cycles} should beat OS {os_cycles} on tall-skinny GEMMs"
+        );
+    }
+
+    #[test]
+    fn deep_square_reductions_are_a_wash_in_cycles() {
+        // K >> M, N: OS accumulates the whole K in place; WS with
+        // double-buffered weights streams the same K in passes. The cycle
+        // counts converge — OS's real advantage there is partial-sum
+        // traffic (nothing leaves the array), not time.
+        let ws = ArrayConfig { rows: 128, cols: 128 };
+        let os = OsArrayConfig { rows: 128, cols: 128 };
+        let (m, n, k) = (128usize, 128usize, 16384usize);
+        let ws_cycles = gemm_timing(ws, m, n, k, true).cycles;
+        let os_cycles = os_gemm_cycles(os, m, n, k);
+        let ratio = os_cycles as f64 / ws_cycles as f64;
+        assert!((0.95..1.05).contains(&ratio), "OS {os_cycles} vs WS {ws_cycles}");
+    }
+
+    #[test]
+    fn single_element_grid_degenerates_to_dot_products() {
+        let c = OsArrayConfig { rows: 1, cols: 1 };
+        let a = Matrix::<i64>::from_fn(3, 4, |r, cc| (r + cc) as i64);
+        let b = Matrix::<i64>::from_fn(4, 2, |r, cc| (r * 2 + cc) as i64);
+        let (got, _) = os_gemm(c, &a, &b);
+        assert_eq!(got, a.matmul(&b));
+    }
+}

@@ -1,0 +1,146 @@
+//! Closed-form systolic timing, validated cycle-exactly against the
+//! functional array in [`crate::array`].
+
+use crate::array::ArrayConfig;
+
+/// Exact cycles for one weight-stationary pass streaming `m` activation rows
+/// through an `R × C` grid: `m + R + C − 1`.
+///
+/// The `k`/`n` extents of the loaded tile do not appear: partial sums always
+/// drain through all `R` rows (outputs exit at the bottom) and activations
+/// traverse all `C` columns, exactly as in [`crate::array::SystolicArray`],
+/// which this formula matches cycle-for-cycle (see that module's tests).
+pub fn tile_stream_cycles(config: ArrayConfig, m: usize, _k: usize, _n: usize) -> u64 {
+    (m + config.rows + config.cols - 1) as u64
+}
+
+/// Timing breakdown of a full GEMM executed as multiple weight-stationary
+/// passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmTiming {
+    /// Number of weight tiles = `ceil(K/R) · ceil(N/C)` passes.
+    pub passes: u64,
+    /// Total compute cycles.
+    pub cycles: u64,
+    /// MACs performed.
+    pub macs: u64,
+}
+
+impl GemmTiming {
+    /// Fraction of peak MAC throughput achieved: `macs / (cycles · R · C)`.
+    pub fn utilization(&self, config: ArrayConfig) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.macs as f64 / (self.cycles as f64 * (config.rows * config.cols) as f64)
+    }
+}
+
+/// Cycles for a full `M × K × N` GEMM on the array.
+///
+/// The GEMM is tiled into `ceil(K/R) · ceil(N/C)` weight-stationary passes,
+/// each streaming all `M` rows. With `double_buffered_weights` the next
+/// tile's weights load while the current pass streams (the TPU's dual weight
+/// buffer), so only the first load and the pipeline fill/drain are exposed:
+///
+/// `cycles = passes · M + R (first load) + (R + C − 1) (last drain)`
+///
+/// Without double buffering every pass pays the `R`-cycle weight load.
+pub fn gemm_timing(
+    config: ArrayConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    double_buffered_weights: bool,
+) -> GemmTiming {
+    let k_tiles = k.div_ceil(config.rows) as u64;
+    let n_tiles = n.div_ceil(config.cols) as u64;
+    let passes = k_tiles * n_tiles;
+    let stream = passes * m as u64;
+    let fill_drain = (config.rows + config.cols - 1) as u64;
+    let weight_loads = if double_buffered_weights {
+        config.rows as u64
+    } else {
+        passes * config.rows as u64
+    };
+    GemmTiming {
+        passes,
+        cycles: stream + fill_drain + weight_loads,
+        macs: (m as u64) * (n as u64) * (k as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::SystolicArray;
+    use iconv_tensor::Matrix;
+
+    #[test]
+    fn formula_matches_functional_array_exactly() {
+        for (rows, cols, m, k, n) in [
+            (4usize, 4usize, 10usize, 4usize, 4usize),
+            (4, 4, 1, 4, 4),
+            (6, 3, 9, 2, 3),
+            (3, 6, 5, 3, 2),
+            (8, 8, 20, 5, 7),
+        ] {
+            let cfg = ArrayConfig { rows, cols };
+            let a = Matrix::<i64>::from_fn(m, k, |r, c| (r * 31 + c * 7) as i64 % 13 - 6);
+            let b = Matrix::<i64>::from_fn(k, n, |r, c| (r * 5 + c * 3) as i64 % 9 - 4);
+            let mut arr = SystolicArray::with_weights(cfg, &b);
+            let (out, cycles) = arr.stream(&a);
+            assert!(out.approx_eq(&a.matmul(&b), 0.0) || {
+                // integer exact compare on the used sub-block
+                (0..m).all(|r| (0..n).all(|c| out[(r, c)] == a.matmul(&b)[(r, c)]))
+            });
+            assert_eq!(
+                cycles,
+                tile_stream_cycles(cfg, m, k, n),
+                "({rows},{cols},{m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn single_pass_gemm_timing() {
+        let cfg = ArrayConfig { rows: 128, cols: 128 };
+        let t = gemm_timing(cfg, 1024, 128, 128, true);
+        assert_eq!(t.passes, 1);
+        assert_eq!(t.cycles, 1024 + 255 + 128);
+        assert_eq!(t.macs, 1024 * 128 * 128);
+    }
+
+    #[test]
+    fn multi_pass_gemm_timing() {
+        let cfg = ArrayConfig { rows: 128, cols: 128 };
+        let t = gemm_timing(cfg, 1024, 256, 256, true);
+        assert_eq!(t.passes, 4);
+        assert_eq!(t.cycles, 4 * 1024 + 255 + 128);
+    }
+
+    #[test]
+    fn no_double_buffering_pays_reloads() {
+        let cfg = ArrayConfig { rows: 128, cols: 128 };
+        let db = gemm_timing(cfg, 512, 512, 512, true);
+        let nodb = gemm_timing(cfg, 512, 512, 512, false);
+        assert_eq!(nodb.cycles - db.cycles, (16 - 1) * 128);
+    }
+
+    #[test]
+    fn utilization_peaks_for_full_tiles() {
+        let cfg = ArrayConfig { rows: 128, cols: 128 };
+        // Huge square GEMM: utilization approaches 1.
+        let t = gemm_timing(cfg, 8192, 8192, 8192, true);
+        assert!(t.utilization(cfg) > 0.95);
+        // Small K underuses the rows.
+        let t = gemm_timing(cfg, 8192, 128, 8, true);
+        assert!(t.utilization(cfg) < 0.1);
+    }
+
+    #[test]
+    fn utilization_zero_cycles_guard() {
+        let t = GemmTiming { passes: 0, cycles: 0, macs: 0 };
+        assert_eq!(t.utilization(ArrayConfig::tpu_v2()), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Reference direct convolution — the golden model every algorithm path in
+//! this workspace is tested against.
+
+use crate::layout::{Coord, Dims, Layout};
+use crate::shape::ConvShape;
+use crate::tensor::{Scalar, Tensor};
+
+/// Extents of the filter tensor for `shape`, reusing [`Dims`] with the
+/// convention `n = Co`, `c = Ci`, `h = Hf`, `w = Wf`.
+pub fn filter_dims(shape: &ConvShape) -> Dims {
+    Dims::new(shape.co, shape.ci, shape.hf, shape.wf)
+}
+
+/// Extents of the IFMap tensor for `shape`.
+pub fn ifmap_dims(shape: &ConvShape) -> Dims {
+    Dims::new(shape.n, shape.ci, shape.hi, shape.wi)
+}
+
+/// Extents of the OFMap tensor for `shape`.
+pub fn ofmap_dims(shape: &ConvShape) -> Dims {
+    Dims::new(shape.n, shape.co, shape.out_h(), shape.out_w())
+}
+
+/// The input pixel read by output pixel `(oh, ow)` at filter tap `(fh, fw)`,
+/// or `None` when the tap lands in the zero padding.
+///
+/// This one function is the shared definition of convolution geometry;
+/// the direct convolution below, the explicit im2col in
+/// [`crate::im2col`], and the implicit algebra in `iconv-core` all agree
+/// with it by construction or by test.
+pub fn input_pixel(
+    shape: &ConvShape,
+    oh: usize,
+    ow: usize,
+    fh: usize,
+    fw: usize,
+) -> Option<(usize, usize)> {
+    let h = (oh * shape.stride_h + fh * shape.dil_h).checked_sub(shape.pad_h)?;
+    let w = (ow * shape.stride_w + fw * shape.dil_w).checked_sub(shape.pad_w)?;
+    (h < shape.hi && w < shape.wi).then_some((h, w))
+}
+
+/// Direct convolution: the golden model.
+///
+/// `ifmap` must have dims [`ifmap_dims`]`(shape)` and `filter` dims
+/// [`filter_dims`]`(shape)`. The result is produced in `NCHW` layout; inputs
+/// may use any layout.
+///
+/// # Panics
+///
+/// Panics if tensor dims do not match `shape`.
+///
+/// # Examples
+///
+/// ```
+/// # use iconv_tensor::{conv_ref, ConvShape, Tensor, Layout};
+/// # fn main() -> Result<(), iconv_tensor::ShapeError> {
+/// let shape = ConvShape::square(1, 8, 5, 4, 3, 1, 0)?;
+/// let x = Tensor::<f32>::random(conv_ref::ifmap_dims(&shape), Layout::Nchw, 1);
+/// let f = Tensor::<f32>::random(conv_ref::filter_dims(&shape), Layout::Nchw, 2);
+/// let y = conv_ref::direct_conv(&shape, &x, &f);
+/// assert_eq!(y.dims(), conv_ref::ofmap_dims(&shape));
+/// # Ok(()) }
+/// ```
+pub fn direct_conv<T: Scalar>(
+    shape: &ConvShape,
+    ifmap: &Tensor<T>,
+    filter: &Tensor<T>,
+) -> Tensor<T> {
+    assert_eq!(ifmap.dims(), ifmap_dims(shape), "ifmap dims mismatch");
+    assert_eq!(filter.dims(), filter_dims(shape), "filter dims mismatch");
+    let mut out = Tensor::zeros(ofmap_dims(shape), Layout::Nchw);
+    for n in 0..shape.n {
+        for co in 0..shape.co {
+            for oh in 0..shape.out_h() {
+                for ow in 0..shape.out_w() {
+                    let mut acc = T::zero();
+                    for ci in 0..shape.ci {
+                        for fh in 0..shape.hf {
+                            for fw in 0..shape.wf {
+                                if let Some((h, w)) = input_pixel(shape, oh, ow, fh, fw) {
+                                    let x = ifmap.get(Coord::new(n, ci, h, w));
+                                    let k = filter.get(Coord::new(co, ci, fh, fw));
+                                    acc += x * k;
+                                }
+                            }
+                        }
+                    }
+                    out.set(Coord::new(n, co, oh, ow), acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape_1ch() -> ConvShape {
+        ConvShape::square(1, 1, 4, 1, 3, 1, 0).unwrap()
+    }
+
+    #[test]
+    fn hand_computed_1d_like_case() {
+        // 4x4 input of all ones, 3x3 filter of all ones -> every output = 9.
+        let shape = shape_1ch();
+        let x = Tensor::<i32>::from_fn(ifmap_dims(&shape), Layout::Nchw, |_| 1);
+        let f = Tensor::<i32>::from_fn(filter_dims(&shape), Layout::Nchw, |_| 1);
+        let y = direct_conv(&shape, &x, &f);
+        assert_eq!(y.dims(), Dims::new(1, 1, 2, 2));
+        for c in y.dims().iter() {
+            assert_eq!(y.get(c), 9);
+        }
+    }
+
+    #[test]
+    fn identity_filter_is_shift() {
+        // A 3x3 filter with a single 1 at tap (0,0) copies the top-left of
+        // each window: y[oh][ow] = x[oh][ow].
+        let shape = shape_1ch();
+        let x = Tensor::<i32>::coordinate_coded(ifmap_dims(&shape), Layout::Nchw);
+        let f = Tensor::<i32>::from_fn(filter_dims(&shape), Layout::Nchw, |c| {
+            i32::from(c.h == 0 && c.w == 0)
+        });
+        let y = direct_conv(&shape, &x, &f);
+        for oh in 0..2 {
+            for ow in 0..2 {
+                assert_eq!(
+                    y.get(Coord::new(0, 0, oh, ow)),
+                    x.get(Coord::new(0, 0, oh, ow))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padding_zeros_contribute_nothing() {
+        // All-ones input/filter with pad 1: corner output windows cover 4
+        // valid pixels, edges 6, centre 9.
+        let shape = ConvShape::square(1, 1, 3, 1, 3, 1, 1).unwrap();
+        let x = Tensor::<i32>::from_fn(ifmap_dims(&shape), Layout::Nchw, |_| 1);
+        let f = Tensor::<i32>::from_fn(filter_dims(&shape), Layout::Nchw, |_| 1);
+        let y = direct_conv(&shape, &x, &f);
+        assert_eq!(y.get(Coord::new(0, 0, 0, 0)), 4);
+        assert_eq!(y.get(Coord::new(0, 0, 0, 1)), 6);
+        assert_eq!(y.get(Coord::new(0, 0, 1, 1)), 9);
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let dense = ConvShape::square(1, 2, 7, 3, 3, 1, 0).unwrap();
+        let strided = ConvShape::square(1, 2, 7, 3, 3, 2, 0).unwrap();
+        let x = Tensor::<i64>::random(ifmap_dims(&dense), Layout::Nchw, 5);
+        let f = Tensor::<i64>::from_fn(filter_dims(&dense), Layout::Nchw, |c| {
+            (c.n + c.c + c.h + c.w) as i64
+        });
+        let yd = direct_conv(&dense, &x, &f);
+        let ys = direct_conv(&strided, &x, &f);
+        // Strided output (oh, ow) equals dense output (2oh, 2ow).
+        for n in 0..1 {
+            for co in 0..3 {
+                for oh in 0..strided.out_h() {
+                    for ow in 0..strided.out_w() {
+                        assert_eq!(
+                            ys.get(Coord::new(n, co, oh, ow)),
+                            yd.get(Coord::new(n, co, 2 * oh, 2 * ow))
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dilation_skips_pixels() {
+        // Dilated 2x, 2x2 filter on a coordinate-coded input: tap (1,1) reads
+        // pixel (h+2, w+2).
+        let shape = ConvShape::new(1, 1, 5, 5, 1, 2, 2).dilation(2).build().unwrap();
+        let x = Tensor::<i32>::coordinate_coded(ifmap_dims(&shape), Layout::Nchw);
+        let f = Tensor::<i32>::from_fn(filter_dims(&shape), Layout::Nchw, |c| {
+            i32::from(c.h == 1 && c.w == 1)
+        });
+        let y = direct_conv(&shape, &x, &f);
+        assert_eq!(y.get(Coord::new(0, 0, 0, 0)), x.get(Coord::new(0, 0, 2, 2)));
+    }
+
+    #[test]
+    fn layout_of_inputs_is_irrelevant() {
+        let shape = ConvShape::square(2, 3, 6, 4, 3, 1, 1).unwrap();
+        let x = Tensor::<f64>::random(ifmap_dims(&shape), Layout::Nchw, 9);
+        let f = Tensor::<f64>::random(filter_dims(&shape), Layout::Nchw, 10);
+        let y0 = direct_conv(&shape, &x, &f);
+        let y1 = direct_conv(&shape, &x.relayout(Layout::Hwcn), &f.relayout(Layout::Nhwc));
+        assert!(y0.approx_eq(&y1, 0.0));
+    }
+
+    #[test]
+    fn input_pixel_padding_boundaries() {
+        let shape = ConvShape::square(1, 1, 5, 1, 3, 1, 1).unwrap();
+        // Output (0,0), tap (0,0) -> pixel (-1,-1): padding.
+        assert_eq!(input_pixel(&shape, 0, 0, 0, 0), None);
+        // Output (0,0), tap (1,1) -> pixel (0,0).
+        assert_eq!(input_pixel(&shape, 0, 0, 1, 1), Some((0, 0)));
+        // Output (4,4), tap (2,2) -> pixel (5,5): beyond the input.
+        assert_eq!(input_pixel(&shape, 4, 4, 2, 2), None);
+        assert_eq!(input_pixel(&shape, 4, 4, 1, 1), Some((4, 4)));
+    }
+}

@@ -1,0 +1,263 @@
+//! Grouped and depthwise convolution, expressed over the existing dense
+//! machinery.
+//!
+//! A grouped convolution with `G` groups splits the channels: group `g`
+//! convolves input channels `[g·Ci/G, (g+1)·Ci/G)` with its own filters to
+//! produce output channels `[g·Co/G, (g+1)·Co/G)`. Depthwise convolution is
+//! the extreme `G = Ci` (one channel per group). Everything here reduces a
+//! grouped problem to `G` independent dense [`ConvShape`] problems, so all
+//! lowering algorithms, simulators and gradients apply per group unchanged —
+//! which is also exactly how GEMM accelerators execute them, and why
+//! depthwise layers underutilize them so badly (each per-group GEMM has
+//! `K = Ci/G` reduction depth; at `G = Ci` that is `K = Hf·Wf`).
+
+use crate::conv_ref::{filter_dims, ifmap_dims, ofmap_dims};
+use crate::layout::{Coord, Dims, Layout};
+use crate::shape::{ConvShape, ShapeError};
+use crate::tensor::{Scalar, Tensor};
+
+/// A grouped convolution: a dense [`ConvShape`] plus a group count that
+/// divides both channel extents.
+/// # Examples
+///
+/// ```
+/// # use iconv_tensor::{ConvShape, GroupedConv};
+/// # fn main() -> Result<(), iconv_tensor::ShapeError> {
+/// let dense = ConvShape::square(1, 32, 14, 32, 3, 1, 1)?;
+/// let dw = GroupedConv::depthwise(dense, 1)?;
+/// assert!(dw.is_depthwise());
+/// assert_eq!(dw.macs(), dense.macs() / 32); // 1/Ci of the dense work
+/// # Ok(()) }
+/// ```
+///
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupedConv {
+    /// The *full* shape (total `ci`, total `co`).
+    pub shape: ConvShape,
+    /// Number of groups (`1` = dense, `ci` = depthwise).
+    pub groups: usize,
+}
+
+impl GroupedConv {
+    /// Create a grouped convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `groups` is zero or does not divide both
+    /// `ci` and `co`.
+    pub fn new(shape: ConvShape, groups: usize) -> Result<Self, ShapeError> {
+        if groups == 0 {
+            return Err(ShapeError::new("groups must be non-zero"));
+        }
+        if shape.ci % groups != 0 || shape.co % groups != 0 {
+            return Err(ShapeError::new(format!(
+                "groups {groups} must divide ci {} and co {}",
+                shape.ci, shape.co
+            )));
+        }
+        Ok(Self { shape, groups })
+    }
+
+    /// Depthwise convolution: one group per input channel, `multiplier`
+    /// outputs per channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on invalid dims.
+    pub fn depthwise(shape: ConvShape, multiplier: usize) -> Result<Self, ShapeError> {
+        let mut s = shape;
+        s.co = shape.ci * multiplier;
+        Self::new(s, shape.ci)
+    }
+
+    /// The dense sub-problem every group solves: `ci/G → co/G` channels.
+    pub fn group_shape(&self) -> ConvShape {
+        ConvShape {
+            ci: self.shape.ci / self.groups,
+            co: self.shape.co / self.groups,
+            ..self.shape
+        }
+    }
+
+    /// True when this is a depthwise convolution.
+    pub fn is_depthwise(&self) -> bool {
+        self.groups == self.shape.ci
+    }
+
+    /// MACs — `1/G` of the dense shape's.
+    pub fn macs(&self) -> u64 {
+        self.group_shape().macs() * self.groups as u64
+    }
+
+    /// FLOPs (2 per MAC).
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Filter dims: `Co × (Ci/G) × Hf × Wf`.
+    pub fn filter_dims(&self) -> Dims {
+        Dims::new(
+            self.shape.co,
+            self.shape.ci / self.groups,
+            self.shape.hf,
+            self.shape.wf,
+        )
+    }
+
+    /// Extract group `g`'s IFMap slice as a standalone tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= groups` or dims mismatch.
+    pub fn slice_ifmap<T: Scalar>(&self, ifmap: &Tensor<T>, g: usize) -> Tensor<T> {
+        assert!(g < self.groups, "group {g} out of range");
+        assert_eq!(ifmap.dims(), ifmap_dims(&self.shape), "ifmap dims mismatch");
+        let gs = self.group_shape();
+        let base = g * gs.ci;
+        Tensor::from_fn(ifmap_dims(&gs), ifmap.layout(), |c| {
+            ifmap.get(Coord::new(c.n, base + c.c, c.h, c.w))
+        })
+    }
+
+    /// Extract group `g`'s filter slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= groups` or dims mismatch.
+    pub fn slice_filter<T: Scalar>(&self, filter: &Tensor<T>, g: usize) -> Tensor<T> {
+        assert!(g < self.groups, "group {g} out of range");
+        assert_eq!(filter.dims(), self.filter_dims(), "filter dims mismatch");
+        let gs = self.group_shape();
+        let base = g * gs.co;
+        Tensor::from_fn(filter_dims(&gs), filter.layout(), |c| {
+            filter.get(Coord::new(base + c.n, c.c, c.h, c.w))
+        })
+    }
+
+    /// Grouped convolution by reduction to `G` dense convolutions through
+    /// `conv_one_group` (any dense algorithm — direct, explicit, implicit).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dims mismatch.
+    pub fn conv_with<T: Scalar>(
+        &self,
+        ifmap: &Tensor<T>,
+        filter: &Tensor<T>,
+        mut conv_one_group: impl FnMut(&ConvShape, &Tensor<T>, &Tensor<T>) -> Tensor<T>,
+    ) -> Tensor<T> {
+        assert_eq!(filter.dims(), self.filter_dims(), "filter dims mismatch");
+        let gs = self.group_shape();
+        let mut out = Tensor::zeros(ofmap_dims(&self.shape), Layout::Nchw);
+        for g in 0..self.groups {
+            let x = self.slice_ifmap(ifmap, g);
+            let f = self.slice_filter(filter, g);
+            let y = conv_one_group(&gs, &x, &f);
+            debug_assert_eq!(y.dims(), ofmap_dims(&gs));
+            let base = g * gs.co;
+            for c in y.dims().iter() {
+                out.set(Coord::new(c.n, base + c.c, c.h, c.w), y.get(c));
+            }
+        }
+        out
+    }
+
+    /// Grouped convolution via the direct reference (golden model).
+    pub fn direct_conv<T: Scalar>(&self, ifmap: &Tensor<T>, filter: &Tensor<T>) -> Tensor<T> {
+        self.conv_with(ifmap, filter, |s, x, f| crate::conv_ref::direct_conv(s, x, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::im2col::conv_explicit;
+    use crate::ColumnOrder;
+
+    fn grouped(g: usize) -> GroupedConv {
+        let shape = ConvShape::square(2, 8, 6, 12, 3, 1, 1).unwrap();
+        GroupedConv::new(shape, g).unwrap()
+    }
+
+    #[test]
+    fn group_1_equals_dense() {
+        let gc = grouped(1);
+        let x = Tensor::<i64>::random(ifmap_dims(&gc.shape), Layout::Nchw, 1);
+        let f = Tensor::<i64>::random(filter_dims(&gc.shape), Layout::Nchw, 2);
+        let dense = crate::conv_ref::direct_conv(&gc.shape, &x, &f);
+        assert!(dense.approx_eq(&gc.direct_conv(&x, &f), 0.0));
+    }
+
+    #[test]
+    fn grouped_equals_masked_dense() {
+        // A grouped conv equals a dense conv whose filter is zero outside
+        // the block-diagonal channel structure.
+        let gc = grouped(4);
+        let x = Tensor::<i64>::random(ifmap_dims(&gc.shape), Layout::Nchw, 3);
+        let fg = Tensor::<i64>::random(gc.filter_dims(), Layout::Nchw, 4);
+        let got = gc.direct_conv(&x, &fg);
+        // Build the equivalent block-diagonal dense filter.
+        let gs = gc.group_shape();
+        let fd = Tensor::<i64>::from_fn(filter_dims(&gc.shape), Layout::Nchw, |c| {
+            let g_out = c.n / gs.co;
+            let g_in = c.c / gs.ci;
+            if g_out == g_in {
+                fg.get(Coord::new(c.n, c.c % gs.ci, c.h, c.w))
+            } else {
+                0
+            }
+        });
+        let want = crate::conv_ref::direct_conv(&gc.shape, &x, &fd);
+        assert!(want.approx_eq(&got, 0.0));
+    }
+
+    #[test]
+    fn any_dense_algorithm_works_per_group() {
+        let gc = grouped(2);
+        let x = Tensor::<i64>::random(ifmap_dims(&gc.shape), Layout::Nchw, 5);
+        let f = Tensor::<i64>::random(gc.filter_dims(), Layout::Nchw, 6);
+        let want = gc.direct_conv(&x, &f);
+        let got = gc.conv_with(&x, &f, |s, xi, fi| {
+            conv_explicit(s, xi, fi, ColumnOrder::ChannelFirst)
+        });
+        assert!(want.approx_eq(&got, 0.0));
+    }
+
+    #[test]
+    fn depthwise_constructor_and_flops() {
+        let base = ConvShape::square(1, 32, 14, 32, 3, 1, 1).unwrap();
+        let dw = GroupedConv::depthwise(base, 1).unwrap();
+        assert!(dw.is_depthwise());
+        assert_eq!(dw.groups, 32);
+        assert_eq!(dw.group_shape().ci, 1);
+        // Depthwise MACs = dense / Ci.
+        assert_eq!(dw.macs(), base.macs() / 32);
+    }
+
+    #[test]
+    fn depthwise_channels_are_independent() {
+        let base = ConvShape::square(1, 4, 5, 4, 3, 1, 0).unwrap();
+        let dw = GroupedConv::depthwise(base, 1).unwrap();
+        let mut x = Tensor::<i64>::random(ifmap_dims(&dw.shape), Layout::Nchw, 7);
+        let f = Tensor::<i64>::random(dw.filter_dims(), Layout::Nchw, 8);
+        let y0 = dw.direct_conv(&x, &f);
+        // Perturb channel 3: only output channel 3 may change.
+        x.set(Coord::new(0, 3, 2, 2), 999);
+        let y1 = dw.direct_conv(&x, &f);
+        for c in y0.dims().iter() {
+            if c.c != 3 {
+                assert_eq!(y0.get(c), y1.get(c), "channel {} leaked", c.c);
+            }
+        }
+        assert!(!y0.approx_eq(&y1, 0.0));
+    }
+
+    #[test]
+    fn bad_group_counts_rejected() {
+        let shape = ConvShape::square(1, 8, 6, 12, 3, 1, 1).unwrap();
+        assert!(GroupedConv::new(shape, 0).is_err());
+        assert!(GroupedConv::new(shape, 5).is_err()); // divides neither
+        assert!(GroupedConv::new(shape, 3).is_err()); // divides co only
+    }
+}

@@ -1,0 +1,395 @@
+//! **Explicit** im2col: materializing the lowered IFMap matrix.
+//!
+//! This is the baseline the paper argues against (Sec. II-B): it duplicates
+//! input data up to `Hf × Wf` times (Table I) and spends time on the
+//! transformation itself (Fig. 2). It is also the semantic specification the
+//! implicit algorithms in `iconv-core` must match.
+//!
+//! Both **column orders** are supported:
+//!
+//! * [`ColumnOrder::ChannelLast`] — the conventional order (`Ci` slowest:
+//!   a full `Hf×Wf` window per channel, channels concatenated), used by
+//!   Lym et al. / cuDNN-style implicit im2col.
+//! * [`ColumnOrder::ChannelFirst`] — the paper's order (`Ci` fastest: the
+//!   same filter tap across all channels adjacent), which makes each lowered
+//!   column a 1×1-conv slice and enables the crossbar-free SRAM layout.
+
+use crate::conv_ref::{filter_dims, ifmap_dims, input_pixel, ofmap_dims};
+use crate::layout::{Coord, Layout};
+use crate::mat::Matrix;
+use crate::shape::ConvShape;
+use crate::tensor::{Scalar, Tensor};
+use std::fmt;
+
+/// Position of one filter tap: `(fh, fw, ci)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tap {
+    /// Filter row.
+    pub fh: usize,
+    /// Filter column.
+    pub fw: usize,
+    /// Input channel.
+    pub ci: usize,
+}
+
+/// The order in which the `Hf·Wf·Ci` reduction dimension of the lowered
+/// matrix is linearized (paper Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ColumnOrder {
+    /// `ci` is the slowest axis: `col = ((ci·Hf) + fh)·Wf + fw`.
+    #[default]
+    ChannelLast,
+    /// `ci` is the fastest axis: `col = ((fh·Wf) + fw)·Ci + ci`.
+    ChannelFirst,
+}
+
+impl ColumnOrder {
+    /// Both orders, for exhaustive tests.
+    pub const ALL: [ColumnOrder; 2] = [ColumnOrder::ChannelLast, ColumnOrder::ChannelFirst];
+
+    /// Linear column index of a tap.
+    pub fn col(self, shape: &ConvShape, tap: Tap) -> usize {
+        debug_assert!(tap.fh < shape.hf && tap.fw < shape.wf && tap.ci < shape.ci);
+        match self {
+            ColumnOrder::ChannelLast => (tap.ci * shape.hf + tap.fh) * shape.wf + tap.fw,
+            ColumnOrder::ChannelFirst => (tap.fh * shape.wf + tap.fw) * shape.ci + tap.ci,
+        }
+    }
+
+    /// Inverse of [`ColumnOrder::col`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= shape.lowered_cols()`.
+    pub fn tap(self, shape: &ConvShape, col: usize) -> Tap {
+        assert!(col < shape.lowered_cols(), "column {col} out of range");
+        match self {
+            ColumnOrder::ChannelLast => Tap {
+                ci: col / (shape.hf * shape.wf),
+                fh: (col / shape.wf) % shape.hf,
+                fw: col % shape.wf,
+            },
+            ColumnOrder::ChannelFirst => Tap {
+                fh: col / (shape.wf * shape.ci),
+                fw: (col / shape.ci) % shape.wf,
+                ci: col % shape.ci,
+            },
+        }
+    }
+
+    /// The permutation mapping *this* order's columns onto `other`'s:
+    /// `perm[j]` is the column index in `other` holding the same tap as
+    /// column `j` here. `A_other.permute_cols(&perm) == A_self`.
+    pub fn permutation_to(self, other: ColumnOrder, shape: &ConvShape) -> Vec<usize> {
+        (0..shape.lowered_cols())
+            .map(|j| other.col(shape, self.tap(shape, j)))
+            .collect()
+    }
+}
+
+impl fmt::Display for ColumnOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ColumnOrder::ChannelLast => "channel-last",
+            ColumnOrder::ChannelFirst => "channel-first",
+        })
+    }
+}
+
+/// Output pixel addressed by lowered-matrix row `row`: `(n, oh, ow)`.
+///
+/// # Panics
+///
+/// Panics if `row >= shape.lowered_rows()`.
+pub fn row_to_output(shape: &ConvShape, row: usize) -> (usize, usize, usize) {
+    assert!(row < shape.lowered_rows(), "row {row} out of range");
+    let per_img = shape.out_h() * shape.out_w();
+    (
+        row / per_img,
+        (row % per_img) / shape.out_w(),
+        row % shape.out_w(),
+    )
+}
+
+/// Lowered-matrix row of output pixel `(n, oh, ow)`.
+pub fn output_to_row(shape: &ConvShape, n: usize, oh: usize, ow: usize) -> usize {
+    (n * shape.out_h() + oh) * shape.out_w() + ow
+}
+
+/// IFMap coordinate at lowered-matrix entry `(row, col)`, or `None` when the
+/// entry is a padding zero.
+pub fn entry_coord(
+    shape: &ConvShape,
+    order: ColumnOrder,
+    row: usize,
+    col: usize,
+) -> Option<Coord> {
+    let (n, oh, ow) = row_to_output(shape, row);
+    let tap = order.tap(shape, col);
+    let (h, w) = input_pixel(shape, oh, ow, tap.fh, tap.fw)?;
+    Some(Coord::new(n, tap.ci, h, w))
+}
+
+/// Materialize the lowered IFMap matrix (`N·Ho·Wo × Hf·Wf·Ci`): the explicit
+/// im2col transformation.
+///
+/// # Panics
+///
+/// Panics if `ifmap.dims()` does not match `shape`.
+pub fn lower<T: Scalar>(shape: &ConvShape, ifmap: &Tensor<T>, order: ColumnOrder) -> Matrix<T> {
+    assert_eq!(ifmap.dims(), ifmap_dims(shape), "ifmap dims mismatch");
+    Matrix::from_fn(shape.lowered_rows(), shape.lowered_cols(), |r, c| {
+        entry_coord(shape, order, r, c).map_or_else(T::zero, |coord| ifmap.get(coord))
+    })
+}
+
+/// Flatten the filter tensor to the `Hf·Wf·Ci × Co` matrix whose row order
+/// matches `order`.
+///
+/// # Panics
+///
+/// Panics if `filter.dims()` does not match `shape`.
+pub fn filter_matrix<T: Scalar>(
+    shape: &ConvShape,
+    filter: &Tensor<T>,
+    order: ColumnOrder,
+) -> Matrix<T> {
+    assert_eq!(filter.dims(), filter_dims(shape), "filter dims mismatch");
+    Matrix::from_fn(shape.lowered_cols(), shape.co, |k, co| {
+        let tap = order.tap(shape, k);
+        filter.get(Coord::new(co, tap.ci, tap.fh, tap.fw))
+    })
+}
+
+/// Fold the `N·Ho·Wo × Co` GEMM result back into an `NCHW` OFMap tensor
+/// (col2im for non-overlapping outputs, i.e. a reshape).
+///
+/// # Panics
+///
+/// Panics if the matrix shape does not match `shape`'s output.
+pub fn ofmap_from_matrix<T: Scalar>(shape: &ConvShape, m: &Matrix<T>) -> Tensor<T> {
+    assert_eq!(
+        m.shape(),
+        (shape.lowered_rows(), shape.co),
+        "output matrix shape mismatch"
+    );
+    Tensor::from_fn(ofmap_dims(shape), Layout::Nchw, |c| {
+        m[(output_to_row(shape, c.n, c.h, c.w), c.c)]
+    })
+}
+
+/// Convolution via explicit im2col: lower, GEMM, fold. Matches
+/// [`crate::conv_ref::direct_conv`] exactly.
+pub fn conv_explicit<T: Scalar>(
+    shape: &ConvShape,
+    ifmap: &Tensor<T>,
+    filter: &Tensor<T>,
+    order: ColumnOrder,
+) -> Tensor<T> {
+    let a = lower(shape, ifmap, order);
+    let b = filter_matrix(shape, filter, order);
+    ofmap_from_matrix(shape, &a.matmul(&b))
+}
+
+/// The adjoint of [`lower`]: scatter-add a lowered-shaped matrix back into
+/// an IFMap-shaped tensor (Caffe's `col2im`). Overlapping receptive fields
+/// accumulate; padding entries are discarded.
+///
+/// Satisfies the adjoint identity
+/// `⟨lower(x), d⟩ = ⟨x, col2im_accumulate(d)⟩` exactly (see tests), which is
+/// also why the input-gradient of convolution is a `col2im` of a GEMM
+/// result.
+///
+/// # Panics
+///
+/// Panics if `m` is not `lowered_rows × lowered_cols` for `shape`.
+pub fn col2im_accumulate<T: Scalar>(
+    shape: &ConvShape,
+    m: &Matrix<T>,
+    order: ColumnOrder,
+) -> Tensor<T> {
+    assert_eq!(
+        m.shape(),
+        (shape.lowered_rows(), shape.lowered_cols()),
+        "lowered matrix shape mismatch"
+    );
+    let mut out = Tensor::zeros(ifmap_dims(shape), crate::layout::Layout::Nchw);
+    for row in 0..shape.lowered_rows() {
+        for col in 0..shape.lowered_cols() {
+            if let Some(coord) = entry_coord(shape, order, row, col) {
+                out.accumulate(coord, m[(row, col)]);
+            }
+        }
+    }
+    out
+}
+
+/// Bytes of the materialized lowered IFMap (the Table I "Lower IFmaps" row).
+pub fn lowered_bytes(shape: &ConvShape, elem_bytes: usize) -> u64 {
+    shape.lowered_elems() as u64 * elem_bytes as u64
+}
+
+/// Bytes of the original IFMap (the Table I "IFmaps" row).
+pub fn ifmap_bytes(shape: &ConvShape, elem_bytes: usize) -> u64 {
+    shape.ifmap_elems() as u64 * elem_bytes as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv_ref::direct_conv;
+
+    fn shape() -> ConvShape {
+        ConvShape::square(1, 8, 5, 4, 3, 1, 0).unwrap()
+    }
+
+    #[test]
+    fn column_index_roundtrip_both_orders() {
+        let s = ConvShape::square(1, 5, 8, 2, 3, 1, 1).unwrap();
+        for order in ColumnOrder::ALL {
+            for col in 0..s.lowered_cols() {
+                let tap = order.tap(&s, col);
+                assert_eq!(order.col(&s, tap), col, "{order} col {col}");
+            }
+        }
+    }
+
+    #[test]
+    fn channel_first_is_ci_fastest() {
+        let s = shape();
+        // Adjacent columns within a tap group differ only in ci.
+        let t0 = ColumnOrder::ChannelFirst.tap(&s, 0);
+        let t1 = ColumnOrder::ChannelFirst.tap(&s, 1);
+        assert_eq!((t0.fh, t0.fw, t0.ci), (0, 0, 0));
+        assert_eq!((t1.fh, t1.fw, t1.ci), (0, 0, 1));
+        // Channel-last: adjacent columns differ in fw.
+        let u1 = ColumnOrder::ChannelLast.tap(&s, 1);
+        assert_eq!((u1.fh, u1.fw, u1.ci), (0, 1, 0));
+    }
+
+    #[test]
+    fn row_mapping_roundtrip() {
+        let s = ConvShape::square(3, 2, 6, 2, 3, 2, 1).unwrap();
+        for row in 0..s.lowered_rows() {
+            let (n, oh, ow) = row_to_output(&s, row);
+            assert_eq!(output_to_row(&s, n, oh, ow), row);
+        }
+    }
+
+    #[test]
+    fn lowered_matrix_matches_paper_figure1_dims() {
+        let s = shape();
+        let x = Tensor::<i32>::coordinate_coded(ifmap_dims(&s), Layout::Nchw);
+        let a = lower(&s, &x, ColumnOrder::ChannelLast);
+        assert_eq!(a.shape(), (9, 72));
+        // Row 0 = receptive field of output (0,0); its first channel-last
+        // entries walk the window (0,0),(0,1),(0,2),(1,0)... of channel 0.
+        assert_eq!(a[(0, 0)], 0); // (c0,h0,w0)
+        assert_eq!(a[(0, 1)], 1); // (c0,h0,w1)
+        assert_eq!(a[(0, 3)], 100); // (c0,h1,w0)
+        // Channel-first: first entries walk channels of pixel (0,0).
+        let b = lower(&s, &x, ColumnOrder::ChannelFirst);
+        assert_eq!(b[(0, 0)], 0); // (c0,h0,w0)
+        assert_eq!(b[(0, 1)], 10_000); // (c1,h0,w0)
+    }
+
+    #[test]
+    fn orders_are_column_permutations_of_each_other() {
+        let s = ConvShape::square(2, 3, 5, 2, 3, 1, 1).unwrap();
+        let x = Tensor::<i64>::random(ifmap_dims(&s), Layout::Nchw, 21);
+        let last = lower(&s, &x, ColumnOrder::ChannelLast);
+        let first = lower(&s, &x, ColumnOrder::ChannelFirst);
+        let perm = ColumnOrder::ChannelFirst.permutation_to(ColumnOrder::ChannelLast, &s);
+        assert_eq!(last.permute_cols(&perm), first);
+    }
+
+    #[test]
+    fn explicit_conv_equals_direct_both_orders() {
+        for (stride, pad, dil) in [(1, 0, 1), (1, 1, 1), (2, 1, 1), (2, 0, 1), (1, 2, 2)] {
+            let s = ConvShape::new(2, 3, 9, 9, 4, 3, 3)
+                .stride(stride)
+                .pad(pad)
+                .dilation(dil)
+                .build()
+                .unwrap();
+            let x = Tensor::<i64>::random(ifmap_dims(&s), Layout::Nchw, 31);
+            let f = Tensor::<i64>::random(filter_dims(&s), Layout::Nchw, 32);
+            let want = direct_conv(&s, &x, &f);
+            for order in ColumnOrder::ALL {
+                let got = conv_explicit(&s, &x, &f, order);
+                assert!(
+                    want.approx_eq(&got, 0.0),
+                    "mismatch s{stride} p{pad} d{dil} {order}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padding_entries_are_zero() {
+        let s = ConvShape::square(1, 1, 3, 1, 3, 1, 1).unwrap();
+        let x = Tensor::<i32>::from_fn(ifmap_dims(&s), Layout::Nchw, |_| 7);
+        let a = lower(&s, &x, ColumnOrder::ChannelFirst);
+        // Output (0,0), tap (0,0) is padding.
+        assert_eq!(entry_coord(&s, ColumnOrder::ChannelFirst, 0, 0), None);
+        assert_eq!(a[(0, 0)], 0);
+        // Centre output (1,1) has no padding anywhere in its window.
+        let centre_row = output_to_row(&s, 0, 1, 1);
+        for col in 0..s.lowered_cols() {
+            assert_eq!(a[(centre_row, col)], 7);
+        }
+    }
+
+    #[test]
+    fn table1_style_duplication() {
+        // Stride-1 3x3 conv on a large map duplicates ~9x.
+        let s = ConvShape::square(1, 64, 112, 64, 3, 1, 1).unwrap();
+        let dup = lowered_bytes(&s, 2) as f64 / ifmap_bytes(&s, 2) as f64;
+        assert!(dup > 8.8 && dup <= 9.0, "dup = {dup}");
+    }
+
+    #[test]
+    fn col2im_counts_receptive_field_multiplicity() {
+        // col2im(lower(ones)) = per-pixel window multiplicity: 3x3 stride 1
+        // on 5x5 -> centre pixel is in 9 windows, corner in 1.
+        let s = ConvShape::square(1, 1, 5, 1, 3, 1, 0).unwrap();
+        let x = Tensor::<i64>::from_fn(ifmap_dims(&s), Layout::Nchw, |_| 1);
+        let folded = col2im_accumulate(&s, &lower(&s, &x, ColumnOrder::ChannelFirst),
+            ColumnOrder::ChannelFirst);
+        assert_eq!(folded.get(crate::Coord::new(0, 0, 2, 2)), 9);
+        assert_eq!(folded.get(crate::Coord::new(0, 0, 0, 0)), 1);
+        assert_eq!(folded.get(crate::Coord::new(0, 0, 0, 2)), 3);
+    }
+
+    #[test]
+    fn col2im_is_the_exact_adjoint_of_lower() {
+        // <lower(x), d> == <x, col2im(d)> bit-exactly on integers.
+        let s = ConvShape::square(2, 3, 6, 2, 3, 2, 1).unwrap();
+        let x = Tensor::<i64>::random(ifmap_dims(&s), Layout::Nchw, 41);
+        let d = Matrix::<i64>::from_fn(s.lowered_rows(), s.lowered_cols(), |r, c| {
+            ((r * 31 + c * 7) % 13) as i64 - 6
+        });
+        for order in ColumnOrder::ALL {
+            let a = lower(&s, &x, order);
+            let lhs: i64 = (0..a.rows())
+                .flat_map(|r| (0..a.cols()).map(move |c| (r, c)))
+                .map(|(r, c)| a[(r, c)] * d[(r, c)])
+                .sum();
+            let folded = col2im_accumulate(&s, &d, order);
+            let rhs: i64 = ifmap_dims(&s)
+                .iter()
+                .map(|co| x.get(co) * folded.get(co))
+                .sum();
+            assert_eq!(lhs, rhs, "{order}");
+        }
+    }
+
+    #[test]
+    fn pointwise_lowering_is_reshape() {
+        let s = ConvShape::square(1, 16, 7, 8, 1, 1, 0).unwrap();
+        assert_eq!(s.duplication_factor(), 1.0);
+        let x = Tensor::<f32>::random(ifmap_dims(&s), Layout::Nchw, 4);
+        let a = lower(&s, &x, ColumnOrder::ChannelFirst);
+        assert_eq!(a.shape(), (49, 16));
+    }
+}

@@ -1,0 +1,333 @@
+//! Memory layouts for 4-D feature-map tensors.
+//!
+//! The paper's central trick is a layout change: storing IFMaps **channel
+//! first** (`HWC` on chip, `HWCN` with batching) instead of the conventional
+//! `CHW`, so that one SRAM word holds the same spatial position across
+//! channels (and batch items). This module defines the layouts, their
+//! linearization, and the *contiguous-run* analysis that the DRAM model uses
+//! to score access patterns (paper Fig. 7).
+
+use std::fmt;
+
+/// Logical coordinates of one feature-map element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// Batch index.
+    pub n: usize,
+    /// Channel index.
+    pub c: usize,
+    /// Row (height) index.
+    pub h: usize,
+    /// Column (width) index.
+    pub w: usize,
+}
+
+impl Coord {
+    /// Construct a coordinate.
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(n{},c{},h{},w{})", self.n, self.c, self.h, self.w)
+    }
+}
+
+/// Extents of a 4-D feature-map tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dims {
+    /// Batch extent.
+    pub n: usize,
+    /// Channel extent.
+    pub c: usize,
+    /// Height extent.
+    pub h: usize,
+    /// Width extent.
+    pub w: usize,
+}
+
+impl Dims {
+    /// Construct dims.
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// True when any extent is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when `coord` is within these extents.
+    pub fn contains(&self, coord: Coord) -> bool {
+        coord.n < self.n && coord.c < self.c && coord.h < self.h && coord.w < self.w
+    }
+
+    /// Iterate over every coordinate in row-major `n, c, h, w` order.
+    pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        let d = *self;
+        (0..d.n).flat_map(move |n| {
+            (0..d.c).flat_map(move |c| {
+                (0..d.h).flat_map(move |h| (0..d.w).map(move |w| Coord::new(n, c, h, w)))
+            })
+        })
+    }
+}
+
+/// The four tensor axes, used to describe layout orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Batch.
+    N,
+    /// Channel.
+    C,
+    /// Height.
+    H,
+    /// Width.
+    W,
+}
+
+impl Axis {
+    fn extent(self, d: Dims) -> usize {
+        match self {
+            Axis::N => d.n,
+            Axis::C => d.c,
+            Axis::H => d.h,
+            Axis::W => d.w,
+        }
+    }
+}
+
+/// A memory layout: the order in which the four axes are linearized.
+///
+/// Named by axis order from **slowest to fastest** varying, i.e. `Nchw`
+/// means the `w` index is contiguous in memory. The paper contrasts:
+///
+/// * [`Layout::Nchw`] — "CHW", the conventional framework layout; the
+///   channel-*last* lowered order maps naturally onto it.
+/// * [`Layout::Nhwc`] — "HWC", the channel-first on-chip layout of Sec. III:
+///   one word holds all channels of one pixel.
+/// * [`Layout::Hwcn`] — "HWCN", the batched variant of Sec. IV used to fill
+///   a TPU vector-memory word with 8 batch items.
+///
+/// # Examples
+///
+/// ```
+/// # use iconv_tensor::{Layout, Dims, Coord};
+/// let d = Dims::new(2, 8, 5, 5);
+/// // In HWCN the batch index is contiguous:
+/// let a = Layout::Hwcn.offset(d, Coord::new(0, 3, 2, 2));
+/// let b = Layout::Hwcn.offset(d, Coord::new(1, 3, 2, 2));
+/// assert_eq!(b, a + 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Batch, channel, height, width (a.k.a. "CHW" per image).
+    #[default]
+    Nchw,
+    /// Batch, height, width, channel (a.k.a. "HWC" per image) — the
+    /// channel-first on-chip layout.
+    Nhwc,
+    /// Channel, height, width, batch.
+    Chwn,
+    /// Height, width, channel, batch — the TPU vector-memory layout.
+    Hwcn,
+}
+
+impl Layout {
+    /// All supported layouts.
+    pub const ALL: [Layout; 4] = [Layout::Nchw, Layout::Nhwc, Layout::Chwn, Layout::Hwcn];
+
+    /// Axis order from slowest to fastest varying.
+    pub fn axes(self) -> [Axis; 4] {
+        match self {
+            Layout::Nchw => [Axis::N, Axis::C, Axis::H, Axis::W],
+            Layout::Nhwc => [Axis::N, Axis::H, Axis::W, Axis::C],
+            Layout::Chwn => [Axis::C, Axis::H, Axis::W, Axis::N],
+            Layout::Hwcn => [Axis::H, Axis::W, Axis::C, Axis::N],
+        }
+    }
+
+    /// The fastest-varying (innermost, memory-contiguous) axis.
+    pub fn innermost(self) -> Axis {
+        self.axes()[3]
+    }
+
+    /// Per-axis strides `(n, c, h, w)` in elements for a tensor of `dims`.
+    pub fn strides(self, dims: Dims) -> [usize; 4] {
+        let axes = self.axes();
+        let mut stride_of = [0usize; 4];
+        let mut acc = 1usize;
+        for &axis in axes.iter().rev() {
+            let slot = match axis {
+                Axis::N => 0,
+                Axis::C => 1,
+                Axis::H => 2,
+                Axis::W => 3,
+            };
+            stride_of[slot] = acc;
+            acc *= axis.extent(dims);
+        }
+        stride_of
+    }
+
+    /// Linear offset of `coord` in a tensor of `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `coord` is out of bounds.
+    pub fn offset(self, dims: Dims, coord: Coord) -> usize {
+        debug_assert!(dims.contains(coord), "{coord} out of bounds for {dims:?}");
+        let [sn, sc, sh, sw] = self.strides(dims);
+        coord.n * sn + coord.c * sc + coord.h * sh + coord.w * sw
+    }
+
+    /// Inverse of [`Layout::offset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= dims.len()`.
+    pub fn coord(self, dims: Dims, offset: usize) -> Coord {
+        assert!(offset < dims.len(), "offset {offset} out of range");
+        let axes = self.axes();
+        let mut rem = offset;
+        let mut vals = [0usize; 4];
+        // Peel from the outermost axis inward.
+        for (i, _axis) in axes.iter().enumerate() {
+            let inner: usize = axes[i + 1..].iter().map(|a| a.extent(dims)).product();
+            vals[i] = rem / inner;
+            rem %= inner;
+        }
+        let mut c = Coord::new(0, 0, 0, 0);
+        for (i, &axis) in axes.iter().enumerate() {
+            match axis {
+                Axis::N => c.n = vals[i],
+                Axis::C => c.c = vals[i],
+                Axis::H => c.h = vals[i],
+                Axis::W => c.w = vals[i],
+            }
+        }
+        c
+    }
+
+    /// Length (in elements) of the contiguous run obtained when reading a
+    /// dense block of `count` elements along `axis` starting anywhere.
+    ///
+    /// This is the quantity that decides DRAM efficiency in paper Fig. 7:
+    /// reading `Ci` channels of one pixel is fully contiguous under `HWC`
+    /// (run = `Ci`) but maximally scattered under `CHW` (run = 1).
+    pub fn run_len_along(self, dims: Dims, axis: Axis, count: usize) -> usize {
+        let [sn, sc, sh, sw] = self.strides(dims);
+        let stride = match axis {
+            Axis::N => sn,
+            Axis::C => sc,
+            Axis::H => sh,
+            Axis::W => sw,
+        };
+        if stride == 1 {
+            count.min(axis.extent(dims))
+        } else {
+            1
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Layout::Nchw => "NCHW",
+            Layout::Nhwc => "NHWC",
+            Layout::Chwn => "CHWN",
+            Layout::Hwcn => "HWCN",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIMS: Dims = Dims { n: 2, c: 3, h: 4, w: 5 };
+
+    #[test]
+    fn strides_nchw() {
+        assert_eq!(Layout::Nchw.strides(DIMS), [3 * 4 * 5, 4 * 5, 5, 1]);
+    }
+
+    #[test]
+    fn strides_nhwc() {
+        assert_eq!(Layout::Nhwc.strides(DIMS), [4 * 5 * 3, 1, 5 * 3, 3]);
+    }
+
+    #[test]
+    fn strides_hwcn() {
+        // H slowest: stride = w*c*n; then W: c*n; then C: n; N contiguous.
+        assert_eq!(Layout::Hwcn.strides(DIMS), [1, 2, 5 * 3 * 2, 3 * 2]);
+    }
+
+    #[test]
+    fn offset_roundtrip_all_layouts() {
+        for layout in Layout::ALL {
+            for coord in DIMS.iter() {
+                let off = layout.offset(DIMS, coord);
+                assert!(off < DIMS.len());
+                assert_eq!(layout.coord(DIMS, off), coord, "layout {layout}");
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_are_a_permutation() {
+        for layout in Layout::ALL {
+            let mut seen = vec![false; DIMS.len()];
+            for coord in DIMS.iter() {
+                let off = layout.offset(DIMS, coord);
+                assert!(!seen[off], "duplicate offset {off} in {layout}");
+                seen[off] = true;
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn channel_contiguity() {
+        // HWC: channels of one pixel are contiguous.
+        assert_eq!(Layout::Nhwc.run_len_along(DIMS, Axis::C, 3), 3);
+        // CHW: they are not.
+        assert_eq!(Layout::Nchw.run_len_along(DIMS, Axis::C, 3), 1);
+        // CHW: width is contiguous.
+        assert_eq!(Layout::Nchw.run_len_along(DIMS, Axis::W, 5), 5);
+        // HWCN: batch is contiguous.
+        assert_eq!(Layout::Hwcn.run_len_along(DIMS, Axis::N, 2), 2);
+    }
+
+    #[test]
+    fn run_len_clamped_to_extent() {
+        assert_eq!(Layout::Nhwc.run_len_along(DIMS, Axis::C, 100), 3);
+    }
+
+    #[test]
+    fn dims_iter_covers_all() {
+        assert_eq!(DIMS.iter().count(), DIMS.len());
+        let mut prev = None;
+        for c in DIMS.iter() {
+            if let Some(p) = prev {
+                assert!(c > p, "iteration must be strictly increasing");
+            }
+            prev = Some(c);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Layout::Hwcn.to_string(), "HWCN");
+        assert_eq!(Layout::default().to_string(), "NCHW");
+    }
+}

@@ -1,0 +1,329 @@
+//! Row-major matrices and the reference GEMM used by every algorithm path.
+
+use crate::tensor::Scalar;
+use std::fmt;
+
+/// A dense row-major matrix.
+///
+/// # Examples
+///
+/// ```
+/// # use iconv_tensor::Matrix;
+/// let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+/// let b = Matrix::identity(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T = f32> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// An all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// A matrix whose `(r, c)` element is `f(r, c)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Build from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[&[T]]) -> Self {
+        let ncols = rows.first().map_or(0, |r| r.len());
+        assert!(rows.iter().all(|r| r.len() == ncols), "ragged rows");
+        Self {
+            rows: rows.len(),
+            cols: ncols,
+            data: rows.concat(),
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { T::one() } else { T::zero() })
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The backing row-major buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Reorder columns: output column `j` is input column `perm[j]`.
+    ///
+    /// This is the operation underlying the paper's correctness argument for
+    /// channel-first im2col: permuting the columns of the lowered IFMap (and
+    /// the rows of the filter matrix identically) leaves the GEMM result
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != self.cols()` or `perm` is not a permutation.
+    pub fn permute_cols(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.cols, "permutation length mismatch");
+        let mut seen = vec![false; self.cols];
+        for &p in perm {
+            assert!(p < self.cols && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        Self::from_fn(self.rows, self.cols, |r, c| self[(r, perm[c])])
+    }
+
+    /// Reorder rows: output row `i` is input row `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != self.rows()` or `perm` is not a permutation.
+    pub fn permute_rows(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.rows, "permutation length mismatch");
+        self.transpose().permute_cols(perm).transpose()
+    }
+
+    /// Reference GEMM: `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "GEMM shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: stream rhs rows, accumulate into the out row.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == T::zero() {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Cache-blocked GEMM with `bs × bs` tiles; equals [`Matrix::matmul`].
+    ///
+    /// Exists both as a faster path for the simulators' functional checks and
+    /// as the reference for the blocked schedules in `iconv-gpusim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `bs == 0`.
+    pub fn matmul_blocked(&self, rhs: &Self, bs: usize) -> Self {
+        assert!(bs > 0, "block size must be non-zero");
+        assert_eq!(self.cols, rhs.rows, "GEMM shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Self::zeros(m, n);
+        for i0 in (0..m).step_by(bs) {
+            for k0 in (0..k).step_by(bs) {
+                for j0 in (0..n).step_by(bs) {
+                    for i in i0..(i0 + bs).min(m) {
+                        for kk in k0..(k0 + bs).min(k) {
+                            let a = self[(i, kk)];
+                            for j in j0..(j0 + bs).min(n) {
+                                out[(i, j)] += a * rhs[(kk, j)];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True when all elements differ by at most `tol`.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+}
+
+impl<T: Scalar> std::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T: Scalar> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: Scalar> fmt::Display for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}:", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(12) {
+                write!(f, " {:?}", self[(r, c)])?;
+            }
+            writeln!(f, " {}]", if self.cols > 12 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Matrix<i64>, Matrix<i64>) {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as i64);
+        let b = Matrix::from_fn(4, 5, |r, c| (r as i64) - (c as i64));
+        (a, b)
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let a = Matrix::from_rows(&[&[1i64, 2][..], &[3, 4][..]]);
+        let b = Matrix::from_rows(&[&[5i64, 6][..], &[7, 8][..]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let (a, _) = small();
+        assert_eq!(a.matmul(&Matrix::identity(4)), a);
+        assert_eq!(Matrix::identity(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn blocked_equals_reference() {
+        let (a, b) = small();
+        let want = a.matmul(&b);
+        for bs in [1, 2, 3, 4, 7, 64] {
+            assert_eq!(a.matmul_blocked(&b, bs), want, "bs={bs}");
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let (a, _) = small();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (4, 3));
+    }
+
+    #[test]
+    fn permutation_invariance_of_gemm() {
+        // (A P)(Pᵀ B) == A B for any column permutation P of A matched by the
+        // same row permutation of B — the paper's Sec. III-A correctness
+        // argument.
+        let (a, b) = small();
+        let perm = [2usize, 0, 3, 1];
+        let ap = a.permute_cols(&perm);
+        let bp = b.permute_rows(&perm);
+        assert_eq!(ap.matmul(&bp), a.matmul(&b));
+    }
+
+    #[test]
+    fn permute_rows_matches_manual() {
+        let a = Matrix::from_rows(&[&[1i32][..], &[2][..], &[3][..]]);
+        let p = a.permute_rows(&[2, 0, 1]);
+        assert_eq!(p.as_slice(), &[3, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_permutation_panics() {
+        let (a, _) = small();
+        let _ = a.permute_cols(&[0, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "GEMM shape mismatch")]
+    fn shape_mismatch_panics() {
+        let (a, _) = small();
+        let _ = a.matmul(&Matrix::<i64>::identity(3));
+    }
+
+    #[test]
+    fn zero_sized_matrices() {
+        let a = Matrix::<f32>::zeros(0, 4);
+        let b = Matrix::<f32>::zeros(4, 0);
+        assert!(a.is_empty());
+        let c = a.matmul(&Matrix::<f32>::zeros(4, 2));
+        assert_eq!(c.shape(), (0, 2));
+        let d = Matrix::<f32>::zeros(2, 4).matmul(&b);
+        assert_eq!(d.shape(), (2, 0));
+    }
+}

@@ -1,0 +1,311 @@
+//! Dense 4-D tensors with pluggable memory layout.
+
+use crate::layout::{Coord, Dims, Layout};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Scalar element types usable in tensors and matrices.
+///
+/// Implemented for `f32`, `f64`, `i32` and `i64`. Integer instantiations are
+/// useful in tests where exact equality across algorithm paths is wanted.
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + fmt::Debug
+    + Add<Output = Self>
+    + AddAssign
+    + Mul<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Lossy conversion from `f64`, used by synthetic-data generators.
+    fn from_f64(v: f64) -> Self;
+    /// Lossy conversion to `f64`, used by comparison helpers.
+    fn to_f64(self) -> f64;
+    /// Half-width of the range synthetic generators should draw from:
+    /// floats use `[-1, 1]`; integers widen to `[-8, 8]` so truncation does
+    /// not collapse them to zero.
+    fn random_scale() -> f64 {
+        1.0
+    }
+}
+
+macro_rules! impl_scalar_float {
+    ($t:ty) => {
+        impl Scalar for $t {
+            fn zero() -> Self {
+                0.0
+            }
+            fn one() -> Self {
+                1.0
+            }
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    };
+}
+
+macro_rules! impl_scalar_int {
+    ($t:ty) => {
+        impl Scalar for $t {
+            fn zero() -> Self {
+                0
+            }
+            fn one() -> Self {
+                1
+            }
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            fn random_scale() -> f64 {
+                8.0
+            }
+        }
+    };
+}
+
+impl_scalar_float!(f32);
+impl_scalar_float!(f64);
+impl_scalar_int!(i32);
+impl_scalar_int!(i64);
+
+/// A dense 4-D tensor stored in one contiguous buffer with a [`Layout`].
+///
+/// # Examples
+///
+/// ```
+/// # use iconv_tensor::{Tensor, Dims, Coord, Layout};
+/// let mut t: Tensor<f32> = Tensor::zeros(Dims::new(1, 3, 4, 4), Layout::Nhwc);
+/// t.set(Coord::new(0, 2, 1, 1), 7.0);
+/// assert_eq!(t.get(Coord::new(0, 2, 1, 1)), 7.0);
+/// // Relayout preserves logical contents:
+/// let u = t.relayout(Layout::Nchw);
+/// assert_eq!(u.get(Coord::new(0, 2, 1, 1)), 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor<T> {
+    dims: Dims,
+    layout: Layout,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Tensor<T> {
+    /// An all-zero tensor.
+    pub fn zeros(dims: Dims, layout: Layout) -> Self {
+        Self {
+            dims,
+            layout,
+            data: vec![T::zero(); dims.len()],
+        }
+    }
+
+    /// A tensor whose element at each coordinate is `f(coord)`.
+    pub fn from_fn(dims: Dims, layout: Layout, mut f: impl FnMut(Coord) -> T) -> Self {
+        let mut t = Self::zeros(dims, layout);
+        for coord in dims.iter() {
+            t.set(coord, f(coord));
+        }
+        t
+    }
+
+    /// A deterministic pseudo-random tensor (floats in `[-1, 1]`, integers
+    /// in `[-8, 8]` — see [`Scalar::random_scale`]), seeded so tests are
+    /// reproducible without pulling in an RNG crate here.
+    pub fn random(dims: Dims, layout: Layout, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        Self::from_fn(dims, layout, |_| {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let v = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let unit = ((v >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+            T::from_f64(unit * T::random_scale())
+        })
+    }
+
+    /// A tensor where each element encodes its own coordinates
+    /// (`n*1e6 + c*1e4 + h*1e2 + w`), handy for tracing data movement.
+    pub fn coordinate_coded(dims: Dims, layout: Layout) -> Self {
+        Self::from_fn(dims, layout, |c| {
+            T::from_f64((c.n * 1_000_000 + c.c * 10_000 + c.h * 100 + c.w) as f64)
+        })
+    }
+
+    /// Tensor extents.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// The memory layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Read the element at `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `coord` is out of bounds.
+    pub fn get(&self, coord: Coord) -> T {
+        self.data[self.layout.offset(self.dims, coord)]
+    }
+
+    /// Write the element at `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `coord` is out of bounds.
+    pub fn set(&mut self, coord: Coord, v: T) {
+        let off = self.layout.offset(self.dims, coord);
+        self.data[off] = v;
+    }
+
+    /// Add `v` to the element at `coord` (partial-sum accumulation).
+    pub fn accumulate(&mut self, coord: Coord, v: T) {
+        let off = self.layout.offset(self.dims, coord);
+        self.data[off] += v;
+    }
+
+    /// The raw backing buffer in layout order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Copy into a new tensor with a different layout (logical contents
+    /// preserved). Returns a clone when the layout already matches.
+    pub fn relayout(&self, layout: Layout) -> Self {
+        if layout == self.layout {
+            return self.clone();
+        }
+        Self::from_fn(self.dims, layout, |c| self.get(c))
+    }
+
+    /// Maximum absolute elementwise difference to `other`, comparing logical
+    /// contents regardless of layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dims differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.dims, other.dims, "dims mismatch");
+        self.dims
+            .iter()
+            .map(|c| (self.get(c).to_f64() - other.get(c).to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True when all elements differ by at most `tol` (logical comparison).
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.dims == other.dims && self.max_abs_diff(other) <= tol
+    }
+}
+
+impl<T: Scalar> fmt::Display for Tensor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor<{}> {:?} in {}",
+            std::any::type_name::<T>(),
+            self.dims,
+            self.layout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut t: Tensor<i32> = Tensor::zeros(Dims::new(1, 2, 3, 3), Layout::Nchw);
+        assert_eq!(t.get(Coord::new(0, 1, 2, 2)), 0);
+        t.set(Coord::new(0, 1, 2, 2), 42);
+        assert_eq!(t.get(Coord::new(0, 1, 2, 2)), 42);
+    }
+
+    #[test]
+    fn from_fn_places_values_by_coord_not_offset() {
+        for layout in Layout::ALL {
+            let t: Tensor<i64> = Tensor::from_fn(Dims::new(2, 2, 2, 2), layout, |c| {
+                (c.n * 8 + c.c * 4 + c.h * 2 + c.w) as i64
+            });
+            assert_eq!(t.get(Coord::new(1, 0, 1, 0)), 10);
+        }
+    }
+
+    #[test]
+    fn relayout_preserves_contents() {
+        let t: Tensor<f64> = Tensor::random(Dims::new(2, 3, 4, 5), Layout::Nchw, 7);
+        for layout in Layout::ALL {
+            let u = t.relayout(layout);
+            assert!(t.approx_eq(&u, 0.0));
+            assert_eq!(u.layout(), layout);
+        }
+    }
+
+    #[test]
+    fn relayout_changes_raw_order() {
+        let t: Tensor<i32> = Tensor::coordinate_coded(Dims::new(1, 2, 2, 2), Layout::Nchw);
+        let u = t.relayout(Layout::Nhwc);
+        assert_ne!(t.as_slice(), u.as_slice());
+    }
+
+    #[test]
+    fn random_is_deterministic_and_varied() {
+        let a: Tensor<f32> = Tensor::random(Dims::new(1, 2, 4, 4), Layout::Nchw, 3);
+        let b: Tensor<f32> = Tensor::random(Dims::new(1, 2, 4, 4), Layout::Nchw, 3);
+        assert!(a.approx_eq(&b, 0.0));
+        let c: Tensor<f32> = Tensor::random(Dims::new(1, 2, 4, 4), Layout::Nchw, 4);
+        assert!(!a.approx_eq(&c, 1e-12));
+        // Values in range.
+        assert!(a.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn integer_random_tensors_are_actually_nonzero() {
+        // Regression guard: integer instantiations must not truncate the
+        // unit range to all zeros (which would hollow out every bit-exact
+        // equivalence test built on them).
+        let t: Tensor<i64> = Tensor::random(Dims::new(2, 4, 8, 8), Layout::Nchw, 11);
+        let nonzero = t.as_slice().iter().filter(|&&v| v != 0).count();
+        assert!(
+            nonzero * 2 > t.dims().len(),
+            "only {nonzero}/{} nonzero",
+            t.dims().len()
+        );
+        let distinct: std::collections::BTreeSet<i64> = t.as_slice().iter().copied().collect();
+        assert!(distinct.len() >= 8, "only {} distinct values", distinct.len());
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut t: Tensor<f32> = Tensor::zeros(Dims::new(1, 1, 1, 1), Layout::Nchw);
+        t.accumulate(Coord::new(0, 0, 0, 0), 1.5);
+        t.accumulate(Coord::new(0, 0, 0, 0), 2.5);
+        assert_eq!(t.get(Coord::new(0, 0, 0, 0)), 4.0);
+    }
+
+    #[test]
+    fn max_abs_diff_across_layouts() {
+        let t: Tensor<f32> = Tensor::random(Dims::new(1, 3, 4, 4), Layout::Nchw, 11);
+        let mut u = t.relayout(Layout::Hwcn);
+        assert_eq!(t.max_abs_diff(&u), 0.0);
+        u.set(Coord::new(0, 0, 0, 0), 100.0);
+        assert!(t.max_abs_diff(&u) > 90.0);
+    }
+}

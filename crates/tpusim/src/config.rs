@@ -1,0 +1,157 @@
+//! TPUSim configuration (paper Table II), fully parameterizable for the
+//! design-space explorations of Fig. 16.
+
+use iconv_dram::DramConfig;
+use iconv_sram::VectorMemConfig;
+use iconv_systolic::ArrayConfig;
+use iconv_tensor::Layout;
+
+/// Complete configuration of one simulated TPU core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpuConfig {
+    /// Systolic array geometry (TPU-v2: 128 × 128 weight-stationary).
+    pub array: ArrayConfig,
+    /// Core clock in MHz (TPU-v2: 700).
+    pub clock_mhz: f64,
+    /// One vector memory per PE row (TPU-v2: 128 arrays of 256 KB, 8 × 4 B
+    /// words).
+    pub vector_mem: VectorMemConfig,
+    /// Off-chip memory (TPU-v2: 700 GB/s HBM).
+    pub dram: DramConfig,
+    /// DRAM-resident IFMap layout; `HWCN` is the paper's proposal, `NCHW`
+    /// the conventional baseline (Fig. 7 comparison).
+    pub ifmap_layout: Layout,
+    /// Fraction of on-chip memory budgeted to double-buffered IFMap tiles
+    /// (the rest holds OFMaps, weights in flight, and spill margin).
+    pub ifmap_buffer_fraction: f64,
+    /// Fixed per-layer dispatch overhead in cycles (instruction fetch,
+    /// DMA descriptor setup).
+    pub dispatch_cycles: u64,
+    /// Minimum number of double-buffered pipeline stages a layer's DRAM
+    /// stream is split into: even when the whole working set fits on chip,
+    /// the DMA engine fills it in pieces that overlap with compute, so only
+    /// `1/stages` of the transfer is exposed at the pipeline head.
+    pub min_pipeline_stages: u64,
+    /// Number of systolic arrays (MXUs) sharing the vector memories.
+    /// TPU-v2 has 1; TPU-v3 adds a second to soak up the spare
+    /// vector-memory bandwidth the Fig. 16b analysis exposes (paper
+    /// Sec. VII-A: "this insight explains why the TPUv3 chooses to add
+    /// another systolic array").
+    pub mxus: usize,
+}
+
+impl TpuConfig {
+    /// The TPU-v2 core of paper Table II.
+    pub fn tpu_v2() -> Self {
+        Self {
+            array: ArrayConfig::tpu_v2(),
+            clock_mhz: 700.0,
+            vector_mem: VectorMemConfig::tpu_v2(),
+            dram: DramConfig::hbm_tpu_v2(),
+            ifmap_layout: Layout::Hwcn,
+            ifmap_buffer_fraction: 0.45,
+            dispatch_cycles: 1_000,
+            min_pipeline_stages: 8,
+            mxus: 1,
+        }
+    }
+
+    /// A TPU-v3 core: two 128×128 MXUs sharing the vector memories, a
+    /// faster clock, and more HBM bandwidth (published deltas over v2).
+    pub fn tpu_v3() -> Self {
+        let mut c = Self::tpu_v2();
+        c.mxus = 2;
+        c.clock_mhz = 940.0;
+        // ~450 GB/s per core at 940 MHz.
+        c.dram.bytes_per_cycle = 479.0;
+        c
+    }
+
+    /// Total unified on-chip memory in bytes (TPU-v2: 32 MB).
+    pub fn total_sram_bytes(&self) -> u64 {
+        self.vector_mem.capacity_bytes * self.array.rows as u64
+    }
+
+    /// Peak MACs per cycle: `mxus × rows × cols`.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        (self.mxus * self.array.rows * self.array.cols) as u64
+    }
+
+    /// Peak TFLOPS (2 FLOPs per MAC).
+    pub fn peak_tflops(&self) -> f64 {
+        2.0 * self.peak_macs_per_cycle() as f64 * self.clock_mhz * 1e6 / 1e12
+    }
+
+    /// Convert cycles to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz * 1e6)
+    }
+
+    /// Scale the systolic array (and the per-row vector-memory count with
+    /// it, keeping total SRAM constant) — the Fig. 16a sweep.
+    pub fn with_array_size(mut self, size: usize) -> Self {
+        let total = self.total_sram_bytes();
+        self.array = ArrayConfig { rows: size, cols: size };
+        self.vector_mem.capacity_bytes = total / size as u64;
+        self
+    }
+
+    /// Change the vector-memory word size in elements — the Fig. 16b sweep.
+    pub fn with_word_elems(mut self, word_elems: usize) -> Self {
+        self.vector_mem.word_elems = word_elems;
+        self
+    }
+}
+
+impl Default for TpuConfig {
+    fn default() -> Self {
+        Self::tpu_v2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_parameters() {
+        let c = TpuConfig::tpu_v2();
+        assert_eq!(c.array.rows, 128);
+        assert_eq!(c.array.cols, 128);
+        assert_eq!(c.clock_mhz, 700.0);
+        assert_eq!(c.vector_mem.word_elems, 8);
+        assert_eq!(c.vector_mem.elem_bytes, 4);
+        assert_eq!(c.total_sram_bytes(), 32 * 1024 * 1024);
+        assert!((c.dram.bytes_per_cycle - 1000.0).abs() < 1.0); // 700 GB/s @ 700 MHz
+    }
+
+    #[test]
+    fn peak_tflops_matches_tpu_v2_core() {
+        // One TPU-v2 core: 128*128*2*700e6 ≈ 22.9 TFLOPS.
+        let t = TpuConfig::tpu_v2().peak_tflops();
+        assert!((t - 22.9).abs() < 0.1, "peak = {t}");
+    }
+
+    #[test]
+    fn array_resize_preserves_total_sram() {
+        let c = TpuConfig::tpu_v2().with_array_size(256);
+        assert_eq!(c.array.rows, 256);
+        assert_eq!(c.total_sram_bytes(), 32 * 1024 * 1024);
+        assert_eq!(c.vector_mem.capacity_bytes, 128 * 1024);
+    }
+
+    #[test]
+    fn tpu_v3_doubles_peak_compute() {
+        let v2 = TpuConfig::tpu_v2();
+        let v3 = TpuConfig::tpu_v3();
+        // 2 MXUs x faster clock: v3 core ≈ 61.6 TFLOPS vs v2's 22.9.
+        assert!(v3.peak_tflops() > 2.5 * v2.peak_tflops());
+        assert_eq!(v3.mxus, 2);
+    }
+
+    #[test]
+    fn cycles_seconds_roundtrip() {
+        let c = TpuConfig::tpu_v2();
+        assert!((c.cycles_to_seconds(700_000_000) - 1.0).abs() < 1e-9);
+    }
+}

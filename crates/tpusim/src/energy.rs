@@ -1,0 +1,152 @@
+//! First-order energy accounting for simulated layers.
+//!
+//! The paper argues its design points (no crossbar, wide SRAM words, HWCN
+//! DRAM layout) from area and performance; energy is the third axis the
+//! same counters expose. This model charges the canonical 45 nm-class
+//! per-event energies to the activity TPUSim already counts: MACs, vector-
+//! memory word accesses, and DRAM bytes. Constants follow the widely used
+//! Horowitz ISSCC'14 numbers (as popularized by the Eyeriss/TPU papers),
+//! with SRAM access energy scaled by word width.
+
+use crate::config::TpuConfig;
+use crate::report::LayerReport;
+
+/// Per-event energy constants (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One 32-bit multiply-accumulate (datapath only).
+    pub mac_pj: f64,
+    /// SRAM access energy per *byte* for a ~256 KB macro (word-width
+    /// scaling applied per access).
+    pub sram_pj_per_byte: f64,
+    /// Fixed per-SRAM-access overhead (decode, wordline) independent of
+    /// width — why narrow words are energy-inefficient too.
+    pub sram_pj_per_access: f64,
+    /// DRAM transfer energy per byte (HBM class).
+    pub dram_pj_per_byte: f64,
+    /// Static leakage + clock power per core-cycle (nanojoules/cycle),
+    /// covering the always-on fraction of the 40 W-class core.
+    pub static_nj_per_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            mac_pj: 3.1,             // 32-bit int/fp-mixed MAC, 45 nm class
+            sram_pj_per_byte: 1.2,   // large-macro read, per byte
+            sram_pj_per_access: 6.0, // decode/wordline per access
+            dram_pj_per_byte: 31.2,  // HBM-class, ~4 pJ/bit
+            static_nj_per_cycle: 8.0,
+        }
+    }
+}
+
+/// Energy breakdown of one simulated layer, in millijoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// MAC (datapath) energy.
+    pub mac_mj: f64,
+    /// Vector-memory access energy.
+    pub sram_mj: f64,
+    /// Off-chip transfer energy.
+    pub dram_mj: f64,
+    /// Static/clock energy over the layer's cycles.
+    pub static_mj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.mac_mj + self.sram_mj + self.dram_mj + self.static_mj
+    }
+
+    /// Energy efficiency in GFLOPS/W given the layer's FLOPs and seconds.
+    pub fn gflops_per_watt(&self, flops: u64, seconds: f64) -> f64 {
+        let watts = self.total_mj() / 1e3 / seconds;
+        (flops as f64 / seconds / 1e9) / watts
+    }
+}
+
+impl EnergyModel {
+    /// Charge the model to a layer report produced by the simulator.
+    pub fn energy_of(&self, report: &LayerReport, config: &TpuConfig) -> EnergyReport {
+        let macs = (report.flops / 2) as f64;
+        let word_bytes = config.vector_mem.word_bytes() as f64;
+        // Per-array average access counts were recorded per array; scale to
+        // the full file.
+        let accesses =
+            (report.sram.reads + report.sram.writes) as f64 * config.array.rows as f64;
+        let sram_pj =
+            accesses * (self.sram_pj_per_access + self.sram_pj_per_byte * word_bytes);
+        EnergyReport {
+            mac_mj: macs * self.mac_pj / 1e9,
+            sram_mj: sram_pj / 1e9,
+            dram_mj: report.dram_bytes as f64 * self.dram_pj_per_byte / 1e9,
+            static_mj: report.cycles as f64 * self.static_nj_per_cycle / 1e6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimMode, Simulator};
+    use iconv_tensor::ConvShape;
+
+    fn report() -> (LayerReport, TpuConfig) {
+        let cfg = TpuConfig::tpu_v2();
+        let sim = Simulator::new(cfg);
+        let shape = ConvShape::square(8, 128, 28, 128, 3, 1, 1).unwrap();
+        (sim.simulate_conv("l", &shape, SimMode::ChannelFirst), cfg)
+    }
+
+    #[test]
+    fn breakdown_is_positive_and_mac_dominated_for_dense_layers() {
+        let (rep, cfg) = report();
+        let e = EnergyModel::default().energy_of(&rep, &cfg);
+        assert!(e.mac_mj > 0.0 && e.sram_mj > 0.0 && e.dram_mj > 0.0);
+        // Compute-bound conv: datapath + static dominate off-chip.
+        assert!(e.mac_mj > e.dram_mj, "{e:?}");
+    }
+
+    #[test]
+    fn efficiency_in_plausible_range() {
+        let (rep, cfg) = report();
+        let e = EnergyModel::default().energy_of(&rep, &cfg);
+        let gw = e.gflops_per_watt(rep.flops, rep.seconds(&cfg));
+        // TPU-class accelerators land in the hundreds of GFLOPS/W.
+        assert!((50.0..5000.0).contains(&gw), "{gw} GFLOPS/W");
+    }
+
+    #[test]
+    fn explicit_im2col_costs_more_dram_energy() {
+        let cfg = TpuConfig::tpu_v2();
+        let sim = Simulator::new(cfg);
+        let shape = ConvShape::square(8, 64, 56, 64, 3, 1, 1).unwrap();
+        let m = EnergyModel::default();
+        let imp = m.energy_of(&sim.simulate_conv("l", &shape, SimMode::ChannelFirst), &cfg);
+        let exp = m.energy_of(&sim.simulate_conv("l", &shape, SimMode::Explicit), &cfg);
+        assert!(
+            exp.dram_mj > 2.0 * imp.dram_mj,
+            "explicit {:.3} vs implicit {:.3} mJ DRAM",
+            exp.dram_mj,
+            imp.dram_mj
+        );
+    }
+
+    #[test]
+    fn wider_words_cost_more_per_access_but_fewer_accesses() {
+        let shape = ConvShape::square(8, 128, 28, 128, 3, 1, 1).unwrap();
+        let m = EnergyModel::default();
+        let mut totals = Vec::new();
+        for elems in [1usize, 8] {
+            let cfg = TpuConfig::tpu_v2().with_word_elems(elems);
+            let sim = Simulator::new(cfg);
+            let rep = sim.simulate_conv("l", &shape, SimMode::ChannelFirst);
+            totals.push(m.energy_of(&rep, &cfg).sram_mj);
+        }
+        // Word 8 amortizes the per-access overhead: less SRAM energy than
+        // word 1 for the same delivered data.
+        assert!(totals[1] < totals[0], "w8 {} vs w1 {}", totals[1], totals[0]);
+    }
+}

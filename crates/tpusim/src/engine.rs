@@ -1,0 +1,480 @@
+//! The TPUSim engine: phase-level cycle simulation of one TPU core running
+//! convolutions via implicit channel-first im2col (and the explicit baseline
+//! for Fig. 2b).
+//!
+//! The engine composes validated component models instead of stepping PEs:
+//! systolic pass latency from `iconv-systolic` (cycle-exact vs the stepped
+//! grid), DRAM transfer time from `iconv-dram` (run-length aware), and
+//! vector-memory port behaviour from `iconv-sram`. Layers are chunked over
+//! the output dimension to fit the double-buffered IFMap budget, and each
+//! chunk's DRAM fill is overlapped with the previous chunk's GEMM, exactly
+//! the Fig. 3/8 pipeline.
+
+use crate::config::TpuConfig;
+use crate::report::{LayerReport, ModelReport};
+use iconv_core::schedule::{tpu_group_size, TileSchedule};
+use iconv_dram::DramModel;
+use iconv_sram::PortStats;
+use iconv_tensor::{ConvShape, Layout};
+use iconv_workloads::Model;
+
+/// How a convolution is lowered for simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// The paper's implicit channel-first algorithm; `group_size = None`
+    /// selects the TPU strategy `min(R/Ci, Wf)`.
+    #[default]
+    ChannelFirst,
+    /// Channel-first with a forced multi-tile group size (Fig. 14a sweep).
+    ChannelFirstGrouped(usize),
+    /// Explicit im2col: a memory-bound lowering pass, then a GEMM over the
+    /// materialized matrix (the Fig. 2b baseline).
+    Explicit,
+}
+
+/// The simulator: immutable configuration plus per-call simulation.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: TpuConfig,
+    dram: DramModel,
+}
+
+impl Simulator {
+    /// Create a simulator for `config`.
+    pub fn new(config: TpuConfig) -> Self {
+        Self {
+            dram: DramModel::new(config.dram),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TpuConfig {
+        &self.config
+    }
+
+    /// Elements packed per vector-memory word access for this layer's
+    /// stream: the batch dimension fills the word (`HWCN`); when the batch
+    /// is shallow but the layer is dense (`stride_w = 1`), consecutive
+    /// pixels pack instead.
+    fn word_packing(&self, shape: &ConvShape) -> usize {
+        let w = self.config.vector_mem.word_elems;
+        if shape.n >= w || (shape.stride_w == 1 && shape.dil_w == 1) {
+            w
+        } else {
+            shape.n.max(1)
+        }
+    }
+
+    /// DRAM run length (bytes) for filling IFMap tiles, by layout.
+    fn ifmap_run_bytes(&self, shape: &ConvShape) -> u64 {
+        let eb = self.config.vector_mem.elem_bytes as u64;
+        let dense_w = shape.stride_w == 1 && shape.dil_w == 1;
+        match self.config.ifmap_layout {
+            // HWCN/NHWC: channels (× batch for HWCN) of one pixel are
+            // contiguous; dense-width layers extend the run across pixels.
+            Layout::Hwcn => {
+                let per_pixel = (shape.ci * shape.n) as u64 * eb;
+                if dense_w {
+                    per_pixel * shape.wi as u64
+                } else {
+                    per_pixel
+                }
+            }
+            Layout::Nhwc => {
+                let per_pixel = shape.ci as u64 * eb;
+                if dense_w {
+                    per_pixel * shape.wi as u64
+                } else {
+                    per_pixel
+                }
+            }
+            // CHW layouts: only the width dimension is contiguous.
+            Layout::Nchw | Layout::Chwn => {
+                if dense_w {
+                    shape.wi as u64 * eb
+                } else {
+                    eb
+                }
+            }
+        }
+    }
+
+    /// Simulate one convolution layer.
+    pub fn simulate_conv(&self, name: &str, shape: &ConvShape, mode: SimMode) -> LayerReport {
+        match mode {
+            SimMode::ChannelFirst => {
+                let g = tpu_group_size(self.config.array.rows, shape.ci, shape.wf);
+                self.simulate_channel_first(name, shape, g)
+            }
+            SimMode::ChannelFirstGrouped(g) => self.simulate_channel_first(name, shape, g),
+            SimMode::Explicit => self.simulate_explicit(name, shape),
+        }
+    }
+
+    fn simulate_channel_first(&self, name: &str, shape: &ConvShape, group: usize) -> LayerReport {
+        let cfg = &self.config;
+        let (rows, cols) = (cfg.array.rows, cfg.array.cols);
+        let eb = cfg.vector_mem.elem_bytes as u64;
+        // Duplication cannot usefully exceed what fills the array.
+        let group = group.clamp(1, rows.div_ceil(shape.ci));
+        let sched = TileSchedule::multi_tile(shape, group);
+        let m_total = shape.lowered_rows();
+
+        // --- Compute phase. With duplication factor `group`, up to
+        // `group·Ci` K-rows are concurrently resident, so each filter row's
+        // `Wf·Ci` reduction packs the PE rows densely in
+        // `ceil(Wf·Ci / cap)` passes — a tap may straddle two passes (its
+        // second residency copy supplies the tail), which is what lets
+        // non-dividing channel counts (e.g. Ci = 96) avoid per-tap padding.
+        let cap = (group * shape.ci).min(rows).max(1);
+        let passes_per_row = (shape.wf * shape.ci).div_ceil(cap) as u64;
+        let total_passes = shape.hf as u64 * passes_per_row * shape.co.div_ceil(cols) as u64;
+        // Multiple MXUs (TPU-v3) process independent passes concurrently,
+        // each pulling its own stream from the shared vector memories.
+        let stream_cycles = total_passes.div_ceil(cfg.mxus as u64) * m_total as u64;
+        // Serializer/port contention: per active array, delivering one
+        // element per cycle needs `1/packing` reads per cycle; OFMap
+        // write-back adds `(m·co/rows)/stream/packing` writes per cycle
+        // (rare — each output element is written once while inputs are
+        // re-read per tap). Demand beyond one access per cycle stalls the
+        // stream.
+        let packing = self.word_packing(shape);
+        let write_elems_per_array = (m_total * shape.co / rows.max(1)) as f64;
+        let port_demand = (1.0 + write_elems_per_array / (stream_cycles.max(1) as f64))
+            * cfg.mxus as f64
+            / packing as f64;
+        let stall = port_demand.max(1.0);
+        let compute_cycles = (stream_cycles as f64 * stall).ceil() as u64
+            + (rows + cols - 1) as u64 // pipeline fill/drain, exposed once
+            + rows as u64; // first weight load (rest double-buffered)
+
+        // --- Memory phase.
+        let ifmap_bytes = shape.ifmap_elems() as u64 * eb;
+        let filter_bytes = shape.filter_elems() as u64 * eb;
+        let ofmap_bytes = shape.ofmap_elems() as u64 * eb;
+        let fill = self
+            .dram
+            .transfer_cycles(ifmap_bytes, self.ifmap_run_bytes(shape));
+        let weights = self.dram.transfer_cycles(filter_bytes, 4096);
+        let writeback = self.dram.transfer_cycles(ofmap_bytes, 4096);
+        let mem_cycles = fill + weights + writeback;
+
+        // --- Workspace and chunking: the widest group's resident IFMap
+        // words (duplicated per member), double-buffered within the budget.
+        let batch_words = shape.n.div_ceil(cfg.vector_mem.word_elems) as u64;
+        let word_bytes = cfg.vector_mem.word_bytes();
+        let workspace_bytes = sched
+            .groups()
+            .iter()
+            .map(|g| {
+                g.tiles()
+                    .iter()
+                    .map(|t| t.working_set_len(shape) as u64 * batch_words * word_bytes)
+                    .sum::<u64>()
+                    * shape.ci as u64
+            })
+            .max()
+            .unwrap_or(0);
+        let budget = (cfg.total_sram_bytes() as f64 * cfg.ifmap_buffer_fraction / 2.0) as u64;
+        let chunks = workspace_bytes
+            .div_ceil(budget.max(1))
+            .max(cfg.min_pipeline_stages);
+
+        // --- Pipeline: per-chunk fills overlap the previous chunk's GEMM.
+        let mem_chunk = mem_cycles / chunks;
+        let compute_chunk = compute_cycles / chunks;
+        let steady = chunks * compute_chunk.max(mem_chunk);
+        let cycles = cfg.dispatch_cycles + mem_chunk + steady;
+        let exposed = cycles - cfg.dispatch_cycles - compute_cycles.min(cycles);
+
+        // --- Vector-memory port stats (per-array averages).
+        let row_occ = ((shape.wf * shape.ci) as f64
+            / (passes_per_row as f64 * rows as f64))
+            .min(1.0);
+        let reads = (stream_cycles as f64 * row_occ / packing as f64) as u64;
+        let writes = (m_total * shape.co) as u64 / rows as u64 / packing as u64;
+        let col_occ = shape.co as f64 / (shape.co.div_ceil(cols) * cols) as f64;
+
+        LayerReport {
+            name: name.to_string(),
+            cycles,
+            compute_cycles,
+            exposed_memory_cycles: exposed,
+            flops: shape.flops(),
+            dram_bytes: ifmap_bytes + filter_bytes + ofmap_bytes,
+            workspace_bytes,
+            // Port stats are measured over the compute (streaming) period,
+            // averaged across all arrays; idle arrays dilute the demand.
+            sram: PortStats {
+                cycles: compute_cycles,
+                reads,
+                writes,
+            },
+            array_occupancy: row_occ * col_occ,
+        }
+    }
+
+    /// Simulate a convolution whose filter carries structured sparsity
+    /// (see `iconv_core::sparse`): pruned taps drop out of the schedule and
+    /// inactive channel blocks skip their PE rows, so streamed passes scale
+    /// with the *schedule density* rather than the dense tap count — the
+    /// sparse-accelerator direction the paper's conclusion proposes.
+    pub fn simulate_conv_sparse<T: iconv_tensor::Scalar>(
+        &self,
+        name: &str,
+        sparse: &iconv_core::SparseFilter<T>,
+    ) -> LayerReport {
+        let shape = *sparse.shape();
+        let mut rep = self.simulate_conv(name, &shape, SimMode::ChannelFirst);
+        let density = sparse.schedule_density().max(1e-9);
+        // Compute passes shrink with active scheduling units; the IFMap
+        // still streams for any tap that needs it, so memory traffic keeps
+        // the ifmap/ofmap terms and scales only the weight term.
+        let dense_compute = rep.compute_cycles as f64;
+        let sparse_compute = (dense_compute * density).ceil() as u64;
+        let saved = rep.compute_cycles - sparse_compute;
+        rep.compute_cycles = sparse_compute;
+        rep.cycles = rep.cycles.saturating_sub(saved).max(self.config().dispatch_cycles);
+        rep.flops = (shape.flops() as f64 * density) as u64;
+        let eb = self.config().vector_mem.elem_bytes as u64;
+        let dense_w = shape.filter_elems() as u64 * eb;
+        let sparse_w = (dense_w as f64 * density) as u64;
+        rep.dram_bytes = rep.dram_bytes - dense_w + sparse_w;
+        rep.name = format!("{name} (density {:.2})", density);
+        rep
+    }
+
+    /// Simulate a plain `M × N × K` GEMM (the TPU's native primitive,
+    /// Fig. 13a validation target).
+    pub fn simulate_gemm(&self, name: &str, m: usize, n: usize, k: usize) -> LayerReport {
+        let cfg = &self.config;
+        let (rows, cols) = (cfg.array.rows, cfg.array.cols);
+        let eb = cfg.vector_mem.elem_bytes as u64;
+        let passes = k.div_ceil(rows) as u64 * n.div_ceil(cols) as u64;
+        let compute_cycles = passes.div_ceil(cfg.mxus as u64) * m as u64
+            + (rows + cols - 1) as u64
+            + rows as u64;
+
+        let a_bytes = (m * k) as u64 * eb;
+        let b_bytes = (k * n) as u64 * eb;
+        let c_bytes = (m * n) as u64 * eb;
+        // B resident when it fits in a quarter of SRAM, else re-streamed per
+        // A chunk.
+        let budget = (cfg.total_sram_bytes() as f64 * cfg.ifmap_buffer_fraction / 2.0) as u64;
+        // Capacity chunks decide whether B must be re-streamed; the
+        // pipeline runs at least `min_pipeline_stages` fill/compute stages.
+        let capacity_chunks = a_bytes.div_ceil(budget.max(1)).max(1);
+        let chunks = capacity_chunks.max(cfg.min_pipeline_stages);
+        let b_resident = b_bytes < cfg.total_sram_bytes() / 4;
+        let b_traffic = if b_resident { b_bytes } else { b_bytes * capacity_chunks };
+        let mem_cycles = self.dram.transfer_cycles(a_bytes, 4096)
+            + self.dram.transfer_cycles(b_traffic, 4096)
+            + self.dram.transfer_cycles(c_bytes, 4096);
+
+        let mem_chunk = mem_cycles / chunks;
+        let compute_chunk = compute_cycles / chunks;
+        let cycles = cfg.dispatch_cycles + mem_chunk + chunks * compute_chunk.max(mem_chunk);
+        let exposed = cycles - cfg.dispatch_cycles - compute_cycles.min(cycles);
+        let occupancy = (k as f64 / (k.div_ceil(rows) * rows) as f64)
+            * (n as f64 / (n.div_ceil(cols) * cols) as f64);
+
+        let w = cfg.vector_mem.word_elems as u64;
+        LayerReport {
+            name: name.to_string(),
+            cycles,
+            compute_cycles,
+            exposed_memory_cycles: exposed,
+            flops: 2 * (m as u64) * (n as u64) * (k as u64),
+            dram_bytes: a_bytes + b_traffic + c_bytes,
+            workspace_bytes: a_bytes.min(budget),
+            sram: PortStats {
+                cycles,
+                reads: compute_cycles / w,
+                writes: compute_cycles / w,
+            },
+            array_occupancy: occupancy,
+        }
+    }
+
+    /// Simulate a convolution executed as *explicit* im2col: a memory-bound
+    /// lowering pass (read IFMap, write the lowered matrix) followed by a
+    /// GEMM that streams the lowered matrix back in.
+    fn simulate_explicit(&self, name: &str, shape: &ConvShape) -> LayerReport {
+        let eb = self.config.vector_mem.elem_bytes as u64;
+        let ifmap_bytes = shape.ifmap_elems() as u64 * eb;
+        let lowered_bytes = shape.lowered_elems() as u64 * eb;
+        // The transform is bandwidth-bound: it gathers (short runs under
+        // stride) and writes sequentially.
+        let gather_run = self.ifmap_run_bytes(shape);
+        let transform = self.dram.transfer_cycles(ifmap_bytes, gather_run)
+            + self.dram.transfer_cycles(lowered_bytes, 4096);
+        let (m, n, k) = shape.gemm_mnk();
+        let mut gemm = self.simulate_gemm(name, m, n, k);
+        gemm.name = name.to_string();
+        gemm.cycles += transform;
+        gemm.exposed_memory_cycles += transform;
+        gemm.dram_bytes += ifmap_bytes + lowered_bytes; // transform traffic
+        gemm.flops = shape.flops();
+        gemm
+    }
+
+    /// Cycles the explicit transform alone would take (the stacked-bar
+    /// breakdown of Fig. 2b).
+    pub fn explicit_transform_cycles(&self, shape: &ConvShape) -> u64 {
+        let eb = self.config.vector_mem.elem_bytes as u64;
+        let ifmap_bytes = shape.ifmap_elems() as u64 * eb;
+        let lowered_bytes = shape.lowered_elems() as u64 * eb;
+        self.dram
+            .transfer_cycles(ifmap_bytes, self.ifmap_run_bytes(shape))
+            + self.dram.transfer_cycles(lowered_bytes, 4096)
+    }
+
+    /// Simulate every conv layer of `model`.
+    pub fn simulate_model(&self, model: &Model, mode: SimMode) -> ModelReport {
+        ModelReport {
+            name: model.name.to_string(),
+            layers: model
+                .layers
+                .iter()
+                .map(|l| (self.simulate_conv(&l.name, &l.shape, mode), l.count))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> Simulator {
+        Simulator::new(TpuConfig::tpu_v2())
+    }
+
+    fn layer(ci: usize, hw: usize, co: usize, f: usize, stride: usize, n: usize) -> ConvShape {
+        ConvShape::square(n, ci, hw, co, f, stride, f / 2).unwrap()
+    }
+
+    #[test]
+    fn compute_bound_layer_hits_high_utilization() {
+        // 128-channel dense 3x3 at 56x56, batch 8: fills the array.
+        let s = layer(128, 56, 128, 3, 1, 8);
+        let r = sim().simulate_conv("l", &s, SimMode::ChannelFirst);
+        let u = r.utilization(sim().config());
+        assert!(u > 0.7, "utilization {u}");
+    }
+
+    #[test]
+    fn small_channel_layer_benefits_from_multi_tile() {
+        let s = layer(8, 128, 128, 3, 1, 8);
+        let single = sim().simulate_conv("l", &s, SimMode::ChannelFirstGrouped(1));
+        let auto = sim().simulate_conv("l", &s, SimMode::ChannelFirst);
+        assert!(
+            auto.cycles * 2 < single.cycles,
+            "multi-tile should be >2x faster: {} vs {}",
+            auto.cycles,
+            single.cycles
+        );
+        assert!(auto.workspace_bytes > single.workspace_bytes);
+    }
+
+    #[test]
+    fn fig14a_diminishing_returns() {
+        // N=8, Ci=8, Wi=Co=128, Wf=3 (the paper's Fig. 14a layer).
+        let s = layer(8, 128, 128, 3, 1, 8);
+        let mut cycles = Vec::new();
+        let mut workspace = Vec::new();
+        for g in 1..=3 {
+            let r = sim().simulate_conv("l", &s, SimMode::ChannelFirstGrouped(g));
+            cycles.push(r.cycles);
+            workspace.push(r.workspace_bytes);
+        }
+        assert!(cycles[0] > cycles[1] && cycles[1] > cycles[2]);
+        // Workspace grows roughly linearly.
+        let ratio = workspace[2] as f64 / workspace[0] as f64;
+        assert!(ratio > 2.5 && ratio < 3.5, "workspace ratio {ratio}");
+    }
+
+    #[test]
+    fn tpu_stride_insensitivity() {
+        // Fig. 4b: TFLOPS roughly flat across strides for compute-heavy
+        // layers (both FLOPs and cycles shrink together).
+        let cfg = sim();
+        let t1 = {
+            let s = layer(256, 28, 256, 3, 1, 8);
+            let r = cfg.simulate_conv("s1", &s, SimMode::ChannelFirst);
+            r.tflops(cfg.config())
+        };
+        let t2 = {
+            let s = layer(256, 28, 256, 3, 2, 8);
+            let r = cfg.simulate_conv("s2", &s, SimMode::ChannelFirst);
+            r.tflops(cfg.config())
+        };
+        let drop = (t1 - t2) / t1;
+        assert!(drop < 0.25, "stride-2 drop {drop:.2} (t1={t1:.1}, t2={t2:.1})");
+    }
+
+    #[test]
+    fn explicit_slower_than_implicit() {
+        // Fig. 2b: explicit im2col ~20-30% slower.
+        let s = layer(64, 56, 64, 3, 1, 8);
+        let imp = sim().simulate_conv("l", &s, SimMode::ChannelFirst);
+        let exp = sim().simulate_conv("l", &s, SimMode::Explicit);
+        assert!(exp.cycles > imp.cycles, "{} vs {}", exp.cycles, imp.cycles);
+        let overhead = exp.cycles as f64 / imp.cycles as f64;
+        assert!(
+            overhead > 1.05 && overhead < 2.5,
+            "explicit overhead {overhead}"
+        );
+    }
+
+    #[test]
+    fn gemm_matches_closed_form_when_compute_bound() {
+        let s = sim();
+        let r = s.simulate_gemm("g", 4096, 1024, 1024);
+        // passes = 8*8 = 64; stream = 64*4096.
+        let expect = 64 * 4096 + 255 + 128;
+        assert!(r.compute_cycles == expect);
+        assert!(r.cycles >= r.compute_cycles);
+        let u = r.utilization(s.config());
+        assert!(u > 0.8, "{u}");
+    }
+
+    #[test]
+    fn hwcn_layout_faster_than_nchw_for_strided() {
+        let shape = layer(64, 56, 64, 3, 2, 8);
+        let hwcn = sim().simulate_conv("l", &shape, SimMode::ChannelFirst);
+        let mut cfg = TpuConfig::tpu_v2();
+        cfg.ifmap_layout = Layout::Nchw;
+        let nchw = Simulator::new(cfg).simulate_conv("l", &shape, SimMode::ChannelFirst);
+        assert!(nchw.cycles >= hwcn.cycles, "{} vs {}", nchw.cycles, hwcn.cycles);
+    }
+
+    #[test]
+    fn model_simulation_produces_all_layers() {
+        let m = iconv_workloads::alexnet(8);
+        let rep = sim().simulate_model(&m, SimMode::ChannelFirst);
+        assert_eq!(rep.layers.len(), 5);
+        assert!(rep.total_cycles() > 0);
+        assert_eq!(rep.total_flops(), m.total_flops());
+    }
+
+    #[test]
+    fn big_layer_chunks_fit_budget() {
+        // YOLO conv1 at batch 64 exceeds 32MB: must chunk, not explode.
+        let s = layer(32, 208, 64, 3, 1, 64);
+        let r = sim().simulate_conv("l", &s, SimMode::ChannelFirst);
+        assert!(r.cycles > 0);
+        // Workspace reported is pre-chunking demand; sanity only.
+        assert!(r.workspace_bytes > 0);
+    }
+
+    #[test]
+    fn word_size_one_stalls_compute() {
+        let s = layer(128, 28, 128, 3, 2, 2); // shallow batch, strided
+        let base = sim().simulate_conv("l", &s, SimMode::ChannelFirst);
+        let w1 = Simulator::new(TpuConfig::tpu_v2().with_word_elems(1));
+        let r1 = w1.simulate_conv("l", &s, SimMode::ChannelFirst);
+        assert!(r1.compute_cycles >= base.compute_cycles);
+    }
+}

@@ -1,0 +1,214 @@
+//! Multi-core scaling: the paper's baseline is a **dual-core** TPU-v2 chip
+//! (Sec. IV-A); pods gang many chips. This module models the standard
+//! data-parallel execution: the batch splits across cores, each core runs
+//! the channel-first schedule on its shard, and (for training) gradients
+//! all-reduce over the inter-core interconnect.
+
+use crate::engine::{SimMode, Simulator};
+use crate::report::ModelReport;
+use iconv_tensor::ConvShape;
+use iconv_workloads::Model;
+
+/// Interconnect parameters for gradient all-reduce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interconnect {
+    /// Per-link bandwidth in bytes per core-cycle (TPU-v2 ICI class).
+    pub bytes_per_cycle: f64,
+    /// Fixed latency per collective step, cycles.
+    pub step_latency: u64,
+}
+
+impl Interconnect {
+    /// TPU-v2 inter-core interconnect (≈ 500 GB/s links at 700 MHz).
+    pub fn tpu_v2_ici() -> Self {
+        Self {
+            bytes_per_cycle: 700.0,
+            step_latency: 2_000,
+        }
+    }
+
+    /// Cycles for a ring all-reduce of `bytes` across `cores`:
+    /// `2·(cores−1)/cores` of the data crosses each link.
+    pub fn allreduce_cycles(&self, bytes: u64, cores: usize) -> u64 {
+        if cores <= 1 {
+            return 0;
+        }
+        let steps = 2 * (cores - 1) as u64;
+        let per_step = bytes as f64 / cores as f64 / self.bytes_per_cycle;
+        steps * (per_step.ceil() as u64 + self.step_latency)
+    }
+}
+
+/// Result of a data-parallel run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticoreReport {
+    /// Cores used.
+    pub cores: usize,
+    /// Per-core compute cycles (the slowest shard).
+    pub compute_cycles: u64,
+    /// All-reduce cycles (zero for inference).
+    pub allreduce_cycles: u64,
+    /// Speedup over the single-core run of the full batch.
+    pub speedup: f64,
+}
+
+impl MulticoreReport {
+    /// Total cycles for the step.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.allreduce_cycles
+    }
+
+    /// Parallel efficiency: `speedup / cores`.
+    pub fn efficiency(&self) -> f64 {
+        self.speedup / self.cores as f64
+    }
+}
+
+/// Split a batch as evenly as possible; the slowest shard sets the pace.
+fn shard_batches(n: usize, cores: usize) -> Vec<usize> {
+    let base = n / cores;
+    let extra = n % cores;
+    (0..cores)
+        .map(|c| base + usize::from(c < extra))
+        .filter(|&b| b > 0)
+        .collect()
+}
+
+impl Simulator {
+    /// Simulate data-parallel inference of `model` across `cores` cores of
+    /// this configuration. Returns per-step cycles and scaling metrics.
+    /// # Examples
+    ///
+    /// ```
+    /// # use iconv_tpusim::{Interconnect, Simulator, TpuConfig};
+    /// let sim = Simulator::new(TpuConfig::tpu_v2());
+    /// let model = iconv_workloads::resnet50(16);
+    /// let two = sim.simulate_model_multicore(&model, 2, false, Interconnect::tpu_v2_ici());
+    /// assert!(two.speedup > 1.5 && two.efficiency() <= 1.01);
+    /// ```
+
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn simulate_model_multicore(
+        &self,
+        model: &Model,
+        cores: usize,
+        training: bool,
+        ici: Interconnect,
+    ) -> MulticoreReport {
+        assert!(cores > 0, "at least one core required");
+        let single = self.total_model_cycles(model, training);
+        let shards = shard_batches(model.layers[0].shape.n, cores);
+        // The slowest (largest) shard paces the step.
+        let max_shard = shards.iter().copied().max().unwrap_or(0);
+        let sharded_model = Model {
+            name: model.name,
+            layers: model
+                .layers
+                .iter()
+                .map(|l| {
+                    let mut l2 = l.clone();
+                    l2.shape = ConvShape { n: max_shard, ..l.shape };
+                    l2
+                })
+                .collect(),
+        };
+        let compute = self.total_model_cycles(&sharded_model, training);
+        let allreduce = if training {
+            let eb = self.config().vector_mem.elem_bytes as u64;
+            let grad_bytes: u64 = model
+                .layers
+                .iter()
+                .map(|l| l.shape.filter_elems() as u64 * eb * l.count as u64)
+                .sum();
+            ici.allreduce_cycles(grad_bytes, shards.len())
+        } else {
+            0
+        };
+        MulticoreReport {
+            cores: shards.len(),
+            compute_cycles: compute,
+            allreduce_cycles: allreduce,
+            speedup: single as f64 / (compute + allreduce) as f64,
+        }
+    }
+
+    fn total_model_cycles(&self, model: &Model, training: bool) -> u64 {
+        if training {
+            self.simulate_model_training(model)
+                .iter()
+                .map(|(r, k)| r.total_cycles() * *k as u64)
+                .sum()
+        } else {
+            self.simulate_model(model, SimMode::ChannelFirst).total_cycles()
+        }
+    }
+}
+
+/// Convenience: report totals of a [`ModelReport`] — re-exported here so the
+/// multicore ablation can compare against plain runs without re-simulation.
+pub fn model_cycles(report: &ModelReport) -> u64 {
+    report.total_cycles()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TpuConfig;
+    use iconv_workloads::resnet50;
+
+    fn sim() -> Simulator {
+        Simulator::new(TpuConfig::tpu_v2())
+    }
+
+    #[test]
+    fn two_cores_speed_up_inference() {
+        let model = resnet50(16);
+        let rep = sim().simulate_model_multicore(&model, 2, false, Interconnect::tpu_v2_ici());
+        assert_eq!(rep.cores, 2);
+        assert_eq!(rep.allreduce_cycles, 0);
+        assert!(rep.speedup > 1.4, "speedup {:.2}", rep.speedup);
+        assert!(rep.efficiency() <= 1.01);
+    }
+
+    #[test]
+    fn training_pays_allreduce() {
+        let model = resnet50(16);
+        let inf = sim().simulate_model_multicore(&model, 4, false, Interconnect::tpu_v2_ici());
+        let tr = sim().simulate_model_multicore(&model, 4, true, Interconnect::tpu_v2_ici());
+        assert!(tr.allreduce_cycles > 0);
+        assert!(tr.efficiency() <= inf.efficiency() + 0.05);
+    }
+
+    #[test]
+    fn scaling_saturates_with_tiny_batches() {
+        // Batch 4 over 8 cores: only 4 shards exist, and per-shard overheads
+        // dominate — efficiency collapses.
+        let model = resnet50(4);
+        let rep = sim().simulate_model_multicore(&model, 8, false, Interconnect::tpu_v2_ici());
+        assert!(rep.cores <= 4);
+        assert!(rep.efficiency() < 0.9, "efficiency {:.2}", rep.efficiency());
+    }
+
+    #[test]
+    fn one_core_is_identity() {
+        let model = resnet50(8);
+        let rep = sim().simulate_model_multicore(&model, 1, false, Interconnect::tpu_v2_ici());
+        assert_eq!(rep.cores, 1);
+        assert!((rep.speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allreduce_cycles_scale_with_data_and_cores() {
+        let ici = Interconnect::tpu_v2_ici();
+        assert_eq!(ici.allreduce_cycles(1 << 20, 1), 0);
+        let two = ici.allreduce_cycles(1 << 26, 2);
+        let four = ici.allreduce_cycles(1 << 26, 4);
+        // More cores: more steps but less data per link; for big payloads
+        // ring all-reduce total stays roughly flat.
+        let ratio = four as f64 / two as f64;
+        assert!((0.7..2.0).contains(&ratio), "ratio {ratio}");
+    }
+}

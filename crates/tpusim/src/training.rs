@@ -1,0 +1,254 @@
+//! Training-pass timing: the weight- and input-gradient convolutions on the
+//! same channel-first machine (see `iconv_core::backward` for the lowered
+//! semantics). TPU-v2/v3 are training chips, so the training step is the
+//! workload the hardware was actually sized for.
+
+use crate::config::TpuConfig;
+use crate::engine::{SimMode, Simulator};
+use crate::report::LayerReport;
+use iconv_core::schedule::tpu_group_size;
+use iconv_dram::DramModel;
+use iconv_sram::PortStats;
+use iconv_tensor::ConvShape;
+use iconv_workloads::Model;
+
+/// The three computations of one training step for one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingReport {
+    /// Forward pass.
+    pub forward: LayerReport,
+    /// Weight gradient (`dW = Aᵀ·dY`, per tap).
+    pub wgrad: LayerReport,
+    /// Input gradient (`dX += dY·Bᵀ`, per tap), `None` for the first layer
+    /// of a network (no upstream gradient needed).
+    pub dgrad: Option<LayerReport>,
+}
+
+impl TrainingReport {
+    /// Total cycles of the step.
+    pub fn total_cycles(&self) -> u64 {
+        self.forward.cycles
+            + self.wgrad.cycles
+            + self.dgrad.as_ref().map_or(0, |d| d.cycles)
+    }
+
+    /// Total FLOPs of the step (≈3× the forward pass when dgrad runs).
+    pub fn total_flops(&self) -> u64 {
+        self.forward.flops + self.wgrad.flops + self.dgrad.as_ref().map_or(0, |d| d.flops)
+    }
+}
+
+impl Simulator {
+    /// Gradient-pass helper: one pass structure shared by wgrad and dgrad —
+    /// `hf` filter rows, K packed densely over `wf·k_per_tap` with
+    /// duplication bounded by `min(rows/k_per_tap, wf)`, `out_cols` output
+    /// columns, `m` streamed reduction rows.
+    fn simulate_grad_pass(
+        &self,
+        name: &str,
+        shape: &ConvShape,
+        k_per_tap: usize,
+        out_cols: usize,
+        reads_bytes: u64,
+        writes_bytes: u64,
+    ) -> LayerReport {
+        let cfg = self.config();
+        let (rows, cols) = (cfg.array.rows, cfg.array.cols);
+        let m = shape.lowered_rows();
+        let dup = tpu_group_size(rows, k_per_tap, shape.wf);
+        let cap = (dup * k_per_tap).min(rows).max(1);
+        let passes = shape.hf as u64
+            * ((shape.wf * k_per_tap).div_ceil(cap) as u64)
+            * (out_cols.div_ceil(cols) as u64);
+        let stream = passes.div_ceil(cfg.mxus as u64) * m as u64;
+        let packing = cfg.vector_mem.word_elems.min(shape.n.max(1));
+        let stall = (cfg.mxus as f64 / packing as f64).max(1.0);
+        let compute_cycles =
+            (stream as f64 * stall).ceil() as u64 + (rows + cols - 1) as u64 + rows as u64;
+
+        let dram = DramModel::new(cfg.dram);
+        let mem_cycles =
+            dram.transfer_cycles(reads_bytes, 4096) + dram.transfer_cycles(writes_bytes, 4096);
+        let chunks = cfg.min_pipeline_stages.max(1);
+        let mem_chunk = mem_cycles / chunks;
+        let compute_chunk = compute_cycles / chunks;
+        let cycles = cfg.dispatch_cycles + mem_chunk + chunks * compute_chunk.max(mem_chunk);
+        LayerReport {
+            name: name.to_string(),
+            cycles,
+            compute_cycles,
+            exposed_memory_cycles: cycles - cfg.dispatch_cycles - compute_cycles.min(cycles),
+            flops: shape.flops(),
+            dram_bytes: reads_bytes + writes_bytes,
+            workspace_bytes: 0,
+            sram: PortStats {
+                cycles: compute_cycles,
+                reads: compute_cycles / packing as u64,
+                writes: compute_cycles / packing as u64,
+            },
+            array_occupancy: ((shape.wf * k_per_tap) as f64
+                / ((shape.wf * k_per_tap).div_ceil(cap) * rows) as f64)
+                .min(1.0),
+        }
+    }
+
+    /// Simulate the weight-gradient convolution: per tap
+    /// `dW_tap[Ci×Co] = A_tapᵀ[Ci×M] · dY[M×Co]` — same pass structure as
+    /// the forward (the same A slices stream through the array), outputs
+    /// accumulated across `M` instead of along it.
+    pub fn simulate_wgrad(&self, name: &str, shape: &ConvShape) -> LayerReport {
+        let eb = self.config().vector_mem.elem_bytes as u64;
+        let reads = (shape.ifmap_elems() + shape.ofmap_elems()) as u64 * eb;
+        let writes = shape.filter_elems() as u64 * eb;
+        self.simulate_grad_pass(name, shape, shape.ci, shape.co, reads, writes)
+    }
+
+    /// Simulate the input-gradient convolution: per tap
+    /// `dX_tap[M×Ci] = dY[M×Co] · B_tapᵀ[Co×Ci]` — reduction over `Co`,
+    /// scattered back through the de-serializer to the tap's input
+    /// positions (the forward address generation, reversed).
+    pub fn simulate_dgrad(&self, name: &str, shape: &ConvShape) -> LayerReport {
+        let eb = self.config().vector_mem.elem_bytes as u64;
+        let reads = (shape.ofmap_elems() + shape.filter_elems()) as u64 * eb;
+        let writes = shape.ifmap_elems() as u64 * eb;
+        self.simulate_grad_pass(name, shape, shape.co, shape.ci, reads, writes)
+    }
+
+    /// One full training step for a layer (forward + wgrad + optional
+    /// dgrad).
+    /// # Examples
+    ///
+    /// ```
+    /// # use iconv_tpusim::{Simulator, TpuConfig};
+    /// # use iconv_tensor::ConvShape;
+    /// # fn main() -> Result<(), iconv_tensor::ShapeError> {
+    /// let sim = Simulator::new(TpuConfig::tpu_v2());
+    /// let layer = ConvShape::square(8, 128, 28, 128, 3, 1, 1)?;
+    /// let step = sim.simulate_training_step("res4", &layer, true);
+    /// assert_eq!(step.total_flops(), 3 * step.forward.flops);
+    /// # Ok(()) }
+    /// ```
+
+    pub fn simulate_training_step(
+        &self,
+        name: &str,
+        shape: &ConvShape,
+        needs_dgrad: bool,
+    ) -> TrainingReport {
+        TrainingReport {
+            forward: self.simulate_conv(name, shape, SimMode::ChannelFirst),
+            wgrad: self.simulate_wgrad(name, shape),
+            dgrad: needs_dgrad.then(|| self.simulate_dgrad(name, shape)),
+        }
+    }
+
+    /// Training-step cycles for a whole model (dgrad skipped on the first
+    /// layer).
+    pub fn simulate_model_training(&self, model: &Model) -> Vec<(TrainingReport, usize)> {
+        model
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                (
+                    self.simulate_training_step(&l.name, &l.shape, i > 0),
+                    l.count,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Peak TFLOPS helper for training reports.
+pub fn training_tflops(cfg: &TpuConfig, reports: &[(TrainingReport, usize)]) -> f64 {
+    let cycles: u64 = reports
+        .iter()
+        .map(|(r, k)| r.total_cycles() * *k as u64)
+        .sum();
+    let flops: u64 = reports
+        .iter()
+        .map(|(r, k)| r.total_flops() * *k as u64)
+        .sum();
+    if cycles == 0 {
+        return 0.0;
+    }
+    flops as f64 / cfg.cycles_to_seconds(cycles) / 1e12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TpuConfig;
+
+    fn sim() -> Simulator {
+        Simulator::new(TpuConfig::tpu_v2())
+    }
+
+    fn layer() -> ConvShape {
+        ConvShape::square(8, 128, 28, 128, 3, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn gradient_passes_cost_about_a_forward_each() {
+        // Same MACs, same machine: each gradient pass lands within ~2x of
+        // the forward for square layers.
+        let s = sim();
+        let fwd = s.simulate_conv("l", &layer(), SimMode::ChannelFirst).cycles;
+        let wg = s.simulate_wgrad("l", &layer()).cycles;
+        let dg = s.simulate_dgrad("l", &layer()).cycles;
+        for (name, c) in [("wgrad", wg), ("dgrad", dg)] {
+            let ratio = c as f64 / fwd as f64;
+            assert!((0.5..2.0).contains(&ratio), "{name} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn training_step_is_about_3x_inference() {
+        let s = sim();
+        let step = s.simulate_training_step("l", &layer(), true);
+        let ratio = step.total_cycles() as f64 / step.forward.cycles as f64;
+        assert!((2.2..4.0).contains(&ratio), "training/forward = {ratio}");
+        assert_eq!(step.total_flops(), 3 * step.forward.flops);
+    }
+
+    #[test]
+    fn first_layer_skips_dgrad() {
+        let s = sim();
+        let step = s.simulate_training_step("conv1", &layer(), false);
+        assert!(step.dgrad.is_none());
+        assert_eq!(step.total_flops(), 2 * step.forward.flops);
+    }
+
+    #[test]
+    fn tpu_v3_trains_faster_than_v2() {
+        let model = iconv_workloads::resnet50(8);
+        let v2 = Simulator::new(TpuConfig::tpu_v2());
+        let v3 = Simulator::new(TpuConfig::tpu_v3());
+        let t2: u64 = v2
+            .simulate_model_training(&model)
+            .iter()
+            .map(|(r, k)| r.total_cycles() * *k as u64)
+            .sum();
+        let t3: u64 = v3
+            .simulate_model_training(&model)
+            .iter()
+            .map(|(r, k)| r.total_cycles() * *k as u64)
+            .sum();
+        // v3 wins in wall-clock (cycles x clock): compare seconds.
+        let s2 = v2.config().cycles_to_seconds(t2);
+        let s3 = v3.config().cycles_to_seconds(t3);
+        assert!(s3 < s2 * 0.75, "v3 {s3:.4}s vs v2 {s2:.4}s");
+    }
+
+    #[test]
+    fn asymmetric_layer_gradients_differ_sensibly() {
+        // Co >> Ci: dgrad's reduction (over Co) is deeper than wgrad's
+        // K-side, so their pass counts differ.
+        let s = sim();
+        let shape = ConvShape::square(8, 32, 28, 512, 3, 1, 1).unwrap();
+        let wg = s.simulate_wgrad("l", &shape);
+        let dg = s.simulate_dgrad("l", &shape);
+        assert_ne!(wg.cycles, dg.cycles);
+        assert!(wg.flops == dg.flops);
+    }
+}

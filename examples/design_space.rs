@@ -1,0 +1,55 @@
+//! Hardware design-space exploration with TPUSim: sweep the systolic-array
+//! size and the vector-memory word size while running VGG16 — reproducing
+//! the reasoning behind TPU-v2's 128×128 / word-8 design point (paper
+//! Fig. 16).
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use implicit_conv::prelude::*;
+use implicit_conv::sram::AreaModel;
+
+fn main() {
+    let model = vgg16(8);
+
+    println!("VGG16 @ batch 8 — systolic array size sweep (total SRAM fixed at 32 MB)\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>8}",
+        "array", "peak TF/s", "achieved", "util%"
+    );
+    for size in [32usize, 64, 128, 256, 512] {
+        let cfg = TpuConfig::tpu_v2().with_array_size(size);
+        let sim = Simulator::new(cfg);
+        let rep = sim.simulate_model(&model, SimMode::ChannelFirst);
+        println!(
+            "{:>5}x{:<3} {:>10.1} {:>12.1} {:>8.1}",
+            size,
+            size,
+            cfg.peak_tflops(),
+            rep.tflops(&cfg),
+            100.0 * rep.tflops(&cfg) / cfg.peak_tflops()
+        );
+    }
+
+    println!("\nVector-memory word-size sweep (256 KB per array, 45nm-class area model)\n");
+    println!(
+        "{:>6} {:>12} {:>10} {:>10}",
+        "word", "area mm2", "rel.area", "idle%"
+    );
+    let area = AreaModel::freepdk45();
+    let words: Vec<u64> = [1u64, 2, 4, 8, 16, 32].iter().map(|e| e * 4).collect();
+    for elems in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = TpuConfig::tpu_v2().with_word_elems(elems);
+        let sim = Simulator::new(cfg);
+        let rep = sim.simulate_model(&model, SimMode::ChannelFirst);
+        let bytes = (elems * 4) as u64;
+        println!(
+            "{:>6} {:>12.2} {:>10.2} {:>10.1}",
+            elems,
+            area.area_mm2(256 * 1024, bytes),
+            area.relative_area(256 * 1024, bytes, &words),
+            100.0 * rep.sram_idle_ratio()
+        );
+    }
+    println!("\nWord 8 sits near the area minimum while leaving >50% of the port idle —");
+    println!("the slack TPU-v3 spends on a second systolic array (paper Sec. VII-A).");
+}

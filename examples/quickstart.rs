@@ -1,0 +1,70 @@
+//! Quickstart: lower one convolution to GEMM four different ways and verify
+//! they all agree with direct convolution — then time the same layer on the
+//! simulated TPU and GPU.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use implicit_conv::prelude::*;
+use implicit_conv::tensor::conv_ref::{direct_conv, filter_dims, ifmap_dims};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Fig. 5 running example: 8 channels, 5x5 input, 3x3 filter.
+    let shape = ConvShape::square(1, 8, 5, 4, 3, 1, 0)?;
+    println!("Layer: {shape}");
+    println!(
+        "Lowered matrix: {} x {} ({}x data duplication if materialized)",
+        shape.lowered_rows(),
+        shape.lowered_cols(),
+        shape.duplication_factor()
+    );
+
+    let x = Tensor::<f32>::random(ifmap_dims(&shape), Layout::Nhwc, 1);
+    let f = Tensor::<f32>::random(filter_dims(&shape), Layout::Nchw, 2);
+    let golden = direct_conv(&shape, &x, &f);
+
+    // Four lowering algorithms, one answer.
+    let algorithms = [
+        ConvAlgorithm::ExplicitIm2col(ColumnOrder::ChannelLast),
+        ConvAlgorithm::ExplicitIm2col(ColumnOrder::ChannelFirst),
+        ConvAlgorithm::ImplicitChannelLast,
+        ConvAlgorithm::ImplicitChannelFirst { group_size: 3 },
+    ];
+    for algo in algorithms {
+        let y = run_conv(algo, &shape, &x, &f);
+        let diff = golden.max_abs_diff(&y);
+        println!("  {algo:<40} max |Δ| vs direct conv = {diff:.2e}");
+        assert!(diff < 1e-4);
+    }
+
+    // The same algorithm on a cycle-stepped 8x8 systolic array (the paper's
+    // TPU dataflow at PE granularity).
+    let array = ArrayConfig { rows: 8, cols: 8 };
+    let xi = Tensor::<i64>::random(ifmap_dims(&shape), Layout::Nchw, 3);
+    let fi = Tensor::<i64>::random(filter_dims(&shape), Layout::Nchw, 4);
+    let golden_i = direct_conv(&shape, &xi, &fi);
+    let on_array = implicit_conv::systolic::conv::conv_on_array(array, &shape, &xi, &fi);
+    assert!(golden_i.approx_eq(&on_array, 0.0));
+    println!("  systolic-array dataflow (8x8 grid)       bit-exact ✓");
+
+    // Now a real layer on the simulated accelerators.
+    let layer = ConvShape::square(8, 64, 56, 64, 3, 1, 1)?;
+    let tpu = Simulator::new(TpuConfig::tpu_v2());
+    let rep = tpu.simulate_conv("res2a_3x3", &layer, SimMode::ChannelFirst);
+    println!(
+        "\nTPU-v2 (simulated): {layer}\n  {} cycles = {:.1} us, {:.1} TFLOPS ({:.0}% of peak)",
+        rep.cycles,
+        rep.seconds(tpu.config()) * 1e6,
+        rep.tflops(tpu.config()),
+        100.0 * rep.utilization(tpu.config())
+    );
+
+    let gpu = GpuSim::new(GpuConfig::v100());
+    let g = gpu.simulate_conv("res2a_3x3", &layer, GpuAlgo::ChannelFirst { reuse: true });
+    println!(
+        "V100 (simulated):  {} blocks, {:.1} us, {:.1} TFLOPS",
+        g.timing.blocks,
+        g.seconds(gpu.config()) * 1e6,
+        g.tflops(gpu.config())
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Simulate ResNet-50 inference on the TPU-v2 simulator, layer by layer,
+//! comparing the implicit channel-first algorithm against the explicit
+//! im2col baseline and against the "measured" hardware proxy.
+//!
+//! Run with: `cargo run --release --example resnet_on_tpu`
+
+use implicit_conv::prelude::*;
+
+fn main() {
+    let batch = 8;
+    let model = resnet50(batch);
+    let sim = Simulator::new(TpuConfig::tpu_v2());
+    let proxy = TpuMeasuredProxy::tpu_v2();
+
+    println!("ResNet-50 on simulated TPU-v2, batch {batch}\n");
+    println!(
+        "{:<16} {:>12} {:>9} {:>8} {:>9} {:>8}",
+        "layer", "cycles", "TFLOPS", "util%", "DRAM MB", "err%"
+    );
+
+    let mut implicit_total = 0u64;
+    let mut explicit_total = 0u64;
+    let mut err_acc = 0.0;
+    for l in &model.layers {
+        let rep = sim.simulate_conv(&l.name, &l.shape, SimMode::ChannelFirst);
+        let exp = sim.simulate_conv(&l.name, &l.shape, SimMode::Explicit);
+        let measured = proxy.conv_cycles(&l.shape);
+        let err = 100.0 * (rep.cycles as f64 - measured).abs() / measured;
+        err_acc += err * l.count as f64;
+        implicit_total += rep.cycles * l.count as u64;
+        explicit_total += exp.cycles * l.count as u64;
+        // Print a representative subset to keep output readable.
+        if l.name.ends_with("3x3") && l.name.contains("_1_") || l.name == "conv1" {
+            println!(
+                "{:<16} {:>12} {:>9.1} {:>8.1} {:>9.1} {:>8.1}",
+                l.name,
+                rep.cycles,
+                rep.tflops(sim.config()),
+                100.0 * rep.utilization(sim.config()),
+                rep.dram_bytes as f64 / 1e6,
+                err
+            );
+        }
+    }
+    let instances: usize = model.layers.iter().map(|l| l.count).sum();
+    println!("\nAll {} conv layer instances:", instances);
+    println!(
+        "  implicit channel-first: {:>12} cycles = {:.2} ms",
+        implicit_total,
+        sim.config().cycles_to_seconds(implicit_total) * 1e3
+    );
+    println!(
+        "  explicit im2col:        {:>12} cycles = {:.2} ms ({:+.0}% overhead)",
+        explicit_total,
+        sim.config().cycles_to_seconds(explicit_total) * 1e3,
+        100.0 * (explicit_total as f64 / implicit_total as f64 - 1.0)
+    );
+    println!(
+        "  mean |error| vs measured-proxy: {:.1}%",
+        err_acc / instances as f64
+    );
+}

@@ -1,0 +1,68 @@
+//! # implicit-conv
+//!
+//! A from-scratch Rust reproduction of *"Characterizing and Demystifying the
+//! Implicit Convolution Algorithm on Commercial Matrix-Multiplication
+//! Accelerators"* (IISWC 2021): the **channel-first implicit im2col**
+//! algorithm, a cycle-level **TPU-v2 simulator** (TPUSim), a **V100
+//! Tensor-Core timing model**, and every substrate they need — built with
+//! no external simulator or GPU dependency.
+//!
+//! This crate is a facade: it re-exports the workspace members so examples
+//! and downstream users need a single dependency. See the individual crates
+//! for the full APIs:
+//!
+//! * [`tensor`] (`iconv-tensor`) — shapes, layouts, tensors, reference
+//!   conv/GEMM, explicit im2col;
+//! * [`core`] (`iconv-core`) — the paper's algorithm: lowered-matrix
+//!   algebra, filter decomposition, multi-tile schedules, address
+//!   generation, the blocked GPU variant;
+//! * [`systolic`] (`iconv-systolic`) — a cycle-stepped weight-stationary
+//!   PE grid with validated closed-form timing;
+//! * [`dram`] / [`sram`] — off-chip and on-chip memory models;
+//! * [`tpusim`] (`iconv-tpusim`) — TPUSim;
+//! * [`gpusim`] (`iconv-gpusim`) — the V100 model;
+//! * [`workloads`] (`iconv-workloads`) — the seven CNN layer tables;
+//! * [`models`] (`iconv-models`) — the hardware proxies and error metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use implicit_conv::prelude::*;
+//!
+//! # fn main() -> Result<(), implicit_conv::tensor::ShapeError> {
+//! // One ResNet-50 block convolution at batch 8.
+//! let shape = ConvShape::square(8, 64, 56, 64, 3, 1, 1)?;
+//!
+//! // Simulate it on a TPU-v2 core with channel-first implicit im2col.
+//! let tpu = Simulator::new(TpuConfig::tpu_v2());
+//! let report = tpu.simulate_conv("res2a", &shape, SimMode::ChannelFirst);
+//! assert!(report.tflops(tpu.config()) > 1.0);
+//! # Ok(()) }
+//! ```
+
+pub use iconv_core as core;
+pub use iconv_dram as dram;
+pub use iconv_gpusim as gpusim;
+pub use iconv_models as models;
+pub use iconv_sram as sram;
+pub use iconv_systolic as systolic;
+pub use iconv_tensor as tensor;
+pub use iconv_tpusim as tpusim;
+pub use iconv_workloads as workloads;
+
+/// The most common imports, for examples and quick scripts.
+pub mod prelude {
+    pub use iconv_core::algo::{run as run_conv, ConvAlgorithm};
+    pub use iconv_core::{
+        AddrGen, BlockConfig, BlockDecomposition, FetchOrder, FilterTile, LoweredView,
+        TileSchedule, VectorMemSpec,
+    };
+    pub use iconv_gpusim::{GpuAlgo, GpuConfig, GpuSim};
+    pub use iconv_models::TpuMeasuredProxy;
+    pub use iconv_systolic::ArrayConfig;
+    pub use iconv_tensor::{
+        conv_ref, im2col, ColumnOrder, ConvShape, Coord, Dims, Layout, Matrix, Tensor,
+    };
+    pub use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+    pub use iconv_workloads::{all_models, resnet50, vgg16};
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration: every lowering algorithm, on every substrate,
+//! produces the reference convolution — the repository's master correctness
+//! property.
+
+use implicit_conv::core::algo::{run, ConvAlgorithm};
+use implicit_conv::core::{BlockConfig, FetchOrder, TileSchedule};
+use implicit_conv::prelude::*;
+use implicit_conv::systolic::conv::run_conv_channel_first;
+use implicit_conv::tensor::conv_ref::{direct_conv, filter_dims, ifmap_dims};
+
+fn cases() -> Vec<ConvShape> {
+    vec![
+        // The paper's running example (Fig. 5).
+        ConvShape::square(1, 8, 5, 4, 3, 1, 0).unwrap(),
+        // The Fig. 10 systolic example.
+        ConvShape::square(2, 4, 5, 4, 3, 1, 0).unwrap(),
+        // Strided + padded (Fig. 8).
+        ConvShape::square(2, 3, 9, 5, 3, 2, 1).unwrap(),
+        // Pointwise.
+        ConvShape::square(2, 6, 7, 3, 1, 1, 0).unwrap(),
+        // Dilated (Sec. II: deformable/dilated motivate implicit im2col).
+        ConvShape::new(1, 2, 11, 11, 3, 3, 3).dilation(2).pad(2).build().unwrap(),
+        // Fully asymmetric.
+        ConvShape::new(2, 5, 8, 12, 7, 3, 2)
+            .stride_hw(2, 1)
+            .pad_hw(0, 1)
+            .build()
+            .unwrap(),
+    ]
+}
+
+#[test]
+fn every_algorithm_matches_direct_convolution() {
+    for (i, shape) in cases().into_iter().enumerate() {
+        let seed = 100 + i as u64;
+        let x = Tensor::<i64>::random(ifmap_dims(&shape), Layout::Nchw, seed);
+        let f = Tensor::<i64>::random(filter_dims(&shape), Layout::Nchw, seed + 50);
+        let want = direct_conv(&shape, &x, &f);
+        let algos = [
+            ConvAlgorithm::ExplicitIm2col(ColumnOrder::ChannelLast),
+            ConvAlgorithm::ExplicitIm2col(ColumnOrder::ChannelFirst),
+            ConvAlgorithm::ImplicitChannelLast,
+            ConvAlgorithm::ImplicitChannelFirst { group_size: 1 },
+            ConvAlgorithm::ImplicitChannelFirst { group_size: 4 },
+            ConvAlgorithm::ImplicitChannelFirstBlocked(
+                BlockConfig { bm: 32, bn: 8, bk: 4 },
+                FetchOrder::Naive,
+            ),
+            ConvAlgorithm::ImplicitChannelFirstBlocked(
+                BlockConfig { bm: 32, bn: 8, bk: 4 },
+                FetchOrder::Reordered,
+            ),
+        ];
+        for algo in algos {
+            let got = run(algo, &shape, &x, &f);
+            assert!(want.approx_eq(&got, 0.0), "case {i} ({shape}): {algo}");
+        }
+    }
+}
+
+#[test]
+fn systolic_array_executes_all_cases_bit_exactly() {
+    for (i, shape) in cases().into_iter().enumerate() {
+        let seed = 300 + i as u64;
+        let x = Tensor::<i64>::random(ifmap_dims(&shape), Layout::Nchw, seed);
+        let f = Tensor::<i64>::random(filter_dims(&shape), Layout::Nchw, seed + 50);
+        let want = direct_conv(&shape, &x, &f);
+        // Array just big enough for the TPU schedule of this shape.
+        let sched = TileSchedule::tpu(&shape, 64);
+        let rows = sched.max_occupied_rows(&shape).max(1);
+        let cfg = ArrayConfig { rows, cols: shape.co.min(8) };
+        let run = run_conv_channel_first(cfg, &shape, &x, &f, &sched);
+        assert!(want.approx_eq(&run.ofmap, 0.0), "case {i} ({shape})");
+        assert_eq!(run.cycles, run.predicted_cycles, "case {i}: timing model drift");
+    }
+}
+
+#[test]
+fn input_layout_never_changes_results() {
+    let shape = ConvShape::square(2, 4, 6, 3, 3, 1, 1).unwrap();
+    let x = Tensor::<i64>::random(ifmap_dims(&shape), Layout::Nchw, 7);
+    let f = Tensor::<i64>::random(filter_dims(&shape), Layout::Nchw, 8);
+    let want = direct_conv(&shape, &x, &f);
+    for layout in Layout::ALL {
+        let got = run(
+            ConvAlgorithm::ImplicitChannelFirst { group_size: 3 },
+            &shape,
+            &x.relayout(layout),
+            &f,
+        );
+        assert!(want.approx_eq(&got, 0.0), "layout {layout}");
+    }
+}

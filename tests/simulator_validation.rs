@@ -1,0 +1,159 @@
+//! Integration: the paper's validation thresholds hold for the shipped
+//! simulators — these are the claims EXPERIMENTS.md records, pinned as
+//! tests so regressions in any component model surface immediately.
+
+use implicit_conv::models::{mean_abs_pct_error, Roofline, TpuMeasuredProxy};
+use implicit_conv::prelude::*;
+use implicit_conv::tpusim::LayerReport;
+use implicit_conv::workloads;
+
+fn tpu() -> Simulator {
+    Simulator::new(TpuConfig::tpu_v2())
+}
+
+#[test]
+fn fig13a_gemm_validation_error_under_7_percent() {
+    let sim = tpu();
+    let proxy = TpuMeasuredProxy::tpu_v2();
+    let mut pairs = Vec::new();
+    for m in [256usize, 1024, 4096, 8192] {
+        for n in [256usize, 1024, 8192] {
+            for k in [256usize, 1024, 8192] {
+                pairs.push((
+                    sim.simulate_gemm("g", m, n, k).cycles as f64,
+                    proxy.gemm_cycles(m, n, k),
+                ));
+            }
+        }
+    }
+    let err = mean_abs_pct_error(&pairs);
+    assert!(err < 0.07, "GEMM validation error {:.2}% (paper 4.42%)", 100.0 * err);
+}
+
+#[test]
+fn fig15_layerwise_mae_under_8_percent() {
+    let sim = tpu();
+    let proxy = TpuMeasuredProxy::tpu_v2();
+    let mut pairs = Vec::new();
+    for model in workloads::all_models(8) {
+        for l in &model.layers {
+            let s = sim.simulate_conv(&l.name, &l.shape, SimMode::ChannelFirst);
+            pairs.push((s.cycles as f64, proxy.conv_cycles(&l.shape)));
+        }
+    }
+    let err = mean_abs_pct_error(&pairs);
+    assert!(err < 0.08, "layer-wise MAE {:.2}% (paper 5.8%)", 100.0 * err);
+}
+
+#[test]
+fn no_simulated_layer_beats_the_roofline() {
+    let sim = tpu();
+    let roofline = Roofline::tpu_v2();
+    for model in workloads::all_models(8) {
+        for l in &model.layers {
+            let rep: LayerReport = sim.simulate_conv(&l.name, &l.shape, SimMode::ChannelFirst);
+            let min = roofline.min_cycles(l.shape.macs(), rep.dram_bytes);
+            assert!(
+                rep.cycles as f64 >= min * 0.999,
+                "{}/{} reports {} cycles below the roofline {min:.0}",
+                model.name,
+                l.name,
+                rep.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn fig16a_utilization_drops_as_array_grows() {
+    let model = workloads::vgg16(8);
+    let mut prev = f64::INFINITY;
+    for size in [64usize, 128, 256, 512] {
+        let cfg = TpuConfig::tpu_v2().with_array_size(size);
+        let sim = Simulator::new(cfg);
+        let rep = sim.simulate_model(&model, SimMode::ChannelFirst);
+        let util = rep.tflops(&cfg) / cfg.peak_tflops();
+        assert!(util < prev, "utilization must fall with array size ({size})");
+        prev = util;
+    }
+}
+
+#[test]
+fn fig16b_idle_ratio_grows_with_word_size() {
+    let model = workloads::vgg16(8);
+    let mut prev = -1.0;
+    for elems in [1usize, 2, 8, 32] {
+        let sim = Simulator::new(TpuConfig::tpu_v2().with_word_elems(elems));
+        let idle = sim
+            .simulate_model(&model, SimMode::ChannelFirst)
+            .sram_idle_ratio();
+        assert!(idle > prev, "idle ratio must grow with word size ({elems})");
+        prev = idle;
+    }
+    assert!(prev > 0.5, "word-32 idle ratio should exceed 50%");
+}
+
+#[test]
+fn fig17_gpu_parity_within_5_percent() {
+    let gpu = GpuSim::new(GpuConfig::v100());
+    let mut acc = 0.0;
+    let models = workloads::all_models(8);
+    for m in &models {
+        let cudnn = gpu.model_seconds(m, GpuAlgo::CudnnImplicit);
+        let ours = gpu.model_seconds(m, GpuAlgo::ChannelFirst { reuse: true });
+        acc += ours / cudnn;
+    }
+    let avg = acc / models.len() as f64;
+    assert!((0.95..1.05).contains(&avg), "fig17 average ratio {avg:.3}");
+}
+
+#[test]
+fn fig18a_strided_speedup_positive_on_average() {
+    let gpu = GpuSim::new(GpuConfig::v100());
+    let mut speedups = Vec::new();
+    for m in workloads::all_models(8) {
+        for l in m.strided_layers() {
+            if l.shape.ci < 16 {
+                continue;
+            }
+            let cudnn = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::CudnnImplicit);
+            let ours = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::ChannelFirst { reuse: true });
+            speedups.push(cudnn.timing.cycles / ours.timing.cycles);
+        }
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let max = speedups.iter().cloned().fold(0.0, f64::max);
+    assert!(avg > 1.08, "average strided speedup {avg:.2} (paper ~1.20)");
+    assert!(max > 1.3, "max strided speedup {max:.2} (paper ~1.40)");
+}
+
+#[test]
+fn fig04b_tpu_is_stride_insensitive_where_gpu_is_not() {
+    let sim = tpu();
+    let gpu = GpuSim::new(GpuConfig::v100());
+    let mut tpu_drops = Vec::new();
+    let mut gpu_drops = Vec::new();
+    for i in 0..4 {
+        let l1 = &workloads::resnet_representative_layers(64, 1)[i];
+        let l2 = &workloads::resnet_representative_layers(64, 2)[i];
+        let t1 = sim
+            .simulate_conv("a", &l1.shape, SimMode::ChannelFirst)
+            .tflops(sim.config());
+        let t2 = sim
+            .simulate_conv("b", &l2.shape, SimMode::ChannelFirst)
+            .tflops(sim.config());
+        tpu_drops.push(1.0 - t2 / t1);
+        let g1 = gpu
+            .simulate_conv("a", &l1.shape, GpuAlgo::CudnnImplicit)
+            .tflops(gpu.config());
+        let g2 = gpu
+            .simulate_conv("b", &l2.shape, GpuAlgo::CudnnImplicit)
+            .tflops(gpu.config());
+        gpu_drops.push(1.0 - g2 / g1);
+    }
+    let tpu_avg = tpu_drops.iter().sum::<f64>() / 4.0;
+    let gpu_avg = gpu_drops.iter().sum::<f64>() / 4.0;
+    assert!(tpu_avg < 0.1, "TPU stride-2 drop {tpu_avg:.2} should be small");
+    assert!(gpu_avg > 0.2, "GPU stride-2 drop {gpu_avg:.2} should be large");
+    assert!(gpu_avg > 3.0 * tpu_avg, "GPU must degrade far more than TPU");
+}
