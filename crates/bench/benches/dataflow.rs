@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iconv_core::addrgen::{AddrGen, VectorMemSpec};
 use iconv_core::schedule::TileSchedule;
+use iconv_systolic::reference::ReferenceArray;
 use iconv_systolic::{ArrayConfig, SystolicArray};
 use iconv_tensor::{ConvShape, Matrix};
 use std::hint::black_box;
@@ -35,11 +36,38 @@ fn bench_systolic_array(c: &mut Criterion) {
             arr.stream(&a)
         })
     });
+
+    // Band-stepped vs naive full-grid reference at the sizes the tentpole
+    // optimization targets; per-stream M is 2x the grid rows, the tile
+    // schedulers' common case.
+    let mut g = c.benchmark_group("systolic_stream");
+    for size in [32usize, 128] {
+        let cfg = ArrayConfig {
+            rows: size,
+            cols: size,
+        };
+        let m = 2 * size;
+        let a = Matrix::<i64>::from_fn(m, size, |r, s| (r * 3 + s) as i64 % 7 - 3);
+        let b = Matrix::<i64>::from_fn(size, size, |r, s| (r * s) as i64 % 5 - 2);
+        g.throughput(criterion::Throughput::Elements((m * size * size) as u64));
+        g.bench_with_input(BenchmarkId::new("optimized", size), &size, |bch, _| {
+            let mut arr = SystolicArray::with_weights(cfg, &b);
+            bch.iter(|| arr.stream(black_box(&a)))
+        });
+        g.bench_with_input(BenchmarkId::new("reference", size), &size, |bch, _| {
+            let mut arr = ReferenceArray::with_weights(cfg, &b);
+            bch.iter(|| arr.stream(black_box(&a)))
+        });
+    }
+    g.finish();
 }
 
 fn bench_addrgen(c: &mut Criterion) {
     let shape = ConvShape::square(8, 8, 28, 32, 3, 1, 1).unwrap();
-    let spec = VectorMemSpec { arrays: 32, word_elems: 8 };
+    let spec = VectorMemSpec {
+        arrays: 32,
+        word_elems: 8,
+    };
     let sched = TileSchedule::tpu(&shape, 32);
     c.bench_function("addrgen_full_stream", |b| {
         b.iter(|| {

@@ -12,9 +12,18 @@ fn bench_tpusim_layer(c: &mut Criterion) {
     let sim = Simulator::new(TpuConfig::tpu_v2());
     let mut g = c.benchmark_group("tpusim_layer");
     for (name, shape) in [
-        ("res2_3x3", ConvShape::square(8, 64, 56, 64, 3, 1, 1).unwrap()),
-        ("res5_3x3", ConvShape::square(8, 512, 14, 512, 3, 1, 1).unwrap()),
-        ("conv1_7x7", ConvShape::square(8, 3, 224, 64, 7, 2, 3).unwrap()),
+        (
+            "res2_3x3",
+            ConvShape::square(8, 64, 56, 64, 3, 1, 1).unwrap(),
+        ),
+        (
+            "res5_3x3",
+            ConvShape::square(8, 512, 14, 512, 3, 1, 1).unwrap(),
+        ),
+        (
+            "conv1_7x7",
+            ConvShape::square(8, 3, 224, 64, 7, 2, 3).unwrap(),
+        ),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &shape, |b, s| {
             b.iter(|| sim.simulate_conv("l", black_box(s), SimMode::ChannelFirst))
@@ -28,11 +37,9 @@ fn bench_tpusim_models(c: &mut Criterion) {
     let mut g = c.benchmark_group("tpusim_model");
     g.sample_size(20);
     for model in [iconv_workloads::resnet50(8), iconv_workloads::vgg16(8)] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(model.name),
-            &model,
-            |b, m| b.iter(|| sim.simulate_model(black_box(m), SimMode::ChannelFirst)),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(model.name), &model, |b, m| {
+            b.iter(|| sim.simulate_model(black_box(m), SimMode::ChannelFirst))
+        });
     }
     g.finish();
 }
@@ -47,9 +54,11 @@ fn bench_gpusim_layer(c: &mut Criterion) {
         GpuAlgo::ChannelFirst { reuse: false },
         GpuAlgo::GemmEquivalent,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{algo}")), &algo, |b, a| {
-            b.iter(|| sim.simulate_conv("l", black_box(&shape), *a))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{algo}")),
+            &algo,
+            |b, a| b.iter(|| sim.simulate_conv("l", black_box(&shape), *a)),
+        );
     }
     g.finish();
 }

@@ -9,11 +9,23 @@ use iconv_tensor::ConvShape;
 use iconv_tpusim::{SimMode, Simulator, TpuConfig};
 
 /// Run the ablation.
-pub fn run() {
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
     let sim = Simulator::new(TpuConfig::tpu_v2());
-    banner("Ablation: batch size vs vector-memory word packing (word = 8)");
+    banner(
+        &mut out,
+        "Ablation: batch size vs vector-memory word packing (word = 8)",
+    );
     header(
-        &["batch", "dense TF/s", "dense util%", "strided TF/s", "strided util%"],
+        &mut out,
+        &[
+            "batch",
+            "dense TF/s",
+            "dense util%",
+            "strided TF/s",
+            "strided util%",
+        ],
         &[6, 11, 11, 13, 13],
     );
     for n in [1usize, 2, 4, 8, 16, 32, 64] {
@@ -21,7 +33,8 @@ pub fn run() {
         let strided = ConvShape::square(n, 128, 28, 128, 3, 2, 1).expect("valid layer");
         let d = sim.simulate_conv("d", &dense, SimMode::ChannelFirst);
         let s = sim.simulate_conv("s", &strided, SimMode::ChannelFirst);
-        println!(
+        crate::outln!(
+            out,
             "{:>6}  {:>11.1}  {:>11.1}  {:>13.1}  {:>13.1}",
             n,
             d.tflops(sim.config()),
@@ -30,9 +43,16 @@ pub fn run() {
             100.0 * s.utilization(sim.config())
         );
     }
-    println!(
+    crate::outln!(
+        out,
         "\nDense (stride-1) layers pack words spatially at any batch; strided layers\n\
          rely on batch packing and stall the serializer below batch 8 — why the\n\
          TPU-v2 design leans on training-scale batches (paper Sec. IV-C)."
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

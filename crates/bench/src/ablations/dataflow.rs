@@ -9,12 +9,24 @@ use iconv_systolic::{gemm_timing, os_gemm_cycles, ArrayConfig, OsArrayConfig};
 use iconv_workloads::resnet50;
 
 /// Run the ablation.
-pub fn run() {
-    banner("Ablation: weight-stationary vs output-stationary dataflow (128x128 array)");
-    let ws = ArrayConfig { rows: 128, cols: 128 };
-    let os = OsArrayConfig { rows: 128, cols: 128 };
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Ablation: weight-stationary vs output-stationary dataflow (128x128 array)",
+    );
+    let ws = ArrayConfig {
+        rows: 128,
+        cols: 128,
+    };
+    let os = OsArrayConfig {
+        rows: 128,
+        cols: 128,
+    };
 
     header(
+        &mut out,
         &["layer", "M", "K", "N", "WS cycles", "OS cycles", "OS/WS"],
         &[14, 8, 6, 6, 10, 10, 6],
     );
@@ -22,15 +34,23 @@ pub fn run() {
     let mut total_ws = 0u64;
     let mut total_os = 0u64;
     for l in model.layers.iter().filter(|l| {
-        ["conv1", "conv2_1_3x3", "conv3_1_3x3", "conv4_1_3x3", "conv5_1_3x3", "conv5_1_1x1b"]
-            .contains(&l.name.as_str())
+        [
+            "conv1",
+            "conv2_1_3x3",
+            "conv3_1_3x3",
+            "conv4_1_3x3",
+            "conv5_1_3x3",
+            "conv5_1_1x1b",
+        ]
+        .contains(&l.name.as_str())
     }) {
         let (m, n, k) = l.shape.gemm_mnk();
         let wsc = gemm_timing(ws, m, n, k, true).cycles;
         let osc = os_gemm_cycles(os, m, n, k);
         total_ws += wsc;
         total_os += osc;
-        println!(
+        crate::outln!(
+            out,
             "{:>14}  {:>8}  {:>6}  {:>6}  {:>10}  {:>10}  {:>6.2}",
             l.name,
             m,
@@ -41,7 +61,8 @@ pub fn run() {
             osc as f64 / wsc as f64
         );
     }
-    println!(
+    crate::outln!(
+        out,
         "\nResNet-50 sample total: OS/WS = {:.2}. Lowered conv GEMMs are tall and\n\
          skinny (M = N·Ho·Wo dwarfs K and N), so the weight-stationary design —\n\
          stream the long dimension past small resident weights — is the right one,\n\
@@ -50,12 +71,17 @@ pub fn run() {
         total_os as f64 / total_ws as f64
     );
 
-    println!("\nDeep square reductions (M = N = 128): a cycle-count wash — OS's advantage\nthere is partial-sum traffic (psums never leave the array), not time:");
-    header(&["K", "WS cycles", "OS cycles", "OS/WS"], &[8, 10, 10, 6]);
+    crate::outln!(out, "\nDeep square reductions (M = N = 128): a cycle-count wash — OS's advantage\nthere is partial-sum traffic (psums never leave the array), not time:");
+    header(
+        &mut out,
+        &["K", "WS cycles", "OS cycles", "OS/WS"],
+        &[8, 10, 10, 6],
+    );
     for k in [1024usize, 4096, 16384, 65536] {
         let wsc = gemm_timing(ws, 128, 128, k, true).cycles;
         let osc = os_gemm_cycles(os, 128, 128, k);
-        println!(
+        crate::outln!(
+            out,
             "{:>8}  {:>10}  {:>10}  {:>6.2}",
             k,
             wsc,
@@ -63,4 +89,10 @@ pub fn run() {
             osc as f64 / wsc as f64
         );
     }
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

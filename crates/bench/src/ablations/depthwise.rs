@@ -11,12 +11,18 @@ use iconv_tpusim::{SimMode, Simulator, TpuConfig};
 use iconv_workloads::mobilenet_v1;
 
 /// Run the ablation.
-pub fn run() {
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
     let sim = Simulator::new(TpuConfig::tpu_v2());
     let model = mobilenet_v1(8);
 
-    banner("Ablation: MobileNetV1 on TPUSim (batch 8) — depthwise vs pointwise");
+    banner(
+        &mut out,
+        "Ablation: MobileNetV1 on TPUSim (batch 8) — depthwise vs pointwise",
+    );
     header(
+        &mut out,
         &["layer", "kind", "GFLOP", "cycles", "TF/s", "util%"],
         &[8, 11, 7, 10, 7, 6],
     );
@@ -45,7 +51,8 @@ pub fn run() {
             dense_flops += rep.flops;
         }
         if l.name.starts_with("dw") && l.name.len() <= 4 || l.name == "conv1" || l.name == "pw1" {
-            println!(
+            crate::outln!(
+                out,
                 "{:>8}  {:>11}  {:>7.2}  {:>10}  {:>7.1}  {:>6.1}",
                 l.name,
                 kind,
@@ -57,20 +64,23 @@ pub fn run() {
         }
     }
     let cfg = sim.config();
-    println!("\nTotals:");
-    println!(
+    crate::outln!(out, "\nTotals:");
+    crate::outln!(
+        out,
         "  dense layers:     {:>6.2} GFLOP in {:.2} ms ({:.1} TFLOPS)",
         dense_flops as f64 / 1e9,
         cfg.cycles_to_seconds(dense_cycles) * 1e3,
         dense_flops as f64 / cfg.cycles_to_seconds(dense_cycles) / 1e12
     );
-    println!(
+    crate::outln!(
+        out,
         "  depthwise layers: {:>6.2} GFLOP in {:.2} ms ({:.1} TFLOPS)",
         dw_flops as f64 / 1e9,
         cfg.cycles_to_seconds(dw_cycles) * 1e3,
         dw_flops as f64 / cfg.cycles_to_seconds(dw_cycles) / 1e12
     );
-    println!(
+    crate::outln!(
+        out,
         "\nDepthwise layers hold {:.0}% of the FLOPs but {:.0}% of the runtime: the\n\
          channel-first decomposition needs channel depth to fill PE rows, and one\n\
          channel per group leaves the array idle — why depthwise-separable networks\n\
@@ -78,4 +88,10 @@ pub fn run() {
         100.0 * dw_flops as f64 / (dw_flops + dense_flops) as f64,
         100.0 * dw_cycles as f64 / (dw_cycles + dense_cycles) as f64
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

@@ -8,11 +8,17 @@ use iconv_tpusim::{EnergyModel, SimMode, Simulator, TpuConfig};
 use iconv_workloads::all_models;
 
 /// Run the ablation.
-pub fn run() {
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
     let model = EnergyModel::default();
 
-    banner("Ablation: energy per inference, implicit vs explicit im2col (batch 8)");
+    banner(
+        &mut out,
+        "Ablation: energy per inference, implicit vs explicit im2col (batch 8)",
+    );
     header(
+        &mut out,
         &["model", "impl mJ", "expl mJ", "ratio", "impl GF/W"],
         &[10, 9, 9, 7, 10],
     );
@@ -23,12 +29,13 @@ pub fn run() {
         let mut exp = iconv_tpusim::EnergyReport::default();
         let mut flops = 0u64;
         let mut secs = 0.0;
-        let merge = |acc: &mut iconv_tpusim::EnergyReport, e: iconv_tpusim::EnergyReport, k: usize| {
-            acc.mac_mj += e.mac_mj * k as f64;
-            acc.sram_mj += e.sram_mj * k as f64;
-            acc.dram_mj += e.dram_mj * k as f64;
-            acc.static_mj += e.static_mj * k as f64;
-        };
+        let merge =
+            |acc: &mut iconv_tpusim::EnergyReport, e: iconv_tpusim::EnergyReport, k: usize| {
+                acc.mac_mj += e.mac_mj * k as f64;
+                acc.sram_mj += e.sram_mj * k as f64;
+                acc.dram_mj += e.dram_mj * k as f64;
+                acc.static_mj += e.static_mj * k as f64;
+            };
         for l in &m.layers {
             let ri = sim.simulate_conv(&l.name, &l.shape, SimMode::ChannelFirst);
             let re = sim.simulate_conv(&l.name, &l.shape, SimMode::Explicit);
@@ -37,7 +44,8 @@ pub fn run() {
             merge(&mut imp, model.energy_of(&ri, &cfg), l.count);
             merge(&mut exp, model.energy_of(&re, &cfg), l.count);
         }
-        println!(
+        crate::outln!(
+            out,
             "{:>10}  {:>9.1}  {:>9.1}  {:>6.2}  {:>10.0}",
             m.name,
             imp.total_mj(),
@@ -46,10 +54,11 @@ pub fn run() {
             imp.gflops_per_watt(flops, secs)
         );
     }
-    println!("Explicit im2col pays its duplicated matrix twice over the HBM — the\nmemory-energy face of the Table I overhead.");
+    crate::outln!(out, "Explicit im2col pays its duplicated matrix twice over the HBM — the\nmemory-energy face of the Table I overhead.");
 
-    banner("Ablation: word size vs energy (VGG16, batch 8)");
+    banner(&mut out, "Ablation: word size vs energy (VGG16, batch 8)");
     header(
+        &mut out,
         &["word", "SRAM mJ", "total mJ", "GFLOPS/W"],
         &[6, 9, 9, 9],
     );
@@ -70,7 +79,8 @@ pub fn run() {
             flops += r.flops;
             secs += r.seconds(&cfg);
         }
-        println!(
+        crate::outln!(
+            out,
             "{:>6}  {:>9.1}  {:>9.1}  {:>9.0}",
             elems,
             total.sram_mj,
@@ -78,8 +88,15 @@ pub fn run() {
             total.gflops_per_watt(flops, secs)
         );
     }
-    println!(
+    crate::outln!(
+        out,
         "Wide words amortize the per-access decode energy — the energy twin of the\n\
          Fig. 16b area argument for TPU-v2's word-8 choice."
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

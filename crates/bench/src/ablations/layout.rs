@@ -38,12 +38,21 @@ fn fill_trace(shape: &ConvShape, layout: Layout, elem_bytes: u64) -> Vec<Request
 }
 
 /// Run the ablation.
-pub fn run() {
-    banner("Ablation (Fig. 7): HWCN vs NCHW DRAM layout for IFMap fills");
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Ablation (Fig. 7): HWCN vs NCHW DRAM layout for IFMap fills",
+    );
 
     // 1. Closed-form efficiency per stride.
     let model = DramModel::new(DramConfig::hbm_tpu_v2());
-    header(&["stride", "HWCN run B", "eff%", "NCHW run B", "eff%"], &[6, 10, 6, 10, 6]);
+    header(
+        &mut out,
+        &["stride", "HWCN run B", "eff%", "NCHW run B", "eff%"],
+        &[6, 10, 6, 10, 6],
+    );
     for stride in [1usize, 2, 4] {
         let shape = ConvShape::square(8, 64, 56, 64, 3, stride, 1).expect("valid layer");
         let hwcn_run = if stride == 1 {
@@ -51,8 +60,13 @@ pub fn run() {
         } else {
             (shape.ci * shape.n * 4) as u64
         };
-        let nchw_run = if stride == 1 { (shape.wi * 4) as u64 } else { 4 };
-        println!(
+        let nchw_run = if stride == 1 {
+            (shape.wi * 4) as u64
+        } else {
+            4
+        };
+        crate::outln!(
+            out,
             "{:>6}  {:>10}  {:>6.1}  {:>10}  {:>6.1}",
             stride,
             hwcn_run,
@@ -63,8 +77,15 @@ pub fn run() {
     }
 
     // 2. Full-layer TPUSim cycles under each layout.
-    banner("TPUSim layer cycles by layout (N=8, Ci=64, 56x56, 3x3)");
-    header(&["stride", "HWCN", "NCHW", "NCHW/HWCN"], &[6, 10, 10, 10]);
+    banner(
+        &mut out,
+        "TPUSim layer cycles by layout (N=8, Ci=64, 56x56, 3x3)",
+    );
+    header(
+        &mut out,
+        &["stride", "HWCN", "NCHW", "NCHW/HWCN"],
+        &[6, 10, 10, 10],
+    );
     for stride in [1usize, 2, 4] {
         let shape = ConvShape::square(8, 64, 56, 64, 3, stride, 1).expect("valid layer");
         let mut cycles = Vec::new();
@@ -74,7 +95,8 @@ pub fn run() {
             let sim = Simulator::new(cfg);
             cycles.push(sim.simulate_conv("l", &shape, SimMode::ChannelFirst).cycles);
         }
-        println!(
+        crate::outln!(
+            out,
             "{:>6}  {:>10}  {:>10}  {:>9.2}x",
             stride,
             cycles[0],
@@ -84,15 +106,23 @@ pub fn run() {
     }
 
     // 3. Trace-driven bank-simulator cross-check on one tile fill.
-    banner("BankSim trace cross-check (tile <1,1> fill, Ci=64, 28x28, stride 2)");
+    banner(
+        &mut out,
+        "BankSim trace cross-check (tile <1,1> fill, Ci=64, 28x28, stride 2)",
+    );
     let shape = ConvShape::square(1, 64, 28, 64, 3, 2, 1).expect("valid layer");
-    header(&["layout", "requests", "cycles", "hit rate%"], &[8, 9, 9, 10]);
+    header(
+        &mut out,
+        &["layout", "requests", "cycles", "hit rate%"],
+        &[8, 9, 9, 10],
+    );
     let mut measured = Vec::new();
     for layout in [Layout::Hwcn, Layout::Nhwc, Layout::Nchw] {
         let trace = fill_trace(&shape, layout, 4);
         let mut sim = BankSim::new(DramConfig::hbm_tpu_v2());
         let cycles = sim.run(&trace);
-        println!(
+        crate::outln!(
+            out,
             "{:>8}  {:>9}  {:>9}  {:>10.1}",
             layout.to_string(),
             trace.len(),
@@ -103,7 +133,8 @@ pub fn run() {
     }
     let hwcn = measured[0].1 as f64;
     let nchw = measured[2].1 as f64;
-    println!(
+    crate::outln!(
+        out,
         "NCHW fill takes {:.2}x the cycles of HWCN on the trace-driven model.\n\
          (The closed-form model above is more pessimistic than the bank trace at\n\
          single-element runs — it charges a per-run command residue the trace\n\
@@ -111,4 +142,10 @@ pub fn run() {
          direction and stride trend are what Fig. 7 claims.)",
         nchw / hwcn
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

@@ -7,12 +7,24 @@ use crate::fmt::{banner, header};
 use iconv_sram::{AreaModel, CrossbarModel};
 
 /// Run the ablation.
-pub fn run() {
-    banner("Ablation (Sec. II-C): routing hardware required per GEMM-engine scale");
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Ablation (Sec. II-C): routing hardware required per GEMM-engine scale",
+    );
     let xbar = CrossbarModel::default();
     let area = AreaModel::freepdk45();
     header(
-        &["PE rows", "xbar area*", "xbar pJ/bit", "banked mm2", "chan-first"],
+        &mut out,
+        &[
+            "PE rows",
+            "xbar area*",
+            "xbar pJ/bit",
+            "banked mm2",
+            "chan-first",
+        ],
         &[8, 10, 11, 10, 10],
     );
     // Banked-SRAM penalty: P banks of (2MB/P) each versus one wide-word
@@ -22,7 +34,8 @@ pub fn run() {
     for ports in [32usize, 64, 128, 256, 512] {
         let per_bank = (total / ports as u64).max(64);
         let banked: f64 = area.area_mm2(per_bank, 4) * ports as f64;
-        println!(
+        crate::outln!(
+            out,
             "{:>8}  {:>10.1}  {:>11.1}  {:>10.2}  {:>10}",
             ports,
             xbar.area(ports, 32),
@@ -31,7 +44,8 @@ pub fn run() {
             "0 (none)"
         );
     }
-    println!(
+    crate::outln!(
+        out,
         "\n*area in units of one 32-lane GPU shuffle network (what Lym et al. reuse\n\
          for free on an SM). At TPU scale the crossbar alone costs tens of such\n\
          networks and grows quadratically, while {}-way banking inflates the SRAM\n\
@@ -40,4 +54,10 @@ pub fn run() {
         128,
         area.area_mm2((total / 128).max(64), 4) * 128.0 / single
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

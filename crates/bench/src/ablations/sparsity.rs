@@ -11,13 +11,16 @@ use iconv_tensor::{ConvShape, Layout, Tensor};
 use iconv_tpusim::{SimMode, Simulator, TpuConfig};
 
 /// Run the ablation.
-pub fn run() {
-    banner("Ablation: tap-structured sparsity on the channel-first schedule");
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Ablation: tap-structured sparsity on the channel-first schedule",
+    );
     let sim = Simulator::new(TpuConfig::tpu_v2());
     let shape = ConvShape::square(8, 256, 28, 256, 3, 1, 1).expect("valid layer");
-    let dense_cycles = sim
-        .simulate_conv("l", &shape, SimMode::ChannelFirst)
-        .cycles;
+    let dense_cycles = sim.simulate_conv("l", &shape, SimMode::ChannelFirst).cycles;
 
     // Functional check on a small sibling layer first: the sparse schedule
     // is bit-exact against the dense conv of the pruned weights.
@@ -27,9 +30,13 @@ pub fn run() {
     let pruned = prune_taps(&small, &f, 0.5, 3);
     let sparse = SparseFilter::from_dense(small, pruned.clone());
     assert!(direct_conv(&small, &x, &pruned).approx_eq(&conv_sparse(&sparse, &x), 0.0));
-    println!("functional check: sparse schedule == dense conv of pruned weights ✓\n");
+    crate::outln!(
+        out,
+        "functional check: sparse schedule == dense conv of pruned weights ✓\n"
+    );
 
     header(
+        &mut out,
         &["keep", "tap density", "sched density", "cycles", "speedup"],
         &[6, 11, 13, 10, 8],
     );
@@ -38,7 +45,8 @@ pub fn run() {
         let pruned = prune_taps(&shape, &filter, keep, 17);
         let sparse = SparseFilter::from_dense(shape, pruned);
         let rep = sim.simulate_conv_sparse("l", &sparse);
-        println!(
+        crate::outln!(
+            out,
             "{:>6.2}  {:>11.2}  {:>13.2}  {:>10}  {:>7.2}x",
             keep,
             sparse.tap_density(),
@@ -47,9 +55,16 @@ pub fn run() {
             dense_cycles as f64 / rep.cycles as f64
         );
     }
-    println!(
+    crate::outln!(
+        out,
         "\nSpeedup tracks schedule density ~1:1 because pruned taps are whole\n\
          scheduling units — the structural advantage over channel-last layouts,\n\
          where a zero tap still occupies its K columns inside every lowered row."
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

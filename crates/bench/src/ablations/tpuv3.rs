@@ -10,11 +10,17 @@ use iconv_tpusim::{SimMode, Simulator, TpuConfig};
 use iconv_workloads::all_models;
 
 /// Run the ablation.
-pub fn run() {
-    banner("Ablation: TPU-v2 (1 MXU) vs TPU-v3 (2 MXUs sharing the vector memories)");
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Ablation: TPU-v2 (1 MXU) vs TPU-v3 (2 MXUs sharing the vector memories)",
+    );
     let v2 = Simulator::new(TpuConfig::tpu_v2());
     let v3 = Simulator::new(TpuConfig::tpu_v3());
     header(
+        &mut out,
         &["model", "v2 ms", "v3 ms", "speedup", "v2 idle%", "v3 idle%"],
         &[10, 8, 8, 8, 9, 9],
     );
@@ -26,7 +32,8 @@ pub fn run() {
         let s2 = r2.seconds(v2.config()) * 1e3;
         let s3 = r3.seconds(v3.config()) * 1e3;
         acc += s2 / s3;
-        println!(
+        crate::outln!(
+            out,
             "{:>10}  {:>8.2}  {:>8.2}  {:>7.2}x  {:>9.1}  {:>9.1}",
             m.name,
             s2,
@@ -36,16 +43,20 @@ pub fn run() {
             100.0 * r3.sram_idle_ratio()
         );
     }
-    println!(
+    crate::outln!(
+        out,
         "\naverage inference speedup: {:.2}x — the second MXU rides on port bandwidth\n\
          the word-8 design left idle (v2 idle ratios above), corroborating the\n\
          paper's explanation of the v3 design.",
         acc / models.len() as f64
     );
 
-    banner("Same comparison, one training step (fwd + wgrad + dgrad), ResNet-50");
+    banner(
+        &mut out,
+        "Same comparison, one training step (fwd + wgrad + dgrad), ResNet-50",
+    );
     let model = iconv_workloads::resnet50(8);
-    header(&["chip", "step ms", "achieved TF/s"], &[6, 9, 13]);
+    header(&mut out, &["chip", "step ms", "achieved TF/s"], &[6, 9, 13]);
     for (name, sim) in [("v2", &v2), ("v3", &v3)] {
         let reports = sim.simulate_model_training(&model);
         let cycles: u64 = reports
@@ -53,11 +64,18 @@ pub fn run() {
             .map(|(r, k)| r.total_cycles() * *k as u64)
             .sum();
         let tf = iconv_tpusim::training::training_tflops(sim.config(), &reports);
-        println!(
+        crate::outln!(
+            out,
             "{:>6}  {:>9.2}  {:>13.1}",
             name,
             sim.config().cycles_to_seconds(cycles) * 1e3,
             tf
         );
     }
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

@@ -9,11 +9,19 @@ use iconv_tpusim::{Simulator, TpuConfig};
 use iconv_workloads::all_models;
 
 /// Run the ablation.
-pub fn run() {
-    banner("Ablation: training-step breakdown on TPUSim (batch 8)");
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Ablation: training-step breakdown on TPUSim (batch 8)",
+    );
     let sim = Simulator::new(TpuConfig::tpu_v2());
     header(
-        &["model", "fwd ms", "wgrad ms", "dgrad ms", "step ms", "step/fwd"],
+        &mut out,
+        &[
+            "model", "fwd ms", "wgrad ms", "dgrad ms", "step ms", "step/fwd",
+        ],
         &[10, 8, 9, 9, 8, 9],
     );
     for m in all_models(8) {
@@ -27,7 +35,8 @@ pub fn run() {
             dg += r.dgrad.as_ref().map_or(0, |d| d.cycles) * *k as u64;
         }
         let to_ms = |c: u64| sim.config().cycles_to_seconds(c) * 1e3;
-        println!(
+        crate::outln!(
+            out,
             "{:>10}  {:>8.2}  {:>9.2}  {:>9.2}  {:>8.2}  {:>8.2}x",
             m.name,
             to_ms(fwd),
@@ -37,9 +46,16 @@ pub fn run() {
             (fwd + wg + dg) as f64 / fwd as f64
         );
     }
-    println!(
+    crate::outln!(
+        out,
         "\nBoth gradients inherit the per-tap 1x1 decomposition (dW = A'dY per tap,\n\
          dX += dY·B' per tap), so a training step costs ~3 forward passes — the\n\
          classic rule of thumb, recovered from the lowered schedules."
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

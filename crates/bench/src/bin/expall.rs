@@ -1,25 +1,62 @@
-//! Run every experiment runner in sequence (Table I + Figs. 2-18).
-use iconv_bench::experiments as e;
+//! Run every experiment runner (Table I + Figs. 2-18) fanned out across
+//! worker threads, then the headline-metric summary.
+//!
+//! Stdout is byte-identical to a sequential run for any worker count:
+//! experiments render into buffers which are printed in figure order.
+//! Worker count: `--jobs N` beats `ICONV_JOBS`, which beats the core count.
+//! Per-experiment wall-clock timings go to stderr and into the `timings`
+//! key of `results/summary.json`.
+
+use iconv_bench::{par, summary};
+
+fn jobs_from_args() -> usize {
+    let parse = |v: &str| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("invalid job count {v:?}"))
+    };
+    let mut jobs = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" || a == "-j" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("{a} requires a value"));
+            jobs = Some(parse(&v));
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs = Some(parse(v));
+        } else {
+            panic!("unknown argument {a:?}; usage: expall [--jobs N]");
+        }
+    }
+    jobs.unwrap_or_else(iconv_par::default_jobs)
+}
 
 fn main() {
+    let jobs = jobs_from_args();
     let t0 = std::time::Instant::now();
-    e::table1::run();
-    e::fig02::run();
-    e::fig04::run();
-    e::fig13::run();
-    e::fig14::run();
-    e::fig15::run();
-    e::fig16::run();
-    e::fig17::run();
-    e::fig18::run();
-    // Machine-readable headline metrics for regression tracking.
-    let summary = iconv_bench::summary::compute();
-    let json = iconv_bench::summary::to_json(&summary);
+
+    let runs = par::run_experiments(jobs);
+    for r in &runs {
+        print!("{}", r.report);
+    }
+
+    let t_summary = std::time::Instant::now();
+    let summary = summary::compute_jobs(jobs);
+    let mut timings: Vec<(&str, f64)> = runs.iter().map(|r| (r.name, r.seconds)).collect();
+    timings.push(("summary", t_summary.elapsed().as_secs_f64()));
+
+    // Machine-readable headline metrics + timings for regression tracking.
+    let json = summary::to_json_with_timings(&summary, &timings);
     match std::fs::create_dir_all("results")
         .and_then(|()| std::fs::write("results/summary.json", &json))
     {
         Ok(()) => eprintln!("\n[wrote results/summary.json]"),
         Err(err) => eprintln!("\n[could not write results/summary.json: {err}]"),
+    }
+
+    eprintln!("[per-experiment wall-clock, {jobs} worker(s)]");
+    for (name, secs) in &timings {
+        eprintln!("  {name:>10}  {secs:>8.3}s");
     }
     eprintln!("[expall completed in {:.1}s]", t0.elapsed().as_secs_f64());
 }

@@ -12,13 +12,25 @@ use iconv_tpusim::{SimMode, Simulator, TpuConfig};
 use iconv_workloads::all_models;
 
 /// Run the experiment.
-pub fn run() {
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
     let batch = 64;
     let models = all_models(batch);
 
-    banner("Fig. 2a: explicit vs implicit im2col on V100 (batch 64, normalized)");
+    banner(
+        &mut out,
+        "Fig. 2a: explicit vs implicit im2col on V100 (batch 64, normalized)",
+    );
     header(
-        &["model", "implicit", "expl.GEMM", "expl.im2col", "expl.total"],
+        &mut out,
+        &[
+            "model",
+            "implicit",
+            "expl.GEMM",
+            "expl.im2col",
+            "expl.total",
+        ],
         &[10, 9, 10, 12, 11],
     );
     let gpu = GpuSim::new(GpuConfig::v100());
@@ -36,7 +48,8 @@ pub fn run() {
             .sum();
         let gemm_part = exp_total - transform;
         overhead_acc += exp_total / imp - 1.0;
-        println!(
+        crate::outln!(
+            out,
             "{:>10}  {:>9.2}  {:>10.2}  {:>12.2}  {:>11.2}",
             m.name,
             1.0,
@@ -45,14 +58,25 @@ pub fn run() {
             exp_total / imp
         );
     }
-    println!(
+    crate::outln!(
+        out,
         "average explicit slowdown on GPU: {:.0}% (paper: ~28%)",
         100.0 * overhead_acc / models.len() as f64
     );
 
-    banner("Fig. 2b: explicit vs implicit im2col on TPUSim (batch 64, normalized)");
+    banner(
+        &mut out,
+        "Fig. 2b: explicit vs implicit im2col on TPUSim (batch 64, normalized)",
+    );
     header(
-        &["model", "implicit", "expl.GEMM", "expl.im2col", "expl.total"],
+        &mut out,
+        &[
+            "model",
+            "implicit",
+            "expl.GEMM",
+            "expl.im2col",
+            "expl.total",
+        ],
         &[10, 9, 10, 12, 11],
     );
     let tpu = Simulator::new(TpuConfig::tpu_v2());
@@ -66,7 +90,8 @@ pub fn run() {
             .map(|l| tpu.explicit_transform_cycles(&l.shape) as f64 * l.count as f64)
             .sum();
         overhead_acc += exp / imp - 1.0;
-        println!(
+        crate::outln!(
+            out,
             "{:>10}  {:>9.2}  {:>10.2}  {:>12.2}  {:>11.2}",
             m.name,
             1.0,
@@ -75,8 +100,15 @@ pub fn run() {
             exp / imp
         );
     }
-    println!(
+    crate::outln!(
+        out,
         "average explicit slowdown on TPU: {:.0}% (paper: ~23%)",
         100.0 * overhead_acc / models.len() as f64
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

@@ -9,12 +9,20 @@ use iconv_tpusim::{SimMode, Simulator, TpuConfig};
 use iconv_workloads::resnet_representative_layers;
 
 /// Run the experiment.
-pub fn run() {
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
     let batch = 64;
 
-    banner("Fig. 4a: V100 TFLOPS vs stride (channel-last implicit + GEMM ref)");
+    banner(
+        &mut out,
+        "Fig. 4a: V100 TFLOPS vs stride (channel-last implicit + GEMM ref)",
+    );
     header(
-        &["layer", "s1 conv", "s1 gemm", "s2 conv", "s2 gemm", "s4 conv", "s4 gemm"],
+        &mut out,
+        &[
+            "layer", "s1 conv", "s1 gemm", "s2 conv", "s2 gemm", "s4 conv", "s4 gemm",
+        ],
         &[16, 8, 8, 8, 8, 8, 8],
     );
     let gpu = GpuSim::new(GpuConfig::v100());
@@ -44,17 +52,24 @@ pub fn run() {
                 _ => drops4.push(1.0 - conv / tf_s1),
             }
         }
-        println!("{}", cells.join("  "));
+        crate::outln!(out, "{}", cells.join("  "));
     }
-    println!(
+    crate::outln!(
+        out,
         "mean GPU degradation: stride2 {:.0}%, stride4 {:.0}% (paper: ~30% / ~60%)",
         100.0 * drops2.iter().sum::<f64>() / drops2.len() as f64,
         100.0 * drops4.iter().sum::<f64>() / drops4.len() as f64
     );
 
-    banner("Fig. 4b: TPU TFLOPS vs stride (channel-first implicit + GEMM ref)");
+    banner(
+        &mut out,
+        "Fig. 4b: TPU TFLOPS vs stride (channel-first implicit + GEMM ref)",
+    );
     header(
-        &["layer", "s1 conv", "s1 gemm", "s2 conv", "s2 gemm", "s4 conv", "s4 gemm"],
+        &mut out,
+        &[
+            "layer", "s1 conv", "s1 gemm", "s2 conv", "s2 gemm", "s4 conv", "s4 gemm",
+        ],
         &[16, 8, 8, 8, 8, 8, 8],
     );
     let tpu = Simulator::new(TpuConfig::tpu_v2());
@@ -83,11 +98,18 @@ pub fn run() {
                 _ => drops4.push(1.0 - conv / tf_s1),
             }
         }
-        println!("{}", cells.join("  "));
+        crate::outln!(out, "{}", cells.join("  "));
     }
-    println!(
+    crate::outln!(
+        out,
         "mean TPU degradation: stride2 {:.0}%, stride4 {:.0}% (paper: insensitive)",
         100.0 * drops2.iter().sum::<f64>() / drops2.len() as f64,
         100.0 * drops4.iter().sum::<f64>() / drops4.len() as f64
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

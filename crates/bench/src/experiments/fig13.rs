@@ -53,24 +53,29 @@ pub fn conv_sweep(batch: usize) -> Vec<ConvShape> {
 }
 
 /// Run the experiment.
-pub fn run() {
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
     let cfg = TpuConfig::tpu_v2();
-    banner("Table II: TPUSim configuration");
-    println!(
+    banner(&mut out, "Table II: TPUSim configuration");
+    crate::outln!(
+        out,
         "  {}x{} systolic array @ {} MHz ({:.1} peak TFLOPS)",
         cfg.array.rows,
         cfg.array.cols,
         cfg.clock_mhz,
         cfg.peak_tflops()
     );
-    println!(
+    crate::outln!(
+        out,
         "  {} MB unified on-chip memory: {} SRAMs, {} x {} B words",
         cfg.total_sram_bytes() / (1024 * 1024),
         cfg.array.rows,
         cfg.vector_mem.word_elems,
         cfg.vector_mem.elem_bytes
     );
-    println!(
+    crate::outln!(
+        out,
         "  {:.0} GB/s HBM ({} B/cycle)",
         cfg.dram.bytes_per_cycle * cfg.clock_mhz * 1e6 / 1e9,
         cfg.dram.bytes_per_cycle
@@ -79,7 +84,10 @@ pub fn run() {
     let sim = Simulator::new(cfg);
     let proxy = TpuMeasuredProxy::tpu_v2();
 
-    banner("Fig. 13a: GEMM primitive — TPUSim vs TPU-v2(proxy) cycles");
+    banner(
+        &mut out,
+        "Fig. 13a: GEMM primitive — TPUSim vs TPU-v2(proxy) cycles",
+    );
     let mut pairs = Vec::new();
     for (m, n, k) in gemm_sweep() {
         let s = sim.simulate_gemm("g", m, n, k).cycles as f64;
@@ -89,31 +97,44 @@ pub fn run() {
     // Print a sample of the sweep.
     for (i, (m, n, k)) in gemm_sweep().iter().enumerate().step_by(19) {
         let (s, p) = pairs[i];
-        println!(
+        crate::outln!(
+            out,
             "  M{m:>5} N{n:>5} K{k:>5}: sim {s:>12.0}  measured {p:>12.0}  err {:>5.1}%",
             100.0 * (s - p).abs() / p
         );
     }
-    println!(
+    crate::outln!(
+        out,
         "GEMM average error over {} points: {:.2}% (paper: 4.42%)",
         pairs.len(),
         100.0 * mean_abs_pct_error(&pairs)
     );
 
-    banner("Fig. 13b: CONV layers (no multi-tile) — TPUSim vs TPU-v2(proxy)");
+    banner(
+        &mut out,
+        "Fig. 13b: CONV layers (no multi-tile) — TPUSim vs TPU-v2(proxy)",
+    );
     let mut pairs = Vec::new();
     for shape in conv_sweep(8) {
         let s = sim.simulate_conv("c", &shape, SimMode::ChannelFirst).cycles as f64;
         let p = proxy.conv_cycles(&shape);
-        println!(
+        crate::outln!(
+            out,
             "  {shape}: sim {s:>10.0}  measured {p:>10.0}  err {:>5.1}%",
             100.0 * (s - p).abs() / p
         );
         pairs.push((s, p));
     }
-    println!(
+    crate::outln!(
+        out,
         "CONV average error over {} layers: {:.2}% (paper: 4.87%)",
         pairs.len(),
         100.0 * mean_abs_pct_error(&pairs)
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

@@ -12,13 +12,19 @@ use iconv_tensor::ConvShape;
 use iconv_tpusim::{SimMode, Simulator, TpuConfig};
 
 /// Run the experiment.
-pub fn run() {
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
     let sim = Simulator::new(TpuConfig::tpu_v2());
     let proxy = TpuMeasuredProxy::tpu_v2();
 
-    banner("Fig. 14a: multi-tile parameter sweep (N=8, Ci=8, Wi=Co=128, Wf=3)");
+    banner(
+        &mut out,
+        "Fig. 14a: multi-tile parameter sweep (N=8, Ci=8, Wi=Co=128, Wf=3)",
+    );
     let shape = ConvShape::square(8, 8, 128, 128, 3, 1, 1).expect("valid layer");
     header(
+        &mut out,
         &["tiles", "TFLOPS", "speedup", "workspace MB"],
         &[6, 8, 8, 13],
     );
@@ -27,7 +33,8 @@ pub fn run() {
         .cycles as f64;
     for tiles in 1..=8usize {
         let rep = sim.simulate_conv("l", &shape, SimMode::ChannelFirstGrouped(tiles));
-        println!(
+        crate::outln!(
+            out,
             "{:>6}  {:>8.1}  {:>7.2}x  {:>13.2}",
             tiles,
             rep.tflops(sim.config()),
@@ -37,15 +44,20 @@ pub fn run() {
     }
     let auto = sim.simulate_conv("l", &shape, SimMode::ChannelFirst);
     let measured = proxy.conv_cycles(&shape);
-    println!(
+    crate::outln!(
+        out,
         "TPU strategy picks MIN(128/8, 3) = 3 tiles; sim {} vs measured {:.0} cycles ({:.1}% err)",
         auto.cycles,
         measured,
         100.0 * (auto.cycles as f64 - measured).abs() / measured
     );
 
-    banner("Fig. 14b: strategy validation, tiles = MIN(128/Ci, Wf)");
+    banner(
+        &mut out,
+        "Fig. 14b: strategy validation, tiles = MIN(128/Ci, Wf)",
+    );
     header(
+        &mut out,
         &["Ci", "Wf", "tiles", "sim TF/s", "meas TF/s", "err%"],
         &[5, 4, 6, 9, 10, 6],
     );
@@ -59,14 +71,22 @@ pub fn run() {
             let meas_cycles = proxy.conv_cycles(&s);
             let meas_tf = s.flops() as f64 / (meas_cycles / 700e6) / 1e12;
             let err = 100.0 * (sim_tf - meas_tf).abs() / meas_tf;
-            println!(
+            crate::outln!(
+                out,
                 "{ci:>5}  {wf:>4}  {tiles:>6}  {sim_tf:>9.1}  {meas_tf:>10.1}  {err:>6.1}"
             );
             pairs.push((sim_tf, meas_tf));
         }
     }
-    println!(
+    crate::outln!(
+        out,
         "average error: {:.2}% (paper: 5.3%)",
         100.0 * mean_abs_pct_error(&pairs)
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

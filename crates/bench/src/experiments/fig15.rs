@@ -10,13 +10,22 @@ use iconv_tpusim::{SimMode, Simulator, TpuConfig};
 use iconv_workloads::all_models;
 
 /// Run the experiment.
-pub fn run() {
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
     let sim = Simulator::new(TpuConfig::tpu_v2());
     let proxy = TpuMeasuredProxy::tpu_v2();
     let models = all_models(8);
 
-    banner("Fig. 15a: end-to-end model results, batch 8 (ms per batch)");
-    header(&["model", "TPUSim", "measured", "err%"], &[10, 9, 9, 6]);
+    banner(
+        &mut out,
+        "Fig. 15a: end-to-end model results, batch 8 (ms per batch)",
+    );
+    header(
+        &mut out,
+        &["model", "TPUSim", "measured", "err%"],
+        &[10, 9, 9, 6],
+    );
     let mut layer_pairs = Vec::new();
     for m in &models {
         let rep = sim.simulate_model(m, SimMode::ChannelFirst);
@@ -27,7 +36,8 @@ pub fn run() {
             .map(|l| proxy.conv_cycles(&l.shape) * l.count as f64)
             .sum();
         let meas_ms = meas_cycles / 700e6 * 1e3;
-        println!(
+        crate::outln!(
+            out,
             "{:>10}  {:>9.3}  {:>9.3}  {:>5.1}",
             m.name,
             sim_ms,
@@ -40,21 +50,32 @@ pub fn run() {
         }
     }
 
-    banner("Fig. 15b: layer-wise error distribution (all layers, all models)");
+    banner(
+        &mut out,
+        "Fig. 15b: layer-wise error distribution (all layers, all models)",
+    );
     let (edges, counts) = error_distribution(&layer_pairs, 10);
     let total: usize = counts.iter().sum();
     for (i, c) in counts.iter().enumerate() {
         let bar = "#".repeat((c * 60 / total.max(1)).max(usize::from(*c > 0)));
-        println!(
+        crate::outln!(
+            out,
             "  {:>5.1}%-{:>5.1}%  {:>4}  {bar}",
             100.0 * edges[i],
             100.0 * edges[i + 1],
             c
         );
     }
-    println!(
+    crate::outln!(
+        out,
         "layer-wise MAE over {} layers: {:.2}% (paper: 5.8%)",
         layer_pairs.len(),
         100.0 * mean_abs_pct_error(&layer_pairs)
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

@@ -15,11 +15,17 @@ use iconv_tpusim::{SimMode, Simulator, TpuConfig};
 use iconv_workloads::vgg16;
 
 /// Run the experiment.
-pub fn run() {
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
     let model = vgg16(8);
 
-    banner("Fig. 16a: systolic array size DSE (VGG16, total SRAM fixed)");
+    banner(
+        &mut out,
+        "Fig. 16a: systolic array size DSE (VGG16, total SRAM fixed)",
+    );
     header(
+        &mut out,
         &["array", "peak TF/s", "achieved TF/s", "utilization%"],
         &[8, 10, 14, 13],
     );
@@ -30,7 +36,8 @@ pub fn run() {
         let sim = Simulator::new(cfg);
         let rep = sim.simulate_model(&model, SimMode::ChannelFirst);
         let util = rep.tflops(&cfg) / cfg.peak_tflops();
-        println!(
+        crate::outln!(
+            out,
             "{:>4}x{:<3}  {:>10.1}  {:>14.1}  {:>13.1}",
             size,
             size,
@@ -45,10 +52,17 @@ pub fn run() {
         }
         prev_util = Some(util);
     }
-    println!("utilization(256)/utilization(128) = {halving:.2} (paper: ~0.5)");
+    crate::outln!(
+        out,
+        "utilization(256)/utilization(128) = {halving:.2} (paper: ~0.5)"
+    );
 
-    banner("Fig. 16b: vector-memory word size DSE (256 KB macro, VGG16)");
+    banner(
+        &mut out,
+        "Fig. 16b: vector-memory word size DSE (256 KB macro, VGG16)",
+    );
     header(
+        &mut out,
         &["word", "area mm2", "rel. area", "idle ratio%"],
         &[6, 10, 10, 12],
     );
@@ -59,7 +73,8 @@ pub fn run() {
         let sim = Simulator::new(cfg);
         let rep = sim.simulate_model(&model, SimMode::ChannelFirst);
         let bytes = (elems * 4) as u64;
-        println!(
+        crate::outln!(
+            out,
             "{:>6}  {:>10.2}  {:>10.2}  {:>12.1}",
             elems,
             area.area_mm2(256 * 1024, bytes),
@@ -67,4 +82,10 @@ pub fn run() {
             100.0 * rep.sram_idle_ratio()
         );
     }
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

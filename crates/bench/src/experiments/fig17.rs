@@ -9,9 +9,18 @@ use iconv_gpusim::{GpuAlgo, GpuConfig, GpuSim};
 use iconv_workloads::all_models;
 
 /// Run the experiment.
-pub fn run() {
-    banner("Fig. 17: our GPU implementation vs cuDNN proxy, batch 8 (normalized time)");
-    header(&["model", "cuDNN", "ours", "ratio"], &[10, 8, 8, 7]);
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Fig. 17: our GPU implementation vs cuDNN proxy, batch 8 (normalized time)",
+    );
+    header(
+        &mut out,
+        &["model", "cuDNN", "ours", "ratio"],
+        &[10, 8, 8, 7],
+    );
     let gpu = GpuSim::new(GpuConfig::v100());
     let mut acc = 0.0;
     let models = all_models(8);
@@ -19,7 +28,8 @@ pub fn run() {
         let cudnn = gpu.model_seconds(m, GpuAlgo::CudnnImplicit);
         let ours = gpu.model_seconds(m, GpuAlgo::ChannelFirst { reuse: true });
         acc += ours / cudnn;
-        println!(
+        crate::outln!(
+            out,
             "{:>10}  {:>8.3}  {:>8.3}  {:>6.3}",
             m.name,
             1.0,
@@ -28,7 +38,14 @@ pub fn run() {
         );
     }
     let avg = acc / models.len() as f64;
-    println!(
+    crate::outln!(
+        out,
         "average: ours / cuDNN = {avg:.3} (paper: ~1.01, i.e. ~1% slower on average)"
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

@@ -17,12 +17,21 @@ fn label(l: &Layer) -> String {
 }
 
 /// Run the experiment.
-pub fn run() {
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
     let gpu = GpuSim::new(GpuConfig::v100());
     let models = all_models(8);
 
-    banner("Fig. 18a: strided layers — ours vs cuDNN proxy (batch 8)");
-    header(&["layer (Wi-Ci-Co-Wf-s)", "cuDNN us", "ours us", "speedup"], &[22, 9, 9, 8]);
+    banner(
+        &mut out,
+        "Fig. 18a: strided layers — ours vs cuDNN proxy (batch 8)",
+    );
+    header(
+        &mut out,
+        &["layer (Wi-Ci-Co-Wf-s)", "cuDNN us", "ours us", "speedup"],
+        &[22, 9, 9, 8],
+    );
     let mut speedups = Vec::new();
     for m in &models {
         for l in m.strided_layers() {
@@ -32,7 +41,8 @@ pub fn run() {
             let cudnn = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::CudnnImplicit);
             let ours = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::ChannelFirst { reuse: true });
             let speedup = cudnn.timing.cycles / ours.timing.cycles;
-            println!(
+            crate::outln!(
+                out,
                 "{:>22}  {:>9.1}  {:>9.1}  {:>7.2}x",
                 label(l),
                 cudnn.seconds(gpu.config()) * 1e6,
@@ -44,14 +54,22 @@ pub fn run() {
     }
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
     let max = speedups.iter().cloned().fold(0.0, f64::max);
-    println!(
+    crate::outln!(
+        out,
         "average speedup {:.0}%, max {:.0}% (paper: avg ~20%, up to ~40%)",
         100.0 * (avg - 1.0),
         100.0 * (max - 1.0)
     );
 
-    banner("Fig. 18b: inter-tile reuse impact (memory-bound layers, batch 8)");
-    header(&["layer (Wi-Ci-Co-Wf)", "no-reuse us", "reuse us", "gain"], &[20, 11, 9, 7]);
+    banner(
+        &mut out,
+        "Fig. 18b: inter-tile reuse impact (memory-bound layers, batch 8)",
+    );
+    header(
+        &mut out,
+        &["layer (Wi-Ci-Co-Wf)", "no-reuse us", "reuse us", "gain"],
+        &[20, 11, 9, 7],
+    );
     // Select layers whose no-reuse fills are not fully overlapped by
     // compute — the paper's selection criterion.
     let mut gains = Vec::new();
@@ -61,13 +79,15 @@ pub fn run() {
             if l.shape.hf == 1 || l.shape.ci < 16 || !seen.insert(label(l)) {
                 continue; // 1x1: single tap; ci<16: fallback path
             }
-            let naive = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::ChannelFirst { reuse: false });
+            let naive =
+                gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::ChannelFirst { reuse: false });
             if naive.timing.memory_cycles < 0.8 * naive.timing.compute_cycles {
                 continue; // fill fully overlapped: reuse cannot show
             }
             let reuse = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::ChannelFirst { reuse: true });
             let gain = naive.timing.cycles / reuse.timing.cycles;
-            println!(
+            crate::outln!(
+                out,
                 "{:>20}  {:>11.1}  {:>9.1}  {:>6.2}x",
                 label(l),
                 naive.seconds(gpu.config()) * 1e6,
@@ -84,9 +104,16 @@ pub fn run() {
         }
     }
     let avg = gains.iter().sum::<f64>() / gains.len().max(1) as f64;
-    println!(
+    crate::outln!(
+        out,
         "average improvement {:.1}% over {} layers (paper: 16.7%)",
         100.0 * (avg - 1.0),
         gains.len()
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

@@ -8,27 +8,42 @@ use crate::fmt::{banner, header};
 use iconv_workloads::table1_models;
 
 /// Run the experiment, printing paper-formatted rows.
-pub fn run() {
-    banner("Table I: explicit-im2col memory usage (MB), batch 64, FP16");
+/// Render the experiment's full report.
+pub fn report() -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Table I: explicit-im2col memory usage (MB), batch 64, FP16",
+    );
     let models = table1_models(64);
     let elem_bytes = 2; // the GPU experiments use FP16
     header(
+        &mut out,
         &["", "AlexNet", "ResNet", "VGG16", "YOLO", "DesNet"],
         &[13, 9, 9, 9, 9, 9],
     );
-    let row = |label: &str, f: &dyn Fn(&iconv_workloads::Model) -> f64| {
+    let mut row = |label: &str, f: &dyn Fn(&iconv_workloads::Model) -> f64| {
         let mut cells = vec![format!("{label:>13}")];
         for m in &models {
             cells.push(format!("{:>9.1}", f(m)));
         }
-        println!("{}", cells.join("  "));
+        crate::outln!(out, "{}", cells.join("  "));
     };
     row("IFmaps", &|m| m.ifmap_bytes(elem_bytes) as f64 / 1e6);
-    row("Lower IFmaps", &|m| m.lowered_bytes(elem_bytes) as f64 / 1e6);
+    row("Lower IFmaps", &|m| {
+        m.lowered_bytes(elem_bytes) as f64 / 1e6
+    });
     row("ratio", &|m| {
         m.lowered_bytes(elem_bytes) as f64 / m.ifmap_bytes(elem_bytes) as f64
     });
-    println!(
+    crate::outln!(
+        out,
         "\nShape target: ratios within ~1.5-10x (paper Table I measured 1.6x-10.5x on V100/cuDNN)."
     );
+    out
+}
+
+/// Run the experiment, printing the report.
+pub fn run() {
+    print!("{}", report());
 }

@@ -1,15 +1,19 @@
-//! Small table-printing helpers shared by the experiment runners.
+//! Small table-rendering helpers shared by the experiment runners.
+//!
+//! Runners render into a `String` (via [`outln!`](crate::outln)) instead of
+//! printing directly, so `expall` can execute them on worker threads in
+//! parallel and still emit byte-identical output in figure order.
 
-/// Print a header row followed by a separator.
-pub fn header(cols: &[&str], widths: &[usize]) {
+/// Append a header row followed by a separator to `out`.
+pub fn header(out: &mut String, cols: &[&str], widths: &[usize]) {
     let row: Vec<String> = cols
         .iter()
         .zip(widths)
         .map(|(c, w)| format!("{c:>w$}", w = w))
         .collect();
-    println!("{}", row.join("  "));
+    crate::outln!(out, "{}", row.join("  "));
     let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
-    println!("{}", "-".repeat(total));
+    crate::outln!(out, "{}", "-".repeat(total));
 }
 
 /// Format a float with the given precision, right-aligned to `w`.
@@ -17,7 +21,23 @@ pub fn num(v: f64, prec: usize, w: usize) -> String {
     format!("{v:>w$.prec$}")
 }
 
-/// Section banner for a runner's output.
-pub fn banner(title: &str) {
-    println!("\n=== {title} ===");
+/// Append a section banner to `out`.
+pub fn banner(out: &mut String, title: &str) {
+    crate::outln!(out, "\n=== {title} ===");
+}
+
+/// `writeln!` into a `String` buffer; infallible, so no `.unwrap()` noise at
+/// every call site.
+#[macro_export]
+macro_rules! outln {
+    ($buf:expr) => {{
+        #[allow(unused_imports)]
+        use std::fmt::Write as _;
+        let _ = writeln!($buf);
+    }};
+    ($buf:expr, $($arg:tt)*) => {{
+        #[allow(unused_imports)]
+        use std::fmt::Write as _;
+        let _ = writeln!($buf, $($arg)*);
+    }};
 }

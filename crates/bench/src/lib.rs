@@ -10,4 +10,5 @@
 pub mod ablations;
 pub mod experiments;
 pub mod fmt;
+pub mod par;
 pub mod summary;

@@ -1,0 +1,96 @@
+//! Parallel experiment fan-out.
+//!
+//! Every experiment renders its report into a `String` (see
+//! [`crate::fmt`]), so `expall` can execute the full set on worker threads
+//! and then print the buffers in figure order — the bytes on stdout are
+//! identical to a sequential run regardless of the worker count.
+//!
+//! Worker count: `--jobs N` on the command line beats the `ICONV_JOBS`
+//! environment variable, which beats [`iconv_par::default_jobs`].
+
+use std::time::Instant;
+
+/// One runnable experiment: its id and report renderer.
+pub type Experiment = (&'static str, fn() -> String);
+
+/// Result of one experiment executed by [`run_experiments`].
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// Experiment id (`table1`, `fig02`, …).
+    pub name: &'static str,
+    /// The rendered report, exactly as the standalone binary prints it.
+    pub report: String,
+    /// Wall-clock seconds this experiment took on its worker.
+    pub seconds: f64,
+}
+
+/// Every paper experiment in figure order — the order `expall` prints.
+pub const EXPERIMENTS: &[Experiment] = &[
+    ("table1", crate::experiments::table1::report),
+    ("fig02", crate::experiments::fig02::report),
+    ("fig04", crate::experiments::fig04::report),
+    ("fig13", crate::experiments::fig13::report),
+    ("fig14", crate::experiments::fig14::report),
+    ("fig15", crate::experiments::fig15::report),
+    ("fig16", crate::experiments::fig16::report),
+    ("fig17", crate::experiments::fig17::report),
+    ("fig18", crate::experiments::fig18::report),
+];
+
+/// The ablation studies, for `--ablations` sweeps.
+pub const ABLATIONS: &[Experiment] = &[
+    ("batching", crate::ablations::batching::report),
+    ("dataflow", crate::ablations::dataflow::report),
+    ("depthwise", crate::ablations::depthwise::report),
+    ("energy", crate::ablations::energy::report),
+    ("layout", crate::ablations::layout::report),
+    ("multicore", crate::ablations::multicore::report),
+    ("scalability", crate::ablations::scalability::report),
+    ("sparsity", crate::ablations::sparsity::report),
+    ("tpuv3", crate::ablations::tpuv3::report),
+    ("training", crate::ablations::training::report),
+];
+
+/// Run a set of experiments on `jobs` workers, returning results in the
+/// input order with per-experiment wall-clock timings.
+pub fn run_set(jobs: usize, set: &[Experiment]) -> Vec<ExperimentRun> {
+    iconv_par::par_map_jobs(jobs, set, |&(name, f)| {
+        let t0 = Instant::now();
+        let report = f();
+        ExperimentRun {
+            name,
+            report,
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    })
+}
+
+/// Run all paper experiments ([`EXPERIMENTS`]) on `jobs` workers.
+pub fn run_experiments(jobs: usize) -> Vec<ExperimentRun> {
+    run_set(jobs, EXPERIMENTS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Parallel and sequential fan-out produce byte-identical reports —
+    /// the determinism guarantee `expall` builds on. Uses the two cheapest
+    /// experiments to keep the unit suite fast; the full-set check lives in
+    /// `tests/determinism.rs`.
+    #[test]
+    fn parallel_reports_match_sequential() {
+        let set: Vec<_> = EXPERIMENTS
+            .iter()
+            .copied()
+            .filter(|(n, _)| *n == "table1" || *n == "fig04")
+            .collect();
+        let seq = run_set(1, &set);
+        let par = run_set(4, &set);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.report, p.report, "report drift for {}", s.name);
+        }
+    }
+}

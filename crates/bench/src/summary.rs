@@ -5,10 +5,9 @@
 use iconv_gpusim::{GpuAlgo, GpuConfig, GpuSim};
 use iconv_models::{mean_abs_pct_error, TpuMeasuredProxy};
 use iconv_tpusim::{SimMode, Simulator, TpuConfig};
-use serde::Serialize;
 
 /// One reproduced artifact: our headline number next to the paper's.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Metric {
     /// Artifact id (`fig13a`, `fig17`, …).
     pub id: &'static str,
@@ -23,74 +22,78 @@ pub struct Metric {
 }
 
 /// The full summary document.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     /// Reproduction metrics, one per headline number.
     pub metrics: Vec<Metric>,
 }
 
-/// Compute the headline metrics (a fast subset of the full runners).
+/// Compute the headline metrics (a fast subset of the full runners) on the
+/// default worker count.
 pub fn compute() -> Summary {
+    compute_jobs(iconv_par::default_jobs())
+}
+
+/// [`compute`] with an explicit worker count. The per-item sweeps fan out
+/// via [`iconv_par::par_map_jobs`], which preserves input order — the
+/// resulting metrics (and their JSON) are identical for every `jobs` value.
+pub fn compute_jobs(jobs: usize) -> Summary {
     let sim = Simulator::new(TpuConfig::tpu_v2());
     let proxy = TpuMeasuredProxy::tpu_v2();
     let gpu = GpuSim::new(GpuConfig::v100());
 
     // Fig. 13a: GEMM validation error.
-    let gemm_pairs: Vec<(f64, f64)> = crate::experiments::fig13::gemm_sweep()
-        .into_iter()
-        .map(|(m, n, k)| {
+    let gemm_pairs = iconv_par::par_map_jobs(
+        jobs,
+        &crate::experiments::fig13::gemm_sweep(),
+        |&(m, n, k)| {
             (
                 sim.simulate_gemm("g", m, n, k).cycles as f64,
                 proxy.gemm_cycles(m, n, k),
             )
-        })
-        .collect();
+        },
+    );
 
     // Fig. 13b: conv validation error.
-    let conv_pairs: Vec<(f64, f64)> = crate::experiments::fig13::conv_sweep(8)
-        .into_iter()
-        .map(|s| {
+    let conv_pairs =
+        iconv_par::par_map_jobs(jobs, &crate::experiments::fig13::conv_sweep(8), |s| {
             (
-                sim.simulate_conv("c", &s, SimMode::ChannelFirst).cycles as f64,
-                proxy.conv_cycles(&s),
+                sim.simulate_conv("c", s, SimMode::ChannelFirst).cycles as f64,
+                proxy.conv_cycles(s),
             )
-        })
-        .collect();
+        });
 
     // Fig. 15: layer-wise MAE over all models.
-    let mut layer_pairs = Vec::new();
-    for m in iconv_workloads::all_models(8) {
-        for l in &m.layers {
-            layer_pairs.push((
-                sim.simulate_conv(&l.name, &l.shape, SimMode::ChannelFirst).cycles as f64,
-                proxy.conv_cycles(&l.shape),
-            ));
-        }
-    }
+    let models = iconv_workloads::all_models(8);
+    let all_layers: Vec<_> = models.iter().flat_map(|m| m.layers.iter()).collect();
+    let layer_pairs = iconv_par::par_map_jobs(jobs, &all_layers, |l| {
+        (
+            sim.simulate_conv(&l.name, &l.shape, SimMode::ChannelFirst)
+                .cycles as f64,
+            proxy.conv_cycles(&l.shape),
+        )
+    });
 
     // Fig. 17: GPU parity.
-    let models = iconv_workloads::all_models(8);
-    let fig17: f64 = models
-        .iter()
-        .map(|m| {
-            gpu.model_seconds(m, GpuAlgo::ChannelFirst { reuse: true })
-                / gpu.model_seconds(m, GpuAlgo::CudnnImplicit)
-        })
-        .sum::<f64>()
+    let fig17: f64 = iconv_par::par_map_jobs(jobs, &models, |m| {
+        gpu.model_seconds(m, GpuAlgo::ChannelFirst { reuse: true })
+            / gpu.model_seconds(m, GpuAlgo::CudnnImplicit)
+    })
+    .iter()
+    .sum::<f64>()
         / models.len() as f64;
 
     // Fig. 18a: strided speedup.
-    let mut speedups = Vec::new();
-    for m in &models {
-        for l in m.strided_layers() {
-            if l.shape.ci < 16 {
-                continue;
-            }
-            let c = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::CudnnImplicit);
-            let o = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::ChannelFirst { reuse: true });
-            speedups.push(c.timing.cycles / o.timing.cycles);
-        }
-    }
+    let strided: Vec<_> = models
+        .iter()
+        .flat_map(|m| m.strided_layers())
+        .filter(|l| l.shape.ci >= 16)
+        .collect();
+    let speedups = iconv_par::par_map_jobs(jobs, &strided, |l| {
+        let c = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::CudnnImplicit);
+        let o = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::ChannelFirst { reuse: true });
+        c.timing.cycles / o.timing.cycles
+    });
     let fig18a = speedups.iter().sum::<f64>() / speedups.len() as f64;
 
     Summary {
@@ -134,10 +137,41 @@ pub fn compute() -> Summary {
     }
 }
 
-/// Serialize to pretty JSON (hand-rolled: no serde_json in the offline dep
-/// set — serde's derive provides the structure, we format it).
+/// Serialize to pretty JSON (hand-rolled: the offline dep set has no
+/// serde_json, and the document is small and flat).
+///
+/// This metrics-only document is the **determinism surface**: it is
+/// byte-identical for every worker count (see `tests/determinism.rs`).
+/// Wall-clock timings, which necessarily vary run to run, are added
+/// separately by [`to_json_with_timings`].
 pub fn to_json(summary: &Summary) -> String {
-    let mut out = String::from("{\n  \"metrics\": [\n");
+    let mut out = String::from("{\n");
+    push_metrics(&mut out, summary);
+    out.push_str("\n}\n");
+    out
+}
+
+/// [`to_json`] plus a `timings` object of per-experiment wall-clock seconds
+/// — what `expall` writes to `results/summary.json`.
+pub fn to_json_with_timings(summary: &Summary, timings: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n");
+    push_metrics(&mut out, summary);
+    out.push_str(",\n  \"timings\": {\n");
+    for (i, (name, secs)) in timings.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {:.3}{}\n",
+            name,
+            secs,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// The shared `"metrics": [...]` body (no trailing newline or comma).
+fn push_metrics(out: &mut String, summary: &Summary) {
+    out.push_str("  \"metrics\": [\n");
     for (i, m) in summary.metrics.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"id\": \"{}\", \"description\": \"{}\", \"measured\": {:.4}, \"paper\": {:.4}, \"unit\": \"{}\"}}{}\n",
@@ -149,8 +183,7 @@ pub fn to_json(summary: &Summary) -> String {
             if i + 1 < summary.metrics.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
-    out
+    out.push_str("  ]");
 }
 
 #[cfg(test)]
@@ -164,12 +197,7 @@ mod tests {
         for m in &s.metrics {
             match m.unit {
                 "%" => assert!(m.measured < 8.0, "{}: {}%", m.id, m.measured),
-                "ratio" => assert!(
-                    (0.9..1.6).contains(&m.measured),
-                    "{}: {}",
-                    m.id,
-                    m.measured
-                ),
+                "ratio" => assert!((0.9..1.6).contains(&m.measured), "{}: {}", m.id, m.measured),
                 other => panic!("unknown unit {other}"),
             }
         }

@@ -152,7 +152,11 @@ impl<'a> AddrGen<'a> {
         let (oh, ow, bw) = self.step_target(step);
         let tile = self.group.tiles()[member];
         match tile.input_pixel(self.shape, oh, ow) {
-            Some((h, w)) => ArrayOp::Read(WordAddr { h, w, batch_word: bw }),
+            Some((h, w)) => ArrayOp::Read(WordAddr {
+                h,
+                w,
+                batch_word: bw,
+            }),
             None => ArrayOp::ZeroInject,
         }
     }
@@ -184,8 +188,7 @@ impl<'a> AddrGen<'a> {
     pub fn lowered_row(&self, step: usize, lane: usize) -> Option<usize> {
         let (oh, ow, bw) = self.step_target(step);
         let n = bw * self.spec.word_elems + lane;
-        (n < self.shape.n)
-            .then(|| iconv_tensor::im2col::output_to_row(self.shape, n, oh, ow))
+        (n < self.shape.n).then(|| iconv_tensor::im2col::output_to_row(self.shape, n, oh, ow))
     }
 
     /// Total real word reads issued across all arrays and steps (padding
@@ -239,7 +242,10 @@ mod tests {
     fn fig10() -> (ConvShape, VectorMemSpec) {
         (
             ConvShape::square(2, 4, 5, 4, 3, 1, 0).unwrap(),
-            VectorMemSpec { arrays: 4, word_elems: 2 },
+            VectorMemSpec {
+                arrays: 4,
+                word_elems: 2,
+            },
         )
     }
 
@@ -277,7 +283,9 @@ mod tests {
             let mut seen_rows = vec![0usize; shape.lowered_rows()];
             for step in 0..gen.steps() {
                 for lane in 0..spec.word_elems {
-                    let Some(row) = gen.lowered_row(step, lane) else { continue };
+                    let Some(row) = gen.lowered_row(step, lane) else {
+                        continue;
+                    };
                     seen_rows[row] += 1;
                     for array in 0..spec.arrays {
                         let col = tix * shape.ci + array; // channel-first col
@@ -313,7 +321,10 @@ mod tests {
         // Fig. 11: Ci=2, array 4, group of 2 tiles -> arrays (0,1) = member 0
         // channels (0,1); arrays (2,3) = member 1 channels (0,1).
         let shape = ConvShape::square(2, 2, 5, 4, 3, 1, 0).unwrap();
-        let spec = VectorMemSpec { arrays: 4, word_elems: 2 };
+        let spec = VectorMemSpec {
+            arrays: 4,
+            word_elems: 2,
+        };
         let sched = TileSchedule::multi_tile(&shape, 2);
         let gen = AddrGen::new(&shape, spec, &sched.groups()[0]);
         assert_eq!(gen.assignment(0), Some((0, 0)));
@@ -334,7 +345,10 @@ mod tests {
     #[test]
     fn padding_taps_zero_inject_without_reads() {
         let shape = ConvShape::square(2, 4, 5, 4, 3, 1, 1).unwrap();
-        let spec = VectorMemSpec { arrays: 4, word_elems: 2 };
+        let spec = VectorMemSpec {
+            arrays: 4,
+            word_elems: 2,
+        };
         let sched = TileSchedule::single_tile(&shape);
         // Tile (0,0), output (0,0) -> pixel (-1,-1): padding.
         let gen = AddrGen::new(&shape, spec, &sched.groups()[0]);
@@ -348,7 +362,10 @@ mod tests {
     #[test]
     fn unassigned_arrays_idle() {
         let shape = ConvShape::square(2, 2, 5, 4, 3, 1, 0).unwrap();
-        let spec = VectorMemSpec { arrays: 8, word_elems: 2 };
+        let spec = VectorMemSpec {
+            arrays: 8,
+            word_elems: 2,
+        };
         let sched = TileSchedule::single_tile(&shape);
         let gen = AddrGen::new(&shape, spec, &sched.groups()[0]);
         assert_eq!(gen.op(0, 7), ArrayOp::Unassigned);
@@ -358,7 +375,10 @@ mod tests {
     #[test]
     fn group_too_large_for_array_panics() {
         let shape = ConvShape::square(1, 4, 5, 4, 3, 1, 0).unwrap();
-        let spec = VectorMemSpec { arrays: 4, word_elems: 2 };
+        let spec = VectorMemSpec {
+            arrays: 4,
+            word_elems: 2,
+        };
         let sched = TileSchedule::multi_tile(&shape, 2); // needs 8 rows
         let result = std::panic::catch_unwind(|| {
             AddrGen::new(&shape, spec, &sched.groups()[0]);
@@ -370,7 +390,10 @@ mod tests {
     fn workspace_grows_linearly_with_group_size() {
         // Fig. 14a: vector-memory workspace ∝ multi-tile parameter.
         let shape = ConvShape::square(8, 8, 16, 16, 3, 1, 1).unwrap();
-        let spec = VectorMemSpec { arrays: 128, word_elems: 8 };
+        let spec = VectorMemSpec {
+            arrays: 128,
+            word_elems: 8,
+        };
         let w1: usize = {
             let sched = TileSchedule::multi_tile(&shape, 1);
             AddrGen::new(&shape, spec, &sched.groups()[0]).total_resident_words()
@@ -386,7 +409,10 @@ mod tests {
     #[test]
     fn batch_words_rounds_up() {
         let shape = ConvShape::square(3, 4, 5, 4, 3, 1, 0).unwrap();
-        let spec = VectorMemSpec { arrays: 4, word_elems: 2 };
+        let spec = VectorMemSpec {
+            arrays: 4,
+            word_elems: 2,
+        };
         let sched = TileSchedule::single_tile(&shape);
         let gen = AddrGen::new(&shape, spec, &sched.groups()[0]);
         assert_eq!(gen.batch_words(), 2);

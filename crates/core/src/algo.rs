@@ -39,7 +39,11 @@ impl fmt::Display for ConvAlgorithm {
                 write!(f, "implicit-channel-first(g={group_size})")
             }
             ConvAlgorithm::ImplicitChannelFirstBlocked(c, o) => {
-                write!(f, "implicit-channel-first-blocked({}/{}/{}, {o:?})", c.bm, c.bn, c.bk)
+                write!(
+                    f,
+                    "implicit-channel-first-blocked({}/{}/{}, {o:?})",
+                    c.bm, c.bn, c.bk
+                )
             }
         }
     }
@@ -146,7 +150,10 @@ mod tests {
             ConvShape::square(1, 8, 5, 4, 3, 1, 0).unwrap(), // Fig. 5
             ConvShape::square(2, 3, 9, 5, 3, 2, 1).unwrap(), // strided, padded
             ConvShape::square(1, 4, 7, 2, 1, 1, 0).unwrap(), // pointwise
-            ConvShape::new(1, 2, 9, 9, 3, 3, 3).dilation(2).build().unwrap(), // dilated
+            ConvShape::new(1, 2, 9, 9, 3, 3, 3)
+                .dilation(2)
+                .build()
+                .unwrap(), // dilated
             ConvShape::new(2, 3, 8, 10, 4, 3, 2)
                 .stride_hw(2, 1)
                 .pad_hw(1, 0)
@@ -164,11 +171,19 @@ mod tests {
             ConvAlgorithm::ImplicitChannelFirst { group_size: 2 },
             ConvAlgorithm::ImplicitChannelFirst { group_size: 3 },
             ConvAlgorithm::ImplicitChannelFirstBlocked(
-                BlockConfig { bm: 16, bn: 4, bk: 2 },
+                BlockConfig {
+                    bm: 16,
+                    bn: 4,
+                    bk: 2,
+                },
                 FetchOrder::Naive,
             ),
             ConvAlgorithm::ImplicitChannelFirstBlocked(
-                BlockConfig { bm: 16, bn: 4, bk: 2 },
+                BlockConfig {
+                    bm: 16,
+                    bn: 4,
+                    bk: 2,
+                },
                 FetchOrder::Reordered,
             ),
         ]

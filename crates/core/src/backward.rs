@@ -42,7 +42,6 @@ use iconv_tensor::{ConvShape, Coord, Layout, Matrix, Scalar, Tensor};
 /// # Ok(()) }
 /// ```
 ///
-
 ///
 /// `dout` must have [`ofmap_dims`]`(shape)`; the result has
 /// [`filter_dims`]`(shape)`.
@@ -202,7 +201,11 @@ mod tests {
             ConvShape::square(1, 3, 5, 2, 3, 1, 0).unwrap(),
             ConvShape::square(2, 2, 6, 3, 3, 2, 1).unwrap(),
             ConvShape::square(1, 4, 4, 2, 1, 1, 0).unwrap(),
-            ConvShape::new(1, 2, 9, 7, 2, 3, 2).dilation(2).pad(1).build().unwrap(),
+            ConvShape::new(1, 2, 9, 7, 2, 3, 2)
+                .dilation(2)
+                .pad(1)
+                .build()
+                .unwrap(),
         ]
     }
 
@@ -239,8 +242,16 @@ mod tests {
             let dy = Tensor::<i64>::random(ofmap_dims(&s), Layout::Nchw, 27 + i as u64);
             let y = direct_conv(&s, &x, &f);
             let lhs = inner(&dy, &y);
-            assert_eq!(lhs, inner(&wgrad(&s, &x, &dy), &f), "wgrad adjoint, case {i}");
-            assert_eq!(lhs, inner(&dgrad(&s, &f, &dy), &x), "dgrad adjoint, case {i}");
+            assert_eq!(
+                lhs,
+                inner(&wgrad(&s, &x, &dy), &f),
+                "wgrad adjoint, case {i}"
+            );
+            assert_eq!(
+                lhs,
+                inner(&dgrad(&s, &f, &dy), &x),
+                "dgrad adjoint, case {i}"
+            );
         }
     }
 
@@ -266,9 +277,8 @@ mod tests {
         let f = Tensor::<i64>::from_fn(filter_dims(&s), Layout::Nchw, |c| {
             i64::from(c.h == 0 && c.w == 0)
         });
-        let up = Tensor::<i64>::from_fn(ofmap_dims(&s), Layout::Nchw, |c| {
-            (c.h * 2 + c.w + 1) as i64
-        });
+        let up =
+            Tensor::<i64>::from_fn(ofmap_dims(&s), Layout::Nchw, |c| (c.h * 2 + c.w + 1) as i64);
         let out = conv_transpose(&s, &f, &up);
         assert_eq!(out.dims(), ifmap_dims(&s));
         // Input (oh, ow) lands at output (2oh, 2ow).

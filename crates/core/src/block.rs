@@ -37,7 +37,11 @@ impl BlockConfig {
     /// The CUDA-SDK-style 128×128×32 blocking used by the paper's
     /// `cudaTensorCoreGemm`-based implementation.
     pub fn cuda_sdk() -> Self {
-        Self { bm: 128, bn: 128, bk: 32 }
+        Self {
+            bm: 128,
+            bn: 128,
+            bk: 32,
+        }
     }
 }
 
@@ -95,7 +99,12 @@ impl BlockDecomposition {
             FetchOrder::Naive => FilterTile::all(&shape),
             FetchOrder::Reordered => reordered_taps(&shape),
         };
-        Self { shape, config, order, taps }
+        Self {
+            shape,
+            config,
+            order,
+            taps,
+        }
     }
 
     /// The convolution being decomposed.
@@ -128,7 +137,12 @@ impl BlockDecomposition {
             let mut col0 = 0;
             while col0 < n {
                 let cols = self.config.bn.min(n - col0);
-                blocks.push(OutputBlock { row0, rows, col0, cols });
+                blocks.push(OutputBlock {
+                    row0,
+                    rows,
+                    col0,
+                    cols,
+                });
                 col0 += cols;
             }
             row0 += rows;
@@ -153,7 +167,11 @@ impl BlockDecomposition {
 
     /// The distinct input pixels `(h, w)` a block must fetch for one tap —
     /// the shared-memory A-subtile footprint, per channel per image.
-    pub fn block_tap_pixels(&self, block: &OutputBlock, tile: FilterTile) -> BTreeSet<(usize, usize)> {
+    pub fn block_tap_pixels(
+        &self,
+        block: &OutputBlock,
+        tile: FilterTile,
+    ) -> BTreeSet<(usize, usize)> {
         let (ho, wo) = (self.shape.out_h(), self.shape.out_w());
         let mut set = BTreeSet::new();
         for r in block.row0..block.row0 + block.rows {
@@ -169,7 +187,11 @@ impl BlockDecomposition {
     /// The distinct `(image, h, w)` input coordinates a block must fetch
     /// for one tap — per-image, so blocks spanning batch boundaries count
     /// each image's footprint separately.
-    fn block_tap_coords(&self, block: &OutputBlock, tile: FilterTile) -> BTreeSet<(usize, usize, usize)> {
+    fn block_tap_coords(
+        &self,
+        block: &OutputBlock,
+        tile: FilterTile,
+    ) -> BTreeSet<(usize, usize, usize)> {
         let (ho, wo) = (self.shape.out_h(), self.shape.out_w());
         let per_img = ho * wo;
         let mut set = BTreeSet::new();
@@ -236,7 +258,11 @@ impl BlockDecomposition {
     /// Panics if tensor dims do not match the shape.
     pub fn execute<T: Scalar>(&self, ifmap: &Tensor<T>, filter: &Tensor<T>) -> Tensor<T> {
         assert_eq!(ifmap.dims(), ifmap_dims(&self.shape), "ifmap dims mismatch");
-        assert_eq!(filter.dims(), filter_dims(&self.shape), "filter dims mismatch");
+        assert_eq!(
+            filter.dims(),
+            filter_dims(&self.shape),
+            "filter dims mismatch"
+        );
         let (m, _, _) = self.shape.gemm_mnk();
         let mut out = Matrix::<T>::zeros(m, self.shape.co);
         let (ho, wo) = (self.shape.out_h(), self.shape.out_w());
@@ -275,8 +301,7 @@ pub fn reordered_taps(shape: &ConvShape) -> Vec<FilterTile> {
         return all;
     }
     // Precompute working sets once; overlap() would recompute per pair.
-    let sets: Vec<BTreeSet<(usize, usize)>> =
-        all.iter().map(|t| t.working_set(shape)).collect();
+    let sets: Vec<BTreeSet<(usize, usize)>> = all.iter().map(|t| t.working_set(shape)).collect();
     let mut order = vec![all[0]];
     let mut used = vec![false; all.len()];
     used[0] = true;
@@ -316,7 +341,11 @@ mod tests {
     }
 
     fn cfg() -> BlockConfig {
-        BlockConfig { bm: 16, bn: 4, bk: 3 }
+        BlockConfig {
+            bm: 16,
+            bn: 4,
+            bk: 3,
+        }
     }
 
     #[test]
@@ -327,7 +356,9 @@ mod tests {
         let covered: usize = blocks.iter().map(|b| b.rows * b.cols).sum();
         assert_eq!(covered, m * n);
         // Edge blocks are clipped, not padded.
-        assert!(blocks.iter().all(|b| b.row0 + b.rows <= m && b.col0 + b.cols <= n));
+        assert!(blocks
+            .iter()
+            .all(|b| b.row0 + b.rows <= m && b.col0 + b.cols <= n));
     }
 
     #[test]
@@ -358,7 +389,11 @@ mod tests {
         let x = Tensor::<i64>::random(ifmap_dims(&s), Layout::Nchw, 3);
         let f = Tensor::<i64>::random(filter_dims(&s), Layout::Nchw, 4);
         let want = direct_conv(&s, &x, &f);
-        let big = BlockConfig { bm: 1024, bn: 1024, bk: 1024 };
+        let big = BlockConfig {
+            bm: 1024,
+            bn: 1024,
+            bk: 1024,
+        };
         let got = BlockDecomposition::new(s, big, FetchOrder::Reordered).execute(&x, &f);
         assert!(want.approx_eq(&got, 0.0));
     }
@@ -377,10 +412,21 @@ mod tests {
         // Stride 1: adjacent taps overlap heavily, so reordered traffic is
         // much lower than naive.
         let s = ConvShape::square(1, 8, 28, 8, 3, 1, 1).unwrap();
-        let d = BlockDecomposition::new(s, BlockConfig { bm: 64, bn: 8, bk: 8 }, FetchOrder::Reordered);
+        let d = BlockDecomposition::new(
+            s,
+            BlockConfig {
+                bm: 64,
+                bn: 8,
+                bk: 8,
+            },
+            FetchOrder::Reordered,
+        );
         let (cold, warm) = d.layer_fetch_elems();
         assert!(warm < cold, "reuse must reduce traffic: {warm} vs {cold}");
-        assert!((warm as f64) < 0.6 * cold as f64, "expected >40% cut, got {warm}/{cold}");
+        assert!(
+            (warm as f64) < 0.6 * cold as f64,
+            "expected >40% cut, got {warm}/{cold}"
+        );
     }
 
     #[test]
@@ -388,8 +434,24 @@ mod tests {
         // Under stride 2 only congruent taps share data; the greedy order
         // chains them while the raster order alternates congruence classes.
         let s = ConvShape::square(1, 8, 56, 8, 3, 2, 1).unwrap();
-        let naive = BlockDecomposition::new(s, BlockConfig { bm: 64, bn: 8, bk: 8 }, FetchOrder::Naive);
-        let reord = BlockDecomposition::new(s, BlockConfig { bm: 64, bn: 8, bk: 8 }, FetchOrder::Reordered);
+        let naive = BlockDecomposition::new(
+            s,
+            BlockConfig {
+                bm: 64,
+                bn: 8,
+                bk: 8,
+            },
+            FetchOrder::Naive,
+        );
+        let reord = BlockDecomposition::new(
+            s,
+            BlockConfig {
+                bm: 64,
+                bn: 8,
+                bk: 8,
+            },
+            FetchOrder::Reordered,
+        );
         let (_, warm_naive) = naive.layer_fetch_elems();
         let (_, warm_reord) = reord.layer_fetch_elems();
         assert!(

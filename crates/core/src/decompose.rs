@@ -53,7 +53,6 @@ impl FilterTile {
     /// assert_eq!(tiles[0].working_set_len(&shape), 9);
     /// # Ok(()) }
     /// ```
-
     pub fn all(shape: &ConvShape) -> Vec<FilterTile> {
         let mut v = Vec::with_capacity(shape.hf * shape.wf);
         for fh in 0..shape.hf {
@@ -149,13 +148,25 @@ impl FilterTile {
     /// Number of distinct output rows `oh` whose tap lands on a valid input
     /// row (not padding) for this tile.
     pub fn valid_out_h(&self, shape: &ConvShape) -> usize {
-        count_valid(shape.out_h(), shape.stride_h, self.fh * shape.dil_h, shape.pad_h, shape.hi)
+        count_valid(
+            shape.out_h(),
+            shape.stride_h,
+            self.fh * shape.dil_h,
+            shape.pad_h,
+            shape.hi,
+        )
     }
 
     /// Number of distinct output columns `ow` whose tap lands on a valid
     /// input column for this tile.
     pub fn valid_out_w(&self, shape: &ConvShape) -> usize {
-        count_valid(shape.out_w(), shape.stride_w, self.fw * shape.dil_w, shape.pad_w, shape.wi)
+        count_valid(
+            shape.out_w(),
+            shape.stride_w,
+            self.fw * shape.dil_w,
+            shape.pad_w,
+            shape.wi,
+        )
     }
 
     /// `|working_set|` in closed form — the pixel grid is a product of the
@@ -294,7 +305,10 @@ mod tests {
 
     #[test]
     fn dilated_taps_spread_working_sets() {
-        let s = ConvShape::new(1, 1, 9, 9, 1, 3, 3).dilation(2).build().unwrap();
+        let s = ConvShape::new(1, 1, 9, 9, 1, 3, 3)
+            .dilation(2)
+            .build()
+            .unwrap();
         let a = FilterTile::new(0, 0).working_set(&s);
         let b = FilterTile::new(0, 1).working_set(&s);
         // Tap (0,1) is offset by dilation 2 in w.

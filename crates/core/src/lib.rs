@@ -60,5 +60,5 @@ pub use algo::ConvAlgorithm;
 pub use block::{BlockConfig, BlockDecomposition, FetchOrder, KSlice, OutputBlock};
 pub use decompose::FilterTile;
 pub use lowered::LoweredView;
-pub use sparse::SparseFilter;
 pub use schedule::{tpu_group_size, TileGroup, TileSchedule};
+pub use sparse::SparseFilter;

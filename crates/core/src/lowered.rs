@@ -105,9 +105,7 @@ impl LoweredView {
             "tap columns are only contiguous in the channel-first order"
         );
         assert!(fh < self.shape.hf && fw < self.shape.wf, "tap out of range");
-        let start = self
-            .order
-            .col(&self.shape, Tap { fh, fw, ci: 0 });
+        let start = self.order.col(&self.shape, Tap { fh, fw, ci: 0 });
         start..start + self.shape.ci
     }
 

@@ -55,7 +55,10 @@ impl TileGroup {
     ///
     /// Panics if `tiles` is empty.
     pub fn new(tiles: Vec<FilterTile>) -> Self {
-        assert!(!tiles.is_empty(), "a tile group must contain at least one tile");
+        assert!(
+            !tiles.is_empty(),
+            "a tile group must contain at least one tile"
+        );
         Self { tiles }
     }
 
@@ -158,7 +161,6 @@ impl TileSchedule {
     /// assert_eq!(sched.max_occupied_rows(&shape), 24);
     /// # Ok(()) }
     /// ```
-
     pub fn tpu(shape: &ConvShape, array_rows: usize) -> Self {
         Self::multi_tile(shape, tpu_group_size(array_rows, shape.ci, shape.wf))
     }
@@ -175,7 +177,11 @@ impl TileSchedule {
 
     /// Largest group size = peak IFMap duplication in the vector memories.
     pub fn max_duplication(&self) -> usize {
-        self.groups.iter().map(TileGroup::duplication).max().unwrap_or(1)
+        self.groups
+            .iter()
+            .map(TileGroup::duplication)
+            .max()
+            .unwrap_or(1)
     }
 
     /// Peak systolic rows occupied by any group.
@@ -302,8 +308,12 @@ mod tests {
         assert_eq!(b.shape(), (8, s.co));
         // Merged product equals the sum of per-tile products.
         let want_sum = {
-            let p0 = g.tiles()[0].a_tile(&s, &x).matmul(&g.tiles()[0].b_tile(&s, &f));
-            let p1 = g.tiles()[1].a_tile(&s, &x).matmul(&g.tiles()[1].b_tile(&s, &f));
+            let p0 = g.tiles()[0]
+                .a_tile(&s, &x)
+                .matmul(&g.tiles()[0].b_tile(&s, &f));
+            let p1 = g.tiles()[1]
+                .a_tile(&s, &x)
+                .matmul(&g.tiles()[1].b_tile(&s, &f));
             iconv_tensor::Matrix::from_fn(p0.rows(), p0.cols(), |r, c| p0[(r, c)] + p1[(r, c)])
         };
         assert_eq!(a.matmul(&b), want_sum);

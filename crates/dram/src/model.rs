@@ -153,7 +153,10 @@ mod tests {
     #[test]
     fn long_runs_near_peak_short_runs_poor() {
         let m = model();
-        assert!(m.efficiency(1 << 20) > 0.9, "1MB runs should be >90% efficient");
+        assert!(
+            m.efficiency(1 << 20) > 0.9,
+            "1MB runs should be >90% efficient"
+        );
         // 4-byte scattered accesses waste most of each 64B burst.
         assert!(m.efficiency(4) < 0.1);
     }

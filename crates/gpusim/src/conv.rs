@@ -170,8 +170,7 @@ impl GpuSim {
                 let lowered = shape.lowered_elems() as u64 * cfg.elem_bytes;
                 let ifmap = shape.ifmap_elems() as u64 * cfg.elem_bytes;
                 let row_run = (shape.wi * shape.ci) as u64 * cfg.elem_bytes;
-                let transform = lowered as f64
-                    / (cfg.dram.bytes_per_cycle * dram.efficiency(4096))
+                let transform = lowered as f64 / (cfg.dram.bytes_per_cycle * dram.efficiency(4096))
                     + ifmap as f64 / (cfg.dram.bytes_per_cycle * dram.efficiency(row_run))
                     + cfg.launch_cycles as f64;
                 timing.cycles += transform;
@@ -230,7 +229,10 @@ mod tests {
             .simulate_conv("l", &layer(128, 56, 128, 3, 2), GpuAlgo::CudnnImplicit)
             .tflops(s.config());
         let drop = 1.0 - t2 / t1;
-        assert!(drop > 0.15, "stride-2 drop only {drop:.2} ({t1:.1} -> {t2:.1})");
+        assert!(
+            drop > 0.15,
+            "stride-2 drop only {drop:.2} ({t1:.1} -> {t2:.1})"
+        );
     }
 
     #[test]
@@ -240,14 +242,28 @@ mod tests {
         // the channel-last proxy (Fig. 18a).
         let s = sim();
         let ours = GpuAlgo::ChannelFirst { reuse: true };
-        let t1 = s.simulate_conv("l", &layer(128, 56, 128, 3, 1), ours).tflops(s.config());
-        let t2 = s.simulate_conv("l", &layer(128, 56, 128, 3, 2), ours).tflops(s.config());
+        let t1 = s
+            .simulate_conv("l", &layer(128, 56, 128, 3, 1), ours)
+            .tflops(s.config());
+        let t2 = s
+            .simulate_conv("l", &layer(128, 56, 128, 3, 2), ours)
+            .tflops(s.config());
         let our_drop = 1.0 - t2 / t1;
-        let c1 = s.simulate_conv("l", &layer(128, 56, 128, 3, 1), GpuAlgo::CudnnImplicit).tflops(s.config());
-        let c2 = s.simulate_conv("l", &layer(128, 56, 128, 3, 2), GpuAlgo::CudnnImplicit).tflops(s.config());
+        let c1 = s
+            .simulate_conv("l", &layer(128, 56, 128, 3, 1), GpuAlgo::CudnnImplicit)
+            .tflops(s.config());
+        let c2 = s
+            .simulate_conv("l", &layer(128, 56, 128, 3, 2), GpuAlgo::CudnnImplicit)
+            .tflops(s.config());
         let cudnn_drop = 1.0 - c2 / c1;
-        assert!(our_drop < 0.45, "stride-2 drop {our_drop:.2} ({t1:.1} -> {t2:.1})");
-        assert!(our_drop < cudnn_drop, "ours {our_drop:.2} vs cudnn {cudnn_drop:.2}");
+        assert!(
+            our_drop < 0.45,
+            "stride-2 drop {our_drop:.2} ({t1:.1} -> {t2:.1})"
+        );
+        assert!(
+            our_drop < cudnn_drop,
+            "ours {our_drop:.2} vs cudnn {cudnn_drop:.2}"
+        );
     }
 
     #[test]

@@ -153,8 +153,22 @@ mod tests {
 
     #[test]
     fn waves_scale_with_blocks() {
-        let t1 = time_kernel(&cfg(), 128 * 160, 128, 512, &dense_traffic(128 * 160, 128, 512), 1.0);
-        let t2 = time_kernel(&cfg(), 128 * 320, 128, 512, &dense_traffic(128 * 320, 128, 512), 1.0);
+        let t1 = time_kernel(
+            &cfg(),
+            128 * 160,
+            128,
+            512,
+            &dense_traffic(128 * 160, 128, 512),
+            1.0,
+        );
+        let t2 = time_kernel(
+            &cfg(),
+            128 * 320,
+            128,
+            512,
+            &dense_traffic(128 * 320, 128, 512),
+            1.0,
+        );
         let ratio = t2.compute_cycles / t1.compute_cycles;
         assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
     }

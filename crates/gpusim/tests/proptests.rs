@@ -7,11 +7,11 @@ use proptest::prelude::*;
 
 fn conv_shapes() -> impl Strategy<Value = ConvShape> {
     (
-        1usize..=8,       // n
+        1usize..=8, // n
         prop::sample::select(vec![16usize, 32, 64, 128]),
-        1usize..=3,       // hf=wf
+        1usize..=3, // hf=wf
         prop::sample::select(vec![16usize, 64, 128]),
-        1usize..=2,       // stride
+        1usize..=2, // stride
         prop::sample::select(vec![7usize, 14, 28]),
     )
         .prop_filter_map("valid", |(n, ci, f, co, s, hw)| {

@@ -11,7 +11,6 @@
 /// assert!((mean_abs_pct_error(&pairs) - 0.04).abs() < 1e-12);
 /// ```
 ///
-
 ///
 /// # Panics
 ///
@@ -80,9 +79,7 @@ mod tests {
 
     #[test]
     fn distribution_counts_everything() {
-        let pairs: Vec<(f64, f64)> = (1..=100)
-            .map(|i| (100.0 + i as f64 * 0.1, 100.0))
-            .collect();
+        let pairs: Vec<(f64, f64)> = (1..=100).map(|i| (100.0 + i as f64 * 0.1, 100.0)).collect();
         let (edges, counts) = error_distribution(&pairs, 10);
         assert_eq!(edges.len(), 11);
         assert_eq!(counts.iter().sum::<usize>(), 100);

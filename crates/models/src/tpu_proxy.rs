@@ -83,9 +83,8 @@ impl TpuMeasuredProxy {
         let rem = shape.wf % group;
         let n_tiles = shape.co.div_ceil(self.cols) as f64;
         let mut compute = 0.0;
-        let per_group = |g: usize| -> f64 {
-            (g * shape.ci).div_ceil(self.rows) as f64 * n_tiles * m
-        };
+        let per_group =
+            |g: usize| -> f64 { (g * shape.ci).div_ceil(self.rows) as f64 * n_tiles * m };
         compute += shape.hf as f64 * full as f64 * per_group(group);
         if rem > 0 {
             compute += shape.hf as f64 * per_group(rem);

@@ -1,14 +1,20 @@
 //! A cycle-stepped, functional weight-stationary systolic array.
 //!
-//! This is the ground-truth dataflow model: every PE is stepped every cycle,
-//! activations move left→right, partial sums move top→bottom, exactly as in
-//! the TPU (paper Fig. 9). It computes real values *and* exact cycle counts,
-//! and is used to validate both the closed-form tile-latency formula in
-//! [`crate::timing`] and (transitively) TPUSim's fast engine.
+//! This is the ground-truth dataflow model: activations move left→right,
+//! partial sums move top→bottom, exactly as in the TPU (paper Fig. 9). It
+//! computes real values *and* exact cycle counts, and is used to validate
+//! both the closed-form tile-latency formula in [`crate::timing`] and
+//! (transitively) TPUSim's fast engine.
 //!
-//! Scale note: stepping `R×C` PEs per cycle is O(R·C) per cycle, so this
-//! model is for small/medium configurations; layer-scale simulation uses the
-//! validated closed form.
+//! Scale note: stepping is **band-limited** — at relative cycle `t` the only
+//! PEs that can hold live state are those on the wavefront band
+//! `t − r − c ∈ [0, M)`, so per-cycle work is O(active band), not O(R·C),
+//! and the per-array scratch buffers are allocated once and reused across
+//! cycles and streams (zero heap allocations per cycle). This makes the
+//! stepped model usable well beyond the small configurations the original
+//! full-grid-scan implementation (retained in [`crate::reference`]) could
+//! handle; `tests/stream_equivalence.rs` pins the two to identical
+//! `(output, cycles)` on randomized configs.
 
 use iconv_tensor::{Matrix, Scalar};
 
@@ -24,7 +30,10 @@ pub struct ArrayConfig {
 impl ArrayConfig {
     /// The TPU-v2 128×128 array.
     pub fn tpu_v2() -> Self {
-        Self { rows: 128, cols: 128 }
+        Self {
+            rows: 128,
+            cols: 128,
+        }
     }
 }
 
@@ -36,10 +45,15 @@ pub struct SystolicArray<T> {
     /// Stationary weight per PE, row-major `rows × cols` (zero outside the
     /// loaded tile).
     weights: Vec<T>,
-    /// Activation register per PE (moves right each cycle).
-    act: Vec<Option<T>>,
-    /// Partial-sum register per PE (moves down each cycle).
-    psum: Vec<Option<(usize, T)>>, // tagged with the output row index
+    /// In-flight partial sums, indexed `[c · M + m]` during a stream: the
+    /// accumulator for output element `(m, c)` while its psum wavefront is
+    /// still inside the grid. Grown on demand, never shrunk, reused across
+    /// streams — the steady state performs no per-cycle allocation.
+    psum_acc: Vec<T>,
+    /// Column-major copy of the streaming activation tile (`a` transposed,
+    /// indexed `[r · M + m]`), so the inner MAC loop reads unit-stride.
+    /// Same reuse discipline as `psum_acc`.
+    act_tile: Vec<T>,
     cycle: u64,
 }
 
@@ -66,8 +80,8 @@ impl<T: Scalar> SystolicArray<T> {
         Self {
             config,
             weights,
-            act: vec![None; config.rows * config.cols],
-            psum: vec![None; config.rows * config.cols],
+            psum_acc: Vec::new(),
+            act_tile: Vec::new(),
             cycle: config.rows as u64, // weight shift-in
         }
     }
@@ -93,93 +107,96 @@ impl<T: Scalar> SystolicArray<T> {
     /// Row `m` of `a` enters PE row `r` at relative cycle `m + r` (the
     /// systolic skew — produced on the real TPU by the skewed address
     /// generation of `iconv_core::addrgen`). The function steps the grid
-    /// cycle by cycle until the last partial sum drains from the bottom.
+    /// cycle by cycle until the last partial sum drains from the bottom,
+    /// but each cycle only visits the live wavefront band: an activation
+    /// injected for output row `m` sits at PE `(r, c)` exactly when
+    /// `t − r − c = m`, and the psum tagged `m` in column `c` sits at row
+    /// `t − m − c`, so all live state satisfies `t − r − c ∈ [0, M)`.
+    ///
+    /// Contributions reach each accumulator in ascending-`r` order — the
+    /// same order the physical psum picks them up falling down the column —
+    /// so results are bit-identical to [`crate::reference::ReferenceArray`]
+    /// (floats included).
     ///
     /// # Panics
     ///
-    /// Panics if `a.cols()` does not equal the loaded `K`.
+    /// Panics if `a.cols()` exceeds the grid rows.
     pub fn stream(&mut self, a: &Matrix<T>) -> (Matrix<T>, u64) {
         let (m_dim, k) = a.shape();
         assert!(k <= self.config.rows, "K={k} exceeds PE rows");
         let n = self.config.cols;
         let rows = self.config.rows;
         let mut out = Matrix::<T>::zeros(m_dim, n);
-        let start_cycle = self.cycle;
+
+        // (Re)prime the per-stream scratch: accumulators to zero, activation
+        // tile to aᵀ. `resize` only allocates when this stream is larger
+        // than any before it on this array.
+        self.psum_acc.clear();
+        self.psum_acc.resize(n * m_dim, T::zero());
+        self.act_tile.clear();
+        self.act_tile.resize(k * m_dim, T::zero());
+        for m in 0..m_dim {
+            let arow = a.row(m);
+            for (r, &v) in arow.iter().enumerate() {
+                self.act_tile[r * m_dim + m] = v;
+            }
+        }
+
         let mut elapsed = 0u64;
-        // Upper bound on drain time; the loop exits as soon as quiescent.
         loop {
             let t = elapsed as usize;
-            // 1. Shift: activations right, psums down (rightmost/bottom fall
-            //    out; bottom psums are the outputs).
-            let mut new_act = vec![None; rows * n];
-            let mut new_psum = vec![None; rows * n];
-            for r in 0..rows {
-                for c in 0..n {
-                    let idx = r * n + c;
-                    if c + 1 < n {
-                        new_act[r * n + c + 1] = self.act[idx];
-                    }
-                    if let Some((m, v)) = self.psum[idx] {
-                        if r + 1 < rows {
-                            new_psum[(r + 1) * n + c] = Some((m, v));
-                        } else {
-                            // Drains out of the bottom: this is output C[m][c].
-                            out[(m, c)] += v;
-                        }
+
+            // 1. Drain: a psum tagged (m, c) leaves the bottom row during
+            //    cycle t = m + c + rows (it was created in row 0 at cycle
+            //    m + c and falls one row per cycle). By then every
+            //    contribution (the last lands at cycle m + (k−1) + c) has
+            //    been folded in. Psums exist only when K ≥ 1.
+            if k > 0 {
+                if let Some(base) = t.checked_sub(rows) {
+                    // m = base − c ∈ [0, M) bounds the draining columns.
+                    let c_hi = base.min(n - 1);
+                    let c_lo = (base + 1).saturating_sub(m_dim);
+                    for c in c_lo..=c_hi {
+                        let m = base - c;
+                        out[(m, c)] += self.psum_acc[c * m_dim + m];
                     }
                 }
             }
-            self.act = new_act;
-            self.psum = new_psum;
-            // 2. Inject skewed activations at the left edge.
-            for r in 0..k.min(rows) {
-                if t >= r {
-                    let m = t - r;
-                    if m < m_dim {
-                        self.act[r * n] = Some(a[(m, r)]);
-                    }
+
+            // 2. Compute along the wavefront band: PE (r, c) holds the
+            //    activation for output row m = t − r − c and multiplies it
+            //    into the in-flight accumulator of (m, c).
+            for r in 0..k {
+                let Some(tr) = t.checked_sub(r) else { break };
+                let c_hi = tr.min(n - 1);
+                let c_lo = (tr + 1).saturating_sub(m_dim);
+                if c_lo > c_hi {
+                    continue;
+                }
+                let wrow = &self.weights[r * n..r * n + n];
+                let arow = &self.act_tile[r * m_dim..(r + 1) * m_dim];
+                for (c, &w) in wrow.iter().enumerate().take(c_hi + 1).skip(c_lo) {
+                    let m = tr - c;
+                    self.psum_acc[c * m_dim + m] += arow[m] * w;
                 }
             }
-            // 3. Compute: each PE with an activation produces/extends a psum
-            //    for the wavefront entering it this cycle.
-            for r in 0..rows {
-                for c in 0..n {
-                    let idx = r * n + c;
-                    if let Some(aval) = self.act[idx] {
-                        // The output row this activation belongs to:
-                        // injected at t' = m + r at column 0, it reaches
-                        // column c at cycle t' + c, i.e. m = t - r - c.
-                        let m = t.checked_sub(r + c);
-                        if let Some(m) = m {
-                            if m < m_dim {
-                                let w = self.weights[r * self.config.cols + c];
-                                let contrib = aval * w;
-                                match &mut self.psum[idx] {
-                                    Some((pm, pv)) => {
-                                        debug_assert_eq!(*pm, m, "wavefront misalignment");
-                                        *pv += contrib;
-                                    }
-                                    slot @ None => *slot = Some((m, contrib)),
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+
             elapsed += 1;
-            // Quiescent once all inputs are injected and registers are empty.
+            // Quiescence, in closed form (each term is exact — see the
+            // equivalence tests against the reference stepper):
+            //  * all rows injected once t ≥ M + K;
+            //  * the last activation leaves PE (K−1, N−1) after cycle
+            //    K + N + M − 3;
+            //  * the last psum (tagged M−1, column N−1) drains during cycle
+            //    M + N + rows − 3 + 1.
             let injected_all = t >= m_dim + k;
-            let empty = self.act.iter().all(Option::is_none)
-                && self.psum.iter().all(Option::is_none);
-            if injected_all && empty {
+            let act_empty = m_dim == 0 || k == 0 || t >= k + n + m_dim - 2;
+            let psum_empty = m_dim == 0 || k == 0 || t >= m_dim + rows + n - 2;
+            if injected_all && act_empty && psum_empty {
                 break;
             }
-            assert!(
-                elapsed < (m_dim + rows + n + 8) as u64 * 2,
-                "systolic array failed to drain"
-            );
         }
-        self.cycle = start_cycle + elapsed;
+        self.cycle += elapsed;
         (out, elapsed)
     }
 }
@@ -278,5 +295,37 @@ mod tests {
         let (_, e2) = arr.stream(&a);
         assert_eq!(e1, e2);
         assert_eq!(arr.cycle(), c0 + e2);
+    }
+
+    #[test]
+    fn narrow_activation_tile_matches_reference() {
+        // a.cols() smaller than the loaded K: only the first k weight rows
+        // contribute, exactly as in the reference stepper.
+        let cfg = ArrayConfig { rows: 5, cols: 4 };
+        let b = Matrix::<i64>::from_fn(5, 4, |r, c| (r * 4 + c) as i64 - 9);
+        let a = Matrix::<i64>::from_fn(6, 3, |r, c| (r + 2 * c) as i64 - 2);
+        let (got, cycles) = run(cfg, &a, &b);
+        let mut reference = crate::reference::ReferenceArray::with_weights(cfg, &b);
+        let (want, ref_cycles) = reference.stream(&a);
+        assert_eq!(got, want);
+        assert_eq!(cycles, ref_cycles);
+    }
+
+    #[test]
+    fn scratch_reuse_across_growing_streams() {
+        // Stream tiles of different M through one array: scratch grows then
+        // is reused; results stay exact.
+        let cfg = ArrayConfig { rows: 3, cols: 3 };
+        let b = Matrix::<i64>::from_fn(3, 3, |r, c| (r + c) as i64 - 1);
+        let mut arr = SystolicArray::with_weights(cfg, &b);
+        for m in [1usize, 8, 2, 8, 5] {
+            let a = Matrix::<i64>::from_fn(m, 3, |r, c| (r * 7 + c) as i64 % 11 - 5);
+            let (got, _) = arr.stream(&a);
+            for r in 0..m {
+                for c in 0..3 {
+                    assert_eq!(got[(r, c)], a.matmul(&b)[(r, c)], "m={m}");
+                }
+            }
+        }
     }
 }

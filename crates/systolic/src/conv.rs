@@ -10,9 +10,9 @@
 
 use crate::array::{ArrayConfig, SystolicArray};
 use crate::timing;
+use iconv_core::schedule::TileSchedule;
 use iconv_tensor::conv_ref::{filter_dims, ifmap_dims};
 use iconv_tensor::im2col::ofmap_from_matrix;
-use iconv_core::schedule::TileSchedule;
 use iconv_tensor::{ConvShape, Layout, Matrix, Scalar, Tensor};
 
 /// Result of running a convolution on the functional array.

@@ -25,6 +25,7 @@
 pub mod array;
 pub mod conv;
 pub mod output_stationary;
+pub mod reference;
 pub mod timing;
 
 pub use array::{ArrayConfig, SystolicArray};

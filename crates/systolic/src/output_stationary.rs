@@ -79,11 +79,7 @@ pub fn os_tile<T: Scalar>(config: OsArrayConfig, a: &Matrix<T>, b: &Matrix<T>) -
 /// # Panics
 ///
 /// Panics on shape mismatch.
-pub fn os_gemm<T: Scalar>(
-    config: OsArrayConfig,
-    a: &Matrix<T>,
-    b: &Matrix<T>,
-) -> (Matrix<T>, u64) {
+pub fn os_gemm<T: Scalar>(config: OsArrayConfig, a: &Matrix<T>, b: &Matrix<T>) -> (Matrix<T>, u64) {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "reduction mismatch");
@@ -145,8 +141,14 @@ mod tests {
     fn weight_stationary_wins_for_im2col_shapes() {
         // A lowered conv GEMM: M >> K, N (e.g. M = N·Ho·Wo = 6272 rows,
         // K = 9·Ci = 576, N = Co = 128) on a 128x128 grid.
-        let ws = ArrayConfig { rows: 128, cols: 128 };
-        let os = OsArrayConfig { rows: 128, cols: 128 };
+        let ws = ArrayConfig {
+            rows: 128,
+            cols: 128,
+        };
+        let os = OsArrayConfig {
+            rows: 128,
+            cols: 128,
+        };
         let (m, n, k) = (6272usize, 128usize, 576usize);
         let ws_cycles = gemm_timing(ws, m, n, k, true).cycles;
         let os_cycles = os_gemm_cycles(os, m, n, k);
@@ -162,13 +164,22 @@ mod tests {
         // double-buffered weights streams the same K in passes. The cycle
         // counts converge — OS's real advantage there is partial-sum
         // traffic (nothing leaves the array), not time.
-        let ws = ArrayConfig { rows: 128, cols: 128 };
-        let os = OsArrayConfig { rows: 128, cols: 128 };
+        let ws = ArrayConfig {
+            rows: 128,
+            cols: 128,
+        };
+        let os = OsArrayConfig {
+            rows: 128,
+            cols: 128,
+        };
         let (m, n, k) = (128usize, 128usize, 16384usize);
         let ws_cycles = gemm_timing(ws, m, n, k, true).cycles;
         let os_cycles = os_gemm_cycles(os, m, n, k);
         let ratio = os_cycles as f64 / ws_cycles as f64;
-        assert!((0.95..1.05).contains(&ratio), "OS {os_cycles} vs WS {ws_cycles}");
+        assert!(
+            (0.95..1.05).contains(&ratio),
+            "OS {os_cycles} vs WS {ws_cycles}"
+        );
     }
 
     #[test]

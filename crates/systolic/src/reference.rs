@@ -1,0 +1,148 @@
+//! The original naive cycle stepper, retained verbatim as the semantic
+//! reference for [`crate::array::SystolicArray`].
+//!
+//! This model allocates two fresh `R×C` scratch grids every cycle and scans
+//! every PE, exactly as the first implementation did. It is deliberately
+//! simple — each register is an explicit `Option` moved by hand — so its
+//! correctness is easy to audit. The optimized array must return the same
+//! `(output, cycles)` for every input (see `tests/stream_equivalence.rs`),
+//! which lets the fast path drop the per-cycle allocations and the full-grid
+//! scan without weakening the ground-truth guarantee.
+
+use crate::array::ArrayConfig;
+use iconv_tensor::{Matrix, Scalar};
+
+/// The naive, full-grid-scan weight-stationary array.
+#[derive(Debug, Clone)]
+pub struct ReferenceArray<T> {
+    config: ArrayConfig,
+    /// Stationary weight per PE, row-major `rows × cols`.
+    weights: Vec<T>,
+    /// Activation register per PE (moves right each cycle).
+    act: Vec<Option<T>>,
+    /// Partial-sum register per PE (moves down each cycle).
+    psum: Vec<Option<(usize, T)>>, // tagged with the output row index
+    cycle: u64,
+}
+
+impl<T: Scalar> ReferenceArray<T> {
+    /// Build an array and preload the weight tile `b` (shape `K × N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` exceeds the grid.
+    pub fn with_weights(config: ArrayConfig, b: &Matrix<T>) -> Self {
+        let (k, n) = b.shape();
+        assert!(k <= config.rows, "K={k} exceeds {} PE rows", config.rows);
+        assert!(n <= config.cols, "N={n} exceeds {} PE cols", config.cols);
+        let mut weights = vec![T::zero(); config.rows * config.cols];
+        for r in 0..k {
+            for c in 0..n {
+                weights[r * config.cols + c] = b[(r, c)];
+            }
+        }
+        Self {
+            config,
+            weights,
+            act: vec![None; config.rows * config.cols],
+            psum: vec![None; config.rows * config.cols],
+            cycle: config.rows as u64, // weight shift-in
+        }
+    }
+
+    /// Current cycle count (includes the weight load).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Stream activation matrix `a` (`M × K`) through the loaded weights and
+    /// return `(a · b, cycles_elapsed_for_this_gemm)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols()` exceeds the grid rows.
+    pub fn stream(&mut self, a: &Matrix<T>) -> (Matrix<T>, u64) {
+        let (m_dim, k) = a.shape();
+        assert!(k <= self.config.rows, "K={k} exceeds PE rows");
+        let n = self.config.cols;
+        let rows = self.config.rows;
+        let mut out = Matrix::<T>::zeros(m_dim, n);
+        let start_cycle = self.cycle;
+        let mut elapsed = 0u64;
+        // Upper bound on drain time; the loop exits as soon as quiescent.
+        loop {
+            let t = elapsed as usize;
+            // 1. Shift: activations right, psums down (rightmost/bottom fall
+            //    out; bottom psums are the outputs).
+            let mut new_act = vec![None; rows * n];
+            let mut new_psum = vec![None; rows * n];
+            for r in 0..rows {
+                for c in 0..n {
+                    let idx = r * n + c;
+                    if c + 1 < n {
+                        new_act[r * n + c + 1] = self.act[idx];
+                    }
+                    if let Some((m, v)) = self.psum[idx] {
+                        if r + 1 < rows {
+                            new_psum[(r + 1) * n + c] = Some((m, v));
+                        } else {
+                            // Drains out of the bottom: this is output C[m][c].
+                            out[(m, c)] += v;
+                        }
+                    }
+                }
+            }
+            self.act = new_act;
+            self.psum = new_psum;
+            // 2. Inject skewed activations at the left edge.
+            for r in 0..k.min(rows) {
+                if t >= r {
+                    let m = t - r;
+                    if m < m_dim {
+                        self.act[r * n] = Some(a[(m, r)]);
+                    }
+                }
+            }
+            // 3. Compute: each PE with an activation produces/extends a psum
+            //    for the wavefront entering it this cycle.
+            for r in 0..rows {
+                for c in 0..n {
+                    let idx = r * n + c;
+                    if let Some(aval) = self.act[idx] {
+                        // The output row this activation belongs to:
+                        // injected at t' = m + r at column 0, it reaches
+                        // column c at cycle t' + c, i.e. m = t - r - c.
+                        let m = t.checked_sub(r + c);
+                        if let Some(m) = m {
+                            if m < m_dim {
+                                let w = self.weights[r * self.config.cols + c];
+                                let contrib = aval * w;
+                                match &mut self.psum[idx] {
+                                    Some((pm, pv)) => {
+                                        debug_assert_eq!(*pm, m, "wavefront misalignment");
+                                        *pv += contrib;
+                                    }
+                                    slot @ None => *slot = Some((m, contrib)),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            elapsed += 1;
+            // Quiescent once all inputs are injected and registers are empty.
+            let injected_all = t >= m_dim + k;
+            let empty =
+                self.act.iter().all(Option::is_none) && self.psum.iter().all(Option::is_none);
+            if injected_all && empty {
+                break;
+            }
+            assert!(
+                elapsed < (m_dim + rows + n + 8) as u64 * 2,
+                "systolic array failed to drain"
+            );
+        }
+        self.cycle = start_cycle + elapsed;
+        (out, elapsed)
+    }
+}

@@ -90,10 +90,12 @@ mod tests {
             let b = Matrix::<i64>::from_fn(k, n, |r, c| (r * 5 + c * 3) as i64 % 9 - 4);
             let mut arr = SystolicArray::with_weights(cfg, &b);
             let (out, cycles) = arr.stream(&a);
-            assert!(out.approx_eq(&a.matmul(&b), 0.0) || {
-                // integer exact compare on the used sub-block
-                (0..m).all(|r| (0..n).all(|c| out[(r, c)] == a.matmul(&b)[(r, c)]))
-            });
+            assert!(
+                out.approx_eq(&a.matmul(&b), 0.0) || {
+                    // integer exact compare on the used sub-block
+                    (0..m).all(|r| (0..n).all(|c| out[(r, c)] == a.matmul(&b)[(r, c)]))
+                }
+            );
             assert_eq!(
                 cycles,
                 tile_stream_cycles(cfg, m, k, n),
@@ -104,7 +106,10 @@ mod tests {
 
     #[test]
     fn single_pass_gemm_timing() {
-        let cfg = ArrayConfig { rows: 128, cols: 128 };
+        let cfg = ArrayConfig {
+            rows: 128,
+            cols: 128,
+        };
         let t = gemm_timing(cfg, 1024, 128, 128, true);
         assert_eq!(t.passes, 1);
         assert_eq!(t.cycles, 1024 + 255 + 128);
@@ -113,7 +118,10 @@ mod tests {
 
     #[test]
     fn multi_pass_gemm_timing() {
-        let cfg = ArrayConfig { rows: 128, cols: 128 };
+        let cfg = ArrayConfig {
+            rows: 128,
+            cols: 128,
+        };
         let t = gemm_timing(cfg, 1024, 256, 256, true);
         assert_eq!(t.passes, 4);
         assert_eq!(t.cycles, 4 * 1024 + 255 + 128);
@@ -121,7 +129,10 @@ mod tests {
 
     #[test]
     fn no_double_buffering_pays_reloads() {
-        let cfg = ArrayConfig { rows: 128, cols: 128 };
+        let cfg = ArrayConfig {
+            rows: 128,
+            cols: 128,
+        };
         let db = gemm_timing(cfg, 512, 512, 512, true);
         let nodb = gemm_timing(cfg, 512, 512, 512, false);
         assert_eq!(nodb.cycles - db.cycles, (16 - 1) * 128);
@@ -129,7 +140,10 @@ mod tests {
 
     #[test]
     fn utilization_peaks_for_full_tiles() {
-        let cfg = ArrayConfig { rows: 128, cols: 128 };
+        let cfg = ArrayConfig {
+            rows: 128,
+            cols: 128,
+        };
         // Huge square GEMM: utilization approaches 1.
         let t = gemm_timing(cfg, 8192, 8192, 8192, true);
         assert!(t.utilization(cfg) > 0.95);
@@ -140,7 +154,11 @@ mod tests {
 
     #[test]
     fn utilization_zero_cycles_guard() {
-        let t = GemmTiming { passes: 0, cycles: 0, macs: 0 };
+        let t = GemmTiming {
+            passes: 0,
+            cycles: 0,
+            macs: 0,
+        };
         assert_eq!(t.utilization(ArrayConfig::tpu_v2()), 0.0);
     }
 }

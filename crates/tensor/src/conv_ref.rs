@@ -1,7 +1,7 @@
 //! Reference direct convolution — the golden model every algorithm path in
 //! this workspace is tested against.
 
-use crate::layout::{Coord, Dims, Layout};
+use crate::layout::{Dims, Layout};
 use crate::shape::ConvShape;
 use crate::tensor::{Scalar, Tensor};
 
@@ -69,24 +69,67 @@ pub fn direct_conv<T: Scalar>(
 ) -> Tensor<T> {
     assert_eq!(ifmap.dims(), ifmap_dims(shape), "ifmap dims mismatch");
     assert_eq!(filter.dims(), filter_dims(shape), "filter dims mismatch");
+    // The hot loops below index raw NCHW buffers; non-NCHW inputs are
+    // relaid out once up front, which is far cheaper than per-element
+    // `layout.offset` arithmetic inside the seven-deep nest.
+    let x_nchw;
+    let x = if ifmap.layout() == Layout::Nchw {
+        ifmap
+    } else {
+        x_nchw = ifmap.relayout(Layout::Nchw);
+        &x_nchw
+    };
+    let f_nchw;
+    let f = if filter.layout() == Layout::Nchw {
+        filter
+    } else {
+        f_nchw = filter.relayout(Layout::Nchw);
+        &f_nchw
+    };
+    let (hi, wi) = (shape.hi, shape.wi);
+    let (hf, wf) = (shape.hf, shape.wf);
+    let (out_h, out_w) = (shape.out_h(), shape.out_w());
+    let xs = x.as_slice();
+    let fs = f.as_slice();
     let mut out = Tensor::zeros(ofmap_dims(shape), Layout::Nchw);
+    let os = out.as_mut_slice();
+    // The output is written in NCHW order, which is exactly the iteration
+    // order of the (n, co, oh, ow) nest — a single running index suffices.
+    let mut o_idx = 0;
     for n in 0..shape.n {
         for co in 0..shape.co {
-            for oh in 0..shape.out_h() {
-                for ow in 0..shape.out_w() {
+            for oh in 0..out_h {
+                for ow in 0..out_w {
+                    // Accumulation stays in (ci, fh, fw) lexicographic order
+                    // with the same padding skips, so float results are
+                    // bit-identical to the naive per-element formulation.
                     let mut acc = T::zero();
                     for ci in 0..shape.ci {
-                        for fh in 0..shape.hf {
-                            for fw in 0..shape.wf {
-                                if let Some((h, w)) = input_pixel(shape, oh, ow, fh, fw) {
-                                    let x = ifmap.get(Coord::new(n, ci, h, w));
-                                    let k = filter.get(Coord::new(co, ci, fh, fw));
-                                    acc += x * k;
+                        let xc = &xs[(n * shape.ci + ci) * hi * wi..][..hi * wi];
+                        let fc = &fs[(co * shape.ci + ci) * hf * wf..][..hf * wf];
+                        for fh in 0..hf {
+                            // Same geometry as `input_pixel`, with the `h`
+                            // validity test hoisted out of the `fw` loop.
+                            let Some(h) = (oh * shape.stride_h + fh * shape.dil_h)
+                                .checked_sub(shape.pad_h)
+                                .filter(|&h| h < hi)
+                            else {
+                                continue;
+                            };
+                            let xrow = &xc[h * wi..(h + 1) * wi];
+                            let frow = &fc[fh * wf..(fh + 1) * wf];
+                            for (fw, &k) in frow.iter().enumerate() {
+                                if let Some(w) = (ow * shape.stride_w + fw * shape.dil_w)
+                                    .checked_sub(shape.pad_w)
+                                    .filter(|&w| w < wi)
+                                {
+                                    acc += xrow[w] * k;
                                 }
                             }
                         }
                     }
-                    out.set(Coord::new(n, co, oh, ow), acc);
+                    os[o_idx] = acc;
+                    o_idx += 1;
                 }
             }
         }
@@ -97,6 +140,7 @@ pub fn direct_conv<T: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layout::Coord;
 
     fn shape_1ch() -> ConvShape {
         ConvShape::square(1, 1, 4, 1, 3, 1, 0).unwrap()
@@ -177,7 +221,10 @@ mod tests {
     fn dilation_skips_pixels() {
         // Dilated 2x, 2x2 filter on a coordinate-coded input: tap (1,1) reads
         // pixel (h+2, w+2).
-        let shape = ConvShape::new(1, 1, 5, 5, 1, 2, 2).dilation(2).build().unwrap();
+        let shape = ConvShape::new(1, 1, 5, 5, 1, 2, 2)
+            .dilation(2)
+            .build()
+            .unwrap();
         let x = Tensor::<i32>::coordinate_coded(ifmap_dims(&shape), Layout::Nchw);
         let f = Tensor::<i32>::from_fn(filter_dims(&shape), Layout::Nchw, |c| {
             i32::from(c.h == 1 && c.w == 1)

@@ -50,7 +50,7 @@ impl GroupedConv {
         if groups == 0 {
             return Err(ShapeError::new("groups must be non-zero"));
         }
-        if shape.ci % groups != 0 || shape.co % groups != 0 {
+        if !shape.ci.is_multiple_of(groups) || !shape.co.is_multiple_of(groups) {
             return Err(ShapeError::new(format!(
                 "groups {groups} must divide ci {} and co {}",
                 shape.ci, shape.co
@@ -165,7 +165,9 @@ impl GroupedConv {
 
     /// Grouped convolution via the direct reference (golden model).
     pub fn direct_conv<T: Scalar>(&self, ifmap: &Tensor<T>, filter: &Tensor<T>) -> Tensor<T> {
-        self.conv_with(ifmap, filter, |s, x, f| crate::conv_ref::direct_conv(s, x, f))
+        self.conv_with(ifmap, filter, |s, x, f| {
+            crate::conv_ref::direct_conv(s, x, f)
+        })
     }
 }
 

@@ -118,12 +118,7 @@ pub fn output_to_row(shape: &ConvShape, n: usize, oh: usize, ow: usize) -> usize
 
 /// IFMap coordinate at lowered-matrix entry `(row, col)`, or `None` when the
 /// entry is a padding zero.
-pub fn entry_coord(
-    shape: &ConvShape,
-    order: ColumnOrder,
-    row: usize,
-    col: usize,
-) -> Option<Coord> {
+pub fn entry_coord(shape: &ConvShape, order: ColumnOrder, row: usize, col: usize) -> Option<Coord> {
     let (n, oh, ow) = row_to_output(shape, row);
     let tap = order.tap(shape, col);
     let (h, w) = input_pixel(shape, oh, ow, tap.fh, tap.fw)?;
@@ -138,9 +133,40 @@ pub fn entry_coord(
 /// Panics if `ifmap.dims()` does not match `shape`.
 pub fn lower<T: Scalar>(shape: &ConvShape, ifmap: &Tensor<T>, order: ColumnOrder) -> Matrix<T> {
     assert_eq!(ifmap.dims(), ifmap_dims(shape), "ifmap dims mismatch");
-    Matrix::from_fn(shape.lowered_rows(), shape.lowered_cols(), |r, c| {
-        entry_coord(shape, order, r, c).map_or_else(T::zero, |coord| ifmap.get(coord))
-    })
+    // Read through a raw NCHW buffer; relayout once rather than paying
+    // `layout.offset` per entry of the (often ~9x duplicated) matrix.
+    let x_nchw;
+    let x = if ifmap.layout() == Layout::Nchw {
+        ifmap
+    } else {
+        x_nchw = ifmap.relayout(Layout::Nchw);
+        &x_nchw
+    };
+    let xs = x.as_slice();
+    let (hi, wi) = (shape.hi, shape.wi);
+    // Tap table: the per-column `order.tap` divisions are invariant across
+    // rows, so compute them once instead of rows × cols times.
+    let taps: Vec<Tap> = (0..shape.lowered_cols())
+        .map(|c| order.tap(shape, c))
+        .collect();
+    let mut out = Matrix::zeros(shape.lowered_rows(), shape.lowered_cols());
+    // Rows walk (n, oh, ow) in exactly `output_to_row` order; padding
+    // entries keep the zero the matrix was initialized with.
+    let mut row = 0;
+    for n in 0..shape.n {
+        for oh in 0..shape.out_h() {
+            for ow in 0..shape.out_w() {
+                let orow = out.row_mut(row);
+                for (o, tap) in orow.iter_mut().zip(&taps) {
+                    if let Some((h, w)) = input_pixel(shape, oh, ow, tap.fh, tap.fw) {
+                        *o = xs[((n * shape.ci + tap.ci) * hi + h) * wi + w];
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    out
 }
 
 /// Flatten the filter tensor to the `Hf·Wf·Ci × Co` matrix whose row order
@@ -155,10 +181,25 @@ pub fn filter_matrix<T: Scalar>(
     order: ColumnOrder,
 ) -> Matrix<T> {
     assert_eq!(filter.dims(), filter_dims(shape), "filter dims mismatch");
-    Matrix::from_fn(shape.lowered_cols(), shape.co, |k, co| {
+    let f_nchw;
+    let f = if filter.layout() == Layout::Nchw {
+        filter
+    } else {
+        f_nchw = filter.relayout(Layout::Nchw);
+        &f_nchw
+    };
+    let fs = f.as_slice();
+    let per_co = shape.ci * shape.hf * shape.wf;
+    let mut out = Matrix::zeros(shape.lowered_cols(), shape.co);
+    for k in 0..shape.lowered_cols() {
         let tap = order.tap(shape, k);
-        filter.get(Coord::new(co, tap.ci, tap.fh, tap.fw))
-    })
+        // NCHW filter offset of this tap within one co slab.
+        let base = (tap.ci * shape.hf + tap.fh) * shape.wf + tap.fw;
+        for (co, o) in out.row_mut(k).iter_mut().enumerate() {
+            *o = fs[co * per_co + base];
+        }
+    }
+    out
 }
 
 /// Fold the `N·Ho·Wo × Co` GEMM result back into an `NCHW` OFMap tensor
@@ -287,7 +328,7 @@ mod tests {
         assert_eq!(a[(0, 0)], 0); // (c0,h0,w0)
         assert_eq!(a[(0, 1)], 1); // (c0,h0,w1)
         assert_eq!(a[(0, 3)], 100); // (c0,h1,w0)
-        // Channel-first: first entries walk channels of pixel (0,0).
+                                    // Channel-first: first entries walk channels of pixel (0,0).
         let b = lower(&s, &x, ColumnOrder::ChannelFirst);
         assert_eq!(b[(0, 0)], 0); // (c0,h0,w0)
         assert_eq!(b[(0, 1)], 10_000); // (c1,h0,w0)
@@ -354,8 +395,11 @@ mod tests {
         // on 5x5 -> centre pixel is in 9 windows, corner in 1.
         let s = ConvShape::square(1, 1, 5, 1, 3, 1, 0).unwrap();
         let x = Tensor::<i64>::from_fn(ifmap_dims(&s), Layout::Nchw, |_| 1);
-        let folded = col2im_accumulate(&s, &lower(&s, &x, ColumnOrder::ChannelFirst),
-            ColumnOrder::ChannelFirst);
+        let folded = col2im_accumulate(
+            &s,
+            &lower(&s, &x, ColumnOrder::ChannelFirst),
+            ColumnOrder::ChannelFirst,
+        );
         assert_eq!(folded.get(crate::Coord::new(0, 0, 2, 2)), 9);
         assert_eq!(folded.get(crate::Coord::new(0, 0, 0, 0)), 1);
         assert_eq!(folded.get(crate::Coord::new(0, 0, 0, 2)), 3);

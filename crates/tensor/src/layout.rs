@@ -254,7 +254,12 @@ impl fmt::Display for Layout {
 mod tests {
     use super::*;
 
-    const DIMS: Dims = Dims { n: 2, c: 3, h: 4, w: 5 };
+    const DIMS: Dims = Dims {
+        n: 2,
+        c: 3,
+        h: 4,
+        w: 5,
+    };
 
     #[test]
     fn strides_nchw() {

@@ -177,6 +177,7 @@ impl ConvShapeBuilder {
 impl ConvShape {
     /// Start building a shape from the seven core dimensions; stride and
     /// dilation default to 1, padding to 0.
+    #[allow(clippy::new_ret_no_self)] // deliberately returns the builder
     pub fn new(
         n: usize,
         ci: usize,
@@ -362,7 +363,10 @@ mod tests {
 
     #[test]
     fn output_dims_dilation() {
-        let s = ConvShape::new(1, 1, 9, 9, 1, 3, 3).dilation(2).build().unwrap();
+        let s = ConvShape::new(1, 1, 9, 9, 1, 3, 3)
+            .dilation(2)
+            .build()
+            .unwrap();
         // effective filter = 5 -> out = 5
         assert_eq!(s.eff_hf(), 5);
         assert_eq!(s.out_h(), 5);
@@ -370,9 +374,15 @@ mod tests {
 
     #[test]
     fn same_pad_keeps_size_for_odd_filters() {
-        let s = ConvShape::new(1, 4, 14, 14, 4, 3, 3).same_pad().build().unwrap();
+        let s = ConvShape::new(1, 4, 14, 14, 4, 3, 3)
+            .same_pad()
+            .build()
+            .unwrap();
         assert_eq!((s.out_h(), s.out_w()), (14, 14));
-        let s = ConvShape::new(1, 4, 14, 14, 4, 5, 5).same_pad().build().unwrap();
+        let s = ConvShape::new(1, 4, 14, 14, 4, 5, 5)
+            .same_pad()
+            .build()
+            .unwrap();
         assert_eq!((s.out_h(), s.out_w()), (14, 14));
     }
 
@@ -409,8 +419,12 @@ mod tests {
 
     #[test]
     fn pointwise_detection() {
-        assert!(ConvShape::square(1, 8, 5, 4, 1, 1, 0).unwrap().is_pointwise());
-        assert!(!ConvShape::square(1, 8, 5, 4, 3, 1, 1).unwrap().is_pointwise());
+        assert!(ConvShape::square(1, 8, 5, 4, 1, 1, 0)
+            .unwrap()
+            .is_pointwise());
+        assert!(!ConvShape::square(1, 8, 5, 4, 3, 1, 1)
+            .unwrap()
+            .is_pointwise());
         let strided_1x1 = ConvShape::square(1, 8, 5, 4, 1, 2, 0).unwrap();
         assert!(!strided_1x1.is_pointwise());
     }

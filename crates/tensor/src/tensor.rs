@@ -185,6 +185,11 @@ impl<T: Scalar> Tensor<T> {
         &self.data
     }
 
+    /// The raw backing buffer in layout order, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     /// Copy into a new tensor with a different layout (logical contents
     /// preserved). Returns a clone when the layout already matches.
     pub fn relayout(&self, layout: Layout) -> Self {
@@ -289,7 +294,11 @@ mod tests {
             t.dims().len()
         );
         let distinct: std::collections::BTreeSet<i64> = t.as_slice().iter().copied().collect();
-        assert!(distinct.len() >= 8, "only {} distinct values", distinct.len());
+        assert!(
+            distinct.len() >= 8,
+            "only {} distinct values",
+            distinct.len()
+        );
     }
 
     #[test]

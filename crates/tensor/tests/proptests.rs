@@ -3,21 +3,21 @@
 
 use iconv_tensor::conv_ref::{direct_conv, filter_dims, ifmap_dims};
 use iconv_tensor::im2col::{conv_explicit, entry_coord, lower, output_to_row, row_to_output};
-use iconv_tensor::{ColumnOrder, ConvShape, Coord, Dims, Layout, Matrix, Tensor};
+use iconv_tensor::{ColumnOrder, ConvShape, Dims, Layout, Matrix, Tensor};
 use proptest::prelude::*;
 
 /// Random valid convolution shapes, kept small for test speed.
 fn conv_shapes() -> impl Strategy<Value = ConvShape> {
     (
-        1usize..=3,         // n
-        1usize..=6,         // ci
-        1usize..=4,         // hf
-        1usize..=4,         // wf
-        1usize..=6,         // co
-        1usize..=3,         // stride
-        0usize..=2,         // pad
-        1usize..=2,         // dilation
-        0usize..=6,         // extra spatial beyond minimum
+        1usize..=3, // n
+        1usize..=6, // ci
+        1usize..=4, // hf
+        1usize..=4, // wf
+        1usize..=6, // co
+        1usize..=3, // stride
+        0usize..=2, // pad
+        1usize..=2, // dilation
+        0usize..=6, // extra spatial beyond minimum
     )
         .prop_filter_map("filter must fit", |(n, ci, hf, wf, co, s, p, d, extra)| {
             let eff_h = d * (hf - 1) + 1;
@@ -164,5 +164,8 @@ fn strategy_covers_variants() {
         saw_stride |= s.stride_h > 1;
         saw_dil |= s.dil_h > 1;
     }
-    assert!(saw_stride && saw_dil, "strategy must exercise stride and dilation");
+    assert!(
+        saw_stride && saw_dil,
+        "strategy must exercise stride and dilation"
+    );
 }

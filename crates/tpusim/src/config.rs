@@ -91,7 +91,10 @@ impl TpuConfig {
     /// it, keeping total SRAM constant) — the Fig. 16a sweep.
     pub fn with_array_size(mut self, size: usize) -> Self {
         let total = self.total_sram_bytes();
-        self.array = ArrayConfig { rows: size, cols: size };
+        self.array = ArrayConfig {
+            rows: size,
+            cols: size,
+        };
         self.vector_mem.capacity_bytes = total / size as u64;
         self
     }

@@ -74,10 +74,8 @@ impl EnergyModel {
         let word_bytes = config.vector_mem.word_bytes() as f64;
         // Per-array average access counts were recorded per array; scale to
         // the full file.
-        let accesses =
-            (report.sram.reads + report.sram.writes) as f64 * config.array.rows as f64;
-        let sram_pj =
-            accesses * (self.sram_pj_per_access + self.sram_pj_per_byte * word_bytes);
+        let accesses = (report.sram.reads + report.sram.writes) as f64 * config.array.rows as f64;
+        let sram_pj = accesses * (self.sram_pj_per_access + self.sram_pj_per_byte * word_bytes);
         EnergyReport {
             mac_mj: macs * self.mac_pj / 1e9,
             sram_mj: sram_pj / 1e9,
@@ -147,6 +145,11 @@ mod tests {
         }
         // Word 8 amortizes the per-access overhead: less SRAM energy than
         // word 1 for the same delivered data.
-        assert!(totals[1] < totals[0], "w8 {} vs w1 {}", totals[1], totals[0]);
+        assert!(
+            totals[1] < totals[0],
+            "w8 {} vs w1 {}",
+            totals[1],
+            totals[0]
+        );
     }
 }

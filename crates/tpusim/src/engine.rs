@@ -189,9 +189,8 @@ impl Simulator {
         let exposed = cycles - cfg.dispatch_cycles - compute_cycles.min(cycles);
 
         // --- Vector-memory port stats (per-array averages).
-        let row_occ = ((shape.wf * shape.ci) as f64
-            / (passes_per_row as f64 * rows as f64))
-            .min(1.0);
+        let row_occ =
+            ((shape.wf * shape.ci) as f64 / (passes_per_row as f64 * rows as f64)).min(1.0);
         let reads = (stream_cycles as f64 * row_occ / packing as f64) as u64;
         let writes = (m_total * shape.co) as u64 / rows as u64 / packing as u64;
         let col_occ = shape.co as f64 / (shape.co.div_ceil(cols) * cols) as f64;
@@ -235,7 +234,10 @@ impl Simulator {
         let sparse_compute = (dense_compute * density).ceil() as u64;
         let saved = rep.compute_cycles - sparse_compute;
         rep.compute_cycles = sparse_compute;
-        rep.cycles = rep.cycles.saturating_sub(saved).max(self.config().dispatch_cycles);
+        rep.cycles = rep
+            .cycles
+            .saturating_sub(saved)
+            .max(self.config().dispatch_cycles);
         rep.flops = (shape.flops() as f64 * density) as u64;
         let eb = self.config().vector_mem.elem_bytes as u64;
         let dense_w = shape.filter_elems() as u64 * eb;
@@ -252,9 +254,8 @@ impl Simulator {
         let (rows, cols) = (cfg.array.rows, cfg.array.cols);
         let eb = cfg.vector_mem.elem_bytes as u64;
         let passes = k.div_ceil(rows) as u64 * n.div_ceil(cols) as u64;
-        let compute_cycles = passes.div_ceil(cfg.mxus as u64) * m as u64
-            + (rows + cols - 1) as u64
-            + rows as u64;
+        let compute_cycles =
+            passes.div_ceil(cfg.mxus as u64) * m as u64 + (rows + cols - 1) as u64 + rows as u64;
 
         let a_bytes = (m * k) as u64 * eb;
         let b_bytes = (k * n) as u64 * eb;
@@ -267,7 +268,11 @@ impl Simulator {
         let capacity_chunks = a_bytes.div_ceil(budget.max(1)).max(1);
         let chunks = capacity_chunks.max(cfg.min_pipeline_stages);
         let b_resident = b_bytes < cfg.total_sram_bytes() / 4;
-        let b_traffic = if b_resident { b_bytes } else { b_bytes * capacity_chunks };
+        let b_traffic = if b_resident {
+            b_bytes
+        } else {
+            b_bytes * capacity_chunks
+        };
         let mem_cycles = self.dram.transfer_cycles(a_bytes, 4096)
             + self.dram.transfer_cycles(b_traffic, 4096)
             + self.dram.transfer_cycles(c_bytes, 4096);
@@ -411,7 +416,10 @@ mod tests {
             r.tflops(cfg.config())
         };
         let drop = (t1 - t2) / t1;
-        assert!(drop < 0.25, "stride-2 drop {drop:.2} (t1={t1:.1}, t2={t2:.1})");
+        assert!(
+            drop < 0.25,
+            "stride-2 drop {drop:.2} (t1={t1:.1}, t2={t2:.1})"
+        );
     }
 
     #[test]
@@ -447,7 +455,12 @@ mod tests {
         let mut cfg = TpuConfig::tpu_v2();
         cfg.ifmap_layout = Layout::Nchw;
         let nchw = Simulator::new(cfg).simulate_conv("l", &shape, SimMode::ChannelFirst);
-        assert!(nchw.cycles >= hwcn.cycles, "{} vs {}", nchw.cycles, hwcn.cycles);
+        assert!(
+            nchw.cycles >= hwcn.cycles,
+            "{} vs {}",
+            nchw.cycles,
+            hwcn.cycles
+        );
     }
 
     #[test]

@@ -49,7 +49,6 @@ impl Simulator {
     /// assert!(rep.utilization(sim.config()) < 0.05);
     /// # Ok(()) }
     /// ```
-
     pub fn simulate_grouped(
         &self,
         name: &str,

@@ -34,8 +34,8 @@ pub mod report;
 pub mod training;
 
 pub use config::TpuConfig;
+pub use energy::{EnergyModel, EnergyReport};
 pub use engine::{SimMode, Simulator};
 pub use multicore::{Interconnect, MulticoreReport};
 pub use report::{Bottleneck, LayerReport, ModelReport};
-pub use energy::{EnergyModel, EnergyReport};
 pub use training::TrainingReport;

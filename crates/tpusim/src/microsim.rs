@@ -124,9 +124,7 @@ pub fn run_conv<T: Scalar>(
         while col0 < shape.co {
             let ncols = cols.min(shape.co - col0);
             let b = group.b_merged(shape, filter);
-            let b_sub = Matrix::from_fn(group.occupied_rows(shape), ncols, |r, c| {
-                b[(r, col0 + c)]
-            });
+            let b_sub = Matrix::from_fn(group.occupied_rows(shape), ncols, |r, c| b[(r, col0 + c)]);
             let mut array = SystolicArray::with_weights(grid, &b_sub);
             cycles += SystolicArray::<T>::weight_load_cycles(grid);
 
@@ -201,7 +199,7 @@ pub fn run_conv<T: Scalar>(
                     // Every `word_elems` issued rows completes one output
                     // word per active... per Co column group: approximate a
                     // word of results ready per packing interval.
-                    if write_back && (a_rows.len() % spec.word_elems) == 0 {
+                    if write_back && a_rows.len().is_multiple_of(spec.word_elems) {
                         pending_writes += 1;
                     }
                 }
@@ -258,7 +256,6 @@ pub fn run_conv<T: Scalar>(
 /// # Ok(()) }
 /// ```
 ///
-
 pub fn self_check(
     shape: &ConvShape,
     spec: VectorMemSpec,
@@ -334,7 +331,10 @@ mod tests {
         let shape = ConvShape::square(2, 4, 6, 4, 3, 1, 0).unwrap();
         let w1 = self_check(
             &shape,
-            VectorMemSpec { arrays: 4, word_elems: 1 },
+            VectorMemSpec {
+                arrays: 4,
+                word_elems: 1,
+            },
             4,
             3,
             true,
@@ -352,7 +352,10 @@ mod tests {
         let shape = ConvShape::square(2, 4, 6, 4, 3, 1, 0).unwrap();
         let run = self_check(
             &shape,
-            VectorMemSpec { arrays: 4, word_elems: 1 },
+            VectorMemSpec {
+                arrays: 4,
+                word_elems: 1,
+            },
             4,
             3,
             false,

@@ -86,7 +86,6 @@ impl Simulator {
     /// let two = sim.simulate_model_multicore(&model, 2, false, Interconnect::tpu_v2_ici());
     /// assert!(two.speedup > 1.5 && two.efficiency() <= 1.01);
     /// ```
-
     ///
     /// # Panics
     ///
@@ -110,7 +109,10 @@ impl Simulator {
                 .iter()
                 .map(|l| {
                     let mut l2 = l.clone();
-                    l2.shape = ConvShape { n: max_shard, ..l.shape };
+                    l2.shape = ConvShape {
+                        n: max_shard,
+                        ..l.shape
+                    };
                     l2
                 })
                 .collect(),
@@ -142,7 +144,8 @@ impl Simulator {
                 .map(|(r, k)| r.total_cycles() * *k as u64)
                 .sum()
         } else {
-            self.simulate_model(model, SimMode::ChannelFirst).total_cycles()
+            self.simulate_model(model, SimMode::ChannelFirst)
+                .total_cycles()
         }
     }
 }

@@ -27,9 +27,7 @@ pub struct TrainingReport {
 impl TrainingReport {
     /// Total cycles of the step.
     pub fn total_cycles(&self) -> u64 {
-        self.forward.cycles
-            + self.wgrad.cycles
-            + self.dgrad.as_ref().map_or(0, |d| d.cycles)
+        self.forward.cycles + self.wgrad.cycles + self.dgrad.as_ref().map_or(0, |d| d.cycles)
     }
 
     /// Total FLOPs of the step (≈3× the forward pass when dgrad runs).
@@ -128,7 +126,6 @@ impl Simulator {
     /// assert_eq!(step.total_flops(), 3 * step.forward.flops);
     /// # Ok(()) }
     /// ```
-
     pub fn simulate_training_step(
         &self,
         name: &str,

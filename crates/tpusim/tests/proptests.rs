@@ -8,11 +8,11 @@ use proptest::prelude::*;
 
 fn conv_shapes() -> impl Strategy<Value = ConvShape> {
     (
-        1usize..=16,      // n
-        1usize..=256,     // ci
-        1usize..=3,       // hf=wf
-        1usize..=128,     // co
-        1usize..=2,       // stride
+        1usize..=16,  // n
+        1usize..=256, // ci
+        1usize..=3,   // hf=wf
+        1usize..=128, // co
+        1usize..=2,   // stride
         prop::sample::select(vec![7usize, 14, 28, 56]),
     )
         .prop_filter_map("valid", |(n, ci, f, co, s, hw)| {

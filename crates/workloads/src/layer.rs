@@ -131,6 +131,7 @@ impl fmt::Display for Model {
 
 /// Build a square conv layer; panics on inconsistent dims (tables are
 /// static, so a panic is a compile-time-style table bug).
+#[allow(clippy::too_many_arguments)] // mirrors the paper table columns
 pub(crate) fn conv(
     name: &str,
     n: usize,

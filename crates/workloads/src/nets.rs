@@ -60,7 +60,10 @@ pub fn vgg16(n: usize) -> Model {
             ));
         }
     }
-    Model { name: "VGG16", layers }
+    Model {
+        name: "VGG16",
+        layers,
+    }
 }
 
 /// ResNet-50 (He et al. 2016): conv1 plus four bottleneck stages
@@ -93,7 +96,10 @@ pub fn resnet50(n: usize) -> Model {
             }
         }
     }
-    Model { name: "ResNet", layers }
+    Model {
+        name: "ResNet",
+        layers,
+    }
 }
 
 /// GoogLeNet / Inception-v1 (Szegedy et al. 2015): stem plus nine inception
@@ -138,12 +144,26 @@ pub fn densenet121(n: usize) -> Model {
     let bottleneck = 4 * growth; // 128
     let mut layers = vec![conv("conv0", n, 3, 224, 64, 7, 2, 3)];
     let mut ch = 64;
-    let blocks = [(1usize, 6usize, 56usize), (2, 12, 28), (3, 24, 14), (4, 16, 7)];
+    let blocks = [
+        (1usize, 6usize, 56usize),
+        (2, 12, 28),
+        (3, 24, 14),
+        (4, 16, 7),
+    ];
     for (bi, reps, hw) in blocks {
         for l in 0..reps {
             let p = format!("block{bi}_l{}", l + 1);
             layers.push(conv(&format!("{p}_1x1"), n, ch, hw, bottleneck, 1, 1, 0));
-            layers.push(conv(&format!("{p}_3x3"), n, bottleneck, hw, growth, 3, 1, 1));
+            layers.push(conv(
+                &format!("{p}_3x3"),
+                n,
+                bottleneck,
+                hw,
+                growth,
+                3,
+                1,
+                1,
+            ));
             ch += growth;
         }
         if bi < 4 {
@@ -319,7 +339,12 @@ mod tests {
         for m in all_models(1) {
             for l in &m.layers {
                 // ConvShape::square already validated; check output nonzero.
-                assert!(l.shape.out_h() > 0 && l.shape.out_w() > 0, "{} {}", m.name, l);
+                assert!(
+                    l.shape.out_h() > 0 && l.shape.out_w() > 0,
+                    "{} {}",
+                    m.name,
+                    l
+                );
             }
         }
     }

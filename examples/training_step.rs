@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Now time one ResNet-50 training step on each TPU generation.
     let model = resnet50(8);
     println!("\nResNet-50 training step (batch 8):");
-    for (name, cfg) in [("TPU-v2", TpuConfig::tpu_v2()), ("TPU-v3", TpuConfig::tpu_v3())] {
+    for (name, cfg) in [
+        ("TPU-v2", TpuConfig::tpu_v2()),
+        ("TPU-v3", TpuConfig::tpu_v3()),
+    ] {
         let sim = Simulator::new(cfg);
         let reports = sim.simulate_model_training(&model);
         let mut fwd = 0u64;

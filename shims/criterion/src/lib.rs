@@ -1,0 +1,340 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of criterion's API the workspace benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock harness.
+//!
+//! Each benchmark is warmed up, then timed in batches until
+//! [`Criterion::MEASURE_TARGET`] elapses; the reported figure is mean
+//! nanoseconds per iteration over the measured batches. Results print as
+//! aligned human-readable lines and, additionally, as machine-readable
+//! `BENCHJSON {...}` lines that tooling (`scripts`, `BENCH_baseline.json`
+//! refreshes) can grep out of the run output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Timing result of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Full benchmark id (`group/param` or bare function name).
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+    /// Optional elements-per-iteration for throughput reporting.
+    pub elements: Option<u64>,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    samples: Vec<Sample>,
+    /// Warm-up time before measurement starts.
+    warm_up: Duration,
+    /// Measurement time budget per benchmark.
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            samples: Vec::new(),
+            warm_up: Duration::from_millis(30),
+            measure: Duration::from_millis(150),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure the per-benchmark measurement budget (criterion-compatible).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Configure the warm-up time (criterion-compatible).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Ignored; retained for API compatibility.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Run a standalone benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let sample = run_one(id.to_string(), None, self.warm_up, self.measure, |b| f(b));
+        report(&sample);
+        self.samples.push(sample);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// All samples measured so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Print a closing summary. Called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        eprintln!(
+            "[criterion-shim] {} benchmarks measured",
+            self.samples.len()
+        );
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        });
+        self
+    }
+
+    /// Ignored; retained for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored; retained for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.parent.measure = d;
+        self
+    }
+
+    /// Benchmark `f` with `input`, labeled by `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        let sample = run_one(
+            full,
+            self.throughput,
+            self.parent.warm_up,
+            self.parent.measure,
+            |b| f(b, input),
+        );
+        report(&sample);
+        self.parent.samples.push(sample);
+        self
+    }
+
+    /// Benchmark a closure without an explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let sample = run_one(
+            full,
+            self.throughput,
+            self.parent.warm_up,
+            self.parent.measure,
+            |b| f(b),
+        );
+        report(&sample);
+        self.parent.samples.push(sample);
+        self
+    }
+
+    /// Close the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/param` style id.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self(format!("{name}/{param}"))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self(param.to_string())
+    }
+}
+
+/// Units for group throughput reporting.
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the hot code.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Measure `f`, storing mean ns/iter.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, tracking the rate to
+        // pick a batch size that keeps clock overhead negligible.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Aim for batches of ~1ms, at least 1 iteration.
+        let batch = ((1_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        let mut total_iters = 0u64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            total_iters += batch;
+        }
+        let ns = measure_start.elapsed().as_nanos() as f64 / total_iters.max(1) as f64;
+        self.result = Some((ns, total_iters));
+    }
+
+    /// criterion's `iter_batched` collapsed to the same measurement loop.
+    pub fn iter_batched<I, R, S: FnMut() -> I, F: FnMut(I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut f: F,
+        _size: BatchSize,
+    ) {
+        self.iter(|| f(setup()));
+    }
+}
+
+/// Batch sizing hint; ignored by the shim.
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+}
+
+fn run_one(
+    id: String,
+    elements: Option<u64>,
+    warm_up: Duration,
+    measure: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) -> Sample {
+    let mut b = Bencher {
+        warm_up,
+        measure,
+        result: None,
+    };
+    f(&mut b);
+    let (ns_per_iter, iters) = b.result.unwrap_or((f64::NAN, 0));
+    Sample {
+        id,
+        ns_per_iter,
+        iters,
+        elements,
+    }
+}
+
+fn report(s: &Sample) {
+    let throughput = s
+        .elements
+        .map(|e| format!("  ({:.1} Melem/s)", e as f64 / s.ns_per_iter * 1e3))
+        .unwrap_or_default();
+    println!("{:<44} {:>14.1} ns/iter{throughput}", s.id, s.ns_per_iter);
+    println!(
+        "BENCHJSON {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}",
+        s.id, s.ns_per_iter, s.iters
+    );
+}
+
+/// Bundle benchmark functions into a runner callable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` executes bench binaries with `--test`;
+            // there is nothing to test in a timing harness, so exit cleanly.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.samples().len(), 1);
+        let s = &c.samples()[0];
+        assert!(s.iters > 0);
+        assert!(s.ns_per_iter.is_finite() && s.ns_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::new("inner", 42), &3usize, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.samples()[0].id, "grp/inner/42");
+        assert_eq!(c.samples()[0].elements, Some(10));
+    }
+}

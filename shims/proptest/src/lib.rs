@@ -1,0 +1,464 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate re-implements the small slice of proptest's API the workspace
+//! actually uses: the [`proptest!`] macro, range/tuple/`select` strategies,
+//! `prop_map` / `prop_filter_map` combinators, `prop_assert!` family, and a
+//! deterministic [`test_runner::TestRunner`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in the
+//!   panic message (via the assertion text) but is not minimized.
+//! * **Fully deterministic.** Every runner starts from a fixed seed, so a
+//!   failure reproduces on every run and `*.proptest-regressions` files are
+//!   ignored.
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+
+    /// A generator of random values of type `Value`.
+    ///
+    /// Unlike real proptest there is no intermediate value tree: strategies
+    /// generate values directly from the runner's RNG.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Compatibility with `Strategy::new_tree`: returns a leaf "tree"
+        /// holding one generated value.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<LeafTree<Self::Value>, String>
+        where
+            Self::Value: Clone,
+        {
+            Ok(LeafTree {
+                value: self.generate(runner),
+            })
+        }
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Map generated values through `f`, retrying (up to an internal
+        /// limit) whenever `f` returns `None`. `whence` labels the filter in
+        /// the panic message if the limit is exhausted.
+        fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Keep only values for which `f` returns `true`.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+    }
+
+    /// Minimal stand-in for proptest's `ValueTree`: a leaf with no shrinking.
+    pub trait ValueTree {
+        /// The value type.
+        type Value;
+        /// The current (and only) value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The concrete tree produced by [`Strategy::new_tree`].
+    #[derive(Debug, Clone)]
+    pub struct LeafTree<T> {
+        pub(crate) value: T,
+    }
+
+    impl<T: Clone> ValueTree for LeafTree<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.value.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+        type Value = U;
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            for _ in 0..10_000 {
+                if let Some(v) = (self.f)(self.inner.generate(runner)) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter_map '{}' rejected 10000 consecutive cases",
+                self.whence
+            );
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, runner: &mut TestRunner) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(runner);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 10000 consecutive cases",
+                self.whence
+            );
+        }
+    }
+
+    /// Always yields a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Integers samplable from a `u64` draw; implemented for the integer
+    /// types the workspace generates.
+    pub trait SampleInt: Copy + PartialOrd {
+        fn to_u64(self) -> u64;
+        fn from_u64(v: u64) -> Self;
+    }
+
+    macro_rules! impl_sample_int {
+        ($($t:ty),*) => {$(
+            impl SampleInt for $t {
+                fn to_u64(self) -> u64 {
+                    self as u64
+                }
+                fn from_u64(v: u64) -> Self {
+                    v as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_int!(usize, u64, u32, u16, u8, i64, i32);
+
+    impl<T: SampleInt> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+            assert!(lo < hi, "empty range strategy");
+            T::from_u64(lo + runner.next_u64() % (hi - lo))
+        }
+    }
+
+    impl<T: SampleInt> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+            assert!(lo <= hi, "empty range strategy");
+            let span = hi - lo + 1;
+            T::from_u64(
+                lo + if span == 0 {
+                    runner.next_u64()
+                } else {
+                    runner.next_u64() % span
+                },
+            )
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, runner: &mut TestRunner) -> f64 {
+            self.start + runner.next_unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.generate(runner),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Uniformly select one element of `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            self.options[(runner.next_u64() % self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration; only the case count is honored.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    /// proptest names this `ProptestConfig` in its prelude.
+    pub type ProptestConfig = Config;
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Deterministic RNG driving all strategies (xorshift64*).
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        state: u64,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed seed: every run of the suite sees the same
+        /// case sequence.
+        pub fn deterministic() -> Self {
+            Self {
+                state: 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state ^= self.state >> 12;
+            self.state ^= self.state << 25;
+            self.state ^= self.state >> 27;
+            self.state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Next value in `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            Self::deterministic()
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of proptest's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::sample;
+    }
+}
+
+/// Run each contained test function over many random strategy draws.
+///
+/// Supports the same surface syntax as proptest's macro for the cases used in
+/// this workspace: an optional `#![proptest_config(...)]` header and test
+/// functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::deterministic();
+            for case in 0..config.cases {
+                let _ = case;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut runner);)*
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::{Strategy, ValueTree};
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = TestRunner::deterministic();
+        for _ in 0..1000 {
+            let v = (3usize..10).generate(&mut r);
+            assert!((3..10).contains(&v));
+            let w = (5u64..=5).generate(&mut r);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let strat = (1usize..100, 0u64..1000);
+        let a: Vec<_> = {
+            let mut r = TestRunner::deterministic();
+            (0..32).map(|_| strat.generate(&mut r)).collect()
+        };
+        let b: Vec<_> = {
+            let mut r = TestRunner::deterministic();
+            (0..32).map(|_| strat.generate(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn filter_map_retries() {
+        let mut r = TestRunner::deterministic();
+        let evens = (0usize..1000).prop_filter_map("even", |v| (v % 2 == 0).then_some(v));
+        for _ in 0..100 {
+            assert_eq!(evens.generate(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn select_draws_all_options() {
+        let mut r = TestRunner::deterministic();
+        let s = prop::sample::select(vec![1, 2, 3]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.generate(&mut r) - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn new_tree_yields_current() {
+        let mut r = TestRunner::deterministic();
+        let t = (7usize..8).new_tree(&mut r).unwrap();
+        assert_eq!(t.current(), 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: multiple args, tuple strategies, prop_asserts.
+        #[test]
+        fn macro_roundtrip(a in 1usize..=4, (b, c) in (0u64..10, 2i64..5)) {
+            prop_assert!((1..=4).contains(&a));
+            prop_assert!(b < 10);
+            prop_assert_eq!(c.signum(), 1);
+            prop_assert_ne!(c, 0);
+        }
+    }
+}

@@ -19,7 +19,11 @@ fn cases() -> Vec<ConvShape> {
         // Pointwise.
         ConvShape::square(2, 6, 7, 3, 1, 1, 0).unwrap(),
         // Dilated (Sec. II: deformable/dilated motivate implicit im2col).
-        ConvShape::new(1, 2, 11, 11, 3, 3, 3).dilation(2).pad(2).build().unwrap(),
+        ConvShape::new(1, 2, 11, 11, 3, 3, 3)
+            .dilation(2)
+            .pad(2)
+            .build()
+            .unwrap(),
         // Fully asymmetric.
         ConvShape::new(2, 5, 8, 12, 7, 3, 2)
             .stride_hw(2, 1)
@@ -43,11 +47,19 @@ fn every_algorithm_matches_direct_convolution() {
             ConvAlgorithm::ImplicitChannelFirst { group_size: 1 },
             ConvAlgorithm::ImplicitChannelFirst { group_size: 4 },
             ConvAlgorithm::ImplicitChannelFirstBlocked(
-                BlockConfig { bm: 32, bn: 8, bk: 4 },
+                BlockConfig {
+                    bm: 32,
+                    bn: 8,
+                    bk: 4,
+                },
                 FetchOrder::Naive,
             ),
             ConvAlgorithm::ImplicitChannelFirstBlocked(
-                BlockConfig { bm: 32, bn: 8, bk: 4 },
+                BlockConfig {
+                    bm: 32,
+                    bn: 8,
+                    bk: 4,
+                },
                 FetchOrder::Reordered,
             ),
         ];
@@ -68,10 +80,16 @@ fn systolic_array_executes_all_cases_bit_exactly() {
         // Array just big enough for the TPU schedule of this shape.
         let sched = TileSchedule::tpu(&shape, 64);
         let rows = sched.max_occupied_rows(&shape).max(1);
-        let cfg = ArrayConfig { rows, cols: shape.co.min(8) };
+        let cfg = ArrayConfig {
+            rows,
+            cols: shape.co.min(8),
+        };
         let run = run_conv_channel_first(cfg, &shape, &x, &f, &sched);
         assert!(want.approx_eq(&run.ofmap, 0.0), "case {i} ({shape})");
-        assert_eq!(run.cycles, run.predicted_cycles, "case {i}: timing model drift");
+        assert_eq!(
+            run.cycles, run.predicted_cycles,
+            "case {i}: timing model drift"
+        );
     }
 }
 

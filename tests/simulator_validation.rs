@@ -27,7 +27,11 @@ fn fig13a_gemm_validation_error_under_7_percent() {
         }
     }
     let err = mean_abs_pct_error(&pairs);
-    assert!(err < 0.07, "GEMM validation error {:.2}% (paper 4.42%)", 100.0 * err);
+    assert!(
+        err < 0.07,
+        "GEMM validation error {:.2}% (paper 4.42%)",
+        100.0 * err
+    );
 }
 
 #[test]
@@ -42,7 +46,11 @@ fn fig15_layerwise_mae_under_8_percent() {
         }
     }
     let err = mean_abs_pct_error(&pairs);
-    assert!(err < 0.08, "layer-wise MAE {:.2}% (paper 5.8%)", 100.0 * err);
+    assert!(
+        err < 0.08,
+        "layer-wise MAE {:.2}% (paper 5.8%)",
+        100.0 * err
+    );
 }
 
 #[test]
@@ -73,7 +81,10 @@ fn fig16a_utilization_drops_as_array_grows() {
         let sim = Simulator::new(cfg);
         let rep = sim.simulate_model(&model, SimMode::ChannelFirst);
         let util = rep.tflops(&cfg) / cfg.peak_tflops();
-        assert!(util < prev, "utilization must fall with array size ({size})");
+        assert!(
+            util < prev,
+            "utilization must fall with array size ({size})"
+        );
         prev = util;
     }
 }
@@ -153,7 +164,16 @@ fn fig04b_tpu_is_stride_insensitive_where_gpu_is_not() {
     }
     let tpu_avg = tpu_drops.iter().sum::<f64>() / 4.0;
     let gpu_avg = gpu_drops.iter().sum::<f64>() / 4.0;
-    assert!(tpu_avg < 0.1, "TPU stride-2 drop {tpu_avg:.2} should be small");
-    assert!(gpu_avg > 0.2, "GPU stride-2 drop {gpu_avg:.2} should be large");
-    assert!(gpu_avg > 3.0 * tpu_avg, "GPU must degrade far more than TPU");
+    assert!(
+        tpu_avg < 0.1,
+        "TPU stride-2 drop {tpu_avg:.2} should be small"
+    );
+    assert!(
+        gpu_avg > 0.2,
+        "GPU stride-2 drop {gpu_avg:.2} should be large"
+    );
+    assert!(
+        gpu_avg > 3.0 * tpu_avg,
+        "GPU must degrade far more than TPU"
+    );
 }
