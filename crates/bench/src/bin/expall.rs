@@ -5,34 +5,21 @@
 //! experiments render into buffers which are printed in figure order.
 //! Worker count: `--jobs N` beats `ICONV_JOBS`, which beats the core count.
 //! Per-experiment wall-clock timings go to stderr and into the `timings`
-//! key of `results/summary.json`.
+//! key of `results/summary.json`; per-experiment trace counters land in its
+//! `counters` key, and `--trace DIR` additionally writes one Chrome-trace
+//! JSON per experiment into `DIR` (open in Perfetto or `chrome://tracing`).
 
-use iconv_bench::{par, summary};
-
-fn jobs_from_args() -> usize {
-    let parse = |v: &str| {
-        v.parse()
-            .unwrap_or_else(|_| panic!("invalid job count {v:?}"))
-    };
-    let mut jobs = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--jobs" || a == "-j" {
-            let v = args
-                .next()
-                .unwrap_or_else(|| panic!("{a} requires a value"));
-            jobs = Some(parse(&v));
-        } else if let Some(v) = a.strip_prefix("--jobs=") {
-            jobs = Some(parse(v));
-        } else {
-            panic!("unknown argument {a:?}; usage: expall [--jobs N]");
-        }
-    }
-    jobs.unwrap_or_else(iconv_par::default_jobs)
-}
+use iconv_bench::{cli, par, summary, traces};
 
 fn main() {
-    let jobs = jobs_from_args();
+    let args = match cli::parse_expall_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("expall: {err}");
+            std::process::exit(2);
+        }
+    };
+    let jobs = args.jobs.unwrap_or_else(iconv_par::default_jobs);
     let t0 = std::time::Instant::now();
 
     let runs = par::run_experiments(jobs);
@@ -40,13 +27,26 @@ fn main() {
         print!("{}", r.report);
     }
 
+    let t_trace = std::time::Instant::now();
+    let recs = traces::build_traces(jobs);
+    let counters = traces::rollup(&recs);
+    if let Some(dir) = &args.trace_dir {
+        let dir = std::path::Path::new(dir);
+        match traces::write_chrome_traces(dir, &recs) {
+            Ok(()) => eprintln!("[wrote {} chrome traces to {}]", recs.len(), dir.display()),
+            Err(err) => eprintln!("[could not write traces to {}: {err}]", dir.display()),
+        }
+    }
+
     let t_summary = std::time::Instant::now();
     let summary = summary::compute_jobs(jobs);
     let mut timings: Vec<(&str, f64)> = runs.iter().map(|r| (r.name, r.seconds)).collect();
+    timings.push(("traces", (t_summary - t_trace).as_secs_f64()));
     timings.push(("summary", t_summary.elapsed().as_secs_f64()));
 
-    // Machine-readable headline metrics + timings for regression tracking.
-    let json = summary::to_json_with_timings(&summary, &timings);
+    // Machine-readable headline metrics + counters + timings for regression
+    // tracking.
+    let json = summary::to_json_full(&summary, &counters, &timings);
     match std::fs::create_dir_all("results")
         .and_then(|()| std::fs::write("results/summary.json", &json))
     {

@@ -1,0 +1,120 @@
+//! Command-line parsing for the `expall` runner, split out of the binary so
+//! the accepted grammar is unit-testable (the binary only maps a parse
+//! error to exit code 2).
+
+/// Usage string printed on any argument error.
+pub const USAGE: &str = "usage: expall [--jobs N | -j N] [--trace DIR]";
+
+/// Parsed `expall` arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExpallArgs {
+    /// Worker count (`--jobs N`); `None` defers to `ICONV_JOBS` / core count.
+    pub jobs: Option<usize>,
+    /// Directory to write per-experiment Chrome traces into (`--trace DIR`).
+    pub trace_dir: Option<String>,
+}
+
+/// Parse `expall` arguments (without the leading program name).
+///
+/// Accepts `--jobs N`, `-j N`, `--jobs=N`, `--trace DIR` and `--trace=DIR`.
+/// A job count of `0` is rejected — the previous behaviour silently handed
+/// `0` to the thread-pool fan-out, which treats it as "no workers" and
+/// hangs — as is any unknown argument or missing value.
+pub fn parse_expall_args(args: impl IntoIterator<Item = String>) -> Result<ExpallArgs, String> {
+    let mut parsed = ExpallArgs::default();
+    let mut args = args.into_iter();
+    let jobs = |v: &str| -> Result<usize, String> {
+        let n: usize = v
+            .parse()
+            .map_err(|_| format!("invalid job count {v:?}; {USAGE}"))?;
+        if n == 0 {
+            return Err(format!("--jobs must be >= 1 (got 0); {USAGE}"));
+        }
+        Ok(n)
+    };
+    while let Some(a) = args.next() {
+        if a == "--jobs" || a == "-j" {
+            let v = args
+                .next()
+                .ok_or_else(|| format!("{a} requires a value; {USAGE}"))?;
+            parsed.jobs = Some(jobs(&v)?);
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            parsed.jobs = Some(jobs(v)?);
+        } else if a == "--trace" {
+            let v = args
+                .next()
+                .ok_or_else(|| format!("{a} requires a value; {USAGE}"))?;
+            parsed.trace_dir = Some(v);
+        } else if let Some(v) = a.strip_prefix("--trace=") {
+            parsed.trace_dir = Some(v.to_string());
+        } else {
+            return Err(format!("unknown argument {a:?}; {USAGE}"));
+        }
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExpallArgs, String> {
+        parse_expall_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn empty_is_all_defaults() {
+        assert_eq!(parse(&[]).unwrap(), ExpallArgs::default());
+    }
+
+    #[test]
+    fn jobs_forms_agree() {
+        for args in [&["--jobs", "3"][..], &["-j", "3"], &["--jobs=3"]] {
+            let p = parse(args).unwrap();
+            assert_eq!(p.jobs, Some(3), "{args:?}");
+            assert_eq!(p.trace_dir, None);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_rejected() {
+        for args in [&["--jobs", "0"][..], &["-j", "0"], &["--jobs=0"]] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains(">= 1"), "{args:?}: {err}");
+            assert!(err.contains(USAGE), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn garbage_jobs_is_rejected() {
+        assert!(parse(&["--jobs", "many"])
+            .unwrap_err()
+            .contains("invalid job count"));
+        assert!(parse(&["--jobs"]).unwrap_err().contains("requires a value"));
+    }
+
+    #[test]
+    fn trace_forms_agree() {
+        for args in [&["--trace", "out/tr"][..], &["--trace=out/tr"]] {
+            assert_eq!(parse(args).unwrap().trace_dir.as_deref(), Some("out/tr"));
+        }
+        assert!(parse(&["--trace"])
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn combined_and_unknown() {
+        let p = parse(&["--jobs=2", "--trace", "t"]).unwrap();
+        assert_eq!(
+            p,
+            ExpallArgs {
+                jobs: Some(2),
+                trace_dir: Some("t".into())
+            }
+        );
+        assert!(parse(&["--job", "2"])
+            .unwrap_err()
+            .contains("unknown argument"));
+    }
+}

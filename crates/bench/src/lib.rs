@@ -8,7 +8,9 @@
 //! --bin fig13`, or everything with `--bin expall`.
 
 pub mod ablations;
+pub mod cli;
 pub mod experiments;
 pub mod fmt;
 pub mod par;
 pub mod summary;
+pub mod traces;

@@ -169,6 +169,40 @@ pub fn to_json_with_timings(summary: &Summary, timings: &[(&str, f64)]) -> Strin
     out
 }
 
+/// [`to_json_with_timings`] plus a `counters` object of rolled-up trace
+/// counters (`"<experiment>.<counter>": value` — see [`crate::traces`]).
+/// The metrics body is embedded byte-for-byte, so the determinism surface
+/// is unchanged; the counters themselves are also deterministic across
+/// worker counts (see `tests/determinism.rs`).
+pub fn to_json_full(
+    summary: &Summary,
+    counters: &[(String, u64)],
+    timings: &[(&str, f64)],
+) -> String {
+    let mut out = String::from("{\n");
+    push_metrics(&mut out, summary);
+    out.push_str(",\n  \"counters\": {\n");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            name,
+            value,
+            if i + 1 < counters.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"timings\": {\n");
+    for (i, (name, secs)) in timings.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {:.3}{}\n",
+            name,
+            secs,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
 /// The shared `"metrics": [...]` body (no trailing newline or comma).
 fn push_metrics(out: &mut String, summary: &Summary) {
     out.push_str("  \"metrics\": [\n");

@@ -1,7 +1,7 @@
 //! End-to-end determinism of the parallel experiment engine: fan-out must
 //! never change what `expall` prints or what `results/summary.json` records.
 
-use iconv_bench::{par, summary};
+use iconv_bench::{par, summary, traces};
 
 /// Every experiment report is byte-identical between a sequential run and a
 /// 4-worker run, and arrives in figure order. The two slowest experiments
@@ -51,4 +51,34 @@ fn timings_json_embeds_identical_metrics() {
     assert!(timed.contains("\"timings\": {"));
     assert!(timed.contains("\"table1\": 0.250"));
     assert!(timed.contains("\"fig02\": 1.500"));
+}
+
+/// The rolled-up trace counters — the other deterministic block of
+/// `results/summary.json` — are identical for 1 and 4 workers, span every
+/// simulator namespace, and embed into the full document without touching
+/// the metrics body.
+#[test]
+fn trace_counters_identical_across_worker_counts() {
+    let seq = traces::rollup(&traces::build_traces(1));
+    let par4 = traces::rollup(&traces::build_traces(4));
+    assert_eq!(seq, par4, "trace counters depend on worker count");
+    for ns in ["tpusim.", "gpusim.", "dram.", "sram."] {
+        assert!(
+            seq.iter().any(|(k, _)| k.contains(ns)),
+            "no {ns} counters in the rollup"
+        );
+    }
+
+    let s = summary::compute_jobs(2);
+    let plain = summary::to_json(&s);
+    let full = summary::to_json_full(&s, &seq, &[("table1", 0.25)]);
+    let metrics_body = plain
+        .strip_suffix("\n}\n")
+        .expect("metrics json shape changed");
+    assert!(
+        full.starts_with(&format!("{metrics_body},\n")),
+        "full document must embed the metrics body byte-for-byte"
+    );
+    assert!(full.contains("\"counters\": {"));
+    assert!(full.contains("\"fig13.tpusim.cycles\": "));
 }

@@ -6,6 +6,7 @@
 //! that the closed-form efficiency curve has the right shape.
 
 use crate::model::DramConfig;
+use iconv_trace::{NullSink, TraceSink};
 
 /// One read request: `bytes` starting at byte address `addr`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,11 +88,21 @@ impl BankSim {
     /// CAS latency is pipelined: it adds to the completion time of a burst,
     /// not to the bank's availability for the next one.
     pub fn run(&mut self, requests: &[Request]) -> u64 {
+        self.run_traced(requests, &mut NullSink)
+    }
+
+    /// [`BankSim::run`] emitting per-burst row hit/miss/activate events on
+    /// a `dram` track (span start = bus start cycle, duration = burst bus
+    /// time) plus `dram.*` counters into `sink`.
+    pub fn run_traced(&mut self, requests: &[Request], sink: &mut dyn TraceSink) -> u64 {
         let c = self.config;
         // Data-bus cycles per burst at peak bandwidth.
         let burst_cycles = (c.burst_bytes as f64 / c.bytes_per_cycle).max(f64::MIN_POSITIVE);
         let mut bus_free = 0f64;
         let mut finish = 0f64;
+        let hits0 = self.stats_row_hits;
+        let misses0 = self.stats_row_misses;
+        let mut activates = 0u64;
         for req in requests {
             let mut addr = req.addr;
             let end = req.addr + req.bytes;
@@ -99,18 +110,23 @@ impl BankSim {
                 let (bank_idx, row) = self.bank_and_row(addr);
                 let bank = &mut self.banks[bank_idx];
                 // Earliest cycle the bank can put data on the bus.
-                let bank_ready = match bank.open_row {
+                let (bank_ready, hit) = match bank.open_row {
                     Some(open) if open == row => {
                         self.stats_row_hits += 1;
-                        bank.ready_at as f64
+                        (bank.ready_at as f64, true)
                     }
                     Some(_) => {
                         self.stats_row_misses += 1;
-                        bank.ready_at as f64 + (c.t_precharge + c.t_activate) as f64
+                        activates += 1;
+                        (
+                            bank.ready_at as f64 + (c.t_precharge + c.t_activate) as f64,
+                            false,
+                        )
                     }
                     None => {
                         self.stats_row_misses += 1;
-                        bank.ready_at as f64 + c.t_activate as f64
+                        activates += 1;
+                        (bank.ready_at as f64 + c.t_activate as f64, false)
                     }
                 };
                 bank.open_row = Some(row);
@@ -120,10 +136,37 @@ impl BankSim {
                 bank.ready_at = done as u64;
                 // CAS latency delays arrival of this burst's data only.
                 finish = finish.max(done + c.t_cas as f64);
+                if sink.enabled() {
+                    if !hit {
+                        // The activate occupies the window ending when the
+                        // bank becomes ready.
+                        sink.span(
+                            "dram",
+                            "activate",
+                            bank_ready as u64 - c.t_activate,
+                            c.t_activate,
+                        );
+                    }
+                    sink.span(
+                        "dram",
+                        if hit { "row-hit" } else { "row-miss" },
+                        start as u64,
+                        burst_cycles.ceil() as u64,
+                    );
+                }
                 addr += c.burst_bytes - (addr % c.burst_bytes);
             }
         }
+        sink.counter("dram.requests", requests.len() as u64);
+        sink.counter("dram.row_hits", self.stats_row_hits - hits0);
+        sink.counter("dram.row_misses", self.stats_row_misses - misses0);
+        sink.counter("dram.activates", activates);
         c.base_latency + finish.ceil() as u64
+    }
+
+    /// Total burst-granular accesses so far (`row_hits + row_misses`).
+    pub fn accesses(&self) -> u64 {
+        self.stats_row_hits + self.stats_row_misses
     }
 
     /// Row-buffer hit count so far.
@@ -240,6 +283,65 @@ mod tests {
         let mut sim = BankSim::new(cfg());
         assert_eq!(sim.run(&[]), cfg().base_latency);
         assert_eq!(sim.hit_rate(), 0.0);
+    }
+
+    /// Independent burst count for a request: how many `burst_bytes`
+    /// boundaries the byte range `[addr, addr + bytes)` touches.
+    fn expected_bursts(reqs: &[Request], burst_bytes: u64) -> u64 {
+        reqs.iter()
+            .map(|r| {
+                let first = r.addr / burst_bytes;
+                let last = (r.addr + r.bytes - 1) / burst_bytes;
+                last - first + 1
+            })
+            .sum()
+    }
+
+    #[test]
+    fn hits_plus_misses_account_for_every_request() {
+        // Every burst-granular access is classified exactly once — no
+        // request slips through unclassified, none is double counted.
+        for reqs in [
+            sequential(1 << 16),
+            scattered(512),
+            vec![Request::new(30, 100)],
+        ] {
+            let mut sim = BankSim::new(cfg());
+            sim.run(&reqs);
+            assert_eq!(
+                sim.row_hits() + sim.row_misses(),
+                expected_bursts(&reqs, cfg().burst_bytes),
+            );
+            assert_eq!(sim.accesses(), sim.row_hits() + sim.row_misses());
+            assert!(sim.accesses() >= reqs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn traced_run_emits_classified_events() {
+        use iconv_trace::Recorder;
+        let reqs = sequential(1 << 12);
+        let mut rec = Recorder::new();
+        let mut sim = BankSim::new(cfg());
+        let traced_cycles = sim.run_traced(&reqs, &mut rec);
+        // Tracing must not perturb timing or stats.
+        let mut plain = BankSim::new(cfg());
+        assert_eq!(plain.run(&reqs), traced_cycles);
+        assert_eq!(plain.row_hits(), sim.row_hits());
+        // Counters mirror the stats; every access got a span.
+        assert_eq!(rec.counters()["dram.row_hits"], sim.row_hits());
+        assert_eq!(rec.counters()["dram.row_misses"], sim.row_misses());
+        assert_eq!(rec.counters()["dram.requests"], reqs.len() as u64);
+        assert_eq!(
+            rec.counters()["dram.activates"],
+            rec.counters()["dram.row_misses"]
+        );
+        let bursts = rec
+            .spans()
+            .iter()
+            .filter(|s| s.name == "row-hit" || s.name == "row-miss")
+            .count() as u64;
+        assert_eq!(bursts, sim.accesses());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::config::GpuConfig;
 use crate::kernel::{time_kernel, KernelTiming};
 use crate::traffic;
 use iconv_tensor::ConvShape;
+use iconv_trace::TraceSink;
 use iconv_workloads::Model;
 use std::fmt;
 
@@ -187,6 +188,55 @@ impl GpuSim {
         }
     }
 
+    /// [`GpuSim::simulate_conv`] with kernel stages emitted into `sink`:
+    /// a `launch`/`transform`/`exec` span partition of the (rounded) total
+    /// on a per-layer track, the overlapped compute and DRAM-traffic
+    /// durations on detail tracks, and `gpusim.*` counters.
+    pub fn simulate_conv_traced(
+        &self,
+        name: &str,
+        shape: &ConvShape,
+        algo: GpuAlgo,
+        sink: &mut dyn TraceSink,
+    ) -> GpuLayerReport {
+        let rep = self.simulate_conv(name, shape, algo);
+        let total = rep.timing.cycles.round() as u64;
+        // Clamp each stage in turn so the three spans partition the rounded
+        // total exactly even at rounding boundaries.
+        let launch = self.config.launch_cycles.min(total);
+        let transform = (rep.transform_cycles.round() as u64).min(total - launch);
+        let exec = total - launch - transform;
+        if sink.enabled() {
+            let track = format!("{name} [{algo}]");
+            sink.span(&track, "launch", 0, launch);
+            sink.span(&track, "transform", launch, transform);
+            sink.span(&track, "exec", launch + transform, exec);
+            let compute = rep.timing.compute_cycles.round() as u64;
+            let memory = rep.timing.memory_cycles.round() as u64;
+            sink.span(
+                &format!("{track} compute"),
+                "tensor-core",
+                launch + transform,
+                compute,
+            );
+            sink.span(
+                &format!("{track} memory"),
+                "dram-traffic",
+                launch + transform,
+                memory,
+            );
+            sink.counter("gpusim.layers", 1);
+            sink.counter("gpusim.cycles", total);
+            sink.counter("gpusim.launch_cycles", launch);
+            sink.counter("gpusim.transform_cycles", transform);
+            sink.counter("gpusim.compute_cycles", compute);
+            sink.counter("gpusim.memory_cycles", memory);
+            sink.counter("gpusim.blocks", rep.timing.blocks);
+            sink.counter("gpusim.flops", rep.timing.flops);
+        }
+        rep
+    }
+
     /// Simulate every layer of a model; returns per-layer reports (paired
     /// with their occurrence counts) in execution order.
     pub fn simulate_model(&self, model: &Model, algo: GpuAlgo) -> Vec<(GpuLayerReport, usize)> {
@@ -331,6 +381,31 @@ mod tests {
             with.timing.cycles,
             without.timing.cycles
         );
+    }
+
+    #[test]
+    fn traced_stages_partition_rounded_cycles() {
+        use iconv_trace::Recorder;
+        let s = sim();
+        let shape = layer(128, 28, 128, 3, 2);
+        for algo in [
+            GpuAlgo::CudnnImplicit,
+            GpuAlgo::ChannelFirst { reuse: true },
+            GpuAlgo::ExplicitIm2col,
+            GpuAlgo::GemmEquivalent,
+        ] {
+            let mut rec = Recorder::new();
+            let rep = s.simulate_conv_traced("l", &shape, algo, &mut rec);
+            let track = format!("l [{algo}]");
+            assert_eq!(
+                rec.track_total(&track),
+                rep.timing.cycles.round() as u64,
+                "{algo}"
+            );
+            assert_eq!(rec.counters()["gpusim.blocks"], rep.timing.blocks);
+            // Traced and plain runs agree.
+            assert_eq!(rep, s.simulate_conv("l", &shape, algo));
+        }
     }
 
     #[test]

@@ -79,6 +79,20 @@ impl PortStats {
     pub fn stall_factor(&self) -> f64 {
         self.demand().max(1.0)
     }
+
+    /// Emit this interval's activity as counters: port cycles, reads,
+    /// writes, and the cycles by which demand oversubscribes the single
+    /// port (`max(reads + writes − cycles, 0)` — zero whenever the
+    /// interleave argument of Sec. IV-A holds).
+    pub fn record(&self, sink: &mut dyn iconv_trace::TraceSink) {
+        sink.counter("sram.port_cycles", self.cycles);
+        sink.counter("sram.reads", self.reads);
+        sink.counter("sram.writes", self.writes);
+        sink.counter(
+            "sram.stall_cycles",
+            (self.reads + self.writes).saturating_sub(self.cycles),
+        );
+    }
 }
 
 /// Steady-state per-array stats for streaming a GEMM through word-size-`w`
@@ -153,6 +167,29 @@ mod tests {
         });
         assert_eq!(a.cycles, 200);
         assert!((a.demand() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_emits_port_counters() {
+        let mut rec = iconv_trace::Recorder::new();
+        let s = PortStats {
+            cycles: 100,
+            reads: 80,
+            writes: 60,
+        };
+        s.record(&mut rec);
+        assert_eq!(rec.counters()["sram.port_cycles"], 100);
+        assert_eq!(rec.counters()["sram.reads"], 80);
+        assert_eq!(rec.counters()["sram.writes"], 60);
+        // 140 accesses into 100 single-port cycles: 40 serialize.
+        assert_eq!(rec.counters()["sram.stall_cycles"], 40);
+        let ok = PortStats {
+            cycles: 100,
+            reads: 12,
+            writes: 12,
+        };
+        ok.record(&mut rec);
+        assert_eq!(rec.counters()["sram.stall_cycles"], 40); // unchanged
     }
 
     #[test]

@@ -122,6 +122,13 @@ impl ConvShapeBuilder {
     /// "Same" padding: choose padding so that `Ho = ceil(Hi/stride)`.
     ///
     /// Only exact for odd effective filter sizes; the common CNN case.
+    /// For an *even* effective filter `f`, symmetric padding cannot hit the
+    /// target exactly: `pad = f/2` on both sides over-pads by one, so a
+    /// stride-1 layer comes out one *larger* (`Ho = Hi + 1`). Frameworks
+    /// that support even "same" filters pad asymmetrically
+    /// (`left = (f−1)/2`, `right = f/2`); this builder keeps a single
+    /// per-axis `pad` field, so it inherits the symmetric rounding — see
+    /// `same_pad_overshoots_by_one_for_even_filters`.
     pub fn same_pad(mut self) -> Self {
         let eff_h = self.shape.dil_h * (self.shape.hf - 1) + 1;
         let eff_w = self.shape.dil_w * (self.shape.wf - 1) + 1;
@@ -384,6 +391,26 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!((s.out_h(), s.out_w()), (14, 14));
+    }
+
+    /// Even effective filters have no symmetric "same" padding: `pad = f/2`
+    /// on both sides adds one extra row/column, so stride 1 yields
+    /// `Ho = Hi + 1` (and stride 2 yields `Hi/2 + 1`) rather than the
+    /// `ceil(Hi/stride)` target documented on [`ConvShapeBuilder::same_pad`].
+    #[test]
+    fn same_pad_overshoots_by_one_for_even_filters() {
+        let s = ConvShape::new(1, 4, 14, 14, 4, 4, 4)
+            .same_pad()
+            .build()
+            .unwrap();
+        assert_eq!((s.pad_h, s.pad_w), (2, 2));
+        assert_eq!((s.out_h(), s.out_w()), (15, 15));
+        let s = ConvShape::new(1, 4, 14, 14, 4, 2, 2)
+            .stride(2)
+            .same_pad()
+            .build()
+            .unwrap();
+        assert_eq!((s.out_h(), s.out_w()), (8, 8)); // target was ceil(14/2) = 7
     }
 
     #[test]

@@ -11,12 +11,57 @@
 //! the Fig. 3/8 pipeline.
 
 use crate::config::TpuConfig;
-use crate::report::{LayerReport, ModelReport};
+use crate::report::{LayerReport, ModelReport, Phases};
 use iconv_core::schedule::{tpu_group_size, TileSchedule};
 use iconv_dram::DramModel;
 use iconv_sram::PortStats;
 use iconv_tensor::{ConvShape, Layout};
+use iconv_trace::{NullSink, TraceSink};
 use iconv_workloads::Model;
+
+/// Steady-state cycles of a `chunks`-stage double-buffered pipeline whose
+/// compute and memory totals are distributed across the stages with the
+/// remainders riding on the leading chunks: chunk `i` runs
+/// `max(compute_i, mem_i)` where `compute_i = compute/chunks + (i < compute
+/// % chunks)` (same for memory). Closed form of `Σᵢ max(compute_i, mem_i)`
+/// over the three index bands, so no per-chunk loop. The result is ≥ both
+/// totals, which is what makes `exposed = first_fill + steady − compute`
+/// non-negative by construction (the conservation invariant).
+pub(crate) fn chunked_steady(compute: u64, mem: u64, chunks: u64) -> u64 {
+    debug_assert!(chunks > 0);
+    let (qc, rc) = (compute / chunks, compute % chunks);
+    let (qm, rm) = (mem / chunks, mem % chunks);
+    let lo = rc.min(rm); // chunks where both carry a remainder cycle
+    let hi = rc.max(rm); // ...where exactly one does
+    let mid = if rc >= rm {
+        (qc + 1).max(qm)
+    } else {
+        qc.max(qm + 1)
+    };
+    lo * (qc.max(qm) + 1) + (hi - lo) * mid + (chunks - hi) * qc.max(qm)
+}
+
+/// Emit the conserved span partition and the standard per-layer counters
+/// for a finished report, and (in debug builds) check the invariants.
+fn emit_layer_trace(sink: &mut dyn TraceSink, rep: &LayerReport) {
+    debug_assert!(rep.assert_conserved());
+    if !sink.enabled() {
+        return;
+    }
+    let p = rep.phases;
+    sink.span(&rep.name, "dispatch", 0, p.dispatch);
+    sink.span(&rep.name, "ifmap-fill", p.dispatch, p.first_fill);
+    sink.span(&rep.name, "steady", p.dispatch + p.first_fill, p.steady);
+    sink.counter("tpusim.layers", 1);
+    sink.counter("tpusim.cycles", rep.cycles);
+    sink.counter("tpusim.dispatch_cycles", p.dispatch);
+    sink.counter("tpusim.first_fill_cycles", p.first_fill);
+    sink.counter("tpusim.steady_cycles", p.steady);
+    sink.counter("tpusim.compute_cycles", rep.compute_cycles);
+    sink.counter("tpusim.exposed_memory_cycles", rep.exposed_memory_cycles);
+    sink.counter("tpusim.dram_bytes", rep.dram_bytes);
+    rep.sram.record(sink);
+}
 
 /// How a convolution is lowered for simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,7 +107,8 @@ impl Simulator {
         if shape.n >= w || (shape.stride_w == 1 && shape.dil_w == 1) {
             w
         } else {
-            shape.n.max(1)
+            // `n` is validated non-zero by `ConvShapeBuilder::build`.
+            shape.n
         }
     }
 
@@ -102,17 +148,38 @@ impl Simulator {
 
     /// Simulate one convolution layer.
     pub fn simulate_conv(&self, name: &str, shape: &ConvShape, mode: SimMode) -> LayerReport {
-        match mode {
-            SimMode::ChannelFirst => {
-                let g = tpu_group_size(self.config.array.rows, shape.ci, shape.wf);
-                self.simulate_channel_first(name, shape, g)
-            }
-            SimMode::ChannelFirstGrouped(g) => self.simulate_channel_first(name, shape, g),
-            SimMode::Explicit => self.simulate_explicit(name, shape),
-        }
+        self.simulate_conv_traced(name, shape, mode, &mut NullSink)
     }
 
-    fn simulate_channel_first(&self, name: &str, shape: &ConvShape, group: usize) -> LayerReport {
+    /// Simulate one convolution layer, emitting phase spans (a conserved
+    /// partition of `cycles` on a track named after the layer) plus
+    /// breakdown counters into `sink`.
+    pub fn simulate_conv_traced(
+        &self,
+        name: &str,
+        shape: &ConvShape,
+        mode: SimMode,
+        sink: &mut dyn TraceSink,
+    ) -> LayerReport {
+        let rep = match mode {
+            SimMode::ChannelFirst => {
+                let g = tpu_group_size(self.config.array.rows, shape.ci, shape.wf);
+                self.simulate_channel_first(name, shape, g, sink)
+            }
+            SimMode::ChannelFirstGrouped(g) => self.simulate_channel_first(name, shape, g, sink),
+            SimMode::Explicit => self.simulate_explicit(name, shape, sink),
+        };
+        emit_layer_trace(sink, &rep);
+        rep
+    }
+
+    fn simulate_channel_first(
+        &self,
+        name: &str,
+        shape: &ConvShape,
+        group: usize,
+        sink: &mut dyn TraceSink,
+    ) -> LayerReport {
         let cfg = &self.config;
         let (rows, cols) = (cfg.array.rows, cfg.array.cols);
         let eb = cfg.vector_mem.elem_bytes as u64;
@@ -182,18 +249,61 @@ impl Simulator {
             .max(cfg.min_pipeline_stages);
 
         // --- Pipeline: per-chunk fills overlap the previous chunk's GEMM.
-        let mem_chunk = mem_cycles / chunks;
-        let compute_chunk = compute_cycles / chunks;
-        let steady = chunks * compute_chunk.max(mem_chunk);
-        let cycles = cfg.dispatch_cycles + mem_chunk + steady;
-        let exposed = cycles - cfg.dispatch_cycles - compute_cycles.min(cycles);
+        // Chunk totals are distributed with their remainders (truncating
+        // division here used to drop up to `chunks − 1` cycles per phase
+        // and made memory free whenever `mem_cycles < chunks`); the first
+        // chunk's fill — the largest, `div_ceil` — is the exposed head.
+        let first_fill = mem_cycles.div_ceil(chunks);
+        let steady = chunked_steady(compute_cycles, mem_cycles, chunks);
+        let cycles = cfg.dispatch_cycles + first_fill + steady;
+        // `steady ≥ compute_cycles` by construction, so this never
+        // saturates; the old `cycles − dispatch − min(compute, cycles)`
+        // underflowed whenever truncation pushed steady below compute.
+        let exposed = (first_fill + steady).saturating_sub(compute_cycles);
+        debug_assert!(first_fill + steady >= compute_cycles);
 
         // --- Vector-memory port stats (per-array averages).
         let row_occ =
             ((shape.wf * shape.ci) as f64 / (passes_per_row as f64 * rows as f64)).min(1.0);
         let reads = (stream_cycles as f64 * row_occ / packing as f64) as u64;
-        let writes = (m_total * shape.co) as u64 / rows as u64 / packing as u64;
+        // One division: `/rows/packing` truncated twice, dropping up to
+        // `packing − 1` extra words.
+        let writes = (m_total * shape.co) as u64 / (rows * packing) as u64;
         let col_occ = shape.co as f64 / (shape.co.div_ceil(cols) * cols) as f64;
+
+        if sink.enabled() {
+            let stall_extra =
+                compute_cycles - stream_cycles - (rows + cols - 1) as u64 - rows as u64;
+            // Breakdown counters for the rollups...
+            sink.counter("tpusim.dram_fill_cycles", fill);
+            sink.counter("tpusim.dram_weight_load_cycles", weights);
+            sink.counter("tpusim.dram_writeback_cycles", writeback);
+            sink.counter("tpusim.stream_cycles", stream_cycles);
+            sink.counter("tpusim.stall_cycles", stall_extra);
+            sink.counter("tpusim.chunks", chunks);
+            // ...and detail tracks showing what overlaps inside `steady`:
+            // the serialized DRAM stream and the serialized array activity,
+            // each drawn from cycle 0 of the layer's local timeline.
+            let mem_track = format!("{name} mem");
+            sink.span(&mem_track, "ifmap-fill", 0, fill);
+            sink.span(&mem_track, "weight-load", fill, weights);
+            sink.span(&mem_track, "writeback", fill + weights, writeback);
+            let comp_track = format!("{name} compute");
+            sink.span(&comp_track, "weight-load", 0, rows as u64);
+            sink.span(&comp_track, "stream", rows as u64, stream_cycles);
+            sink.span(
+                &comp_track,
+                "stall",
+                rows as u64 + stream_cycles,
+                stall_extra,
+            );
+            sink.span(
+                &comp_track,
+                "fill-drain",
+                rows as u64 + stream_cycles + stall_extra,
+                (rows + cols - 1) as u64,
+            );
+        }
 
         LayerReport {
             name: name.to_string(),
@@ -211,6 +321,11 @@ impl Simulator {
                 writes,
             },
             array_occupancy: row_occ * col_occ,
+            phases: Phases {
+                dispatch: cfg.dispatch_cycles,
+                first_fill,
+                steady,
+            },
         }
     }
 
@@ -234,10 +349,13 @@ impl Simulator {
         let sparse_compute = (dense_compute * density).ceil() as u64;
         let saved = rep.compute_cycles - sparse_compute;
         rep.compute_cycles = sparse_compute;
-        rep.cycles = rep
-            .cycles
-            .saturating_sub(saved)
-            .max(self.config().dispatch_cycles);
+        // The saved compute comes straight out of the steady phase
+        // (`saved ≤ compute ≤ steady`), so conservation is preserved and
+        // the exposed memory time is unchanged — the IFMap still streams
+        // under the shorter compute.
+        rep.cycles -= saved;
+        rep.phases.steady -= saved;
+        debug_assert!(rep.assert_conserved());
         rep.flops = (shape.flops() as f64 * density) as u64;
         let eb = self.config().vector_mem.elem_bytes as u64;
         let dense_w = shape.filter_elems() as u64 * eb;
@@ -250,6 +368,32 @@ impl Simulator {
     /// Simulate a plain `M × N × K` GEMM (the TPU's native primitive,
     /// Fig. 13a validation target).
     pub fn simulate_gemm(&self, name: &str, m: usize, n: usize, k: usize) -> LayerReport {
+        self.gemm_report(name, m, n, k, &mut NullSink)
+    }
+
+    /// [`Simulator::simulate_gemm`] with phase spans and counters emitted
+    /// into `sink`.
+    pub fn simulate_gemm_traced(
+        &self,
+        name: &str,
+        m: usize,
+        n: usize,
+        k: usize,
+        sink: &mut dyn TraceSink,
+    ) -> LayerReport {
+        let rep = self.gemm_report(name, m, n, k, sink);
+        emit_layer_trace(sink, &rep);
+        rep
+    }
+
+    fn gemm_report(
+        &self,
+        name: &str,
+        m: usize,
+        n: usize,
+        k: usize,
+        sink: &mut dyn TraceSink,
+    ) -> LayerReport {
         let cfg = &self.config;
         let (rows, cols) = (cfg.array.rows, cfg.array.cols);
         let eb = cfg.vector_mem.elem_bytes as u64;
@@ -277,12 +421,32 @@ impl Simulator {
             + self.dram.transfer_cycles(b_traffic, 4096)
             + self.dram.transfer_cycles(c_bytes, 4096);
 
-        let mem_chunk = mem_cycles / chunks;
-        let compute_chunk = compute_cycles / chunks;
-        let cycles = cfg.dispatch_cycles + mem_chunk + chunks * compute_chunk.max(mem_chunk);
-        let exposed = cycles - cfg.dispatch_cycles - compute_cycles.min(cycles);
+        // Same remainder-conserving pipeline math as the conv path: the
+        // old truncating `mem_cycles / chunks` leaked cycles and could push
+        // `steady` below `compute_cycles`, underflowing `exposed`.
+        let first_fill = mem_cycles.div_ceil(chunks);
+        let steady = chunked_steady(compute_cycles, mem_cycles, chunks);
+        let cycles = cfg.dispatch_cycles + first_fill + steady;
+        let exposed = (first_fill + steady).saturating_sub(compute_cycles);
+        debug_assert!(first_fill + steady >= compute_cycles);
         let occupancy = (k as f64 / (k.div_ceil(rows) * rows) as f64)
             * (n as f64 / (n.div_ceil(cols) * cols) as f64);
+
+        if sink.enabled() {
+            sink.counter(
+                "tpusim.dram_fill_cycles",
+                self.dram.transfer_cycles(a_bytes, 4096),
+            );
+            sink.counter(
+                "tpusim.dram_weight_load_cycles",
+                self.dram.transfer_cycles(b_traffic, 4096),
+            );
+            sink.counter(
+                "tpusim.dram_writeback_cycles",
+                self.dram.transfer_cycles(c_bytes, 4096),
+            );
+            sink.counter("tpusim.chunks", chunks);
+        }
 
         let w = cfg.vector_mem.word_elems as u64;
         LayerReport {
@@ -299,13 +463,23 @@ impl Simulator {
                 writes: compute_cycles / w,
             },
             array_occupancy: occupancy,
+            phases: Phases {
+                dispatch: cfg.dispatch_cycles,
+                first_fill,
+                steady,
+            },
         }
     }
 
     /// Simulate a convolution executed as *explicit* im2col: a memory-bound
     /// lowering pass (read IFMap, write the lowered matrix) followed by a
     /// GEMM that streams the lowered matrix back in.
-    fn simulate_explicit(&self, name: &str, shape: &ConvShape) -> LayerReport {
+    fn simulate_explicit(
+        &self,
+        name: &str,
+        shape: &ConvShape,
+        sink: &mut dyn TraceSink,
+    ) -> LayerReport {
         let eb = self.config.vector_mem.elem_bytes as u64;
         let ifmap_bytes = shape.ifmap_elems() as u64 * eb;
         let lowered_bytes = shape.lowered_elems() as u64 * eb;
@@ -315,12 +489,16 @@ impl Simulator {
         let transform = self.dram.transfer_cycles(ifmap_bytes, gather_run)
             + self.dram.transfer_cycles(lowered_bytes, 4096);
         let (m, n, k) = shape.gemm_mnk();
-        let mut gemm = self.simulate_gemm(name, m, n, k);
+        let mut gemm = self.gemm_report(name, m, n, k, sink);
         gemm.name = name.to_string();
         gemm.cycles += transform;
         gemm.exposed_memory_cycles += transform;
+        // The lowering pass runs before the GEMM pipeline starts: it
+        // extends the exposed head, keeping the partition exact.
+        gemm.phases.first_fill += transform;
         gemm.dram_bytes += ifmap_bytes + lowered_bytes; // transform traffic
         gemm.flops = shape.flops();
+        sink.counter("tpusim.transform_cycles", transform);
         gemm
     }
 
@@ -337,12 +515,28 @@ impl Simulator {
 
     /// Simulate every conv layer of `model`.
     pub fn simulate_model(&self, model: &Model, mode: SimMode) -> ModelReport {
+        self.simulate_model_traced(model, mode, &mut NullSink)
+    }
+
+    /// [`Simulator::simulate_model`] with per-layer spans and counters
+    /// emitted into `sink`.
+    pub fn simulate_model_traced(
+        &self,
+        model: &Model,
+        mode: SimMode,
+        sink: &mut dyn TraceSink,
+    ) -> ModelReport {
         ModelReport {
             name: model.name.to_string(),
             layers: model
                 .layers
                 .iter()
-                .map(|l| (self.simulate_conv(&l.name, &l.shape, mode), l.count))
+                .map(|l| {
+                    (
+                        self.simulate_conv_traced(&l.name, &l.shape, mode, sink),
+                        l.count,
+                    )
+                })
                 .collect(),
         }
     }
@@ -480,6 +674,121 @@ mod tests {
         assert!(r.cycles > 0);
         // Workspace reported is pre-chunking demand; sanity only.
         assert!(r.workspace_bytes > 0);
+    }
+
+    #[test]
+    fn chunked_steady_matches_per_chunk_loop() {
+        // The closed form must equal the literal Σᵢ max(computeᵢ, memᵢ).
+        let loopy = |c: u64, m: u64, n: u64| -> u64 {
+            (0..n)
+                .map(|i| {
+                    let ci = c / n + u64::from(i < c % n);
+                    let mi = m / n + u64::from(i < m % n);
+                    ci.max(mi)
+                })
+                .sum()
+        };
+        for &(c, m, n) in &[
+            (0u64, 0u64, 1u64),
+            (0, 5, 8),
+            (5, 0, 8),
+            (3, 3, 8),
+            (1000, 7, 8),
+            (7, 1000, 8),
+            (262_527, 18_341, 8),
+            (12_345, 12_344, 17),
+            (u64::from(u32::MAX), 3, 1000),
+        ] {
+            assert_eq!(chunked_steady(c, m, n), loopy(c, m, n), "c={c} m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn tiny_memory_phase_is_not_free() {
+        // Regression: with `mem_cycles < chunks` the old truncating math
+        // gave `mem_chunk = 0`, erasing the memory phase entirely. Force
+        // `chunks` above any plausible transfer time.
+        let mut cfg = TpuConfig::tpu_v2();
+        cfg.min_pipeline_stages = 1 << 24;
+        let s = layer(64, 28, 64, 3, 1, 8);
+        let sim = Simulator::new(cfg);
+        let r = sim.simulate_conv("l", &s, SimMode::ChannelFirst);
+        assert!(r.phases.first_fill >= 1, "memory must stay visible");
+        assert!(r.assert_conserved());
+        // The layer is memory-touched: exposed accounts for all of the
+        // non-overlapped DRAM time, so cycles strictly exceed dispatch +
+        // compute.
+        assert!(r.cycles > sim.config().dispatch_cycles + r.compute_cycles);
+    }
+
+    #[test]
+    fn exposed_never_underflows_when_memory_dominates() {
+        // Regression: `steady < compute_cycles` after truncation made
+        // `cycles − dispatch − compute` wrap. Pin the correct identity on
+        // a strongly memory-bound layer (1x1, huge channel traffic, tiny
+        // batch) and on the sweep that used to trip it.
+        let s = layer(2048, 7, 2048, 1, 1, 1);
+        let r = sim().simulate_conv("l", &s, SimMode::ChannelFirst);
+        assert!(r.exposed_memory_cycles < r.cycles, "no wraparound");
+        assert_eq!(
+            r.compute_cycles + r.exposed_memory_cycles,
+            r.cycles - r.phases.dispatch
+        );
+        for (m, n, k) in [(128, 128, 128), (256, 8192, 64), (8192, 64, 256)] {
+            let g = sim().simulate_gemm("g", m, n, k);
+            assert!(g.exposed_memory_cycles < g.cycles);
+            assert!(g.assert_conserved());
+        }
+    }
+
+    #[test]
+    fn traced_spans_partition_cycles_exactly() {
+        // Always-on enforcement of the conservation invariant through the
+        // public traced API: the spans on the layer's track sum to the
+        // reported `cycles`, for every mode.
+        use iconv_trace::Recorder;
+        let s = layer(96, 28, 128, 3, 2, 4);
+        for mode in [
+            SimMode::ChannelFirst,
+            SimMode::ChannelFirstGrouped(2),
+            SimMode::Explicit,
+        ] {
+            let mut rec = Recorder::new();
+            let r = sim().simulate_conv_traced("l", &s, mode, &mut rec);
+            assert!(r.assert_conserved());
+            assert_eq!(rec.track_total("l"), r.cycles, "{mode:?}");
+            assert_eq!(rec.counters()["tpusim.cycles"], r.cycles);
+            assert_eq!(rec.counters()["tpusim.compute_cycles"], r.compute_cycles);
+        }
+        let mut rec = Recorder::new();
+        let g = sim().simulate_gemm_traced("g", 512, 512, 512, &mut rec);
+        assert_eq!(rec.track_total("g"), g.cycles);
+    }
+
+    #[test]
+    fn untraced_and_traced_reports_are_identical() {
+        use iconv_trace::Recorder;
+        let s = layer(64, 56, 64, 3, 1, 8);
+        let plain = sim().simulate_conv("l", &s, SimMode::ChannelFirst);
+        let mut rec = Recorder::new();
+        let traced = sim().simulate_conv_traced("l", &s, SimMode::ChannelFirst, &mut rec);
+        assert_eq!(plain, traced);
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn sparse_report_stays_conserved() {
+        use iconv_core::{sparse::prune_taps, SparseFilter};
+        use iconv_tensor::conv_ref::filter_dims;
+        use iconv_tensor::Tensor;
+        let s = layer(64, 28, 64, 3, 1, 8);
+        let filter = Tensor::<f32>::random(filter_dims(&s), Layout::Nchw, 7);
+        for keep in [1.0, 0.5, 0.0] {
+            let pruned = prune_taps(&s, &filter, keep, 17);
+            let sparse = SparseFilter::from_dense(s, pruned);
+            let r = sim().simulate_conv_sparse("l", &sparse);
+            assert!(r.assert_conserved());
+        }
     }
 
     #[test]

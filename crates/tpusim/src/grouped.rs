@@ -78,7 +78,14 @@ impl Simulator {
         // the next group overlap the current group's stream (double
         // buffering), matching the dense engine's assumption.
         let per_group = one.cycles - self.config().dispatch_cycles.min(one.cycles);
-        LayerReport {
+        // Only the first group's fill is exposed head; later groups' fills
+        // fold into the steady pipeline, keeping the phase partition exact.
+        let phases = crate::report::Phases {
+            dispatch: self.config().dispatch_cycles,
+            first_fill: one.phases.first_fill,
+            steady: per_group * g - one.phases.first_fill,
+        };
+        let rep = LayerReport {
             name: format!("{name} (seq x{g})"),
             cycles: self.config().dispatch_cycles + per_group * g,
             compute_cycles: one.compute_cycles * g,
@@ -88,7 +95,10 @@ impl Simulator {
             workspace_bytes: one.workspace_bytes,
             sram: one.sram,
             array_occupancy: one.array_occupancy,
-        }
+            phases,
+        };
+        debug_assert!(rep.assert_conserved());
+        rep
     }
 
     fn simulate_grouped_blockdiag(&self, name: &str, conv: &GroupedConv) -> LayerReport {
@@ -166,6 +176,15 @@ mod tests {
             blk.cycles,
             seq.cycles
         );
+    }
+
+    #[test]
+    fn grouped_reports_stay_conserved() {
+        let dw = depthwise(256, 14);
+        for strategy in [GroupedStrategy::Sequential, GroupedStrategy::BlockDiagonal] {
+            let r = sim().simulate_grouped("dw", &dw, strategy);
+            assert!(r.assert_conserved(), "{strategy:?}");
+        }
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub use config::TpuConfig;
 pub use energy::{EnergyModel, EnergyReport};
 pub use engine::{SimMode, Simulator};
 pub use multicore::{Interconnect, MulticoreReport};
-pub use report::{Bottleneck, LayerReport, ModelReport};
+pub use report::{Bottleneck, LayerReport, ModelReport, Phases};
 pub use training::TrainingReport;

@@ -28,6 +28,7 @@ use iconv_systolic::{ArrayConfig, SystolicArray};
 use iconv_tensor::conv_ref::{filter_dims, ifmap_dims, ofmap_dims};
 use iconv_tensor::im2col::ofmap_from_matrix;
 use iconv_tensor::{ConvShape, Layout, Matrix, Scalar, Tensor};
+use iconv_trace::{NullSink, TraceSink};
 
 /// Result of a micro-simulated convolution.
 #[derive(Debug, Clone)]
@@ -106,6 +107,32 @@ pub fn run_conv<T: Scalar>(
     schedule: &TileSchedule,
     write_back: bool,
 ) -> MicroRun<T> {
+    run_conv_traced(
+        shape,
+        ifmap,
+        filter,
+        spec,
+        cols,
+        schedule,
+        write_back,
+        &mut NullSink,
+    )
+}
+
+/// [`run_conv`] with per-pass `weight-load` / `stream` / `drain` spans on a
+/// `microsim` track (their durations sum exactly to the returned `cycles`)
+/// and port counters emitted into `sink`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_conv_traced<T: Scalar>(
+    shape: &ConvShape,
+    ifmap: &Tensor<T>,
+    filter: &Tensor<T>,
+    spec: VectorMemSpec,
+    cols: usize,
+    schedule: &TileSchedule,
+    write_back: bool,
+    sink: &mut dyn TraceSink,
+) -> MicroRun<T> {
     assert_eq!(ifmap.dims(), ifmap_dims(shape), "ifmap dims mismatch");
     assert_eq!(filter.dims(), filter_dims(shape), "filter dims mismatch");
     let m_total = shape.lowered_rows();
@@ -126,7 +153,9 @@ pub fn run_conv<T: Scalar>(
             let b = group.b_merged(shape, filter);
             let b_sub = Matrix::from_fn(group.occupied_rows(shape), ncols, |r, c| b[(r, col0 + c)]);
             let mut array = SystolicArray::with_weights(grid, &b_sub);
-            cycles += SystolicArray::<T>::weight_load_cycles(grid);
+            let pass_start = cycles;
+            let weight_load = SystolicArray::<T>::weight_load_cycles(grid);
+            cycles += weight_load;
 
             // Streamed A rows are assembled through serializers, one lowered
             // row per issue cycle (modulo port stalls). We model the port
@@ -220,7 +249,23 @@ pub fn run_conv<T: Scalar>(
             // The streaming above and the grid injection overlap: the grid's
             // cycle count covers the same issue cycles plus fill/drain, so
             // count only the excess.
-            cycles += elapsed.saturating_sub(stream_cycles);
+            let drain = elapsed.saturating_sub(stream_cycles);
+            cycles += drain;
+            if sink.enabled() {
+                sink.span("microsim", "weight-load", pass_start, weight_load);
+                sink.span(
+                    "microsim",
+                    "stream",
+                    pass_start + weight_load,
+                    stream_cycles,
+                );
+                sink.span(
+                    "microsim",
+                    "drain",
+                    pass_start + weight_load + stream_cycles,
+                    drain,
+                );
+            }
             for (i, &row) in row_ids.iter().enumerate() {
                 for c in 0..ncols {
                     acc[(row, col0 + c)] += out[(i, c)];
@@ -229,6 +274,11 @@ pub fn run_conv<T: Scalar>(
             col0 += ncols;
         }
     }
+
+    sink.counter("microsim.cycles", cycles);
+    sink.counter("microsim.sram_reads", sram_reads);
+    sink.counter("microsim.sram_writes", sram_writes);
+    sink.counter("microsim.port_stall_cycles", stalls);
 
     MicroRun {
         ofmap: ofmap_from_matrix(shape, &acc),
@@ -375,6 +425,26 @@ mod tests {
             .sum();
         let run = self_check(&shape, fig10_spec(), 4, 5, true);
         assert_eq!(run.sram_reads, expected);
+    }
+
+    #[test]
+    fn traced_spans_partition_micro_cycles() {
+        // The microsim's weight-load/stream/drain spans must sum exactly
+        // to the cycle-stepped total — conservation at the ground-truth
+        // level, not just in the phase engine.
+        use iconv_trace::Recorder;
+        let shape = ConvShape::square(2, 4, 5, 4, 3, 1, 0).unwrap();
+        let x = Tensor::<i64>::random(ifmap_dims(&shape), Layout::Nchw, 11);
+        let f = Tensor::<i64>::random(filter_dims(&shape), Layout::Nchw, 12);
+        let sched = TileSchedule::tpu(&shape, 4);
+        let mut rec = Recorder::new();
+        let run = run_conv_traced(&shape, &x, &f, fig10_spec(), 4, &sched, true, &mut rec);
+        assert_eq!(rec.track_total("microsim"), run.cycles);
+        assert_eq!(rec.counters()["microsim.sram_reads"], run.sram_reads);
+        assert_eq!(
+            rec.counters()["microsim.port_stall_cycles"],
+            run.port_stall_cycles
+        );
     }
 
     #[test]

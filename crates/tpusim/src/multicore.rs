@@ -7,6 +7,7 @@
 use crate::engine::{SimMode, Simulator};
 use crate::report::ModelReport;
 use iconv_tensor::ConvShape;
+use iconv_trace::{NullSink, TraceSink};
 use iconv_workloads::Model;
 
 /// Interconnect parameters for gradient all-reduce.
@@ -97,6 +98,19 @@ impl Simulator {
         training: bool,
         ici: Interconnect,
     ) -> MulticoreReport {
+        self.simulate_model_multicore_traced(model, cores, training, ici, &mut NullSink)
+    }
+
+    /// [`Simulator::simulate_model_multicore`] with the step's
+    /// compute/all-reduce phases emitted as spans on a `multicore` track.
+    pub fn simulate_model_multicore_traced(
+        &self,
+        model: &Model,
+        cores: usize,
+        training: bool,
+        ici: Interconnect,
+        sink: &mut dyn TraceSink,
+    ) -> MulticoreReport {
         assert!(cores > 0, "at least one core required");
         let single = self.total_model_cycles(model, training);
         let shards = shard_batches(model.layers[0].shape.n, cores);
@@ -129,6 +143,13 @@ impl Simulator {
         } else {
             0
         };
+        if sink.enabled() {
+            let track = format!("{} multicore x{}", model.name, shards.len());
+            sink.span(&track, "compute", 0, compute);
+            sink.span(&track, "allreduce", compute, allreduce);
+        }
+        sink.counter("multicore.compute_cycles", compute);
+        sink.counter("multicore.allreduce_cycles", allreduce);
         MulticoreReport {
             cores: shards.len(),
             compute_cycles: compute,
@@ -201,6 +222,25 @@ mod tests {
         let rep = sim().simulate_model_multicore(&model, 1, false, Interconnect::tpu_v2_ici());
         assert_eq!(rep.cores, 1);
         assert!((rep.speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_run_partitions_the_step() {
+        use iconv_trace::Recorder;
+        let model = resnet50(16);
+        let mut rec = Recorder::new();
+        let rep = sim().simulate_model_multicore_traced(
+            &model,
+            2,
+            true,
+            Interconnect::tpu_v2_ici(),
+            &mut rec,
+        );
+        assert_eq!(rec.track_total("ResNet multicore x2"), rep.total_cycles());
+        assert_eq!(
+            rec.counters()["multicore.allreduce_cycles"],
+            rep.allreduce_cycles
+        );
     }
 
     #[test]

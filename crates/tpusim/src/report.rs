@@ -5,6 +5,29 @@ use crate::config::TpuConfig;
 use iconv_sram::PortStats;
 use std::fmt;
 
+/// The three phases that partition a layer's `cycles` exactly:
+/// `dispatch + first_fill + steady == cycles`. This is the span layout the
+/// trace layer emits, and the identity [`LayerReport::assert_conserved`]
+/// enforces — per-phase attribution that cannot drift from the total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Phases {
+    /// Fixed host dispatch overhead.
+    pub dispatch: u64,
+    /// Exposed head of the pipeline: the first chunk's DRAM fill (plus the
+    /// explicit-im2col transform, in that mode) that nothing overlaps.
+    pub first_fill: u64,
+    /// Steady-state pipeline: per-chunk `max(compute, memory)`, where
+    /// memory beyond compute is the exposed tail.
+    pub steady: u64,
+}
+
+impl Phases {
+    /// `dispatch + first_fill + steady` — must equal the report's `cycles`.
+    pub fn total(&self) -> u64 {
+        self.dispatch + self.first_fill + self.steady
+    }
+}
+
 /// Result of simulating one layer (or one GEMM).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerReport {
@@ -28,6 +51,8 @@ pub struct LayerReport {
     /// PE-array occupancy of the schedule: fraction of PE rows doing useful
     /// work, before pipeline effects.
     pub array_occupancy: f64,
+    /// Span partition of `cycles` (see [`Phases`]).
+    pub phases: Phases,
 }
 
 /// What limits a simulated layer.
@@ -55,6 +80,35 @@ impl std::fmt::Display for Bottleneck {
 }
 
 impl LayerReport {
+    /// Enforce the cycle-conservation invariants: the phase spans partition
+    /// `cycles` exactly, and compute + exposed memory account for every
+    /// post-dispatch cycle. Panics with a diagnostic when violated. Called
+    /// from `debug_assert!` at every construction site and from the
+    /// always-on invariant tests.
+    #[track_caller]
+    pub fn assert_conserved(&self) -> bool {
+        assert_eq!(
+            self.phases.total(),
+            self.cycles,
+            "{}: phases {:?} sum to {} but cycles = {}",
+            self.name,
+            self.phases,
+            self.phases.total(),
+            self.cycles
+        );
+        assert_eq!(
+            self.compute_cycles + self.exposed_memory_cycles,
+            self.cycles - self.phases.dispatch,
+            "{}: compute {} + exposed {} != cycles {} - dispatch {}",
+            self.name,
+            self.compute_cycles,
+            self.exposed_memory_cycles,
+            self.cycles,
+            self.phases.dispatch
+        );
+        true
+    }
+
     /// Classify what limits this layer (used by the reporting runners and
     /// the `simulate` CLI to explain numbers, not just print them).
     pub fn bottleneck(&self, config: &TpuConfig) -> Bottleneck {
@@ -195,7 +249,24 @@ mod tests {
                 writes: cycles / 8,
             },
             array_occupancy: 1.0,
+            phases: Phases {
+                dispatch: 0,
+                first_fill: 0,
+                steady: cycles,
+            },
         }
+    }
+
+    #[test]
+    fn conservation_holds_for_helper_and_catches_violations() {
+        let l = layer(100, 200);
+        assert!(l.assert_conserved());
+        let mut bad = layer(100, 200);
+        bad.phases.steady += 1;
+        assert!(std::panic::catch_unwind(move || bad.assert_conserved()).is_err());
+        let mut bad2 = layer(100, 200);
+        bad2.exposed_memory_cycles = 7; // compute already equals cycles
+        assert!(std::panic::catch_unwind(move || bad2.assert_conserved()).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use crate::config::TpuConfig;
 use crate::engine::{SimMode, Simulator};
-use crate::report::LayerReport;
+use crate::report::{LayerReport, Phases};
 use iconv_core::schedule::tpu_group_size;
 use iconv_dram::DramModel;
 use iconv_sram::PortStats;
@@ -68,14 +68,18 @@ impl Simulator {
         let mem_cycles =
             dram.transfer_cycles(reads_bytes, 4096) + dram.transfer_cycles(writes_bytes, 4096);
         let chunks = cfg.min_pipeline_stages.max(1);
-        let mem_chunk = mem_cycles / chunks;
-        let compute_chunk = compute_cycles / chunks;
-        let cycles = cfg.dispatch_cycles + mem_chunk + chunks * compute_chunk.max(mem_chunk);
-        LayerReport {
+        // Same remainder-conserving pipeline identity as the forward engine
+        // (`crate::engine`): distribute chunk remainders instead of
+        // truncating them away, expose the first fill, and derive the
+        // exposed memory time from the conserved partition.
+        let first_fill = mem_cycles.div_ceil(chunks);
+        let steady = crate::engine::chunked_steady(compute_cycles, mem_cycles, chunks);
+        let cycles = cfg.dispatch_cycles + first_fill + steady;
+        let rep = LayerReport {
             name: name.to_string(),
             cycles,
             compute_cycles,
-            exposed_memory_cycles: cycles - cfg.dispatch_cycles - compute_cycles.min(cycles),
+            exposed_memory_cycles: (first_fill + steady).saturating_sub(compute_cycles),
             flops: shape.flops(),
             dram_bytes: reads_bytes + writes_bytes,
             workspace_bytes: 0,
@@ -87,7 +91,14 @@ impl Simulator {
             array_occupancy: ((shape.wf * k_per_tap) as f64
                 / ((shape.wf * k_per_tap).div_ceil(cap) * rows) as f64)
                 .min(1.0),
-        }
+            phases: Phases {
+                dispatch: cfg.dispatch_cycles,
+                first_fill,
+                steady,
+            },
+        };
+        debug_assert!(rep.assert_conserved());
+        rep
     }
 
     /// Simulate the weight-gradient convolution: per tap
@@ -235,6 +246,15 @@ mod tests {
         let s2 = v2.config().cycles_to_seconds(t2);
         let s3 = v3.config().cycles_to_seconds(t3);
         assert!(s3 < s2 * 0.75, "v3 {s3:.4}s vs v2 {s2:.4}s");
+    }
+
+    #[test]
+    fn gradient_reports_stay_conserved() {
+        let s = sim();
+        let step = s.simulate_training_step("l", &layer(), true);
+        assert!(step.forward.assert_conserved());
+        assert!(step.wgrad.assert_conserved());
+        assert!(step.dgrad.unwrap().assert_conserved());
     }
 
     #[test]

@@ -114,4 +114,62 @@ proptest! {
         prop_assert_eq!(step.total_flops(), 3 * step.forward.flops);
         prop_assert!(step.total_cycles() > step.forward.cycles);
     }
+
+    /// Cycle conservation on randomized shapes, all modes: phase spans
+    /// partition `cycles`, and `compute + exposed == cycles − dispatch`.
+    #[test]
+    fn conservation_on_random_shapes(shape in conv_shapes()) {
+        let sim = Simulator::new(TpuConfig::tpu_v2());
+        for mode in [SimMode::ChannelFirst, SimMode::ChannelFirstGrouped(3), SimMode::Explicit] {
+            let rep = sim.simulate_conv("l", &shape, mode);
+            prop_assert!(rep.assert_conserved(), "{mode:?} on {shape}");
+        }
+    }
+}
+
+/// The exhaustive table sweep: every layer of every workload model, under
+/// every lowering mode and every IFMap layout, must satisfy the cycle
+/// conservation invariants. This is the always-on net beneath the trace
+/// layer — the whole class of remainder-truncation / underflow accounting
+/// bugs fails this test.
+#[test]
+fn conservation_over_all_workload_tables() {
+    use iconv_tensor::Layout;
+    let mut checked = 0usize;
+    for layout in [Layout::Hwcn, Layout::Nhwc, Layout::Nchw, Layout::Chwn] {
+        let mut cfg = TpuConfig::tpu_v2();
+        cfg.ifmap_layout = layout;
+        let sim = Simulator::new(cfg);
+        for model in iconv_workloads::all_models(8) {
+            for layer in &model.layers {
+                for mode in [
+                    SimMode::ChannelFirst,
+                    SimMode::ChannelFirstGrouped(2),
+                    SimMode::Explicit,
+                ] {
+                    let rep = sim.simulate_conv(&layer.name, &layer.shape, mode);
+                    assert!(
+                        rep.assert_conserved(),
+                        "{}/{} {mode:?} {layout:?}",
+                        model.name,
+                        layer.name
+                    );
+                    assert!(rep.compute_cycles <= rep.cycles);
+                    checked += 1;
+                }
+                if layer.groups > 1 {
+                    let gc = iconv_tensor::GroupedConv::new(layer.shape, layer.groups).unwrap();
+                    for strategy in [
+                        iconv_tpusim::grouped::GroupedStrategy::Sequential,
+                        iconv_tpusim::grouped::GroupedStrategy::BlockDiagonal,
+                    ] {
+                        let rep = sim.simulate_grouped(&layer.name, &gc, strategy);
+                        assert!(rep.assert_conserved(), "{} {strategy:?}", layer.name);
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(checked > 500, "sweep too small: {checked} reports");
 }

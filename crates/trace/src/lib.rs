@@ -1,0 +1,278 @@
+//! Observability primitives for the simulators: spans, counters, and
+//! Chrome-trace export.
+//!
+//! Every simulator crate emits into a [`TraceSink`]. The trait's methods
+//! default to no-ops and [`TraceSink::enabled`] defaults to `false`, so an
+//! instrumented hot path costs one virtual call (or nothing, when the call
+//! site checks `enabled()` before building event payloads). [`NullSink`] is
+//! the zero-cost default; [`Recorder`] accumulates spans and counters in
+//! memory and exports [Chrome trace format] JSON that loads directly into
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! Spans are *complete* events (`ph: "X"`) on named tracks; all timestamps
+//! are in simulated cycles (exported as microseconds, which trace viewers
+//! treat as an opaque time unit). Counters are monotonic accumulators:
+//! repeated [`TraceSink::counter`] calls with the same name add up, which is
+//! what the per-experiment rollups in `results/summary.json` want.
+//!
+//! The load-bearing consumer is the cycle-conservation invariant: the
+//! TPUSim engine emits spans that must partition each layer's reported
+//! `cycles` exactly, and tests sum [`Recorder::track_total`] against the
+//! report to enforce it.
+
+use std::collections::BTreeMap;
+
+/// A destination for trace events. All methods default to doing nothing, so
+/// simulators can emit unconditionally without a feature flag.
+pub trait TraceSink {
+    /// Whether this sink records anything. Hot paths may skip constructing
+    /// per-event data (names, timestamps) when this returns `false`.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Record a completed span covering `[start, start + dur)` cycles on
+    /// the named track.
+    fn span(&mut self, track: &str, name: &str, start: u64, dur: u64) {
+        let _ = (track, name, start, dur);
+    }
+
+    /// Accumulate `value` into the named counter.
+    fn counter(&mut self, name: &str, value: u64) {
+        let _ = (name, value);
+    }
+}
+
+/// The no-op sink: every emission compiles to an empty inlinable call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// One recorded span on a track, in cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Track (rendered as a thread row in trace viewers).
+    pub track: String,
+    /// Event name.
+    pub name: String,
+    /// Start cycle.
+    pub start: u64,
+    /// Duration in cycles.
+    pub dur: u64,
+}
+
+/// An in-memory sink: spans in emission order plus accumulated counters.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    spans: Vec<Span>,
+    counters: BTreeMap<String, u64>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All spans, in emission order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Accumulated counters, sorted by name.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty()
+    }
+
+    /// Sum of span durations on `track` — the quantity the
+    /// cycle-conservation tests compare against reported cycles.
+    pub fn track_total(&self, track: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.track == track)
+            .map(|s| s.dur)
+            .sum()
+    }
+
+    /// Distinct track names, in first-emission order.
+    pub fn tracks(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for s in &self.spans {
+            if !seen.contains(&s.track.as_str()) {
+                seen.push(s.track.as_str());
+            }
+        }
+        seen
+    }
+
+    /// Fold another recorder's events into this one (spans append,
+    /// counters add). Used to roll worker-local recorders up
+    /// deterministically, in input order.
+    pub fn merge(&mut self, other: &Recorder) {
+        self.spans.extend(other.spans.iter().cloned());
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Export as Chrome trace format JSON (the `traceEvents` array form):
+    /// one `ph: "X"` complete event per span, a `thread_name` metadata
+    /// event per track, and one `ph: "C"` counter sample per counter.
+    /// Cycles map to the viewer's microsecond unit.
+    pub fn to_chrome_json(&self) -> String {
+        let tracks = self.tracks();
+        let tid = |t: &str| tracks.iter().position(|x| *x == t).unwrap_or(0);
+        let mut events = Vec::new();
+        for (i, t) in tracks.iter().enumerate() {
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{i},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(t)
+            ));
+        }
+        for s in &self.spans {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{}}}",
+                escape(&s.name),
+                s.start,
+                s.dur,
+                tid(&s.track)
+            ));
+        }
+        for (name, value) in &self.counters {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":0,\"pid\":0,\
+                 \"args\":{{\"value\":{value}}}}}",
+                escape(name)
+            ));
+        }
+        let mut out = String::from("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n");
+        for (i, e) in events.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(e);
+            if i + 1 < events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl TraceSink for Recorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span(&mut self, track: &str, name: &str, start: u64, dur: u64) {
+        self.spans.push(Span {
+            track: track.to_string(),
+            name: name.to_string(),
+            start,
+            dur,
+        });
+    }
+
+    fn counter(&mut self, name: &str, value: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += value;
+    }
+}
+
+/// Minimal JSON string escaping for event/track names.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled_and_silent() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.span("t", "n", 0, 10);
+        s.counter("c", 5);
+    }
+
+    #[test]
+    fn recorder_accumulates_spans_and_counters() {
+        let mut r = Recorder::new();
+        assert!(r.is_empty());
+        r.span("layer", "dispatch", 0, 100);
+        r.span("layer", "steady", 100, 900);
+        r.span("mem", "fill", 0, 300);
+        r.counter("cycles", 1000);
+        r.counter("cycles", 500);
+        assert_eq!(r.spans().len(), 3);
+        assert_eq!(r.track_total("layer"), 1000);
+        assert_eq!(r.track_total("mem"), 300);
+        assert_eq!(r.counters()["cycles"], 1500);
+        assert_eq!(r.tracks(), vec!["layer", "mem"]);
+    }
+
+    #[test]
+    fn merge_appends_spans_and_adds_counters() {
+        let mut a = Recorder::new();
+        a.span("t", "x", 0, 1);
+        a.counter("c", 2);
+        let mut b = Recorder::new();
+        b.span("t", "y", 1, 2);
+        b.counter("c", 3);
+        b.counter("d", 1);
+        a.merge(&b);
+        assert_eq!(a.spans().len(), 2);
+        assert_eq!(a.counters()["c"], 5);
+        assert_eq!(a.counters()["d"], 1);
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let mut r = Recorder::new();
+        r.span("conv1", "dispatch", 0, 10);
+        r.counter("tpusim.cycles", 42);
+        let j = r.to_chrome_json();
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert!(j.contains("\"traceEvents\""));
+        assert!(j.contains("\"ph\":\"X\""));
+        assert!(j.contains("\"ph\":\"M\""));
+        assert!(j.contains("\"ph\":\"C\""));
+        assert!(j.contains("\"dur\":10"));
+        assert!(j.contains("\"value\":42"));
+        // Balanced braces/brackets (hand-rolled JSON sanity).
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        // No trailing comma before the closing bracket.
+        assert!(!j.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut r = Recorder::new();
+        r.span("t\"rack", "na\\me", 0, 1);
+        let j = r.to_chrome_json();
+        assert!(j.contains("t\\\"rack"));
+        assert!(j.contains("na\\\\me"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Trace a small simulated workload and print the Chrome-trace JSON to
+//! stdout — pipe it into a file and open it in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Run with: `cargo run --release --example tracecat > trace.json`
+//!
+//! The spans on each layer track are a conserved partition of that layer's
+//! `cycles` (dispatch + ifmap-fill + steady), so the viewer's timeline adds
+//! up exactly to what the report claims — the invariant
+//! `LayerReport::assert_conserved` enforces in tests.
+
+use implicit_conv::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rec = Recorder::new();
+    let tpu = Simulator::new(TpuConfig::tpu_v2());
+
+    // A few ResNet-50 layers, channel-first, with full phase breakdowns.
+    let shapes = [
+        ("res2a", ConvShape::square(8, 64, 56, 64, 3, 1, 1)?),
+        ("res3a", ConvShape::square(8, 128, 28, 128, 3, 1, 1)?),
+        ("res4a-s2", ConvShape::square(8, 256, 14, 256, 3, 2, 1)?),
+    ];
+    for (name, shape) in &shapes {
+        let rep = tpu.simulate_conv_traced(name, shape, SimMode::ChannelFirst, &mut rec);
+        assert!(rep.assert_conserved());
+    }
+
+    // The same strided layer on the V100 model, both algorithms.
+    let gpu = GpuSim::new(GpuConfig::v100());
+    let (name, shape) = &shapes[2];
+    gpu.simulate_conv_traced(name, shape, GpuAlgo::CudnnImplicit, &mut rec);
+    gpu.simulate_conv_traced(name, shape, GpuAlgo::ChannelFirst { reuse: true }, &mut rec);
+
+    print!("{}", rec.to_chrome_json());
+    eprintln!(
+        "[{} spans on {} tracks, {} counters]",
+        rec.spans().len(),
+        rec.tracks().len(),
+        rec.counters().len()
+    );
+    Ok(())
+}

@@ -22,7 +22,9 @@
 //! * [`tpusim`] (`iconv-tpusim`) — TPUSim;
 //! * [`gpusim`] (`iconv-gpusim`) — the V100 model;
 //! * [`workloads`] (`iconv-workloads`) — the seven CNN layer tables;
-//! * [`models`] (`iconv-models`) — the hardware proxies and error metrics.
+//! * [`models`] (`iconv-models`) — the hardware proxies and error metrics;
+//! * [`trace`] (`iconv-trace`) — span/counter recording behind the
+//!   simulators' `*_traced` entry points, with Chrome-trace export.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@ pub use iconv_sram as sram;
 pub use iconv_systolic as systolic;
 pub use iconv_tensor as tensor;
 pub use iconv_tpusim as tpusim;
+pub use iconv_trace as trace;
 pub use iconv_workloads as workloads;
 
 /// The most common imports, for examples and quick scripts.
@@ -64,5 +67,6 @@ pub mod prelude {
         conv_ref, im2col, ColumnOrder, ConvShape, Coord, Dims, Layout, Matrix, Tensor,
     };
     pub use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+    pub use iconv_trace::{NullSink, Recorder, TraceSink};
     pub use iconv_workloads::{all_models, resnet50, vgg16};
 }
