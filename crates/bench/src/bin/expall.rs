@@ -9,7 +9,57 @@
 //! `counters` key, and `--trace DIR` additionally writes one Chrome-trace
 //! JSON per experiment into `DIR` (open in Perfetto or `chrome://tracing`).
 
+use iconv_bench::serve_source::ServeSource;
 use iconv_bench::{cli, par, summary, traces};
+
+/// Build the summary, optionally routing layer estimates through an
+/// `iconv-serve` server. A remote address uses that server; otherwise an
+/// in-process one is spawned for the duration of the summary. Either way
+/// the result is byte-identical to the in-process computation (pinned by
+/// `tests/via_serve.rs`).
+fn compute_summary(jobs: usize, args: &cli::ExpallArgs) -> summary::Summary {
+    if !args.via_serve {
+        return summary::compute_jobs(jobs);
+    }
+    match &args.serve_addr {
+        Some(addr) => {
+            let src = ServeSource::connect(addr).unwrap_or_else(|err| {
+                eprintln!("expall: cannot reach serve endpoint {addr}: {err}");
+                std::process::exit(1);
+            });
+            let s = summary::compute_jobs_with(jobs, &src);
+            let st = src.stats();
+            eprintln!(
+                "[via-serve {addr}: {} requests, {} hits, {} misses]",
+                st.requests, st.hits, st.misses
+            );
+            s
+        }
+        None => {
+            let handle = iconv_serve::spawn(iconv_serve::ServerConfig {
+                workers: jobs,
+                ..iconv_serve::ServerConfig::default()
+            })
+            .unwrap_or_else(|err| {
+                eprintln!("expall: cannot spawn in-process serve: {err}");
+                std::process::exit(1);
+            });
+            let addr = handle.local_addr().to_string();
+            let src = ServeSource::connect(&addr).unwrap_or_else(|err| {
+                eprintln!("expall: cannot reach in-process serve: {err}");
+                std::process::exit(1);
+            });
+            let s = summary::compute_jobs_with(jobs, &src);
+            drop(src);
+            let st = handle.shutdown();
+            eprintln!(
+                "[via-serve (in-process): {} requests, {} hits, {} misses]",
+                st.requests, st.hits, st.misses
+            );
+            s
+        }
+    }
+}
 
 fn main() {
     let args = match cli::parse_expall_args(std::env::args().skip(1)) {
@@ -39,7 +89,7 @@ fn main() {
     }
 
     let t_summary = std::time::Instant::now();
-    let summary = summary::compute_jobs(jobs);
+    let summary = compute_summary(jobs, &args);
     let mut timings: Vec<(&str, f64)> = runs.iter().map(|r| (r.name, r.seconds)).collect();
     timings.push(("traces", (t_summary - t_trace).as_secs_f64()));
     timings.push(("summary", t_summary.elapsed().as_secs_f64()));

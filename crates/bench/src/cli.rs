@@ -3,7 +3,8 @@
 //! error to exit code 2).
 
 /// Usage string printed on any argument error.
-pub const USAGE: &str = "usage: expall [--jobs N | -j N] [--trace DIR]";
+pub const USAGE: &str =
+    "usage: expall [--jobs N | -j N] [--trace DIR] [--via-serve] [--serve-addr HOST:PORT]";
 
 /// Parsed `expall` arguments.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -12,6 +13,12 @@ pub struct ExpallArgs {
     pub jobs: Option<usize>,
     /// Directory to write per-experiment Chrome traces into (`--trace DIR`).
     pub trace_dir: Option<String>,
+    /// Route the summary's layer estimates through an `iconv-serve` server
+    /// (`--via-serve`). Output stays byte-identical to the in-process path.
+    pub via_serve: bool,
+    /// Serve endpoint for `--via-serve` (`--serve-addr HOST:PORT`); `None`
+    /// spawns an in-process server. Implies `via_serve`.
+    pub serve_addr: Option<String>,
 }
 
 /// Parse `expall` arguments (without the leading program name).
@@ -47,6 +54,17 @@ pub fn parse_expall_args(args: impl IntoIterator<Item = String>) -> Result<Expal
             parsed.trace_dir = Some(v);
         } else if let Some(v) = a.strip_prefix("--trace=") {
             parsed.trace_dir = Some(v.to_string());
+        } else if a == "--via-serve" {
+            parsed.via_serve = true;
+        } else if a == "--serve-addr" {
+            let v = args
+                .next()
+                .ok_or_else(|| format!("{a} requires a value; {USAGE}"))?;
+            parsed.serve_addr = Some(v);
+            parsed.via_serve = true;
+        } else if let Some(v) = a.strip_prefix("--serve-addr=") {
+            parsed.serve_addr = Some(v.to_string());
+            parsed.via_serve = true;
         } else {
             return Err(format!("unknown argument {a:?}; {USAGE}"));
         }
@@ -110,11 +128,30 @@ mod tests {
             p,
             ExpallArgs {
                 jobs: Some(2),
-                trace_dir: Some("t".into())
+                trace_dir: Some("t".into()),
+                ..ExpallArgs::default()
             }
         );
         assert!(parse(&["--job", "2"])
             .unwrap_err()
             .contains("unknown argument"));
+    }
+
+    #[test]
+    fn via_serve_forms() {
+        let p = parse(&["--via-serve"]).unwrap();
+        assert!(p.via_serve);
+        assert_eq!(p.serve_addr, None);
+        for args in [
+            &["--serve-addr", "127.0.0.1:7070"][..],
+            &["--serve-addr=127.0.0.1:7070"],
+        ] {
+            let p = parse(args).unwrap();
+            assert!(p.via_serve, "{args:?}: --serve-addr implies --via-serve");
+            assert_eq!(p.serve_addr.as_deref(), Some("127.0.0.1:7070"));
+        }
+        assert!(parse(&["--serve-addr"])
+            .unwrap_err()
+            .contains("requires a value"));
     }
 }

@@ -12,5 +12,6 @@ pub mod cli;
 pub mod experiments;
 pub mod fmt;
 pub mod par;
+pub mod serve_source;
 pub mod summary;
 pub mod traces;

@@ -1,0 +1,86 @@
+//! A [`CycleSource`](crate::summary::CycleSource) backed by a running
+//! `iconv-serve` instance — the `expall --via-serve` path.
+//!
+//! One client connection is shared behind a mutex: the summary's
+//! `par_map_jobs` fan-out serializes on it, which is fine because the
+//! server is where the real concurrency (and the report cache) lives. GPU
+//! cycles come back as IEEE-754 bit strings, so every number this source
+//! returns is bit-identical to the in-process simulation and the summary
+//! JSON built on top is byte-identical to the in-process one.
+//!
+//! Estimate failures panic with the server's typed error: `expall` has no
+//! way to make progress on a half-answered summary, and a panic keeps the
+//! failure loud in CI.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use iconv_gpusim::GpuAlgo;
+use iconv_serve::{Client, TpuHwSpec};
+use iconv_tensor::ConvShape;
+use iconv_tpusim::SimMode;
+
+use crate::summary::CycleSource;
+
+/// Estimate source speaking the serve protocol.
+pub struct ServeSource {
+    client: Mutex<Client>,
+}
+
+impl ServeSource {
+    /// Connect to a serve endpoint, retrying for up to five seconds (the
+    /// server may still be binding when `expall` starts).
+    ///
+    /// # Errors
+    ///
+    /// Returns the final connect error once the retry window closes.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let client = Client::connect_retry(addr, Duration::from_secs(5))?;
+        Ok(Self {
+            client: Mutex::new(client),
+        })
+    }
+
+    /// Fetch the server's counter snapshot (for the hit-rate report
+    /// `expall` prints after a `--via-serve` summary).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stats RPC fails.
+    pub fn stats(&self) -> iconv_serve::StatsSnapshot {
+        self.client
+            .lock()
+            .expect("serve client poisoned")
+            .stats()
+            .expect("serve stats RPC failed")
+    }
+}
+
+impl CycleSource for ServeSource {
+    fn tpu_conv_cycles(&self, shape: &ConvShape, mode: SimMode) -> u64 {
+        self.client
+            .lock()
+            .expect("serve client poisoned")
+            .tpu_conv(shape, mode, &TpuHwSpec::default())
+            .expect("serve tpu conv estimate failed")
+            .cycles
+    }
+
+    fn tpu_gemm_cycles(&self, m: usize, n: usize, k: usize) -> u64 {
+        self.client
+            .lock()
+            .expect("serve client poisoned")
+            .tpu_gemm(m, n, k, &TpuHwSpec::default())
+            .expect("serve tpu gemm estimate failed")
+            .cycles
+    }
+
+    fn gpu_conv_cycles(&self, shape: &ConvShape, algo: GpuAlgo) -> f64 {
+        self.client
+            .lock()
+            .expect("serve client poisoned")
+            .gpu_conv(shape, algo)
+            .expect("serve gpu conv estimate failed")
+            .cycles
+    }
+}

@@ -4,7 +4,61 @@
 
 use iconv_gpusim::{GpuAlgo, GpuConfig, GpuSim};
 use iconv_models::{mean_abs_pct_error, TpuMeasuredProxy};
+use iconv_tensor::ConvShape;
 use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+
+/// Where layer estimates come from: the in-process simulators, or a remote
+/// `iconv-serve` instance (`expall --via-serve`).
+///
+/// Implementations must be *bit*-deterministic: the same query returns the
+/// same value every time, so the summary JSON is byte-identical whichever
+/// source backs it. The GPU method returns the raw `f64` total cycles
+/// (`KernelTiming::cycles`) because downstream arithmetic must replay the
+/// in-process operation sequence exactly.
+pub trait CycleSource: Sync {
+    /// Total cycles of a TPU convolution under `mode`.
+    fn tpu_conv_cycles(&self, shape: &ConvShape, mode: SimMode) -> u64;
+    /// Total cycles of a TPU GEMM.
+    fn tpu_gemm_cycles(&self, m: usize, n: usize, k: usize) -> u64;
+    /// Total cycles of a GPU convolution under `algo` (bit-exact `f64`).
+    fn gpu_conv_cycles(&self, shape: &ConvShape, algo: GpuAlgo) -> f64;
+}
+
+/// The in-process source: calls the simulators directly.
+pub struct InProcessSource {
+    sim: Simulator,
+    gpu: GpuSim,
+}
+
+impl InProcessSource {
+    /// Source over the paper's default TPU-v2 / V100 configurations.
+    pub fn new() -> Self {
+        Self {
+            sim: Simulator::new(TpuConfig::tpu_v2()),
+            gpu: GpuSim::new(GpuConfig::v100()),
+        }
+    }
+}
+
+impl Default for InProcessSource {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CycleSource for InProcessSource {
+    fn tpu_conv_cycles(&self, shape: &ConvShape, mode: SimMode) -> u64 {
+        self.sim.simulate_conv("summary", shape, mode).cycles
+    }
+
+    fn tpu_gemm_cycles(&self, m: usize, n: usize, k: usize) -> u64 {
+        self.sim.simulate_gemm("summary", m, n, k).cycles
+    }
+
+    fn gpu_conv_cycles(&self, shape: &ConvShape, algo: GpuAlgo) -> f64 {
+        self.gpu.simulate_conv("summary", shape, algo).timing.cycles
+    }
+}
 
 /// One reproduced artifact: our headline number next to the paper's.
 #[derive(Debug, Clone)]
@@ -38,9 +92,18 @@ pub fn compute() -> Summary {
 /// via [`iconv_par::par_map_jobs`], which preserves input order — the
 /// resulting metrics (and their JSON) are identical for every `jobs` value.
 pub fn compute_jobs(jobs: usize) -> Summary {
-    let sim = Simulator::new(TpuConfig::tpu_v2());
+    compute_jobs_with(jobs, &InProcessSource::new())
+}
+
+/// [`compute_jobs`] against an arbitrary estimate source. With
+/// [`InProcessSource`] this is the classic path; with the `--via-serve`
+/// source in the `expall` binary every estimate is fetched over the wire.
+/// The floating-point reductions below are ordered identically either way,
+/// and the sources are bit-deterministic, so the resulting JSON is
+/// byte-identical across sources, worker counts, and cache states.
+pub fn compute_jobs_with(jobs: usize, src: &dyn CycleSource) -> Summary {
     let proxy = TpuMeasuredProxy::tpu_v2();
-    let gpu = GpuSim::new(GpuConfig::v100());
+    let gpu_cfg = GpuConfig::v100();
 
     // Fig. 13a: GEMM validation error.
     let gemm_pairs = iconv_par::par_map_jobs(
@@ -48,7 +111,7 @@ pub fn compute_jobs(jobs: usize) -> Summary {
         &crate::experiments::fig13::gemm_sweep(),
         |&(m, n, k)| {
             (
-                sim.simulate_gemm("g", m, n, k).cycles as f64,
+                src.tpu_gemm_cycles(m, n, k) as f64,
                 proxy.gemm_cycles(m, n, k),
             )
         },
@@ -58,7 +121,7 @@ pub fn compute_jobs(jobs: usize) -> Summary {
     let conv_pairs =
         iconv_par::par_map_jobs(jobs, &crate::experiments::fig13::conv_sweep(8), |s| {
             (
-                sim.simulate_conv("c", s, SimMode::ChannelFirst).cycles as f64,
+                src.tpu_conv_cycles(s, SimMode::ChannelFirst) as f64,
                 proxy.conv_cycles(s),
             )
         });
@@ -68,16 +131,26 @@ pub fn compute_jobs(jobs: usize) -> Summary {
     let all_layers: Vec<_> = models.iter().flat_map(|m| m.layers.iter()).collect();
     let layer_pairs = iconv_par::par_map_jobs(jobs, &all_layers, |l| {
         (
-            sim.simulate_conv(&l.name, &l.shape, SimMode::ChannelFirst)
-                .cycles as f64,
+            src.tpu_conv_cycles(&l.shape, SimMode::ChannelFirst) as f64,
             proxy.conv_cycles(&l.shape),
         )
     });
 
-    // Fig. 17: GPU parity.
+    // Fig. 17: GPU parity. The per-model second totals replay
+    // `GpuSim::model_seconds` operation for operation (cycles-to-seconds
+    // conversion, then scale by occurrence count, summed in layer order),
+    // so the ratio is bit-identical to the direct call.
+    let model_seconds = |m: &iconv_workloads::Model, algo: GpuAlgo| -> f64 {
+        m.layers
+            .iter()
+            .map(|l| {
+                gpu_cfg.cycles_to_seconds(src.gpu_conv_cycles(&l.shape, algo)) * l.count as f64
+            })
+            .sum()
+    };
     let fig17: f64 = iconv_par::par_map_jobs(jobs, &models, |m| {
-        gpu.model_seconds(m, GpuAlgo::ChannelFirst { reuse: true })
-            / gpu.model_seconds(m, GpuAlgo::CudnnImplicit)
+        model_seconds(m, GpuAlgo::ChannelFirst { reuse: true })
+            / model_seconds(m, GpuAlgo::CudnnImplicit)
     })
     .iter()
     .sum::<f64>()
@@ -90,9 +163,9 @@ pub fn compute_jobs(jobs: usize) -> Summary {
         .filter(|l| l.shape.ci >= 16)
         .collect();
     let speedups = iconv_par::par_map_jobs(jobs, &strided, |l| {
-        let c = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::CudnnImplicit);
-        let o = gpu.simulate_conv(&l.name, &l.shape, GpuAlgo::ChannelFirst { reuse: true });
-        c.timing.cycles / o.timing.cycles
+        let c = src.gpu_conv_cycles(&l.shape, GpuAlgo::CudnnImplicit);
+        let o = src.gpu_conv_cycles(&l.shape, GpuAlgo::ChannelFirst { reuse: true });
+        c / o
     });
     let fig18a = speedups.iter().sum::<f64>() / speedups.len() as f64;
 

@@ -1,0 +1,34 @@
+//! `expall --via-serve` must be a transparent transport: the summary built
+//! from estimates fetched over the serve protocol is byte-identical to the
+//! in-process one. This is the guarantee that makes the serving path safe
+//! to use for regression tracking — u64 cycles cross the wire in decimal
+//! and GPU `f64` cycles as IEEE-754 bit strings, so nothing is rounded.
+
+use iconv_bench::serve_source::ServeSource;
+use iconv_bench::summary;
+use iconv_serve::{spawn, ServerConfig};
+
+#[test]
+fn summary_via_serve_is_byte_identical() {
+    let in_process = summary::to_json(&summary::compute_jobs(2));
+
+    let handle = spawn(ServerConfig::default()).expect("spawn serve");
+    let addr = handle.local_addr().to_string();
+    let src = ServeSource::connect(&addr).expect("connect to in-process serve");
+    let via_serve = summary::to_json(&summary::compute_jobs_with(2, &src));
+
+    let stats = src.stats();
+    drop(src);
+    handle.shutdown();
+
+    assert_eq!(
+        in_process, via_serve,
+        "serve transport changed the summary bytes"
+    );
+    assert!(stats.requests > 0, "summary never hit the server");
+    assert_eq!(
+        stats.hits + stats.misses,
+        stats.requests,
+        "cache counters must partition the request count"
+    );
+}

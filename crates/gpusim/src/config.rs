@@ -59,6 +59,36 @@ impl GpuConfig {
     pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
         cycles / (self.clock_mhz * 1e6)
     }
+
+    /// A canonical, injective text rendering of every configuration field —
+    /// the GPU analogue of `TpuConfig::canonical_key`, used as the hardware
+    /// component of `iconv-serve` cache keys. Floats use shortest
+    /// round-trip `Display`, so distinct values never alias.
+    pub fn canonical_key(&self) -> String {
+        let d = &self.dram;
+        format!(
+            "gpu;sms{};tc{};clk{};sh{};eb{};dram{},{},{},{},{},{},{},{};blk{}x{}x{};bpsm{};launch{};swpe{}",
+            self.sms,
+            self.tc_macs_per_sm_cycle,
+            self.clock_mhz,
+            self.shared_bytes,
+            self.elem_bytes,
+            d.bytes_per_cycle,
+            d.burst_bytes,
+            d.row_bytes,
+            d.banks,
+            d.t_activate,
+            d.t_precharge,
+            d.t_cas,
+            d.base_latency,
+            self.block.bm,
+            self.block.bn,
+            self.block.bk,
+            self.blocks_per_sm,
+            self.launch_cycles,
+            self.sw_pipeline_efficiency
+        )
+    }
 }
 
 impl Default for GpuConfig {
@@ -75,6 +105,18 @@ mod tests {
     fn v100_peak_is_125_tflops() {
         let t = GpuConfig::v100().peak_tflops();
         assert!((t - 125.3).abs() < 1.0, "peak = {t}");
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_configs() {
+        let base = GpuConfig::v100();
+        let mut faster = base;
+        faster.clock_mhz = 1544.0;
+        let mut wider = base;
+        wider.block.bk = 64;
+        assert_eq!(base.canonical_key(), GpuConfig::v100().canonical_key());
+        assert_ne!(base.canonical_key(), faster.canonical_key());
+        assert_ne!(base.canonical_key(), wider.canonical_key());
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! 2. the `ICONV_JOBS` environment variable,
 //! 3. [`std::thread::available_parallelism`].
 //!
+//! For *long-lived* services (rather than batch sweeps) the [`pool`] module
+//! provides [`WorkerPool`]: persistent workers behind a bounded queue with
+//! explicit [`PoolBusy`] backpressure.
+//!
 //! # Examples
 //!
 //! ```
@@ -25,6 +29,10 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+pub mod pool;
+
+pub use pool::{PoolBusy, WorkerPool};
 
 /// Name of the environment variable overriding the worker count.
 pub const JOBS_ENV: &str = "ICONV_JOBS";

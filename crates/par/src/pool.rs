@@ -1,0 +1,260 @@
+//! A long-lived worker pool with a bounded job queue.
+//!
+//! [`par_map_jobs`](crate::par_map_jobs) fans a *batch* out over scoped
+//! threads and joins them before returning — the right shape for the
+//! experiment sweeps, and the wrong one for a server that must accept jobs
+//! for its whole lifetime. [`WorkerPool`] keeps `workers` threads alive,
+//! feeds them from a bounded FIFO, and makes overload explicit:
+//! [`WorkerPool::try_submit`] returns [`PoolBusy`] instead of blocking when
+//! the queue is full, so a caller under backpressure can shed load (the
+//! `iconv-serve` server turns this into a `busy` protocol error rather than
+//! a hang).
+//!
+//! Shutdown is graceful by default: [`WorkerPool::shutdown`] (also run on
+//! drop) stops accepting new jobs, lets the queue drain, and joins the
+//! workers.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A job the pool can run.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned by [`WorkerPool::try_submit`] when the pool cannot take
+/// the job: the bounded queue is full, or the pool is shutting down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolBusy {
+    /// The job queue is at capacity.
+    QueueFull,
+    /// [`WorkerPool::shutdown`] has begun; no new jobs are accepted.
+    ShuttingDown,
+}
+
+impl fmt::Display for PoolBusy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolBusy::QueueFull => write!(f, "worker pool queue is full"),
+            PoolBusy::ShuttingDown => write!(f, "worker pool is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for PoolBusy {}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signalled when a job is pushed or shutdown begins.
+    job_ready: Condvar,
+    capacity: usize,
+    /// Jobs currently executing (not counting queued ones).
+    in_flight: AtomicUsize,
+}
+
+/// A fixed-size pool of worker threads fed from a bounded FIFO queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads sharing a queue of at most `queue_capacity`
+    /// pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `queue_capacity == 0`.
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        assert!(workers > 0, "workers must be >= 1");
+        assert!(queue_capacity > 0, "queue capacity must be >= 1");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::with_capacity(queue_capacity),
+                shutting_down: false,
+            }),
+            job_ready: Condvar::new(),
+            capacity: queue_capacity,
+            in_flight: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("iconv-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Enqueue `job`, or refuse immediately if the queue is full or the
+    /// pool is shutting down. Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolBusy`] when the job was *not* accepted.
+    pub fn try_submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), PoolBusy> {
+        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        if state.shutting_down {
+            return Err(PoolBusy::ShuttingDown);
+        }
+        if state.queue.len() >= self.shared.capacity {
+            return Err(PoolBusy::QueueFull);
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Number of worker threads (zero once the pool has shut down).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs waiting in the queue (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool state poisoned")
+            .queue
+            .len()
+    }
+
+    /// Jobs currently executing on workers.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting new jobs, let queued and in-flight jobs finish, and
+    /// join the workers. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            state.shutting_down = true;
+        }
+        self.shared.job_ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .field("capacity", &self.shared.capacity)
+            .field("queue_depth", &self.queue_depth())
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutting_down {
+                    return; // queue drained and no more will arrive
+                }
+                state = shared.job_ready.wait(state).expect("pool state poisoned");
+            }
+        };
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        job();
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let counter = Arc::new(AtomicU32::new(0));
+        let mut pool = WorkerPool::new(4, 64);
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            pool.try_submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn full_queue_refuses_instead_of_blocking() {
+        // One worker blocked on a gate; capacity-1 queue: the first job
+        // occupies the worker, the second fills the queue, the third must
+        // be refused immediately.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let mut pool = WorkerPool::new(1, 1);
+        pool.try_submit(move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("worker never started");
+        pool.try_submit(|| {}).unwrap(); // sits in the queue
+        assert_eq!(pool.try_submit(|| {}), Err(PoolBusy::QueueFull));
+        assert_eq!(pool.queue_depth(), 1);
+        assert_eq!(pool.in_flight(), 1);
+        gate_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_and_refuses_new_ones() {
+        let counter = Arc::new(AtomicU32::new(0));
+        let mut pool = WorkerPool::new(2, 128);
+        for _ in 0..40 {
+            let counter = Arc::clone(&counter);
+            pool.try_submit(move || {
+                std::thread::sleep(Duration::from_micros(100));
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 40, "queue must drain");
+        assert_eq!(pool.try_submit(|| {}), Err(PoolBusy::ShuttingDown));
+    }
+
+    #[test]
+    #[should_panic(expected = "workers must be >= 1")]
+    fn zero_workers_panics() {
+        let _ = WorkerPool::new(0, 1);
+    }
+}

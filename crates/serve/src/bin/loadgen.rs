@@ -1,0 +1,379 @@
+//! `loadgen` — closed-loop load generator for `served`.
+//!
+//! Replays the paper's workload table (every layer of the seven CNNs, each
+//! under four estimators: TPU channel-first, TPU explicit, GPU
+//! cuDNN-implicit, GPU channel-first+reuse) against a server, at a
+//! configurable connection count and pipelining window, for several passes.
+//! Pass 1 is the cold pass (all cache misses); later passes measure the
+//! warm cache. Prints a per-pass throughput/latency/hit-rate table and
+//! writes the machine-readable report to `BENCH_serve.json`.
+//!
+//! By default it spawns an in-process server so `cargo run --bin loadgen`
+//! is self-contained; `--addr` points it at an external `served` instead.
+
+use std::time::Instant;
+
+use iconv_gpusim::GpuAlgo;
+use iconv_serve::client::Client;
+use iconv_serve::protocol::{
+    encode_estimate, EstimateRequest, Response, StatsSnapshot, TpuHwSpec, Work,
+};
+use iconv_serve::server::{spawn, ServerConfig};
+use iconv_tpusim::SimMode;
+
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--window N] \
+                     [--passes N] [--workers N] [--models all|small] [--out PATH] [--shutdown]";
+
+struct Args {
+    addr: Option<String>,
+    concurrency: usize,
+    window: usize,
+    passes: usize,
+    workers: usize,
+    small: bool,
+    out: String,
+    shutdown: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            concurrency: 8,
+            window: 32,
+            passes: 2,
+            workers: iconv_par::default_jobs(),
+            small: false,
+            out: "BENCH_serve.json".to_owned(),
+            shutdown: false,
+        }
+    }
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut parsed = Args::default();
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value; {USAGE}"))
+        };
+        let positive = |name: &str, v: String| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| format!("{name} needs a positive integer (got {v:?}); {USAGE}"))
+        };
+        match a.as_str() {
+            "--addr" => parsed.addr = Some(value("--addr")?),
+            "--concurrency" => {
+                parsed.concurrency = positive("--concurrency", value("--concurrency")?)?
+            }
+            "--window" => parsed.window = positive("--window", value("--window")?)?,
+            "--passes" => parsed.passes = positive("--passes", value("--passes")?)?,
+            "--workers" => parsed.workers = positive("--workers", value("--workers")?)?,
+            "--out" => parsed.out = value("--out")?,
+            "--shutdown" => parsed.shutdown = true,
+            "--models" => {
+                parsed.small = match value("--models")?.as_str() {
+                    "all" => false,
+                    "small" => true,
+                    other => {
+                        return Err(format!(
+                            "--models must be all|small (got {other:?}); {USAGE}"
+                        ))
+                    }
+                }
+            }
+            other => return Err(format!("unknown argument {other:?}; {USAGE}")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// The request mix: the full workload table under four estimators each.
+fn build_requests(small: bool) -> Vec<String> {
+    let models = iconv_workloads::all_models(8);
+    let models: Vec<_> = if small {
+        models.into_iter().take(1).collect()
+    } else {
+        models
+    };
+    let hw = TpuHwSpec::default();
+    let mut lines = Vec::new();
+    for m in &models {
+        for l in &m.layers {
+            for work in [
+                Work::TpuConv {
+                    shape: l.shape,
+                    mode: SimMode::ChannelFirst,
+                    hw,
+                },
+                Work::TpuConv {
+                    shape: l.shape,
+                    mode: SimMode::Explicit,
+                    hw,
+                },
+                Work::GpuConv {
+                    shape: l.shape,
+                    algo: GpuAlgo::CudnnImplicit,
+                },
+                Work::GpuConv {
+                    shape: l.shape,
+                    algo: GpuAlgo::ChannelFirst { reuse: true },
+                },
+            ] {
+                lines.push(encode_estimate(&EstimateRequest {
+                    id: None,
+                    work,
+                    deadline_ms: None,
+                }));
+            }
+        }
+    }
+    lines
+}
+
+/// One closed-loop connection: keep up to `window` requests outstanding,
+/// read one, top the window back up. Returns (responses, typed errors).
+fn run_chunk(addr: &str, lines: &[String], window: usize) -> (u64, u64) {
+    let Ok(mut client) = Client::connect(addr) else {
+        eprintln!("loadgen: connect to {addr} failed");
+        return (0, lines.len() as u64);
+    };
+    let (mut sent, mut recvd, mut errors) = (0usize, 0usize, 0u64);
+    while recvd < lines.len() {
+        while sent < lines.len() && sent - recvd < window {
+            if client.send_line(&lines[sent]).is_err() {
+                return (recvd as u64, errors + (lines.len() - recvd) as u64);
+            }
+            sent += 1;
+        }
+        if client.flush().is_err() {
+            return (recvd as u64, errors + (lines.len() - recvd) as u64);
+        }
+        match client.recv_response() {
+            Ok(Response::Error { kind, detail, .. }) => {
+                errors += 1;
+                recvd += 1;
+                eprintln!("loadgen: server error {kind}: {detail}");
+            }
+            Ok(_) => recvd += 1,
+            Err(e) => {
+                eprintln!("loadgen: receive failed: {e}");
+                return (recvd as u64, errors + (lines.len() - recvd) as u64);
+            }
+        }
+    }
+    (recvd as u64, errors)
+}
+
+struct PassReport {
+    requests: u64,
+    errors: u64,
+    hits: u64,
+    misses: u64,
+    wall_seconds: f64,
+    throughput_rps: f64,
+    hit_rate: f64,
+    mean_latency_us: f64,
+}
+
+fn run_pass(addr: &str, lines: &[String], args: &Args, control: &mut Client) -> PassReport {
+    let before = control.stats().expect("stats RPC");
+    let t0 = Instant::now();
+    let chunks: Vec<&[String]> = chunk_evenly(lines, args.concurrency);
+    let results: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || run_chunk(addr, chunk, args.window)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chunk thread"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let after = control.stats().expect("stats RPC");
+    let responses: u64 = results.iter().map(|(r, _)| r).sum();
+    let errors: u64 = results.iter().map(|(_, e)| e).sum();
+    let served = after.requests - before.requests;
+    let hits = after.hits - before.hits;
+    let misses = after.misses - before.misses;
+    PassReport {
+        requests: responses,
+        errors,
+        hits,
+        misses,
+        wall_seconds: wall,
+        throughput_rps: responses as f64 / wall.max(1e-9),
+        hit_rate: if served == 0 {
+            0.0
+        } else {
+            hits as f64 / served as f64
+        },
+        mean_latency_us: if served == 0 {
+            0.0
+        } else {
+            (after.latency_us_total - before.latency_us_total) as f64 / served as f64
+        },
+    }
+}
+
+fn chunk_evenly(lines: &[String], parts: usize) -> Vec<&[String]> {
+    let parts = parts.min(lines.len()).max(1);
+    let base = lines.len() / parts;
+    let extra = lines.len() % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(&lines[start..start + len]);
+        start += len;
+    }
+    out
+}
+
+fn write_report(
+    path: &str,
+    args: &Args,
+    n_requests: usize,
+    passes: &[PassReport],
+    final_stats: &StatsSnapshot,
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"bench\": \"serve\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"concurrency\": {}, \"window\": {}, \"passes\": {}, \
+         \"requests_per_pass\": {}, \"workers\": {}}},\n",
+        args.concurrency, args.window, args.passes, n_requests, final_stats.workers
+    ));
+    out.push_str("  \"passes\": [\n");
+    for (i, p) in passes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pass\": {}, \"requests\": {}, \"errors\": {}, \"hits\": {}, \
+             \"misses\": {}, \"wall_seconds\": {:.6}, \"throughput_rps\": {:.1}, \
+             \"hit_rate\": {:.4}, \"mean_latency_us\": {:.1}}}{}\n",
+            i,
+            p.requests,
+            p.errors,
+            p.hits,
+            p.misses,
+            p.wall_seconds,
+            p.throughput_rps,
+            p.hit_rate,
+            p.mean_latency_us,
+            if i + 1 < passes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let second_hit = passes.get(1).map_or(0.0, |p| p.hit_rate);
+    let warm_over_cold = match (passes.first(), passes.last()) {
+        (Some(cold), Some(warm)) if passes.len() > 1 && cold.throughput_rps > 0.0 => {
+            warm.throughput_rps / cold.throughput_rps
+        }
+        _ => 1.0,
+    };
+    out.push_str(&format!("  \"second_pass_hit_rate\": {second_hit:.4},\n"));
+    out.push_str(&format!(
+        "  \"warm_over_cold_throughput\": {warm_over_cold:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"final_stats\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}, \
+         \"evictions\": {}, \"cache_entries\": {}, \"busy_rejections\": {}, \
+         \"latency_us_max\": {}}}\n}}\n",
+        final_stats.requests,
+        final_stats.hits,
+        final_stats.misses,
+        final_stats.evictions,
+        final_stats.cache_entries,
+        final_stats.busy_rejections,
+        final_stats.latency_us_max
+    ));
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(err) => {
+            eprintln!("loadgen: {err}");
+            std::process::exit(2);
+        }
+    };
+    // Either connect out, or boot an in-process server.
+    let (addr, local) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let handle = spawn(ServerConfig {
+                workers: args.workers,
+                ..ServerConfig::default()
+            })
+            .expect("spawn in-process server");
+            (handle.local_addr().to_string(), Some(handle))
+        }
+    };
+    let mut control = match Client::connect_retry(&addr, std::time::Duration::from_secs(5)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loadgen: cannot reach {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let lines = build_requests(args.small);
+    eprintln!(
+        "loadgen: {} requests/pass x {} passes, {} connection(s), window {}",
+        lines.len(),
+        args.passes,
+        args.concurrency,
+        args.window
+    );
+
+    let mut passes = Vec::with_capacity(args.passes);
+    for i in 0..args.passes {
+        let p = run_pass(&addr, &lines, &args, &mut control);
+        eprintln!(
+            "  pass {i}: {:>6} req in {:>7.3}s  {:>9.1} req/s  hit-rate {:>5.1}%  \
+             mean latency {:>8.1}us{}",
+            p.requests,
+            p.wall_seconds,
+            p.throughput_rps,
+            100.0 * p.hit_rate,
+            p.mean_latency_us,
+            if p.errors > 0 {
+                format!("  ({} errors)", p.errors)
+            } else {
+                String::new()
+            }
+        );
+        passes.push(p);
+    }
+
+    let final_stats = control.stats().expect("stats RPC");
+    if passes.len() > 1 {
+        let cold = passes[0].throughput_rps;
+        let warm = passes.last().unwrap().throughput_rps;
+        eprintln!(
+            "loadgen: warm/cold throughput {:.1}x, second-pass hit rate {:.1}%",
+            warm / cold.max(1e-9),
+            100.0 * passes[1].hit_rate
+        );
+    }
+    match write_report(&args.out, &args, lines.len(), &passes, &final_stats) {
+        Ok(()) => eprintln!("loadgen: wrote {}", args.out),
+        Err(e) => {
+            eprintln!("loadgen: could not write {}: {e}", args.out);
+            std::process::exit(1);
+        }
+    }
+    if args.shutdown {
+        let _ = control.shutdown_server();
+    }
+    if let Some(handle) = local {
+        handle.shutdown();
+    }
+    let errors: u64 = passes.iter().map(|p| p.errors).sum();
+    if errors > 0 {
+        eprintln!("loadgen: {errors} request(s) failed");
+        std::process::exit(1);
+    }
+}

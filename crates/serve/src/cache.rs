@@ -1,0 +1,199 @@
+//! A plain LRU report cache: canonical key → cached response body.
+//!
+//! The implementation is a slab-backed intrusive doubly-linked list with a
+//! `HashMap` index — `get`, `insert` and eviction are all O(1). Values are
+//! the response *bodies* produced by [`crate::engine::evaluate`], which do
+//! not embed the client id, so a replayed entry is byte-identical to a
+//! freshly simulated one.
+
+use std::collections::HashMap;
+
+const NONE: usize = usize::MAX;
+
+struct Entry {
+    key: String,
+    value: String,
+    prev: usize,
+    next: usize,
+}
+
+/// Least-recently-used cache of response bodies.
+pub struct LruCache {
+    map: HashMap<String, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl LruCache {
+    /// Create a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    /// Current population.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries displaced by capacity pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Look up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(self.slab[idx].value.clone())
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry
+    /// when the cache is full.
+    pub fn insert(&mut self, key: String, value: String) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NONE);
+            self.unlink(victim);
+            let old_key = std::mem::take(&mut self.slab[victim].key);
+            self.map.remove(&old_key);
+            self.free.push(victim);
+            self.evictions += 1;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                };
+                i
+            }
+            None => {
+                self.slab.push(Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NONE {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NONE {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+        self.slab[idx].prev = NONE;
+        self.slab[idx].next = NONE;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NONE;
+        self.slab[idx].next = self.head;
+        if self.head != NONE {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NONE {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        c.insert("c".into(), "3".into()); // evicts a
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.get("b").as_deref(), Some("2"));
+        assert_eq!(c.get("c").as_deref(), Some("3"));
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn get_promotes() {
+        let mut c = LruCache::new(2);
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        assert!(c.get("a").is_some()); // a is now most recent
+        c.insert("c".into(), "3".into()); // evicts b
+        assert_eq!(c.get("b"), None);
+        assert_eq!(c.get("a").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn insert_refreshes_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        c.insert("a".into(), "1'".into()); // refresh, no eviction
+        assert_eq!(c.evictions(), 0);
+        c.insert("c".into(), "3".into()); // evicts b (a was refreshed)
+        assert_eq!(c.get("b"), None);
+        assert_eq!(c.get("a").as_deref(), Some("1'"));
+    }
+
+    #[test]
+    fn capacity_one_churns_correctly() {
+        let mut c = LruCache::new(1);
+        for i in 0..100 {
+            c.insert(format!("k{i}"), format!("v{i}"));
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.get(&format!("k{i}")).unwrap(), format!("v{i}"));
+        }
+        assert_eq!(c.evictions(), 99);
+    }
+}

@@ -1,0 +1,272 @@
+//! A blocking client for the serve protocol: typed one-shot calls plus the
+//! split `send`/`recv` surface the load generator uses for windowed
+//! pipelining.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use iconv_gpusim::GpuAlgo;
+use iconv_tensor::ConvShape;
+use iconv_tpusim::SimMode;
+
+use crate::protocol::{
+    encode_estimate, encode_simple, parse_response, ErrorKind, EstimateRequest, GpuEstimate,
+    Response, StatsSnapshot, TpuEstimate, TpuHwSpec, Work,
+};
+
+/// Anything that can go wrong on a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (including server disconnect).
+    Io(io::Error),
+    /// The server's reply could not be decoded.
+    Malformed(String),
+    /// The server answered with a typed protocol error.
+    Server {
+        /// The error code.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The reply decoded fine but was not the kind the call expected.
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Malformed(d) => write!(f, "malformed response: {d}"),
+            ClientError::Server { kind, detail } => write!(f, "server error ({kind}): {detail}"),
+            ClientError::Unexpected(d) => write!(f, "unexpected response: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a serve endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Connect, retrying until `timeout` elapses — for racing a server
+    /// that is still binding its socket (CI boots `served` in the
+    /// background and connects "immediately").
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connect error once the deadline passes.
+    pub fn connect_retry(addr: &str, timeout: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// Queue one raw request line (no newline) without flushing — the
+    /// pipelined half of the API.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Flush queued requests to the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Read one raw response line (without the newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures; EOF maps to `UnexpectedEof`.
+    pub fn recv_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Read and decode one response.
+    ///
+    /// # Errors
+    ///
+    /// Transport or decode failures (a typed server error decodes
+    /// *successfully* into [`Response::Error`]).
+    pub fn recv_response(&mut self) -> Result<Response, ClientError> {
+        let line = self.recv_line()?;
+        parse_response(&line).map_err(|e| ClientError::Malformed(format!("{e} in {line:?}")))
+    }
+
+    /// Send one request line and read its response (the non-pipelined
+    /// path; responses come back in request order).
+    ///
+    /// # Errors
+    ///
+    /// Transport or decode failures.
+    pub fn call(&mut self, line: &str) -> Result<Response, ClientError> {
+        self.send_line(line)?;
+        self.flush()?;
+        self.recv_response()
+    }
+
+    fn call_estimate(&mut self, work: Work) -> Result<Response, ClientError> {
+        let line = encode_estimate(&EstimateRequest {
+            id: None,
+            work,
+            deadline_ms: None,
+        });
+        match self.call(&line)? {
+            Response::Error { kind, detail, .. } => Err(ClientError::Server { kind, detail }),
+            other => Ok(other),
+        }
+    }
+
+    /// Estimate a TPU convolution.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or typed server errors.
+    pub fn tpu_conv(
+        &mut self,
+        shape: &ConvShape,
+        mode: SimMode,
+        hw: &TpuHwSpec,
+    ) -> Result<TpuEstimate, ClientError> {
+        match self.call_estimate(Work::TpuConv {
+            shape: *shape,
+            mode,
+            hw: *hw,
+        })? {
+            Response::Tpu { est, .. } => Ok(est),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Estimate a TPU GEMM.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or typed server errors.
+    pub fn tpu_gemm(
+        &mut self,
+        m: usize,
+        n: usize,
+        k: usize,
+        hw: &TpuHwSpec,
+    ) -> Result<TpuEstimate, ClientError> {
+        match self.call_estimate(Work::TpuGemm { m, n, k, hw: *hw })? {
+            Response::Tpu { est, .. } => Ok(est),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Estimate a GPU convolution. The returned `f64` fields are
+    /// bit-identical to the server-side simulation.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or typed server errors.
+    pub fn gpu_conv(
+        &mut self,
+        shape: &ConvShape,
+        algo: GpuAlgo,
+    ) -> Result<GpuEstimate, ClientError> {
+        match self.call_estimate(Work::GpuConv {
+            shape: *shape,
+            algo,
+        })? {
+            Response::Gpu { est, .. } => Ok(est),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetch the server's counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or typed server errors.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.call(&encode_simple("stats", None))? {
+            Response::Stats { stats, .. } => Ok(stats),
+            Response::Error { kind, detail, .. } => Err(ClientError::Server { kind, detail }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or typed server errors.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&encode_simple("ping", None))? {
+            Response::Pong { .. } => Ok(()),
+            Response::Error { kind, detail, .. } => Err(ClientError::Server { kind, detail }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask the server to drain and shut down.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or typed server errors.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&encode_simple("shutdown", None))? {
+            Response::ShutdownAck { .. } => Ok(()),
+            Response::Error { kind, detail, .. } => Err(ClientError::Server { kind, detail }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Request evaluation: resolve hardware overrides, run the simulator, and
+//! render the response body.
+//!
+//! Evaluation is a pure function of the [`Work`] value — no clock, no
+//! randomness, no ambient configuration — which is what makes the cached
+//! and freshly-computed paths byte-identical and the whole service
+//! deterministic under any concurrency.
+
+use iconv_gpusim::{GpuConfig, GpuSim};
+use iconv_tpusim::{LayerReport, Simulator, TpuConfig};
+
+use crate::protocol::{gpu_body, tpu_body, GpuEstimate, TpuChip, TpuEstimate, TpuHwSpec, Work};
+
+/// Resolve a hardware spec to the full TPU configuration it denotes. This
+/// runs *before* cache-key derivation, so overrides equal to the chip's
+/// defaults do not fragment the cache.
+pub fn resolve_tpu(hw: &TpuHwSpec) -> TpuConfig {
+    let mut cfg = match hw.chip {
+        TpuChip::V2 => TpuConfig::tpu_v2(),
+        TpuChip::V3 => TpuConfig::tpu_v3(),
+    };
+    if let Some(a) = hw.array {
+        cfg = cfg.with_array_size(a);
+    }
+    if let Some(w) = hw.word_elems {
+        cfg = cfg.with_word_elems(w);
+    }
+    if let Some(m) = hw.mxus {
+        cfg.mxus = m;
+    }
+    if let Some(l) = hw.layout {
+        cfg.ifmap_layout = l;
+    }
+    cfg
+}
+
+fn tpu_estimate(rep: &LayerReport) -> TpuEstimate {
+    TpuEstimate {
+        cycles: rep.cycles,
+        compute_cycles: rep.compute_cycles,
+        exposed_memory_cycles: rep.exposed_memory_cycles,
+        dram_bytes: rep.dram_bytes,
+        workspace_bytes: rep.workspace_bytes,
+        flops: rep.flops,
+        dispatch: rep.phases.dispatch,
+        first_fill: rep.phases.first_fill,
+        steady: rep.phases.steady,
+    }
+}
+
+/// Run the simulation a request asks for and render the response body
+/// (the id-free interior cached by the server).
+pub fn evaluate(work: &Work) -> String {
+    match work {
+        Work::TpuConv { shape, mode, hw } => {
+            let rep = Simulator::new(resolve_tpu(hw)).simulate_conv("serve", shape, *mode);
+            tpu_body(&tpu_estimate(&rep))
+        }
+        Work::TpuGemm { m, n, k, hw } => {
+            let rep = Simulator::new(resolve_tpu(hw)).simulate_gemm("serve", *m, *n, *k);
+            tpu_body(&tpu_estimate(&rep))
+        }
+        Work::GpuConv { shape, algo } => {
+            let rep = GpuSim::new(GpuConfig::v100()).simulate_conv("serve", shape, *algo);
+            gpu_body(&GpuEstimate {
+                cycles: rep.timing.cycles,
+                compute_cycles: rep.timing.compute_cycles,
+                memory_cycles: rep.timing.memory_cycles,
+                transform_cycles: rep.transform_cycles,
+                blocks: rep.timing.blocks,
+                flops: rep.conv_flops,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_response, Response};
+    use iconv_gpusim::GpuAlgo;
+    use iconv_tensor::{ConvShape, Layout};
+    use iconv_tpusim::SimMode;
+
+    fn shape() -> ConvShape {
+        ConvShape::square(8, 64, 56, 64, 3, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn resolve_applies_every_override() {
+        let cfg = resolve_tpu(&TpuHwSpec {
+            chip: TpuChip::V3,
+            array: Some(256),
+            word_elems: Some(16),
+            mxus: Some(4),
+            layout: Some(Layout::Nchw),
+        });
+        assert_eq!(cfg.array.rows, 256);
+        assert_eq!(cfg.vector_mem.word_elems, 16);
+        assert_eq!(cfg.mxus, 4);
+        assert_eq!(cfg.ifmap_layout, Layout::Nchw);
+        assert_eq!(resolve_tpu(&TpuHwSpec::default()), TpuConfig::tpu_v2());
+    }
+
+    #[test]
+    fn tpu_body_matches_the_in_process_simulator() {
+        let work = Work::TpuConv {
+            shape: shape(),
+            mode: SimMode::ChannelFirst,
+            hw: TpuHwSpec::default(),
+        };
+        let line = crate::protocol::finish_response(None, &evaluate(&work));
+        let Ok(Response::Tpu { est, .. }) = parse_response(&line) else {
+            panic!("bad body: {line}");
+        };
+        let rep =
+            Simulator::new(TpuConfig::tpu_v2()).simulate_conv("x", &shape(), SimMode::ChannelFirst);
+        assert_eq!(est.cycles, rep.cycles);
+        assert_eq!(est.dram_bytes, rep.dram_bytes);
+        assert_eq!(est.dispatch + est.first_fill + est.steady, est.cycles);
+    }
+
+    #[test]
+    fn gpu_body_is_bit_exact() {
+        let work = Work::GpuConv {
+            shape: shape(),
+            algo: GpuAlgo::ChannelFirst { reuse: true },
+        };
+        let line = crate::protocol::finish_response(None, &evaluate(&work));
+        let Ok(Response::Gpu { est, .. }) = parse_response(&line) else {
+            panic!("bad body: {line}");
+        };
+        let rep = GpuSim::new(GpuConfig::v100()).simulate_conv(
+            "x",
+            &shape(),
+            GpuAlgo::ChannelFirst { reuse: true },
+        );
+        assert_eq!(est.cycles.to_bits(), rep.timing.cycles.to_bits());
+        assert_eq!(
+            est.compute_cycles.to_bits(),
+            rep.timing.compute_cycles.to_bits()
+        );
+        assert_eq!(
+            est.memory_cycles.to_bits(),
+            rep.timing.memory_cycles.to_bits()
+        );
+    }
+}

@@ -1,0 +1,457 @@
+//! A minimal, panic-free JSON parser and writer.
+//!
+//! The offline dependency set has no `serde_json`, and the wire protocol is
+//! one small object per line, so this module hand-rolls the slice of JSON
+//! the protocol needs: objects, arrays, strings (with escapes), numbers,
+//! booleans and null. Every malformed input maps to a typed [`JsonError`]
+//! carrying the byte offset — never a panic — which the codec proptests
+//! fuzz directly.
+//!
+//! Numbers are kept in both shapes the protocol uses: an exact `i64`/`u64`
+//! when the literal is integral and in range, and the `f64` value otherwise
+//! ([`Json::Num`]). GPU cycle counts, which must cross the wire *bit*-exactly
+//! for the `--via-serve` determinism guarantee, are therefore transported as
+//! hex-encoded `f64` bits in string fields rather than as JSON numbers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth accepted by the parser. Protocol messages are two
+/// levels deep; the bound exists so adversarial input exhausts a counter,
+/// not the stack.
+const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. `int` carries the exact integer when the literal was
+    /// integral and within `i64::MIN..=u64::MAX` — the union of the wire's
+    /// signed and unsigned ranges, held in an `i128` so `u64` counters
+    /// above `i64::MAX` stay exact.
+    Num {
+        /// The value as a double (always set).
+        float: f64,
+        /// The exact integer value, when representable.
+        int: Option<i128>,
+    },
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; `BTreeMap` keeps key order canonical.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Build an integral number.
+    pub fn int(v: i64) -> Json {
+        Json::Num {
+            float: v as f64,
+            int: Some(v as i128),
+        }
+    }
+
+    /// The value as an object map, if it is one.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is an integral number
+    /// in `u64` range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num { int: Some(v), .. } => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: what was expected and the byte offset it failed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of the failure.
+    pub msg: String,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+impl JsonError {
+    fn new(msg: impl Into<String>, at: usize) -> Self {
+        Self {
+            msg: msg.into(),
+            at,
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse one complete JSON value; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on any malformed input.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::new("trailing characters", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(
+                format!("expected '{}'", b as char),
+                self.pos,
+            ))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::new("nesting too deep", self.pos));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(JsonError::new(
+                format!("unexpected character '{}'", c as char),
+                self.pos,
+            )),
+            None => Err(JsonError::new("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!("expected '{word}'"), self.pos))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(JsonError::new("expected ',' or '}'", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::new("expected ',' or ']'", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::new("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Accept surrogate pairs; lone surrogates map to
+                            // U+FFFD rather than erroring (lenient but safe).
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined =
+                                        0x10000 + ((cp - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                    char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                } else {
+                                    '\u{FFFD}'
+                                }
+                            } else {
+                                char::from_u32(cp).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced pos
+                        }
+                        _ => return Err(JsonError::new("invalid escape", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(JsonError::new("control character in string", self.pos))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid; copy the whole scalar).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError::new("invalid utf-8", self.pos))?;
+                    let c = s.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(JsonError::new("truncated \\u escape", self.pos));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| JsonError::new("invalid \\u escape", self.pos))?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| JsonError::new("invalid \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid number", start))?;
+        let float: f64 = text
+            .parse()
+            .map_err(|_| JsonError::new(format!("invalid number {text:?}"), start))?;
+        if !float.is_finite() {
+            return Err(JsonError::new("number out of range", start));
+        }
+        let int = if integral {
+            text.parse::<i128>()
+                .ok()
+                .filter(|v| (i64::MIN as i128..=u64::MAX as i128).contains(v))
+        } else {
+            None
+        };
+        Ok(Json::Num { float, int })
+    }
+}
+
+/// Escape a string into `out` as a JSON string literal (with quotes).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_protocol_shaped_object() {
+        let v =
+            parse(r#"{"op":"conv","layer":{"n":8,"ci":64},"f":1.5,"ok":true,"x":null}"#).unwrap();
+        let o = v.as_obj().unwrap();
+        assert_eq!(o["op"].as_str(), Some("conv"));
+        assert_eq!(o["layer"].as_obj().unwrap()["ci"].as_u64(), Some(64));
+        assert_eq!(o["ok"], Json::Bool(true));
+        assert_eq!(o["x"], Json::Null);
+        match &o["f"] {
+            Json::Num { float, int } => {
+                assert_eq!(*float, 1.5);
+                assert_eq!(*int, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn integral_numbers_are_exact() {
+        let v = parse("9007199254740993").unwrap(); // 2^53 + 1: not f64-exact
+        assert_eq!(v.as_u64(), Some(9007199254740993));
+        let v = parse("-42").unwrap();
+        assert_eq!(v, Json::int(-42));
+        // Full u64 range is exact; one past it falls back to float-only.
+        assert_eq!(
+            parse("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        assert_eq!(parse("18446744073709551616").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = parse(r#""a\"b\\c\nd\u0041\u00e9""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\u{41}é"));
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn surrogate_pairs_and_lone_surrogates() {
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap().as_str(), Some("😀"));
+        assert_eq!(parse(r#""\ud83d""#).unwrap().as_str(), Some("\u{FFFD}"));
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"",
+            "\"\\q\"",
+            "{\"a\":1,}",
+            "nul",
+            "01a",
+            "--1",
+            "1e",
+            "[",
+            "{\"a\":1 \"b\":2}",
+            "\u{7}",
+            "\"\u{1}\"",
+            "1e999",
+        ] {
+            let e = parse(bad).unwrap_err();
+            assert!(!e.msg.is_empty(), "{bad:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_an_error_not_a_crash() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.msg.contains("deep"), "{e}");
+    }
+}

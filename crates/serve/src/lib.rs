@@ -1,0 +1,47 @@
+//! `iconv-serve`: a cached, concurrent layer-estimate service.
+//!
+//! The experiment runners call the simulators in-process, which is perfect
+//! for one-shot sweeps and wasteful for interactive exploration: a design
+//! tool poking at the TPU/GPU models re-simulates the same layers over and
+//! over. This crate turns the simulators into a long-running TCP service:
+//!
+//! * **Protocol** — newline-delimited JSON ([`protocol`]), hand-rolled on a
+//!   panic-free parser ([`json`]) because the offline dependency set has no
+//!   serde. Ops: `conv`, `gemm`, `stats`, `ping`, `shutdown`. Every failure
+//!   is a typed error response (`busy`, `deadline`, `parse`, `bad-request`,
+//!   `shutting-down`) — malformed input never panics or disconnects.
+//! * **Dispatch** — requests run on an [`iconv_par::WorkerPool`] with a
+//!   bounded queue; overload is surfaced as an explicit `busy` error
+//!   instead of a hang, and per-request `deadline_ms` bounds queue time.
+//! * **Cache** — a content-addressed LRU ([`cache`]) keyed on the canonical
+//!   rendering of (hardware config × lowering mode × layout × shape)
+//!   ([`key`]). Equivalent request spellings share entries; distinct
+//!   simulations never collide. Cached replays are byte-identical to fresh
+//!   ones, so responses are deterministic under any concurrency and any
+//!   cache state.
+//! * **Observability** — hits, misses, evictions, queue depth, latency are
+//!   visible live via the `stats` op and exportable as `iconv-trace`
+//!   counters.
+//!
+//! Binaries: `served` (the server) and `loadgen` (a closed-loop generator
+//! replaying the paper's workload table, writing `BENCH_serve.json`).
+//! `expall --via-serve` routes its summary's layer estimates through a
+//! server with byte-identical output — GPU `f64` cycles cross the wire as
+//! IEEE-754 bit strings to keep that guarantee exact.
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod json;
+pub mod key;
+pub mod protocol;
+pub mod server;
+
+pub use cache::LruCache;
+pub use client::{Client, ClientError};
+pub use key::canonical_key;
+pub use protocol::{
+    ErrorKind, EstimateRequest, GpuEstimate, Request, Response, StatsSnapshot, TpuChip,
+    TpuEstimate, TpuHwSpec, Work,
+};
+pub use server::{spawn, ServerConfig, ServerHandle};

@@ -1,0 +1,1074 @@
+//! The NDJSON wire protocol: request/response types, their codecs, and the
+//! typed error vocabulary.
+//!
+//! One JSON object per line in each direction. Requests carry an `op`
+//! (`conv`, `gemm`, `stats`, `ping`, `shutdown`), an optional client `id`
+//! echoed verbatim in the response, and an optional `deadline_ms` after
+//! which a queued request is answered with a `deadline` error instead of
+//! being simulated. Responses always carry `"ok":true|false`; failures name
+//! one of the [`ErrorKind`] codes.
+//!
+//! GPU cycle counts are `f64` and must survive the wire *bit*-exactly for
+//! the `--via-serve` determinism guarantee, so estimates carry them twice:
+//! a human-readable decimal (`cycles`) and an authoritative hex rendering
+//! of the IEEE-754 bits (`cycles_bits`) that the client decodes.
+
+use std::fmt;
+
+use iconv_gpusim::GpuAlgo;
+use iconv_tensor::{ConvShape, Layout};
+use iconv_tpusim::SimMode;
+
+use crate::json::{self, write_str, Json};
+
+/// Which TPU generation a request targets; resolved to a full
+/// [`iconv_tpusim::TpuConfig`] (plus the optional overrides in
+/// [`TpuHwSpec`]) by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TpuChip {
+    /// TPU-v2 (paper Table II) — the default.
+    #[default]
+    V2,
+    /// TPU-v3: two MXUs, faster clock, more HBM bandwidth.
+    V3,
+}
+
+/// Hardware overrides for TPU-targeted requests. Every field is optional;
+/// the engine resolves the spec against the chip's defaults *before* the
+/// cache key is derived, so `{}` and `{"chip":"v2","array":128}` address
+/// the same cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TpuHwSpec {
+    /// Base chip generation.
+    pub chip: TpuChip,
+    /// Systolic-array size override (`with_array_size`, Fig. 16a sweep).
+    pub array: Option<usize>,
+    /// Vector-memory word-size override (`with_word_elems`, Fig. 16b).
+    pub word_elems: Option<usize>,
+    /// MXU-count override.
+    pub mxus: Option<usize>,
+    /// DRAM IFMap layout override (default: the chip's, i.e. `HWCN`).
+    pub layout: Option<Layout>,
+}
+
+/// The simulation a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Work {
+    /// A convolution layer on the TPU model.
+    TpuConv {
+        /// Layer shape.
+        shape: ConvShape,
+        /// Lowering mode.
+        mode: SimMode,
+        /// Hardware overrides.
+        hw: TpuHwSpec,
+    },
+    /// A plain GEMM on the TPU model.
+    TpuGemm {
+        /// GEMM M.
+        m: usize,
+        /// GEMM N.
+        n: usize,
+        /// GEMM K.
+        k: usize,
+        /// Hardware overrides.
+        hw: TpuHwSpec,
+    },
+    /// A convolution layer on the V100 tensor-core model.
+    GpuConv {
+        /// Layer shape.
+        shape: ConvShape,
+        /// Kernel algorithm.
+        algo: GpuAlgo,
+    },
+}
+
+/// An estimate request: the work plus delivery metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateRequest {
+    /// Client-chosen id, echoed in the response.
+    pub id: Option<String>,
+    /// What to simulate.
+    pub work: Work,
+    /// Queue deadline in milliseconds; expired requests are answered with a
+    /// `deadline` error instead of being simulated (cache hits are served
+    /// regardless, since they cost nothing).
+    pub deadline_ms: Option<u64>,
+}
+
+/// Any request the server accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `conv` / `gemm`.
+    Estimate(EstimateRequest),
+    /// Counter snapshot.
+    Stats {
+        /// Echoed id.
+        id: Option<String>,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echoed id.
+        id: Option<String>,
+    },
+    /// Graceful shutdown: drain in-flight work, refuse new requests.
+    Shutdown {
+        /// Echoed id.
+        id: Option<String>,
+    },
+}
+
+/// The protocol's error vocabulary (the `error` field of a failure
+/// response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The worker queue is full — explicit backpressure, never a hang.
+    Busy,
+    /// The request's `deadline_ms` elapsed while it sat in the queue.
+    Deadline,
+    /// The line was not valid JSON.
+    Parse,
+    /// Valid JSON, but not a valid request (unknown op, bad field, shape
+    /// that fails validation).
+    BadRequest,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// Wire spelling of the code.
+    pub fn wire(self) -> &'static str {
+        match self {
+            ErrorKind::Busy => "busy",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Parse => "parse",
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::ShuttingDown => "shutting-down",
+        }
+    }
+
+    /// Inverse of [`ErrorKind::wire`].
+    pub fn from_wire(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "busy" => ErrorKind::Busy,
+            "deadline" => ErrorKind::Deadline,
+            "parse" => ErrorKind::Parse,
+            "bad-request" => ErrorKind::BadRequest,
+            "shutting-down" => ErrorKind::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire())
+    }
+}
+
+/// A request that could not be turned into [`Request`]: the typed kind
+/// (`parse` for JSON syntax, `bad-request` for shape/semantics), a detail
+/// string, and the client id when one could be salvaged from the line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    /// `Parse` or `BadRequest`.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub detail: String,
+    /// The request's `id`, if the line parsed far enough to find one.
+    pub id: Option<String>,
+}
+
+impl RequestError {
+    fn bad(detail: impl Into<String>) -> Self {
+        Self {
+            kind: ErrorKind::BadRequest,
+            detail: detail.into(),
+            id: None,
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// A successful TPU estimate, as decoded by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TpuEstimate {
+    /// Total cycles.
+    pub cycles: u64,
+    /// GEMM-streaming (compute) cycles.
+    pub compute_cycles: u64,
+    /// DRAM cycles not hidden under compute.
+    pub exposed_memory_cycles: u64,
+    /// DRAM bytes moved.
+    pub dram_bytes: u64,
+    /// Peak on-chip IFMap workspace, bytes.
+    pub workspace_bytes: u64,
+    /// FLOPs performed.
+    pub flops: u64,
+    /// Dispatch phase span.
+    pub dispatch: u64,
+    /// First-fill phase span.
+    pub first_fill: u64,
+    /// Steady phase span.
+    pub steady: u64,
+}
+
+/// A successful GPU estimate, as decoded by the client. All `f64` fields
+/// are reconstructed from their hex bit renderings, so they equal the
+/// server-side values bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GpuEstimate {
+    /// Total cycles (includes launch overhead).
+    pub cycles: f64,
+    /// Tensor-core compute cycles.
+    pub compute_cycles: f64,
+    /// DRAM transfer cycles.
+    pub memory_cycles: f64,
+    /// Explicit-transform cycles (zero for implicit algorithms).
+    pub transform_cycles: f64,
+    /// Thread blocks launched.
+    pub blocks: u64,
+    /// Useful convolution FLOPs.
+    pub flops: u64,
+}
+
+/// The counter snapshot returned by the `stats` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Estimate requests answered successfully (`hits + misses`). Rejected
+    /// requests (busy, deadline, parse, bad-request) are *not* counted.
+    pub requests: u64,
+    /// Responses served from the report cache.
+    pub hits: u64,
+    /// Responses that ran a simulation.
+    pub misses: u64,
+    /// Cache entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Current cache population.
+    pub cache_entries: u64,
+    /// Cache capacity.
+    pub cache_capacity: u64,
+    /// Jobs queued but not yet started.
+    pub queue_depth: u64,
+    /// Jobs currently executing on workers.
+    pub in_flight: u64,
+    /// Requests refused with `busy`.
+    pub busy_rejections: u64,
+    /// Requests refused with `deadline`.
+    pub deadline_expired: u64,
+    /// Lines refused with `parse` / `bad-request`.
+    pub parse_errors: u64,
+    /// Sum of successful-request latencies, microseconds.
+    pub latency_us_total: u64,
+    /// Worst successful-request latency, microseconds.
+    pub latency_us_max: u64,
+    /// Worker-pool size.
+    pub workers: u64,
+}
+
+/// Any response the server emits, as decoded by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// TPU estimate.
+    Tpu {
+        /// Echoed id.
+        id: Option<String>,
+        /// The estimate.
+        est: TpuEstimate,
+    },
+    /// GPU estimate.
+    Gpu {
+        /// Echoed id.
+        id: Option<String>,
+        /// The estimate.
+        est: GpuEstimate,
+    },
+    /// Counter snapshot.
+    Stats {
+        /// Echoed id.
+        id: Option<String>,
+        /// The snapshot.
+        stats: StatsSnapshot,
+    },
+    /// `ping` acknowledgement.
+    Pong {
+        /// Echoed id.
+        id: Option<String>,
+    },
+    /// `shutdown` acknowledgement.
+    ShutdownAck {
+        /// Echoed id.
+        id: Option<String>,
+    },
+    /// A typed failure.
+    Error {
+        /// Echoed id.
+        id: Option<String>,
+        /// Error code.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl Response {
+    /// The echoed client id, whatever the variant.
+    pub fn id(&self) -> Option<&str> {
+        match self {
+            Response::Tpu { id, .. }
+            | Response::Gpu { id, .. }
+            | Response::Stats { id, .. }
+            | Response::Pong { id }
+            | Response::ShutdownAck { id }
+            | Response::Error { id, .. } => id.as_deref(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f64 bit transport
+// ---------------------------------------------------------------------------
+
+/// Render an `f64` as 16 lowercase hex digits of its IEEE-754 bits.
+pub fn f64_bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Inverse of [`f64_bits`].
+pub fn f64_from_bits(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing (server side)
+// ---------------------------------------------------------------------------
+
+fn get_usize(
+    obj: &std::collections::BTreeMap<String, Json>,
+    key: &str,
+) -> Result<usize, RequestError> {
+    match obj.get(key) {
+        Some(v) => opt_usize(v, key),
+        None => Err(RequestError::bad(format!("missing field \"{key}\""))),
+    }
+}
+
+fn opt_usize(v: &Json, key: &str) -> Result<usize, RequestError> {
+    v.as_u64()
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| RequestError::bad(format!("field \"{key}\" must be a non-negative integer")))
+}
+
+/// Parse one request line.
+///
+/// # Errors
+///
+/// Returns a [`RequestError`] with kind `Parse` for malformed JSON and
+/// `BadRequest` for well-formed JSON that is not a valid request. The
+/// error carries the client `id` whenever the line parsed far enough to
+/// recover one, so the server can still address its failure response.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let root = json::parse(line).map_err(|e| RequestError {
+        kind: ErrorKind::Parse,
+        detail: e.to_string(),
+        id: None,
+    })?;
+    let obj = root
+        .as_obj()
+        .ok_or_else(|| RequestError::bad("request must be a JSON object"))?;
+    // Salvage the id first so even a bad request gets an addressed error.
+    let id = obj.get("id").and_then(|v| v.as_str()).map(str::to_owned);
+    let with_id = |mut e: RequestError| {
+        e.id.clone_from(&id);
+        e
+    };
+    let op = obj
+        .get("op")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| with_id(RequestError::bad("missing string field \"op\"")))?;
+    match op {
+        "stats" => return Ok(Request::Stats { id }),
+        "ping" => return Ok(Request::Ping { id }),
+        "shutdown" => return Ok(Request::Shutdown { id }),
+        "conv" | "gemm" => {}
+        other => {
+            return Err(with_id(RequestError::bad(format!(
+                "unknown op {other:?} (expected conv, gemm, stats, ping or shutdown)"
+            ))))
+        }
+    }
+    let deadline_ms = match obj.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            with_id(RequestError::bad(
+                "\"deadline_ms\" must be a non-negative integer",
+            ))
+        })?),
+    };
+    let work = if op == "gemm" {
+        Work::TpuGemm {
+            m: get_usize(obj, "m").map_err(with_id)?,
+            n: get_usize(obj, "n").map_err(with_id)?,
+            k: get_usize(obj, "k").map_err(with_id)?,
+            hw: parse_tpu_hw(obj.get("hw")).map_err(with_id)?,
+        }
+    } else {
+        let target = obj.get("target").and_then(|v| v.as_str()).unwrap_or("tpu");
+        let shape = parse_layer(obj.get("layer")).map_err(with_id)?;
+        match target {
+            "tpu" => Work::TpuConv {
+                shape,
+                mode: parse_tpu_mode(obj.get("mode")).map_err(with_id)?,
+                hw: parse_tpu_hw(obj.get("hw")).map_err(with_id)?,
+            },
+            "gpu" => Work::GpuConv {
+                shape,
+                algo: parse_gpu_algo(obj.get("mode")).map_err(with_id)?,
+            },
+            other => {
+                return Err(with_id(RequestError::bad(format!(
+                    "unknown target {other:?} (expected tpu or gpu)"
+                ))))
+            }
+        }
+    };
+    Ok(Request::Estimate(EstimateRequest {
+        id,
+        work,
+        deadline_ms,
+    }))
+}
+
+fn parse_layer(v: Option<&Json>) -> Result<ConvShape, RequestError> {
+    let obj = v
+        .and_then(Json::as_obj)
+        .ok_or_else(|| RequestError::bad("missing object field \"layer\""))?;
+    let axis = |scalar: &str, specific: &str, default: usize| -> Result<usize, RequestError> {
+        if let Some(v) = obj.get(specific) {
+            return opt_usize(v, specific);
+        }
+        if let Some(v) = obj.get(scalar) {
+            return opt_usize(v, scalar);
+        }
+        Ok(default)
+    };
+    ConvShape::new(
+        get_usize(obj, "n")?,
+        get_usize(obj, "ci")?,
+        get_usize(obj, "hi")?,
+        get_usize(obj, "wi")?,
+        get_usize(obj, "co")?,
+        get_usize(obj, "hf")?,
+        get_usize(obj, "wf")?,
+    )
+    .stride_hw(
+        axis("stride", "stride_h", 1)?,
+        axis("stride", "stride_w", 1)?,
+    )
+    .pad_hw(axis("pad", "pad_h", 0)?, axis("pad", "pad_w", 0)?)
+    .dilation_hw(axis("dilation", "dil_h", 1)?, axis("dilation", "dil_w", 1)?)
+    .build()
+    .map_err(|e| RequestError::bad(format!("invalid layer: {e}")))
+}
+
+fn parse_tpu_mode(v: Option<&Json>) -> Result<SimMode, RequestError> {
+    let s = match v {
+        None | Some(Json::Null) => return Ok(SimMode::ChannelFirst),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| RequestError::bad("\"mode\" must be a string"))?,
+    };
+    if let Some(g) = s.strip_prefix("grouped:") {
+        let g: usize = g
+            .parse()
+            .ok()
+            .filter(|g| *g >= 1)
+            .ok_or_else(|| RequestError::bad("grouped mode needs a positive group size"))?;
+        return Ok(SimMode::ChannelFirstGrouped(g));
+    }
+    match s {
+        "channel-first" => Ok(SimMode::ChannelFirst),
+        "explicit" => Ok(SimMode::Explicit),
+        other => Err(RequestError::bad(format!(
+            "unknown tpu mode {other:?} (expected channel-first, grouped:<g> or explicit)"
+        ))),
+    }
+}
+
+fn parse_gpu_algo(v: Option<&Json>) -> Result<GpuAlgo, RequestError> {
+    let s = match v {
+        None | Some(Json::Null) => return Ok(GpuAlgo::ChannelFirst { reuse: true }),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| RequestError::bad("\"mode\" must be a string"))?,
+    };
+    match s {
+        "cudnn-implicit" => Ok(GpuAlgo::CudnnImplicit),
+        "channel-first+reuse" => Ok(GpuAlgo::ChannelFirst { reuse: true }),
+        "channel-first" => Ok(GpuAlgo::ChannelFirst { reuse: false }),
+        "explicit-im2col" => Ok(GpuAlgo::ExplicitIm2col),
+        "gemm-equivalent" => Ok(GpuAlgo::GemmEquivalent),
+        other => Err(RequestError::bad(format!("unknown gpu mode {other:?}"))),
+    }
+}
+
+fn parse_tpu_hw(v: Option<&Json>) -> Result<TpuHwSpec, RequestError> {
+    let obj = match v {
+        None | Some(Json::Null) => return Ok(TpuHwSpec::default()),
+        Some(v) => v
+            .as_obj()
+            .ok_or_else(|| RequestError::bad("\"hw\" must be an object"))?,
+    };
+    let chip = match obj.get("chip").and_then(|v| v.as_str()) {
+        None | Some("v2") => TpuChip::V2,
+        Some("v3") => TpuChip::V3,
+        Some(other) => {
+            return Err(RequestError::bad(format!(
+                "unknown chip {other:?} (expected v2 or v3)"
+            )))
+        }
+    };
+    let opt = |key: &str| -> Result<Option<usize>, RequestError> {
+        match obj.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => opt_usize(v, key).map(Some).and_then(|v| {
+                if v == Some(0) {
+                    Err(RequestError::bad(format!("\"{key}\" must be positive")))
+                } else {
+                    Ok(v)
+                }
+            }),
+        }
+    };
+    let layout = match obj.get("layout") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(parse_layout(v)?),
+    };
+    Ok(TpuHwSpec {
+        chip,
+        array: opt("array")?,
+        word_elems: opt("word_elems")?,
+        mxus: opt("mxus")?,
+        layout,
+    })
+}
+
+fn parse_layout(v: &Json) -> Result<Layout, RequestError> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| RequestError::bad("\"layout\" must be a string"))?;
+    match s.to_ascii_uppercase().as_str() {
+        "NCHW" => Ok(Layout::Nchw),
+        "NHWC" => Ok(Layout::Nhwc),
+        "CHWN" => Ok(Layout::Chwn),
+        "HWCN" => Ok(Layout::Hwcn),
+        other => Err(RequestError::bad(format!("unknown layout {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request encoding (client side)
+// ---------------------------------------------------------------------------
+
+/// Wire spelling of a TPU lowering mode.
+pub fn tpu_mode_wire(mode: SimMode) -> String {
+    match mode {
+        SimMode::ChannelFirst => "channel-first".to_owned(),
+        SimMode::ChannelFirstGrouped(g) => format!("grouped:{g}"),
+        SimMode::Explicit => "explicit".to_owned(),
+    }
+}
+
+fn push_id(out: &mut String, id: Option<&str>) {
+    if let Some(id) = id {
+        out.push_str("\"id\":");
+        write_str(out, id);
+        out.push(',');
+    }
+}
+
+fn push_layer(out: &mut String, s: &ConvShape) {
+    out.push_str(&format!(
+        "\"layer\":{{\"n\":{},\"ci\":{},\"hi\":{},\"wi\":{},\"co\":{},\"hf\":{},\"wf\":{},\
+         \"stride_h\":{},\"stride_w\":{},\"pad_h\":{},\"pad_w\":{},\"dil_h\":{},\"dil_w\":{}}}",
+        s.n,
+        s.ci,
+        s.hi,
+        s.wi,
+        s.co,
+        s.hf,
+        s.wf,
+        s.stride_h,
+        s.stride_w,
+        s.pad_h,
+        s.pad_w,
+        s.dil_h,
+        s.dil_w
+    ));
+}
+
+fn push_tpu_hw(out: &mut String, hw: &TpuHwSpec) {
+    if *hw == TpuHwSpec::default() {
+        return;
+    }
+    out.push_str(",\"hw\":{");
+    let mut first = true;
+    let mut field = |out: &mut String, text: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&text);
+    };
+    if hw.chip == TpuChip::V3 {
+        field(out, "\"chip\":\"v3\"".to_owned());
+    }
+    if let Some(a) = hw.array {
+        field(out, format!("\"array\":{a}"));
+    }
+    if let Some(w) = hw.word_elems {
+        field(out, format!("\"word_elems\":{w}"));
+    }
+    if let Some(m) = hw.mxus {
+        field(out, format!("\"mxus\":{m}"));
+    }
+    if let Some(l) = hw.layout {
+        field(out, format!("\"layout\":\"{l}\""));
+    }
+    out.push('}');
+}
+
+fn push_deadline(out: &mut String, deadline_ms: Option<u64>) {
+    if let Some(d) = deadline_ms {
+        out.push_str(&format!(",\"deadline_ms\":{d}"));
+    }
+}
+
+/// Encode an estimate request as one wire line (no trailing newline).
+pub fn encode_estimate(req: &EstimateRequest) -> String {
+    let mut out = String::with_capacity(256);
+    out.push('{');
+    push_id(&mut out, req.id.as_deref());
+    match &req.work {
+        Work::TpuConv { shape, mode, hw } => {
+            out.push_str("\"op\":\"conv\",\"target\":\"tpu\",\"mode\":");
+            write_str(&mut out, &tpu_mode_wire(*mode));
+            out.push(',');
+            push_layer(&mut out, shape);
+            push_tpu_hw(&mut out, hw);
+        }
+        Work::TpuGemm { m, n, k, hw } => {
+            out.push_str(&format!("\"op\":\"gemm\",\"m\":{m},\"n\":{n},\"k\":{k}"));
+            push_tpu_hw(&mut out, hw);
+        }
+        Work::GpuConv { shape, algo } => {
+            out.push_str("\"op\":\"conv\",\"target\":\"gpu\",\"mode\":");
+            write_str(&mut out, &algo.to_string());
+            out.push(',');
+            push_layer(&mut out, shape);
+        }
+    }
+    push_deadline(&mut out, req.deadline_ms);
+    out.push('}');
+    out
+}
+
+/// Encode a `stats` / `ping` / `shutdown` request line.
+pub fn encode_simple(op: &str, id: Option<&str>) -> String {
+    let mut out = String::with_capacity(48);
+    out.push('{');
+    push_id(&mut out, id);
+    out.push_str("\"op\":");
+    write_str(&mut out, op);
+    out.push('}');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Response encoding (server side)
+// ---------------------------------------------------------------------------
+//
+// The server caches response *bodies*: the comma-joined interior of the
+// object without the braces and without the id field. The same body is
+// therefore byte-identical whether it was just simulated or replayed from
+// cache, and `finish_response` grafts the per-request id on at send time.
+
+/// Body of a successful TPU estimate response.
+pub fn tpu_body(est: &TpuEstimate) -> String {
+    format!(
+        "\"ok\":true,\"target\":\"tpu\",\"cycles\":{},\"compute_cycles\":{},\
+         \"exposed_memory_cycles\":{},\"dram_bytes\":{},\"workspace_bytes\":{},\"flops\":{},\
+         \"dispatch\":{},\"first_fill\":{},\"steady\":{}",
+        est.cycles,
+        est.compute_cycles,
+        est.exposed_memory_cycles,
+        est.dram_bytes,
+        est.workspace_bytes,
+        est.flops,
+        est.dispatch,
+        est.first_fill,
+        est.steady
+    )
+}
+
+/// Body of a successful GPU estimate response.
+pub fn gpu_body(est: &GpuEstimate) -> String {
+    format!(
+        "\"ok\":true,\"target\":\"gpu\",\"cycles\":{},\"cycles_bits\":\"{}\",\
+         \"compute_bits\":\"{}\",\"memory_bits\":\"{}\",\"transform_bits\":\"{}\",\
+         \"blocks\":{},\"flops\":{}",
+        est.cycles,
+        f64_bits(est.cycles),
+        f64_bits(est.compute_cycles),
+        f64_bits(est.memory_cycles),
+        f64_bits(est.transform_cycles),
+        est.blocks,
+        est.flops
+    )
+}
+
+/// Body of a `stats` response.
+pub fn stats_body(s: &StatsSnapshot) -> String {
+    format!(
+        "\"ok\":true,\"stats\":{{\"requests\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\
+         \"cache_entries\":{},\"cache_capacity\":{},\"queue_depth\":{},\"in_flight\":{},\
+         \"busy_rejections\":{},\"deadline_expired\":{},\"parse_errors\":{},\
+         \"latency_us_total\":{},\"latency_us_max\":{},\"workers\":{}}}",
+        s.requests,
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.cache_entries,
+        s.cache_capacity,
+        s.queue_depth,
+        s.in_flight,
+        s.busy_rejections,
+        s.deadline_expired,
+        s.parse_errors,
+        s.latency_us_total,
+        s.latency_us_max,
+        s.workers
+    )
+}
+
+/// Body of a `ping` acknowledgement.
+pub fn pong_body() -> String {
+    "\"ok\":true,\"pong\":true".to_owned()
+}
+
+/// Body of a `shutdown` acknowledgement.
+pub fn shutdown_body() -> String {
+    "\"ok\":true,\"shutdown\":true".to_owned()
+}
+
+/// Body of a typed failure response.
+pub fn error_body(kind: ErrorKind, detail: &str) -> String {
+    let mut out = String::with_capacity(48 + detail.len());
+    out.push_str("\"ok\":false,\"error\":\"");
+    out.push_str(kind.wire());
+    out.push_str("\",\"detail\":");
+    write_str(&mut out, detail);
+    out
+}
+
+/// Wrap a response body into a complete wire line (no trailing newline),
+/// grafting on the echoed client id.
+pub fn finish_response(id: Option<&str>, body: &str) -> String {
+    let mut out = String::with_capacity(body.len() + 32);
+    out.push('{');
+    push_id(&mut out, id);
+    out.push_str(body);
+    out.push('}');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Response parsing (client side)
+// ---------------------------------------------------------------------------
+
+fn need_u64(
+    obj: &std::collections::BTreeMap<String, Json>,
+    key: &str,
+) -> Result<u64, RequestError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| RequestError::bad(format!("response missing integer \"{key}\"")))
+}
+
+fn need_bits(
+    obj: &std::collections::BTreeMap<String, Json>,
+    key: &str,
+) -> Result<f64, RequestError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .and_then(f64_from_bits)
+        .ok_or_else(|| RequestError::bad(format!("response missing f64-bits \"{key}\"")))
+}
+
+/// Parse one response line.
+///
+/// # Errors
+///
+/// Returns a [`RequestError`] when the line is not a well-formed response.
+pub fn parse_response(line: &str) -> Result<Response, RequestError> {
+    let root = json::parse(line).map_err(|e| RequestError {
+        kind: ErrorKind::Parse,
+        detail: e.to_string(),
+        id: None,
+    })?;
+    let obj = root
+        .as_obj()
+        .ok_or_else(|| RequestError::bad("response must be a JSON object"))?;
+    let id = obj.get("id").and_then(|v| v.as_str()).map(str::to_owned);
+    let ok = match obj.get("ok") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err(RequestError::bad("response missing boolean \"ok\"")),
+    };
+    if !ok {
+        let kind = obj
+            .get("error")
+            .and_then(|v| v.as_str())
+            .and_then(ErrorKind::from_wire)
+            .ok_or_else(|| RequestError::bad("error response missing known \"error\" code"))?;
+        let detail = obj
+            .get("detail")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .to_owned();
+        return Ok(Response::Error { id, kind, detail });
+    }
+    if obj.get("pong").is_some() {
+        return Ok(Response::Pong { id });
+    }
+    if obj.get("shutdown").is_some() {
+        return Ok(Response::ShutdownAck { id });
+    }
+    if let Some(s) = obj.get("stats").and_then(Json::as_obj) {
+        let stats = StatsSnapshot {
+            requests: need_u64(s, "requests")?,
+            hits: need_u64(s, "hits")?,
+            misses: need_u64(s, "misses")?,
+            evictions: need_u64(s, "evictions")?,
+            cache_entries: need_u64(s, "cache_entries")?,
+            cache_capacity: need_u64(s, "cache_capacity")?,
+            queue_depth: need_u64(s, "queue_depth")?,
+            in_flight: need_u64(s, "in_flight")?,
+            busy_rejections: need_u64(s, "busy_rejections")?,
+            deadline_expired: need_u64(s, "deadline_expired")?,
+            parse_errors: need_u64(s, "parse_errors")?,
+            latency_us_total: need_u64(s, "latency_us_total")?,
+            latency_us_max: need_u64(s, "latency_us_max")?,
+            workers: need_u64(s, "workers")?,
+        };
+        return Ok(Response::Stats { id, stats });
+    }
+    match obj.get("target").and_then(|v| v.as_str()) {
+        Some("tpu") => Ok(Response::Tpu {
+            id,
+            est: TpuEstimate {
+                cycles: need_u64(obj, "cycles")?,
+                compute_cycles: need_u64(obj, "compute_cycles")?,
+                exposed_memory_cycles: need_u64(obj, "exposed_memory_cycles")?,
+                dram_bytes: need_u64(obj, "dram_bytes")?,
+                workspace_bytes: need_u64(obj, "workspace_bytes")?,
+                flops: need_u64(obj, "flops")?,
+                dispatch: need_u64(obj, "dispatch")?,
+                first_fill: need_u64(obj, "first_fill")?,
+                steady: need_u64(obj, "steady")?,
+            },
+        }),
+        Some("gpu") => Ok(Response::Gpu {
+            id,
+            est: GpuEstimate {
+                cycles: need_bits(obj, "cycles_bits")?,
+                compute_cycles: need_bits(obj, "compute_bits")?,
+                memory_cycles: need_bits(obj, "memory_bits")?,
+                transform_cycles: need_bits(obj, "transform_bits")?,
+                blocks: need_u64(obj, "blocks")?,
+                flops: need_u64(obj, "flops")?,
+            },
+        }),
+        _ => Err(RequestError::bad("unrecognized response shape")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ConvShape {
+        ConvShape::square(8, 64, 56, 64, 3, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn estimate_request_roundtrip() {
+        let req = EstimateRequest {
+            id: Some("r-1".into()),
+            work: Work::TpuConv {
+                shape: shape(),
+                mode: SimMode::ChannelFirstGrouped(2),
+                hw: TpuHwSpec {
+                    chip: TpuChip::V3,
+                    array: Some(256),
+                    layout: Some(Layout::Nchw),
+                    ..TpuHwSpec::default()
+                },
+            },
+            deadline_ms: Some(250),
+        };
+        let line = encode_estimate(&req);
+        assert_eq!(parse_request(&line), Ok(Request::Estimate(req)));
+    }
+
+    #[test]
+    fn gpu_request_roundtrip() {
+        for algo in [
+            GpuAlgo::CudnnImplicit,
+            GpuAlgo::ChannelFirst { reuse: true },
+            GpuAlgo::ChannelFirst { reuse: false },
+            GpuAlgo::ExplicitIm2col,
+            GpuAlgo::GemmEquivalent,
+        ] {
+            let req = EstimateRequest {
+                id: None,
+                work: Work::GpuConv {
+                    shape: shape(),
+                    algo,
+                },
+                deadline_ms: None,
+            };
+            let line = encode_estimate(&req);
+            assert_eq!(parse_request(&line), Ok(Request::Estimate(req)));
+        }
+    }
+
+    #[test]
+    fn layer_defaults_and_scalar_axes() {
+        let line = r#"{"op":"conv","layer":{"n":8,"ci":64,"hi":56,"wi":56,"co":64,"hf":3,"wf":3,"stride":1,"pad":1,"dilation":1}}"#;
+        let Ok(Request::Estimate(req)) = parse_request(line) else {
+            panic!("parse failed");
+        };
+        let Work::TpuConv { shape: s, mode, .. } = req.work else {
+            panic!("wrong work");
+        };
+        assert_eq!(s, shape());
+        assert_eq!(mode, SimMode::ChannelFirst);
+    }
+
+    #[test]
+    fn bad_requests_are_typed_and_keep_the_id() {
+        for (line, want_parse) in [
+            ("{\"op\":\"conv\"", true),                // truncated JSON
+            ("{\"id\":\"x\",\"op\":\"warp\"}", false), // unknown op
+            ("{\"id\":\"x\",\"op\":\"conv\"}", false), // missing layer
+            (
+                "{\"id\":\"x\",\"op\":\"conv\",\"target\":\"fpga\",\"layer\":{}}",
+                false,
+            ),
+            ("{\"id\":\"x\",\"op\":\"gemm\",\"m\":1,\"n\":1}", false), // missing k
+            ("[1,2,3]", false),                                        // not an object
+        ] {
+            let e = parse_request(line).unwrap_err();
+            if want_parse {
+                assert_eq!(e.kind, ErrorKind::Parse, "{line}");
+            } else {
+                assert_eq!(e.kind, ErrorKind::BadRequest, "{line}");
+            }
+            if line.contains("\"id\"") {
+                assert_eq!(e.id.as_deref(), Some("x"), "{line}");
+            }
+        }
+        // Shape validation failures surface as bad-request, not panics.
+        let e = parse_request(
+            r#"{"op":"conv","layer":{"n":1,"ci":1,"hi":1,"wi":1,"co":1,"hf":3,"wf":3}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+        assert!(e.detail.contains("invalid layer"), "{e}");
+    }
+
+    #[test]
+    fn response_bodies_roundtrip() {
+        let tpu = TpuEstimate {
+            cycles: 123,
+            compute_cycles: 100,
+            exposed_memory_cycles: 13,
+            dram_bytes: 4096,
+            workspace_bytes: 512,
+            flops: 1_000_000,
+            dispatch: 10,
+            first_fill: 13,
+            steady: 100,
+        };
+        let line = finish_response(Some("a"), &tpu_body(&tpu));
+        assert_eq!(
+            parse_response(&line),
+            Ok(Response::Tpu {
+                id: Some("a".into()),
+                est: tpu
+            })
+        );
+
+        let gpu = GpuEstimate {
+            cycles: 2126.456789,
+            compute_cycles: 0.1 + 0.2, // not representable exactly in decimal
+            memory_cycles: 1e-300,
+            transform_cycles: 0.0,
+            blocks: 77,
+            flops: 42,
+        };
+        let line = finish_response(None, &gpu_body(&gpu));
+        let Ok(Response::Gpu { id: None, est }) = parse_response(&line) else {
+            panic!("bad gpu response");
+        };
+        assert_eq!(est.cycles.to_bits(), gpu.cycles.to_bits());
+        assert_eq!(est.compute_cycles.to_bits(), gpu.compute_cycles.to_bits());
+        assert_eq!(est.memory_cycles.to_bits(), gpu.memory_cycles.to_bits());
+
+        let stats = StatsSnapshot {
+            requests: 10,
+            hits: 7,
+            misses: 3,
+            workers: 4,
+            ..StatsSnapshot::default()
+        };
+        let line = finish_response(None, &stats_body(&stats));
+        assert_eq!(
+            parse_response(&line),
+            Ok(Response::Stats { id: None, stats })
+        );
+
+        let line = finish_response(Some("e"), &error_body(ErrorKind::Busy, "queue full"));
+        assert_eq!(
+            parse_response(&line),
+            Ok(Response::Error {
+                id: Some("e".into()),
+                kind: ErrorKind::Busy,
+                detail: "queue full".into()
+            })
+        );
+        assert_eq!(
+            parse_response(&finish_response(None, &pong_body())),
+            Ok(Response::Pong { id: None })
+        );
+    }
+
+    #[test]
+    fn f64_bits_roundtrip_edge_values() {
+        for v in [0.0, -0.0, 1.0, f64::MIN_POSITIVE, f64::MAX, 0.1 + 0.2] {
+            assert_eq!(f64_from_bits(&f64_bits(v)).unwrap().to_bits(), v.to_bits());
+        }
+        assert_eq!(f64_from_bits("xyz"), None);
+        assert_eq!(f64_from_bits("00000000000000000"), None);
+    }
+}

@@ -1,0 +1,539 @@
+//! The TCP server: accept loop, per-connection reader/writer threads, the
+//! shared report cache, and the worker-pool dispatch path.
+//!
+//! # Threading model
+//!
+//! * One acceptor thread polls a non-blocking listener so shutdown never
+//!   hangs in `accept`.
+//! * Each connection gets a **reader** thread (parses request lines,
+//!   serves cache hits inline, dispatches misses to the shared
+//!   [`WorkerPool`]) and a **writer** thread (reassembles responses into
+//!   request order by sequence number, so pipelined clients always read
+//!   answers in the order they asked).
+//! * The pool is the only place simulations run; its bounded queue is the
+//!   overload valve — a full queue turns into an immediate `busy` error,
+//!   never a blocked reader.
+//!
+//! # Counter discipline
+//!
+//! `hits` is counted at the reader's cache lookup; `misses` is counted on
+//! a worker *after* the deadline check passes, right when a simulation
+//! actually runs. Rejections (busy / deadline / parse / bad-request /
+//! shutting-down) increment their own counters and are excluded from
+//! `requests`, so `hits + misses == requests` holds exactly at any
+//! quiescent point — the `stats` RPC invariant the determinism test pins.
+
+use std::collections::BinaryHeap;
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind as IoErrorKind, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use iconv_par::{PoolBusy, WorkerPool};
+use iconv_trace::TraceSink;
+
+use crate::cache::LruCache;
+use crate::engine;
+use crate::key;
+use crate::protocol::{
+    self, error_body, finish_response, pong_body, shutdown_body, stats_body, ErrorKind, Request,
+    StatsSnapshot,
+};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads running simulations.
+    pub workers: usize,
+    /// Bounded job-queue capacity (overload backpressure threshold).
+    pub queue_capacity: usize,
+    /// Report-cache capacity in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: iconv_par::default_jobs(),
+            queue_capacity: 1024,
+            cache_capacity: 16 * 1024,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    busy: AtomicU64,
+    deadline: AtomicU64,
+    parse_errors: AtomicU64,
+    latency_us_total: AtomicU64,
+    latency_us_max: AtomicU64,
+}
+
+impl Counters {
+    fn record_latency(&self, since: Instant) {
+        let us = since.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.latency_us_total.fetch_add(us, Ordering::Relaxed);
+        self.latency_us_max.fetch_max(us, Ordering::Relaxed);
+    }
+}
+
+struct Shared {
+    counters: Counters,
+    cache: Mutex<LruCache>,
+    pool: Mutex<WorkerPool>,
+    workers: usize,
+    shutting_down: AtomicBool,
+    /// Set by the `shutdown` op; `wait_shutdown_requested` blocks on it.
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+    /// Read-half clones of live connections, shut down to unblock readers.
+    conns: Mutex<Vec<TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        let mut req = self
+            .shutdown_requested
+            .lock()
+            .expect("shutdown flag poisoned");
+        *req = true;
+        drop(req);
+        self.shutdown_cv.notify_all();
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let c = &self.counters;
+        let (cache_entries, cache_capacity, evictions) = {
+            let cache = self.cache.lock().expect("cache poisoned");
+            (
+                cache.len() as u64,
+                cache.capacity() as u64,
+                cache.evictions(),
+            )
+        };
+        let (queue_depth, in_flight) = {
+            let pool = self.pool.lock().expect("pool poisoned");
+            (pool.queue_depth() as u64, pool.in_flight() as u64)
+        };
+        StatsSnapshot {
+            requests: c.served.load(Ordering::Relaxed),
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            evictions,
+            cache_entries,
+            cache_capacity,
+            queue_depth,
+            in_flight,
+            busy_rejections: c.busy.load(Ordering::Relaxed),
+            deadline_expired: c.deadline.load(Ordering::Relaxed),
+            parse_errors: c.parse_errors.load(Ordering::Relaxed),
+            latency_us_total: c.latency_us_total.load(Ordering::Relaxed),
+            latency_us_max: c.latency_us_max.load(Ordering::Relaxed),
+            workers: self.workers as u64,
+        }
+    }
+
+    /// Mirror the counters into an `iconv-trace` sink (the `stats` RPC is
+    /// the live view; this writes the same numbers as trace counters for
+    /// offline tooling).
+    fn emit_trace(&self, sink: &mut dyn TraceSink) {
+        let s = self.snapshot();
+        sink.counter("serve.requests", s.requests);
+        sink.counter("serve.cache_hits", s.hits);
+        sink.counter("serve.cache_misses", s.misses);
+        sink.counter("serve.cache_evictions", s.evictions);
+        sink.counter("serve.queue_depth", s.queue_depth);
+        sink.counter("serve.busy_rejections", s.busy_rejections);
+        sink.counter("serve.deadline_expired", s.deadline_expired);
+        sink.counter("serve.parse_errors", s.parse_errors);
+        sink.counter("serve.latency_us_total", s.latency_us_total);
+        sink.counter("serve.latency_us_max", s.latency_us_max);
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] aborts the process-local threads abruptly;
+/// call `shutdown` for the graceful drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counter snapshot (same numbers as the `stats` RPC).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Emit the counters into an `iconv-trace` sink.
+    pub fn emit_trace(&self, sink: &mut dyn TraceSink) {
+        self.shared.emit_trace(sink);
+    }
+
+    /// Block until some client sends the `shutdown` op (or
+    /// [`ServerHandle::request_shutdown`] is called locally).
+    pub fn wait_shutdown_requested(&self) {
+        let mut req = self
+            .shared
+            .shutdown_requested
+            .lock()
+            .expect("flag poisoned");
+        while !*req {
+            req = self.shared.shutdown_cv.wait(req).expect("flag poisoned");
+        }
+    }
+
+    /// Begin refusing new work, as if a `shutdown` op had arrived.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Graceful teardown: stop accepting connections, drain queued and
+    /// in-flight simulations, deliver their responses, then close
+    /// connections and join every thread.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shared.request_shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Drain the pool: queued jobs run to completion and push their
+        // responses into the writers before this returns.
+        self.shared.pool.lock().expect("pool poisoned").shutdown();
+        // Unblock readers parked in read(); keeps the write half intact so
+        // writers can still flush drained responses.
+        for conn in self.shared.conns.lock().expect("conns poisoned").drain(..) {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        let threads: Vec<_> = {
+            let mut guard = self.shared.conn_threads.lock().expect("threads poisoned");
+            guard.drain(..).collect()
+        };
+        for h in threads {
+            let _ = h.join();
+        }
+        self.shared.snapshot()
+    }
+}
+
+/// Spawn a server on `cfg.addr`.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    let shared = Arc::new(Shared {
+        counters: Counters::default(),
+        cache: Mutex::new(LruCache::new(cfg.cache_capacity.max(1))),
+        pool: Mutex::new(WorkerPool::new(workers, cfg.queue_capacity.max(1))),
+        workers,
+        shutting_down: AtomicBool::new(false),
+        shutdown_requested: Mutex::new(false),
+        shutdown_cv: Condvar::new(),
+        conns: Mutex::new(Vec::new()),
+        conn_threads: Mutex::new(Vec::new()),
+    });
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("iconv-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &shared))
+            .expect("spawn acceptor")
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Err(e) = start_connection(stream, shared) {
+                    eprintln!("iconv-serve: failed to start connection: {e}");
+                }
+            }
+            Err(e) if e.kind() == IoErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn start_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let read_half = stream.try_clone()?;
+    shared
+        .conns
+        .lock()
+        .expect("conns poisoned")
+        .push(stream.try_clone()?);
+    let (tx, rx) = channel::<(u64, String)>();
+    let writer = std::thread::Builder::new()
+        .name("iconv-serve-write".to_owned())
+        .spawn(move || writer_loop(stream, &rx))?;
+    let reader = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("iconv-serve-read".to_owned())
+            .spawn(move || reader_loop(read_half, &shared, &tx))?
+    };
+    let mut threads = shared.conn_threads.lock().expect("threads poisoned");
+    threads.push(writer);
+    threads.push(reader);
+    Ok(())
+}
+
+/// Reassemble `(seq, line)` messages into ascending-`seq` order and write
+/// them out, flushing whenever the channel momentarily runs dry.
+fn writer_loop(stream: TcpStream, rx: &std::sync::mpsc::Receiver<(u64, String)>) {
+    let mut out = BufWriter::new(stream);
+    let mut next_seq = 0u64;
+    let mut held: BinaryHeap<std::cmp::Reverse<(u64, String)>> = BinaryHeap::new();
+    let write = |out: &mut BufWriter<TcpStream>, line: &str| -> bool {
+        out.write_all(line.as_bytes()).is_ok() && out.write_all(b"\n").is_ok()
+    };
+    'recv: while let Ok(msg) = rx.recv() {
+        held.push(std::cmp::Reverse(msg));
+        while let Some(std::cmp::Reverse((seq, _))) = held.peek() {
+            if *seq != next_seq {
+                break;
+            }
+            let std::cmp::Reverse((_, line)) = held.pop().expect("peeked");
+            if !write(&mut out, &line) {
+                break 'recv;
+            }
+            next_seq += 1;
+        }
+        // Nothing immediately pending: push what we have to the client.
+        let _ = out.flush();
+    }
+    // Channel closed (reader and all jobs done): drain any stragglers.
+    while let Some(std::cmp::Reverse((_, line))) = held.pop() {
+        if !write(&mut out, &line) {
+            break;
+        }
+    }
+    let _ = out.flush();
+}
+
+fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, tx: &Sender<(u64, String)>) {
+    let reader = BufReader::new(stream);
+    let mut seq = 0u64;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let this_seq = seq;
+        seq += 1;
+        handle_line(&line, this_seq, shared, tx);
+    }
+}
+
+fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, String)>) {
+    let t0 = Instant::now();
+    let send = |line: String| {
+        let _ = tx.send((seq, line));
+    };
+    let req = match protocol::parse_request(line) {
+        Ok(req) => req,
+        Err(e) => {
+            shared.counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+            send(finish_response(
+                e.id.as_deref(),
+                &error_body(e.kind, &e.detail),
+            ));
+            return;
+        }
+    };
+    match req {
+        Request::Ping { id } => send(finish_response(id.as_deref(), &pong_body())),
+        Request::Stats { id } => {
+            let body = stats_body(&shared.snapshot());
+            send(finish_response(id.as_deref(), &body));
+        }
+        Request::Shutdown { id } => {
+            send(finish_response(id.as_deref(), &shutdown_body()));
+            shared.request_shutdown();
+        }
+        Request::Estimate(req) => {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                send(finish_response(
+                    req.id.as_deref(),
+                    &error_body(ErrorKind::ShuttingDown, "server is draining"),
+                ));
+                return;
+            }
+            let cache_key = key::canonical_key(&req.work);
+            // Hit fast path: served inline by the reader, deadline ignored
+            // (a hit costs microseconds).
+            let cached = shared.cache.lock().expect("cache poisoned").get(&cache_key);
+            if let Some(body) = cached {
+                shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+                shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                shared.counters.record_latency(t0);
+                send(finish_response(req.id.as_deref(), &body));
+                return;
+            }
+            let err_id = req.id.clone();
+            let job_shared = Arc::clone(shared);
+            let job_tx = tx.clone();
+            let job = move || {
+                let deadline = req.deadline_ms.map(Duration::from_millis);
+                if let Some(d) = deadline {
+                    if t0.elapsed() > d {
+                        job_shared.counters.deadline.fetch_add(1, Ordering::Relaxed);
+                        let _ = job_tx.send((
+                            seq,
+                            finish_response(
+                                req.id.as_deref(),
+                                &error_body(ErrorKind::Deadline, "deadline expired in queue"),
+                            ),
+                        ));
+                        return;
+                    }
+                }
+                let body = engine::evaluate(&req.work);
+                job_shared
+                    .cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(cache_key, body.clone());
+                job_shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+                job_shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                job_shared.counters.record_latency(t0);
+                let _ = job_tx.send((seq, finish_response(req.id.as_deref(), &body)));
+            };
+            let submitted = shared.pool.lock().expect("pool poisoned").try_submit(job);
+            if let Err(e) = submitted {
+                let kind = match e {
+                    PoolBusy::QueueFull => {
+                        shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+                        ErrorKind::Busy
+                    }
+                    PoolBusy::ShuttingDown => ErrorKind::ShuttingDown,
+                };
+                send(finish_response(
+                    err_id.as_deref(),
+                    &error_body(kind, &e.to_string()),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Strict request/response lockstep: each line is answered before the
+    /// next is sent, so a repeated request is guaranteed to see the cache
+    /// entry its predecessor created.
+    fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        lines
+            .iter()
+            .map(|l| {
+                writeln!(stream, "{l}").unwrap();
+                let mut resp = String::new();
+                reader.read_line(&mut resp).unwrap();
+                resp.trim_end().to_owned()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ping_stats_and_graceful_shutdown() {
+        let h = spawn(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = h.local_addr();
+        let out = roundtrip(
+            addr,
+            &[
+                r#"{"id":"p","op":"ping"}"#,
+                r#"{"op":"conv","layer":{"n":1,"ci":64,"hi":14,"wi":14,"co":64,"hf":3,"wf":3,"pad":1}}"#,
+                r#"{"op":"conv","layer":{"n":1,"ci":64,"hi":14,"wi":14,"co":64,"hf":3,"wf":3,"pad":1}}"#,
+                r#"{"op":"stats"}"#,
+            ],
+        );
+        assert!(out[0].contains("\"id\":\"p\""), "{}", out[0]);
+        assert!(out[0].contains("\"pong\":true"));
+        assert_eq!(out[1], out[2], "cache replay must be byte-identical");
+        let stats = match protocol::parse_response(&out[3]).unwrap() {
+            protocol::Response::Stats { stats, .. } => stats,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.hits + stats.misses, stats.requests);
+        assert_eq!(stats.hits, 1);
+        let final_stats = h.shutdown();
+        assert_eq!(final_stats.requests, 2);
+    }
+
+    #[test]
+    fn malformed_lines_get_typed_errors_not_disconnects() {
+        let h = spawn(ServerConfig::default()).unwrap();
+        let out = roundtrip(
+            h.local_addr(),
+            &[
+                "{not json",
+                r#"{"op":"warp"}"#,
+                r#"{"id":"still-alive","op":"ping"}"#,
+            ],
+        );
+        assert!(out[0].contains("\"error\":\"parse\""), "{}", out[0]);
+        assert!(out[1].contains("\"error\":\"bad-request\""), "{}", out[1]);
+        assert!(out[2].contains("\"pong\":true"), "{}", out[2]);
+        let stats = h.shutdown();
+        assert_eq!(stats.parse_errors, 2);
+        assert_eq!(stats.requests, 0);
+    }
+
+    #[test]
+    fn shutdown_op_drains_and_refuses() {
+        let h = spawn(ServerConfig::default()).unwrap();
+        let addr = h.local_addr();
+        let out = roundtrip(
+            addr,
+            &[
+                r#"{"op":"gemm","m":256,"n":256,"k":256}"#,
+                r#"{"op":"shutdown"}"#,
+                r#"{"op":"gemm","m":512,"n":512,"k":512}"#,
+            ],
+        );
+        assert!(out[0].contains("\"ok\":true"), "{}", out[0]);
+        assert!(out[1].contains("\"shutdown\":true"), "{}", out[1]);
+        assert!(out[2].contains("shutting-down"), "{}", out[2]);
+        h.wait_shutdown_requested();
+        h.shutdown();
+    }
+}

@@ -1,0 +1,379 @@
+//! Property tests for the wire codec: encode → parse is the identity for
+//! every representable request and response, and *no* input — malformed,
+//! truncated, or mutated — ever panics the parser. Every failure is a typed
+//! [`RequestError`]; the server's "malformed input never disconnects"
+//! guarantee rests on exactly this.
+//!
+//! Runs under the offline `proptest` shim: deterministic seed, no
+//! shrinking — a failing case prints its inputs via the assertion message.
+
+use proptest::prelude::*;
+
+use iconv_gpusim::GpuAlgo;
+use iconv_serve::protocol::{
+    encode_estimate, encode_simple, error_body, f64_bits, f64_from_bits, finish_response, gpu_body,
+    parse_request, parse_response, pong_body, shutdown_body, stats_body, tpu_body, GpuEstimate,
+    StatsSnapshot, TpuEstimate,
+};
+use iconv_serve::{json, ErrorKind, EstimateRequest, Request, Response, TpuChip, TpuHwSpec, Work};
+use iconv_tensor::{ConvShape, Layout};
+use iconv_tpusim::SimMode;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A valid conv shape: random dims pushed through the builder, rejecting
+/// combinations where the dilated filter outgrows the padded input.
+fn shape_strategy() -> impl proptest::strategy::Strategy<Value = ConvShape> {
+    (
+        (1usize..=8, 1usize..=128, 3usize..=40, 3usize..=40),
+        (1usize..=256, 1usize..=7, 1usize..=7),
+        (1usize..=3, 0usize..=3, 1usize..=2),
+    )
+        .prop_filter_map(
+            "buildable shape",
+            |((n, ci, hi, wi), (co, hf, wf), (s, p, d))| {
+                ConvShape::new(n, ci, hi, wi, co, hf, wf)
+                    .stride(s)
+                    .pad(p)
+                    .dilation(d)
+                    .build()
+                    .ok()
+            },
+        )
+}
+
+fn mode_strategy() -> impl proptest::strategy::Strategy<Value = SimMode> {
+    (0u8..3, 1usize..=16).prop_map(|(tag, g)| match tag {
+        0 => SimMode::ChannelFirst,
+        1 => SimMode::Explicit,
+        _ => SimMode::ChannelFirstGrouped(g),
+    })
+}
+
+fn algo_strategy() -> impl proptest::strategy::Strategy<Value = GpuAlgo> {
+    prop::sample::select(vec![
+        GpuAlgo::CudnnImplicit,
+        GpuAlgo::ChannelFirst { reuse: true },
+        GpuAlgo::ChannelFirst { reuse: false },
+        GpuAlgo::ExplicitIm2col,
+        GpuAlgo::GemmEquivalent,
+    ])
+}
+
+fn hw_strategy() -> impl proptest::strategy::Strategy<Value = TpuHwSpec> {
+    (0u8..2, (0usize..=4, 0usize..=3, 0usize..=2), 0usize..=4).prop_map(
+        |(chip, (array, word, mxus), layout)| TpuHwSpec {
+            chip: if chip == 0 { TpuChip::V2 } else { TpuChip::V3 },
+            array: [None, Some(64), Some(128), Some(256), Some(512)][array],
+            word_elems: [None, Some(4), Some(8), Some(16)][word],
+            mxus: [None, Some(1), Some(2)][mxus],
+            layout: [
+                None,
+                Some(Layout::Hwcn),
+                Some(Layout::Nhwc),
+                Some(Layout::Nchw),
+                Some(Layout::Chwn),
+            ][layout],
+        },
+    )
+}
+
+/// Client ids with the characters that stress the string escaper: quotes,
+/// backslashes, control chars, multibyte unicode, astral-plane codepoints.
+fn id_strategy() -> impl proptest::strategy::Strategy<Value = Option<String>> {
+    (0usize..=8, 0u64..u64::MAX).prop_map(|(len, seed)| {
+        if len == 0 {
+            return None;
+        }
+        const ALPHABET: [char; 16] = [
+            'a', 'Z', '0', '-', '_', '"', '\\', '/', '\n', '\t', '\u{0}', '\u{7f}', 'é', 'λ', '軸',
+            '𝄞',
+        ];
+        let mut s = String::new();
+        let mut x = seed;
+        for _ in 0..len {
+            s.push(ALPHABET[(x % ALPHABET.len() as u64) as usize]);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        Some(s)
+    })
+}
+
+fn work_strategy() -> impl proptest::strategy::Strategy<Value = Work> {
+    (
+        0u8..3,
+        shape_strategy(),
+        mode_strategy(),
+        algo_strategy(),
+        hw_strategy(),
+        (1usize..5000, 1usize..5000, 1usize..5000),
+    )
+        .prop_map(|(tag, shape, mode, algo, hw, (m, n, k))| match tag {
+            0 => Work::TpuConv { shape, mode, hw },
+            1 => Work::TpuGemm { m, n, k, hw },
+            _ => Work::GpuConv { shape, algo },
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// encode_estimate → parse_request is the identity on the full request
+    /// space, including ids that need heavy escaping.
+    #[test]
+    fn estimate_roundtrip(work in work_strategy(), id in id_strategy(), dl in 0u64..=3) {
+        let req = EstimateRequest {
+            id: id.clone(),
+            work,
+            deadline_ms: [None, Some(0), Some(50), Some(u64::MAX / 1000)][dl as usize],
+        };
+        let line = encode_estimate(&req);
+        match parse_request(&line) {
+            Ok(Request::Estimate(back)) => prop_assert_eq!(back, req, "line {}", line),
+            other => panic!("{line} did not parse back as an estimate: {other:?}"),
+        }
+    }
+
+    /// Control ops round-trip with their ids intact.
+    #[test]
+    fn simple_op_roundtrip(op in prop::sample::select(vec!["stats", "ping", "shutdown"]),
+                           id in id_strategy()) {
+        let line = encode_simple(op, id.as_deref());
+        let back = parse_request(&line).expect("control op must parse");
+        let got_id = match &back {
+            Request::Stats { id } | Request::Ping { id } | Request::Shutdown { id } => id.clone(),
+            other => panic!("{line} parsed as {other:?}"),
+        };
+        prop_assert_eq!(got_id, id);
+    }
+
+    /// TPU estimate bodies survive finish_response → parse_response.
+    #[test]
+    fn tpu_response_roundtrip(v in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+                              w in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+                              x in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+                              id in id_strategy()) {
+        let est = TpuEstimate {
+            cycles: v.0, compute_cycles: v.1, exposed_memory_cycles: v.2,
+            dram_bytes: w.0, workspace_bytes: w.1, flops: w.2,
+            dispatch: x.0, first_fill: x.1, steady: x.2,
+        };
+        let line = finish_response(id.as_deref(), &tpu_body(&est));
+        match parse_response(&line) {
+            Ok(Response::Tpu { id: got, est: back }) => {
+                prop_assert_eq!(got, id);
+                prop_assert_eq!(back, est);
+            }
+            other => panic!("{line} did not parse back: {other:?}"),
+        }
+    }
+
+    /// GPU estimate bodies are *bit*-exact through the wire, for any f64
+    /// bit pattern — infinities and NaN payloads included (this is the
+    /// property `expall --via-serve` byte-identity rests on).
+    #[test]
+    fn gpu_response_roundtrip_bitexact(bits in (0u64..u64::MAX, 0u64..u64::MAX,
+                                                0u64..u64::MAX, 0u64..u64::MAX),
+                                       ints in (0u64..u64::MAX, 0u64..u64::MAX),
+                                       id in id_strategy()) {
+        let est = GpuEstimate {
+            cycles: f64::from_bits(bits.0),
+            compute_cycles: f64::from_bits(bits.1),
+            memory_cycles: f64::from_bits(bits.2),
+            transform_cycles: f64::from_bits(bits.3),
+            blocks: ints.0,
+            flops: ints.1,
+        };
+        let line = finish_response(id.as_deref(), &gpu_body(&est));
+        match parse_response(&line) {
+            Ok(Response::Gpu { id: got, est: back }) => {
+                prop_assert_eq!(got, id);
+                // NaN != NaN, so compare representations, not values.
+                prop_assert_eq!(back.cycles.to_bits(), bits.0);
+                prop_assert_eq!(back.compute_cycles.to_bits(), bits.1);
+                prop_assert_eq!(back.memory_cycles.to_bits(), bits.2);
+                prop_assert_eq!(back.transform_cycles.to_bits(), bits.3);
+                prop_assert_eq!((back.blocks, back.flops), ints);
+            }
+            other => panic!("{line} did not parse back: {other:?}"),
+        }
+    }
+
+    /// f64 bit transport is the identity on raw bit patterns.
+    #[test]
+    fn f64_bits_roundtrip(bits in 0u64..u64::MAX) {
+        let v = f64::from_bits(bits);
+        prop_assert_eq!(f64_from_bits(&f64_bits(v)).map(f64::to_bits), Some(bits));
+    }
+
+    /// Stats and error bodies round-trip; pong/shutdown parse back to their
+    /// variants.
+    #[test]
+    fn control_response_roundtrip(vals in (0u64..1 << 50, 0u64..1 << 50, 0u64..1 << 50),
+                                  kind_ix in 0usize..5,
+                                  detail in id_strategy(),
+                                  id in id_strategy()) {
+        let stats = StatsSnapshot {
+            requests: vals.0 + vals.1,
+            hits: vals.0,
+            misses: vals.1,
+            evictions: vals.2,
+            cache_entries: vals.0 % 97,
+            cache_capacity: 16384,
+            queue_depth: vals.1 % 13,
+            in_flight: vals.2 % 7,
+            busy_rejections: vals.0 % 5,
+            deadline_expired: vals.1 % 3,
+            parse_errors: vals.2 % 11,
+            latency_us_total: vals.0,
+            latency_us_max: vals.1,
+            workers: 1 + vals.2 % 8,
+        };
+        let line = finish_response(id.as_deref(), &stats_body(&stats));
+        match parse_response(&line) {
+            Ok(Response::Stats { id: got, stats: back }) => {
+                prop_assert_eq!(got, id.clone());
+                prop_assert_eq!(back, stats);
+            }
+            other => panic!("{line} did not parse back: {other:?}"),
+        }
+
+        let kind = [
+            ErrorKind::Busy,
+            ErrorKind::Deadline,
+            ErrorKind::Parse,
+            ErrorKind::BadRequest,
+            ErrorKind::ShuttingDown,
+        ][kind_ix];
+        let detail = detail.unwrap_or_default();
+        let line = finish_response(id.as_deref(), &error_body(kind, &detail));
+        match parse_response(&line) {
+            Ok(Response::Error { id: got, kind: k, detail: d }) => {
+                prop_assert_eq!(got, id.clone());
+                prop_assert_eq!(k, kind);
+                prop_assert_eq!(d, detail);
+            }
+            other => panic!("{line} did not parse back: {other:?}"),
+        }
+
+        for (body, want_pong) in [(pong_body(), true), (shutdown_body(), false)] {
+            let line = finish_response(id.as_deref(), &body);
+            match (parse_response(&line), want_pong) {
+                (Ok(Response::Pong { id: got }), true)
+                | (Ok(Response::ShutdownAck { id: got }), false) => {
+                    prop_assert_eq!(got, id.clone());
+                }
+                (other, _) => panic!("{line} did not parse back: {other:?}"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input fuzzing: typed errors, never panics
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Random byte soup: the parser must return (a typed error or, for the
+    /// astronomically unlikely valid line, a request) without panicking.
+    #[test]
+    fn random_bytes_never_panic(len in 0usize..64, seed in 0u64..u64::MAX) {
+        let mut bytes = Vec::with_capacity(len);
+        let mut x = seed | 1;
+        for _ in 0..len {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            bytes.push((x & 0xff) as u8);
+        }
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse_request(&line);
+        let _ = parse_response(&line);
+        let _ = json::parse(&line);
+    }
+
+    /// JSON-looking garbage assembled from structural tokens: deep nesting,
+    /// dangling commas, unterminated strings. Typed errors only.
+    #[test]
+    fn token_soup_never_panics(len in 0usize..48, seed in 0u64..u64::MAX) {
+        const TOKENS: [&str; 14] = [
+            "{", "}", "[", "]", ":", ",", "\"", "\\", "null", "true", "1e999",
+            "\"op\"", "\"conv\"", "-",
+        ];
+        let mut s = String::new();
+        let mut x = seed | 1;
+        for _ in 0..len {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s.push_str(TOKENS[(x % TOKENS.len() as u64) as usize]);
+        }
+        let _ = parse_request(&s);
+        let _ = parse_response(&s);
+    }
+
+    /// Every proper prefix of a valid request line is a Parse error (and
+    /// carries no panic): truncation mid-stream can never take the server
+    /// down or be mistaken for a request.
+    #[test]
+    fn truncations_are_parse_errors(work in work_strategy(), cut in 0usize..10_000) {
+        let line = encode_estimate(&EstimateRequest { id: Some("t".into()), work, deadline_ms: None });
+        let mut cut = cut % line.len();
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        if cut == 0 {
+            // Empty input is still a typed parse error.
+            let err = parse_request("").expect_err("empty line must not parse");
+            prop_assert_eq!(err.kind, ErrorKind::Parse);
+        } else {
+            let err = parse_request(&line[..cut]).expect_err("proper prefix must not parse");
+            prop_assert_eq!(err.kind, ErrorKind::Parse);
+        }
+    }
+
+    /// Single-byte corruption of a valid line: typed error or a different
+    /// valid parse — never a panic, and never a misattributed id when the
+    /// id bytes were untouched.
+    #[test]
+    fn mutations_never_panic(work in work_strategy(), pos in 0usize..10_000, b in 0u8..=255) {
+        let line = encode_estimate(&EstimateRequest { id: None, work, deadline_ms: None });
+        let mut bytes = line.into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] = b;
+        let mutated = String::from_utf8_lossy(&bytes);
+        let _ = parse_request(&mutated);
+    }
+
+    /// Well-formed JSON that is not a valid request gets `bad-request` (not
+    /// `parse`), with the id salvaged for addressing the error response.
+    #[test]
+    fn wrong_shape_json_is_bad_request(n in 0u64..1000) {
+        for line in [
+            format!("{{\"id\":\"x{n}\",\"op\":\"warp\"}}"),
+            format!("{{\"id\":\"x{n}\",\"op\":\"conv\"}}"),
+            format!("{{\"id\":\"x{n}\",\"op\":\"conv\",\"target\":\"tpu\",\"layer\":{{\"n\":{n}}}}}"),
+            format!("{{\"id\":\"x{n}\",\"op\":\"gemm\",\"m\":1,\"n\":2}}"),
+            format!("{{\"id\":\"x{n}\"}}"),
+            format!("[{n}]"),
+            format!("{n}"),
+        ] {
+            let err = parse_request(&line).expect_err("not a valid request");
+            prop_assert_eq!(err.kind, ErrorKind::BadRequest, "line {}", line);
+            if line.starts_with("{\"id\"") {
+                prop_assert_eq!(err.id.as_deref(), Some(format!("x{n}").as_str()),
+                    "id must be salvaged from {}", line);
+            }
+        }
+    }
+}

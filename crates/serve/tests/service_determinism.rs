@@ -1,0 +1,221 @@
+//! Service-level determinism: N concurrent clients replaying the same
+//! request mix get byte-identical responses, whatever the worker count and
+//! whatever the cache happens to contain — and the cache counters always
+//! partition the request count (`hits + misses == requests`).
+//!
+//! This is the observable consequence of the server's design: responses are
+//! cached as id-free bodies and the id is grafted on at send time, so a
+//! cache replay is indistinguishable from a fresh simulation. The mix uses
+//! AlexNet only (GPU layers are slow in debug builds) plus a GEMM and
+//! hardware-override probes so all three work kinds cross the wire.
+
+use std::collections::BTreeMap;
+
+use iconv_gpusim::GpuAlgo;
+use iconv_serve::protocol::encode_estimate;
+use iconv_serve::{
+    spawn, Client, EstimateRequest, Response, ServerConfig, TpuChip, TpuHwSpec, Work,
+};
+use iconv_tpusim::SimMode;
+
+/// The shared request mix: every client sends exactly these lines, ids
+/// encode the request index so equal requests produce equal lines across
+/// clients.
+fn request_mix() -> Vec<String> {
+    let alexnet = iconv_workloads::all_models(8)
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case("alexnet"))
+        .expect("workload table lost AlexNet");
+    let mut works = Vec::new();
+    for layer in &alexnet.layers {
+        works.push(Work::TpuConv {
+            shape: layer.shape,
+            mode: SimMode::ChannelFirst,
+            hw: TpuHwSpec::default(),
+        });
+        works.push(Work::TpuConv {
+            shape: layer.shape,
+            mode: SimMode::Explicit,
+            hw: TpuHwSpec::default(),
+        });
+    }
+    // One layer on the V3 spelling and one GEMM + GPU pair: all work kinds
+    // and a hardware override in the mix.
+    works.push(Work::TpuConv {
+        shape: alexnet.layers[1].shape,
+        mode: SimMode::ChannelFirst,
+        hw: TpuHwSpec {
+            chip: TpuChip::V3,
+            ..TpuHwSpec::default()
+        },
+    });
+    works.push(Work::TpuGemm {
+        m: 512,
+        n: 256,
+        k: 384,
+        hw: TpuHwSpec::default(),
+    });
+    works.push(Work::GpuConv {
+        shape: alexnet.layers[2].shape,
+        algo: GpuAlgo::ChannelFirst { reuse: true },
+    });
+    works
+        .into_iter()
+        .enumerate()
+        .map(|(i, work)| {
+            encode_estimate(&EstimateRequest {
+                id: Some(format!("r{i}")),
+                work,
+                deadline_ms: None,
+            })
+        })
+        .collect()
+}
+
+/// Run `clients` concurrent connections, each replaying `mix` pipelined,
+/// against a fresh server with `workers` workers. Returns each client's
+/// in-order response lines plus the final stats.
+fn run_round(
+    workers: usize,
+    clients: usize,
+    mix: &[String],
+) -> (Vec<Vec<String>>, iconv_serve::StatsSnapshot) {
+    let handle = spawn(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = handle.local_addr().to_string();
+
+    let transcripts: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    // Two pipelined rounds with a full read between them:
+                    // round 1 races the other clients on a cold cache,
+                    // round 2 is guaranteed warm (every key was answered to
+                    // this very client before it re-asks).
+                    let mut c = Client::connect(addr.as_str()).expect("connect");
+                    let mut got = Vec::with_capacity(2 * mix.len());
+                    for _round in 0..2 {
+                        for line in mix {
+                            c.send_line(line).expect("send");
+                        }
+                        c.flush().expect("flush");
+                        for _ in 0..mix.len() {
+                            got.push(c.recv_line().expect("recv"));
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    let stats = handle.shutdown();
+    (transcripts, stats)
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_responses() {
+    let mix = request_mix();
+    assert!(mix.len() >= 12, "mix too small to be interesting");
+
+    let mut reference: Option<Vec<String>> = None;
+    for workers in [1usize, 4] {
+        let clients = 4;
+        let (transcripts, stats) = run_round(workers, clients, &mix);
+
+        // Every client sees the same bytes, in its own request order —
+        // across clients racing each other, and across worker counts.
+        for (ci, t) in transcripts.iter().enumerate() {
+            assert_eq!(
+                t, &transcripts[0],
+                "client {ci} diverged from client 0 at {workers} workers"
+            );
+        }
+        match &reference {
+            None => reference = Some(transcripts[0].clone()),
+            Some(r) => assert_eq!(
+                &transcripts[0], r,
+                "responses changed between worker counts"
+            ),
+        }
+
+        // Each response echoes the id of its own request: per-connection
+        // ordering survived the concurrent dispatch.
+        for t in &transcripts {
+            for (i, line) in t.iter().enumerate() {
+                let resp = iconv_serve::protocol::parse_response(line)
+                    .unwrap_or_else(|e| panic!("bad response line {line:?}: {e}"));
+                let want = format!("r{}", i % mix.len());
+                assert_eq!(resp.id(), Some(want.as_str()), "line {line}");
+                assert!(
+                    !matches!(resp, Response::Error { .. }),
+                    "unexpected error response {line}"
+                );
+            }
+        }
+
+        // Counter discipline: rejected work is excluded from `requests`, so
+        // hits and misses partition it exactly once the server is drained.
+        let total = (clients * 2 * mix.len()) as u64;
+        assert_eq!(stats.requests, total, "{workers} workers");
+        assert_eq!(
+            stats.hits + stats.misses,
+            stats.requests,
+            "{workers} workers: hits {} + misses {} != requests {}",
+            stats.hits,
+            stats.misses,
+            stats.requests
+        );
+        // Round 2 is all hits for every client (each key was answered to
+        // that client before it re-asked), so at least half the traffic
+        // must have been served from cache. Round 1's hit count is racy —
+        // a cold concurrent burst can legitimately miss everything — and
+        // deliberately not asserted.
+        assert!(
+            stats.hits >= total / 2,
+            "{workers} workers: only {} hits of {total} requests",
+            stats.hits
+        );
+    }
+}
+
+/// The distinct-key census: a mixed workload's responses, bucketed by
+/// request line, are identical whether served cold or warm (two rounds on
+/// one server).
+#[test]
+fn warm_cache_replays_cold_bytes() {
+    let mix = request_mix();
+    let handle = spawn(ServerConfig::default()).expect("spawn server");
+    let mut c = Client::connect(handle.local_addr().to_string().as_str()).expect("connect");
+
+    let mut rounds: Vec<BTreeMap<&str, String>> = Vec::new();
+    for _ in 0..2 {
+        let mut seen = BTreeMap::new();
+        for line in &mix {
+            c.send_line(line).expect("send");
+        }
+        c.flush().expect("flush");
+        for line in &mix {
+            seen.insert(line.as_str(), c.recv_line().expect("recv"));
+        }
+        rounds.push(seen);
+    }
+    assert_eq!(rounds[0], rounds[1], "warm replay changed response bytes");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.hits + stats.misses, stats.requests);
+    assert!(
+        stats.hits >= mix.len() as u64,
+        "second round should be all cache hits: {} hits for {} requests",
+        stats.hits,
+        stats.requests
+    );
+}

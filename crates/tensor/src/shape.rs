@@ -119,6 +119,13 @@ impl ConvShapeBuilder {
         self
     }
 
+    /// Set the dilations individually.
+    pub fn dilation_hw(mut self, dh: usize, dw: usize) -> Self {
+        self.shape.dil_h = dh;
+        self.shape.dil_w = dw;
+        self
+    }
+
     /// "Same" padding: choose padding so that `Ho = ceil(Hi/stride)`.
     ///
     /// Only exact for odd effective filter sizes; the common CNN case.

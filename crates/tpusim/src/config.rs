@@ -104,6 +104,38 @@ impl TpuConfig {
         self.vector_mem.word_elems = word_elems;
         self
     }
+
+    /// A canonical, injective text rendering of *every* configuration field,
+    /// used as the hardware component of content-addressed cache keys (the
+    /// `iconv-serve` report cache): two configs produce the same string iff
+    /// they denote the same simulated machine. Floats use Rust's shortest
+    /// round-trip `Display`, so distinct values never alias.
+    pub fn canonical_key(&self) -> String {
+        let vm = &self.vector_mem;
+        let d = &self.dram;
+        format!(
+            "tpu;a{}x{};clk{};vm{}x{}x{};dram{},{},{},{},{},{},{},{};lay{:?};frac{};disp{};stages{};mxus{}",
+            self.array.rows,
+            self.array.cols,
+            self.clock_mhz,
+            vm.word_elems,
+            vm.elem_bytes,
+            vm.capacity_bytes,
+            d.bytes_per_cycle,
+            d.burst_bytes,
+            d.row_bytes,
+            d.banks,
+            d.t_activate,
+            d.t_precharge,
+            d.t_cas,
+            d.base_latency,
+            self.ifmap_layout,
+            self.ifmap_buffer_fraction,
+            self.dispatch_cycles,
+            self.min_pipeline_stages,
+            self.mxus
+        )
+    }
 }
 
 impl Default for TpuConfig {
@@ -150,6 +182,37 @@ mod tests {
         // 2 MXUs x faster clock: v3 core ≈ 61.6 TFLOPS vs v2's 22.9.
         assert!(v3.peak_tflops() > 2.5 * v2.peak_tflops());
         assert_eq!(v3.mxus, 2);
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_every_knob() {
+        let base = TpuConfig::tpu_v2();
+        let variants = [
+            base,
+            base.with_array_size(256),
+            base.with_word_elems(16),
+            TpuConfig::tpu_v3(),
+            {
+                let mut c = base;
+                c.ifmap_layout = Layout::Nchw;
+                c
+            },
+            {
+                let mut c = base;
+                c.ifmap_buffer_fraction = 0.5;
+                c
+            },
+            {
+                let mut c = base;
+                c.dram.bytes_per_cycle += 0.5;
+                c
+            },
+        ];
+        let keys: std::collections::BTreeSet<String> =
+            variants.iter().map(TpuConfig::canonical_key).collect();
+        assert_eq!(keys.len(), variants.len(), "{keys:?}");
+        // Identical configs agree.
+        assert_eq!(base.canonical_key(), TpuConfig::tpu_v2().canonical_key());
     }
 
     #[test]

@@ -24,7 +24,10 @@
 //! * [`workloads`] (`iconv-workloads`) — the seven CNN layer tables;
 //! * [`models`] (`iconv-models`) — the hardware proxies and error metrics;
 //! * [`trace`] (`iconv-trace`) — span/counter recording behind the
-//!   simulators' `*_traced` entry points, with Chrome-trace export.
+//!   simulators' `*_traced` entry points, with Chrome-trace export;
+//! * [`serve`] (`iconv-serve`) — a cached, concurrent TCP estimate service
+//!   over the simulators (`served` / `loadgen` binaries, newline-delimited
+//!   JSON protocol, content-addressed LRU cache).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use iconv_core as core;
 pub use iconv_dram as dram;
 pub use iconv_gpusim as gpusim;
 pub use iconv_models as models;
+pub use iconv_serve as serve;
 pub use iconv_sram as sram;
 pub use iconv_systolic as systolic;
 pub use iconv_tensor as tensor;
