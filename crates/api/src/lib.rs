@@ -1,0 +1,36 @@
+//! `iconv-api` — the one shared request vocabulary.
+//!
+//! Before this crate existed, the "what do you want simulated?" types lived
+//! in `iconv-serve`'s protocol module and every other consumer (the bench
+//! summary sweeps, the load generator, the facade) either depended on the
+//! whole service crate or re-declared parallel structs. This crate extracts
+//! the vocabulary into a leaf that everything can share:
+//!
+//! - [`TpuChip`] / [`TpuHwSpec`]: hardware selection plus overrides, with
+//!   [`TpuHwSpec::resolve`] producing a **validated** `TpuConfig` (via the
+//!   simulator's typed config builder) so out-of-domain overrides surface as
+//!   [`iconv_tpusim::TpuConfigError`] instead of panics downstream.
+//! - [`Work`]: one unit of simulation (TPU conv, TPU GEMM, GPU conv).
+//! - [`canonical_key`]: the injective cache-key rendering of a [`Work`] —
+//!   requests that denote the same simulation collapse to the same key.
+//! - [`SweepSpec`]: a compact batch description (base shape × axis ranges)
+//!   that [`SweepSpec::expand`]s into concrete [`Work`] items in a fixed,
+//!   documented order — the `batch` protocol op's "sweep" form.
+//! - [`table::workload_works`]: the paper's full workload table under the
+//!   standard four estimators, shared by `loadgen` and the contract tests.
+//!
+//! The wire codecs stay in `iconv-serve`; this crate knows nothing about
+//! JSON or sockets.
+
+#![warn(missing_docs)]
+
+pub mod key;
+pub mod spec;
+pub mod sweep;
+pub mod table;
+pub mod work;
+
+pub use key::canonical_key;
+pub use spec::{resolve_tpu, TpuChip, TpuHwSpec};
+pub use sweep::{SweepError, SweepSpec, SweepTarget, MAX_SWEEP_ITEMS};
+pub use work::Work;

@@ -1,0 +1,64 @@
+//! The benchmark request mix: the paper's workload table under the
+//! standard four estimators, shared by `loadgen`, the `--via-serve` path,
+//! and the `estimate_many` contract tests so they all agree on what "the
+//! full table" means.
+
+use iconv_gpusim::GpuAlgo;
+use iconv_tpusim::SimMode;
+
+use crate::spec::TpuHwSpec;
+use crate::work::Work;
+
+/// Every layer of the workload CNNs (batch 8), each under four estimators:
+/// TPU channel-first, TPU explicit, GPU cuDNN-implicit, and GPU
+/// channel-first+reuse. `small` restricts to the first model for quick
+/// runs.
+pub fn workload_works(small: bool) -> Vec<Work> {
+    let models = iconv_workloads::all_models(8);
+    let models: Vec<_> = if small {
+        models.into_iter().take(1).collect()
+    } else {
+        models
+    };
+    let hw = TpuHwSpec::default();
+    let mut works = Vec::new();
+    for m in &models {
+        for l in &m.layers {
+            works.push(Work::TpuConv {
+                shape: l.shape,
+                mode: SimMode::ChannelFirst,
+                hw,
+            });
+            works.push(Work::TpuConv {
+                shape: l.shape,
+                mode: SimMode::Explicit,
+                hw,
+            });
+            works.push(Work::GpuConv {
+                shape: l.shape,
+                algo: GpuAlgo::CudnnImplicit,
+            });
+            works.push(Work::GpuConv {
+                shape: l.shape,
+                algo: GpuAlgo::ChannelFirst { reuse: true },
+            });
+        }
+    }
+    works
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_nonempty_and_small_is_a_prefix() {
+        let all = workload_works(false);
+        let small = workload_works(true);
+        assert!(small.len() >= 4);
+        assert!(all.len() > small.len());
+        assert_eq!(&all[..small.len()], &small[..]);
+        // Four estimators per layer.
+        assert_eq!(all.len() % 4, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! One unit of simulation work.
+
+use iconv_gpusim::GpuAlgo;
+use iconv_tensor::ConvShape;
+use iconv_tpusim::SimMode;
+
+use crate::spec::TpuHwSpec;
+
+/// The simulation a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Work {
+    /// A convolution layer on the TPU model.
+    TpuConv {
+        /// Layer shape.
+        shape: ConvShape,
+        /// Lowering mode.
+        mode: SimMode,
+        /// Hardware overrides.
+        hw: TpuHwSpec,
+    },
+    /// A plain GEMM on the TPU model.
+    TpuGemm {
+        /// GEMM M.
+        m: usize,
+        /// GEMM N.
+        n: usize,
+        /// GEMM K.
+        k: usize,
+        /// Hardware overrides.
+        hw: TpuHwSpec,
+    },
+    /// A convolution layer on the V100 tensor-core model.
+    GpuConv {
+        /// Layer shape.
+        shape: ConvShape,
+        /// Kernel algorithm.
+        algo: GpuAlgo,
+    },
+}

@@ -64,7 +64,10 @@ pub fn report() -> String {
     );
     let vgg = iconv_workloads::vgg16(8);
     for elems in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = TpuConfig::tpu_v2().with_word_elems(elems);
+        let cfg = TpuConfig::builder_from(TpuConfig::tpu_v2())
+            .word_elems(elems)
+            .build()
+            .expect("word sweep config");
         let sim = Simulator::new(cfg);
         let mut total = iconv_tpusim::EnergyReport::default();
         let mut flops = 0u64;

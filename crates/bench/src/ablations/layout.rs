@@ -90,8 +90,10 @@ pub fn report() -> String {
         let shape = ConvShape::square(8, 64, 56, 64, 3, stride, 1).expect("valid layer");
         let mut cycles = Vec::new();
         for layout in [Layout::Hwcn, Layout::Nchw] {
-            let mut cfg = TpuConfig::tpu_v2();
-            cfg.ifmap_layout = layout;
+            let cfg = TpuConfig::builder_from(TpuConfig::tpu_v2())
+                .ifmap_layout(layout)
+                .build()
+                .expect("layout config");
             let sim = Simulator::new(cfg);
             cycles.push(sim.simulate_conv("l", &shape, SimMode::ChannelFirst).cycles);
         }

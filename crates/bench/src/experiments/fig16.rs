@@ -32,7 +32,10 @@ pub fn report() -> String {
     let mut prev_util: Option<f64> = None;
     let mut halving = f64::NAN;
     for size in [32usize, 64, 128, 256, 512] {
-        let cfg = TpuConfig::tpu_v2().with_array_size(size);
+        let cfg = TpuConfig::builder_from(TpuConfig::tpu_v2())
+            .array_size(size)
+            .build()
+            .expect("array sweep config");
         let sim = Simulator::new(cfg);
         let rep = sim.simulate_model(&model, SimMode::ChannelFirst);
         let util = rep.tflops(&cfg) / cfg.peak_tflops();
@@ -69,7 +72,10 @@ pub fn report() -> String {
     let area = AreaModel::freepdk45();
     let words_bytes: Vec<u64> = [1u64, 2, 4, 8, 16, 32].iter().map(|e| e * 4).collect();
     for elems in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = TpuConfig::tpu_v2().with_word_elems(elems);
+        let cfg = TpuConfig::builder_from(TpuConfig::tpu_v2())
+            .word_elems(elems)
+            .build()
+            .expect("word sweep config");
         let sim = Simulator::new(cfg);
         let rep = sim.simulate_model(&model, SimMode::ChannelFirst);
         let bytes = (elems * 4) as u64;

@@ -2,11 +2,13 @@
 //! `iconv-serve` instance — the `expall --via-serve` path.
 //!
 //! One client connection is shared behind a mutex: the summary's
-//! `par_map_jobs` fan-out serializes on it, which is fine because the
-//! server is where the real concurrency (and the report cache) lives. GPU
-//! cycles come back as IEEE-754 bit strings, so every number this source
-//! returns is bit-identical to the in-process simulation and the summary
-//! JSON built on top is byte-identical to the in-process one.
+//! fan-out serializes on it, which is fine because the server is where
+//! the real concurrency (and the report cache) lives. `estimate_many` is
+//! overridden to ship each figure's whole work table as a single `batch`
+//! request — one round trip instead of one per item. GPU cycles come back
+//! as IEEE-754 bit strings, so every number this source returns is
+//! bit-identical to the in-process simulation and the summary JSON built
+//! on top is byte-identical to the in-process one.
 //!
 //! Estimate failures panic with the server's typed error: `expall` has no
 //! way to make progress on a half-answered summary, and a panic keeps the
@@ -15,12 +17,10 @@
 use std::sync::Mutex;
 use std::time::Duration;
 
-use iconv_gpusim::GpuAlgo;
-use iconv_serve::{Client, TpuHwSpec};
-use iconv_tensor::ConvShape;
-use iconv_tpusim::SimMode;
+use iconv_api::Work;
+use iconv_serve::{Client, Estimate, MAX_SWEEP_ITEMS};
 
-use crate::summary::CycleSource;
+use crate::summary::{CycleCount, CycleSource};
 
 /// Estimate source speaking the serve protocol.
 pub struct ServeSource {
@@ -57,30 +57,48 @@ impl ServeSource {
 }
 
 impl CycleSource for ServeSource {
-    fn tpu_conv_cycles(&self, shape: &ConvShape, mode: SimMode) -> u64 {
-        self.client
-            .lock()
-            .expect("serve client poisoned")
-            .tpu_conv(shape, mode, &TpuHwSpec::default())
-            .expect("serve tpu conv estimate failed")
-            .cycles
+    fn estimate(&self, work: &Work) -> CycleCount {
+        let mut client = self.client.lock().expect("serve client poisoned");
+        match *work {
+            Work::TpuConv { shape, mode, hw } => CycleCount::Tpu(
+                client
+                    .tpu_conv(&shape, mode, &hw)
+                    .expect("serve tpu conv estimate failed")
+                    .cycles,
+            ),
+            Work::TpuGemm { m, n, k, hw } => CycleCount::Tpu(
+                client
+                    .tpu_gemm(m, n, k, &hw)
+                    .expect("serve tpu gemm estimate failed")
+                    .cycles,
+            ),
+            Work::GpuConv { shape, algo } => CycleCount::Gpu(
+                client
+                    .gpu_conv(&shape, algo)
+                    .expect("serve gpu conv estimate failed")
+                    .cycles,
+            ),
+        }
     }
 
-    fn tpu_gemm_cycles(&self, m: usize, n: usize, k: usize) -> u64 {
-        self.client
-            .lock()
-            .expect("serve client poisoned")
-            .tpu_gemm(m, n, k, &TpuHwSpec::default())
-            .expect("serve tpu gemm estimate failed")
-            .cycles
-    }
-
-    fn gpu_conv_cycles(&self, shape: &ConvShape, algo: GpuAlgo) -> f64 {
-        self.client
-            .lock()
-            .expect("serve client poisoned")
-            .gpu_conv(shape, algo)
-            .expect("serve gpu conv estimate failed")
-            .cycles
+    /// Ship the whole table as `batch` requests (one per `MAX_SWEEP_ITEMS`
+    /// chunk — in practice a single round trip) instead of one request per
+    /// item. The server streams replies in item order, so the results line
+    /// up with `works` positionally.
+    fn estimate_many(&self, _jobs: usize, works: &[Work]) -> Vec<CycleCount> {
+        let mut client = self.client.lock().expect("serve client poisoned");
+        let mut out = Vec::with_capacity(works.len());
+        for chunk in works.chunks(MAX_SWEEP_ITEMS) {
+            let replies = client
+                .batch(chunk, None)
+                .expect("serve batch estimate failed");
+            for reply in replies {
+                match reply.expect("serve batch item failed") {
+                    Estimate::Tpu(est) => out.push(CycleCount::Tpu(est.cycles)),
+                    Estimate::Gpu(est) => out.push(CycleCount::Gpu(est.cycles)),
+                }
+            }
+        }
+        out
     }
 }

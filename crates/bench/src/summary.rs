@@ -2,26 +2,105 @@
 //! by `expall` to `results/summary.json` so CI or downstream tooling can
 //! track regressions without parsing table output.
 
+use iconv_api::{resolve_tpu, TpuHwSpec, Work};
 use iconv_gpusim::{GpuAlgo, GpuConfig, GpuSim};
 use iconv_models::{mean_abs_pct_error, TpuMeasuredProxy};
 use iconv_tensor::ConvShape;
 use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+
+/// A cycle total in the currency of whichever engine produced it: TPU
+/// estimates are exact integers, GPU estimates are analytic `f64`s whose
+/// bit pattern must survive any transport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CycleCount {
+    /// Cycle-exact TPU total.
+    Tpu(u64),
+    /// Analytic GPU total (`KernelTiming::cycles`, bit-exact).
+    Gpu(f64),
+}
+
+impl CycleCount {
+    /// The TPU total.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the estimate came from the GPU engine — the figure
+    /// reductions know statically which engine each work targets, so a
+    /// mismatch is a bug, not a recoverable condition.
+    pub fn tpu(self) -> u64 {
+        match self {
+            CycleCount::Tpu(c) => c,
+            CycleCount::Gpu(c) => panic!("expected a TPU cycle count, got GPU {c}"),
+        }
+    }
+
+    /// The GPU total.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the estimate came from the TPU engine.
+    pub fn gpu(self) -> f64 {
+        match self {
+            CycleCount::Gpu(c) => c,
+            CycleCount::Tpu(c) => panic!("expected a GPU cycle count, got TPU {c}"),
+        }
+    }
+}
 
 /// Where layer estimates come from: the in-process simulators, or a remote
 /// `iconv-serve` instance (`expall --via-serve`).
 ///
 /// Implementations must be *bit*-deterministic: the same query returns the
 /// same value every time, so the summary JSON is byte-identical whichever
-/// source backs it. The GPU method returns the raw `f64` total cycles
+/// source backs it. GPU estimates carry the raw `f64` total cycles
 /// (`KernelTiming::cycles`) because downstream arithmetic must replay the
 /// in-process operation sequence exactly.
+///
+/// The vocabulary is [`iconv_api::Work`]: one `estimate` call per unit, or
+/// a whole table at once via [`estimate_many`](CycleSource::estimate_many)
+/// — which a networked source can override to pipeline a single batched
+/// request instead of `works.len()` round trips.
 pub trait CycleSource: Sync {
-    /// Total cycles of a TPU convolution under `mode`.
-    fn tpu_conv_cycles(&self, shape: &ConvShape, mode: SimMode) -> u64;
-    /// Total cycles of a TPU GEMM.
-    fn tpu_gemm_cycles(&self, m: usize, n: usize, k: usize) -> u64;
+    /// Estimate one unit of work.
+    fn estimate(&self, work: &Work) -> CycleCount;
+
+    /// Estimate a whole table, preserving input order. The default fans
+    /// the per-item [`estimate`](CycleSource::estimate) over `jobs`
+    /// workers; any override must return exactly the same values in the
+    /// same order (pinned by the `estimate_many` contract test).
+    fn estimate_many(&self, jobs: usize, works: &[Work]) -> Vec<CycleCount> {
+        iconv_par::par_map_jobs(jobs, works, |w| self.estimate(w))
+    }
+
+    /// Total cycles of a TPU convolution under `mode` (default hardware).
+    fn tpu_conv_cycles(&self, shape: &ConvShape, mode: SimMode) -> u64 {
+        self.estimate(&Work::TpuConv {
+            shape: *shape,
+            mode,
+            hw: TpuHwSpec::default(),
+        })
+        .tpu()
+    }
+
+    /// Total cycles of a TPU GEMM (default hardware).
+    fn tpu_gemm_cycles(&self, m: usize, n: usize, k: usize) -> u64 {
+        self.estimate(&Work::TpuGemm {
+            m,
+            n,
+            k,
+            hw: TpuHwSpec::default(),
+        })
+        .tpu()
+    }
+
     /// Total cycles of a GPU convolution under `algo` (bit-exact `f64`).
-    fn gpu_conv_cycles(&self, shape: &ConvShape, algo: GpuAlgo) -> f64;
+    fn gpu_conv_cycles(&self, shape: &ConvShape, algo: GpuAlgo) -> f64 {
+        self.estimate(&Work::GpuConv {
+            shape: *shape,
+            algo,
+        })
+        .gpu()
+    }
 }
 
 /// The in-process source: calls the simulators directly.
@@ -47,16 +126,35 @@ impl Default for InProcessSource {
 }
 
 impl CycleSource for InProcessSource {
-    fn tpu_conv_cycles(&self, shape: &ConvShape, mode: SimMode) -> u64 {
-        self.sim.simulate_conv("summary", shape, mode).cycles
-    }
-
-    fn tpu_gemm_cycles(&self, m: usize, n: usize, k: usize) -> u64 {
-        self.sim.simulate_gemm("summary", m, n, k).cycles
-    }
-
-    fn gpu_conv_cycles(&self, shape: &ConvShape, algo: GpuAlgo) -> f64 {
-        self.gpu.simulate_conv("summary", shape, algo).timing.cycles
+    fn estimate(&self, work: &Work) -> CycleCount {
+        match work {
+            Work::TpuConv { shape, mode, hw } => {
+                let cycles = if *hw == TpuHwSpec::default() {
+                    self.sim.simulate_conv("summary", shape, *mode).cycles
+                } else {
+                    Simulator::new(resolve_tpu(hw))
+                        .simulate_conv("summary", shape, *mode)
+                        .cycles
+                };
+                CycleCount::Tpu(cycles)
+            }
+            Work::TpuGemm { m, n, k, hw } => {
+                let cycles = if *hw == TpuHwSpec::default() {
+                    self.sim.simulate_gemm("summary", *m, *n, *k).cycles
+                } else {
+                    Simulator::new(resolve_tpu(hw))
+                        .simulate_gemm("summary", *m, *n, *k)
+                        .cycles
+                };
+                CycleCount::Tpu(cycles)
+            }
+            Work::GpuConv { shape, algo } => CycleCount::Gpu(
+                self.gpu
+                    .simulate_conv("summary", shape, *algo)
+                    .timing
+                    .cycles,
+            ),
+        }
     }
 }
 
@@ -104,69 +202,124 @@ pub fn compute_jobs(jobs: usize) -> Summary {
 pub fn compute_jobs_with(jobs: usize, src: &dyn CycleSource) -> Summary {
     let proxy = TpuMeasuredProxy::tpu_v2();
     let gpu_cfg = GpuConfig::v100();
+    let hw = TpuHwSpec::default();
+
+    // Each figure assembles its whole work table and estimates it in one
+    // `estimate_many` call (one batched request on a networked source),
+    // then replays its floating-point reduction in the *original* input
+    // order — the order is what keeps the JSON byte-identical to the
+    // historical per-call path.
 
     // Fig. 13a: GEMM validation error.
-    let gemm_pairs = iconv_par::par_map_jobs(
-        jobs,
-        &crate::experiments::fig13::gemm_sweep(),
-        |&(m, n, k)| {
-            (
-                src.tpu_gemm_cycles(m, n, k) as f64,
-                proxy.gemm_cycles(m, n, k),
-            )
-        },
-    );
+    let gemm_sweep = crate::experiments::fig13::gemm_sweep();
+    let gemm_works: Vec<Work> = gemm_sweep
+        .iter()
+        .map(|&(m, n, k)| Work::TpuGemm { m, n, k, hw })
+        .collect();
+    let gemm_pairs: Vec<(f64, f64)> = src
+        .estimate_many(jobs, &gemm_works)
+        .iter()
+        .zip(&gemm_sweep)
+        .map(|(c, &(m, n, k))| (c.tpu() as f64, proxy.gemm_cycles(m, n, k)))
+        .collect();
 
     // Fig. 13b: conv validation error.
-    let conv_pairs =
-        iconv_par::par_map_jobs(jobs, &crate::experiments::fig13::conv_sweep(8), |s| {
-            (
-                src.tpu_conv_cycles(s, SimMode::ChannelFirst) as f64,
-                proxy.conv_cycles(s),
-            )
-        });
+    let conv_sweep = crate::experiments::fig13::conv_sweep(8);
+    let conv_works: Vec<Work> = conv_sweep
+        .iter()
+        .map(|s| Work::TpuConv {
+            shape: *s,
+            mode: SimMode::ChannelFirst,
+            hw,
+        })
+        .collect();
+    let conv_pairs: Vec<(f64, f64)> = src
+        .estimate_many(jobs, &conv_works)
+        .iter()
+        .zip(&conv_sweep)
+        .map(|(c, s)| (c.tpu() as f64, proxy.conv_cycles(s)))
+        .collect();
 
     // Fig. 15: layer-wise MAE over all models.
     let models = iconv_workloads::all_models(8);
     let all_layers: Vec<_> = models.iter().flat_map(|m| m.layers.iter()).collect();
-    let layer_pairs = iconv_par::par_map_jobs(jobs, &all_layers, |l| {
-        (
-            src.tpu_conv_cycles(&l.shape, SimMode::ChannelFirst) as f64,
-            proxy.conv_cycles(&l.shape),
-        )
-    });
+    let layer_works: Vec<Work> = all_layers
+        .iter()
+        .map(|l| Work::TpuConv {
+            shape: l.shape,
+            mode: SimMode::ChannelFirst,
+            hw,
+        })
+        .collect();
+    let layer_pairs: Vec<(f64, f64)> = src
+        .estimate_many(jobs, &layer_works)
+        .iter()
+        .zip(&all_layers)
+        .map(|(c, l)| (c.tpu() as f64, proxy.conv_cycles(&l.shape)))
+        .collect();
 
-    // Fig. 17: GPU parity. The per-model second totals replay
-    // `GpuSim::model_seconds` operation for operation (cycles-to-seconds
-    // conversion, then scale by occurrence count, summed in layer order),
-    // so the ratio is bit-identical to the direct call.
-    let model_seconds = |m: &iconv_workloads::Model, algo: GpuAlgo| -> f64 {
-        m.layers
-            .iter()
-            .map(|l| {
-                gpu_cfg.cycles_to_seconds(src.gpu_conv_cycles(&l.shape, algo)) * l.count as f64
+    // Fig. 17: GPU parity. The reduction replays `GpuSim::model_seconds`
+    // operation for operation (cycles-to-seconds conversion, then scale by
+    // occurrence count, summed in layer order; ours before cuDNN per
+    // model), so the ratio is bit-identical to the direct call.
+    const FIG17_ALGOS: [GpuAlgo; 2] = [
+        GpuAlgo::ChannelFirst { reuse: true },
+        GpuAlgo::CudnnImplicit,
+    ];
+    let fig17_works: Vec<Work> = models
+        .iter()
+        .flat_map(|m| {
+            FIG17_ALGOS.iter().flat_map(|&algo| {
+                m.layers.iter().map(move |l| Work::GpuConv {
+                    shape: l.shape,
+                    algo,
+                })
             })
-            .sum()
-    };
-    let fig17: f64 = iconv_par::par_map_jobs(jobs, &models, |m| {
-        model_seconds(m, GpuAlgo::ChannelFirst { reuse: true })
-            / model_seconds(m, GpuAlgo::CudnnImplicit)
-    })
-    .iter()
-    .sum::<f64>()
+        })
+        .collect();
+    let fig17_cycles = src.estimate_many(jobs, &fig17_works);
+    let mut fig17_iter = fig17_cycles.iter();
+    let fig17: f64 = models
+        .iter()
+        .map(|m| {
+            let mut seconds = [0.0f64; 2];
+            for s in &mut seconds {
+                for l in &m.layers {
+                    let c = fig17_iter.next().expect("fig17 table length").gpu();
+                    *s += gpu_cfg.cycles_to_seconds(c) * l.count as f64;
+                }
+            }
+            seconds[0] / seconds[1]
+        })
+        .sum::<f64>()
         / models.len() as f64;
 
-    // Fig. 18a: strided speedup.
+    // Fig. 18a: strided speedup (cuDNN then ours per layer).
     let strided: Vec<_> = models
         .iter()
         .flat_map(|m| m.strided_layers())
         .filter(|l| l.shape.ci >= 16)
         .collect();
-    let speedups = iconv_par::par_map_jobs(jobs, &strided, |l| {
-        let c = src.gpu_conv_cycles(&l.shape, GpuAlgo::CudnnImplicit);
-        let o = src.gpu_conv_cycles(&l.shape, GpuAlgo::ChannelFirst { reuse: true });
-        c / o
-    });
+    let strided_works: Vec<Work> = strided
+        .iter()
+        .flat_map(|l| {
+            [
+                Work::GpuConv {
+                    shape: l.shape,
+                    algo: GpuAlgo::CudnnImplicit,
+                },
+                Work::GpuConv {
+                    shape: l.shape,
+                    algo: GpuAlgo::ChannelFirst { reuse: true },
+                },
+            ]
+        })
+        .collect();
+    let speedups: Vec<f64> = src
+        .estimate_many(jobs, &strided_works)
+        .chunks(2)
+        .map(|pair| pair[0].gpu() / pair[1].gpu())
+        .collect();
     let fig18a = speedups.iter().sum::<f64>() / speedups.len() as f64;
 
     Summary {

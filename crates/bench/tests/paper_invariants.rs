@@ -26,8 +26,10 @@ use iconv_tpusim::{SimMode, Simulator, TpuConfig};
 const LAYOUTS: [Layout; 4] = [Layout::Hwcn, Layout::Nhwc, Layout::Nchw, Layout::Chwn];
 
 fn sim_for(layout: Layout) -> Simulator {
-    let mut cfg = TpuConfig::tpu_v2();
-    cfg.ifmap_layout = layout;
+    let cfg = TpuConfig::builder_from(TpuConfig::tpu_v2())
+        .ifmap_layout(layout)
+        .build()
+        .expect("layout config");
     Simulator::new(cfg)
 }
 

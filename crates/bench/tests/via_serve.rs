@@ -31,4 +31,17 @@ fn summary_via_serve_is_byte_identical() {
         stats.requests,
         "cache counters must partition the request count"
     );
+    // The summary path pipelines whole figure tables: every estimate must
+    // have traveled inside a batch, one batch per estimate_many call.
+    assert!(stats.batches >= 5, "expected one batch per figure table");
+    assert_eq!(
+        stats.batch_items, stats.requests,
+        "every estimate should ride in a batch"
+    );
+    assert_eq!(
+        stats.batch_hits + stats.batch_misses + stats.batch_errors,
+        stats.batch_items,
+        "batch counters must partition the batch item count"
+    );
+    assert_eq!(stats.batch_errors, 0);
 }

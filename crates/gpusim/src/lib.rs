@@ -30,7 +30,7 @@ pub mod conv;
 pub mod kernel;
 pub mod traffic;
 
-pub use config::GpuConfig;
+pub use config::{GpuConfig, GpuConfigBuilder, GpuConfigError};
 pub use conv::{GpuAlgo, GpuLayerReport, GpuSim};
 pub use kernel::KernelTiming;
 pub use traffic::Traffic;

@@ -32,7 +32,7 @@ use std::sync::Mutex;
 
 pub mod pool;
 
-pub use pool::{PoolBusy, WorkerPool};
+pub use pool::{Job, PoolBusy, WorkerPool};
 
 /// Name of the environment variable overriding the worker count.
 pub const JOBS_ENV: &str = "ICONV_JOBS";

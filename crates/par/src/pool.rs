@@ -20,8 +20,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// A job the pool can run.
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A job the pool can run (the element type of
+/// [`WorkerPool::try_submit_batch`]).
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Error returned by [`WorkerPool::try_submit`] when the pool cannot take
 /// the job: the bounded queue is full, or the pool is shutting down.
@@ -59,9 +60,17 @@ struct Shared {
 }
 
 /// A fixed-size pool of worker threads fed from a bounded FIFO queue.
+///
+/// Every method takes `&self` — including [`shutdown`](WorkerPool::shutdown),
+/// whose join handles live behind their own mutex — so the pool can be
+/// shared across threads without an outer lock. That matters for batch
+/// runners: a job executing *on* the pool may resubmit its own continuation
+/// via `try_submit` while another thread drives `shutdown`, and neither can
+/// deadlock the other.
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    worker_count: usize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl WorkerPool {
@@ -94,7 +103,8 @@ impl WorkerPool {
             .collect();
         Self {
             shared,
-            workers: handles,
+            worker_count: workers,
+            workers: Mutex::new(handles),
         }
     }
 
@@ -118,9 +128,36 @@ impl WorkerPool {
         Ok(())
     }
 
-    /// Number of worker threads (zero once the pool has shut down).
+    /// Enqueue a whole batch as a single admission unit: either every job
+    /// is accepted, or none is. Never blocks, never splits a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolBusy::QueueFull`] when the queue cannot take the whole
+    /// batch, [`PoolBusy::ShuttingDown`] when the pool is draining. In both
+    /// cases zero jobs were enqueued.
+    pub fn try_submit_batch(&self, jobs: Vec<Job>) -> Result<(), PoolBusy> {
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        if state.shutting_down {
+            return Err(PoolBusy::ShuttingDown);
+        }
+        if state.queue.len() + jobs.len() > self.shared.capacity {
+            return Err(PoolBusy::QueueFull);
+        }
+        for job in jobs {
+            state.queue.push_back(job);
+        }
+        drop(state);
+        self.shared.job_ready.notify_all();
+        Ok(())
+    }
+
+    /// Number of worker threads the pool was built with.
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.worker_count
     }
 
     /// Jobs waiting in the queue (not yet picked up by a worker).
@@ -139,14 +176,20 @@ impl WorkerPool {
     }
 
     /// Stop accepting new jobs, let queued and in-flight jobs finish, and
-    /// join the workers. Idempotent; also runs on drop.
-    pub fn shutdown(&mut self) {
+    /// join the workers. Idempotent; also runs on drop. Takes `&self` so a
+    /// shared pool needs no outer lock that in-flight jobs resubmitting
+    /// continuations could deadlock against.
+    pub fn shutdown(&self) {
         {
             let mut state = self.shared.state.lock().expect("pool state poisoned");
             state.shutting_down = true;
         }
         self.shared.job_ready.notify_all();
-        for h in self.workers.drain(..) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut workers = self.workers.lock().expect("pool workers poisoned");
+            workers.drain(..).collect()
+        };
+        for h in handles {
             let _ = h.join();
         }
     }
@@ -161,7 +204,7 @@ impl Drop for WorkerPool {
 impl fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("WorkerPool")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.worker_count)
             .field("capacity", &self.shared.capacity)
             .field("queue_depth", &self.queue_depth())
             .field("in_flight", &self.in_flight())
@@ -199,7 +242,7 @@ mod tests {
     #[test]
     fn runs_every_submitted_job() {
         let counter = Arc::new(AtomicU32::new(0));
-        let mut pool = WorkerPool::new(4, 64);
+        let pool = WorkerPool::new(4, 64);
         for _ in 0..50 {
             let counter = Arc::clone(&counter);
             pool.try_submit(move || {
@@ -218,7 +261,7 @@ mod tests {
         // be refused immediately.
         let (gate_tx, gate_rx) = mpsc::channel::<()>();
         let (started_tx, started_rx) = mpsc::channel::<()>();
-        let mut pool = WorkerPool::new(1, 1);
+        let pool = WorkerPool::new(1, 1);
         pool.try_submit(move || {
             started_tx.send(()).unwrap();
             gate_rx.recv().unwrap();
@@ -238,7 +281,7 @@ mod tests {
     #[test]
     fn shutdown_drains_queued_jobs_and_refuses_new_ones() {
         let counter = Arc::new(AtomicU32::new(0));
-        let mut pool = WorkerPool::new(2, 128);
+        let pool = WorkerPool::new(2, 128);
         for _ in 0..40 {
             let counter = Arc::clone(&counter);
             pool.try_submit(move || {
@@ -256,5 +299,78 @@ mod tests {
     #[should_panic(expected = "workers must be >= 1")]
     fn zero_workers_panics() {
         let _ = WorkerPool::new(0, 1);
+    }
+
+    #[test]
+    fn batch_admission_is_all_or_nothing() {
+        // One worker parked on a gate, capacity 4. A 3-job batch fits next
+        // to the gate job's successor slotting; a further 3-job batch would
+        // overflow and must leave the queue untouched.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let pool = WorkerPool::new(1, 4);
+        pool.try_submit(move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("worker never started");
+        let counter = Arc::new(AtomicU32::new(0));
+        let jobs: Vec<Job> = (0..3)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Job
+            })
+            .collect();
+        pool.try_submit_batch(jobs).unwrap();
+        assert_eq!(pool.queue_depth(), 3);
+        let refused: Vec<Job> = (0..3).map(|_| Box::new(|| {}) as Job).collect();
+        assert_eq!(pool.try_submit_batch(refused), Err(PoolBusy::QueueFull));
+        assert_eq!(pool.queue_depth(), 3, "refused batch must not enqueue");
+        // A batch exactly filling the remaining slot is accepted.
+        pool.try_submit_batch(vec![Box::new(|| {}) as Job]).unwrap();
+        gate_tx.send(()).unwrap();
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            pool.try_submit_batch(vec![Box::new(|| {}) as Job]),
+            Err(PoolBusy::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn shutdown_by_shared_ref_while_jobs_resubmit() {
+        // A job resubmitting its continuation while another thread drives
+        // shutdown must not deadlock: the resubmit either lands (and is
+        // drained) or is refused with ShuttingDown.
+        let pool = Arc::new(WorkerPool::new(2, 64));
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..8 {
+            let pool2 = Arc::clone(&pool);
+            let counter = Arc::clone(&counter);
+            pool.try_submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                let counter2 = Arc::clone(&counter);
+                let _ = pool2.try_submit(move || {
+                    counter2.fetch_add(1, Ordering::Relaxed);
+                });
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        let n = counter.load(Ordering::Relaxed);
+        assert!((8..=16).contains(&n), "ran {n} jobs");
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pool = WorkerPool::new(1, 1);
+        pool.try_submit_batch(Vec::new()).unwrap();
+        assert_eq!(pool.queue_depth(), 0);
+        pool.shutdown();
     }
 }

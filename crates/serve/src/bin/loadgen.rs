@@ -5,24 +5,29 @@
 //! cuDNN-implicit, GPU channel-first+reuse) against a server, at a
 //! configurable connection count and pipelining window, for several passes.
 //! Pass 1 is the cold pass (all cache misses); later passes measure the
-//! warm cache. Prints a per-pass throughput/latency/hit-rate table and
-//! writes the machine-readable report to `BENCH_serve.json`.
+//! warm cache. `--batch N` switches the framing from one request line per
+//! estimate to `batch` requests of N items each. Prints a per-pass
+//! throughput/latency/hit-rate table, then always runs a **compare
+//! phase** — cold single-request lockstep vs. one cold whole-table batch,
+//! each on a fresh in-process server — and writes the machine-readable
+//! report to `BENCH_serve.json`.
 //!
 //! By default it spawns an in-process server so `cargo run --bin loadgen`
 //! is self-contained; `--addr` points it at an external `served` instead.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use iconv_gpusim::GpuAlgo;
+use iconv_api::table::workload_works;
 use iconv_serve::client::Client;
 use iconv_serve::protocol::{
-    encode_estimate, EstimateRequest, Response, StatsSnapshot, TpuHwSpec, Work,
+    encode_estimate, encode_sweep, EstimateRequest, Response, StatsSnapshot, SweepSpec,
+    SweepTarget, Work,
 };
 use iconv_serve::server::{spawn, ServerConfig};
-use iconv_tpusim::SimMode;
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--window N] \
-                     [--passes N] [--workers N] [--models all|small] [--out PATH] [--shutdown]";
+                     [--passes N] [--workers N] [--batch N] [--models all|small] \
+                     [--out PATH] [--shutdown]";
 
 struct Args {
     addr: Option<String>,
@@ -30,6 +35,8 @@ struct Args {
     window: usize,
     passes: usize,
     workers: usize,
+    /// Items per `batch` request; 0 = one `conv`/`gemm` line per estimate.
+    batch: usize,
     small: bool,
     out: String,
     shutdown: bool,
@@ -43,6 +50,7 @@ impl Default for Args {
             window: 32,
             passes: 2,
             workers: iconv_par::default_jobs(),
+            batch: 0,
             small: false,
             out: "BENCH_serve.json".to_owned(),
             shutdown: false,
@@ -72,6 +80,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--window" => parsed.window = positive("--window", value("--window")?)?,
             "--passes" => parsed.passes = positive("--passes", value("--passes")?)?,
             "--workers" => parsed.workers = positive("--workers", value("--workers")?)?,
+            "--batch" => parsed.batch = positive("--batch", value("--batch")?)?,
             "--out" => parsed.out = value("--out")?,
             "--shutdown" => parsed.shutdown = true,
             "--models" => {
@@ -91,51 +100,9 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     Ok(parsed)
 }
 
-/// The request mix: the full workload table under four estimators each.
-fn build_requests(small: bool) -> Vec<String> {
-    let models = iconv_workloads::all_models(8);
-    let models: Vec<_> = if small {
-        models.into_iter().take(1).collect()
-    } else {
-        models
-    };
-    let hw = TpuHwSpec::default();
-    let mut lines = Vec::new();
-    for m in &models {
-        for l in &m.layers {
-            for work in [
-                Work::TpuConv {
-                    shape: l.shape,
-                    mode: SimMode::ChannelFirst,
-                    hw,
-                },
-                Work::TpuConv {
-                    shape: l.shape,
-                    mode: SimMode::Explicit,
-                    hw,
-                },
-                Work::GpuConv {
-                    shape: l.shape,
-                    algo: GpuAlgo::CudnnImplicit,
-                },
-                Work::GpuConv {
-                    shape: l.shape,
-                    algo: GpuAlgo::ChannelFirst { reuse: true },
-                },
-            ] {
-                lines.push(encode_estimate(&EstimateRequest {
-                    id: None,
-                    work,
-                    deadline_ms: None,
-                }));
-            }
-        }
-    }
-    lines
-}
-
-/// One closed-loop connection: keep up to `window` requests outstanding,
-/// read one, top the window back up. Returns (responses, typed errors).
+/// One closed-loop connection, single-request framing: keep up to `window`
+/// requests outstanding, read one, top the window back up. Returns
+/// (responses, typed errors).
 fn run_chunk(addr: &str, lines: &[String], window: usize) -> (u64, u64) {
     let Ok(mut client) = Client::connect(addr) else {
         eprintln!("loadgen: connect to {addr} failed");
@@ -168,6 +135,35 @@ fn run_chunk(addr: &str, lines: &[String], window: usize) -> (u64, u64) {
     (recvd as u64, errors)
 }
 
+/// One closed-loop connection, batched framing: the chunk's work table is
+/// partitioned into `batch`-item requests, each answered by its item span
+/// plus a summary. Returns (item responses, item errors).
+fn run_chunk_batched(addr: &str, works: &[Work], batch: usize) -> (u64, u64) {
+    let Ok(mut client) = Client::connect(addr) else {
+        eprintln!("loadgen: connect to {addr} failed");
+        return (0, works.len() as u64);
+    };
+    let (mut recvd, mut errors) = (0u64, 0u64);
+    for group in works.chunks(batch) {
+        match client.batch(group, None) {
+            Ok(replies) => {
+                for reply in replies {
+                    recvd += 1;
+                    if let Err((kind, detail)) = reply {
+                        errors += 1;
+                        eprintln!("loadgen: server error {kind}: {detail}");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: batch failed: {e}");
+                return (recvd, errors + (works.len() as u64 - recvd));
+            }
+        }
+    }
+    (recvd, errors)
+}
+
 struct PassReport {
     requests: u64,
     errors: u64,
@@ -179,14 +175,44 @@ struct PassReport {
     mean_latency_us: f64,
 }
 
-fn run_pass(addr: &str, lines: &[String], args: &Args, control: &mut Client) -> PassReport {
+fn run_pass(addr: &str, works: &[Work], args: &Args, control: &mut Client) -> PassReport {
+    let lines: Vec<String> = if args.batch == 0 {
+        works
+            .iter()
+            .map(|&work| {
+                encode_estimate(&EstimateRequest {
+                    id: None,
+                    work,
+                    deadline_ms: None,
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let before = control.stats().expect("stats RPC");
     let t0 = Instant::now();
-    let chunks: Vec<&[String]> = chunk_evenly(lines, args.concurrency);
     let results: Vec<(u64, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
+        let work_chunks = chunk_evenly(works, args.concurrency);
+        // Batched framing encodes per chunk, so there are no request lines
+        // to split; hand every connection an empty (unused) line slice.
+        let line_chunks = if args.batch == 0 {
+            chunk_evenly(&lines, args.concurrency)
+        } else {
+            vec![&lines[..]; work_chunks.len()]
+        };
+        let handles: Vec<_> = work_chunks
             .into_iter()
-            .map(|chunk| scope.spawn(move || run_chunk(addr, chunk, args.window)))
+            .zip(line_chunks)
+            .map(|(work_chunk, line_chunk)| {
+                scope.spawn(move || {
+                    if args.batch == 0 {
+                        run_chunk(addr, line_chunk, args.window)
+                    } else {
+                        run_chunk_batched(addr, work_chunk, args.batch)
+                    }
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -220,18 +246,112 @@ fn run_pass(addr: &str, lines: &[String], args: &Args, control: &mut Client) -> 
     }
 }
 
-fn chunk_evenly(lines: &[String], parts: usize) -> Vec<&[String]> {
-    let parts = parts.min(lines.len()).max(1);
-    let base = lines.len() / parts;
-    let extra = lines.len() % parts;
+fn chunk_evenly<T>(items: &[T], parts: usize) -> Vec<&[T]> {
+    let parts = parts.min(items.len()).max(1);
+    let base = items.len() / parts;
+    let extra = items.len() % parts;
     let mut out = Vec::with_capacity(parts);
     let mut start = 0;
     for i in 0..parts {
         let len = base + usize::from(i < extra);
-        out.push(&lines[start..start + len]);
+        out.push(&items[start..start + len]);
         start += len;
     }
     out
+}
+
+struct Compare {
+    requests: usize,
+    cold_single_rps: f64,
+    cold_batched_rps: f64,
+    batched_over_single_cold: f64,
+}
+
+/// The compare-phase workload: a sweep of small GPU conv shapes. Small
+/// spatial extents keep the analytic estimator in the microsecond range,
+/// so cold throughput on these measures protocol and dispatch overhead —
+/// exactly what batching amortizes. (The paper workload's layers are
+/// evaluation-bound at the millisecond scale; on them the framing
+/// difference drowns in compute and the comparison says nothing.)
+fn compare_sweep() -> (SweepSpec, Vec<Work>) {
+    let base = iconv_tensor::ConvShape::square(1, 3, 8, 16, 3, 1, 1).expect("compare base shape");
+    let mut spec = SweepSpec::new(
+        base,
+        SweepTarget::Gpu {
+            algo: iconv_gpusim::GpuAlgo::CudnnImplicit,
+        },
+    );
+    spec.cis = (1..=64).collect();
+    spec.strides = vec![1, 2];
+    spec.dilations = vec![1, 2];
+    let works = spec.expand().expect("compare sweep expands");
+    (spec, works)
+}
+
+/// Head-to-head framing comparison on the dispatch-bound sweep from
+/// [`compare_sweep`]. Both sides run cold on their own fresh in-process
+/// server: one `conv` request per item in strict lockstep vs. the whole
+/// sweep as a single compact `batch` request.
+fn run_compare(workers: usize) -> Compare {
+    let (spec, works) = compare_sweep();
+    let fresh_server = || {
+        spawn(ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        })
+        .expect("spawn compare server")
+    };
+
+    let cold_single_rps = {
+        let handle = fresh_server();
+        let addr = handle.local_addr().to_string();
+        let mut client =
+            Client::connect_retry(&addr, Duration::from_secs(5)).expect("compare connect");
+        let t0 = Instant::now();
+        for &work in &works {
+            let line = encode_estimate(&EstimateRequest {
+                id: None,
+                work,
+                deadline_ms: None,
+            });
+            client.call(&line).expect("compare single estimate");
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        handle.shutdown();
+        works.len() as f64 / wall.max(1e-9)
+    };
+
+    let cold_batched_rps = {
+        let handle = fresh_server();
+        let addr = handle.local_addr().to_string();
+        let mut client =
+            Client::connect_retry(&addr, Duration::from_secs(5)).expect("compare connect");
+        let t0 = Instant::now();
+        client
+            .send_line(&encode_sweep(None, &spec, None))
+            .expect("compare sweep send");
+        client.flush().expect("compare sweep flush");
+        let mut lines = 0usize;
+        for _ in 0..=works.len() {
+            let line = client.recv_line().expect("compare sweep recv");
+            assert!(
+                !line.contains("\"error\""),
+                "compare sweep item failed: {line}"
+            );
+            lines += 1;
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        handle.shutdown();
+        assert_eq!(lines, works.len() + 1, "item span plus summary");
+        works.len() as f64 / wall.max(1e-9)
+    };
+
+    Compare {
+        requests: works.len(),
+        cold_single_rps,
+        cold_batched_rps,
+        batched_over_single_cold: cold_batched_rps / cold_single_rps.max(1e-9),
+    }
 }
 
 fn write_report(
@@ -239,13 +359,14 @@ fn write_report(
     args: &Args,
     n_requests: usize,
     passes: &[PassReport],
+    compare: &Compare,
     final_stats: &StatsSnapshot,
 ) -> std::io::Result<()> {
     let mut out = String::from("{\n  \"bench\": \"serve\",\n");
     out.push_str(&format!(
         "  \"config\": {{\"concurrency\": {}, \"window\": {}, \"passes\": {}, \
-         \"requests_per_pass\": {}, \"workers\": {}}},\n",
-        args.concurrency, args.window, args.passes, n_requests, final_stats.workers
+         \"requests_per_pass\": {}, \"workers\": {}, \"batch\": {}}},\n",
+        args.concurrency, args.window, args.passes, n_requests, final_stats.workers, args.batch
     ));
     out.push_str("  \"passes\": [\n");
     for (i, p) in passes.iter().enumerate() {
@@ -278,16 +399,30 @@ fn write_report(
         "  \"warm_over_cold_throughput\": {warm_over_cold:.2},\n"
     ));
     out.push_str(&format!(
+        "  \"compare\": {{\"requests\": {}, \"cold_single_rps\": {:.1}, \
+         \"cold_batched_rps\": {:.1}, \"batched_over_single_cold\": {:.2}}},\n",
+        compare.requests,
+        compare.cold_single_rps,
+        compare.cold_batched_rps,
+        compare.batched_over_single_cold
+    ));
+    out.push_str(&format!(
         "  \"final_stats\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}, \
          \"evictions\": {}, \"cache_entries\": {}, \"busy_rejections\": {}, \
-         \"latency_us_max\": {}}}\n}}\n",
+         \"latency_us_max\": {}, \"batches\": {}, \"batch_items\": {}, \
+         \"batch_hits\": {}, \"batch_misses\": {}, \"batch_errors\": {}}}\n}}\n",
         final_stats.requests,
         final_stats.hits,
         final_stats.misses,
         final_stats.evictions,
         final_stats.cache_entries,
         final_stats.busy_rejections,
-        final_stats.latency_us_max
+        final_stats.latency_us_max,
+        final_stats.batches,
+        final_stats.batch_items,
+        final_stats.batch_hits,
+        final_stats.batch_misses,
+        final_stats.batch_errors
     ));
     std::fs::write(path, out)
 }
@@ -312,25 +447,29 @@ fn main() {
             (handle.local_addr().to_string(), Some(handle))
         }
     };
-    let mut control = match Client::connect_retry(&addr, std::time::Duration::from_secs(5)) {
+    let mut control = match Client::connect_retry(&addr, Duration::from_secs(5)) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("loadgen: cannot reach {addr}: {e}");
             std::process::exit(1);
         }
     };
-    let lines = build_requests(args.small);
+    let works = workload_works(args.small);
     eprintln!(
-        "loadgen: {} requests/pass x {} passes, {} connection(s), window {}",
-        lines.len(),
+        "loadgen: {} requests/pass x {} passes, {} connection(s), {}",
+        works.len(),
         args.passes,
         args.concurrency,
-        args.window
+        if args.batch == 0 {
+            format!("window {}", args.window)
+        } else {
+            format!("batches of {}", args.batch)
+        }
     );
 
     let mut passes = Vec::with_capacity(args.passes);
     for i in 0..args.passes {
-        let p = run_pass(&addr, &lines, &args, &mut control);
+        let p = run_pass(&addr, &works, &args, &mut control);
         eprintln!(
             "  pass {i}: {:>6} req in {:>7.3}s  {:>9.1} req/s  hit-rate {:>5.1}%  \
              mean latency {:>8.1}us{}",
@@ -358,7 +497,27 @@ fn main() {
             100.0 * passes[1].hit_rate
         );
     }
-    match write_report(&args.out, &args, lines.len(), &passes, &final_stats) {
+
+    // Framing comparison on fresh in-process servers (independent of
+    // --addr: the point is the framing, not the target server's state).
+    let compare = run_compare(args.workers);
+    eprintln!(
+        "loadgen: compare ({} GPU requests, cold): single {:.0} req/s, batched {:.0} req/s \
+         ({:.1}x)",
+        compare.requests,
+        compare.cold_single_rps,
+        compare.cold_batched_rps,
+        compare.batched_over_single_cold
+    );
+
+    match write_report(
+        &args.out,
+        &args,
+        works.len(),
+        &passes,
+        &compare,
+        &final_stats,
+    ) {
         Ok(()) => eprintln!("loadgen: wrote {}", args.out),
         Err(e) => {
             eprintln!("loadgen: could not write {}: {e}", args.out);

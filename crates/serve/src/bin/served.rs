@@ -7,7 +7,8 @@
 
 use iconv_serve::server::{spawn, ServerConfig};
 
-const USAGE: &str = "usage: served [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]";
+const USAGE: &str =
+    "usage: served [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--batch-chunk N]";
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String> {
     let mut cfg = ServerConfig {
@@ -31,6 +32,9 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, St
             "--workers" => cfg.workers = positive("--workers", value("--workers")?)?,
             "--queue" => cfg.queue_capacity = positive("--queue", value("--queue")?)?,
             "--cache" => cfg.cache_capacity = positive("--cache", value("--cache")?)?,
+            "--batch-chunk" => {
+                cfg.batch_chunk = positive("--batch-chunk", value("--batch-chunk")?)?;
+            }
             other => return Err(format!("unknown argument {other:?}; {USAGE}")),
         }
     }
@@ -63,13 +67,16 @@ fn main() {
     handle.wait_shutdown_requested();
     let stats = handle.shutdown();
     eprintln!(
-        "served: drained; requests={} hits={} misses={} evictions={} busy={} deadline={} parse={}",
+        "served: drained; requests={} hits={} misses={} evictions={} busy={} deadline={} parse={} \
+         batches={} batch_items={}",
         stats.requests,
         stats.hits,
         stats.misses,
         stats.evictions,
         stats.busy_rejections,
         stats.deadline_expired,
-        stats.parse_errors
+        stats.parse_errors,
+        stats.batches,
+        stats.batch_items
     );
 }

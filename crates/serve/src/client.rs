@@ -12,9 +12,23 @@ use iconv_tensor::ConvShape;
 use iconv_tpusim::SimMode;
 
 use crate::protocol::{
-    encode_estimate, encode_simple, parse_response, ErrorKind, EstimateRequest, GpuEstimate,
-    Response, StatsSnapshot, TpuEstimate, TpuHwSpec, Work,
+    encode_batch, encode_estimate, encode_simple, parse_response, ErrorKind, EstimateRequest,
+    GpuEstimate, Response, StatsSnapshot, TpuEstimate, TpuHwSpec, Work,
 };
+
+/// One successfully-estimated batch item, in either engine's currency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Estimate {
+    /// A TPU (cycle-exact, integer) estimate.
+    Tpu(TpuEstimate),
+    /// A GPU (analytic, f64) estimate.
+    Gpu(GpuEstimate),
+}
+
+/// Per-item outcome of a [`Client::batch`] call: the estimate, or the
+/// typed protocol error the server attached to that item (deadline, busy,
+/// shutting-down).
+pub type BatchItemResult = Result<Estimate, (ErrorKind, String)>;
 
 /// Anything that can go wrong on a client call.
 #[derive(Debug)]
@@ -228,6 +242,59 @@ impl Client {
         })? {
             Response::Gpu { est, .. } => Ok(est),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Estimate a whole slice of works in one `batch` request. The server
+    /// streams item replies in item order followed by a summary line; this
+    /// returns one result per input work, in input order.
+    ///
+    /// # Errors
+    ///
+    /// Transport or decode failures, a batch-level server error (e.g. a
+    /// rejected request), or a summary that does not match the item count.
+    /// *Per-item* errors do not fail the call — they come back as the
+    /// `Err` variant of that item's [`BatchItemResult`].
+    pub fn batch(
+        &mut self,
+        works: &[Work],
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<BatchItemResult>, ClientError> {
+        if works.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.send_line(&encode_batch(None, works, deadline_ms))?;
+        self.flush()?;
+        let mut out = Vec::with_capacity(works.len());
+        for i in 0..works.len() {
+            match self.recv_response()? {
+                Response::Tpu { est, .. } => out.push(Ok(Estimate::Tpu(est))),
+                Response::Gpu { est, .. } => out.push(Ok(Estimate::Gpu(est))),
+                Response::Error { kind, detail, .. } => {
+                    if i == 0 && kind == ErrorKind::BadRequest {
+                        // A rejected batch is one error line, not n+1.
+                        return Err(ClientError::Server { kind, detail });
+                    }
+                    out.push(Err((kind, detail)));
+                }
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+        match self.recv_response()? {
+            Response::Batch { items, errors, .. } => {
+                let want_errors = out.iter().filter(|r| r.is_err()).count() as u64;
+                if items != works.len() as u64 || errors != want_errors {
+                    return Err(ClientError::Unexpected(format!(
+                        "batch summary {items} items / {errors} errors, \
+                         expected {} / {want_errors}",
+                        works.len()
+                    )));
+                }
+                Ok(out)
+            }
+            other => Err(ClientError::Unexpected(format!(
+                "missing batch summary, got {other:?}"
+            ))),
         }
     }
 

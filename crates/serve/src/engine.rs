@@ -7,32 +7,16 @@
 //! deterministic under any concurrency.
 
 use iconv_gpusim::{GpuConfig, GpuSim};
-use iconv_tpusim::{LayerReport, Simulator, TpuConfig};
+use iconv_tpusim::{LayerReport, Simulator};
 
-use crate::protocol::{gpu_body, tpu_body, GpuEstimate, TpuChip, TpuEstimate, TpuHwSpec, Work};
+use crate::protocol::{gpu_body, tpu_body, GpuEstimate, TpuEstimate, Work};
 
-/// Resolve a hardware spec to the full TPU configuration it denotes. This
-/// runs *before* cache-key derivation, so overrides equal to the chip's
-/// defaults do not fragment the cache.
-pub fn resolve_tpu(hw: &TpuHwSpec) -> TpuConfig {
-    let mut cfg = match hw.chip {
-        TpuChip::V2 => TpuConfig::tpu_v2(),
-        TpuChip::V3 => TpuConfig::tpu_v3(),
-    };
-    if let Some(a) = hw.array {
-        cfg = cfg.with_array_size(a);
-    }
-    if let Some(w) = hw.word_elems {
-        cfg = cfg.with_word_elems(w);
-    }
-    if let Some(m) = hw.mxus {
-        cfg.mxus = m;
-    }
-    if let Some(l) = hw.layout {
-        cfg.ifmap_layout = l;
-    }
-    cfg
-}
+/// Resolve a hardware spec to the full TPU configuration it denotes
+/// (re-exported from [`iconv_api`]). This runs *before* cache-key
+/// derivation, so overrides equal to the chip's defaults do not fragment
+/// the cache. Specs are validated when parsed, so resolution cannot fail
+/// on wire-reachable values.
+pub use iconv_api::resolve_tpu;
 
 fn tpu_estimate(rep: &LayerReport) -> TpuEstimate {
     TpuEstimate {
@@ -77,29 +61,13 @@ pub fn evaluate(work: &Work) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{parse_response, Response};
+    use crate::protocol::{parse_response, Response, TpuHwSpec};
     use iconv_gpusim::GpuAlgo;
-    use iconv_tensor::{ConvShape, Layout};
-    use iconv_tpusim::SimMode;
+    use iconv_tensor::ConvShape;
+    use iconv_tpusim::{SimMode, TpuConfig};
 
     fn shape() -> ConvShape {
         ConvShape::square(8, 64, 56, 64, 3, 1, 1).unwrap()
-    }
-
-    #[test]
-    fn resolve_applies_every_override() {
-        let cfg = resolve_tpu(&TpuHwSpec {
-            chip: TpuChip::V3,
-            array: Some(256),
-            word_elems: Some(16),
-            mxus: Some(4),
-            layout: Some(Layout::Nchw),
-        });
-        assert_eq!(cfg.array.rows, 256);
-        assert_eq!(cfg.vector_mem.word_elems, 16);
-        assert_eq!(cfg.mxus, 4);
-        assert_eq!(cfg.ifmap_layout, Layout::Nchw);
-        assert_eq!(resolve_tpu(&TpuHwSpec::default()), TpuConfig::tpu_v2());
     }
 
     #[test]

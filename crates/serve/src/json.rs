@@ -63,6 +63,14 @@ impl Json {
         }
     }
 
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -288,14 +296,21 @@ impl Parser<'_> {
                     return Err(JsonError::new("control character in string", self.pos))
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so byte
-                    // boundaries are valid; copy the whole scalar).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| JsonError::new("invalid utf-8", self.pos))?;
-                    let c = s.chars().next().expect("non-empty checked above");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Copy a maximal run of plain characters in one go.
+                    // `"`, `\` and control bytes never occur inside a UTF-8
+                    // continuation, so the byte scan cannot split a scalar,
+                    // and validating just the run keeps the whole parse
+                    // linear in the input length.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| JsonError::new("invalid utf-8", start))?;
+                    out.push_str(run);
                 }
             }
         }
@@ -332,6 +347,17 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| JsonError::new("invalid number", start))?;
+        // Fast path for the wire's common case: a short integral literal
+        // (every counter and shape field). `i64` covers 18 digits plus
+        // sign, converts to `f64` cheaply, and skips the float parser.
+        if integral && text.len() <= 18 {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Num {
+                    float: v as f64,
+                    int: Some(v as i128),
+                });
+            }
+        }
         let float: f64 = text
             .parse()
             .map_err(|_| JsonError::new(format!("invalid number {text:?}"), start))?;

@@ -1,5 +1,10 @@
 //! Content-addressed cache keys.
 //!
+//! The key derivation lives in [`iconv_api::canonical_key`] so that every
+//! consumer of the request vocabulary — this server, the bench harness, and
+//! external clients — agrees on which requests denote the same simulation.
+//! This module re-exports it under the server's historical path.
+//!
 //! A key is the canonical text rendering of *what will be simulated*:
 //! the fully-resolved hardware configuration, the lowering mode after the
 //! engine's own normalization, and every shape field. Requests that denote
@@ -10,177 +15,4 @@
 //! because every component is an injective rendering
 //! ([`iconv_tpusim::TpuConfig::canonical_key`] and friends).
 
-use iconv_core::tpu_group_size;
-use iconv_gpusim::GpuConfig;
-use iconv_tensor::ConvShape;
-use iconv_tpusim::{SimMode, TpuConfig};
-
-use crate::engine::resolve_tpu;
-use crate::protocol::Work;
-
-/// Canonical rendering of a shape: every field, fixed order.
-fn shape_key(s: &ConvShape) -> String {
-    format!(
-        "n{},ci{},hi{},wi{},co{},hf{},wf{},sh{},sw{},ph{},pw{},dh{},dw{}",
-        s.n,
-        s.ci,
-        s.hi,
-        s.wi,
-        s.co,
-        s.hf,
-        s.wf,
-        s.stride_h,
-        s.stride_w,
-        s.pad_h,
-        s.pad_w,
-        s.dil_h,
-        s.dil_w
-    )
-}
-
-/// Canonical rendering of a TPU lowering mode *for a given shape and
-/// array*: `ChannelFirst` resolves its automatic group size, and explicit
-/// groups are clamped exactly the way the engine clamps them, so every
-/// spelling that runs the same schedule shares a key.
-fn tpu_mode_key(mode: SimMode, shape: &ConvShape, cfg: &TpuConfig) -> String {
-    let rows = cfg.array.rows;
-    let max_group = rows.div_ceil(shape.ci);
-    match mode {
-        SimMode::Explicit => "explicit".to_owned(),
-        SimMode::ChannelFirst => {
-            format!(
-                "cf:g{}",
-                tpu_group_size(rows, shape.ci, shape.wf).clamp(1, max_group)
-            )
-        }
-        SimMode::ChannelFirstGrouped(g) => format!("cf:g{}", g.clamp(1, max_group)),
-    }
-}
-
-/// Derive the cache key for a unit of work.
-pub fn canonical_key(work: &Work) -> String {
-    match work {
-        Work::TpuConv { shape, mode, hw } => {
-            let cfg = resolve_tpu(hw);
-            format!(
-                "{};conv;{};{}",
-                cfg.canonical_key(),
-                tpu_mode_key(*mode, shape, &cfg),
-                shape_key(shape)
-            )
-        }
-        Work::TpuGemm { m, n, k, hw } => {
-            format!("{};gemm;m{m},n{n},k{k}", resolve_tpu(hw).canonical_key())
-        }
-        Work::GpuConv { shape, algo } => {
-            format!(
-                "{};conv;{};{}",
-                GpuConfig::v100().canonical_key(),
-                algo,
-                shape_key(shape)
-            )
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::protocol::{TpuChip, TpuHwSpec};
-    use iconv_gpusim::GpuAlgo;
-
-    fn shape() -> ConvShape {
-        ConvShape::square(8, 64, 56, 64, 3, 1, 1).unwrap()
-    }
-
-    #[test]
-    fn default_hw_spellings_share_a_key() {
-        let explicit_defaults = TpuHwSpec {
-            chip: TpuChip::V2,
-            array: Some(128),
-            word_elems: Some(8),
-            mxus: Some(1),
-            layout: Some(iconv_tensor::Layout::Hwcn),
-        };
-        let a = canonical_key(&Work::TpuConv {
-            shape: shape(),
-            mode: SimMode::ChannelFirst,
-            hw: TpuHwSpec::default(),
-        });
-        let b = canonical_key(&Work::TpuConv {
-            shape: shape(),
-            mode: SimMode::ChannelFirst,
-            hw: explicit_defaults,
-        });
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn auto_group_aliases_its_resolved_spelling() {
-        // ci=64 on a 128-row array: auto group = ceil(128/64).min(3) = 2.
-        let auto = canonical_key(&Work::TpuConv {
-            shape: shape(),
-            mode: SimMode::ChannelFirst,
-            hw: TpuHwSpec::default(),
-        });
-        let explicit2 = canonical_key(&Work::TpuConv {
-            shape: shape(),
-            mode: SimMode::ChannelFirstGrouped(2),
-            hw: TpuHwSpec::default(),
-        });
-        // An over-asked group clamps to the same schedule as well.
-        let clamped = canonical_key(&Work::TpuConv {
-            shape: shape(),
-            mode: SimMode::ChannelFirstGrouped(99),
-            hw: TpuHwSpec::default(),
-        });
-        assert_eq!(auto, explicit2);
-        assert_eq!(explicit2, clamped);
-        // ...but a genuinely different group is a different key.
-        let g1 = canonical_key(&Work::TpuConv {
-            shape: shape(),
-            mode: SimMode::ChannelFirstGrouped(1),
-            hw: TpuHwSpec::default(),
-        });
-        assert_ne!(auto, g1);
-    }
-
-    #[test]
-    fn distinct_work_never_collides() {
-        let mut keys = std::collections::BTreeSet::new();
-        let mut n = 0;
-        for ci in [3, 64, 128] {
-            for stride in [1, 2] {
-                let s = ConvShape::square(4, ci, 28, 32, 3, stride, 1).unwrap();
-                for mode in [SimMode::ChannelFirstGrouped(1), SimMode::Explicit] {
-                    for hw in [
-                        TpuHwSpec::default(),
-                        TpuHwSpec {
-                            chip: TpuChip::V3,
-                            ..TpuHwSpec::default()
-                        },
-                        TpuHwSpec {
-                            array: Some(256),
-                            ..TpuHwSpec::default()
-                        },
-                    ] {
-                        keys.insert(canonical_key(&Work::TpuConv { shape: s, mode, hw }));
-                        n += 1;
-                    }
-                }
-                for algo in [GpuAlgo::CudnnImplicit, GpuAlgo::ExplicitIm2col] {
-                    keys.insert(canonical_key(&Work::GpuConv { shape: s, algo }));
-                    n += 1;
-                }
-            }
-        }
-        keys.insert(canonical_key(&Work::TpuGemm {
-            m: 64,
-            n: 64,
-            k: 64,
-            hw: TpuHwSpec::default(),
-        }));
-        n += 1;
-        assert_eq!(keys.len(), n, "cache-key collision in sweep");
-    }
-}
+pub use iconv_api::canonical_key;

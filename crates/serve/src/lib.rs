@@ -7,12 +7,19 @@
 //!
 //! * **Protocol** — newline-delimited JSON ([`protocol`]), hand-rolled on a
 //!   panic-free parser ([`json`]) because the offline dependency set has no
-//!   serde. Ops: `conv`, `gemm`, `stats`, `ping`, `shutdown`. Every failure
-//!   is a typed error response (`busy`, `deadline`, `parse`, `bad-request`,
-//!   `shutting-down`) — malformed input never panics or disconnects.
+//!   serde. Ops: `conv`, `gemm`, `batch`, `stats`, `ping`, `shutdown`.
+//!   Every failure is a typed error response (`busy`, `deadline`, `parse`,
+//!   `bad-request`, `shutting-down`) — malformed input never panics or
+//!   disconnects. The request vocabulary itself ([`Work`], [`TpuHwSpec`],
+//!   [`SweepSpec`], cache keys) lives in the shared `iconv-api` crate so
+//!   every consumer agrees on what a request *means*.
 //! * **Dispatch** — requests run on an [`iconv_par::WorkerPool`] with a
 //!   bounded queue; overload is surfaced as an explicit `busy` error
 //!   instead of a hang, and per-request `deadline_ms` bounds queue time.
+//!   A `batch` op (item array or compact sweep spec) is admitted as a
+//!   single unit, deduplicated against the cache *and* within itself, run
+//!   under a bounded in-flight chunk so giant sweeps cannot starve other
+//!   clients, and streamed back in item order.
 //! * **Cache** — a content-addressed LRU ([`cache`]) keyed on the canonical
 //!   rendering of (hardware config × lowering mode × layout × shape)
 //!   ([`key`]). Equivalent request spellings share entries; distinct
@@ -38,10 +45,10 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::LruCache;
-pub use client::{Client, ClientError};
+pub use client::{BatchItemResult, Client, ClientError, Estimate};
 pub use key::canonical_key;
 pub use protocol::{
-    ErrorKind, EstimateRequest, GpuEstimate, Request, Response, StatsSnapshot, TpuChip,
-    TpuEstimate, TpuHwSpec, Work,
+    ErrorKind, EstimateRequest, GpuEstimate, Request, Response, StatsSnapshot, SweepError,
+    SweepSpec, SweepTarget, TpuChip, TpuEstimate, TpuHwSpec, Work, MAX_SWEEP_ITEMS,
 };
 pub use server::{spawn, ServerConfig, ServerHandle};

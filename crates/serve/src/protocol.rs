@@ -2,11 +2,19 @@
 //! typed error vocabulary.
 //!
 //! One JSON object per line in each direction. Requests carry an `op`
-//! (`conv`, `gemm`, `stats`, `ping`, `shutdown`), an optional client `id`
-//! echoed verbatim in the response, and an optional `deadline_ms` after
-//! which a queued request is answered with a `deadline` error instead of
-//! being simulated. Responses always carry `"ok":true|false`; failures name
-//! one of the [`ErrorKind`] codes.
+//! (`conv`, `gemm`, `batch`, `stats`, `ping`, `shutdown`), an optional
+//! client `id` echoed verbatim in the response, and an optional
+//! `deadline_ms` after which a queued request is answered with a `deadline`
+//! error instead of being simulated. Responses always carry
+//! `"ok":true|false`; failures name one of the [`ErrorKind`] codes.
+//!
+//! A `batch` request carries either `"items": [...]` (an array of estimate
+//! objects, each shaped like a standalone `conv`/`gemm` request without
+//! `id`/`deadline_ms`) or `"sweep": {...}` (a compact
+//! [`iconv_api::SweepSpec`]: base layer + axis value lists). The server
+//! answers with one response line *per item*, tagged `"item": <index>`, in
+//! item order, followed by a summary line `{"ok":true,"batch":{...}}` — so
+//! a well-formed batch of `n` items always produces exactly `n + 1` lines.
 //!
 //! GPU cycle counts are `f64` and must survive the wire *bit*-exactly for
 //! the `--via-serve` determinism guarantee, so estimates carry them twice:
@@ -21,67 +29,11 @@ use iconv_tpusim::SimMode;
 
 use crate::json::{self, write_str, Json};
 
-/// Which TPU generation a request targets; resolved to a full
-/// [`iconv_tpusim::TpuConfig`] (plus the optional overrides in
-/// [`TpuHwSpec`]) by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum TpuChip {
-    /// TPU-v2 (paper Table II) — the default.
-    #[default]
-    V2,
-    /// TPU-v3: two MXUs, faster clock, more HBM bandwidth.
-    V3,
-}
-
-/// Hardware overrides for TPU-targeted requests. Every field is optional;
-/// the engine resolves the spec against the chip's defaults *before* the
-/// cache key is derived, so `{}` and `{"chip":"v2","array":128}` address
-/// the same cache line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct TpuHwSpec {
-    /// Base chip generation.
-    pub chip: TpuChip,
-    /// Systolic-array size override (`with_array_size`, Fig. 16a sweep).
-    pub array: Option<usize>,
-    /// Vector-memory word-size override (`with_word_elems`, Fig. 16b).
-    pub word_elems: Option<usize>,
-    /// MXU-count override.
-    pub mxus: Option<usize>,
-    /// DRAM IFMap layout override (default: the chip's, i.e. `HWCN`).
-    pub layout: Option<Layout>,
-}
-
-/// The simulation a request asks for.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Work {
-    /// A convolution layer on the TPU model.
-    TpuConv {
-        /// Layer shape.
-        shape: ConvShape,
-        /// Lowering mode.
-        mode: SimMode,
-        /// Hardware overrides.
-        hw: TpuHwSpec,
-    },
-    /// A plain GEMM on the TPU model.
-    TpuGemm {
-        /// GEMM M.
-        m: usize,
-        /// GEMM N.
-        n: usize,
-        /// GEMM K.
-        k: usize,
-        /// Hardware overrides.
-        hw: TpuHwSpec,
-    },
-    /// A convolution layer on the V100 tensor-core model.
-    GpuConv {
-        /// Layer shape.
-        shape: ConvShape,
-        /// Kernel algorithm.
-        algo: GpuAlgo,
-    },
-}
+// The request vocabulary itself lives in the shared `iconv-api` crate; the
+// wire codecs below are this module's own.
+pub use iconv_api::{
+    SweepError, SweepSpec, SweepTarget, TpuChip, TpuHwSpec, Work, MAX_SWEEP_ITEMS,
+};
 
 /// An estimate request: the work plus delivery metadata.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +53,17 @@ pub struct EstimateRequest {
 pub enum Request {
     /// `conv` / `gemm`.
     Estimate(EstimateRequest),
+    /// `batch`: many estimates admitted as one unit. The item list is fully
+    /// expanded at parse time (sweeps included), so by the time the server
+    /// sees this variant every item is a concrete, validated [`Work`].
+    Batch {
+        /// Echoed id (also echoed on every item line).
+        id: Option<String>,
+        /// The items, in request order.
+        items: Vec<Work>,
+        /// Queue deadline applied to the batch as a whole.
+        deadline_ms: Option<u64>,
+    },
     /// Counter snapshot.
     Stats {
         /// Echoed id.
@@ -271,6 +234,18 @@ pub struct StatsSnapshot {
     pub latency_us_max: u64,
     /// Worker-pool size.
     pub workers: u64,
+    /// `batch` requests accepted (each contributes its items to
+    /// `requests`/`hits`/`misses` too).
+    pub batches: u64,
+    /// Items across all accepted batches.
+    pub batch_items: u64,
+    /// Batch items answered from cache (including intra-batch duplicates
+    /// coalesced onto one simulation).
+    pub batch_hits: u64,
+    /// Batch items that ran a simulation.
+    pub batch_misses: u64,
+    /// Batch items answered with a typed error (deadline, busy, draining).
+    pub batch_errors: u64,
 }
 
 /// Any response the server emits, as decoded by the client.
@@ -307,6 +282,15 @@ pub enum Response {
         /// Echoed id.
         id: Option<String>,
     },
+    /// The summary line closing a `batch` response stream.
+    Batch {
+        /// Echoed id.
+        id: Option<String>,
+        /// Items the batch carried.
+        items: u64,
+        /// Items answered with a typed error instead of an estimate.
+        errors: u64,
+    },
     /// A typed failure.
     Error {
         /// Echoed id.
@@ -327,6 +311,7 @@ impl Response {
             | Response::Stats { id, .. }
             | Response::Pong { id }
             | Response::ShutdownAck { id }
+            | Response::Batch { id, .. }
             | Response::Error { id, .. } => id.as_deref(),
         }
     }
@@ -400,53 +385,179 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         "stats" => return Ok(Request::Stats { id }),
         "ping" => return Ok(Request::Ping { id }),
         "shutdown" => return Ok(Request::Shutdown { id }),
-        "conv" | "gemm" => {}
+        "conv" | "gemm" | "batch" => {}
         other => {
             return Err(with_id(RequestError::bad(format!(
-                "unknown op {other:?} (expected conv, gemm, stats, ping or shutdown)"
+                "unknown op {other:?} (expected conv, gemm, batch, stats, ping or shutdown)"
             ))))
         }
     }
-    let deadline_ms = match obj.get("deadline_ms") {
-        None | Some(Json::Null) => None,
-        Some(v) => Some(v.as_u64().ok_or_else(|| {
-            with_id(RequestError::bad(
-                "\"deadline_ms\" must be a non-negative integer",
-            ))
-        })?),
-    };
-    let work = if op == "gemm" {
-        Work::TpuGemm {
-            m: get_usize(obj, "m").map_err(with_id)?,
-            n: get_usize(obj, "n").map_err(with_id)?,
-            k: get_usize(obj, "k").map_err(with_id)?,
-            hw: parse_tpu_hw(obj.get("hw")).map_err(with_id)?,
-        }
-    } else {
-        let target = obj.get("target").and_then(|v| v.as_str()).unwrap_or("tpu");
-        let shape = parse_layer(obj.get("layer")).map_err(with_id)?;
-        match target {
-            "tpu" => Work::TpuConv {
-                shape,
-                mode: parse_tpu_mode(obj.get("mode")).map_err(with_id)?,
-                hw: parse_tpu_hw(obj.get("hw")).map_err(with_id)?,
-            },
-            "gpu" => Work::GpuConv {
-                shape,
-                algo: parse_gpu_algo(obj.get("mode")).map_err(with_id)?,
-            },
-            other => {
-                return Err(with_id(RequestError::bad(format!(
-                    "unknown target {other:?} (expected tpu or gpu)"
-                ))))
-            }
-        }
-    };
+    let deadline_ms = parse_deadline(obj).map_err(with_id)?;
+    if op == "batch" {
+        let items = parse_batch_items(obj).map_err(with_id)?;
+        return Ok(Request::Batch {
+            id,
+            items,
+            deadline_ms,
+        });
+    }
+    let work = parse_work(obj, op).map_err(with_id)?;
     Ok(Request::Estimate(EstimateRequest {
         id,
         work,
         deadline_ms,
     }))
+}
+
+fn parse_deadline(
+    obj: &std::collections::BTreeMap<String, Json>,
+) -> Result<Option<u64>, RequestError> {
+    match obj.get("deadline_ms") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| RequestError::bad("\"deadline_ms\" must be a non-negative integer")),
+    }
+}
+
+/// Parse the work fields of a `conv`/`gemm` object (a top-level request or
+/// one batch item — the fields are identical).
+fn parse_work(
+    obj: &std::collections::BTreeMap<String, Json>,
+    op: &str,
+) -> Result<Work, RequestError> {
+    if op == "gemm" {
+        return Ok(Work::TpuGemm {
+            m: get_usize(obj, "m")?,
+            n: get_usize(obj, "n")?,
+            k: get_usize(obj, "k")?,
+            hw: parse_tpu_hw(obj.get("hw"))?,
+        });
+    }
+    let target = obj.get("target").and_then(|v| v.as_str()).unwrap_or("tpu");
+    let shape = parse_layer(obj.get("layer"))?;
+    match target {
+        "tpu" => Ok(Work::TpuConv {
+            shape,
+            mode: parse_tpu_mode(obj.get("mode"))?,
+            hw: parse_tpu_hw(obj.get("hw"))?,
+        }),
+        "gpu" => Ok(Work::GpuConv {
+            shape,
+            algo: parse_gpu_algo(obj.get("mode"))?,
+        }),
+        other => Err(RequestError::bad(format!(
+            "unknown target {other:?} (expected tpu or gpu)"
+        ))),
+    }
+}
+
+/// Parse one batch item: a `conv`/`gemm` object without `id`/`deadline_ms`.
+fn parse_work_item(v: &Json) -> Result<Work, RequestError> {
+    let obj = v
+        .as_obj()
+        .ok_or_else(|| RequestError::bad("must be an object"))?;
+    match obj.get("op").and_then(|v| v.as_str()) {
+        Some(op @ ("conv" | "gemm")) => parse_work(obj, op),
+        Some(other) => Err(RequestError::bad(format!(
+            "unknown item op {other:?} (expected conv or gemm)"
+        ))),
+        None => Err(RequestError::bad("missing string field \"op\"")),
+    }
+}
+
+/// Parse a batch's `items` array or `sweep` object into the expanded item
+/// list. Exactly one of the two must be present, the expansion must be
+/// non-empty, and it may not exceed [`MAX_SWEEP_ITEMS`].
+fn parse_batch_items(
+    obj: &std::collections::BTreeMap<String, Json>,
+) -> Result<Vec<Work>, RequestError> {
+    match (obj.get("items"), obj.get("sweep")) {
+        (Some(_), Some(_)) => Err(RequestError::bad(
+            "\"items\" and \"sweep\" are mutually exclusive",
+        )),
+        (None, None) => Err(RequestError::bad(
+            "batch needs an \"items\" array or a \"sweep\" object",
+        )),
+        (Some(v), None) => {
+            let arr = v
+                .as_arr()
+                .ok_or_else(|| RequestError::bad("\"items\" must be an array"))?;
+            if arr.is_empty() {
+                return Err(RequestError::bad("batch \"items\" must be non-empty"));
+            }
+            if arr.len() > MAX_SWEEP_ITEMS {
+                return Err(RequestError::bad(format!(
+                    "batch has {} items (limit {MAX_SWEEP_ITEMS})",
+                    arr.len()
+                )));
+            }
+            arr.iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    parse_work_item(item).map_err(|mut e| {
+                        e.detail = format!("item {i}: {}", e.detail);
+                        e
+                    })
+                })
+                .collect()
+        }
+        (None, Some(v)) => {
+            let spec = parse_sweep(v)?;
+            spec.expand()
+                .map_err(|e| RequestError::bad(format!("invalid sweep: {e}")))
+        }
+    }
+}
+
+fn parse_sweep(v: &Json) -> Result<SweepSpec, RequestError> {
+    let obj = v
+        .as_obj()
+        .ok_or_else(|| RequestError::bad("\"sweep\" must be an object"))?;
+    let base = parse_layer(obj.get("layer"))?;
+    let target = match obj.get("target").and_then(|v| v.as_str()).unwrap_or("tpu") {
+        "tpu" => SweepTarget::Tpu {
+            mode: parse_tpu_mode(obj.get("mode"))?,
+            hw: parse_tpu_hw(obj.get("hw"))?,
+        },
+        "gpu" => SweepTarget::Gpu {
+            algo: parse_gpu_algo(obj.get("mode"))?,
+        },
+        other => {
+            return Err(RequestError::bad(format!(
+                "unknown target {other:?} (expected tpu or gpu)"
+            )))
+        }
+    };
+    let usize_axis = |key: &str| -> Result<Vec<usize>, RequestError> {
+        match obj.get(key) {
+            None | Some(Json::Null) => Ok(Vec::new()),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| RequestError::bad(format!("\"{key}\" must be an array")))?
+                .iter()
+                .map(|x| opt_usize(x, key))
+                .collect(),
+        }
+    };
+    let layouts = match obj.get("layouts") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| RequestError::bad("\"layouts\" must be an array"))?
+            .iter()
+            .map(parse_layout)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    Ok(SweepSpec {
+        base,
+        target,
+        cis: usize_axis("cis")?,
+        strides: usize_axis("strides")?,
+        dilations: usize_axis("dilations")?,
+        layouts,
+    })
 }
 
 fn parse_layer(v: Option<&Json>) -> Result<ConvShape, RequestError> {
@@ -554,13 +665,19 @@ fn parse_tpu_hw(v: Option<&Json>) -> Result<TpuHwSpec, RequestError> {
         None | Some(Json::Null) => None,
         Some(v) => Some(parse_layout(v)?),
     };
-    Ok(TpuHwSpec {
+    let spec = TpuHwSpec {
         chip,
         array: opt("array")?,
         word_elems: opt("word_elems")?,
         mxus: opt("mxus")?,
         layout,
-    })
+    };
+    // Validate through the typed config builder so an out-of-domain
+    // override (e.g. an array size that underflows the SRAM budget) is a
+    // bad-request here rather than a panic in the engine.
+    spec.resolve()
+        .map_err(|e| RequestError::bad(format!("invalid hw spec: {e}")))?;
+    Ok(spec)
 }
 
 fn parse_layout(v: &Json) -> Result<Layout, RequestError> {
@@ -654,31 +771,109 @@ fn push_deadline(out: &mut String, deadline_ms: Option<u64>) {
     }
 }
 
+/// Append the `op`/`target`/`mode`/`layer`/`hw` fields of one work unit.
+fn push_work(out: &mut String, work: &Work) {
+    match work {
+        Work::TpuConv { shape, mode, hw } => {
+            out.push_str("\"op\":\"conv\",\"target\":\"tpu\",\"mode\":");
+            write_str(out, &tpu_mode_wire(*mode));
+            out.push(',');
+            push_layer(out, shape);
+            push_tpu_hw(out, hw);
+        }
+        Work::TpuGemm { m, n, k, hw } => {
+            out.push_str(&format!("\"op\":\"gemm\",\"m\":{m},\"n\":{n},\"k\":{k}"));
+            push_tpu_hw(out, hw);
+        }
+        Work::GpuConv { shape, algo } => {
+            out.push_str("\"op\":\"conv\",\"target\":\"gpu\",\"mode\":");
+            write_str(out, &algo.to_string());
+            out.push(',');
+            push_layer(out, shape);
+        }
+    }
+}
+
 /// Encode an estimate request as one wire line (no trailing newline).
 pub fn encode_estimate(req: &EstimateRequest) -> String {
     let mut out = String::with_capacity(256);
     out.push('{');
     push_id(&mut out, req.id.as_deref());
-    match &req.work {
-        Work::TpuConv { shape, mode, hw } => {
-            out.push_str("\"op\":\"conv\",\"target\":\"tpu\",\"mode\":");
+    push_work(&mut out, &req.work);
+    push_deadline(&mut out, req.deadline_ms);
+    out.push('}');
+    out
+}
+
+/// Encode a `batch` request with an explicit item array as one wire line.
+pub fn encode_batch(id: Option<&str>, items: &[Work], deadline_ms: Option<u64>) -> String {
+    let mut out = String::with_capacity(64 + 192 * items.len());
+    out.push('{');
+    push_id(&mut out, id);
+    out.push_str("\"op\":\"batch\",\"items\":[");
+    for (i, work) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_work(&mut out, work);
+        out.push('}');
+    }
+    out.push(']');
+    push_deadline(&mut out, deadline_ms);
+    out.push('}');
+    out
+}
+
+/// Encode a `batch` request in compact sweep form as one wire line.
+pub fn encode_sweep(id: Option<&str>, spec: &SweepSpec, deadline_ms: Option<u64>) -> String {
+    let mut out = String::with_capacity(256);
+    out.push('{');
+    push_id(&mut out, id);
+    out.push_str("\"op\":\"batch\",\"sweep\":{");
+    match &spec.target {
+        SweepTarget::Tpu { mode, hw } => {
+            out.push_str("\"target\":\"tpu\",\"mode\":");
             write_str(&mut out, &tpu_mode_wire(*mode));
             out.push(',');
-            push_layer(&mut out, shape);
+            push_layer(&mut out, &spec.base);
             push_tpu_hw(&mut out, hw);
         }
-        Work::TpuGemm { m, n, k, hw } => {
-            out.push_str(&format!("\"op\":\"gemm\",\"m\":{m},\"n\":{n},\"k\":{k}"));
-            push_tpu_hw(&mut out, hw);
-        }
-        Work::GpuConv { shape, algo } => {
-            out.push_str("\"op\":\"conv\",\"target\":\"gpu\",\"mode\":");
+        SweepTarget::Gpu { algo } => {
+            out.push_str("\"target\":\"gpu\",\"mode\":");
             write_str(&mut out, &algo.to_string());
             out.push(',');
-            push_layer(&mut out, shape);
+            push_layer(&mut out, &spec.base);
         }
     }
-    push_deadline(&mut out, req.deadline_ms);
+    let mut usize_axis = |key: &str, values: &[usize]| {
+        if values.is_empty() {
+            return;
+        }
+        out.push_str(&format!(",\"{key}\":["));
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push(']');
+    };
+    usize_axis("cis", &spec.cis);
+    usize_axis("strides", &spec.strides);
+    usize_axis("dilations", &spec.dilations);
+    if !spec.layouts.is_empty() {
+        out.push_str(",\"layouts\":[");
+        for (i, l) in spec.layouts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{l}\""));
+        }
+        out.push(']');
+    }
+    out.push('}');
+    push_deadline(&mut out, deadline_ms);
     out.push('}');
     out
 }
@@ -743,7 +938,9 @@ pub fn stats_body(s: &StatsSnapshot) -> String {
         "\"ok\":true,\"stats\":{{\"requests\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\
          \"cache_entries\":{},\"cache_capacity\":{},\"queue_depth\":{},\"in_flight\":{},\
          \"busy_rejections\":{},\"deadline_expired\":{},\"parse_errors\":{},\
-         \"latency_us_total\":{},\"latency_us_max\":{},\"workers\":{}}}",
+         \"latency_us_total\":{},\"latency_us_max\":{},\"workers\":{},\
+         \"batches\":{},\"batch_items\":{},\"batch_hits\":{},\"batch_misses\":{},\
+         \"batch_errors\":{}}}",
         s.requests,
         s.hits,
         s.misses,
@@ -757,8 +954,31 @@ pub fn stats_body(s: &StatsSnapshot) -> String {
         s.parse_errors,
         s.latency_us_total,
         s.latency_us_max,
-        s.workers
+        s.workers,
+        s.batches,
+        s.batch_items,
+        s.batch_hits,
+        s.batch_misses,
+        s.batch_errors
     )
+}
+
+/// Body of the summary line that closes a batch's response stream.
+pub fn batch_summary_body(items: u64, errors: u64) -> String {
+    format!("\"ok\":true,\"batch\":{{\"items\":{items},\"errors\":{errors}}}")
+}
+
+/// Wrap a response body into one batch-item wire line: like
+/// [`finish_response`] plus the `"item":<index>` tag that names which batch
+/// item the line answers.
+pub fn finish_item_response(id: Option<&str>, item: usize, body: &str) -> String {
+    let mut out = String::with_capacity(body.len() + 48);
+    out.push('{');
+    push_id(&mut out, id);
+    out.push_str(&format!("\"item\":{item},"));
+    out.push_str(body);
+    out.push('}');
+    out
 }
 
 /// Body of a `ping` acknowledgement.
@@ -853,6 +1073,13 @@ pub fn parse_response(line: &str) -> Result<Response, RequestError> {
     if obj.get("shutdown").is_some() {
         return Ok(Response::ShutdownAck { id });
     }
+    if let Some(b) = obj.get("batch").and_then(Json::as_obj) {
+        return Ok(Response::Batch {
+            id,
+            items: need_u64(b, "items")?,
+            errors: need_u64(b, "errors")?,
+        });
+    }
     if let Some(s) = obj.get("stats").and_then(Json::as_obj) {
         let stats = StatsSnapshot {
             requests: need_u64(s, "requests")?,
@@ -869,6 +1096,11 @@ pub fn parse_response(line: &str) -> Result<Response, RequestError> {
             latency_us_total: need_u64(s, "latency_us_total")?,
             latency_us_max: need_u64(s, "latency_us_max")?,
             workers: need_u64(s, "workers")?,
+            batches: need_u64(s, "batches")?,
+            batch_items: need_u64(s, "batch_items")?,
+            batch_hits: need_u64(s, "batch_hits")?,
+            batch_misses: need_u64(s, "batch_misses")?,
+            batch_errors: need_u64(s, "batch_errors")?,
         };
         return Ok(Response::Stats { id, stats });
     }
@@ -1060,6 +1292,133 @@ mod tests {
         assert_eq!(
             parse_response(&finish_response(None, &pong_body())),
             Ok(Response::Pong { id: None })
+        );
+    }
+
+    #[test]
+    fn batch_request_roundtrips() {
+        let items = vec![
+            Work::TpuConv {
+                shape: shape(),
+                mode: SimMode::ChannelFirst,
+                hw: TpuHwSpec::default(),
+            },
+            Work::TpuGemm {
+                m: 512,
+                n: 256,
+                k: 384,
+                hw: TpuHwSpec {
+                    chip: TpuChip::V3,
+                    ..TpuHwSpec::default()
+                },
+            },
+            Work::GpuConv {
+                shape: shape(),
+                algo: GpuAlgo::CudnnImplicit,
+            },
+        ];
+        let line = encode_batch(Some("b1"), &items, Some(750));
+        assert_eq!(
+            parse_request(&line),
+            Ok(Request::Batch {
+                id: Some("b1".into()),
+                items,
+                deadline_ms: Some(750),
+            })
+        );
+    }
+
+    #[test]
+    fn sweep_request_parses_to_its_expansion() {
+        let mut spec = SweepSpec::new(
+            shape(),
+            SweepTarget::Tpu {
+                mode: SimMode::ChannelFirst,
+                hw: TpuHwSpec::default(),
+            },
+        );
+        spec.cis = vec![3, 64];
+        spec.strides = vec![1, 2];
+        spec.layouts = vec![Layout::Hwcn, Layout::Nchw];
+        let line = encode_sweep(Some("s"), &spec, None);
+        let Ok(Request::Batch { id, items, .. }) = parse_request(&line) else {
+            panic!("sweep line did not parse as a batch: {line}");
+        };
+        assert_eq!(id.as_deref(), Some("s"));
+        assert_eq!(items, spec.expand().unwrap());
+    }
+
+    #[test]
+    fn bad_batches_are_typed_errors() {
+        for line in [
+            r#"{"id":"x","op":"batch"}"#,                         // neither form
+            r#"{"id":"x","op":"batch","items":[]}"#,              // empty
+            r#"{"id":"x","op":"batch","items":{}}"#,              // not an array
+            r#"{"id":"x","op":"batch","items":[{"op":"ping"}]}"#, // bad item op
+            r#"{"id":"x","op":"batch","items":[1]}"#,             // item not an object
+            r#"{"id":"x","op":"batch","items":[],"sweep":{}}"#,   // both forms
+            r#"{"id":"x","op":"batch","sweep":{"layer":{"n":1,"ci":3,"hi":8,"wi":8,"co":8,"hf":3,"wf":3},"target":"gpu","layouts":["NCHW"]}}"#,
+        ] {
+            let e = parse_request(line).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest, "{line}");
+            assert_eq!(e.id.as_deref(), Some("x"), "{line}");
+        }
+        // Per-item failures name the offending index.
+        let e = parse_request(
+            r#"{"op":"batch","items":[{"op":"gemm","m":1,"n":1,"k":1},{"op":"gemm","m":1}]}"#,
+        )
+        .unwrap_err();
+        assert!(e.detail.contains("item 1"), "{e}");
+    }
+
+    #[test]
+    fn oversized_hw_specs_are_rejected_at_parse_time() {
+        // An array override that underflows the per-row SRAM budget must be
+        // a bad-request, not a downstream panic.
+        let line = format!(
+            r#"{{"op":"conv","layer":{{"n":1,"ci":3,"hi":8,"wi":8,"co":8,"hf":3,"wf":3}},"hw":{{"array":{}}}}}"#,
+            1_u64 << 30
+        );
+        let e = parse_request(&line).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+        assert!(e.detail.contains("invalid hw spec"), "{e}");
+    }
+
+    #[test]
+    fn batch_summary_and_item_lines_roundtrip() {
+        let line = finish_response(Some("b"), &batch_summary_body(5, 1));
+        assert_eq!(
+            parse_response(&line),
+            Ok(Response::Batch {
+                id: Some("b".into()),
+                items: 5,
+                errors: 1,
+            })
+        );
+        // Item lines carry the estimate body plus an "item" tag the
+        // estimate decoder tolerates.
+        let tpu = TpuEstimate {
+            cycles: 9,
+            ..TpuEstimate::default()
+        };
+        let line = finish_item_response(Some("b"), 3, &tpu_body(&tpu));
+        assert!(line.contains("\"item\":3,"), "{line}");
+        assert_eq!(
+            parse_response(&line),
+            Ok(Response::Tpu {
+                id: Some("b".into()),
+                est: tpu,
+            })
+        );
+        // Error item lines parse as typed errors.
+        let line = finish_item_response(None, 0, &error_body(ErrorKind::Deadline, "expired"));
+        assert_eq!(
+            parse_response(&line),
+            Ok(Response::Error {
+                id: None,
+                kind: ErrorKind::Deadline,
+                detail: "expired".into(),
+            })
         );
     }
 

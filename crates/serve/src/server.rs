@@ -22,25 +22,41 @@
 //! shutting-down) increment their own counters and are excluded from
 //! `requests`, so `hits + misses == requests` holds exactly at any
 //! quiescent point — the `stats` RPC invariant the determinism test pins.
+//!
+//! # Batch execution
+//!
+//! A `batch` request occupies a *span* of sequence numbers: item `i` of an
+//! `n`-item batch is assigned `seq + i` and the summary line `seq + n`, so
+//! the writer's ordinary seq reassembly streams items back in item order,
+//! interleaving nothing else into the span. Per-item cache hits are
+//! answered inline by the reader without consuming a worker slot;
+//! duplicate canonical keys within one batch collapse onto a single
+//! simulation (the first item is the miss, followers are hits). The misses
+//! become one shared [`BatchRun`] work list driven by at most
+//! `batch_chunk` runner jobs; each runner re-enqueues itself at the *back*
+//! of the pool FIFO after every simulation, so a giant sweep cannot starve
+//! interleaved single requests or other batches. The batch counters keep
+//! the invariant `batch_hits + batch_misses + batch_errors == batch_items`
+//! at any quiescent point.
 
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind as IoErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use iconv_par::{PoolBusy, WorkerPool};
+use iconv_par::{Job, PoolBusy, WorkerPool};
 use iconv_trace::TraceSink;
 
 use crate::cache::LruCache;
 use crate::engine;
 use crate::key;
 use crate::protocol::{
-    self, error_body, finish_response, pong_body, shutdown_body, stats_body, ErrorKind, Request,
-    StatsSnapshot,
+    self, batch_summary_body, error_body, finish_item_response, finish_response, pong_body,
+    shutdown_body, stats_body, ErrorKind, Request, StatsSnapshot, Work,
 };
 
 /// Server tunables.
@@ -54,6 +70,11 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Report-cache capacity in entries.
     pub cache_capacity: usize,
+    /// Maximum runner jobs a single batch may hold in the pool at once
+    /// (the in-flight chunk). `0` means "as many as there are workers".
+    /// Items beyond the chunk wait on the batch's own work list, so one
+    /// giant sweep never monopolizes the queue against other clients.
+    pub batch_chunk: usize,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +84,7 @@ impl Default for ServerConfig {
             workers: iconv_par::default_jobs(),
             queue_capacity: 1024,
             cache_capacity: 16 * 1024,
+            batch_chunk: 0,
         }
     }
 }
@@ -77,6 +99,11 @@ struct Counters {
     parse_errors: AtomicU64,
     latency_us_total: AtomicU64,
     latency_us_max: AtomicU64,
+    batches: AtomicU64,
+    batch_items: AtomicU64,
+    batch_hits: AtomicU64,
+    batch_misses: AtomicU64,
+    batch_errors: AtomicU64,
 }
 
 impl Counters {
@@ -90,8 +117,10 @@ impl Counters {
 struct Shared {
     counters: Counters,
     cache: Mutex<LruCache>,
-    pool: Mutex<WorkerPool>,
+    pool: WorkerPool,
     workers: usize,
+    /// Resolved in-flight runner cap per batch (see [`ServerConfig::batch_chunk`]).
+    batch_chunk: usize,
     shutting_down: AtomicBool,
     /// Set by the `shutdown` op; `wait_shutdown_requested` blocks on it.
     shutdown_requested: Mutex<bool>,
@@ -123,10 +152,8 @@ impl Shared {
                 cache.evictions(),
             )
         };
-        let (queue_depth, in_flight) = {
-            let pool = self.pool.lock().expect("pool poisoned");
-            (pool.queue_depth() as u64, pool.in_flight() as u64)
-        };
+        let (queue_depth, in_flight) =
+            (self.pool.queue_depth() as u64, self.pool.in_flight() as u64);
         StatsSnapshot {
             requests: c.served.load(Ordering::Relaxed),
             hits: c.hits.load(Ordering::Relaxed),
@@ -142,6 +169,11 @@ impl Shared {
             latency_us_total: c.latency_us_total.load(Ordering::Relaxed),
             latency_us_max: c.latency_us_max.load(Ordering::Relaxed),
             workers: self.workers as u64,
+            batches: c.batches.load(Ordering::Relaxed),
+            batch_items: c.batch_items.load(Ordering::Relaxed),
+            batch_hits: c.batch_hits.load(Ordering::Relaxed),
+            batch_misses: c.batch_misses.load(Ordering::Relaxed),
+            batch_errors: c.batch_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -160,6 +192,11 @@ impl Shared {
         sink.counter("serve.parse_errors", s.parse_errors);
         sink.counter("serve.latency_us_total", s.latency_us_total);
         sink.counter("serve.latency_us_max", s.latency_us_max);
+        sink.counter("serve.batch.batches", s.batches);
+        sink.counter("serve.batch.items", s.batch_items);
+        sink.counter("serve.batch.hits", s.batch_hits);
+        sink.counter("serve.batch.misses", s.batch_misses);
+        sink.counter("serve.batch.errors", s.batch_errors);
     }
 }
 
@@ -215,8 +252,11 @@ impl ServerHandle {
             let _ = h.join();
         }
         // Drain the pool: queued jobs run to completion and push their
-        // responses into the writers before this returns.
-        self.shared.pool.lock().expect("pool poisoned").shutdown();
+        // responses into the writers before this returns. The pool's
+        // `shutdown` takes `&self`, so batch runners resubmitting their
+        // continuations race against it without any outer lock to deadlock
+        // on — a refused continuation just keeps draining inline.
+        self.shared.pool.shutdown();
         // Unblock readers parked in read(); keeps the write half intact so
         // writers can still flush drained responses.
         for conn in self.shared.conns.lock().expect("conns poisoned").drain(..) {
@@ -243,11 +283,17 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let workers = cfg.workers.max(1);
+    let batch_chunk = if cfg.batch_chunk == 0 {
+        workers
+    } else {
+        cfg.batch_chunk
+    };
     let shared = Arc::new(Shared {
         counters: Counters::default(),
         cache: Mutex::new(LruCache::new(cfg.cache_capacity.max(1))),
-        pool: Mutex::new(WorkerPool::new(workers, cfg.queue_capacity.max(1))),
+        pool: WorkerPool::new(workers, cfg.queue_capacity.max(1)),
         workers,
+        batch_chunk,
         shutting_down: AtomicBool::new(false),
         shutdown_requested: Mutex::new(false),
         shutdown_cv: Condvar::new(),
@@ -319,6 +365,11 @@ fn writer_loop(stream: TcpStream, rx: &std::sync::mpsc::Receiver<(u64, String)>)
     };
     'recv: while let Ok(msg) = rx.recv() {
         held.push(std::cmp::Reverse(msg));
+        // Drain everything already queued so a burst (a batch span being
+        // streamed) is written and flushed once, not per line.
+        while let Ok(more) = rx.try_recv() {
+            held.push(std::cmp::Reverse(more));
+        }
         while let Some(std::cmp::Reverse((seq, _))) = held.peek() {
             if *seq != next_seq {
                 break;
@@ -349,13 +400,160 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, tx: &Sender<(u64, String
         if line.trim().is_empty() {
             continue;
         }
-        let this_seq = seq;
-        seq += 1;
-        handle_line(&line, this_seq, shared, tx);
+        // A request consumes as many sequence numbers as it will emit
+        // response lines (1 for everything except `batch`, which spans
+        // n items + 1 summary).
+        seq += handle_line(&line, seq, shared, tx);
     }
 }
 
-fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, String)>) {
+/// One deduplicated simulation owed to a batch: the work, its cache key,
+/// and every item index that asked for it (first = miss, rest = hits).
+struct PendingSim {
+    work: Work,
+    key: String,
+    items: Vec<usize>,
+}
+
+/// Shared state for one in-flight batch: the un-simulated work list, how
+/// many item lines are still owed, and where the summary line goes.
+struct BatchRun {
+    shared: Arc<Shared>,
+    tx: Sender<(u64, String)>,
+    id: Option<String>,
+    deadline: Option<Duration>,
+    t0: Instant,
+    n_items: u64,
+    base_seq: u64,
+    summary_seq: u64,
+    pending: Mutex<VecDeque<PendingSim>>,
+    /// Item lines still owed by workers (misses + their dedup followers).
+    remaining: AtomicUsize,
+    errors: AtomicU64,
+}
+
+impl BatchRun {
+    fn send_item(&self, item: usize, body: &str) {
+        let _ = self.tx.send((
+            self.base_seq + item as u64,
+            finish_item_response(self.id.as_deref(), item, body),
+        ));
+    }
+
+    /// Mark `k` owed item lines as sent; the runner that clears the last
+    /// one emits the summary. The summary totals are stable by then: every
+    /// error was added before its items were marked done.
+    fn items_done(&self, k: usize) {
+        if self.remaining.fetch_sub(k, Ordering::AcqRel) == k {
+            let _ = self.tx.send((
+                self.summary_seq,
+                finish_response(
+                    self.id.as_deref(),
+                    &batch_summary_body(self.n_items, self.errors.load(Ordering::Acquire)),
+                ),
+            ));
+        }
+    }
+
+    /// Answer one deduplicated simulation: run it (or expire it), send
+    /// every item line it owes, and retire those items.
+    fn process(&self, sim: PendingSim) {
+        let c = &self.shared.counters;
+        let k = sim.items.len();
+        if let Some(d) = self.deadline {
+            if self.t0.elapsed() > d {
+                c.deadline.fetch_add(k as u64, Ordering::Relaxed);
+                c.batch_errors.fetch_add(k as u64, Ordering::Relaxed);
+                self.errors.fetch_add(k as u64, Ordering::Relaxed);
+                let body = error_body(ErrorKind::Deadline, "deadline expired in queue");
+                for &i in &sim.items {
+                    self.send_item(i, &body);
+                }
+                self.items_done(k);
+                return;
+            }
+        }
+        let body = engine::evaluate(&sim.work);
+        self.shared
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(sim.key, body.clone());
+        // The first item of a dedup group is the miss that paid for the
+        // simulation; followers are hits by construction.
+        c.misses.fetch_add(1, Ordering::Relaxed);
+        c.batch_misses.fetch_add(1, Ordering::Relaxed);
+        if k > 1 {
+            c.hits.fetch_add(k as u64 - 1, Ordering::Relaxed);
+            c.batch_hits.fetch_add(k as u64 - 1, Ordering::Relaxed);
+        }
+        c.served.fetch_add(k as u64, Ordering::Relaxed);
+        for _ in 0..k {
+            c.record_latency(self.t0);
+        }
+        for &i in &sim.items {
+            self.send_item(i, &body);
+        }
+        self.items_done(k);
+    }
+
+    /// Refuse everything still pending (pool rejected the batch's runners)
+    /// and account the refusals.
+    fn refuse_all(&self, e: PoolBusy) {
+        let kind = match e {
+            PoolBusy::QueueFull => ErrorKind::Busy,
+            PoolBusy::ShuttingDown => ErrorKind::ShuttingDown,
+        };
+        let body = error_body(kind, &e.to_string());
+        let drained: Vec<PendingSim> = {
+            let mut pending = self.pending.lock().expect("batch pending poisoned");
+            pending.drain(..).collect()
+        };
+        let c = &self.shared.counters;
+        for sim in drained {
+            let k = sim.items.len() as u64;
+            if kind == ErrorKind::Busy {
+                c.busy.fetch_add(k, Ordering::Relaxed);
+            }
+            c.batch_errors.fetch_add(k, Ordering::Relaxed);
+            self.errors.fetch_add(k, Ordering::Relaxed);
+            for &i in &sim.items {
+                self.send_item(i, &body);
+            }
+            self.items_done(sim.items.len());
+        }
+    }
+}
+
+/// A batch runner: take one simulation off the batch's work list, answer
+/// it, then *yield* by re-enqueueing a continuation at the back of the
+/// pool FIFO so interleaved requests from other clients get a turn. If the
+/// pool refuses the continuation (full queue or draining), keep going
+/// inline — progress is never sacrificed to fairness.
+fn run_batch_step(run: &Arc<BatchRun>) {
+    loop {
+        let sim = {
+            let mut pending = run.pending.lock().expect("batch pending poisoned");
+            pending.pop_front()
+        };
+        let Some(sim) = sim else { return };
+        run.process(sim);
+        let cont = Arc::clone(run);
+        if run
+            .shared
+            .pool
+            .try_submit(move || run_batch_step(&cont))
+            .is_ok()
+        {
+            return;
+        }
+    }
+}
+
+/// Handle one request line. Returns the number of sequence numbers the
+/// request consumed (== response lines it will emit): 1 for everything
+/// except a well-formed `batch`, which consumes `items + 1`.
+fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, String)>) -> u64 {
     let t0 = Instant::now();
     let send = |line: String| {
         let _ = tx.send((seq, line));
@@ -368,7 +566,7 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
                 e.id.as_deref(),
                 &error_body(e.kind, &e.detail),
             ));
-            return;
+            return 1;
         }
     };
     match req {
@@ -387,7 +585,7 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
                     req.id.as_deref(),
                     &error_body(ErrorKind::ShuttingDown, "server is draining"),
                 ));
-                return;
+                return 1;
             }
             let cache_key = key::canonical_key(&req.work);
             // Hit fast path: served inline by the reader, deadline ignored
@@ -398,7 +596,7 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
                 shared.counters.served.fetch_add(1, Ordering::Relaxed);
                 shared.counters.record_latency(t0);
                 send(finish_response(req.id.as_deref(), &body));
-                return;
+                return 1;
             }
             let err_id = req.id.clone();
             let job_shared = Arc::clone(shared);
@@ -429,8 +627,7 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
                 job_shared.counters.record_latency(t0);
                 let _ = job_tx.send((seq, finish_response(req.id.as_deref(), &body)));
             };
-            let submitted = shared.pool.lock().expect("pool poisoned").try_submit(job);
-            if let Err(e) = submitted {
+            if let Err(e) = shared.pool.try_submit(job) {
                 let kind = match e {
                     PoolBusy::QueueFull => {
                         shared.counters.busy.fetch_add(1, Ordering::Relaxed);
@@ -444,7 +641,119 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
                 ));
             }
         }
+        Request::Batch {
+            id,
+            items,
+            deadline_ms,
+        } => return handle_batch(id, items, deadline_ms, t0, seq, shared, tx),
     }
+    1
+}
+
+/// Admit and drive one batch (see the module-level *Batch execution*
+/// notes). Returns the sequence-number span it consumed: `items + 1`.
+fn handle_batch(
+    id: Option<String>,
+    items: Vec<Work>,
+    deadline_ms: Option<u64>,
+    t0: Instant,
+    seq: u64,
+    shared: &Arc<Shared>,
+    tx: &Sender<(u64, String)>,
+) -> u64 {
+    let n = items.len();
+    let span = n as u64 + 1;
+    let send_at = |s: u64, line: String| {
+        let _ = tx.send((s, line));
+    };
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        let body = error_body(ErrorKind::ShuttingDown, "server is draining");
+        for i in 0..n {
+            send_at(
+                seq + i as u64,
+                finish_item_response(id.as_deref(), i, &body),
+            );
+        }
+        send_at(
+            seq + n as u64,
+            finish_response(id.as_deref(), &batch_summary_body(n as u64, n as u64)),
+        );
+        return span;
+    }
+    let c = &shared.counters;
+    c.batches.fetch_add(1, Ordering::Relaxed);
+    c.batch_items.fetch_add(n as u64, Ordering::Relaxed);
+    // Per-item cache pass: hits are answered inline without a worker slot;
+    // the misses dedup onto one PendingSim per canonical key.
+    let mut pending: VecDeque<PendingSim> = VecDeque::new();
+    let mut dedup: BTreeMap<String, usize> = BTreeMap::new();
+    let mut owed = 0usize;
+    for (i, work) in items.into_iter().enumerate() {
+        let cache_key = key::canonical_key(&work);
+        let cached = shared.cache.lock().expect("cache poisoned").get(&cache_key);
+        if let Some(body) = cached {
+            c.hits.fetch_add(1, Ordering::Relaxed);
+            c.batch_hits.fetch_add(1, Ordering::Relaxed);
+            c.served.fetch_add(1, Ordering::Relaxed);
+            c.record_latency(t0);
+            send_at(
+                seq + i as u64,
+                finish_item_response(id.as_deref(), i, &body),
+            );
+        } else if let Some(&slot) = dedup.get(&cache_key) {
+            pending[slot].items.push(i);
+            owed += 1;
+        } else {
+            dedup.insert(cache_key.clone(), pending.len());
+            pending.push_back(PendingSim {
+                work,
+                key: cache_key,
+                items: vec![i],
+            });
+            owed += 1;
+        }
+    }
+    if pending.is_empty() {
+        // All hits: the reader settles the whole batch inline.
+        send_at(
+            seq + n as u64,
+            finish_response(id.as_deref(), &batch_summary_body(n as u64, 0)),
+        );
+        return span;
+    }
+    let runners = shared.batch_chunk.min(pending.len()).max(1);
+    let run = Arc::new(BatchRun {
+        shared: Arc::clone(shared),
+        tx: tx.clone(),
+        id,
+        deadline: deadline_ms.map(Duration::from_millis),
+        t0,
+        n_items: n as u64,
+        base_seq: seq,
+        summary_seq: seq + n as u64,
+        pending: Mutex::new(pending),
+        remaining: AtomicUsize::new(owed),
+        errors: AtomicU64::new(0),
+    });
+    let jobs: Vec<Job> = (0..runners)
+        .map(|_| {
+            let run = Arc::clone(&run);
+            Box::new(move || run_batch_step(&run)) as Job
+        })
+        .collect();
+    if let Err(batch_err) = shared.pool.try_submit_batch(jobs) {
+        // The whole chunk did not fit; a single runner still makes the
+        // batch progress (slower, but admitted).
+        let single = Arc::clone(&run);
+        if shared
+            .pool
+            .try_submit(move || run_batch_step(&single))
+            .is_err()
+        {
+            run.refuse_all(batch_err);
+        }
+    }
+    span
 }
 
 #[cfg(test)]
@@ -516,6 +825,58 @@ mod tests {
         let stats = h.shutdown();
         assert_eq!(stats.parse_errors, 2);
         assert_eq!(stats.requests, 0);
+    }
+
+    #[test]
+    fn batch_streams_items_in_order_and_dedups() {
+        let h = spawn(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(h.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        // Items 0 and 2 are the same canonical work: one simulation, the
+        // follower answered as a hit.
+        writeln!(
+            stream,
+            "{}",
+            concat!(
+                r#"{"id":"b","op":"batch","items":["#,
+                r#"{"op":"gemm","m":64,"n":64,"k":64},"#,
+                r#"{"op":"gemm","m":96,"n":96,"k":96},"#,
+                r#"{"op":"gemm","m":64,"n":64,"k":64}]}"#
+            )
+        )
+        .unwrap();
+        let mut lines = Vec::new();
+        for _ in 0..4 {
+            let mut l = String::new();
+            reader.read_line(&mut l).unwrap();
+            lines.push(l.trim_end().to_owned());
+        }
+        for (i, line) in lines.iter().take(3).enumerate() {
+            assert!(line.contains(&format!("\"item\":{i},")), "{line}");
+            assert!(line.contains("\"id\":\"b\""), "{line}");
+        }
+        assert_eq!(
+            lines[0].replace("\"item\":0,", ""),
+            lines[2].replace("\"item\":2,", ""),
+            "deduped items must be byte-identical modulo the item tag"
+        );
+        assert!(
+            lines[3].contains("\"batch\":{\"items\":3,\"errors\":0}"),
+            "{}",
+            lines[3]
+        );
+        let stats = h.shutdown();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batch_items, 3);
+        assert_eq!(stats.batch_misses, 2);
+        assert_eq!(stats.batch_hits, 1);
+        assert_eq!(stats.batch_errors, 0);
+        assert_eq!(stats.hits + stats.misses, stats.requests);
+        assert_eq!(stats.requests, 3);
     }
 
     #[test]

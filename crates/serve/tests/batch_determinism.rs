@@ -1,0 +1,150 @@
+//! Batch determinism: concurrent clients replaying the same workload
+//! table through `batch` requests must read byte-identical reply streams,
+//! for every worker count and batch size — and the estimate bytes must not
+//! depend on how the table was partitioned into batches, whether the
+//! cache was cold or warm, or whether the batch arrived as an item array
+//! or an equivalent sweep spec.
+
+use std::time::Duration;
+
+use iconv_api::table::workload_works;
+use iconv_api::{SweepSpec, SweepTarget, TpuHwSpec, Work};
+use iconv_serve::protocol::{encode_batch, encode_sweep};
+use iconv_serve::{spawn, Client, ServerConfig, StatsSnapshot};
+use iconv_tensor::{ConvShape, Layout};
+use iconv_tpusim::SimMode;
+
+/// Replay `works` as batches of `batch` items on one connection and
+/// return the raw reply transcript (every line, in arrival order).
+fn replay(addr: &str, works: &[Work], batch: usize) -> Vec<String> {
+    let mut client = Client::connect_retry(addr, Duration::from_secs(5)).expect("connect");
+    let mut transcript = Vec::new();
+    for chunk in works.chunks(batch) {
+        client
+            .send_line(&encode_batch(None, chunk, None))
+            .expect("send");
+        client.flush().expect("flush");
+        for _ in 0..=chunk.len() {
+            transcript.push(client.recv_line().expect("recv"));
+        }
+    }
+    transcript
+}
+
+/// The estimate bodies in item order, with the partitioning-dependent
+/// `"item":N,` tags removed and summary lines dropped — the
+/// representation that must be invariant across batch sizes.
+fn bodies(transcript: &[String]) -> Vec<String> {
+    transcript
+        .iter()
+        .filter(|l| l.contains("\"item\":"))
+        .map(|l| {
+            let tag_start = l.find("\"item\":").expect("tagged");
+            let tag_end = l[tag_start..].find(',').expect("tag comma") + tag_start + 1;
+            format!("{}{}", &l[..tag_start], &l[tag_end..])
+        })
+        .collect()
+}
+
+fn run_config(workers: usize, works: &[Work], batch: usize) -> (Vec<Vec<String>>, StatsSnapshot) {
+    let handle = spawn(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("spawn serve");
+    let addr = handle.local_addr().to_string();
+    let transcripts: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| replay(&addr, works, batch)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let stats = handle.shutdown();
+    (transcripts, stats)
+}
+
+#[test]
+fn concurrent_batched_replays_are_byte_identical() {
+    let works = workload_works(true);
+    let n = works.len();
+    assert!(n >= 8, "small table too small to exercise batching");
+    let mut reference_bodies: Option<Vec<String>> = None;
+    for workers in [1usize, 4] {
+        for batch in [1usize, 7, n] {
+            let (transcripts, stats) = run_config(workers, &works, batch);
+            for t in &transcripts[1..] {
+                assert_eq!(
+                    t, &transcripts[0],
+                    "client transcripts diverged at workers={workers} batch={batch}"
+                );
+            }
+            let got = bodies(&transcripts[0]);
+            assert_eq!(got.len(), n, "one body per item");
+            match &reference_bodies {
+                None => reference_bodies = Some(got),
+                Some(want) => assert_eq!(
+                    &got, want,
+                    "estimate bytes changed at workers={workers} batch={batch}"
+                ),
+            }
+            // Counter conservation: every batch item is a hit, a miss, or
+            // an error — here, never an error.
+            let items_sent = 4 * n as u64;
+            let batches_sent = 4 * n.div_ceil(batch) as u64;
+            assert_eq!(stats.batches, batches_sent);
+            assert_eq!(stats.batch_items, items_sent);
+            assert_eq!(stats.batch_errors, 0);
+            assert_eq!(
+                stats.batch_hits + stats.batch_misses,
+                stats.batch_items,
+                "hits+misses must cover every item (workers={workers} batch={batch})"
+            );
+            assert_eq!(stats.hits + stats.misses, stats.requests);
+            assert_eq!(stats.requests, items_sent);
+        }
+    }
+}
+
+#[test]
+fn sweep_form_is_byte_identical_to_its_item_expansion() {
+    let base = ConvShape::square(1, 3, 28, 32, 3, 1, 1).expect("base shape");
+    let mut spec = SweepSpec::new(
+        base,
+        SweepTarget::Tpu {
+            mode: SimMode::ChannelFirst,
+            hw: TpuHwSpec::default(),
+        },
+    );
+    spec.cis = vec![3, 16, 64];
+    spec.strides = vec![1, 2];
+    spec.layouts = vec![Layout::Hwcn, Layout::Nchw];
+    let items = spec.expand().expect("expand");
+
+    let handle = spawn(ServerConfig::default()).expect("spawn serve");
+    let addr = handle.local_addr().to_string();
+    let mut client = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+
+    let mut read_span = |line: &str, n: usize| -> Vec<String> {
+        client.send_line(line).expect("send");
+        client.flush().expect("flush");
+        (0..=n).map(|_| client.recv_line().expect("recv")).collect()
+    };
+    // Sweep first (cold cache), expansion second (warm): the replies must
+    // be byte-identical anyway, because cached replay grafts the same
+    // body bytes.
+    let via_sweep = read_span(&encode_sweep(None, &spec, None), items.len());
+    let via_items = read_span(&encode_batch(None, &items, None), items.len());
+    let stats = handle.shutdown();
+
+    assert_eq!(via_sweep, via_items, "sweep vs expansion transcripts");
+    assert_eq!(stats.batches, 2);
+    assert_eq!(stats.batch_items, 2 * items.len() as u64);
+    assert_eq!(stats.batch_errors, 0);
+    assert!(
+        stats.batch_hits >= items.len() as u64,
+        "second pass must be all hits"
+    );
+}

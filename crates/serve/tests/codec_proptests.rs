@@ -11,9 +11,9 @@ use proptest::prelude::*;
 
 use iconv_gpusim::GpuAlgo;
 use iconv_serve::protocol::{
-    encode_estimate, encode_simple, error_body, f64_bits, f64_from_bits, finish_response, gpu_body,
-    parse_request, parse_response, pong_body, shutdown_body, stats_body, tpu_body, GpuEstimate,
-    StatsSnapshot, TpuEstimate,
+    batch_summary_body, encode_batch, encode_estimate, encode_simple, error_body, f64_bits,
+    f64_from_bits, finish_item_response, finish_response, gpu_body, parse_request, parse_response,
+    pong_body, shutdown_body, stats_body, tpu_body, GpuEstimate, StatsSnapshot, TpuEstimate,
 };
 use iconv_serve::{json, ErrorKind, EstimateRequest, Request, Response, TpuChip, TpuHwSpec, Work};
 use iconv_tensor::{ConvShape, Layout};
@@ -207,6 +207,45 @@ proptest! {
         }
     }
 
+    /// encode_batch → parse_request is the identity on arbitrary item
+    /// vectors, and the batch summary/item framing round-trips.
+    #[test]
+    fn batch_roundtrip(w1 in work_strategy(), w2 in work_strategy(), w3 in work_strategy(),
+                       len in 1usize..=3,
+                       id in id_strategy(), dl in 0u64..=2,
+                       counts in (0u64..1 << 40, 0u64..1 << 40)) {
+        let mut works = vec![w1, w2, w3];
+        works.truncate(len);
+        let deadline_ms = [None, Some(1), Some(2500)][dl as usize];
+        let line = encode_batch(id.as_deref(), &works, deadline_ms);
+        match parse_request(&line) {
+            Ok(Request::Batch { id: got, items, deadline_ms: got_dl }) => {
+                prop_assert_eq!(got, id.clone());
+                prop_assert_eq!(items, works.clone());
+                prop_assert_eq!(got_dl, deadline_ms);
+            }
+            other => panic!("{line} did not parse back as a batch: {other:?}"),
+        }
+        let line = finish_response(id.as_deref(), &batch_summary_body(counts.0, counts.1));
+        match parse_response(&line) {
+            Ok(Response::Batch { id: got, items, errors }) => {
+                prop_assert_eq!(got, id.clone());
+                prop_assert_eq!((items, errors), counts);
+            }
+            other => panic!("{line} did not parse back as a summary: {other:?}"),
+        }
+        // An item line is the underlying estimate line plus the item tag.
+        let est = TpuEstimate { cycles: counts.0, ..TpuEstimate::default() };
+        let line = finish_item_response(id.as_deref(), 7, &tpu_body(&est));
+        match parse_response(&line) {
+            Ok(Response::Tpu { id: got, est: back }) => {
+                prop_assert_eq!(got, id.clone());
+                prop_assert_eq!(back, est);
+            }
+            other => panic!("{line} did not parse back as an item: {other:?}"),
+        }
+    }
+
     /// f64 bit transport is the identity on raw bit patterns.
     #[test]
     fn f64_bits_roundtrip(bits in 0u64..u64::MAX) {
@@ -236,6 +275,11 @@ proptest! {
             latency_us_total: vals.0,
             latency_us_max: vals.1,
             workers: 1 + vals.2 % 8,
+            batches: vals.0 % 17,
+            batch_items: vals.1 % 19,
+            batch_hits: vals.2 % 23,
+            batch_misses: vals.0 % 29,
+            batch_errors: vals.1 % 31,
         };
         let line = finish_response(id.as_deref(), &stats_body(&stats));
         match parse_response(&line) {

@@ -1,6 +1,8 @@
 //! TPUSim configuration (paper Table II), fully parameterizable for the
 //! design-space explorations of Fig. 16.
 
+use std::fmt;
+
 use iconv_dram::DramConfig;
 use iconv_sram::VectorMemConfig;
 use iconv_systolic::ArrayConfig;
@@ -144,6 +146,192 @@ impl Default for TpuConfig {
     }
 }
 
+/// Why a [`TpuConfigBuilder`] refused to produce a config.
+///
+/// Each variant names the knob that was out of domain, so callers (the serve
+/// request validator in particular) can surface a precise `bad-request`
+/// detail instead of a panic deep inside the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TpuConfigError {
+    /// Systolic array rows/cols must both be ≥ 1.
+    ZeroArrayDim,
+    /// Vector-memory word width in elements must be ≥ 1.
+    ZeroWordElems,
+    /// Element size in bytes must be ≥ 1.
+    ZeroElemBytes,
+    /// Per-row vector memory capacity must be ≥ 1 byte; scaling the array up
+    /// past the total-SRAM budget drives this to zero.
+    ZeroVectorMemCapacity,
+    /// At least one MXU must be present.
+    ZeroMxus,
+    /// Clock must be finite and positive (MHz).
+    BadClock(f64),
+    /// IFMap buffer fraction must lie in (0, 1].
+    BadIfmapFraction(f64),
+    /// The DMA pipeline needs at least one stage.
+    ZeroPipelineStages,
+    /// DRAM bank count must be a power of two (the bank-interleaving hash
+    /// takes low address bits).
+    NonPowerOfTwoDramBanks(u64),
+    /// DRAM burst length must be ≥ 1 byte.
+    ZeroDramBurst,
+}
+
+impl fmt::Display for TpuConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroArrayDim => write!(f, "systolic array dimensions must be >= 1"),
+            Self::ZeroWordElems => write!(f, "vector-memory word width must be >= 1 element"),
+            Self::ZeroElemBytes => write!(f, "element size must be >= 1 byte"),
+            Self::ZeroVectorMemCapacity => {
+                write!(f, "per-row vector memory capacity underflows to 0 bytes")
+            }
+            Self::ZeroMxus => write!(f, "at least one MXU is required"),
+            Self::BadClock(v) => write!(f, "clock must be finite and positive, got {v} MHz"),
+            Self::BadIfmapFraction(v) => {
+                write!(f, "ifmap buffer fraction must be in (0, 1], got {v}")
+            }
+            Self::ZeroPipelineStages => write!(f, "pipeline stage count must be >= 1"),
+            Self::NonPowerOfTwoDramBanks(n) => {
+                write!(f, "dram bank count must be a power of two, got {n}")
+            }
+            Self::ZeroDramBurst => write!(f, "dram burst length must be >= 1 byte"),
+        }
+    }
+}
+
+impl std::error::Error for TpuConfigError {}
+
+/// Validated builder for [`TpuConfig`].
+///
+/// Starts from a known-good base (`tpu_v2` unless [`TpuConfig::builder_from`]
+/// says otherwise), applies overrides, and checks every knob's domain in
+/// [`build`](TpuConfigBuilder::build). Field-literal construction still works
+/// for internal code that mutates a copy of a preset, but anything deriving a
+/// config from *external input* (the serve wire protocol, CLI flags) should
+/// come through here so out-of-domain values surface as a typed error
+/// instead of a panic or a silently nonsensical simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct TpuConfigBuilder {
+    cfg: TpuConfig,
+}
+
+impl TpuConfigBuilder {
+    /// Square array size; keeps total SRAM constant like
+    /// [`TpuConfig::with_array_size`].
+    pub fn array_size(mut self, size: usize) -> Self {
+        let total = self.cfg.total_sram_bytes();
+        self.cfg.array = ArrayConfig {
+            rows: size,
+            cols: size,
+        };
+        // `with_array_size` divides the SRAM budget by `size`; keep zero out
+        // of the divisor so `build` reports `ZeroArrayDim` instead of
+        // panicking here.
+        self.cfg.vector_mem.capacity_bytes = if size == 0 { 0 } else { total / size as u64 };
+        self
+    }
+
+    /// Vector-memory word width in elements.
+    pub fn word_elems(mut self, word_elems: usize) -> Self {
+        self.cfg.vector_mem.word_elems = word_elems;
+        self
+    }
+
+    /// Number of MXUs sharing the vector memories.
+    pub fn mxus(mut self, mxus: usize) -> Self {
+        self.cfg.mxus = mxus;
+        self
+    }
+
+    /// Core clock in MHz.
+    pub fn clock_mhz(mut self, mhz: f64) -> Self {
+        self.cfg.clock_mhz = mhz;
+        self
+    }
+
+    /// DRAM-resident IFMap layout.
+    pub fn ifmap_layout(mut self, layout: Layout) -> Self {
+        self.cfg.ifmap_layout = layout;
+        self
+    }
+
+    /// Fraction of on-chip memory budgeted to IFMap tiles.
+    pub fn ifmap_buffer_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.ifmap_buffer_fraction = fraction;
+        self
+    }
+
+    /// Fixed per-layer dispatch overhead in cycles.
+    pub fn dispatch_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.dispatch_cycles = cycles;
+        self
+    }
+
+    /// Minimum number of double-buffered DMA pipeline stages.
+    pub fn min_pipeline_stages(mut self, stages: u64) -> Self {
+        self.cfg.min_pipeline_stages = stages;
+        self
+    }
+
+    /// Replace the off-chip memory model wholesale.
+    pub fn dram(mut self, dram: DramConfig) -> Self {
+        self.cfg.dram = dram;
+        self
+    }
+
+    /// Validate every knob and return the finished config.
+    pub fn build(self) -> Result<TpuConfig, TpuConfigError> {
+        let c = &self.cfg;
+        if c.array.rows == 0 || c.array.cols == 0 {
+            return Err(TpuConfigError::ZeroArrayDim);
+        }
+        if c.vector_mem.word_elems == 0 {
+            return Err(TpuConfigError::ZeroWordElems);
+        }
+        if c.vector_mem.elem_bytes == 0 {
+            return Err(TpuConfigError::ZeroElemBytes);
+        }
+        if c.vector_mem.capacity_bytes == 0 {
+            return Err(TpuConfigError::ZeroVectorMemCapacity);
+        }
+        if c.mxus == 0 {
+            return Err(TpuConfigError::ZeroMxus);
+        }
+        if !c.clock_mhz.is_finite() || c.clock_mhz <= 0.0 {
+            return Err(TpuConfigError::BadClock(c.clock_mhz));
+        }
+        if !c.ifmap_buffer_fraction.is_finite()
+            || c.ifmap_buffer_fraction <= 0.0
+            || c.ifmap_buffer_fraction > 1.0
+        {
+            return Err(TpuConfigError::BadIfmapFraction(c.ifmap_buffer_fraction));
+        }
+        if c.min_pipeline_stages == 0 {
+            return Err(TpuConfigError::ZeroPipelineStages);
+        }
+        if c.dram.banks == 0 || !c.dram.banks.is_power_of_two() {
+            return Err(TpuConfigError::NonPowerOfTwoDramBanks(c.dram.banks));
+        }
+        if c.dram.burst_bytes == 0 {
+            return Err(TpuConfigError::ZeroDramBurst);
+        }
+        Ok(self.cfg)
+    }
+}
+
+impl TpuConfig {
+    /// Builder seeded from the TPU-v2 preset.
+    pub fn builder() -> TpuConfigBuilder {
+        Self::builder_from(Self::tpu_v2())
+    }
+
+    /// Builder seeded from an arbitrary base config (e.g. `tpu_v3`).
+    pub fn builder_from(base: TpuConfig) -> TpuConfigBuilder {
+        TpuConfigBuilder { cfg: base }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +407,77 @@ mod tests {
     fn cycles_seconds_roundtrip() {
         let c = TpuConfig::tpu_v2();
         assert!((c.cycles_to_seconds(700_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_defaults_match_preset() {
+        assert_eq!(TpuConfig::builder().build().unwrap(), TpuConfig::tpu_v2());
+        assert_eq!(
+            TpuConfig::builder_from(TpuConfig::tpu_v3())
+                .build()
+                .unwrap(),
+            TpuConfig::tpu_v3()
+        );
+    }
+
+    #[test]
+    fn builder_matches_with_helpers() {
+        let a = TpuConfig::builder()
+            .array_size(256)
+            .word_elems(16)
+            .build()
+            .unwrap();
+        let b = TpuConfig::tpu_v2().with_array_size(256).with_word_elems(16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_domain_knobs() {
+        use TpuConfigError as E;
+        assert_eq!(
+            TpuConfig::builder().array_size(0).build(),
+            Err(E::ZeroArrayDim)
+        );
+        assert_eq!(
+            TpuConfig::builder().word_elems(0).build(),
+            Err(E::ZeroWordElems)
+        );
+        assert_eq!(TpuConfig::builder().mxus(0).build(), Err(E::ZeroMxus));
+        assert_eq!(
+            TpuConfig::builder().clock_mhz(0.0).build(),
+            Err(E::BadClock(0.0))
+        );
+        assert!(TpuConfig::builder().clock_mhz(f64::NAN).build().is_err());
+        assert_eq!(
+            TpuConfig::builder().ifmap_buffer_fraction(1.5).build(),
+            Err(E::BadIfmapFraction(1.5))
+        );
+        assert_eq!(
+            TpuConfig::builder().min_pipeline_stages(0).build(),
+            Err(E::ZeroPipelineStages)
+        );
+        // Scaling the array past the SRAM budget drives per-row capacity to 0.
+        assert_eq!(
+            TpuConfig::builder().array_size(1 << 30).build(),
+            Err(E::ZeroVectorMemCapacity)
+        );
+        let mut dram = DramConfig::hbm_tpu_v2();
+        dram.banks = 96;
+        assert_eq!(
+            TpuConfig::builder().dram(dram).build(),
+            Err(E::NonPowerOfTwoDramBanks(96))
+        );
+    }
+
+    #[test]
+    fn builder_errors_display_the_offending_knob() {
+        let msg = TpuConfig::builder().array_size(0).build().unwrap_err();
+        assert!(msg.to_string().contains("array"), "{msg}");
+        let msg = {
+            let mut dram = DramConfig::hbm_tpu_v2();
+            dram.banks = 3;
+            TpuConfig::builder().dram(dram).build().unwrap_err()
+        };
+        assert!(msg.to_string().contains("power of two"), "{msg}");
     }
 }

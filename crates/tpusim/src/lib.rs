@@ -33,7 +33,7 @@ pub mod multicore;
 pub mod report;
 pub mod training;
 
-pub use config::TpuConfig;
+pub use config::{TpuConfig, TpuConfigBuilder, TpuConfigError};
 pub use energy::{EnergyModel, EnergyReport};
 pub use engine::{SimMode, Simulator};
 pub use multicore::{Interconnect, MulticoreReport};

@@ -17,7 +17,10 @@ fn main() {
         "array", "peak TF/s", "achieved", "util%"
     );
     for size in [32usize, 64, 128, 256, 512] {
-        let cfg = TpuConfig::tpu_v2().with_array_size(size);
+        let cfg = TpuConfig::builder_from(TpuConfig::tpu_v2())
+            .array_size(size)
+            .build()
+            .expect("array sweep config");
         let sim = Simulator::new(cfg);
         let rep = sim.simulate_model(&model, SimMode::ChannelFirst);
         println!(
@@ -38,7 +41,10 @@ fn main() {
     let area = AreaModel::freepdk45();
     let words: Vec<u64> = [1u64, 2, 4, 8, 16, 32].iter().map(|e| e * 4).collect();
     for elems in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = TpuConfig::tpu_v2().with_word_elems(elems);
+        let cfg = TpuConfig::builder_from(TpuConfig::tpu_v2())
+            .word_elems(elems)
+            .build()
+            .expect("word sweep config");
         let sim = Simulator::new(cfg);
         let rep = sim.simulate_model(&model, SimMode::ChannelFirst);
         let bytes = (elems * 4) as u64;

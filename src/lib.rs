@@ -25,9 +25,12 @@
 //! * [`models`] (`iconv-models`) — the hardware proxies and error metrics;
 //! * [`trace`] (`iconv-trace`) — span/counter recording behind the
 //!   simulators' `*_traced` entry points, with Chrome-trace export;
+//! * [`api`] (`iconv-api`) — the shared request vocabulary: [`api::Work`],
+//!   hardware override specs, canonical cache keys, compact sweep specs,
+//!   and the paper workload table as `Work` lists;
 //! * [`serve`] (`iconv-serve`) — a cached, concurrent TCP estimate service
 //!   over the simulators (`served` / `loadgen` binaries, newline-delimited
-//!   JSON protocol, content-addressed LRU cache).
+//!   JSON protocol, content-addressed LRU cache, batched sweep execution).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@
 //! # Ok(()) }
 //! ```
 
+pub use iconv_api as api;
 pub use iconv_core as core;
 pub use iconv_dram as dram;
 pub use iconv_gpusim as gpusim;
@@ -59,6 +63,7 @@ pub use iconv_workloads as workloads;
 
 /// The most common imports, for examples and quick scripts.
 pub mod prelude {
+    pub use iconv_api::{SweepSpec, SweepTarget, TpuHwSpec, Work};
     pub use iconv_core::algo::{run as run_conv, ConvAlgorithm};
     pub use iconv_core::{
         AddrGen, BlockConfig, BlockDecomposition, FetchOrder, FilterTile, LoweredView,
