@@ -1,4 +1,4 @@
-//! A [`CycleSource`](crate::summary::CycleSource) backed by a running
+//! A [`CycleSource`] backed by a running
 //! `iconv-serve` instance — the `expall --via-serve` path.
 //!
 //! One client connection is shared behind a mutex: the summary's
@@ -15,7 +15,6 @@
 //! failure loud in CI.
 
 use std::sync::Mutex;
-use std::time::Duration;
 
 use iconv_api::Work;
 use iconv_serve::{Client, Estimate, MAX_SWEEP_ITEMS};
@@ -35,7 +34,7 @@ impl ServeSource {
     ///
     /// Returns the final connect error once the retry window closes.
     pub fn connect(addr: &str) -> std::io::Result<Self> {
-        let client = Client::connect_retry(addr, Duration::from_secs(5))?;
+        let client = Client::connect_retry(addr, iconv_serve::DEFAULT_CONNECT_TIMEOUT)?;
         Ok(Self {
             client: Mutex::new(client),
         })

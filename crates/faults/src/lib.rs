@@ -1,0 +1,39 @@
+//! # iconv-faults
+//!
+//! Deterministic, seeded fault injection for the `iconv-serve` chaos
+//! harness.
+//!
+//! The serving layer's resilience story follows the same shape as the
+//! paper's algorithmic one: one well-placed indirection layer instead of
+//! scattered special cases. Every adverse-I/O behaviour the stack must
+//! survive — socket read/write errors, short writes, slow-loris stalls,
+//! worker panics, deadline storms — is expressed as an [`Injection`]
+//! decided at a named [`FaultSite`] by a [`FaultPoint`], and the serve
+//! stack consults that single surface at its I/O and dispatch seams.
+//!
+//! * **Unarmed is free.** A production stack holds `None` instead of a
+//!   fault point; the seams are a branch on an `Option` and this crate is
+//!   never called. The armed-but-cold path (`decide` returning `None`)
+//!   performs zero heap allocations — pinned by the counting-allocator
+//!   test in `tests/alloc_counting.rs`.
+//! * **Seeded and reproducible.** [`FaultPlan`] derives every decision
+//!   from `mix64(seed, site, consultation-index)` — a pure function — so
+//!   the per-site fault schedule is fixed by the seed (see
+//!   [`plan`] for the exact contract) and `chaosgen` can assert two runs
+//!   replay byte-identically.
+//! * **Conserving.** Chosen faults are counted at decision
+//!   ([`FaultPlan::decide`]) and again at application
+//!   ([`FaultPlan::observe`]); `injected == observed` is the
+//!   harness-gated invariant that no decision is silently dropped.
+//!
+//! The PRNG is in-tree ([`rng`]): the offline build environment has no
+//! `rand`, and a fully specified generator is what makes the schedule a
+//! contract rather than an accident.
+
+pub mod plan;
+pub mod rng;
+
+pub use plan::{
+    FaultConfig, FaultCounters, FaultPlan, FaultPoint, FaultSite, Injection, LogEntry, N_SITES,
+};
+pub use rng::{mix64, unit_f64, XorShift64, GOLDEN_GAMMA};

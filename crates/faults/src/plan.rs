@@ -1,0 +1,475 @@
+//! The seeded fault plan: per-site injection rates, a deterministic
+//! schedule, and conservation counters.
+//!
+//! # Determinism contract
+//!
+//! Each [`FaultSite`] owns an independent decision stream. The n-th
+//! consultation of a site draws `mix64(seed ⊕ site_salt ⊕ n·γ)` — a pure
+//! function of `(seed, site, n)` — so the set of faulted indices per site
+//! is fixed by the seed alone, regardless of how threads interleave
+//! *across* sites. A driver that issues a deterministic call sequence
+//! (e.g. `chaosgen`'s lockstep replay) therefore reproduces the injected
+//! fault sequence byte-identically run over run; concurrent drivers still
+//! get identical *per-site* schedules for identical per-site call counts.
+//!
+//! # Conservation contract
+//!
+//! [`FaultPlan::decide`] counts an **injected** fault at the moment it is
+//! chosen; the code that applies the fault must call
+//! [`FaultPlan::observe`] exactly once when it does. At any quiescent
+//! point `injected == observed` per site — a decision is never dropped on
+//! the floor. `chaosgen` and the CI chaos job gate on exactly this
+//! ([`FaultCounters::conserved`]).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::rng::{mix64, unit_f64, GOLDEN_GAMMA};
+
+/// Number of distinct injection sites (the length of [`FaultSite::ALL`]).
+pub const N_SITES: usize = 6;
+
+/// An injection seam the serve stack consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Per request line read from a socket: a hard read error that drops
+    /// the connection.
+    SockRead,
+    /// Per response line written to a socket: a hard write error that
+    /// drops the connection.
+    SockWrite,
+    /// Per response line: a short write — a truncated prefix reaches the
+    /// client, then the connection drops.
+    PartialWrite,
+    /// Per response line: a slow-loris stall before the bytes go out.
+    Delay,
+    /// Per dispatched simulation: the worker panics mid-job.
+    WorkerPanic,
+    /// Per dispatched simulation: the deadline check fires as if the
+    /// request's deadline had expired in the queue.
+    DeadlineStorm,
+}
+
+impl FaultSite {
+    /// Every site, in wire/report order.
+    pub const ALL: [FaultSite; N_SITES] = [
+        FaultSite::SockRead,
+        FaultSite::SockWrite,
+        FaultSite::PartialWrite,
+        FaultSite::Delay,
+        FaultSite::WorkerPanic,
+        FaultSite::DeadlineStorm,
+    ];
+
+    /// Dense index into per-site counter arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FaultSite::SockRead => 0,
+            FaultSite::SockWrite => 1,
+            FaultSite::PartialWrite => 2,
+            FaultSite::Delay => 3,
+            FaultSite::WorkerPanic => 4,
+            FaultSite::DeadlineStorm => 5,
+        }
+    }
+
+    /// Stable short name, used in plan specs, counter names
+    /// (`serve.fault.injected.<name>`), and the schedule log.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::SockRead => "read",
+            FaultSite::SockWrite => "write",
+            FaultSite::PartialWrite => "partial",
+            FaultSite::Delay => "delay",
+            FaultSite::WorkerPanic => "panic",
+            FaultSite::DeadlineStorm => "deadline",
+        }
+    }
+
+    /// Per-site salt folded into the decision hash so sites draw
+    /// independent streams from one seed.
+    fn salt(self) -> u64 {
+        // Any fixed distinct constants work; mix the index for avalanche.
+        mix64(0xFA17 ^ (self.index() as u64) << 32)
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete fault the consulting seam must apply (then
+/// [`observe`](FaultPlan::observe)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Drop the connection as if the read failed.
+    ReadError,
+    /// Drop the connection as if the write failed.
+    WriteError,
+    /// Write only the first `keep` bytes of the line, then drop the
+    /// connection.
+    PartialWrite {
+        /// Prefix length to let through (may exceed the line; the applier
+        /// clamps).
+        keep: usize,
+    },
+    /// Sleep `ms` milliseconds before writing (slow-loris).
+    Delay {
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+    /// Panic inside the worker job.
+    WorkerPanic,
+    /// Answer with a `deadline` error as if the queue deadline expired.
+    DeadlineStorm,
+}
+
+impl Injection {
+    /// The site this injection belongs to.
+    #[must_use]
+    pub fn site(self) -> FaultSite {
+        match self {
+            Injection::ReadError => FaultSite::SockRead,
+            Injection::WriteError => FaultSite::SockWrite,
+            Injection::PartialWrite { .. } => FaultSite::PartialWrite,
+            Injection::Delay { .. } => FaultSite::Delay,
+            Injection::WorkerPanic => FaultSite::WorkerPanic,
+            Injection::DeadlineStorm => FaultSite::DeadlineStorm,
+        }
+    }
+}
+
+/// Injected/observed totals per site, snapshotted from a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Faults chosen by [`FaultPlan::decide`], per [`FaultSite::index`].
+    pub injected: [u64; N_SITES],
+    /// Faults applied (reported via [`FaultPlan::observe`]), per site.
+    pub observed: [u64; N_SITES],
+}
+
+impl FaultCounters {
+    /// Total faults chosen.
+    #[must_use]
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Total faults applied.
+    #[must_use]
+    pub fn observed_total(&self) -> u64 {
+        self.observed.iter().sum()
+    }
+
+    /// The conservation invariant: every chosen fault was applied.
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        self.injected == self.observed
+    }
+}
+
+/// The tunable part of a plan (what the spec string encodes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Schedule seed; same seed ⇒ same per-site schedule.
+    pub seed: u64,
+    /// Injection probability per consultation, per [`FaultSite::index`].
+    pub rates: [f64; N_SITES],
+    /// Stall length for [`Injection::Delay`].
+    pub delay_ms: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            rates: [0.0; N_SITES],
+            delay_ms: 20,
+        }
+    }
+}
+
+/// The consulting surface the serve stack sees: decide at a seam, report
+/// the application, snapshot the totals. [`FaultPlan`] is the seeded
+/// implementation; tests substitute scripted implementations to force a
+/// specific fault exactly once.
+///
+/// An *unarmed* stack holds no fault point at all (`Option::None`), so the
+/// production fast path is a branch on a `None` — it never even calls into
+/// this trait.
+pub trait FaultPoint: Send + Sync + fmt::Debug {
+    /// Consult the seam. `Some(injection)` obliges the caller to apply it
+    /// and then call [`observe`](FaultPoint::observe) exactly once.
+    fn decide(&self, site: FaultSite) -> Option<Injection>;
+
+    /// Report that an injection from [`decide`](FaultPoint::decide) was
+    /// applied.
+    fn observe(&self, site: FaultSite);
+
+    /// Snapshot the injected/observed totals.
+    fn counters(&self) -> FaultCounters;
+}
+
+/// One line of the schedule log: which consultation of which site fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The seam.
+    pub site: FaultSite,
+    /// Zero-based consultation index within that site's stream.
+    pub index: u64,
+    /// Payload draw (the `keep`/`ms` parameter where the site has one).
+    pub payload: u64,
+}
+
+/// A seeded, armed/disarmed fault plan. See the module docs for the
+/// determinism and conservation contracts.
+#[derive(Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    armed: AtomicBool,
+    seq: [AtomicU64; N_SITES],
+    injected: [AtomicU64; N_SITES],
+    observed: [AtomicU64; N_SITES],
+    log: Mutex<Vec<LogEntry>>,
+}
+
+impl FaultPlan {
+    /// Build an armed plan from a config.
+    #[must_use]
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self {
+            cfg,
+            armed: AtomicBool::new(true),
+            seq: std::array::from_fn(|_| AtomicU64::new(0)),
+            injected: std::array::from_fn(|_| AtomicU64::new(0)),
+            observed: std::array::from_fn(|_| AtomicU64::new(0)),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Parse a `key=value,key=value` spec, e.g. `seed=42,rate=0.05` or
+    /// `seed=7,rate=0,panic=0.5,delay-ms=5`. Keys: `seed`, `rate` (sets
+    /// every site), the per-site names from [`FaultSite::name`]
+    /// (`read`/`write`/`partial`/`delay`/`panic`/`deadline`, overriding
+    /// `rate`), and `delay-ms`. Rates must be in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for an unknown key, an unparsable
+    /// value, or an out-of-range rate.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut cfg = FaultConfig::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault-plan entry {part:?} is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let rate = |v: &str| -> Result<f64, String> {
+                let r: f64 = v
+                    .parse()
+                    .map_err(|_| format!("fault-plan {key}={v:?} is not a number"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("fault-plan {key}={v} must be in [0, 1]"));
+                }
+                Ok(r)
+            };
+            match key {
+                "seed" => {
+                    cfg.seed = value
+                        .parse()
+                        .map_err(|_| format!("fault-plan seed={value:?} is not a u64"))?;
+                }
+                "delay-ms" | "delay_ms" => {
+                    cfg.delay_ms = value
+                        .parse()
+                        .map_err(|_| format!("fault-plan delay-ms={value:?} is not a u64"))?;
+                }
+                "rate" => cfg.rates = [rate(value)?; N_SITES],
+                _ => {
+                    let site = FaultSite::ALL
+                        .into_iter()
+                        .find(|s| s.name() == key)
+                        .ok_or_else(|| format!("fault-plan key {key:?} is not known"))?;
+                    cfg.rates[site.index()] = rate(value)?;
+                }
+            }
+        }
+        Ok(FaultPlan::new(cfg))
+    }
+
+    /// The config this plan was built from.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Whether [`decide`](FaultPlan::decide) is currently live.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// Stop injecting: every subsequent `decide` returns `None` without
+    /// consuming schedule indices. Used by `chaosgen`'s post-chaos clean
+    /// pass.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Re-enable injection after [`disarm`](FaultPlan::disarm).
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Render the schedule log, sorted by `(site, index)` so two runs with
+    /// identical per-site schedules render byte-identically regardless of
+    /// thread interleaving. One line per injected fault:
+    /// `<site> <index> <payload>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log mutex is poisoned (a panicking log writer).
+    #[must_use]
+    pub fn log_render(&self) -> String {
+        let mut entries = self.log.lock().expect("fault log poisoned").clone();
+        entries.sort_by_key(|e| (e.site.index(), e.index));
+        let mut out = String::with_capacity(entries.len() * 24);
+        for e in entries {
+            out.push_str(e.site.name());
+            out.push(' ');
+            out.push_str(&e.index.to_string());
+            out.push(' ');
+            out.push_str(&e.payload.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl FaultPoint for FaultPlan {
+    fn decide(&self, site: FaultSite) -> Option<Injection> {
+        if !self.armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let idx = site.index();
+        let n = self.seq[idx].fetch_add(1, Ordering::Relaxed);
+        let h = mix64(self.cfg.seed ^ site.salt() ^ n.wrapping_mul(GOLDEN_GAMMA));
+        if unit_f64(h) >= self.cfg.rates[idx] {
+            return None;
+        }
+        // An injection: the (rare) slow path may allocate for the log.
+        let payload = mix64(h ^ GOLDEN_GAMMA);
+        self.injected[idx].fetch_add(1, Ordering::Relaxed);
+        self.log.lock().expect("fault log poisoned").push(LogEntry {
+            site,
+            index: n,
+            payload,
+        });
+        Some(match site {
+            FaultSite::SockRead => Injection::ReadError,
+            FaultSite::SockWrite => Injection::WriteError,
+            // Keep a short prefix: enough to corrupt the line, never the
+            // whole thing (responses are always > 32 bytes).
+            FaultSite::PartialWrite => Injection::PartialWrite {
+                keep: (payload % 32) as usize,
+            },
+            FaultSite::Delay => Injection::Delay {
+                ms: self.cfg.delay_ms,
+            },
+            FaultSite::WorkerPanic => Injection::WorkerPanic,
+            FaultSite::DeadlineStorm => Injection::DeadlineStorm,
+        })
+    }
+
+    fn observe(&self, site: FaultSite) {
+        self.observed[site.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            injected: std::array::from_fn(|i| self.injected[i].load(Ordering::Relaxed)),
+            observed: std::array::from_fn(|i| self.observed[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_spec() {
+        let plan = FaultPlan::parse("seed=42,rate=0.05").unwrap();
+        assert_eq!(plan.config().seed, 42);
+        assert!(plan.config().rates.iter().all(|&r| r == 0.05));
+        assert!(plan.is_armed());
+    }
+
+    #[test]
+    fn parse_per_site_overrides_and_delay() {
+        let plan = FaultPlan::parse("seed=7,rate=0,panic=0.5,delay-ms=3").unwrap();
+        let cfg = plan.config();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.delay_ms, 3);
+        assert_eq!(cfg.rates[FaultSite::WorkerPanic.index()], 0.5);
+        assert_eq!(cfg.rates[FaultSite::SockRead.index()], 0.0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("seed").is_err());
+        assert!(FaultPlan::parse("warp=0.1").is_err());
+        assert!(FaultPlan::parse("rate=1.5").is_err());
+        assert!(FaultPlan::parse("rate=x").is_err());
+        assert!(FaultPlan::parse("seed=-1").is_err());
+    }
+
+    #[test]
+    fn rate_zero_never_fires_rate_one_always_fires() {
+        let never = FaultPlan::parse("seed=1,rate=0").unwrap();
+        let always = FaultPlan::parse("seed=1,rate=1").unwrap();
+        for site in FaultSite::ALL {
+            for _ in 0..100 {
+                assert_eq!(never.decide(site), None);
+                assert!(always.decide(site).is_some());
+            }
+        }
+        assert_eq!(never.counters().injected_total(), 0);
+        assert_eq!(always.counters().injected_total(), 600);
+    }
+
+    #[test]
+    fn disarmed_plan_is_inert_and_resumable() {
+        let plan = FaultPlan::parse("seed=1,rate=1").unwrap();
+        plan.disarm();
+        assert_eq!(plan.decide(FaultSite::SockRead), None);
+        assert_eq!(plan.counters().injected_total(), 0);
+        plan.arm();
+        assert!(plan.decide(FaultSite::SockRead).is_some());
+    }
+
+    #[test]
+    fn conservation_tracks_observe_calls() {
+        let plan = FaultPlan::parse("seed=1,rate=1").unwrap();
+        let inj = plan.decide(FaultSite::WorkerPanic).unwrap();
+        assert_eq!(inj, Injection::WorkerPanic);
+        assert!(!plan.counters().conserved(), "observe not yet reported");
+        plan.observe(FaultSite::WorkerPanic);
+        assert!(plan.counters().conserved());
+        assert_eq!(plan.counters().observed_total(), 1);
+    }
+
+    #[test]
+    fn injection_site_roundtrips() {
+        let plan = FaultPlan::parse("seed=3,rate=1").unwrap();
+        for site in FaultSite::ALL {
+            let inj = plan.decide(site).unwrap();
+            assert_eq!(inj.site(), site);
+        }
+    }
+}

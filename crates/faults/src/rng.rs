@@ -1,0 +1,119 @@
+//! The crate's only sources of randomness: an in-tree xorshift generator
+//! for stateful draws and a splitmix-style finalizer for *stateless*
+//! schedules.
+//!
+//! The build environment is offline (no `rand`), and the chaos harness
+//! must be reproducible byte-for-byte anyway, so both primitives are
+//! deliberately tiny and fully specified here:
+//!
+//! * [`XorShift64`] — Marsaglia's xorshift64\*, used where a caller owns a
+//!   private stream (e.g. client backoff jitter could, in principle, walk
+//!   one; the serve client actually uses [`mix64`] so jitter stays a pure
+//!   function of `(seed, attempt, salt)`).
+//! * [`mix64`] — the splitmix64 finalizer. Hashing `(seed, site, index)`
+//!   with it gives every injection site an O(1)-addressable decision
+//!   stream: the n-th consultation of a site always sees the same draw for
+//!   the same seed, **independent of thread interleaving across sites**.
+//!   That property is what makes a concurrent chaos run's per-site fault
+//!   schedule reproducible.
+
+/// Multiplier from the fixed-increment splitmix64 / Weyl-sequence family.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The splitmix64 finalizer: a bijective avalanche mix of a 64-bit word.
+#[inline]
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(GOLDEN_GAMMA);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Map a 64-bit draw onto the unit interval `[0, 1)` using the top 53 bits
+/// (every value is exactly representable in an `f64`).
+#[inline]
+#[must_use]
+pub fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Marsaglia xorshift64\*: a tiny full-period (2^64 − 1) generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seed the generator. A zero seed (the one fixed point of the xorshift
+    /// step) is remapped through [`mix64`] so every seed yields a live
+    /// stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let state = if seed == 0 { mix64(seed) } else { seed };
+        Self { state }
+    }
+
+    /// Next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), mix64(43));
+        // Consecutive inputs should not produce consecutive outputs.
+        assert!(mix64(1).abs_diff(mix64(2)) > 1 << 32);
+    }
+
+    #[test]
+    fn unit_f64_stays_in_range() {
+        for x in [0, 1, u64::MAX, mix64(7), GOLDEN_GAMMA] {
+            let u = unit_f64(x);
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+        assert_eq!(unit_f64(0), 0.0);
+    }
+
+    #[test]
+    fn xorshift_same_seed_same_stream() {
+        let mut a = XorShift64::new(1234);
+        let mut b = XorShift64::new(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xorshift_zero_seed_is_not_stuck() {
+        let mut r = XorShift64::new(0);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xorshift_roughly_uniform() {
+        let mut r = XorShift64::new(9);
+        let n = 4096;
+        let ones: u32 = (0..n).map(|_| (r.next_u64() & 1) as u32).sum();
+        assert!((n / 4..3 * n / 4).contains(&ones), "ones={ones}");
+    }
+}

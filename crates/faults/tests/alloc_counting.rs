@@ -1,0 +1,72 @@
+//! Proves the "zero cost when cold" claim for the fault layer: consulting
+//! a seam that does not fire performs **zero** heap allocations, so an
+//! armed-but-quiet plan (and a fortiori a disarmed or absent one) adds no
+//! allocator traffic to the serve hot path.
+//!
+//! Same counting-`#[global_allocator]` idiom as
+//! `crates/systolic/tests/alloc_counting.rs`: the test binary is
+//! single-threaded by construction (one `#[test]` fn), so the global
+//! counter is not perturbed by unrelated test threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use iconv_faults::{FaultPlan, FaultPoint, FaultSite};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = f();
+    (r, ALLOCS.load(Ordering::Relaxed) - before)
+}
+
+#[test]
+fn cold_decide_paths_are_zero_alloc() {
+    // Armed, every rate zero: the decide path hashes and compares, never
+    // allocates.
+    let quiet = FaultPlan::parse("seed=42,rate=0").expect("parse");
+    // Disarmed entirely: the earliest-out path.
+    let disarmed = FaultPlan::parse("seed=42,rate=1").expect("parse");
+    disarmed.disarm();
+
+    let (_, n) = allocs_during(|| {
+        for _ in 0..1000 {
+            for site in FaultSite::ALL {
+                assert!(quiet.decide(site).is_none());
+                assert!(disarmed.decide(site).is_none());
+            }
+        }
+    });
+    assert_eq!(n, 0, "cold decide allocated {n} times");
+
+    // observe() and counters() are also allocation-free, so the seams can
+    // account faults without allocator traffic either.
+    let hot = FaultPlan::parse("seed=42,rate=1").expect("parse");
+    let inj = hot.decide(FaultSite::Delay).expect("rate=1 fires");
+    let (_, n) = allocs_during(|| {
+        hot.observe(inj.site());
+        let c = hot.counters();
+        assert!(c.conserved());
+    });
+    assert_eq!(n, 0, "observe/counters allocated {n} times");
+}

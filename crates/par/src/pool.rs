@@ -13,6 +13,16 @@
 //! Shutdown is graceful by default: [`WorkerPool::shutdown`] (also run on
 //! drop) stops accepting new jobs, lets the queue drain, and joins the
 //! workers.
+//!
+//! # Panic isolation
+//!
+//! A panicking job must not cost the pool a worker: each job runs under
+//! [`std::panic::catch_unwind`], so the worker absorbs the unwind, counts
+//! it ([`WorkerPool::panics_caught`]), and returns to its fetch loop — an
+//! in-place respawn with no thread churn and no shrinking capacity. The
+//! *submitter's* obligation is to turn a vanished result into a typed
+//! error (the `iconv-serve` dispatch path answers `worker-crashed`); the
+//! pool's obligation is that the crash stays contained to the one job.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -57,6 +67,9 @@ struct Shared {
     capacity: usize,
     /// Jobs currently executing (not counting queued ones).
     in_flight: AtomicUsize,
+    /// Job panics absorbed by workers (see the module-level *Panic
+    /// isolation* notes).
+    panics: AtomicUsize,
 }
 
 /// A fixed-size pool of worker threads fed from a bounded FIFO queue.
@@ -91,6 +104,7 @@ impl WorkerPool {
             job_ready: Condvar::new(),
             capacity: queue_capacity,
             in_flight: AtomicUsize::new(0),
+            panics: AtomicUsize::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -175,6 +189,13 @@ impl WorkerPool {
         self.shared.in_flight.load(Ordering::Relaxed)
     }
 
+    /// Job panics absorbed so far. Every count here is a job that died
+    /// without killing its worker: the thread caught the unwind and went
+    /// back to the queue.
+    pub fn panics_caught(&self) -> usize {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
     /// Stop accepting new jobs, let queued and in-flight jobs finish, and
     /// join the workers. Idempotent; also runs on drop. Takes `&self` so a
     /// shared pool needs no outer lock that in-flight jobs resubmitting
@@ -227,8 +248,14 @@ fn worker_loop(shared: &Shared) {
             }
         };
         shared.in_flight.fetch_add(1, Ordering::Relaxed);
-        job();
+        // Absorb job panics so one poisoned task cannot cost the pool a
+        // worker: the catch is the respawn (the thread never dies, so
+        // there is no window with reduced capacity).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if outcome.is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 

@@ -1,0 +1,674 @@
+//! `chaosgen` — chaos harness for the serve stack.
+//!
+//! Replays the paper workload table against servers running under an
+//! armed, seeded [`FaultPlan`], in both framings (single `conv`/`gemm`
+//! lines and `batch` requests), through the retrying client. Four phases,
+//! each gated:
+//!
+//! 1. **Soak** — an in-process server with faults armed takes the whole
+//!    table from several concurrent clients (mixed framing). Gates: every
+//!    issued request reaches exactly one terminal outcome (no losses), no
+//!    stale response is ever accepted (duplicates are *detected* by id
+//!    mismatch and retried on a fresh connection), zero hard failures,
+//!    faults actually fired, and the plan conserves
+//!    (`injected == observed`).
+//! 2. **Clean pass** — the *same* soaked server, disarmed, then replayed
+//!    in lockstep; the transcript must be byte-identical to a fresh,
+//!    never-faulted server's. Chaos must leave no residue: not in the
+//!    cache, not in the counters' invariants.
+//! 3. **Determinism** — two fresh single-worker servers under the same
+//!    seed, driven in lockstep: fault logs and response transcripts must
+//!    both replay byte-identically.
+//! 4. **External soak** (with `--addr`) — the same soak against a running
+//!    `served --fault-plan ...`, with conservation checked through the
+//!    `stats` RPC (`faults_injected == faults_observed`).
+//!
+//! Writes a machine-readable gate report (default `chaos.json`) and exits
+//! nonzero if any gate fails.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use iconv_api::table::workload_works;
+use iconv_faults::{mix64, FaultPlan, FaultPoint};
+use iconv_serve::client::{ClientError, RetryClient, RetryPolicy, DEFAULT_CONNECT_TIMEOUT};
+use iconv_serve::protocol::{
+    encode_estimate, parse_response, ErrorKind, EstimateRequest, Response, Work,
+};
+use iconv_serve::server::{spawn, ServerConfig};
+
+const USAGE: &str = "usage: chaosgen [--seed N] [--rate F] [--clients N] [--batch N] \
+     [--attempts N] [--models all|small] [--addr HOST:PORT] [--connect-timeout SECS] \
+     [--out PATH] [--shutdown]";
+
+struct Args {
+    seed: u64,
+    rate: f64,
+    clients: usize,
+    batch: usize,
+    attempts: u32,
+    small: bool,
+    addr: Option<String>,
+    connect_timeout: Duration,
+    out: String,
+    shutdown: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            rate: 0.05,
+            clients: 4,
+            batch: 16,
+            attempts: 12,
+            small: true,
+            addr: None,
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+            out: "chaos.json".to_owned(),
+            shutdown: false,
+        }
+    }
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut parsed = Args::default();
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value; {USAGE}"))
+        };
+        let positive = |name: &str, v: String| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| format!("{name} needs a positive integer (got {v:?}); {USAGE}"))
+        };
+        match a.as_str() {
+            "--seed" => {
+                parsed.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| format!("--seed needs an integer; {USAGE}"))?;
+            }
+            "--rate" => {
+                let v = value("--rate")?;
+                parsed.rate = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| {
+                        format!("--rate needs a number in [0,1] (got {v:?}); {USAGE}")
+                    })?;
+            }
+            "--clients" => parsed.clients = positive("--clients", value("--clients")?)?,
+            "--batch" => parsed.batch = positive("--batch", value("--batch")?)?,
+            "--attempts" => {
+                parsed.attempts = positive("--attempts", value("--attempts")?)? as u32;
+            }
+            "--models" => {
+                parsed.small = match value("--models")?.as_str() {
+                    "all" => false,
+                    "small" => true,
+                    other => {
+                        return Err(format!(
+                            "--models must be all|small (got {other:?}); {USAGE}"
+                        ))
+                    }
+                }
+            }
+            "--addr" => parsed.addr = Some(value("--addr")?),
+            "--connect-timeout" => {
+                parsed.connect_timeout = Duration::from_secs(positive(
+                    "--connect-timeout",
+                    value("--connect-timeout")?,
+                )? as u64);
+            }
+            "--out" => parsed.out = value("--out")?,
+            "--shutdown" => parsed.shutdown = true,
+            other => return Err(format!("unknown argument {other:?}; {USAGE}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn response_id(r: &Response) -> Option<&str> {
+    match r {
+        Response::Tpu { id, .. }
+        | Response::Gpu { id, .. }
+        | Response::Stats { id, .. }
+        | Response::Pong { id }
+        | Response::ShutdownAck { id }
+        | Response::Batch { id, .. }
+        | Response::Error { id, .. } => id.as_deref(),
+    }
+}
+
+/// One lockstep estimate with retries, returning the *raw* response line
+/// (for byte-level transcript comparison). A response carrying the wrong
+/// id is a detected stale/duplicate: counted, never accepted, and retried
+/// on a fresh connection so the stream re-synchronizes.
+fn checked_call(
+    rc: &mut RetryClient,
+    line: &str,
+    want_id: &str,
+    salt: u64,
+    id_mismatches: &AtomicU64,
+) -> Result<String, ClientError> {
+    rc.with_retry(salt, |c| {
+        c.send_line(line)?;
+        c.flush()?;
+        let raw = c.recv_line()?;
+        let resp =
+            parse_response(&raw).map_err(|e| ClientError::Malformed(format!("{e} in {raw:?}")))?;
+        if let Response::Error { kind, detail, .. } = resp {
+            return Err(ClientError::Server { kind, detail });
+        }
+        if response_id(&resp) == Some(want_id) {
+            Ok(raw)
+        } else {
+            id_mismatches.fetch_add(1, Ordering::Relaxed);
+            Err(ClientError::Unexpected(format!(
+                "wanted id {want_id:?}, got {:?}",
+                response_id(&resp)
+            )))
+        }
+    })
+}
+
+#[derive(Default)]
+struct Tally {
+    issued: u64,
+    ok: u64,
+    typed_err: u64,
+    hard_fail: u64,
+    retries: u64,
+    reconnects: u64,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: &Tally) {
+        self.issued += other.issued;
+        self.ok += other.ok;
+        self.typed_err += other.typed_err;
+        self.hard_fail += other.hard_fail;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
+    }
+
+    /// Terminal outcomes reached — must equal `issued` (no losses).
+    fn outcomes(&self) -> u64 {
+        self.ok + self.typed_err + self.hard_fail
+    }
+}
+
+fn retry_policy(seed: u64, attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        attempts,
+        // Chaos runs retry a lot; short sleeps keep the soak fast while
+        // still exercising the backoff schedule.
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(50),
+        seed,
+    }
+}
+
+/// Single-line framing worker: every request carries a unique id, checked
+/// on the way back.
+fn soak_single(
+    addr: &str,
+    works: &[(usize, Work)],
+    tag: &str,
+    policy: RetryPolicy,
+    connect_timeout: Duration,
+    id_mismatches: &AtomicU64,
+) -> Tally {
+    let mut t = Tally::default();
+    let Ok(mut rc) = RetryClient::connect(addr, policy, connect_timeout) else {
+        t.issued = works.len() as u64;
+        t.hard_fail = works.len() as u64;
+        return t;
+    };
+    for &(i, work) in works {
+        let id = format!("{tag}-{i}");
+        let line = encode_estimate(&EstimateRequest {
+            id: Some(id.clone()),
+            work,
+            deadline_ms: None,
+        });
+        t.issued += 1;
+        let salt = mix64(policy.seed ^ i as u64);
+        match checked_call(&mut rc, &line, &id, salt, id_mismatches) {
+            Ok(_) => t.ok += 1,
+            Err(ClientError::Server { .. }) => t.typed_err += 1,
+            Err(_) => t.hard_fail += 1,
+        }
+    }
+    t.retries = rc.retries();
+    t.reconnects = rc.reconnects();
+    t
+}
+
+/// Batched framing worker: `batch`-request groups, retried for up to
+/// `attempts` rounds so every item still reaches a terminal outcome. An
+/// `n`-item batch exposes `n + 1` response lines to the write-side fault
+/// seams, so big batches are proportionally likelier to lose their span —
+/// the group size *halves* every round, converging on single-item batches
+/// whose odds match the single framing.
+fn soak_batched(
+    addr: &str,
+    works: &[(usize, Work)],
+    batch: usize,
+    attempts: u32,
+    policy: RetryPolicy,
+    connect_timeout: Duration,
+) -> Tally {
+    let mut t = Tally {
+        issued: works.len() as u64,
+        ..Tally::default()
+    };
+    let Ok(mut rc) = RetryClient::connect(addr, policy, connect_timeout) else {
+        t.hard_fail = works.len() as u64;
+        return t;
+    };
+    let mut pending: Vec<Work> = works.iter().map(|&(_, w)| w).collect();
+    let mut round = 0u32;
+    while !pending.is_empty() {
+        let last_round = round + 1 >= attempts;
+        let size = (batch.max(1) >> round.min(16)).max(1);
+        let mut next = Vec::new();
+        for group in pending.chunks(size) {
+            let salt = mix64(policy.seed ^ 0xBA7C ^ u64::from(round));
+            match rc.batch(group, None, salt) {
+                Ok(results) => {
+                    for (item, result) in results.into_iter().enumerate() {
+                        match result {
+                            Ok(_) => t.ok += 1,
+                            Err((
+                                ErrorKind::Busy | ErrorKind::Deadline | ErrorKind::WorkerCrashed,
+                                _,
+                            )) if !last_round => next.push(group[item]),
+                            Err(_) => t.typed_err += 1,
+                        }
+                    }
+                }
+                // The wrapper burned its transport retries on this span;
+                // re-queue the items for the next (smaller-group) round.
+                Err(_) if !last_round => next.extend_from_slice(group),
+                Err(_) => t.hard_fail += group.len() as u64,
+            }
+        }
+        pending = next;
+        round += 1;
+    }
+    t.retries = rc.retries();
+    t.reconnects = rc.reconnects();
+    t
+}
+
+/// Fan the table out over `clients` mixed-framing workers against `addr`.
+fn soak(addr: &str, works: &[Work], args: &Args, id_mismatches: &AtomicU64) -> Tally {
+    let indexed: Vec<(usize, Work)> = works.iter().copied().enumerate().collect();
+    let clients = args.clients.max(1).min(indexed.len().max(1));
+    let per = indexed.len().div_ceil(clients);
+    let mut total = Tally::default();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = indexed
+            .chunks(per.max(1))
+            .enumerate()
+            .map(|(c, chunk)| {
+                let policy = retry_policy(mix64(args.seed ^ 0xC11E ^ c as u64), args.attempts);
+                let (timeout, batch, attempts) = (args.connect_timeout, args.batch, args.attempts);
+                scope.spawn(move || {
+                    if c % 2 == 0 {
+                        soak_single(
+                            addr,
+                            chunk,
+                            &format!("c{c}"),
+                            policy,
+                            timeout,
+                            id_mismatches,
+                        )
+                    } else {
+                        soak_batched(addr, chunk, batch, attempts, policy, timeout)
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("soak worker"))
+            .collect()
+    });
+    for t in &tallies {
+        total.absorb(t);
+    }
+    total
+}
+
+/// Lockstep transcript: the whole table, one request at a time, unique
+/// ids, raw response lines in request order.
+fn transcript(
+    addr: &str,
+    works: &[Work],
+    policy: RetryPolicy,
+    connect_timeout: Duration,
+    id_mismatches: &AtomicU64,
+) -> Result<String, String> {
+    let mut rc = RetryClient::connect(addr, policy, connect_timeout)
+        .map_err(|e| format!("transcript connect: {e}"))?;
+    let mut out = String::new();
+    for (i, &work) in works.iter().enumerate() {
+        let id = format!("x-{i}");
+        let line = encode_estimate(&EstimateRequest {
+            id: Some(id.clone()),
+            work,
+            deadline_ms: None,
+        });
+        let raw = checked_call(
+            &mut rc,
+            &line,
+            &id,
+            mix64(policy.seed ^ i as u64),
+            id_mismatches,
+        )
+        .map_err(|e| format!("transcript request {i}: {e}"))?;
+        out.push_str(&raw);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+struct Gate {
+    name: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+fn gate(name: &'static str, pass: bool, detail: String) -> Gate {
+    eprintln!(
+        "chaosgen: [{}] {name}: {detail}",
+        if pass { "ok" } else { "FAIL" }
+    );
+    Gate { name, pass, detail }
+}
+
+fn fault_spec(seed: u64, rate: f64) -> String {
+    // Millisecond delays keep slow-loris stalls visible but cheap.
+    format!("seed={seed},rate={rate},delay-ms=2")
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(err) => {
+            eprintln!("chaosgen: {err}");
+            std::process::exit(2);
+        }
+    };
+    let works = workload_works(args.small);
+    let id_mismatches = AtomicU64::new(0);
+    let mut gates: Vec<Gate> = Vec::new();
+    eprintln!(
+        "chaosgen: {} works, seed {}, rate {}, {} clients",
+        works.len(),
+        args.seed,
+        args.rate,
+        args.clients
+    );
+
+    // Phase 1: local soak under faults.
+    let plan = Arc::new(FaultPlan::parse(&fault_spec(args.seed, args.rate)).expect("fault spec"));
+    let soaked = spawn(ServerConfig {
+        faults: Some(Arc::clone(&plan) as Arc<dyn FaultPoint>),
+        ..ServerConfig::default()
+    })
+    .expect("spawn soak server");
+    let soak_addr = soaked.local_addr().to_string();
+    let t = soak(&soak_addr, &works, &args, &id_mismatches);
+    let c = plan.counters();
+    gates.push(gate(
+        "soak.no_losses",
+        t.outcomes() == t.issued,
+        format!("{} outcomes for {} issued", t.outcomes(), t.issued),
+    ));
+    gates.push(gate(
+        "soak.no_hard_failures",
+        t.hard_fail == 0,
+        format!(
+            "{} hard failures ({} ok, {} typed errors, {} retries, {} reconnects)",
+            t.hard_fail, t.ok, t.typed_err, t.retries, t.reconnects
+        ),
+    ));
+    gates.push(gate(
+        "soak.faults_fired",
+        c.injected_total() > 0,
+        format!("{} injected", c.injected_total()),
+    ));
+    gates.push(gate(
+        "soak.conserved",
+        c.conserved(),
+        format!(
+            "injected {} observed {}",
+            c.injected_total(),
+            c.observed_total()
+        ),
+    ));
+    let snap = soaked.stats();
+    gates.push(gate(
+        "soak.stats_mirror",
+        snap.faults_injected == c.injected_total() && snap.faults_observed == c.observed_total(),
+        format!(
+            "stats RPC reports {}/{}",
+            snap.faults_injected, snap.faults_observed
+        ),
+    ));
+    let soak_tally = t;
+
+    // Phase 2: disarm and prove chaos left no residue.
+    plan.disarm();
+    let quiet = AtomicU64::new(0);
+    let clean_policy = retry_policy(mix64(args.seed ^ 0x00C1_EA11), 2);
+    let after_chaos = transcript(
+        &soak_addr,
+        &works,
+        clean_policy,
+        args.connect_timeout,
+        &quiet,
+    );
+    let soaked_stats = soaked.shutdown();
+    let fresh = spawn(ServerConfig::default()).expect("spawn clean server");
+    let fresh_addr = fresh.local_addr().to_string();
+    let unfaulted = transcript(
+        &fresh_addr,
+        &works,
+        clean_policy,
+        args.connect_timeout,
+        &quiet,
+    );
+    let fresh_stats = fresh.shutdown();
+    match (&after_chaos, &unfaulted) {
+        (Ok(a), Ok(b)) => {
+            gates.push(gate(
+                "clean.byte_identical",
+                a == b,
+                format!("{} bytes vs {} bytes", a.len(), b.len()),
+            ));
+        }
+        (a, b) => {
+            gates.push(gate(
+                "clean.byte_identical",
+                false,
+                format!(
+                    "after-chaos: {}; unfaulted: {}",
+                    a.as_ref().err().cloned().unwrap_or_else(|| "ok".into()),
+                    b.as_ref().err().cloned().unwrap_or_else(|| "ok".into()),
+                ),
+            ));
+        }
+    }
+    gates.push(gate(
+        "clean.no_stale_responses",
+        quiet.load(Ordering::Relaxed) == 0,
+        format!(
+            "{} id mismatches after disarm",
+            quiet.load(Ordering::Relaxed)
+        ),
+    ));
+    gates.push(gate(
+        "clean.counter_invariant",
+        soaked_stats.hits + soaked_stats.misses == soaked_stats.requests
+            && fresh_stats.hits + fresh_stats.misses == fresh_stats.requests,
+        format!(
+            "soaked {}+{}=={}, fresh {}+{}=={}",
+            soaked_stats.hits,
+            soaked_stats.misses,
+            soaked_stats.requests,
+            fresh_stats.hits,
+            fresh_stats.misses,
+            fresh_stats.requests
+        ),
+    ));
+
+    // Phase 3: same seed, twice, byte-identical schedule and transcript.
+    // Single worker + lockstep client make the consultation order itself
+    // deterministic, so the rendered fault log is comparable bytewise.
+    let det_works: Vec<Work> = works.iter().copied().take(60).collect();
+    let det_run = || -> (String, Result<String, String>) {
+        let plan =
+            Arc::new(FaultPlan::parse(&fault_spec(args.seed, args.rate.max(0.08))).expect("spec"));
+        let h = spawn(ServerConfig {
+            workers: 1,
+            faults: Some(Arc::clone(&plan) as Arc<dyn FaultPoint>),
+            ..ServerConfig::default()
+        })
+        .expect("spawn determinism server");
+        let addr = h.local_addr().to_string();
+        let mism = AtomicU64::new(0);
+        let tr = transcript(
+            &addr,
+            &det_works,
+            retry_policy(args.seed, args.attempts),
+            args.connect_timeout,
+            &mism,
+        );
+        h.shutdown();
+        (plan.log_render(), tr)
+    };
+    let (log_a, tr_a) = det_run();
+    let (log_b, tr_b) = det_run();
+    gates.push(gate(
+        "determinism.fault_log",
+        !log_a.is_empty() && log_a == log_b,
+        format!(
+            "{} log bytes (run A) vs {} (run B)",
+            log_a.len(),
+            log_b.len()
+        ),
+    ));
+    gates.push(gate(
+        "determinism.transcript",
+        matches!((&tr_a, &tr_b), (Ok(a), Ok(b)) if a == b),
+        match (&tr_a, &tr_b) {
+            (Ok(a), Ok(b)) => format!("{} bytes vs {} bytes", a.len(), b.len()),
+            (a, b) => format!(
+                "run A: {}; run B: {}",
+                a.as_ref().err().cloned().unwrap_or_else(|| "ok".into()),
+                b.as_ref().err().cloned().unwrap_or_else(|| "ok".into()),
+            ),
+        },
+    ));
+
+    // Phase 4: soak an external `served --fault-plan ...`, if given.
+    let mut external = None;
+    if let Some(addr) = &args.addr {
+        let t = soak(addr, &works, &args, &id_mismatches);
+        gates.push(gate(
+            "external.no_losses",
+            t.outcomes() == t.issued && t.hard_fail == 0,
+            format!(
+                "{} outcomes for {} issued, {} hard failures",
+                t.outcomes(),
+                t.issued,
+                t.hard_fail
+            ),
+        ));
+        let mut rc = RetryClient::connect(
+            addr,
+            retry_policy(mix64(args.seed ^ 0x57A7), args.attempts),
+            args.connect_timeout,
+        )
+        .expect("external stats connect");
+        let stats = rc.stats(0).expect("external stats");
+        gates.push(gate(
+            "external.conserved",
+            stats.faults_injected > 0 && stats.faults_injected == stats.faults_observed,
+            format!(
+                "stats RPC: injected {} observed {}",
+                stats.faults_injected, stats.faults_observed
+            ),
+        ));
+        external = Some((t, stats));
+        if args.shutdown {
+            // Best-effort: the server may drop the ack under fault.
+            let _ = rc.shutdown_server();
+        }
+    }
+
+    let all_pass = gates.iter().all(|g| g.pass);
+    let mut out = String::from("{\n  \"bench\": \"chaos\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"seed\": {}, \"rate\": {}, \"clients\": {}, \"batch\": {}, \
+         \"attempts\": {}, \"works\": {}}},\n",
+        args.seed,
+        args.rate,
+        args.clients,
+        args.batch,
+        args.attempts,
+        works.len()
+    ));
+    out.push_str(&format!(
+        "  \"soak\": {{\"issued\": {}, \"ok\": {}, \"typed_errors\": {}, \"hard_failures\": {}, \
+         \"retries\": {}, \"reconnects\": {}, \"id_mismatches_detected\": {}, \
+         \"faults_injected\": {}, \"faults_observed\": {}}},\n",
+        soak_tally.issued,
+        soak_tally.ok,
+        soak_tally.typed_err,
+        soak_tally.hard_fail,
+        soak_tally.retries,
+        soak_tally.reconnects,
+        id_mismatches.load(Ordering::Relaxed),
+        c.injected_total(),
+        c.observed_total()
+    ));
+    if let Some((t, stats)) = &external {
+        out.push_str(&format!(
+            "  \"external\": {{\"issued\": {}, \"ok\": {}, \"typed_errors\": {}, \
+             \"hard_failures\": {}, \"faults_injected\": {}, \"faults_observed\": {}}},\n",
+            t.issued, t.ok, t.typed_err, t.hard_fail, stats.faults_injected, stats.faults_observed
+        ));
+    }
+    out.push_str("  \"gates\": [\n");
+    for (i, g) in gates.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"pass\": {}, \"detail\": {:?}}}{}\n",
+            g.name,
+            g.pass,
+            g.detail,
+            if i + 1 < gates.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!("  ],\n  \"pass\": {all_pass}\n}}\n"));
+    if let Err(e) = std::fs::write(&args.out, &out) {
+        eprintln!("chaosgen: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!(
+        "chaosgen: {} ({} gates) -> {}",
+        if all_pass { "PASS" } else { "FAIL" },
+        gates.len(),
+        args.out
+    );
+    std::process::exit(i32::from(!all_pass));
+}

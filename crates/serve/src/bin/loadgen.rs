@@ -18,7 +18,7 @@
 use std::time::{Duration, Instant};
 
 use iconv_api::table::workload_works;
-use iconv_serve::client::Client;
+use iconv_serve::client::{Client, DEFAULT_CONNECT_TIMEOUT};
 use iconv_serve::protocol::{
     encode_estimate, encode_sweep, EstimateRequest, Response, StatsSnapshot, SweepSpec,
     SweepTarget, Work,
@@ -27,7 +27,7 @@ use iconv_serve::server::{spawn, ServerConfig};
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--window N] \
                      [--passes N] [--workers N] [--batch N] [--models all|small] \
-                     [--out PATH] [--shutdown]";
+                     [--connect-timeout SECS] [--out PATH] [--shutdown]";
 
 struct Args {
     addr: Option<String>,
@@ -38,6 +38,8 @@ struct Args {
     /// Items per `batch` request; 0 = one `conv`/`gemm` line per estimate.
     batch: usize,
     small: bool,
+    /// Budget for the initial connect race against a booting server.
+    connect_timeout: Duration,
     out: String,
     shutdown: bool,
 }
@@ -52,6 +54,7 @@ impl Default for Args {
             workers: iconv_par::default_jobs(),
             batch: 0,
             small: false,
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
             out: "BENCH_serve.json".to_owned(),
             shutdown: false,
         }
@@ -81,6 +84,12 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--passes" => parsed.passes = positive("--passes", value("--passes")?)?,
             "--workers" => parsed.workers = positive("--workers", value("--workers")?)?,
             "--batch" => parsed.batch = positive("--batch", value("--batch")?)?,
+            "--connect-timeout" => {
+                parsed.connect_timeout = Duration::from_secs(positive(
+                    "--connect-timeout",
+                    value("--connect-timeout")?,
+                )? as u64);
+            }
             "--out" => parsed.out = value("--out")?,
             "--shutdown" => parsed.shutdown = true,
             "--models" => {
@@ -306,7 +315,7 @@ fn run_compare(workers: usize) -> Compare {
         let handle = fresh_server();
         let addr = handle.local_addr().to_string();
         let mut client =
-            Client::connect_retry(&addr, Duration::from_secs(5)).expect("compare connect");
+            Client::connect_retry(&addr, DEFAULT_CONNECT_TIMEOUT).expect("compare connect");
         let t0 = Instant::now();
         for &work in &works {
             let line = encode_estimate(&EstimateRequest {
@@ -325,7 +334,7 @@ fn run_compare(workers: usize) -> Compare {
         let handle = fresh_server();
         let addr = handle.local_addr().to_string();
         let mut client =
-            Client::connect_retry(&addr, Duration::from_secs(5)).expect("compare connect");
+            Client::connect_retry(&addr, DEFAULT_CONNECT_TIMEOUT).expect("compare connect");
         let t0 = Instant::now();
         client
             .send_line(&encode_sweep(None, &spec, None))
@@ -447,7 +456,7 @@ fn main() {
             (handle.local_addr().to_string(), Some(handle))
         }
     };
-    let mut control = match Client::connect_retry(&addr, Duration::from_secs(5)) {
+    let mut control = match Client::connect_retry(&addr, args.connect_timeout) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("loadgen: cannot reach {addr}: {e}");

@@ -5,10 +5,14 @@
 //! in-flight work, answers everything it accepted, and exits with a final
 //! counter report on stderr.
 
+use std::sync::Arc;
+
+use iconv_faults::FaultPlan;
 use iconv_serve::server::{spawn, ServerConfig};
 
-const USAGE: &str =
-    "usage: served [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--batch-chunk N]";
+const USAGE: &str = "usage: served [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
+     [--batch-chunk N] [--fault-plan SPEC]\n       SPEC e.g. seed=42,rate=0.05 \
+     (per-site keys: read,write,partial,delay,panic,deadline; delay-ms=N)";
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String> {
     let mut cfg = ServerConfig {
@@ -35,6 +39,12 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, St
             "--batch-chunk" => {
                 cfg.batch_chunk = positive("--batch-chunk", value("--batch-chunk")?)?;
             }
+            "--fault-plan" => {
+                let spec = value("--fault-plan")?;
+                let plan = FaultPlan::parse(&spec)
+                    .map_err(|e| format!("--fault-plan {spec:?}: {e}; {USAGE}"))?;
+                cfg.faults = Some(Arc::new(plan));
+            }
             other => return Err(format!("unknown argument {other:?}; {USAGE}")),
         }
     }
@@ -50,6 +60,7 @@ fn main() {
         }
     };
     let workers = cfg.workers;
+    let faults = cfg.faults.clone();
     let handle = match spawn(cfg) {
         Ok(h) => h,
         Err(err) => {
@@ -57,18 +68,22 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let faulted = faults.is_some();
     println!("listening on {}", handle.local_addr());
     // Line-buffered stdout may sit on that line forever under redirection;
     // scripts wait for it, so push it out now.
     use std::io::Write;
     let _ = std::io::stdout().flush();
-    eprintln!("served: {workers} worker(s); send {{\"op\":\"shutdown\"}} to stop");
+    eprintln!(
+        "served: {workers} worker(s){}; send {{\"op\":\"shutdown\"}} to stop",
+        if faulted { ", fault plan ARMED" } else { "" }
+    );
 
     handle.wait_shutdown_requested();
     let stats = handle.shutdown();
     eprintln!(
         "served: drained; requests={} hits={} misses={} evictions={} busy={} deadline={} parse={} \
-         batches={} batch_items={}",
+         batches={} batch_items={} worker_crashes={}",
         stats.requests,
         stats.hits,
         stats.misses,
@@ -77,6 +92,16 @@ fn main() {
         stats.deadline_expired,
         stats.parse_errors,
         stats.batches,
-        stats.batch_items
+        stats.batch_items,
+        stats.worker_crashes
     );
+    if let Some(plan) = faults {
+        let c = plan.counters();
+        eprintln!(
+            "served: faults injected={} observed={} conserved={}",
+            c.injected_total(),
+            c.observed_total(),
+            c.conserved()
+        );
+    }
 }

@@ -1,11 +1,20 @@
 //! A blocking client for the serve protocol: typed one-shot calls plus the
 //! split `send`/`recv` surface the load generator uses for windowed
-//! pipelining.
+//! pipelining, and a [`RetryClient`] wrapper that survives transient
+//! faults (drops, short writes, worker crashes) by reconnecting and
+//! re-issuing the request.
+//!
+//! Request-level retry is sound here because every estimate is keyed by
+//! its canonical cache key and simulations are pure: re-asking after an
+//! ambiguous failure either hits the cache entry the lost answer created
+//! or recomputes the identical bytes — idempotent either way.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+use iconv_faults::{mix64, unit_f64, GOLDEN_GAMMA};
 
 use iconv_gpusim::GpuAlgo;
 use iconv_tensor::ConvShape;
@@ -15,6 +24,12 @@ use crate::protocol::{
     encode_batch, encode_estimate, encode_simple, parse_response, ErrorKind, EstimateRequest,
     GpuEstimate, Response, StatsSnapshot, TpuEstimate, TpuHwSpec, Work,
 };
+
+/// Connect-retry budget shared by every tool that races a freshly-booted
+/// server (loadgen, chaosgen, the bench adapter, integration tests). One
+/// constant instead of scattered hardcoded `Duration::from_secs(5)` calls;
+/// `loadgen --connect-timeout` overrides it per run.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// One successfully-estimated batch item, in either engine's currency.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -334,6 +349,305 @@ impl Client {
             Response::ShutdownAck { .. } => Ok(()),
             Response::Error { kind, detail, .. } => Err(ClientError::Server { kind, detail }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}
+
+/// Retry schedule for [`RetryClient`]: capped exponential backoff with
+/// deterministic jitter. The jitter is a pure function of
+/// `(seed, salt, attempt)` — two runs with the same seed sleep the same
+/// schedule, which keeps chaos runs byte-reproducible end to end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total tries per request (first attempt included). `1` disables
+    /// retry.
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt after that.
+    pub base_delay: Duration,
+    /// Ceiling the doubling saturates at.
+    pub max_delay: Duration,
+    /// Jitter seed (mix with the per-call salt).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x1c0_feed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff slept after failed attempt number `attempt` (0-based):
+    /// `min(base << attempt, max)` scaled into `[50%, 100%]` by the
+    /// deterministic jitter stream. Pure — exposed so tests can pin the
+    /// schedule.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        let h =
+            mix64(self.seed ^ salt ^ u64::from(attempt.wrapping_add(1)).wrapping_mul(GOLDEN_GAMMA));
+        exp.mul_f64(0.5 + 0.5 * unit_f64(h))
+    }
+}
+
+/// Is this failure worth re-asking about? Transport errors and decode
+/// failures leave the connection in an unknown state (a fault may have
+/// eaten half a line) — retry on a *fresh* connection. `busy`,
+/// `worker-crashed`, and `deadline` are transient server-side conditions
+/// on a still-synchronized connection. `bad-request`/`parse`/
+/// `shutting-down` are terminal: the request itself (or the server's
+/// lifecycle) is the problem.
+fn is_transient(e: &ClientError) -> Option<bool> {
+    match e {
+        ClientError::Io(_) | ClientError::Malformed(_) => Some(true),
+        ClientError::Server { kind, .. } => match kind {
+            ErrorKind::Busy | ErrorKind::WorkerCrashed | ErrorKind::Deadline => Some(false),
+            ErrorKind::Parse | ErrorKind::BadRequest | ErrorKind::ShuttingDown => None,
+        },
+        ClientError::Unexpected(_) => Some(true),
+    }
+}
+
+/// A [`Client`] wrapper that retries transient failures with the
+/// [`RetryPolicy`] schedule, reconnecting whenever the connection state is
+/// no longer trustworthy. Safe for estimate traffic because responses are
+/// idempotent (see the module docs); *not* for `shutdown`, which this type
+/// deliberately issues at most once.
+pub struct RetryClient {
+    addr: String,
+    policy: RetryPolicy,
+    connect_timeout: Duration,
+    inner: Option<Client>,
+    retries: u64,
+    reconnects: u64,
+}
+
+impl RetryClient {
+    /// Connect (with the connect-retry budget) and wrap the connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connect error once `connect_timeout` elapses.
+    pub fn connect(
+        addr: &str,
+        policy: RetryPolicy,
+        connect_timeout: Duration,
+    ) -> io::Result<RetryClient> {
+        let inner = Client::connect_retry(addr, connect_timeout)?;
+        Ok(RetryClient {
+            addr: addr.to_owned(),
+            policy,
+            connect_timeout,
+            inner: Some(inner),
+            retries: 0,
+            reconnects: 0,
+        })
+    }
+
+    /// Attempts re-issued beyond each request's first try.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Connections re-established after ambiguous failures.
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Run `op` with the retry schedule. `salt` decorrelates the jitter
+    /// streams of concurrent callers (pass a per-client or per-request
+    /// id).
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error, or any terminal (non-transient) error
+    /// immediately.
+    pub fn with_retry<T>(
+        &mut self,
+        salt: u64,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let attempts = self.policy.attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            let client = match self.inner.as_mut() {
+                Some(c) => c,
+                None => {
+                    self.reconnects += 1;
+                    self.inner = Some(Client::connect_retry(&self.addr, self.connect_timeout)?);
+                    self.inner.as_mut().expect("just connected")
+                }
+            };
+            let err = match op(client) {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let Some(reconnect) = is_transient(&err) else {
+                return Err(err);
+            };
+            if reconnect {
+                // Drop the stream: any in-flight bytes from the failed
+                // exchange die with it, so a stale response can never be
+                // misread as the answer to the re-issued request.
+                self.inner = None;
+            }
+            attempt += 1;
+            if attempt >= attempts {
+                return Err(err);
+            }
+            self.retries += 1;
+            std::thread::sleep(self.policy.backoff(attempt - 1, salt));
+        }
+    }
+
+    /// [`Client::tpu_gemm`] with retries.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryClient::with_retry`].
+    pub fn tpu_gemm(
+        &mut self,
+        m: usize,
+        n: usize,
+        k: usize,
+        hw: &TpuHwSpec,
+        salt: u64,
+    ) -> Result<TpuEstimate, ClientError> {
+        self.with_retry(salt, |c| c.tpu_gemm(m, n, k, hw))
+    }
+
+    /// [`Client::batch`] with retries (all-or-nothing per attempt).
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryClient::with_retry`].
+    pub fn batch(
+        &mut self,
+        works: &[Work],
+        deadline_ms: Option<u64>,
+        salt: u64,
+    ) -> Result<Vec<BatchItemResult>, ClientError> {
+        self.with_retry(salt, |c| c.batch(works, deadline_ms))
+    }
+
+    /// [`Client::stats`] with retries.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryClient::with_retry`].
+    pub fn stats(&mut self, salt: u64) -> Result<StatsSnapshot, ClientError> {
+        self.with_retry(salt, Client::stats)
+    }
+
+    /// [`Client::call`] with retries, for raw request lines.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryClient::with_retry`].
+    pub fn call(&mut self, line: &str, salt: u64) -> Result<Response, ClientError> {
+        self.with_retry(salt, |c| match c.call(line)? {
+            Response::Error { kind, detail, .. } => Err(ClientError::Server { kind, detail }),
+            other => Ok(other),
+        })
+    }
+
+    /// One-shot graceful shutdown — never retried (a lost ack after the
+    /// server began draining must not turn into a second shutdown racing
+    /// the first).
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or typed server errors.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.inner.as_mut() {
+            Some(c) => c.shutdown_server(),
+            None => {
+                self.reconnects += 1;
+                let c = Client::connect_retry(&self.addr, self.connect_timeout)?;
+                self.inner = Some(c);
+                self.inner
+                    .as_mut()
+                    .expect("just connected")
+                    .shutdown_server()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let p = RetryPolicy::default();
+        for attempt in 0..8 {
+            for salt in [0u64, 1, 99] {
+                let d = p.backoff(attempt, salt);
+                assert_eq!(d, p.backoff(attempt, salt), "same inputs, same sleep");
+                let ceiling = p
+                    .base_delay
+                    .saturating_mul(1u32 << attempt)
+                    .min(p.max_delay);
+                assert!(d <= ceiling, "attempt {attempt}: {d:?} > {ceiling:?}");
+                assert!(
+                    d >= ceiling.mul_f64(0.5),
+                    "attempt {attempt}: {d:?} below the jitter floor"
+                );
+            }
+        }
+        // Jitter actually varies across salts.
+        assert_ne!(p.backoff(3, 1), p.backoff(3, 2));
+    }
+
+    #[test]
+    fn transient_classification() {
+        use std::io::ErrorKind as Io;
+        assert_eq!(
+            is_transient(&ClientError::Io(io::Error::from(Io::ConnectionReset))),
+            Some(true)
+        );
+        assert_eq!(
+            is_transient(&ClientError::Malformed("half a line".into())),
+            Some(true)
+        );
+        for kind in [
+            ErrorKind::Busy,
+            ErrorKind::WorkerCrashed,
+            ErrorKind::Deadline,
+        ] {
+            assert_eq!(
+                is_transient(&ClientError::Server {
+                    kind,
+                    detail: String::new()
+                }),
+                Some(false),
+                "{kind} must retry without reconnecting"
+            );
+        }
+        for kind in [
+            ErrorKind::Parse,
+            ErrorKind::BadRequest,
+            ErrorKind::ShuttingDown,
+        ] {
+            assert_eq!(
+                is_transient(&ClientError::Server {
+                    kind,
+                    detail: String::new()
+                }),
+                None,
+                "{kind} must be terminal"
+            );
         }
     }
 }

@@ -45,7 +45,10 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::LruCache;
-pub use client::{BatchItemResult, Client, ClientError, Estimate};
+pub use client::{
+    BatchItemResult, Client, ClientError, Estimate, RetryClient, RetryPolicy,
+    DEFAULT_CONNECT_TIMEOUT,
+};
 pub use key::canonical_key;
 pub use protocol::{
     ErrorKind, EstimateRequest, GpuEstimate, Request, Response, StatsSnapshot, SweepError,

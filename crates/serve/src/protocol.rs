@@ -96,6 +96,10 @@ pub enum ErrorKind {
     BadRequest,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// The worker running the simulation panicked. The request itself is
+    /// answered (never hung); since estimates are idempotent under
+    /// canonical cache keys, a client may safely retry.
+    WorkerCrashed,
 }
 
 impl ErrorKind {
@@ -107,6 +111,7 @@ impl ErrorKind {
             ErrorKind::Parse => "parse",
             ErrorKind::BadRequest => "bad-request",
             ErrorKind::ShuttingDown => "shutting-down",
+            ErrorKind::WorkerCrashed => "worker-crashed",
         }
     }
 
@@ -118,6 +123,7 @@ impl ErrorKind {
             "parse" => ErrorKind::Parse,
             "bad-request" => ErrorKind::BadRequest,
             "shutting-down" => ErrorKind::ShuttingDown,
+            "worker-crashed" => ErrorKind::WorkerCrashed,
             _ => return None,
         })
     }
@@ -246,6 +252,14 @@ pub struct StatsSnapshot {
     pub batch_misses: u64,
     /// Batch items answered with a typed error (deadline, busy, draining).
     pub batch_errors: u64,
+    /// Simulations that panicked on a worker; each was answered with a
+    /// typed `worker-crashed` error, never hung.
+    pub worker_crashes: u64,
+    /// Faults the armed fault plan decided to inject (0 when unarmed).
+    pub faults_injected: u64,
+    /// Faults the serve seams actually applied; conservation demands this
+    /// equal `faults_injected` at any quiescent point.
+    pub faults_observed: u64,
 }
 
 /// Any response the server emits, as decoded by the client.
@@ -940,7 +954,8 @@ pub fn stats_body(s: &StatsSnapshot) -> String {
          \"busy_rejections\":{},\"deadline_expired\":{},\"parse_errors\":{},\
          \"latency_us_total\":{},\"latency_us_max\":{},\"workers\":{},\
          \"batches\":{},\"batch_items\":{},\"batch_hits\":{},\"batch_misses\":{},\
-         \"batch_errors\":{}}}",
+         \"batch_errors\":{},\"worker_crashes\":{},\"faults_injected\":{},\
+         \"faults_observed\":{}}}",
         s.requests,
         s.hits,
         s.misses,
@@ -959,7 +974,10 @@ pub fn stats_body(s: &StatsSnapshot) -> String {
         s.batch_items,
         s.batch_hits,
         s.batch_misses,
-        s.batch_errors
+        s.batch_errors,
+        s.worker_crashes,
+        s.faults_injected,
+        s.faults_observed
     )
 }
 
@@ -1101,6 +1119,9 @@ pub fn parse_response(line: &str) -> Result<Response, RequestError> {
             batch_hits: need_u64(s, "batch_hits")?,
             batch_misses: need_u64(s, "batch_misses")?,
             batch_errors: need_u64(s, "batch_errors")?,
+            worker_crashes: need_u64(s, "worker_crashes")?,
+            faults_injected: need_u64(s, "faults_injected")?,
+            faults_observed: need_u64(s, "faults_observed")?,
         };
         return Ok(Response::Stats { id, stats });
     }

@@ -32,22 +32,37 @@
 //! answered inline by the reader without consuming a worker slot;
 //! duplicate canonical keys within one batch collapse onto a single
 //! simulation (the first item is the miss, followers are hits). The misses
-//! become one shared [`BatchRun`] work list driven by at most
+//! become one shared `BatchRun` work list driven by at most
 //! `batch_chunk` runner jobs; each runner re-enqueues itself at the *back*
 //! of the pool FIFO after every simulation, so a giant sweep cannot starve
 //! interleaved single requests or other batches. The batch counters keep
 //! the invariant `batch_hits + batch_misses + batch_errors == batch_items`
 //! at any quiescent point.
+//!
+//! # Fault seams
+//!
+//! When [`ServerConfig::faults`] carries an armed [`FaultPoint`], the
+//! server consults it at every I/O and dispatch seam: per request line
+//! read (`read`), per response line written (`write`, `partial`, `delay`),
+//! and per simulation dispatched (`panic`, `deadline`). Every seam is a
+//! single `Option` branch when unarmed — the production path pays nothing.
+//! Injected socket faults shut the stream down `Both` ways explicitly
+//! because `shared.conns` holds a dup'd handle that would otherwise keep
+//! the FD open; injected panics are raised *inside* the dispatch
+//! `catch_unwind` so the client always receives a typed `worker-crashed`
+//! response instead of a hole in the writer's sequence space.
 
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind as IoErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use iconv_faults::{FaultPoint, FaultSite, Injection};
 use iconv_par::{Job, PoolBusy, WorkerPool};
 use iconv_trace::TraceSink;
 
@@ -75,6 +90,10 @@ pub struct ServerConfig {
     /// Items beyond the chunk wait on the batch's own work list, so one
     /// giant sweep never monopolizes the queue against other clients.
     pub batch_chunk: usize,
+    /// Armed fault plan consulted at the I/O and dispatch seams (see the
+    /// module-level *Fault seams* notes). `None` — the production default
+    /// — compiles every seam down to a branch on this `Option`.
+    pub faults: Option<Arc<dyn FaultPoint>>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +104,7 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             cache_capacity: 16 * 1024,
             batch_chunk: 0,
+            faults: None,
         }
     }
 }
@@ -104,6 +124,7 @@ struct Counters {
     batch_hits: AtomicU64,
     batch_misses: AtomicU64,
     batch_errors: AtomicU64,
+    worker_crashes: AtomicU64,
 }
 
 impl Counters {
@@ -119,6 +140,8 @@ struct Shared {
     cache: Mutex<LruCache>,
     pool: WorkerPool,
     workers: usize,
+    /// Armed fault plan, if any (see [`ServerConfig::faults`]).
+    faults: Option<Arc<dyn FaultPoint>>,
     /// Resolved in-flight runner cap per batch (see [`ServerConfig::batch_chunk`]).
     batch_chunk: usize,
     shutting_down: AtomicBool,
@@ -131,6 +154,14 @@ struct Shared {
 }
 
 impl Shared {
+    /// The report cache, tolerant of lock poisoning: a connection thread
+    /// that panicked while holding the lock must not cascade into every
+    /// other connection (the cache's own operations never leave an entry
+    /// half-written — worst case the poisoned insert is simply absent).
+    fn cache(&self) -> MutexGuard<'_, LruCache> {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     fn request_shutdown(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
         let mut req = self
@@ -145,7 +176,7 @@ impl Shared {
     fn snapshot(&self) -> StatsSnapshot {
         let c = &self.counters;
         let (cache_entries, cache_capacity, evictions) = {
-            let cache = self.cache.lock().expect("cache poisoned");
+            let cache = self.cache();
             (
                 cache.len() as u64,
                 cache.capacity() as u64,
@@ -154,6 +185,10 @@ impl Shared {
         };
         let (queue_depth, in_flight) =
             (self.pool.queue_depth() as u64, self.pool.in_flight() as u64);
+        let (faults_injected, faults_observed) = self.faults.as_ref().map_or((0, 0), |f| {
+            let fc = f.counters();
+            (fc.injected_total(), fc.observed_total())
+        });
         StatsSnapshot {
             requests: c.served.load(Ordering::Relaxed),
             hits: c.hits.load(Ordering::Relaxed),
@@ -174,6 +209,9 @@ impl Shared {
             batch_hits: c.batch_hits.load(Ordering::Relaxed),
             batch_misses: c.batch_misses.load(Ordering::Relaxed),
             batch_errors: c.batch_errors.load(Ordering::Relaxed),
+            worker_crashes: c.worker_crashes.load(Ordering::Relaxed),
+            faults_injected,
+            faults_observed,
         }
     }
 
@@ -197,6 +235,22 @@ impl Shared {
         sink.counter("serve.batch.hits", s.batch_hits);
         sink.counter("serve.batch.misses", s.batch_misses);
         sink.counter("serve.batch.errors", s.batch_errors);
+        sink.counter("serve.worker_crashes", s.worker_crashes);
+        sink.counter("serve.fault.injected", s.faults_injected);
+        sink.counter("serve.fault.observed", s.faults_observed);
+        if let Some(f) = &self.faults {
+            let fc = f.counters();
+            for site in FaultSite::ALL {
+                sink.counter(
+                    &format!("serve.fault.injected.{}", site.name()),
+                    fc.injected[site.index()],
+                );
+                sink.counter(
+                    &format!("serve.fault.observed.{}", site.name()),
+                    fc.observed[site.index()],
+                );
+            }
+        }
     }
 }
 
@@ -297,6 +351,7 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         shutting_down: AtomicBool::new(false),
         shutdown_requested: Mutex::new(false),
         shutdown_cv: Condvar::new(),
+        faults: cfg.faults,
         conns: Mutex::new(Vec::new()),
         conn_threads: Mutex::new(Vec::new()),
     });
@@ -339,14 +394,26 @@ fn start_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
         .expect("conns poisoned")
         .push(stream.try_clone()?);
     let (tx, rx) = channel::<(u64, String)>();
-    let writer = std::thread::Builder::new()
-        .name("iconv-serve-write".to_owned())
-        .spawn(move || writer_loop(stream, &rx))?;
+    // Per-connection containment: a panic inside either half is absorbed
+    // here, tearing down only this connection's threads — the acceptor,
+    // the pool, and every other connection stay up.
+    let writer = {
+        let faults = shared.faults.clone();
+        std::thread::Builder::new()
+            .name("iconv-serve-write".to_owned())
+            .spawn(move || {
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    writer_loop(stream, &rx, faults.as_ref());
+                }));
+            })?
+    };
     let reader = {
         let shared = Arc::clone(shared);
         std::thread::Builder::new()
             .name("iconv-serve-read".to_owned())
-            .spawn(move || reader_loop(read_half, &shared, &tx))?
+            .spawn(move || {
+                let _ = catch_unwind(AssertUnwindSafe(|| reader_loop(read_half, &shared, &tx)));
+            })?
     };
     let mut threads = shared.conn_threads.lock().expect("threads poisoned");
     threads.push(writer);
@@ -356,11 +423,41 @@ fn start_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
 
 /// Reassemble `(seq, line)` messages into ascending-`seq` order and write
 /// them out, flushing whenever the channel momentarily runs dry.
-fn writer_loop(stream: TcpStream, rx: &std::sync::mpsc::Receiver<(u64, String)>) {
+fn writer_loop(
+    stream: TcpStream,
+    rx: &std::sync::mpsc::Receiver<(u64, String)>,
+    faults: Option<&Arc<dyn FaultPoint>>,
+) {
     let mut out = BufWriter::new(stream);
     let mut next_seq = 0u64;
     let mut held: BinaryHeap<std::cmp::Reverse<(u64, String)>> = BinaryHeap::new();
     let write = |out: &mut BufWriter<TcpStream>, line: &str| -> bool {
+        // Fault seams, consulted once per response line. A `Delay` stalls
+        // mid-stream with everything so far flushed (slow-loris); a
+        // `PartialWrite` flushes a prefix of the line and drops the
+        // connection; a `SockWrite` drops it cold. The explicit
+        // `Shutdown::Both` matters: `shared.conns` holds a dup'd handle
+        // that would otherwise keep the socket open and the client blocked.
+        if let Some(f) = faults {
+            if let Some(Injection::Delay { ms }) = f.decide(FaultSite::Delay) {
+                let _ = out.flush();
+                std::thread::sleep(Duration::from_millis(ms));
+                f.observe(FaultSite::Delay);
+            }
+            if let Some(Injection::PartialWrite { keep }) = f.decide(FaultSite::PartialWrite) {
+                let keep = keep.min(line.len());
+                let _ = out.write_all(&line.as_bytes()[..keep]);
+                let _ = out.flush();
+                let _ = out.get_ref().shutdown(Shutdown::Both);
+                f.observe(FaultSite::PartialWrite);
+                return false;
+            }
+            if f.decide(FaultSite::SockWrite).is_some() {
+                let _ = out.get_ref().shutdown(Shutdown::Both);
+                f.observe(FaultSite::SockWrite);
+                return false;
+            }
+        }
         out.write_all(line.as_bytes()).is_ok() && out.write_all(b"\n").is_ok()
     };
     'recv: while let Ok(msg) = rx.recv() {
@@ -393,17 +490,33 @@ fn writer_loop(stream: TcpStream, rx: &std::sync::mpsc::Receiver<(u64, String)>)
 }
 
 fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, tx: &Sender<(u64, String)>) {
-    let reader = BufReader::new(stream);
+    let mut reader = BufReader::new(stream);
     let mut seq = 0u64;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
         if line.trim().is_empty() {
             continue;
+        }
+        // Fault seam: an injected read error behaves exactly like a
+        // mid-request network failure — the socket is shut down both ways
+        // so the client sees the drop rather than a stall (the dup'd
+        // handle in `shared.conns` would otherwise hold it open).
+        if let Some(f) = &shared.faults {
+            if f.decide(FaultSite::SockRead).is_some() {
+                f.observe(FaultSite::SockRead);
+                let _ = reader.get_ref().shutdown(Shutdown::Both);
+                break;
+            }
         }
         // A request consumes as many sequence numbers as it will emit
         // response lines (1 for everything except `batch`, which spans
         // n items + 1 summary).
-        seq += handle_line(&line, seq, shared, tx);
+        seq += handle_line(line.trim_end(), seq, shared, tx);
     }
 }
 
@@ -473,12 +586,48 @@ impl BatchRun {
                 return;
             }
         }
-        let body = engine::evaluate(&sim.work);
-        self.shared
-            .cache
-            .lock()
-            .expect("cache poisoned")
-            .insert(sim.key, body.clone());
+        // Fault seams (mirrors the single-estimate job): a deadline storm
+        // expires the whole dedup group; an injected panic is caught here
+        // so every owed item line is still sent — the batch summary and
+        // the writer's seq reassembly both depend on nothing going missing.
+        if let Some(f) = &self.shared.faults {
+            if f.decide(FaultSite::DeadlineStorm).is_some() {
+                f.observe(FaultSite::DeadlineStorm);
+                c.deadline.fetch_add(k as u64, Ordering::Relaxed);
+                c.batch_errors.fetch_add(k as u64, Ordering::Relaxed);
+                self.errors.fetch_add(k as u64, Ordering::Relaxed);
+                let body = error_body(ErrorKind::Deadline, "deadline expired in queue");
+                for &i in &sim.items {
+                    self.send_item(i, &body);
+                }
+                self.items_done(k);
+                return;
+            }
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(f) = &self.shared.faults {
+                if f.decide(FaultSite::WorkerPanic).is_some() {
+                    f.observe(FaultSite::WorkerPanic);
+                    panic!("iconv-faults: injected worker panic");
+                }
+            }
+            engine::evaluate(&sim.work)
+        }));
+        let body = match outcome {
+            Ok(body) => body,
+            Err(_) => {
+                c.worker_crashes.fetch_add(1, Ordering::Relaxed);
+                c.batch_errors.fetch_add(k as u64, Ordering::Relaxed);
+                self.errors.fetch_add(k as u64, Ordering::Relaxed);
+                let body = error_body(ErrorKind::WorkerCrashed, "simulation worker panicked");
+                for &i in &sim.items {
+                    self.send_item(i, &body);
+                }
+                self.items_done(k);
+                return;
+            }
+        };
+        self.shared.cache().insert(sim.key, body.clone());
         // The first item of a dedup group is the miss that paid for the
         // simulation; followers are hits by construction.
         c.misses.fetch_add(1, Ordering::Relaxed);
@@ -590,7 +739,7 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
             let cache_key = key::canonical_key(&req.work);
             // Hit fast path: served inline by the reader, deadline ignored
             // (a hit costs microseconds).
-            let cached = shared.cache.lock().expect("cache poisoned").get(&cache_key);
+            let cached = shared.cache().get(&cache_key);
             if let Some(body) = cached {
                 shared.counters.hits.fetch_add(1, Ordering::Relaxed);
                 shared.counters.served.fetch_add(1, Ordering::Relaxed);
@@ -616,12 +765,52 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
                         return;
                     }
                 }
-                let body = engine::evaluate(&req.work);
-                job_shared
-                    .cache
-                    .lock()
-                    .expect("cache poisoned")
-                    .insert(cache_key, body.clone());
+                // Fault seams: a deadline storm expires the request as if
+                // it had aged out in the queue; an injected panic is raised
+                // *inside* this catch so the typed `worker-crashed` line is
+                // always emitted — a swallowed seq would wedge the writer's
+                // reorder heap and hang the connection forever.
+                if let Some(f) = &job_shared.faults {
+                    if f.decide(FaultSite::DeadlineStorm).is_some() {
+                        f.observe(FaultSite::DeadlineStorm);
+                        job_shared.counters.deadline.fetch_add(1, Ordering::Relaxed);
+                        let _ = job_tx.send((
+                            seq,
+                            finish_response(
+                                req.id.as_deref(),
+                                &error_body(ErrorKind::Deadline, "deadline expired in queue"),
+                            ),
+                        ));
+                        return;
+                    }
+                }
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(f) = &job_shared.faults {
+                        if f.decide(FaultSite::WorkerPanic).is_some() {
+                            f.observe(FaultSite::WorkerPanic);
+                            panic!("iconv-faults: injected worker panic");
+                        }
+                    }
+                    engine::evaluate(&req.work)
+                }));
+                let body = match outcome {
+                    Ok(body) => body,
+                    Err(_) => {
+                        job_shared
+                            .counters
+                            .worker_crashes
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = job_tx.send((
+                            seq,
+                            finish_response(
+                                req.id.as_deref(),
+                                &error_body(ErrorKind::WorkerCrashed, "simulation worker panicked"),
+                            ),
+                        ));
+                        return;
+                    }
+                };
+                job_shared.cache().insert(cache_key, body.clone());
                 job_shared.counters.misses.fetch_add(1, Ordering::Relaxed);
                 job_shared.counters.served.fetch_add(1, Ordering::Relaxed);
                 job_shared.counters.record_latency(t0);
@@ -690,7 +879,7 @@ fn handle_batch(
     let mut owed = 0usize;
     for (i, work) in items.into_iter().enumerate() {
         let cache_key = key::canonical_key(&work);
-        let cached = shared.cache.lock().expect("cache poisoned").get(&cache_key);
+        let cached = shared.cache().get(&cache_key);
         if let Some(body) = cached {
             c.hits.fetch_add(1, Ordering::Relaxed);
             c.batch_hits.fetch_add(1, Ordering::Relaxed);

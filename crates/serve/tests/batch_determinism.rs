@@ -5,19 +5,17 @@
 //! cache was cold or warm, or whether the batch arrived as an item array
 //! or an equivalent sweep spec.
 
-use std::time::Duration;
-
 use iconv_api::table::workload_works;
 use iconv_api::{SweepSpec, SweepTarget, TpuHwSpec, Work};
 use iconv_serve::protocol::{encode_batch, encode_sweep};
-use iconv_serve::{spawn, Client, ServerConfig, StatsSnapshot};
+use iconv_serve::{spawn, Client, ServerConfig, StatsSnapshot, DEFAULT_CONNECT_TIMEOUT};
 use iconv_tensor::{ConvShape, Layout};
 use iconv_tpusim::SimMode;
 
 /// Replay `works` as batches of `batch` items on one connection and
 /// return the raw reply transcript (every line, in arrival order).
 fn replay(addr: &str, works: &[Work], batch: usize) -> Vec<String> {
-    let mut client = Client::connect_retry(addr, Duration::from_secs(5)).expect("connect");
+    let mut client = Client::connect_retry(addr, DEFAULT_CONNECT_TIMEOUT).expect("connect");
     let mut transcript = Vec::new();
     for chunk in works.chunks(batch) {
         client
@@ -125,7 +123,7 @@ fn sweep_form_is_byte_identical_to_its_item_expansion() {
 
     let handle = spawn(ServerConfig::default()).expect("spawn serve");
     let addr = handle.local_addr().to_string();
-    let mut client = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+    let mut client = Client::connect_retry(&addr, DEFAULT_CONNECT_TIMEOUT).expect("connect");
 
     let mut read_span = |line: &str, n: usize| -> Vec<String> {
         client.send_line(line).expect("send");

@@ -257,7 +257,7 @@ proptest! {
     /// variants.
     #[test]
     fn control_response_roundtrip(vals in (0u64..1 << 50, 0u64..1 << 50, 0u64..1 << 50),
-                                  kind_ix in 0usize..5,
+                                  kind_ix in 0usize..6,
                                   detail in id_strategy(),
                                   id in id_strategy()) {
         let stats = StatsSnapshot {
@@ -280,6 +280,9 @@ proptest! {
             batch_hits: vals.2 % 23,
             batch_misses: vals.0 % 29,
             batch_errors: vals.1 % 31,
+            worker_crashes: vals.2 % 37,
+            faults_injected: vals.0 % 41,
+            faults_observed: vals.0 % 41,
         };
         let line = finish_response(id.as_deref(), &stats_body(&stats));
         match parse_response(&line) {
@@ -296,6 +299,7 @@ proptest! {
             ErrorKind::Parse,
             ErrorKind::BadRequest,
             ErrorKind::ShuttingDown,
+            ErrorKind::WorkerCrashed,
         ][kind_ix];
         let detail = detail.unwrap_or_default();
         let line = finish_response(id.as_deref(), &error_body(kind, &detail));

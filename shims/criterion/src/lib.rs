@@ -6,8 +6,9 @@
 //! `criterion_group!` / `criterion_main!` macros — backed by a simple
 //! wall-clock harness.
 //!
-//! Each benchmark is warmed up, then timed in batches until
-//! [`Criterion::MEASURE_TARGET`] elapses; the reported figure is mean
+//! Each benchmark is warmed up, then timed in batches until the
+//! measurement budget ([`Criterion::measurement_time`]) elapses; the
+//! reported figure is mean
 //! nanoseconds per iteration over the measured batches. Results print as
 //! aligned human-readable lines and, additionally, as machine-readable
 //! `BENCHJSON {...}` lines that tooling (`scripts`, `BENCH_baseline.json`

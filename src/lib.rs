@@ -51,6 +51,7 @@
 pub use iconv_api as api;
 pub use iconv_core as core;
 pub use iconv_dram as dram;
+pub use iconv_faults as faults;
 pub use iconv_gpusim as gpusim;
 pub use iconv_models as models;
 pub use iconv_serve as serve;
