@@ -101,6 +101,7 @@ mod tests {
             word_elems: Some(8),
             mxus: Some(1),
             layout: Some(iconv_tensor::Layout::Hwcn),
+            schedule: Some(iconv_core::PipelineSchedule::SingleBuffered),
         };
         let a = canonical_key(&Work::TpuConv {
             shape: shape(),
@@ -161,6 +162,10 @@ mod tests {
                         },
                         TpuHwSpec {
                             array: Some(256),
+                            ..TpuHwSpec::default()
+                        },
+                        TpuHwSpec {
+                            schedule: Some(iconv_core::PipelineSchedule::DoubleBuffered),
                             ..TpuHwSpec::default()
                         },
                     ] {

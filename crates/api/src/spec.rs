@@ -1,5 +1,6 @@
 //! Hardware selection: chip presets plus optional overrides.
 
+use iconv_core::PipelineSchedule;
 use iconv_tensor::Layout;
 use iconv_tpusim::{TpuConfig, TpuConfigError};
 
@@ -41,6 +42,10 @@ pub struct TpuHwSpec {
     pub mxus: Option<usize>,
     /// DRAM IFMap layout override (default: the chip's, i.e. `HWCN`).
     pub layout: Option<Layout>,
+    /// DMA pipeline schedule override (default: the chip's single-buffered
+    /// per-chunk barrier; `DoubleBuffered` models a tuned prefetch that
+    /// hides fill cycles behind steady-state compute).
+    pub schedule: Option<PipelineSchedule>,
 }
 
 impl TpuHwSpec {
@@ -67,6 +72,9 @@ impl TpuHwSpec {
         }
         if let Some(l) = self.layout {
             b = b.ifmap_layout(l);
+        }
+        if let Some(s) = self.schedule {
+            b = b.schedule(s);
         }
         b.build()
     }
@@ -96,11 +104,13 @@ mod tests {
             word_elems: Some(16),
             mxus: Some(4),
             layout: Some(Layout::Nchw),
+            schedule: Some(PipelineSchedule::DoubleBuffered),
         });
         assert_eq!(cfg.array.rows, 256);
         assert_eq!(cfg.vector_mem.word_elems, 16);
         assert_eq!(cfg.mxus, 4);
         assert_eq!(cfg.ifmap_layout, Layout::Nchw);
+        assert_eq!(cfg.schedule, PipelineSchedule::DoubleBuffered);
         assert_eq!(resolve_tpu(&TpuHwSpec::default()), TpuConfig::tpu_v2());
     }
 

@@ -11,15 +11,19 @@ use std::hint::black_box;
 
 fn bench_reference_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("reference_gemm");
-    for n in [32usize, 64, 128] {
+    for n in [32usize, 64, 128, 256] {
         let a = Matrix::<f32>::from_fn(n, n, |r, s| (r * 31 + s) as f32 * 0.01);
         let b = Matrix::<f32>::from_fn(n, n, |r, s| (r + s * 17) as f32 * 0.01);
         g.throughput(criterion::Throughput::Elements((n * n * n) as u64));
         g.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
-            bch.iter(|| black_box(&a).matmul(&b))
+            bch.iter(|| black_box(&a).reference_gemm(&b))
         });
-        g.bench_with_input(BenchmarkId::new("blocked32", n), &n, |bch, _| {
-            bch.iter(|| black_box(&a).matmul_blocked(&b, 32))
+        g.bench_with_input(BenchmarkId::new("packed", n), &n, |bch, _| {
+            let mut ws = iconv_tensor::GemmWorkspace::new();
+            bch.iter(|| black_box(&a).matmul_with(&b, &mut ws))
+        });
+        g.bench_with_input(BenchmarkId::new("packed_par", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).par_matmul(&b))
         });
     }
     g.finish();

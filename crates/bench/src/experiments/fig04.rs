@@ -106,6 +106,48 @@ pub fn report() -> String {
         100.0 * drops2.iter().sum::<f64>() / drops2.len() as f64,
         100.0 * drops4.iter().sum::<f64>() / drops4.len() as f64
     );
+
+    // Tuned-schedule column: the same TPU sweep under the double-buffered
+    // DMA schedule, which prefetches the next SRAM chunk behind steady-state
+    // compute. Overlap may hide exposed fill cycles but can never slow a
+    // layer down, so `tuned >= conv` holds row by row (the invariant the
+    // paper-invariants battery pins across the whole workload table).
+    banner(
+        &mut out,
+        "Fig. 4b (tuned): TPU TFLOPS, single- vs double-buffered schedule",
+    );
+    header(
+        &mut out,
+        &[
+            "layer", "s1 conv", "s1 tuned", "s2 conv", "s2 tuned", "s4 conv", "s4 tuned",
+        ],
+        &[16, 8, 8, 8, 8, 8, 8],
+    );
+    let tuned_cfg = TpuConfig::builder()
+        .schedule(iconv_core::PipelineSchedule::DoubleBuffered)
+        .build()
+        .expect("tuned schedule config");
+    let tuned = Simulator::new(tuned_cfg);
+    for i in 0..4 {
+        let mut cells = vec![format!(
+            "{:>16}",
+            resnet_representative_layers(batch, 1)[i]
+                .name
+                .trim_end_matches("-s1")
+        )];
+        for stride in [1usize, 2, 4] {
+            let layer = &resnet_representative_layers(batch, stride)[i];
+            let sb = tpu
+                .simulate_conv(&layer.name, &layer.shape, SimMode::ChannelFirst)
+                .tflops(tpu.config());
+            let db = tuned
+                .simulate_conv(&layer.name, &layer.shape, SimMode::ChannelFirst)
+                .tflops(tuned.config());
+            cells.push(format!("{sb:>8.1}"));
+            cells.push(format!("{db:>8.1}"));
+        }
+        crate::outln!(out, "{}", cells.join("  "));
+    }
     out
 }
 

@@ -125,11 +125,14 @@ pub fn conv_implicit_channel_first<T: Scalar>(
     assert_eq!(ifmap.dims(), ifmap_dims(shape), "ifmap dims mismatch");
     assert_eq!(filter.dims(), filter_dims(shape), "filter dims mismatch");
     let mut out = Matrix::<T>::zeros(shape.lowered_rows(), shape.co);
+    let mut ws = iconv_tensor::GemmWorkspace::new();
     for group in schedule.groups() {
-        // One merged GEMM per group (associativity of GEMM).
+        // One merged GEMM per group (associativity of GEMM); the packing
+        // workspace is reused across groups so the per-group multiply is
+        // allocation-free in steady state.
         let a = group.a_merged(shape, ifmap);
         let b = group.b_merged(shape, filter);
-        let partial = a.matmul(&b);
+        let partial = a.matmul_with(&b, &mut ws);
         for r in 0..out.rows() {
             for c in 0..out.cols() {
                 out[(r, c)] += partial[(r, c)];

@@ -60,5 +60,5 @@ pub use algo::ConvAlgorithm;
 pub use block::{BlockConfig, BlockDecomposition, FetchOrder, KSlice, OutputBlock};
 pub use decompose::FilterTile;
 pub use lowered::LoweredView;
-pub use schedule::{tpu_group_size, TileGroup, TileSchedule};
+pub use schedule::{chunked_steady, tpu_group_size, PipelineSchedule, TileGroup, TileSchedule};
 pub use sparse::SparseFilter;

@@ -38,6 +38,109 @@ pub fn tpu_group_size(array_rows: usize, ci: usize, wf: usize) -> usize {
     array_rows.div_ceil(ci.max(1)).min(wf).max(1)
 }
 
+/// Steady-state cycles of a `chunks`-stage pipeline with a per-chunk
+/// barrier: compute and memory totals are distributed across the stages with
+/// the remainders riding on the leading chunks — chunk `i` runs
+/// `max(compute_i, mem_i)` where `compute_i = compute/chunks + (i < compute
+/// % chunks)` (same for memory). Closed form of `Σᵢ max(compute_i, mem_i)`
+/// over the three index bands, so no per-chunk loop. The result is ≥ both
+/// totals, which is what makes `exposed = first_fill + steady − compute`
+/// non-negative by construction (the conservation invariant).
+///
+/// # Panics
+///
+/// Debug-asserts `chunks > 0`.
+pub fn chunked_steady(compute: u64, mem: u64, chunks: u64) -> u64 {
+    debug_assert!(chunks > 0);
+    let (qc, rc) = (compute / chunks, compute % chunks);
+    let (qm, rm) = (mem / chunks, mem % chunks);
+    let lo = rc.min(rm); // chunks where both carry a remainder cycle
+    let hi = rc.max(rm); // ...where exactly one does
+    let mid = if rc >= rm {
+        (qc + 1).max(qm)
+    } else {
+        qc.max(qm + 1)
+    };
+    lo * (qc.max(qm) + 1) + (hi - lo) * mid + (chunks - hi) * qc.max(qm)
+}
+
+/// SRAM fill / compute overlap discipline of a simulated accelerator
+/// pipeline — the schedule analogue of the host-side packed GEMM's
+/// double-buffered panel reuse.
+///
+/// Shared by `iconv-tpusim` (chunked DMA pipeline) and `iconv-gpusim`
+/// (shared-memory tile fills), and selectable through the serve wire
+/// protocol, so the paper tables can carry a tuned-schedule column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineSchedule {
+    /// Per-chunk barrier: chunk `i`'s fill overlaps chunk `i−1`'s compute,
+    /// but each chunk waits for its own fill *and* the previous compute —
+    /// steady state is `Σᵢ max(computeᵢ, memᵢ)` ([`chunked_steady`]).
+    #[default]
+    SingleBuffered,
+    /// Two-deep prefetch (cp.async-style): while chunk `i` computes, chunk
+    /// `i+1` streams into the alternate buffer, so after the exposed first
+    /// fill the two streams run freely — steady state is
+    /// `max(compute, mem − first_fill)`. Never slower than
+    /// [`PipelineSchedule::SingleBuffered`] (debug-asserted at every use).
+    DoubleBuffered,
+}
+
+impl PipelineSchedule {
+    /// Every variant, for sweeps.
+    pub const ALL: [Self; 2] = [Self::SingleBuffered, Self::DoubleBuffered];
+
+    /// Steady-state cycles after the exposed head `first_fill =
+    /// ceil(mem / chunks)`, under this schedule.
+    ///
+    /// Both forms satisfy the conservation preconditions the reports
+    /// assert: `steady ≥ compute` and `first_fill + steady ≥ mem`. The
+    /// double-buffered form is additionally bounded above by the
+    /// single-buffered one — overlap can hide fill cycles, never add them.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `chunks > 0` and the double-buffered ≤ single-buffered
+    /// bound.
+    pub fn steady_cycles(self, compute: u64, mem: u64, chunks: u64) -> u64 {
+        debug_assert!(chunks > 0);
+        match self {
+            Self::SingleBuffered => chunked_steady(compute, mem, chunks),
+            Self::DoubleBuffered => {
+                let first_fill = mem.div_ceil(chunks);
+                let steady = compute.max(mem - first_fill);
+                // Σᵢ max(cᵢ, mᵢ) ≥ max(C, M) ≥ max(C, M − ff): fill overlap
+                // may never make the tuned schedule slower.
+                debug_assert!(steady <= chunked_steady(compute, mem, chunks));
+                steady
+            }
+        }
+    }
+
+    /// Short stable token used in wire formats and cache keys.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Self::SingleBuffered => "single",
+            Self::DoubleBuffered => "double",
+        }
+    }
+
+    /// Inverse of [`PipelineSchedule::wire_name`].
+    pub fn from_wire(s: &str) -> Option<Self> {
+        match s {
+            "single" => Some(Self::SingleBuffered),
+            "double" => Some(Self::DoubleBuffered),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PipelineSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
 /// A group of filter tiles executed as one merged GEMM.
 ///
 /// The merged operands are the horizontal/vertical concatenations of the
@@ -323,5 +426,77 @@ mod tests {
     #[should_panic(expected = "at least one tile")]
     fn empty_group_panics() {
         let _ = TileGroup::new(vec![]);
+    }
+
+    #[test]
+    fn chunked_steady_matches_explicit_loop() {
+        for compute in [0u64, 1, 7, 100, 1023] {
+            for mem in [0u64, 1, 9, 100, 2048] {
+                for chunks in [1u64, 2, 3, 5, 16] {
+                    let mut want = 0;
+                    for i in 0..chunks {
+                        let c = compute / chunks + u64::from(i < compute % chunks);
+                        let m = mem / chunks + u64::from(i < mem % chunks);
+                        want += c.max(m);
+                    }
+                    assert_eq!(
+                        chunked_steady(compute, mem, chunks),
+                        want,
+                        "c={compute} m={mem} k={chunks}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_buffered_never_slower_and_stays_conserved() {
+        for compute in [0u64, 1, 7, 100, 900, 1023] {
+            for mem in [0u64, 1, 9, 100, 1000, 2048] {
+                for chunks in [1u64, 2, 3, 5, 16] {
+                    let sb = PipelineSchedule::SingleBuffered.steady_cycles(compute, mem, chunks);
+                    let db = PipelineSchedule::DoubleBuffered.steady_cycles(compute, mem, chunks);
+                    assert!(db <= sb, "db={db} sb={sb}");
+                    // Conservation preconditions both reports assert on.
+                    let first_fill = mem.div_ceil(chunks);
+                    for steady in [sb, db] {
+                        assert!(steady >= compute);
+                        assert!(first_fill + steady >= mem);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_buffered_hides_fill_exactly_when_compute_bound() {
+        // Compute-bound: all memory after the first fill hides entirely.
+        assert_eq!(
+            PipelineSchedule::DoubleBuffered.steady_cycles(1000, 400, 4),
+            1000
+        );
+        // Memory-bound: steady is the unhidden memory tail.
+        assert_eq!(
+            PipelineSchedule::DoubleBuffered.steady_cycles(100, 400, 4),
+            300
+        );
+        // Single-buffered pays the per-chunk barrier on the same point.
+        assert_eq!(
+            PipelineSchedule::SingleBuffered.steady_cycles(100, 400, 4),
+            400
+        );
+    }
+
+    #[test]
+    fn schedule_wire_names_round_trip() {
+        for s in PipelineSchedule::ALL {
+            assert_eq!(PipelineSchedule::from_wire(s.wire_name()), Some(s));
+            assert_eq!(s.to_string(), s.wire_name());
+        }
+        assert_eq!(PipelineSchedule::from_wire("triple"), None);
+        assert_eq!(
+            PipelineSchedule::default(),
+            PipelineSchedule::SingleBuffered
+        );
     }
 }

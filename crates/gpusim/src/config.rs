@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use iconv_core::BlockConfig;
+use iconv_core::{BlockConfig, PipelineSchedule};
 use iconv_dram::DramConfig;
 
 /// Static GPU parameters.
@@ -33,6 +33,12 @@ pub struct GpuConfig {
     /// average 1% gap to "low-level microarchitecture-specific
     /// optimizations unavailable to us").
     pub sw_pipeline_efficiency: f64,
+    /// Shared-memory fill / compute overlap discipline. The cp.async-style
+    /// `DoubleBuffered` prefetch (the CUDA SDK kernel the paper models) is
+    /// the default: `cycles = max(compute, memory) + launch`.
+    /// `SingleBuffered` is the serialized reference without prefetch:
+    /// `cycles = compute + memory + launch`.
+    pub schedule: PipelineSchedule,
 }
 
 impl GpuConfig {
@@ -49,6 +55,7 @@ impl GpuConfig {
             blocks_per_sm: 2,
             launch_cycles: 4_600,
             sw_pipeline_efficiency: 0.985,
+            schedule: PipelineSchedule::DoubleBuffered,
         }
     }
 
@@ -69,7 +76,7 @@ impl GpuConfig {
     pub fn canonical_key(&self) -> String {
         let d = &self.dram;
         format!(
-            "gpu;sms{};tc{};clk{};sh{};eb{};dram{},{},{},{},{},{},{},{};blk{}x{}x{};bpsm{};launch{};swpe{}",
+            "gpu;sms{};tc{};clk{};sh{};eb{};dram{},{},{},{},{},{},{},{};blk{}x{}x{};bpsm{};launch{};swpe{};sched{}",
             self.sms,
             self.tc_macs_per_sm_cycle,
             self.clock_mhz,
@@ -88,7 +95,8 @@ impl GpuConfig {
             self.block.bk,
             self.blocks_per_sm,
             self.launch_cycles,
-            self.sw_pipeline_efficiency
+            self.sw_pipeline_efficiency,
+            self.schedule
         )
     }
 }
@@ -210,6 +218,12 @@ impl GpuConfigBuilder {
     /// Replace the off-chip memory model wholesale.
     pub fn dram(mut self, dram: DramConfig) -> Self {
         self.cfg.dram = dram;
+        self
+    }
+
+    /// Shared-memory fill / compute overlap discipline.
+    pub fn schedule(mut self, schedule: PipelineSchedule) -> Self {
+        self.cfg.schedule = schedule;
         self
     }
 

@@ -80,8 +80,16 @@ pub fn time_kernel_with_penalty(
         (traffic.b_bytes + traffic.c_bytes) as f64 / (cfg.dram.bytes_per_cycle * bc_eff);
     let memory_cycles = a_cycles + bc_cycles;
 
+    // Schedule knob: the cp.async-style double-buffered prefetch (the CUDA
+    // SDK kernel the paper models, and the default) overlaps fills with
+    // compute; the single-buffered reference serializes them.
+    let overlapped = match cfg.schedule {
+        iconv_core::PipelineSchedule::DoubleBuffered => compute_cycles.max(memory_cycles),
+        iconv_core::PipelineSchedule::SingleBuffered => compute_cycles + memory_cycles,
+    };
+
     KernelTiming {
-        cycles: compute_cycles.max(memory_cycles) + cfg.launch_cycles as f64,
+        cycles: overlapped + cfg.launch_cycles as f64,
         compute_cycles,
         memory_cycles,
         blocks,
@@ -171,5 +179,24 @@ mod tests {
         );
         let ratio = t2.compute_cycles / t1.compute_cycles;
         assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn single_buffered_reference_serializes_fill_and_compute() {
+        use iconv_core::PipelineSchedule;
+        let sb_cfg = GpuConfig::builder()
+            .schedule(PipelineSchedule::SingleBuffered)
+            .build()
+            .unwrap();
+        let (m, n, k) = (16384, 4096, 4096);
+        let t = dense_traffic(m, n, k);
+        let db = time_kernel(&cfg(), m, n, k, &t, 1.0);
+        let sb = time_kernel(&sb_cfg, m, n, k, &t, 1.0);
+        // Default is double-buffered (the knob preserves historical numbers).
+        assert_eq!(cfg().schedule, PipelineSchedule::DoubleBuffered);
+        let launch = cfg().launch_cycles as f64;
+        assert_eq!(db.cycles, db.compute_cycles.max(db.memory_cycles) + launch);
+        assert_eq!(sb.cycles, sb.compute_cycles + sb.memory_cycles + launch);
+        assert!(sb.cycles > db.cycles);
     }
 }

@@ -23,6 +23,7 @@
 
 use std::fmt;
 
+use iconv_core::PipelineSchedule;
 use iconv_gpusim::GpuAlgo;
 use iconv_tensor::{ConvShape, Layout};
 use iconv_tpusim::SimMode;
@@ -679,12 +680,26 @@ fn parse_tpu_hw(v: Option<&Json>) -> Result<TpuHwSpec, RequestError> {
         None | Some(Json::Null) => None,
         Some(v) => Some(parse_layout(v)?),
     };
+    let schedule = match obj.get("schedule") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| RequestError::bad("\"schedule\" must be a string"))?;
+            Some(PipelineSchedule::from_wire(s).ok_or_else(|| {
+                RequestError::bad(format!(
+                    "unknown schedule {s:?} (expected single or double)"
+                ))
+            })?)
+        }
+    };
     let spec = TpuHwSpec {
         chip,
         array: opt("array")?,
         word_elems: opt("word_elems")?,
         mxus: opt("mxus")?,
         layout,
+        schedule,
     };
     // Validate through the typed config builder so an out-of-domain
     // override (e.g. an array size that underflows the SRAM budget) is a
@@ -775,6 +790,9 @@ fn push_tpu_hw(out: &mut String, hw: &TpuHwSpec) {
     }
     if let Some(l) = hw.layout {
         field(out, format!("\"layout\":\"{l}\""));
+    }
+    if let Some(s) = hw.schedule {
+        field(out, format!("\"schedule\":\"{s}\""));
     }
     out.push('}');
 }
@@ -1403,6 +1421,31 @@ mod tests {
         let e = parse_request(&line).unwrap_err();
         assert_eq!(e.kind, ErrorKind::BadRequest);
         assert!(e.detail.contains("invalid hw spec"), "{e}");
+    }
+
+    #[test]
+    fn schedule_override_parses_and_rejects_unknown_tokens() {
+        let layer = r#"{"n":1,"ci":32,"hi":8,"wi":8,"co":8,"hf":3,"wf":3}"#;
+        let line = format!(r#"{{"op":"conv","layer":{layer},"hw":{{"schedule":"double"}}}}"#);
+        let Ok(Request::Estimate(req)) = parse_request(&line) else {
+            panic!("schedule override should parse");
+        };
+        let Work::TpuConv { hw, .. } = req.work else {
+            panic!("expected tpu conv");
+        };
+        assert_eq!(hw.schedule, Some(PipelineSchedule::DoubleBuffered));
+        // Round-trip through the client encoder.
+        let re = encode_estimate(&EstimateRequest {
+            id: None,
+            work: req.work,
+            deadline_ms: None,
+        });
+        assert!(re.contains("\"schedule\":\"double\""), "{re}");
+
+        let bad = format!(r#"{{"op":"conv","layer":{layer},"hw":{{"schedule":"triple"}}}}"#);
+        let e = parse_request(&bad).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+        assert!(e.detail.contains("unknown schedule"), "{e}");
     }
 
     #[test]

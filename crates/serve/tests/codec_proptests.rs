@@ -9,6 +9,7 @@
 
 use proptest::prelude::*;
 
+use iconv_core::PipelineSchedule;
 use iconv_gpusim::GpuAlgo;
 use iconv_serve::protocol::{
     batch_summary_body, encode_batch, encode_estimate, encode_simple, error_body, f64_bits,
@@ -63,8 +64,13 @@ fn algo_strategy() -> impl proptest::strategy::Strategy<Value = GpuAlgo> {
 }
 
 fn hw_strategy() -> impl proptest::strategy::Strategy<Value = TpuHwSpec> {
-    (0u8..2, (0usize..=4, 0usize..=3, 0usize..=2), 0usize..=4).prop_map(
-        |(chip, (array, word, mxus), layout)| TpuHwSpec {
+    (
+        0u8..2,
+        (0usize..=4, 0usize..=3, 0usize..=2),
+        0usize..=4,
+        0usize..=2,
+    )
+        .prop_map(|(chip, (array, word, mxus), layout, sched)| TpuHwSpec {
             chip: if chip == 0 { TpuChip::V2 } else { TpuChip::V3 },
             array: [None, Some(64), Some(128), Some(256), Some(512)][array],
             word_elems: [None, Some(4), Some(8), Some(16)][word],
@@ -76,8 +82,12 @@ fn hw_strategy() -> impl proptest::strategy::Strategy<Value = TpuHwSpec> {
                 Some(Layout::Nchw),
                 Some(Layout::Chwn),
             ][layout],
-        },
-    )
+            schedule: [
+                None,
+                Some(PipelineSchedule::SingleBuffered),
+                Some(PipelineSchedule::DoubleBuffered),
+            ][sched],
+        })
 }
 
 /// Client ids with the characters that stress the string escaper: quotes,

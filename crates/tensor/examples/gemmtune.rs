@@ -1,0 +1,177 @@
+//! Microkernel tuning harness: times MR×NR variants of the packed kernel
+//! on f32, with and without the runtime-dispatched AVX2 path, against the
+//! naive i-k-j loop — all under the default (SSE2) build flags. Run with
+//! `cargo run --release -p iconv-tensor --example gemmtune`.
+
+// Tuning scaffolding mirrors the library kernel's flat-scalar ABI.
+#![allow(clippy::too_many_arguments)]
+
+use std::time::Instant;
+
+fn pack_a<const MR: usize>(a: &[f32], m: usize, k: usize, dst: &mut Vec<f32>) {
+    let mp = m.div_ceil(MR);
+    dst.clear();
+    dst.resize(mp * k * MR, 0.0);
+    for ip in 0..mp {
+        let i0 = ip * MR;
+        let m_eff = MR.min(m - i0);
+        let panel = &mut dst[ip * k * MR..(ip + 1) * k * MR];
+        for r in 0..m_eff {
+            for ki in 0..k {
+                panel[ki * MR + r] = a[(i0 + r) * k + ki];
+            }
+        }
+    }
+}
+
+fn pack_b<const NR: usize>(b: &[f32], k: usize, n: usize, dst: &mut Vec<f32>) {
+    let np = n.div_ceil(NR);
+    dst.clear();
+    dst.resize(np * k * NR, 0.0);
+    for jp in 0..np {
+        let j0 = jp * NR;
+        let n_eff = NR.min(n - j0);
+        let panel = &mut dst[jp * k * NR..(jp + 1) * k * NR];
+        for ki in 0..k {
+            panel[ki * NR..ki * NR + n_eff].copy_from_slice(&b[ki * n + j0..ki * n + j0 + n_eff]);
+        }
+    }
+}
+
+#[inline(always)]
+fn micro_body<const MR: usize, const NR: usize>(
+    ap: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    m_eff: usize,
+    n_eff: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for r in 0..MR {
+            let ar = a[r];
+            for j in 0..NR {
+                acc[r][j] += ar * b[j];
+            }
+        }
+    }
+    for r in 0..m_eff {
+        out[(i0 + r) * ldc + j0..(i0 + r) * ldc + j0 + n_eff].copy_from_slice(&acc[r][..n_eff]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn micro_avx2<const MR: usize, const NR: usize>(
+    ap: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    m_eff: usize,
+    n_eff: usize,
+) {
+    micro_body::<MR, NR>(ap, bp, out, ldc, i0, j0, m_eff, n_eff)
+}
+
+fn gemm<const MR: usize, const NR: usize>(
+    avx2: bool,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    ap: &mut Vec<f32>,
+    bp: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    pack_a::<MR>(a, m, k, ap);
+    pack_b::<NR>(b, k, n, bp);
+    let mp = m.div_ceil(MR);
+    let np = n.div_ceil(NR);
+    for ip in 0..mp {
+        let i0 = ip * MR;
+        let m_eff = MR.min(m - i0);
+        let apanel = &ap[ip * k * MR..(ip + 1) * k * MR];
+        for jp in 0..np {
+            let j0 = jp * NR;
+            let n_eff = NR.min(n - j0);
+            let bpanel = &bp[jp * k * NR..(jp + 1) * k * NR];
+            #[cfg(target_arch = "x86_64")]
+            if avx2 {
+                // SAFETY: caller verified avx2 via is_x86_feature_detected.
+                unsafe { micro_avx2::<MR, NR>(apanel, bpanel, out, n, i0, j0, m_eff, n_eff) };
+                continue;
+            }
+            let _ = avx2;
+            micro_body::<MR, NR>(apanel, bpanel, out, n, i0, j0, m_eff, n_eff);
+        }
+    }
+}
+
+fn naive(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            let rrow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(rrow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+fn time_it(n: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let iters = (400_000_000 / (2 * n * n * n)).max(5);
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let secs = t.elapsed().as_secs_f64() / iters as f64;
+    (2 * n * n * n) as f64 / secs / 1e9
+}
+
+fn run_variant<const MR: usize, const NR: usize>(n: usize, label: &str) {
+    let a: Vec<f32> = (0..n * n).map(|i| (i % 997) as f32 * 0.01).collect();
+    let b: Vec<f32> = (0..n * n).map(|i| (i % 883) as f32 * 0.013).collect();
+    let mut ap = Vec::new();
+    let mut bp = Vec::new();
+    let mut out = vec![0.0f32; n * n];
+    let scalar = time_it(n, || {
+        gemm::<MR, NR>(false, &a, n, n, &b, n, &mut ap, &mut bp, &mut out)
+    });
+    let avx = if std::arch::is_x86_feature_detected!("avx2") {
+        time_it(n, || {
+            gemm::<MR, NR>(true, &a, n, n, &b, n, &mut ap, &mut bp, &mut out)
+        })
+    } else {
+        f64::NAN
+    };
+    std::hint::black_box(&out);
+    println!("  {label:6} scalar {scalar:7.2}  avx2 {avx:7.2} GFLOP/s");
+}
+
+fn main() {
+    for n in [64usize, 128, 256] {
+        let a: Vec<f32> = (0..n * n).map(|i| (i % 997) as f32 * 0.01).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| (i % 883) as f32 * 0.013).collect();
+        let mut out = vec![0.0f32; n * n];
+        let base = time_it(n, || naive(&a, n, n, &b, n, &mut out));
+        println!("n={n}  naive {base:7.2} GFLOP/s");
+        run_variant::<4, 8>(n, "4x8");
+        run_variant::<4, 16>(n, "4x16");
+        run_variant::<8, 8>(n, "8x8");
+        run_variant::<2, 16>(n, "2x16");
+        run_variant::<8, 16>(n, "8x16");
+        run_variant::<4, 24>(n, "4x24");
+    }
+}

@@ -229,7 +229,9 @@ pub fn conv_explicit<T: Scalar>(
 ) -> Tensor<T> {
     let a = lower(shape, ifmap, order);
     let b = filter_matrix(shape, filter, order);
-    ofmap_from_matrix(shape, &a.matmul(&b))
+    // The lowered GEMM dominates large equivalence sweeps; par_matmul splits
+    // M across workers and is bit-identical to the serial kernel.
+    ofmap_from_matrix(shape, &a.par_matmul(&b))
 }
 
 /// The adjoint of [`lower`]: scatter-add a lowered-shaped matrix back into

@@ -37,6 +37,6 @@ pub mod tensor;
 pub use grouped::GroupedConv;
 pub use im2col::{ColumnOrder, Tap};
 pub use layout::{Axis, Coord, Dims, Layout};
-pub use mat::Matrix;
+pub use mat::{GemmWorkspace, Matrix};
 pub use shape::{ConvShape, ConvShapeBuilder, ShapeError};
 pub use tensor::{Scalar, Tensor};

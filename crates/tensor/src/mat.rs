@@ -1,11 +1,228 @@
-//! Row-major matrices and the reference GEMM used by every algorithm path.
+//! Row-major matrices and the packed GEMM used by every algorithm path.
 
 use crate::tensor::Scalar;
 use std::fmt;
 
-/// k-panel depth for [`Matrix::matmul`]: 64 rhs rows of f32 at N ≤ 1024
-/// stay within a 256 KiB L2 slice while amortizing the loop overhead.
-const GEMM_PANEL: usize = 64;
+/// Microkernel tile height: rows of A held in registers per inner loop.
+const GEMM_MR: usize = 4;
+/// Microkernel tile width: columns of B held in registers per inner loop.
+/// `4 × 8` keeps the 32 f32 accumulators within the 16-register vector file
+/// on both codegen paths: 8 × 128-bit on the baseline (SSE2) build, 4 ×
+/// 256-bit on the runtime-dispatched AVX2 path, with room left for the A
+/// broadcast and the B row load. Measured best-of-class at n ∈ 64..256 on
+/// both paths (see DESIGN.md §7).
+const GEMM_NR: usize = 8;
+
+/// Row-count threshold below which [`Matrix::par_matmul`] runs on the
+/// calling thread: spawning workers costs more than the GEMM saves.
+const PAR_MIN_ROWS: usize = 64;
+
+/// Reusable packing buffers for [`Matrix::matmul_with`] /
+/// [`Matrix::matmul_into`].
+///
+/// The packed kernel copies A into `MR`-row panels and B into `NR`-column
+/// panels before the register-blocked inner loop runs. Threading one
+/// workspace through repeated multiplies (the simulators' functional-check
+/// sweeps call GEMM thousands of times at identical shapes) means the panel
+/// buffers are allocated once and then only grown, never churned: after the
+/// first call at the largest shape, steady-state GEMMs perform **zero**
+/// heap allocations (pinned by `crates/tensor/tests/alloc_counting.rs`).
+#[derive(Debug, Default)]
+pub struct GemmWorkspace<T> {
+    apack: Vec<T>,
+    bpack: Vec<T>,
+}
+
+impl<T: Scalar> GemmWorkspace<T> {
+    /// An empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self {
+            apack: Vec::new(),
+            bpack: Vec::new(),
+        }
+    }
+}
+
+/// Pack rows `i0 .. i0 + m_eff` of row-major `a` (leading dimension `k`)
+/// into one `MR`-row panel at `dst`, layout `dst[ki * MR + r]`, zero-filling
+/// the `m_eff .. MR` pad lanes (the buffer is reused across calls, so stale
+/// lanes must be overwritten, not assumed zero).
+fn pack_a_panel<T: Scalar>(a: &[T], k: usize, i0: usize, m_eff: usize, dst: &mut [T]) {
+    debug_assert_eq!(dst.len(), k * GEMM_MR);
+    for r in 0..m_eff {
+        let row = &a[(i0 + r) * k..(i0 + r) * k + k];
+        for (ki, &v) in row.iter().enumerate() {
+            dst[ki * GEMM_MR + r] = v;
+        }
+    }
+    if m_eff < GEMM_MR {
+        for ki in 0..k {
+            for lane in &mut dst[ki * GEMM_MR + m_eff..(ki + 1) * GEMM_MR] {
+                *lane = T::zero();
+            }
+        }
+    }
+}
+
+/// Pack columns `j0 .. j0 + n_eff` of row-major `b` (leading dimension `n`)
+/// into one `NR`-column panel at `dst`, layout `dst[ki * NR + j]`,
+/// zero-filling the `n_eff .. NR` pad lanes.
+fn pack_b_panel<T: Scalar>(b: &[T], n: usize, k: usize, j0: usize, n_eff: usize, dst: &mut [T]) {
+    debug_assert_eq!(dst.len(), k * GEMM_NR);
+    for ki in 0..k {
+        let src = &b[ki * n + j0..ki * n + j0 + n_eff];
+        let row = &mut dst[ki * GEMM_NR..(ki + 1) * GEMM_NR];
+        row[..n_eff].copy_from_slice(src);
+        for lane in &mut row[n_eff..] {
+            *lane = T::zero();
+        }
+    }
+}
+
+/// The register-blocked microkernel: one `MR × NR` output tile, full `k`
+/// depth, accumulators live in registers for the whole panel walk.
+///
+/// Contributions arrive in ascending-`k` order with a single accumulator per
+/// output element, so float rounding is bit-identical to the plain `i-k-j`
+/// triple loop ([`Matrix::reference_gemm`]). Pad lanes multiply by packed
+/// zeros and are masked out of the store, so ragged edges cannot perturb
+/// (or overflow into) live elements.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // hot-path kernel ABI: flat scalars, no indirection
+fn microkernel<T: Scalar>(
+    apanel: &[T],
+    bpanel: &[T],
+    out: &mut [T],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    m_eff: usize,
+    n_eff: usize,
+) {
+    let mut acc = [[T::zero(); GEMM_NR]; GEMM_MR];
+    for (a, b) in apanel
+        .chunks_exact(GEMM_MR)
+        .zip(bpanel.chunks_exact(GEMM_NR))
+    {
+        let a: &[T; GEMM_MR] = a.try_into().expect("panel chunk");
+        let b: &[T; GEMM_NR] = b.try_into().expect("panel chunk");
+        for r in 0..GEMM_MR {
+            let ar = a[r];
+            for j in 0..GEMM_NR {
+                acc[r][j] += ar * b[j];
+            }
+        }
+    }
+    // Masked store of the live `m_eff × n_eff` corner. Each output element
+    // is written exactly once (the panel covers the full k depth), so this
+    // is a store, not an accumulate.
+    for r in 0..m_eff {
+        let row = &mut out[(i0 + r) * ldc + j0..(i0 + r) * ldc + j0 + n_eff];
+        row.copy_from_slice(&acc[r][..n_eff]);
+    }
+}
+
+/// [`microkernel`] recompiled with 256-bit vectors for CPUs that have them.
+///
+/// `avx2` alone is enabled — deliberately **not** `fma`: fused
+/// multiply-adds round once where the scalar loop rounds twice, which would
+/// break the bit-identity contract with [`Matrix::reference_gemm`]. Plain
+/// `vmulps`/`vaddps` round each operation exactly like their scalar
+/// counterparts, so widening the vectors cannot change a single result bit.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)] // mirrors the scalar kernel's signature
+fn microkernel_avx2<T: Scalar>(
+    apanel: &[T],
+    bpanel: &[T],
+    out: &mut [T],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    m_eff: usize,
+    n_eff: usize,
+) {
+    microkernel(apanel, bpanel, out, ldc, i0, j0, m_eff, n_eff)
+}
+
+/// True when the AVX2 microkernel can run on this CPU.
+#[inline]
+fn use_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Packed GEMM core: `out[m × n] = a[m × k] · b[k × n]`, panels staged in
+/// `ws`. `out` must be zero-initialized only when `k == 0` (every element is
+/// stored otherwise); callers here always pass zeroed buffers.
+fn packed_gemm_into<T: Scalar>(
+    a: &[T],
+    m: usize,
+    k: usize,
+    b: &[T],
+    n: usize,
+    ws: &mut GemmWorkspace<T>,
+    out: &mut [T],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mpanels = m.div_ceil(GEMM_MR);
+    let npanels = n.div_ceil(GEMM_NR);
+    ws.apack.resize(mpanels * k * GEMM_MR, T::zero());
+    ws.bpack.resize(npanels * k * GEMM_NR, T::zero());
+    for ip in 0..mpanels {
+        let i0 = ip * GEMM_MR;
+        let m_eff = GEMM_MR.min(m - i0);
+        pack_a_panel(
+            a,
+            k,
+            i0,
+            m_eff,
+            &mut ws.apack[ip * k * GEMM_MR..(ip + 1) * k * GEMM_MR],
+        );
+    }
+    for jp in 0..npanels {
+        let j0 = jp * GEMM_NR;
+        let n_eff = GEMM_NR.min(n - j0);
+        pack_b_panel(
+            b,
+            n,
+            k,
+            j0,
+            n_eff,
+            &mut ws.bpack[jp * k * GEMM_NR..(jp + 1) * k * GEMM_NR],
+        );
+    }
+    let avx2 = use_avx2();
+    for ip in 0..mpanels {
+        let i0 = ip * GEMM_MR;
+        let m_eff = GEMM_MR.min(m - i0);
+        let apanel = &ws.apack[ip * k * GEMM_MR..(ip + 1) * k * GEMM_MR];
+        for jp in 0..npanels {
+            let j0 = jp * GEMM_NR;
+            let n_eff = GEMM_NR.min(n - j0);
+            let bpanel = &ws.bpack[jp * k * GEMM_NR..(jp + 1) * k * GEMM_NR];
+            #[cfg(target_arch = "x86_64")]
+            if avx2 {
+                // SAFETY: `use_avx2` verified the CPU supports avx2.
+                unsafe { microkernel_avx2(apanel, bpanel, out, n, i0, j0, m_eff, n_eff) };
+                continue;
+            }
+            let _ = avx2;
+            microkernel(apanel, bpanel, out, n, i0, j0, m_eff, n_eff);
+        }
+    }
+}
 
 /// A dense row-major matrix.
 ///
@@ -140,18 +357,145 @@ impl<T: Scalar> Matrix<T> {
         self.transpose().permute_cols(perm).transpose()
     }
 
-    /// Reference GEMM: `self · rhs`.
+    /// GEMM: `self · rhs`, via the packed register-blocked kernel.
     ///
-    /// Internally k-panel blocked: every row of `self` consumes one
-    /// cache-resident panel of `rhs` rows before the next panel is touched.
-    /// Per output element contributions still arrive in ascending-`k` order,
-    /// so results are bit-identical to the plain `i-k-j` triple loop for
-    /// floats as well as integers.
+    /// A is packed into `MR`-row panels and B into `NR`-column panels, then
+    /// an `MR × NR` register-tile microkernel walks each panel pair over the
+    /// full `k` depth. Per output element contributions arrive in
+    /// ascending-`k` order into a single accumulator, so results are
+    /// bit-identical to the plain `i-k-j` triple loop
+    /// ([`Matrix::reference_gemm`]) for floats as well as integers — pinned
+    /// by the proptests.
+    ///
+    /// Allocates a fresh [`GemmWorkspace`]; hot loops that multiply
+    /// repeatedly should hold one and call [`Matrix::matmul_with`].
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Self) -> Self {
+        self.matmul_with(rhs, &mut GemmWorkspace::new())
+    }
+
+    /// [`Matrix::matmul`] with caller-provided packing buffers.
+    ///
+    /// Reusing `ws` across calls eliminates all per-call allocations except
+    /// the output matrix itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_with(&self, rhs: &Self, ws: &mut GemmWorkspace<T>) -> Self {
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, ws, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a caller-provided output matrix: the fully
+    /// allocation-free steady-state path.
+    ///
+    /// `out` is overwritten (every element is stored; prior contents are
+    /// ignored), except when `self.cols() == 0`, where the product is the
+    /// zero matrix and `out` is zero-filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out` is not
+    /// `self.rows() × rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Self, ws: &mut GemmWorkspace<T>, out: &mut Self) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "GEMM shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "GEMM output shape mismatch"
+        );
+        if self.cols == 0 {
+            out.data.fill(T::zero());
+            return;
+        }
+        packed_gemm_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            ws,
+            &mut out.data,
+        );
+    }
+
+    /// GEMM with the M dimension split across [`iconv_par::par_map`]
+    /// workers.
+    ///
+    /// Each worker runs the packed kernel over a contiguous,
+    /// `MR`-panel-aligned block of rows with its own workspace; row `i` of
+    /// the output accumulates the exact same ascending-`k` sequence as in
+    /// [`Matrix::matmul`], so the result is bit-identical regardless of
+    /// worker count. Falls back to the serial kernel below `PAR_MIN_ROWS`
+    /// (64) rows, where thread startup costs more than it saves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn par_matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "GEMM shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        // default_jobs re-reads the environment and queries the scheduler on
+        // every call; cache it so small-matrix fallbacks stay cheap.
+        static PAR_JOBS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let jobs = *PAR_JOBS.get_or_init(iconv_par::default_jobs);
+        if m < PAR_MIN_ROWS || jobs <= 1 || n == 0 || k == 0 {
+            return self.matmul(rhs);
+        }
+        // MR-aligned row blocks so every worker sees whole panels.
+        let panels = m.div_ceil(GEMM_MR);
+        let per_job = panels.div_ceil(jobs) * GEMM_MR;
+        let ranges: Vec<(usize, usize)> = (0..m)
+            .step_by(per_job)
+            .map(|r0| (r0, (r0 + per_job).min(m)))
+            .collect();
+        let parts = iconv_par::par_map(&ranges, |&(r0, r1)| {
+            let rows = r1 - r0;
+            let mut block = vec![T::zero(); rows * n];
+            let mut ws = GemmWorkspace::new();
+            packed_gemm_into(
+                &self.data[r0 * k..r1 * k],
+                rows,
+                k,
+                &rhs.data,
+                n,
+                &mut ws,
+                &mut block,
+            );
+            block
+        });
+        Self {
+            rows: m,
+            cols: n,
+            data: parts.concat(),
+        }
+    }
+
+    /// Reference GEMM: the plain `i-k-j` triple loop, ascending `k`, one
+    /// accumulator per output element.
+    ///
+    /// This is the accumulation-order oracle the packed kernel is pinned
+    /// against (bit-identity, not approximate equality) and the baseline
+    /// the `reference_gemm` benchmark group measures speedups from. It is
+    /// deliberately unoptimized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn reference_gemm(&self, rhs: &Self) -> Self {
         assert_eq!(
             self.cols, rhs.rows,
             "GEMM shape mismatch: {}x{} · {}x{}",
@@ -159,19 +503,13 @@ impl<T: Scalar> Matrix<T> {
         );
         let (k_dim, n) = (self.cols, rhs.cols);
         let mut out = Self::zeros(self.rows, n);
-        for k0 in (0..k_dim).step_by(GEMM_PANEL) {
-            let kend = (k0 + GEMM_PANEL).min(k_dim);
-            for i in 0..self.rows {
-                let arow = &self.data[i * k_dim..(i + 1) * k_dim];
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for (kk, &a) in arow[k0..kend].iter().enumerate() {
-                    if a == T::zero() {
-                        continue;
-                    }
-                    let rrow = &rhs.data[(k0 + kk) * n..(k0 + kk + 1) * n];
-                    for (o, &b) in orow.iter_mut().zip(rrow) {
-                        *o += a * b;
-                    }
+        for i in 0..self.rows {
+            let arow = &self.data[i * k_dim..(i + 1) * k_dim];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &a) in arow.iter().enumerate() {
+                let rrow = &rhs.data[kk * n..(kk + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
                 }
             }
         }
@@ -180,13 +518,15 @@ impl<T: Scalar> Matrix<T> {
 
     /// Cache-blocked GEMM with `bs × bs` tiles; equals [`Matrix::matmul`].
     ///
-    /// Exists both as a faster path for the simulators' functional checks and
-    /// as the reference for the blocked schedules in `iconv-gpusim`.
+    /// Kept **only** as the loop-structure reference for the blocked
+    /// schedules in `iconv-gpusim` — it mirrors the tile traversal those
+    /// models cost. It is *not* a fast path (the packed kernel in
+    /// [`Matrix::matmul`] replaced it; see `BENCH_baseline.json`).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()` or `bs == 0`.
-    pub fn matmul_blocked(&self, rhs: &Self, bs: usize) -> Self {
+    pub fn reference_blocked(&self, rhs: &Self, bs: usize) -> Self {
         assert!(bs > 0, "block size must be non-zero");
         assert_eq!(self.cols, rhs.rows, "GEMM shape mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
@@ -297,12 +637,52 @@ mod tests {
     }
 
     #[test]
+    fn packed_equals_reference_on_ragged_shapes() {
+        // Shapes straddling the MR=4 / NR=8 panel edges, including exact
+        // multiples, one-off, and sub-panel cases.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 4, 5),
+            (4, 8, 8),
+            (5, 9, 9),
+            (7, 13, 17),
+            (8, 16, 24),
+            (9, 1, 33),
+        ] {
+            let a = Matrix::from_fn(m, k, |r, c| (r * k + c) as i64 - 7);
+            let b = Matrix::from_fn(k, n, |r, c| (r as i64) * 3 - (c as i64));
+            assert_eq!(a.matmul(&b), a.reference_gemm(&b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
     fn blocked_equals_reference() {
         let (a, b) = small();
-        let want = a.matmul(&b);
+        let want = a.reference_gemm(&b);
         for bs in [1, 2, 3, 4, 7, 64] {
-            assert_eq!(a.matmul_blocked(&b, bs), want, "bs={bs}");
+            assert_eq!(a.reference_blocked(&b, bs), want, "bs={bs}");
         }
+    }
+
+    #[test]
+    fn workspace_reuse_across_shapes() {
+        // One workspace across growing then shrinking shapes must not leak
+        // stale pad lanes into results.
+        let mut ws = GemmWorkspace::new();
+        for (m, k, n) in [(2, 3, 2), (9, 11, 13), (3, 2, 3), (6, 70, 5)] {
+            let a = Matrix::from_fn(m, k, |r, c| (r + 2 * c) as i64 - 4);
+            let b = Matrix::from_fn(k, n, |r, c| (3 * r) as i64 - c as i64);
+            assert_eq!(a.matmul_with(&b, &mut ws), a.reference_gemm(&b));
+        }
+    }
+
+    #[test]
+    fn par_matmul_bit_identical() {
+        let a = Matrix::<f32>::from_fn(70, 33, |r, c| (r * 33 + c) as f32 * 0.013 - 10.0);
+        let b = Matrix::<f32>::from_fn(33, 21, |r, c| (r + c * 7) as f32 * 0.021 - 5.0);
+        let serial = a.matmul(&b);
+        let par = a.par_matmul(&b);
+        assert_eq!(serial.as_slice(), par.as_slice());
     }
 
     #[test]
@@ -354,5 +734,17 @@ mod tests {
         assert_eq!(c.shape(), (0, 2));
         let d = Matrix::<f32>::zeros(2, 4).matmul(&b);
         assert_eq!(d.shape(), (2, 0));
+        // k == 0: the product over an empty sum is the zero matrix.
+        let e = Matrix::<f32>::zeros(2, 0).matmul(&Matrix::<f32>::zeros(0, 3));
+        assert_eq!(e, Matrix::<f32>::zeros(2, 3));
+    }
+
+    #[test]
+    fn matmul_into_overwrites_stale_output() {
+        let (a, b) = small();
+        let mut ws = GemmWorkspace::new();
+        let mut out = Matrix::from_fn(3, 5, |_, _| 999i64);
+        a.matmul_into(&b, &mut ws, &mut out);
+        assert_eq!(out, a.reference_gemm(&b));
     }
 }

@@ -1,0 +1,79 @@
+//! Proves the zero-alloc claim for the packed GEMM workspace: once a
+//! `GemmWorkspace` has been sized by a first multiply, repeated
+//! `matmul_into` calls at the same or smaller shapes perform **zero** heap
+//! allocations, and `matmul_with` allocates only the output matrix.
+//!
+//! A counting `#[global_allocator]` wrapper makes this a hard assertion
+//! instead of a code-review promise. The test binary is single-threaded by
+//! construction (one `#[test]` fn), so the global counter is not perturbed
+//! by unrelated test threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use iconv_tensor::{GemmWorkspace, Matrix};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = f();
+    (r, ALLOCS.load(Ordering::Relaxed) - before)
+}
+
+#[test]
+fn packed_gemm_workspace_reuse_is_zero_alloc() {
+    let a = Matrix::<f32>::from_fn(37, 29, |r, c| (r * 29 + c) as f32 * 0.01);
+    let b = Matrix::<f32>::from_fn(29, 53, |r, c| (r + c * 7) as f32 * 0.02);
+    let mut ws = GemmWorkspace::new();
+    let mut out = Matrix::<f32>::zeros(37, 53);
+
+    // Warm-up sizes the packing buffers for this shape.
+    a.matmul_into(&b, &mut ws, &mut out);
+    let want = out.clone();
+
+    // Steady state: zero allocations, repeated.
+    for _ in 0..3 {
+        let (_, n_allocs) = allocs_during(|| a.matmul_into(&b, &mut ws, &mut out));
+        assert_eq!(
+            n_allocs, 0,
+            "steady-state matmul_into must not touch the heap"
+        );
+    }
+    assert_eq!(out, want, "reused-workspace result drifted");
+
+    // A smaller multiply reuses the larger buffers: still zero allocations.
+    let a_small = Matrix::<f32>::from_fn(5, 7, |r, c| (r + c) as f32);
+    let b_small = Matrix::<f32>::from_fn(7, 3, |r, c| (r * 3 + c) as f32);
+    let mut out_small = Matrix::<f32>::zeros(5, 3);
+    let (_, n_small) = allocs_during(|| a_small.matmul_into(&b_small, &mut ws, &mut out_small));
+    assert_eq!(n_small, 0, "smaller shapes must reuse the sized buffers");
+    assert_eq!(out_small, a_small.reference_gemm(&b_small));
+
+    // matmul_with allocates exactly the output matrix and nothing else.
+    let (got, n_with) = allocs_during(|| a.matmul_with(&b, &mut ws));
+    assert_eq!(
+        n_with, 1,
+        "warmed matmul_with must allocate only the output matrix"
+    );
+    assert_eq!(got, want);
+}

@@ -126,7 +126,7 @@ proptest! {
         }
     }
 
-    /// GEMM: blocked version equals naive for arbitrary block sizes, and
+    /// GEMM: blocked reference equals naive for arbitrary block sizes, and
     /// (A·B)ᵀ = Bᵀ·Aᵀ.
     #[test]
     fn gemm_identities(
@@ -138,8 +138,93 @@ proptest! {
         let a = Matrix::<i64>::from_fn(m, k, |_, _| next());
         let b = Matrix::<i64>::from_fn(k, n, |_, _| next());
         let c = a.matmul(&b);
-        prop_assert_eq!(&a.matmul_blocked(&b, bs), &c);
+        prop_assert_eq!(&a.reference_blocked(&b, bs), &c);
         prop_assert_eq!(b.transpose().matmul(&a.transpose()), c.transpose());
+    }
+
+    /// The packed register-blocked kernel is **bit-identical** to the plain
+    /// `i-k-j` triple loop on floats over ragged shapes straddling the
+    /// MR/NR panel boundaries — not approximately equal: the ascending-`k`
+    /// single-accumulator order is a contract.
+    #[test]
+    fn packed_bit_identical_to_naive_f32(
+        m in 1usize..=70, k in 1usize..=70, n in 1usize..=70, seed in 0u64..1000,
+    ) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) % 2000) as f32 * 0.0173 - 17.3
+        };
+        let a = Matrix::<f32>::from_fn(m, k, |_, _| next());
+        let b = Matrix::<f32>::from_fn(k, n, |_, _| next());
+        let want = a.reference_gemm(&b);
+        prop_assert_eq!(a.matmul(&b).as_slice(), want.as_slice());
+        prop_assert_eq!(a.par_matmul(&b).as_slice(), want.as_slice());
+    }
+
+    /// Same bit-identity contract for f64 with a reused workspace across
+    /// differently-shaped calls (stale pad lanes must never leak).
+    #[test]
+    fn packed_bit_identical_reused_workspace_f64(
+        m1 in 1usize..=40, k1 in 1usize..=40, n1 in 1usize..=40,
+        m2 in 1usize..=40, k2 in 1usize..=40, n2 in 1usize..=40,
+        seed in 0u64..1000,
+    ) {
+        let mut ws = iconv_tensor::GemmWorkspace::new();
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) % 4000) as f64 * 0.00137 - 2.74
+        };
+        for (m, k, n) in [(m1, k1, n1), (m2, k2, n2)] {
+            let a = Matrix::<f64>::from_fn(m, k, |_, _| next());
+            let b = Matrix::<f64>::from_fn(k, n, |_, _| next());
+            prop_assert_eq!(
+                a.matmul_with(&b, &mut ws).as_slice(),
+                a.reference_gemm(&b).as_slice()
+            );
+        }
+    }
+
+    /// Zero-dim edges: any of m, k, n being 0 yields the right-shaped
+    /// (zero) result from every GEMM entry point.
+    #[test]
+    fn packed_zero_dim_edges(m in 0usize..=5, k in 0usize..=5, n in 0usize..=5, z in 0usize..3) {
+        // Force at least one zero dimension.
+        let (m, k, n) = match z {
+            0 => (0, k, n),
+            1 => (m, 0, n),
+            _ => (m, k, 0),
+        };
+        let a = Matrix::<f32>::from_fn(m, k, |r, c| (r + c) as f32);
+        let b = Matrix::<f32>::from_fn(k, n, |r, c| (r * 2 + c) as f32);
+        let want = a.reference_gemm(&b);
+        prop_assert_eq!(&a.matmul(&b), &want);
+        prop_assert_eq!(&a.par_matmul(&b), &want);
+        prop_assert_eq!(want.shape(), (m, n));
+        prop_assert!(want.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    /// i64 magnitudes near the overflow edge: the packed kernel performs
+    /// exactly the naive multiply/add sequence (pad lanes only ever add
+    /// `0 * b`), so any sum the naive loop computes without wrapping, the
+    /// packed kernel computes identically.
+    #[test]
+    fn packed_i64_overflow_adjacent(
+        m in 1usize..=9, k in 1usize..=7, n in 1usize..=9, seed in 0u64..1000,
+    ) {
+        // |a|,|b| ≤ 2^30, so each product ≤ 2^60 and k ≤ 7 partial sums stay
+        // under i64::MAX (7·2^60 ≈ 8.1e18 < 9.2e18) even in the worst case,
+        // while landing within 15% of the overflow edge.
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (s >> 3) as i64 & ((1i64 << 30) - 1);
+            if s & 1 == 0 { v } else { -v }
+        };
+        let a = Matrix::<i64>::from_fn(m, k, |_, _| next());
+        let b = Matrix::<i64>::from_fn(k, n, |_, _| next());
+        prop_assert_eq!(a.matmul(&b).as_slice(), a.reference_gemm(&b).as_slice());
     }
 
     /// FLOP accounting equals the lowered GEMM dimensions.

@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use iconv_core::PipelineSchedule;
 use iconv_dram::DramConfig;
 use iconv_sram::VectorMemConfig;
 use iconv_systolic::ArrayConfig;
@@ -40,6 +41,11 @@ pub struct TpuConfig {
     /// Sec. VII-A: "this insight explains why the TPUv3 chooses to add
     /// another systolic array").
     pub mxus: usize,
+    /// SRAM fill / compute overlap discipline of the chunked DMA pipeline.
+    /// `SingleBuffered` (the paper's measured model) pays a per-chunk
+    /// barrier; `DoubleBuffered` prefetches the next chunk behind
+    /// steady-state compute, hiding fill cycles entirely when compute-bound.
+    pub schedule: PipelineSchedule,
 }
 
 impl TpuConfig {
@@ -55,6 +61,7 @@ impl TpuConfig {
             dispatch_cycles: 1_000,
             min_pipeline_stages: 8,
             mxus: 1,
+            schedule: PipelineSchedule::SingleBuffered,
         }
     }
 
@@ -116,7 +123,7 @@ impl TpuConfig {
         let vm = &self.vector_mem;
         let d = &self.dram;
         format!(
-            "tpu;a{}x{};clk{};vm{}x{}x{};dram{},{},{},{},{},{},{},{};lay{:?};frac{};disp{};stages{};mxus{}",
+            "tpu;a{}x{};clk{};vm{}x{}x{};dram{},{},{},{},{},{},{},{};lay{:?};frac{};disp{};stages{};mxus{};sched{}",
             self.array.rows,
             self.array.cols,
             self.clock_mhz,
@@ -135,7 +142,8 @@ impl TpuConfig {
             self.ifmap_buffer_fraction,
             self.dispatch_cycles,
             self.min_pipeline_stages,
-            self.mxus
+            self.mxus,
+            self.schedule
         )
     }
 }
@@ -280,6 +288,12 @@ impl TpuConfigBuilder {
         self
     }
 
+    /// SRAM fill / compute overlap discipline of the DMA pipeline.
+    pub fn schedule(mut self, schedule: PipelineSchedule) -> Self {
+        self.cfg.schedule = schedule;
+        self
+    }
+
     /// Validate every knob and return the finished config.
     pub fn build(self) -> Result<TpuConfig, TpuConfigError> {
         let c = &self.cfg;
@@ -393,6 +407,11 @@ mod tests {
             {
                 let mut c = base;
                 c.dram.bytes_per_cycle += 0.5;
+                c
+            },
+            {
+                let mut c = base;
+                c.schedule = PipelineSchedule::DoubleBuffered;
                 c
             },
         ];

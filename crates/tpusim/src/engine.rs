@@ -19,27 +19,11 @@ use iconv_tensor::{ConvShape, Layout};
 use iconv_trace::{NullSink, TraceSink};
 use iconv_workloads::Model;
 
-/// Steady-state cycles of a `chunks`-stage double-buffered pipeline whose
-/// compute and memory totals are distributed across the stages with the
-/// remainders riding on the leading chunks: chunk `i` runs
-/// `max(compute_i, mem_i)` where `compute_i = compute/chunks + (i < compute
-/// % chunks)` (same for memory). Closed form of `Σᵢ max(compute_i, mem_i)`
-/// over the three index bands, so no per-chunk loop. The result is ≥ both
-/// totals, which is what makes `exposed = first_fill + steady − compute`
-/// non-negative by construction (the conservation invariant).
-pub(crate) fn chunked_steady(compute: u64, mem: u64, chunks: u64) -> u64 {
-    debug_assert!(chunks > 0);
-    let (qc, rc) = (compute / chunks, compute % chunks);
-    let (qm, rm) = (mem / chunks, mem % chunks);
-    let lo = rc.min(rm); // chunks where both carry a remainder cycle
-    let hi = rc.max(rm); // ...where exactly one does
-    let mid = if rc >= rm {
-        (qc + 1).max(qm)
-    } else {
-        qc.max(qm + 1)
-    };
-    lo * (qc.max(qm) + 1) + (hi - lo) * mid + (chunks - hi) * qc.max(qm)
-}
+// The single-buffered closed form lives in iconv-core so both simulators
+// (and the `PipelineSchedule` knob selecting between it and the
+// double-buffered variant) share one definition; re-exported for the
+// engine's pipeline tests.
+pub(crate) use iconv_core::schedule::chunked_steady;
 
 /// Emit the conserved span partition and the standard per-layer counters
 /// for a finished report, and (in debug builds) check the invariants.
@@ -253,8 +237,12 @@ impl Simulator {
         // division here used to drop up to `chunks − 1` cycles per phase
         // and made memory free whenever `mem_cycles < chunks`); the first
         // chunk's fill — the largest, `div_ceil` — is the exposed head.
+        // The schedule knob selects the per-chunk-barrier closed form or
+        // the double-buffered overlap (`max(compute, mem − first_fill)`).
         let first_fill = mem_cycles.div_ceil(chunks);
-        let steady = chunked_steady(compute_cycles, mem_cycles, chunks);
+        let steady = cfg
+            .schedule
+            .steady_cycles(compute_cycles, mem_cycles, chunks);
         let cycles = cfg.dispatch_cycles + first_fill + steady;
         // `steady ≥ compute_cycles` by construction, so this never
         // saturates; the old `cycles − dispatch − min(compute, cycles)`
@@ -425,7 +413,9 @@ impl Simulator {
         // old truncating `mem_cycles / chunks` leaked cycles and could push
         // `steady` below `compute_cycles`, underflowing `exposed`.
         let first_fill = mem_cycles.div_ceil(chunks);
-        let steady = chunked_steady(compute_cycles, mem_cycles, chunks);
+        let steady = cfg
+            .schedule
+            .steady_cycles(compute_cycles, mem_cycles, chunks);
         let cycles = cfg.dispatch_cycles + first_fill + steady;
         let exposed = (first_fill + steady).saturating_sub(compute_cycles);
         debug_assert!(first_fill + steady >= compute_cycles);

@@ -106,6 +106,17 @@ impl LayerReport {
             self.cycles,
             self.phases.dispatch
         );
+        // Under every schedule (single- or double-buffered, sparse, or
+        // explicit-im2col) the steady phase runs at least as long as the
+        // compute it hides: overlap can only hide memory behind compute,
+        // never shrink compute itself.
+        assert!(
+            self.phases.steady >= self.compute_cycles,
+            "{}: steady {} < compute {}",
+            self.name,
+            self.phases.steady,
+            self.compute_cycles
+        );
         true
     }
 
