@@ -18,9 +18,13 @@ use iconv_tpusim::{SimMode, TpuConfig};
 use crate::spec::resolve_tpu;
 use crate::work::Work;
 
-/// Canonical rendering of a shape: every field, fixed order.
+/// Canonical rendering of a shape: every field, fixed order. Symmetric
+/// shapes render exactly as they always have; an asymmetric trailing pad
+/// appends a `phe`/`pwe` suffix, which keeps the rendering injective (a
+/// symmetric key never contains the suffix, and two asymmetric shapes
+/// differing only in trailing pad render differently).
 fn shape_key(s: &ConvShape) -> String {
-    format!(
+    let mut key = format!(
         "n{},ci{},hi{},wi{},co{},hf{},wf{},sh{},sw{},ph{},pw{},dh{},dw{}",
         s.n,
         s.ci,
@@ -35,7 +39,11 @@ fn shape_key(s: &ConvShape) -> String {
         s.pad_w,
         s.dil_h,
         s.dil_w
-    )
+    );
+    if s.has_asymmetric_pad() {
+        key.push_str(&format!(",phe{},pwe{}", s.pad_h_end, s.pad_w_end));
+    }
+    key
 }
 
 /// Canonical rendering of a TPU lowering mode *for a given shape and
@@ -187,5 +195,29 @@ mod tests {
         }));
         n += 1;
         assert_eq!(keys.len(), n, "cache-key collision in sweep");
+    }
+
+    #[test]
+    fn asymmetric_pad_extends_the_key_injectively() {
+        let sym = ConvShape::new(1, 4, 14, 14, 4, 4, 4)
+            .same_pad_symmetric()
+            .build()
+            .unwrap();
+        let asym = ConvShape::new(1, 4, 14, 14, 4, 4, 4)
+            .same_pad()
+            .build()
+            .unwrap();
+        let key = |shape| {
+            canonical_key(&Work::TpuConv {
+                shape,
+                mode: SimMode::Explicit,
+                hw: TpuHwSpec::default(),
+            })
+        };
+        // Symmetric keys carry no suffix (byte-stable with history);
+        // asymmetric keys do, and the two never collide.
+        assert!(!key(sym).contains("phe"));
+        assert!(key(asym).contains(",phe2,pwe2"));
+        assert_ne!(key(sym), key(asym));
     }
 }

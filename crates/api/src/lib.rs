@@ -18,6 +18,10 @@
 //!   documented order — the `batch` protocol op's "sweep" form.
 //! - [`table::workload_works`]: the paper's full workload table under the
 //!   standard four estimators, shared by `loadgen` and the contract tests.
+//! - [`stable_hash64`] / [`shard_of`] / [`HashRing`]: the process-stable
+//!   key hash shared by the striped in-process cache and the `routed`
+//!   consistent-hash fleet, so shard placement is identical everywhere a
+//!   canonical key is hashed.
 //!
 //! The wire codecs stay in `iconv-serve`; this crate knows nothing about
 //! JSON or sockets.
@@ -25,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod key;
+pub mod ring;
 pub mod spec;
 pub mod sweep;
 pub mod table;
 pub mod work;
 
 pub use key::canonical_key;
+pub use ring::{shard_of, stable_hash64, HashRing};
 pub use spec::{resolve_tpu, TpuChip, TpuHwSpec};
 pub use sweep::{SweepError, SweepSpec, SweepTarget, MAX_SWEEP_ITEMS};
 pub use work::Work;

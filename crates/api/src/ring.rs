@@ -1,0 +1,213 @@
+//! Stable key hashing and the consistent-hash ring.
+//!
+//! Both layers of the sharded service pick a home for a canonical key by
+//! hashing it: the in-process `StripedCache` selects one of N lock shards
+//! ([`shard_of`]), and the `routed` front-end selects one of N backend
+//! processes ([`HashRing::route`]). Neither can use `std`'s `RandomState`
+//! hasher — shard assignment must be identical across processes and across
+//! restarts so a router and its backends agree on key placement, and so
+//! per-shard statistics are reproducible run to run. [`stable_hash64`] is
+//! therefore a fixed function: FNV-1a over the key bytes followed by a
+//! 64-bit avalanche finalizer (splitmix64's mixer) to spread FNV's
+//! low-entropy high bits before they are reduced modulo a small shard
+//! count.
+//!
+//! The ring uses virtual nodes — each backend owns `vnodes` pseudo-random
+//! points on the 64-bit circle — so three backends split key space roughly
+//! evenly, and removing one backend reassigns *only* that backend's keys
+//! (the classic consistent-hashing property; the other backends' caches
+//! stay hot).
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash a key to 64 bits, stably: the same bytes hash identically in every
+/// process, on every run, forever. FNV-1a with a splitmix64 finalizer.
+pub fn stable_hash64(key: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in key.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // splitmix64 finalizer: FNV alone is weak in its high bits, and both
+    // shard selection (modulo) and ring placement (full-width compare)
+    // need every bit to carry entropy.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+/// The shard a key lives in, for an `n_shards`-way striped structure.
+///
+/// # Panics
+///
+/// Panics if `n_shards` is zero.
+pub fn shard_of(key: &str, n_shards: usize) -> usize {
+    assert!(n_shards > 0, "shard_of: n_shards must be non-zero");
+    // Multiply-shift reduction (Lemire): maps the full 64-bit range onto
+    // [0, n) as evenly as a modulo, but costs one widening multiply
+    // instead of a hardware division — this sits on the cache hit path.
+    // Sound here because the splitmix finalizer already spread the
+    // entropy across all 64 bits.
+    ((u128::from(stable_hash64(key)) * n_shards as u128) >> 64) as usize
+}
+
+/// A consistent-hash ring over `n_backends` backends, each represented by
+/// `vnodes` points on the 64-bit circle.
+///
+/// Construction is deterministic: point `j` of backend `i` sits at
+/// `stable_hash64("vnode;<i>;<j>")`, so every router instance built with
+/// the same `(n_backends, vnodes)` pair routes identically.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(position, backend)` pairs sorted by position.
+    points: Vec<(u64, usize)>,
+    n_backends: usize,
+}
+
+impl HashRing {
+    /// Build a ring. `vnodes` trades balance for memory; 64 keeps the
+    /// worst/best backend load ratio under ~1.5 for small fleets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_backends` or `vnodes` is zero.
+    pub fn new(n_backends: usize, vnodes: usize) -> Self {
+        assert!(n_backends > 0, "HashRing: need at least one backend");
+        assert!(vnodes > 0, "HashRing: need at least one vnode per backend");
+        let mut points = Vec::with_capacity(n_backends * vnodes);
+        for backend in 0..n_backends {
+            for j in 0..vnodes {
+                points.push((stable_hash64(&format!("vnode;{backend};{j}")), backend));
+            }
+        }
+        points.sort_unstable();
+        Self { points, n_backends }
+    }
+
+    /// Number of backends the ring was built over.
+    pub fn n_backends(&self) -> usize {
+        self.n_backends
+    }
+
+    /// The backend owning `key`: the first ring point at or clockwise of
+    /// the key's hash (wrapping past zero).
+    pub fn route(&self, key: &str) -> usize {
+        let h = stable_hash64(key);
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        self.points[idx % self.points.len()].1
+    }
+
+    /// The backends to try for `key`, primary first, then each remaining
+    /// backend in the order its first point appears clockwise of the key.
+    /// Every backend appears exactly once, so walking this list is a full
+    /// failover sweep; a healthy fleet only ever uses element 0, which
+    /// keeps each backend's cache hot for its own key range.
+    pub fn failover_order(&self, key: &str) -> Vec<usize> {
+        let h = stable_hash64(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut order = Vec::with_capacity(self.n_backends);
+        let mut seen = vec![false; self.n_backends];
+        for i in 0..self.points.len() {
+            let backend = self.points[(start + i) % self.points.len()].1;
+            if !seen[backend] {
+                seen[backend] = true;
+                order.push(backend);
+                if order.len() == self.n_backends {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_hash_is_fixed_forever() {
+        // Pinned values: a change here silently reshuffles every striped
+        // cache and every routed fleet, so the function is frozen by test.
+        assert_eq!(stable_hash64(""), 0xf52a_15e9_a9b5_e89b);
+        assert_eq!(
+            stable_hash64("tpu-v2;conv;explicit;n1"),
+            0xb6b9_3eb8_2e4b_f6c0
+        );
+        assert_ne!(stable_hash64("a"), stable_hash64("b"));
+    }
+
+    #[test]
+    fn shard_of_spreads_keys() {
+        let n = 16;
+        let mut counts = vec![0usize; n];
+        for i in 0..4096 {
+            counts[shard_of(&format!("key-{i}"), n)] += 1;
+        }
+        // Expect ~256 per shard; allow a generous band.
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (128..=384).contains(&c),
+                "shard {s} got {c} of 4096 keys — hash badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_routes_consistently_and_evenly() {
+        let ring = HashRing::new(3, 64);
+        let mut counts = [0usize; 3];
+        for i in 0..3000 {
+            let key = format!("canonical-key-{i}");
+            let b = ring.route(&key);
+            assert_eq!(b, ring.route(&key), "routing must be deterministic");
+            counts[b] += 1;
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (500..=1700).contains(&c),
+                "backend {b} owns {c} of 3000 keys — ring badly unbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn failover_order_is_a_permutation_led_by_the_primary() {
+        let ring = HashRing::new(5, 32);
+        for i in 0..100 {
+            let key = format!("k{i}");
+            let order = ring.failover_order(&key);
+            assert_eq!(order[0], ring.route(&key));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "not a permutation: {order:?}");
+        }
+    }
+
+    #[test]
+    fn losing_a_backend_moves_only_its_keys() {
+        // The consistent-hashing property that keeps surviving backends'
+        // caches hot: with backend 1 down, every key owned by 0 or 2 keeps
+        // its assignment (failover only walks forward from the primary).
+        let ring = HashRing::new(3, 64);
+        for i in 0..1000 {
+            let key = format!("k{i}");
+            let primary = ring.route(&key);
+            let order = ring.failover_order(&key);
+            let down = 1usize;
+            let routed = *order
+                .iter()
+                .find(|&&b| b != down)
+                .expect("some backend is up");
+            if primary != down {
+                assert_eq!(routed, primary, "healthy key {key} moved");
+            }
+        }
+    }
+}

@@ -170,6 +170,7 @@ impl SweepSpec {
                         let shape = ConvShape::new(b.n, ci, b.hi, b.wi, b.co, b.hf, b.wf)
                             .stride_hw(sh, sw)
                             .pad_hw(b.pad_h, b.pad_w)
+                            .pad_end_hw(b.pad_h_end, b.pad_w_end)
                             .dilation_hw(dh, dw)
                             .build()
                             .map_err(|e| SweepError::BadShape {

@@ -28,7 +28,7 @@ use std::sync::Mutex;
 use crate::rng::{mix64, unit_f64, GOLDEN_GAMMA};
 
 /// Number of distinct injection sites (the length of [`FaultSite::ALL`]).
-pub const N_SITES: usize = 6;
+pub const N_SITES: usize = 8;
 
 /// An injection seam the serve stack consults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,6 +49,12 @@ pub enum FaultSite {
     /// Per dispatched simulation: the deadline check fires as if the
     /// request's deadline had expired in the queue.
     DeadlineStorm,
+    /// Per request forwarded from the router to a backend: the send fails
+    /// as if the backend connection dropped mid-write.
+    RouteSend,
+    /// Per backend response relayed by the router: the receive fails as if
+    /// the backend dropped mid-read.
+    RouteRecv,
 }
 
 impl FaultSite {
@@ -60,6 +66,8 @@ impl FaultSite {
         FaultSite::Delay,
         FaultSite::WorkerPanic,
         FaultSite::DeadlineStorm,
+        FaultSite::RouteSend,
+        FaultSite::RouteRecv,
     ];
 
     /// Dense index into per-site counter arrays.
@@ -72,6 +80,8 @@ impl FaultSite {
             FaultSite::Delay => 3,
             FaultSite::WorkerPanic => 4,
             FaultSite::DeadlineStorm => 5,
+            FaultSite::RouteSend => 6,
+            FaultSite::RouteRecv => 7,
         }
     }
 
@@ -86,6 +96,8 @@ impl FaultSite {
             FaultSite::Delay => "delay",
             FaultSite::WorkerPanic => "panic",
             FaultSite::DeadlineStorm => "deadline",
+            FaultSite::RouteSend => "route-send",
+            FaultSite::RouteRecv => "route-recv",
         }
     }
 
@@ -127,6 +139,10 @@ pub enum Injection {
     WorkerPanic,
     /// Answer with a `deadline` error as if the queue deadline expired.
     DeadlineStorm,
+    /// Fail the router→backend send as if the backend dropped.
+    RouteSendError,
+    /// Fail the backend→router receive as if the backend dropped.
+    RouteRecvError,
 }
 
 impl Injection {
@@ -140,6 +156,8 @@ impl Injection {
             Injection::Delay { .. } => FaultSite::Delay,
             Injection::WorkerPanic => FaultSite::WorkerPanic,
             Injection::DeadlineStorm => FaultSite::DeadlineStorm,
+            Injection::RouteSendError => FaultSite::RouteSend,
+            Injection::RouteRecvError => FaultSite::RouteRecv,
         }
     }
 }
@@ -383,6 +401,8 @@ impl FaultPoint for FaultPlan {
             },
             FaultSite::WorkerPanic => Injection::WorkerPanic,
             FaultSite::DeadlineStorm => Injection::DeadlineStorm,
+            FaultSite::RouteSend => Injection::RouteSendError,
+            FaultSite::RouteRecv => Injection::RouteRecvError,
         })
     }
 
@@ -440,7 +460,7 @@ mod tests {
             }
         }
         assert_eq!(never.counters().injected_total(), 0);
-        assert_eq!(always.counters().injected_total(), 600);
+        assert_eq!(always.counters().injected_total(), 800);
     }
 
     #[test]

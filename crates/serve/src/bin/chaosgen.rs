@@ -141,6 +141,7 @@ fn response_id(r: &Response) -> Option<&str> {
         | Response::Pong { id }
         | Response::ShutdownAck { id }
         | Response::Batch { id, .. }
+        | Response::Shards { id, .. }
         | Response::Error { id, .. } => id.as_deref(),
     }
 }

@@ -15,9 +15,11 @@
 //! By default it spawns an in-process server so `cargo run --bin loadgen`
 //! is self-contained; `--addr` points it at an external `served` instead.
 
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use iconv_api::table::workload_works;
+use iconv_serve::cache::{Body, LruCache, StripedCache};
 use iconv_serve::client::{Client, DEFAULT_CONNECT_TIMEOUT};
 use iconv_serve::protocol::{
     encode_estimate, encode_sweep, EstimateRequest, Response, StatsSnapshot, SweepSpec,
@@ -363,12 +365,104 @@ fn run_compare(workers: usize) -> Compare {
     }
 }
 
+struct CacheCompare {
+    threads: usize,
+    keys: usize,
+    striped_shards: usize,
+    global_ops_per_sec: f64,
+    striped_ops_per_sec: f64,
+    striped_over_global: f64,
+}
+
+/// Head-to-head warm-hit hammer: the old cache design (one global
+/// `Mutex<LruCache<String>>` whose every hit clones the full response
+/// body under the lock) vs. the striped cache (independent shard locks,
+/// `Arc` bodies — a hit is a refcount bump). `threads` closed loops read
+/// a hot key set as fast as they can; the ratio is the part of the
+/// cache-lock bottleneck that striping + shared bodies removed.
+fn run_cache_compare(threads: usize) -> CacheCompare {
+    const KEYS: usize = 64;
+    // Generous on purpose: the hot set must fit even its most skewed
+    // shard, so both sides run pure warm hits (capacity is split across
+    // shards, and 64 keys do not land 4-per-shard exactly).
+    const CAPACITY: usize = 1024;
+    const OPS_PER_THREAD: usize = 100_000;
+    // A representative body: the rendering of a real TPU estimate
+    // response — what the old cache memcpy'd (plus an allocation) on
+    // every single hit.
+    let body: String = format!(
+        "\"ok\":true,\"est\":{{\"cycles\":123456789,\"macs\":987654321,\
+         \"tiles\":4096,\"sram_bytes\":262144,\"dram_bytes\":1048576,\
+         \"utilization\":\"0.8734\",\"schedule\":\"double-buffered\",\
+         \"pipeline\":{:?}}}",
+        (0..8).map(|i| i * 17).collect::<Vec<usize>>()
+    );
+    let keys: Vec<String> = (0..KEYS)
+        .map(|k| format!("tpuv3;conv;n1c64h56w56k64r3s3;mode=cf;key-{k}"))
+        .collect();
+
+    let hammer = |get: &(dyn Fn(&str) -> usize + Sync)| -> f64 {
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let keys = &keys;
+                    scope.spawn(move || {
+                        let mut got = 0usize;
+                        for i in 0..OPS_PER_THREAD {
+                            got += get(&keys[(i + t) % KEYS]);
+                        }
+                        assert_eq!(got, OPS_PER_THREAD, "every warm get must hit");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("hammer thread");
+            }
+        });
+        (threads * OPS_PER_THREAD) as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+
+    let global_ops_per_sec = {
+        let cache = Mutex::new(LruCache::<String>::new(CAPACITY));
+        for key in &keys {
+            cache.lock().unwrap().insert(key.clone(), body.clone());
+        }
+        hammer(&|key| {
+            // The pre-striping hit path: full body clone while holding
+            // the one lock every other connection needs.
+            let cloned: Option<String> = cache.lock().unwrap().get(key);
+            usize::from(cloned.is_some())
+        })
+    };
+
+    let striped_shards = StripedCache::DEFAULT_SHARDS;
+    let striped_ops_per_sec = {
+        let cache = StripedCache::new(CAPACITY, striped_shards);
+        let shared: Body = Arc::from(body.as_str());
+        for key in &keys {
+            cache.insert(key.clone(), Arc::clone(&shared));
+        }
+        hammer(&|key| usize::from(cache.get(key).is_some()))
+    };
+
+    CacheCompare {
+        threads,
+        keys: KEYS,
+        striped_shards,
+        global_ops_per_sec,
+        striped_ops_per_sec,
+        striped_over_global: striped_ops_per_sec / global_ops_per_sec.max(1e-9),
+    }
+}
+
 fn write_report(
     path: &str,
     args: &Args,
     n_requests: usize,
     passes: &[PassReport],
     compare: &Compare,
+    cache_compare: &CacheCompare,
     final_stats: &StatsSnapshot,
 ) -> std::io::Result<()> {
     let mut out = String::from("{\n  \"bench\": \"serve\",\n");
@@ -414,6 +508,17 @@ fn write_report(
         compare.cold_single_rps,
         compare.cold_batched_rps,
         compare.batched_over_single_cold
+    ));
+    out.push_str(&format!(
+        "  \"cache_compare\": {{\"threads\": {}, \"keys\": {}, \"striped_shards\": {}, \
+         \"global_ops_per_sec\": {:.1}, \"striped_ops_per_sec\": {:.1}, \
+         \"striped_over_global\": {:.2}}},\n",
+        cache_compare.threads,
+        cache_compare.keys,
+        cache_compare.striped_shards,
+        cache_compare.global_ops_per_sec,
+        cache_compare.striped_ops_per_sec,
+        cache_compare.striped_over_global
     ));
     out.push_str(&format!(
         "  \"final_stats\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}, \
@@ -519,12 +624,26 @@ fn main() {
         compare.batched_over_single_cold
     );
 
+    // Striped-vs-global warm-hit comparison (in-process, independent of
+    // the target server: the point is the cache's lock architecture).
+    let cache_compare = run_cache_compare(args.concurrency);
+    eprintln!(
+        "loadgen: cache compare ({} threads, {} hot keys): global-lock {:.2}M ops/s, \
+         striped {:.2}M ops/s ({:.1}x)",
+        cache_compare.threads,
+        cache_compare.keys,
+        cache_compare.global_ops_per_sec / 1e6,
+        cache_compare.striped_ops_per_sec / 1e6,
+        cache_compare.striped_over_global
+    );
+
     match write_report(
         &args.out,
         &args,
         works.len(),
         &passes,
         &compare,
+        &cache_compare,
         &final_stats,
     ) {
         Ok(()) => eprintln!("loadgen: wrote {}", args.out),

@@ -1,0 +1,115 @@
+//! `routed` — the cache-affinity router.
+//!
+//! Fronts a fleet of `served` backends, consistent-hashing every
+//! canonical cache key onto the same backend so each backend's striped
+//! cache stays hot for its own key range. Prints `listening on <addr>`
+//! once bound, then routes until a client sends the `shutdown` op (which
+//! is broadcast to the fleet) and exits with a counter report on stderr.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use iconv_faults::FaultPlan;
+use iconv_serve::router::{spawn_router, RouterConfig};
+
+const USAGE: &str = "usage: routed --backend HOST:PORT [--backend HOST:PORT ...] \
+     [--addr HOST:PORT] [--vnodes N] [--breaker-threshold N] [--health-interval-ms N] \
+     [--connect-timeout-ms N] [--fault-plan SPEC]\n       SPEC e.g. seed=42,route-send=0.05 \
+     (router sites: route-send,route-recv)";
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<RouterConfig, String> {
+    let mut cfg = RouterConfig {
+        listen_addr: "127.0.0.1:7071".to_owned(),
+        ..RouterConfig::default()
+    };
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value; {USAGE}"))
+        };
+        let positive = |name: &str, v: String| {
+            v.parse::<u64>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| format!("{name} needs a positive integer (got {v:?}); {USAGE}"))
+        };
+        match a.as_str() {
+            "--addr" => cfg.listen_addr = value("--addr")?,
+            "--backend" => cfg.backends.push(value("--backend")?),
+            "--vnodes" => cfg.vnodes = positive("--vnodes", value("--vnodes")?)? as usize,
+            "--breaker-threshold" => {
+                cfg.breaker_threshold =
+                    positive("--breaker-threshold", value("--breaker-threshold")?)? as u32;
+            }
+            "--health-interval-ms" => {
+                cfg.health_interval = Duration::from_millis(positive(
+                    "--health-interval-ms",
+                    value("--health-interval-ms")?,
+                )?);
+            }
+            "--connect-timeout-ms" => {
+                cfg.connect_timeout = Duration::from_millis(positive(
+                    "--connect-timeout-ms",
+                    value("--connect-timeout-ms")?,
+                )?);
+            }
+            "--fault-plan" => {
+                let spec = value("--fault-plan")?;
+                let plan = FaultPlan::parse(&spec)
+                    .map_err(|e| format!("--fault-plan {spec:?}: {e}; {USAGE}"))?;
+                cfg.faults = Some(Arc::new(plan));
+            }
+            other => return Err(format!("unknown argument {other:?}; {USAGE}")),
+        }
+    }
+    if cfg.backends.is_empty() {
+        return Err(format!("at least one --backend is required; {USAGE}"));
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = match parse_args(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(err) => {
+            eprintln!("routed: {err}");
+            std::process::exit(2);
+        }
+    };
+    let n_backends = cfg.backends.len();
+    let faults = cfg.faults.clone();
+    let handle = match spawn_router(cfg) {
+        Ok(h) => h,
+        Err(err) => {
+            eprintln!("routed: bind failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    let faulted = faults.is_some();
+    println!("listening on {}", handle.local_addr());
+    // Line-buffered stdout may sit on that line forever under redirection;
+    // scripts wait for it, so push it out now.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "routed: {n_backends} backend(s){}; send {{\"op\":\"shutdown\"}} to stop",
+        if faulted { ", fault plan ARMED" } else { "" }
+    );
+
+    handle.wait_shutdown_requested();
+    let stats = handle.shutdown();
+    eprintln!(
+        "routed: drained; forwarded={} failovers={} unrouted={} parse={}",
+        stats.forwarded, stats.failovers, stats.unrouted, stats.parse_errors
+    );
+    if let Some(plan) = faults {
+        let c = plan.counters();
+        eprintln!(
+            "routed: faults injected={} observed={} conserved={}",
+            c.injected_total(),
+            c.observed_total(),
+            c.conserved()
+        );
+    }
+}

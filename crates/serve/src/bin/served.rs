@@ -11,8 +11,8 @@ use iconv_faults::FaultPlan;
 use iconv_serve::server::{spawn, ServerConfig};
 
 const USAGE: &str = "usage: served [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
-     [--batch-chunk N] [--fault-plan SPEC]\n       SPEC e.g. seed=42,rate=0.05 \
-     (per-site keys: read,write,partial,delay,panic,deadline; delay-ms=N)";
+     [--cache-shards N] [--batch-chunk N] [--fault-plan SPEC]\n       SPEC e.g. \
+     seed=42,rate=0.05 (per-site keys: read,write,partial,delay,panic,deadline; delay-ms=N)";
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String> {
     let mut cfg = ServerConfig {
@@ -36,6 +36,9 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, St
             "--workers" => cfg.workers = positive("--workers", value("--workers")?)?,
             "--queue" => cfg.queue_capacity = positive("--queue", value("--queue")?)?,
             "--cache" => cfg.cache_capacity = positive("--cache", value("--cache")?)?,
+            "--cache-shards" => {
+                cfg.cache_shards = positive("--cache-shards", value("--cache-shards")?)?;
+            }
             "--batch-chunk" => {
                 cfg.batch_chunk = positive("--batch-chunk", value("--batch-chunk")?)?;
             }

@@ -1,26 +1,50 @@
-//! A plain LRU report cache: canonical key → cached response body.
+//! The report cache: a lock-striped LRU with per-shard single-flight.
 //!
-//! The implementation is a slab-backed intrusive doubly-linked list with a
-//! `HashMap` index — `get`, `insert` and eviction are all O(1). Values are
-//! the response *bodies* produced by [`crate::engine::evaluate`], which do
-//! not embed the client id, so a replayed entry is byte-identical to a
-//! freshly simulated one.
+//! Two layers live here. [`LruCache`] is the plain slab-backed intrusive
+//! doubly-linked-list LRU (O(1) `get`/`insert`/eviction), generic over its
+//! value type so it serves both as a shard and as the reference model in
+//! the equivalence proptests. [`StripedCache`] is what the server actually
+//! holds: `N` independent `Mutex<LruCache>` shards selected by the stable
+//! hash of the canonical key ([`iconv_api::shard_of`]), so connections
+//! touching different key ranges never contend on one global lock.
+//!
+//! Values are shared [`Body`] handles (`Arc<str>`) of the response bodies
+//! produced by [`crate::engine::evaluate`]: a hit clones a pointer, not the
+//! body, so the only work under a shard lock is a hash lookup and two list
+//! relinks — pinned by the zero-allocation test in `tests/alloc_counting`.
+//! Bodies do not embed the client id, so a replayed entry is byte-identical
+//! to a freshly simulated one.
+//!
+//! Each shard also carries a **single-flight registry**: when two
+//! connections miss on the same key concurrently, the first becomes the
+//! *leader* (it runs the one simulation) and the rest *join* as waiters
+//! whose response callbacks fire when the leader [`StripedCache::complete`]s
+//! the flight. Followers are counted as hits — their bytes came from the
+//! cache-to-be — which preserves `hits + misses == requests` exactly while
+//! eliminating the duplicate simulations the old design dispatched.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::protocol::{ErrorKind, ShardStat};
 
 const NONE: usize = usize::MAX;
 
-struct Entry {
+/// A cached response body: shared, immutable, cheap to hand out.
+pub type Body = Arc<str>;
+
+struct Entry<V> {
     key: String,
-    value: String,
+    value: V,
     prev: usize,
     next: usize,
 }
 
-/// Least-recently-used cache of response bodies.
-pub struct LruCache {
+/// Least-recently-used cache, generic over the stored value.
+pub struct LruCache<V = String> {
     map: HashMap<String, usize>,
-    slab: Vec<Entry>,
+    slab: Vec<Entry<V>>,
     free: Vec<usize>,
     head: usize,
     tail: usize,
@@ -28,7 +52,7 @@ pub struct LruCache {
     evictions: u64,
 }
 
-impl LruCache {
+impl<V: Clone> LruCache<V> {
     /// Create a cache holding at most `capacity` entries.
     ///
     /// # Panics
@@ -68,7 +92,7 @@ impl LruCache {
     }
 
     /// Look up `key`, promoting it to most-recently-used on a hit.
-    pub fn get(&mut self, key: &str) -> Option<String> {
+    pub fn get(&mut self, key: &str) -> Option<V> {
         let idx = *self.map.get(key)?;
         self.unlink(idx);
         self.push_front(idx);
@@ -77,7 +101,7 @@ impl LruCache {
 
     /// Insert (or refresh) `key`, evicting the least-recently-used entry
     /// when the cache is full.
-    pub fn insert(&mut self, key: String, value: String) {
+    pub fn insert(&mut self, key: String, value: V) {
         if let Some(&idx) = self.map.get(&key) {
             self.slab[idx].value = value;
             self.unlink(idx);
@@ -146,16 +170,264 @@ impl LruCache {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Single-flight
+// ---------------------------------------------------------------------------
+
+/// How a led simulation ended: the body every waiter shares, or the typed
+/// error every waiter inherits (a follower shares its leader's fate — the
+/// alternative, re-running the simulation per follower, is exactly the
+/// duplicate work single-flight exists to remove).
+#[derive(Debug, Clone)]
+pub enum FlightOutcome {
+    /// The simulation succeeded; the body is now cached.
+    Ready(Body),
+    /// The simulation failed (deadline, busy, worker panic, drain).
+    Failed(ErrorKind, String),
+}
+
+/// A follower's completion callback. Invoked exactly once, *outside* any
+/// shard lock, when the flight completes.
+pub type Waiter = Box<dyn FnOnce(&FlightOutcome) + Send>;
+
+/// What [`StripedCache::admit`] decided for a key.
+pub enum Admission {
+    /// The key was cached (possibly raced in since the caller's `get`):
+    /// answer immediately from this body.
+    Cached(Body),
+    /// The caller is the leader: it must run the simulation and call
+    /// [`StripedCache::complete`] exactly once, on every path.
+    Lead,
+    /// A flight for this key is already in progress; the caller's waiter
+    /// is registered and will be invoked on completion.
+    Joined,
+}
+
+struct Shard {
+    lru: LruCache<Body>,
+    /// Key → waiters blocked on the in-progress flight for that key. The
+    /// leader itself is not in the list; `Vec::new()` marks a flight with
+    /// no followers yet.
+    inflight: HashMap<String, Vec<Waiter>>,
+}
+
+/// Per-shard hit/miss counters, updated lock-free (the callers already
+/// know the shard index; the counters need no protection from the LRU
+/// lock and keeping them outside shortens the critical section).
+#[derive(Default)]
+struct ShardCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+// ---------------------------------------------------------------------------
+// StripedCache
+// ---------------------------------------------------------------------------
+
+/// The server's report cache: `n_shards` independent LRU shards with
+/// per-shard single-flight registries and counters.
+pub struct StripedCache {
+    shards: Box<[Mutex<Shard>]>,
+    counters: Box<[ShardCounters]>,
+}
+
+impl StripedCache {
+    /// Default shard count: enough stripes that 8–16 concurrent
+    /// connections rarely collide, few enough that a 16 Ki-entry cache
+    /// still gives every shard a useful population.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Create a striped cache of `total_capacity` entries spread over
+    /// `n_shards` shards (each shard gets `ceil(total/n)`, min 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_capacity` or `n_shards` is zero.
+    pub fn new(total_capacity: usize, n_shards: usize) -> Self {
+        assert!(total_capacity > 0, "cache capacity must be positive");
+        assert!(n_shards > 0, "shard count must be positive");
+        let per_shard = total_capacity.div_ceil(n_shards).max(1);
+        let shards = (0..n_shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    lru: LruCache::new(per_shard),
+                    inflight: HashMap::new(),
+                })
+            })
+            .collect();
+        let counters = (0..n_shards).map(|_| ShardCounters::default()).collect();
+        Self { shards, counters }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `key` lives in — the same stable hash the `routed`
+    /// consistent-hash ring uses, so placement is reproducible everywhere.
+    pub fn shard_of(&self, key: &str) -> usize {
+        iconv_api::shard_of(key, self.shards.len())
+    }
+
+    /// Lock one shard, recovering from poisoning: the cache is auxiliary
+    /// state (worst case a stale LRU order), and the server's containment
+    /// story already isolates panics per connection/worker.
+    fn lock(&self, shard: usize) -> MutexGuard<'_, Shard> {
+        self.shards[shard]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Look up `key`, promoting it on a hit. Does **not** touch the
+    /// hit/miss counters — the server counts at response-delivery points
+    /// so single-flight followers are counted exactly once.
+    pub fn get(&self, key: &str) -> Option<Body> {
+        self.lock(self.shard_of(key)).lru.get(key)
+    }
+
+    /// Insert (or refresh) `key` directly, bypassing single-flight. Used
+    /// by tests and by cache warm-up paths; the server's simulation paths
+    /// go through [`Self::admit`]/[`Self::complete`].
+    pub fn insert(&self, key: String, body: Body) {
+        let shard = self.shard_of(&key);
+        self.lock(shard).lru.insert(key, body);
+    }
+
+    /// Decide how a missing key is produced: answer from cache (someone
+    /// completed it since the caller's lock-free `get`), lead the one
+    /// simulation, or join the flight in progress with `waiter`.
+    ///
+    /// The waiter is only retained in the [`Admission::Joined`] case; on
+    /// `Cached`/`Lead` it is dropped unused.
+    pub fn admit(
+        &self,
+        key: &str,
+        waiter: impl FnOnce(&FlightOutcome) + Send + 'static,
+    ) -> Admission {
+        let shard = self.shard_of(key);
+        let mut guard = self.lock(shard);
+        // Re-check under the lock: the get→admit window is not atomic and
+        // another connection may have completed the flight in between.
+        if let Some(body) = guard.lru.get(key) {
+            return Admission::Cached(body);
+        }
+        match guard.inflight.get_mut(key) {
+            Some(waiters) => {
+                waiters.push(Box::new(waiter));
+                Admission::Joined
+            }
+            None => {
+                guard.inflight.insert(key.to_owned(), Vec::new());
+                Admission::Lead
+            }
+        }
+    }
+
+    /// Complete the flight for `key`: cache the body on success, clear the
+    /// in-flight entry, and invoke every registered waiter with the
+    /// outcome — outside the shard lock, so a waiter may freely touch the
+    /// cache (or anything else) without deadlocking.
+    ///
+    /// The leader must call this exactly once per [`Admission::Lead`], on
+    /// success *and* on every failure path; a leaked flight would strand
+    /// its followers forever.
+    pub fn complete(&self, key: &str, outcome: &FlightOutcome) {
+        let shard = self.shard_of(key);
+        let waiters = {
+            let mut guard = self.lock(shard);
+            if let FlightOutcome::Ready(body) = outcome {
+                guard.lru.insert(key.to_owned(), Arc::clone(body));
+            }
+            guard.inflight.remove(key).unwrap_or_default()
+        };
+        for waiter in waiters {
+            waiter(outcome);
+        }
+    }
+
+    /// Count a hit against `shard` (an index from [`Self::shard_of`]).
+    pub fn note_hit(&self, shard: usize) {
+        self.counters[shard].hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a miss against `shard`.
+    pub fn note_miss(&self, shard: usize) {
+        self.counters[shard].misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total hits across all shards — the global `stats.hits` counter.
+    pub fn hits(&self) -> u64 {
+        self.counters
+            .iter()
+            .map(|c| c.hits.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total misses across all shards — the global `stats.misses` counter.
+    pub fn misses(&self) -> u64 {
+        self.counters
+            .iter()
+            .map(|c| c.misses.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total evictions across all shards.
+    pub fn evictions(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).lru.evictions())
+            .sum()
+    }
+
+    /// Total population across all shards.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.lock(i).lru.len()).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Summed capacity across shards (per-shard rounding may make this
+    /// slightly exceed the configured total).
+    pub fn capacity(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).lru.capacity())
+            .sum()
+    }
+
+    /// Per-shard counter snapshot, in shard order — the `shards` op's
+    /// payload. Sums equal the global counters by construction.
+    pub fn shard_stats(&self) -> Vec<ShardStat> {
+        (0..self.shards.len())
+            .map(|i| {
+                let guard = self.lock(i);
+                ShardStat {
+                    shard: i as u64,
+                    hits: self.counters[i].hits.load(Ordering::Relaxed),
+                    misses: self.counters[i].misses.load(Ordering::Relaxed),
+                    evictions: guard.lru.evictions(),
+                    entries: guard.lru.len() as u64,
+                    capacity: guard.lru.capacity() as u64,
+                    in_flight: guard.inflight.len() as u64,
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn evicts_least_recently_used() {
         let mut c = LruCache::new(2);
-        c.insert("a".into(), "1".into());
-        c.insert("b".into(), "2".into());
-        c.insert("c".into(), "3".into()); // evicts a
+        c.insert("a".into(), "1".to_owned());
+        c.insert("b".into(), "2".to_owned());
+        c.insert("c".into(), "3".to_owned()); // evicts a
         assert_eq!(c.get("a"), None);
         assert_eq!(c.get("b").as_deref(), Some("2"));
         assert_eq!(c.get("c").as_deref(), Some("3"));
@@ -166,10 +438,10 @@ mod tests {
     #[test]
     fn get_promotes() {
         let mut c = LruCache::new(2);
-        c.insert("a".into(), "1".into());
-        c.insert("b".into(), "2".into());
+        c.insert("a".into(), "1".to_owned());
+        c.insert("b".into(), "2".to_owned());
         assert!(c.get("a").is_some()); // a is now most recent
-        c.insert("c".into(), "3".into()); // evicts b
+        c.insert("c".into(), "3".to_owned()); // evicts b
         assert_eq!(c.get("b"), None);
         assert_eq!(c.get("a").as_deref(), Some("1"));
     }
@@ -177,11 +449,11 @@ mod tests {
     #[test]
     fn insert_refreshes_value_and_recency() {
         let mut c = LruCache::new(2);
-        c.insert("a".into(), "1".into());
-        c.insert("b".into(), "2".into());
-        c.insert("a".into(), "1'".into()); // refresh, no eviction
+        c.insert("a".into(), "1".to_owned());
+        c.insert("b".into(), "2".to_owned());
+        c.insert("a".into(), "1'".to_owned()); // refresh, no eviction
         assert_eq!(c.evictions(), 0);
-        c.insert("c".into(), "3".into()); // evicts b (a was refreshed)
+        c.insert("c".into(), "3".to_owned()); // evicts b (a was refreshed)
         assert_eq!(c.get("b"), None);
         assert_eq!(c.get("a").as_deref(), Some("1'"));
     }
@@ -195,5 +467,120 @@ mod tests {
             assert_eq!(c.get(&format!("k{i}")).unwrap(), format!("v{i}"));
         }
         assert_eq!(c.evictions(), 99);
+    }
+
+    #[test]
+    fn arc_bodies_work_as_values() {
+        let mut c: LruCache<Body> = LruCache::new(2);
+        c.insert("a".into(), Body::from("body-a"));
+        let b1 = c.get("a").unwrap();
+        let b2 = c.get("a").unwrap();
+        assert!(Arc::ptr_eq(&b1, &b2), "hits must share one allocation");
+        assert_eq!(&*b1, "body-a");
+    }
+
+    #[test]
+    fn striped_get_insert_roundtrip_and_stats_sum() {
+        let c = StripedCache::new(64, 4);
+        assert_eq!(c.n_shards(), 4);
+        for i in 0..32 {
+            c.insert(format!("key-{i}"), Body::from(format!("v{i}")));
+        }
+        for i in 0..32 {
+            let key = format!("key-{i}");
+            let body = c.get(&key).unwrap_or_else(|| panic!("lost {key}"));
+            assert_eq!(&*body, &format!("v{i}"));
+            c.note_hit(c.shard_of(&key));
+        }
+        assert_eq!(c.len(), 32);
+        assert_eq!(c.hits(), 32);
+        let stats = c.shard_stats();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), c.hits());
+        assert_eq!(stats.iter().map(|s| s.entries).sum::<u64>(), 32);
+        // Keys actually spread across shards.
+        assert!(
+            stats.iter().filter(|s| s.entries > 0).count() >= 2,
+            "all keys landed in one shard: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn single_flight_leader_then_followers() {
+        let c = Arc::new(StripedCache::new(16, 2));
+        let fired = Arc::new(AtomicUsize::new(0));
+
+        // First admit leads.
+        let f = Arc::clone(&fired);
+        assert!(matches!(
+            c.admit("k", move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+            }),
+            Admission::Lead
+        ));
+        // Subsequent admits join; their waiters haven't fired yet.
+        for _ in 0..3 {
+            let f = Arc::clone(&fired);
+            let got_body = move |o: &FlightOutcome| {
+                assert!(matches!(o, FlightOutcome::Ready(b) if &**b == "the-body"));
+                f.fetch_add(1, Ordering::SeqCst);
+            };
+            assert!(matches!(c.admit("k", got_body), Admission::Joined));
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+
+        // Completion caches the body and fires exactly the three joiners
+        // (the leader's closure was dropped unused).
+        c.complete("k", &FlightOutcome::Ready(Body::from("the-body")));
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
+        assert_eq!(c.get("k").as_deref(), Some("the-body"));
+
+        // The flight is gone: a new admit for the same key is a cache hit.
+        assert!(matches!(c.admit("k", |_| {}), Admission::Cached(_)));
+    }
+
+    #[test]
+    fn single_flight_failure_propagates_to_followers() {
+        let c = StripedCache::new(16, 2);
+        assert!(matches!(c.admit("k", |_| {}), Admission::Lead));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        assert!(matches!(
+            c.admit("k", move |o: &FlightOutcome| {
+                assert!(
+                    matches!(o, FlightOutcome::Failed(ErrorKind::Deadline, d) if d == "expired")
+                );
+                f.fetch_add(1, Ordering::SeqCst);
+            }),
+            Admission::Joined
+        ));
+        c.complete(
+            "k",
+            &FlightOutcome::Failed(ErrorKind::Deadline, "expired".to_owned()),
+        );
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // Failure caches nothing; the next admit leads a fresh flight.
+        assert!(c.get("k").is_none());
+        assert!(matches!(c.admit("k", |_| {}), Admission::Lead));
+    }
+
+    #[test]
+    fn admit_rechecks_cache_under_the_lock() {
+        let c = StripedCache::new(16, 1);
+        c.insert("k".into(), Body::from("v"));
+        // Even though the caller never called get(), admit sees the entry.
+        match c.admit("k", |_| {}) {
+            Admission::Cached(b) => assert_eq!(&*b, "v"),
+            _ => panic!("expected Cached"),
+        }
+    }
+
+    #[test]
+    fn shard_placement_is_stable() {
+        let c = StripedCache::new(64, 8);
+        for i in 0..100 {
+            let key = format!("key-{i}");
+            assert_eq!(c.shard_of(&key), iconv_api::shard_of(&key, 8));
+        }
     }
 }

@@ -22,7 +22,7 @@ use iconv_tpusim::SimMode;
 
 use crate::protocol::{
     encode_batch, encode_estimate, encode_simple, parse_response, ErrorKind, EstimateRequest,
-    GpuEstimate, Response, StatsSnapshot, TpuEstimate, TpuHwSpec, Work,
+    GpuEstimate, Response, ShardStat, StatsSnapshot, TpuEstimate, TpuHwSpec, Work,
 };
 
 /// Connect-retry budget shared by every tool that races a freshly-booted
@@ -321,6 +321,20 @@ impl Client {
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
         match self.call(&encode_simple("stats", None))? {
             Response::Stats { stats, .. } => Ok(stats),
+            Response::Error { kind, detail, .. } => Err(ClientError::Server { kind, detail }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetch the server's per-shard cache counters (the striped cache's
+    /// internals; shard sums equal the global `stats` counters).
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or typed server errors.
+    pub fn shards(&mut self) -> Result<Vec<ShardStat>, ClientError> {
+        match self.call(&encode_simple("shards", None))? {
+            Response::Shards { shards, .. } => Ok(shards),
             Response::Error { kind, detail, .. } => Err(ClientError::Server { kind, detail }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }

@@ -7,7 +7,8 @@
 //!
 //! * **Protocol** — newline-delimited JSON ([`protocol`]), hand-rolled on a
 //!   panic-free parser ([`json`]) because the offline dependency set has no
-//!   serde. Ops: `conv`, `gemm`, `batch`, `stats`, `ping`, `shutdown`.
+//!   serde. Ops: `conv`, `gemm`, `batch`, `stats`, `shards`, `ping`,
+//!   `shutdown`.
 //!   Every failure is a typed error response (`busy`, `deadline`, `parse`,
 //!   `bad-request`, `shutting-down`) — malformed input never panics or
 //!   disconnects. The request vocabulary itself ([`Work`], [`TpuHwSpec`],
@@ -20,21 +21,27 @@
 //!   single unit, deduplicated against the cache *and* within itself, run
 //!   under a bounded in-flight chunk so giant sweeps cannot starve other
 //!   clients, and streamed back in item order.
-//! * **Cache** — a content-addressed LRU ([`cache`]) keyed on the canonical
-//!   rendering of (hardware config × lowering mode × layout × shape)
-//!   ([`key`]). Equivalent request spellings share entries; distinct
-//!   simulations never collide. Cached replays are byte-identical to fresh
-//!   ones, so responses are deterministic under any concurrency and any
-//!   cache state.
+//! * **Cache** — a content-addressed, lock-striped LRU
+//!   ([`cache::StripedCache`]) keyed on the canonical rendering of
+//!   (hardware config × lowering mode × layout × shape) ([`key`]).
+//!   Equivalent request spellings share entries; distinct simulations never
+//!   collide. Keys hash onto independent shards so concurrent hits never
+//!   serialize on one lock, bodies are shared [`cache::Body`]s (a warm hit
+//!   allocates nothing under the lock), and per-shard single-flight makes
+//!   concurrent misses of one key run the simulation once. Cached replays
+//!   are byte-identical to fresh ones, so responses are deterministic under
+//!   any concurrency and any cache state.
 //! * **Observability** — hits, misses, evictions, queue depth, latency are
 //!   visible live via the `stats` op and exportable as `iconv-trace`
 //!   counters.
 //!
-//! Binaries: `served` (the server) and `loadgen` (a closed-loop generator
-//! replaying the paper's workload table, writing `BENCH_serve.json`).
-//! `expall --via-serve` routes its summary's layer estimates through a
-//! server with byte-identical output — GPU `f64` cycles cross the wire as
-//! IEEE-754 bit strings to keep that guarantee exact.
+//! Binaries: `served` (the server), `routed` (a cache-affinity front-end
+//! that consistent-hashes canonical keys across a fleet of `served`
+//! backends — [`router`]), and `loadgen` (a closed-loop generator replaying
+//! the paper's workload table, writing `BENCH_serve.json`). `expall
+//! --via-serve` routes its summary's layer estimates through a server (or
+//! a router) with byte-identical output — GPU `f64` cycles cross the wire
+//! as IEEE-754 bit strings to keep that guarantee exact.
 
 pub mod cache;
 pub mod client;
@@ -42,16 +49,18 @@ pub mod engine;
 pub mod json;
 pub mod key;
 pub mod protocol;
+pub mod router;
 pub mod server;
 
-pub use cache::LruCache;
+pub use cache::{Body, LruCache, StripedCache};
 pub use client::{
     BatchItemResult, Client, ClientError, Estimate, RetryClient, RetryPolicy,
     DEFAULT_CONNECT_TIMEOUT,
 };
 pub use key::canonical_key;
 pub use protocol::{
-    ErrorKind, EstimateRequest, GpuEstimate, Request, Response, StatsSnapshot, SweepError,
-    SweepSpec, SweepTarget, TpuChip, TpuEstimate, TpuHwSpec, Work, MAX_SWEEP_ITEMS,
+    ErrorKind, EstimateRequest, GpuEstimate, Request, Response, ShardStat, StatsSnapshot,
+    SweepError, SweepSpec, SweepTarget, TpuChip, TpuEstimate, TpuHwSpec, Work, MAX_SWEEP_ITEMS,
 };
+pub use router::{spawn_router, Breaker, BreakerState, RouterConfig, RouterHandle, RouterStats};
 pub use server::{spawn, ServerConfig, ServerHandle};

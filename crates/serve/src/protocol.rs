@@ -70,6 +70,12 @@ pub enum Request {
         /// Echoed id.
         id: Option<String>,
     },
+    /// Per-shard cache counter snapshot (the striped cache's internals;
+    /// shard sums must equal the global `stats` counters).
+    Shards {
+        /// Echoed id.
+        id: Option<String>,
+    },
     /// Liveness probe.
     Ping {
         /// Echoed id.
@@ -263,6 +269,84 @@ pub struct StatsSnapshot {
     pub faults_observed: u64,
 }
 
+impl StatsSnapshot {
+    /// Merge another snapshot into this one, the way the `routed` front-end
+    /// aggregates its backends: counters sum; `latency_us_max` takes the
+    /// worst backend; capacities and populations sum (the fleet's cache is
+    /// the union of its backends' shards).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        let Self {
+            requests,
+            hits,
+            misses,
+            evictions,
+            cache_entries,
+            cache_capacity,
+            queue_depth,
+            in_flight,
+            busy_rejections,
+            deadline_expired,
+            parse_errors,
+            latency_us_total,
+            latency_us_max,
+            workers,
+            batches,
+            batch_items,
+            batch_hits,
+            batch_misses,
+            batch_errors,
+            worker_crashes,
+            faults_injected,
+            faults_observed,
+        } = self;
+        *requests += other.requests;
+        *hits += other.hits;
+        *misses += other.misses;
+        *evictions += other.evictions;
+        *cache_entries += other.cache_entries;
+        *cache_capacity += other.cache_capacity;
+        *queue_depth += other.queue_depth;
+        *in_flight += other.in_flight;
+        *busy_rejections += other.busy_rejections;
+        *deadline_expired += other.deadline_expired;
+        *parse_errors += other.parse_errors;
+        *latency_us_total += other.latency_us_total;
+        *latency_us_max = (*latency_us_max).max(other.latency_us_max);
+        *workers += other.workers;
+        *batches += other.batches;
+        *batch_items += other.batch_items;
+        *batch_hits += other.batch_hits;
+        *batch_misses += other.batch_misses;
+        *batch_errors += other.batch_errors;
+        *worker_crashes += other.worker_crashes;
+        *faults_injected += other.faults_injected;
+        *faults_observed += other.faults_observed;
+    }
+}
+
+/// One cache shard's counters, as returned by the `shards` op. The sums
+/// across shards equal the global `stats` counters (`hits`, `misses`,
+/// `evictions`, `cache_entries`) — pinned by test and gated in CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStat {
+    /// Shard index (position in the striped array).
+    pub shard: u64,
+    /// Requests answered from this shard (including single-flight
+    /// followers, whose responses were produced by a leader's simulation).
+    pub hits: u64,
+    /// Simulations this shard's keys caused.
+    pub misses: u64,
+    /// Entries displaced from this shard by capacity pressure.
+    pub evictions: u64,
+    /// Current population of this shard.
+    pub entries: u64,
+    /// This shard's slice of the configured capacity.
+    pub capacity: u64,
+    /// Keys currently being simulated under this shard's single-flight
+    /// registry (followers waiting on a leader).
+    pub in_flight: u64,
+}
+
 /// Any response the server emits, as decoded by the client.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -286,6 +370,13 @@ pub enum Response {
         id: Option<String>,
         /// The snapshot.
         stats: StatsSnapshot,
+    },
+    /// Per-shard cache counters.
+    Shards {
+        /// Echoed id.
+        id: Option<String>,
+        /// One entry per shard, in shard order.
+        shards: Vec<ShardStat>,
     },
     /// `ping` acknowledgement.
     Pong {
@@ -324,6 +415,7 @@ impl Response {
             Response::Tpu { id, .. }
             | Response::Gpu { id, .. }
             | Response::Stats { id, .. }
+            | Response::Shards { id, .. }
             | Response::Pong { id }
             | Response::ShutdownAck { id }
             | Response::Batch { id, .. }
@@ -398,12 +490,13 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         .ok_or_else(|| with_id(RequestError::bad("missing string field \"op\"")))?;
     match op {
         "stats" => return Ok(Request::Stats { id }),
+        "shards" => return Ok(Request::Shards { id }),
         "ping" => return Ok(Request::Ping { id }),
         "shutdown" => return Ok(Request::Shutdown { id }),
         "conv" | "gemm" | "batch" => {}
         other => {
             return Err(with_id(RequestError::bad(format!(
-                "unknown op {other:?} (expected conv, gemm, batch, stats, ping or shutdown)"
+                "unknown op {other:?} (expected conv, gemm, batch, stats, shards, ping or shutdown)"
             ))))
         }
     }
@@ -602,6 +695,12 @@ fn parse_layer(v: Option<&Json>) -> Result<ConvShape, RequestError> {
         axis("stride", "stride_w", 1)?,
     )
     .pad_hw(axis("pad", "pad_h", 0)?, axis("pad", "pad_w", 0)?)
+    // Trailing pads default to the leading ones (symmetric); only
+    // asymmetric SAME-padded layers spell them on the wire.
+    .pad_end_hw(
+        axis("pad", "pad_h_end", axis("pad", "pad_h", 0)?)?,
+        axis("pad", "pad_w_end", axis("pad", "pad_w", 0)?)?,
+    )
     .dilation_hw(axis("dilation", "dil_h", 1)?, axis("dilation", "dil_w", 1)?)
     .build()
     .map_err(|e| RequestError::bad(format!("invalid layer: {e}")))
@@ -746,21 +845,19 @@ fn push_id(out: &mut String, id: Option<&str>) {
 fn push_layer(out: &mut String, s: &ConvShape) {
     out.push_str(&format!(
         "\"layer\":{{\"n\":{},\"ci\":{},\"hi\":{},\"wi\":{},\"co\":{},\"hf\":{},\"wf\":{},\
-         \"stride_h\":{},\"stride_w\":{},\"pad_h\":{},\"pad_w\":{},\"dil_h\":{},\"dil_w\":{}}}",
-        s.n,
-        s.ci,
-        s.hi,
-        s.wi,
-        s.co,
-        s.hf,
-        s.wf,
-        s.stride_h,
-        s.stride_w,
-        s.pad_h,
-        s.pad_w,
-        s.dil_h,
-        s.dil_w
+         \"stride_h\":{},\"stride_w\":{},\"pad_h\":{},\"pad_w\":{}",
+        s.n, s.ci, s.hi, s.wi, s.co, s.hf, s.wf, s.stride_h, s.stride_w, s.pad_h, s.pad_w,
     ));
+    // Asymmetric trailing pads are spelled only when they differ from the
+    // leading pads, so every historically-valid layer encodes to exactly
+    // the bytes it always has.
+    if s.has_asymmetric_pad() {
+        out.push_str(&format!(
+            ",\"pad_h_end\":{},\"pad_w_end\":{}",
+            s.pad_h_end, s.pad_w_end
+        ));
+    }
+    out.push_str(&format!(",\"dil_h\":{},\"dil_w\":{}}}", s.dil_h, s.dil_w));
 }
 
 fn push_tpu_hw(out: &mut String, hw: &TpuHwSpec) {
@@ -999,6 +1096,24 @@ pub fn stats_body(s: &StatsSnapshot) -> String {
     )
 }
 
+/// Body of a `shards` response: the striped cache's per-shard counters.
+pub fn shards_body(shards: &[ShardStat]) -> String {
+    let mut out = String::with_capacity(32 + 96 * shards.len());
+    out.push_str("\"ok\":true,\"shards\":[");
+    for (i, s) in shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"shard\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"entries\":{},\"capacity\":{},\"in_flight\":{}}}",
+            s.shard, s.hits, s.misses, s.evictions, s.entries, s.capacity, s.in_flight
+        ));
+    }
+    out.push(']');
+    out
+}
+
 /// Body of the summary line that closes a batch's response stream.
 pub fn batch_summary_body(items: u64, errors: u64) -> String {
     format!("\"ok\":true,\"batch\":{{\"items\":{items},\"errors\":{errors}}}")
@@ -1115,6 +1230,26 @@ pub fn parse_response(line: &str) -> Result<Response, RequestError> {
             items: need_u64(b, "items")?,
             errors: need_u64(b, "errors")?,
         });
+    }
+    if let Some(arr) = obj.get("shards").and_then(Json::as_arr) {
+        let shards = arr
+            .iter()
+            .map(|v| {
+                let s = v
+                    .as_obj()
+                    .ok_or_else(|| RequestError::bad("shard entry must be an object"))?;
+                Ok(ShardStat {
+                    shard: need_u64(s, "shard")?,
+                    hits: need_u64(s, "hits")?,
+                    misses: need_u64(s, "misses")?,
+                    evictions: need_u64(s, "evictions")?,
+                    entries: need_u64(s, "entries")?,
+                    capacity: need_u64(s, "capacity")?,
+                    in_flight: need_u64(s, "in_flight")?,
+                })
+            })
+            .collect::<Result<Vec<_>, RequestError>>()?;
+        return Ok(Response::Shards { id, shards });
     }
     if let Some(s) = obj.get("stats").and_then(Json::as_obj) {
         let stats = StatsSnapshot {
@@ -1484,6 +1619,118 @@ mod tests {
                 detail: "expired".into(),
             })
         );
+    }
+
+    #[test]
+    fn asymmetric_pad_roundtrips_and_symmetric_bytes_are_stable() {
+        // Symmetric layers never spell the trailing-pad fields: the encoded
+        // bytes are exactly the historical ones.
+        let sym = EstimateRequest {
+            id: None,
+            work: Work::TpuConv {
+                shape: shape(),
+                mode: SimMode::ChannelFirst,
+                hw: TpuHwSpec::default(),
+            },
+            deadline_ms: None,
+        };
+        let line = encode_estimate(&sym);
+        assert!(!line.contains("pad_h_end"), "{line}");
+        assert_eq!(parse_request(&line), Ok(Request::Estimate(sym)));
+
+        // An even-filter SAME layer carries its trailing pads and survives
+        // the round trip exactly.
+        let asym = EstimateRequest {
+            id: Some("a".into()),
+            work: Work::GpuConv {
+                shape: ConvShape::new(1, 4, 14, 14, 4, 4, 4)
+                    .same_pad()
+                    .build()
+                    .unwrap(),
+                algo: GpuAlgo::CudnnImplicit,
+            },
+            deadline_ms: None,
+        };
+        let line = encode_estimate(&asym);
+        assert!(line.contains("\"pad_h_end\":2,\"pad_w_end\":2"), "{line}");
+        assert_eq!(parse_request(&line), Ok(Request::Estimate(asym)));
+    }
+
+    #[test]
+    fn shards_request_and_response_roundtrip() {
+        let line = encode_simple("shards", Some("sh"));
+        assert_eq!(
+            parse_request(&line),
+            Ok(Request::Shards {
+                id: Some("sh".into())
+            })
+        );
+        let shards = vec![
+            ShardStat {
+                shard: 0,
+                hits: 10,
+                misses: 3,
+                evictions: 1,
+                entries: 2,
+                capacity: 1024,
+                in_flight: 0,
+            },
+            ShardStat {
+                shard: 1,
+                hits: 0,
+                misses: 7,
+                evictions: 0,
+                entries: 7,
+                capacity: 1024,
+                in_flight: 2,
+            },
+        ];
+        let line = finish_response(Some("sh"), &shards_body(&shards));
+        assert_eq!(
+            parse_response(&line),
+            Ok(Response::Shards {
+                id: Some("sh".into()),
+                shards,
+            })
+        );
+        // Empty striping still parses (a zero-shard server is impossible,
+        // but the codec should not care).
+        let line = finish_response(None, &shards_body(&[]));
+        assert_eq!(
+            parse_response(&line),
+            Ok(Response::Shards {
+                id: None,
+                shards: Vec::new(),
+            })
+        );
+    }
+
+    #[test]
+    fn stats_merge_sums_counters_and_maxes_latency() {
+        let mut a = StatsSnapshot {
+            requests: 10,
+            hits: 7,
+            misses: 3,
+            latency_us_max: 40,
+            workers: 4,
+            cache_capacity: 1000,
+            ..StatsSnapshot::default()
+        };
+        let b = StatsSnapshot {
+            requests: 5,
+            hits: 1,
+            misses: 4,
+            latency_us_max: 90,
+            workers: 2,
+            cache_capacity: 1000,
+            ..StatsSnapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.requests, 15);
+        assert_eq!(a.hits + a.misses, a.requests);
+        assert_eq!(a.latency_us_max, 90);
+        assert_eq!(a.workers, 6);
+        assert_eq!(a.cache_capacity, 2000);
     }
 
     #[test]

@@ -14,14 +14,33 @@
 //!   overload valve — a full queue turns into an immediate `busy` error,
 //!   never a blocked reader.
 //!
+//! # Cache, striping, and single-flight
+//!
+//! The report cache is a [`StripedCache`]: N independent LRU shards
+//! selected by the stable hash of the canonical key, so connections
+//! touching different keys never serialize on one global lock, and hit
+//! bodies are shared `Arc<str>` handles cloned by pointer rather than by
+//! content. Concurrent misses on the *same* key collapse via the cache's
+//! per-shard single-flight registry: the first requester leads the one
+//! simulation, later requesters join as waiters whose response callbacks
+//! fire when the leader completes. A leader must complete its flight on
+//! **every** path (success, deadline, storm, panic, pool refusal) — a
+//! leaked flight would strand its followers forever.
+//!
 //! # Counter discipline
 //!
-//! `hits` is counted at the reader's cache lookup; `misses` is counted on
-//! a worker *after* the deadline check passes, right when a simulation
-//! actually runs. Rejections (busy / deadline / parse / bad-request /
-//! shutting-down) increment their own counters and are excluded from
-//! `requests`, so `hits + misses == requests` holds exactly at any
-//! quiescent point — the `stats` RPC invariant the determinism test pins.
+//! `hits` and `misses` live in the cache's per-shard counters (the
+//! `shards` op exposes them; their sums are the global `stats` numbers).
+//! A hit is counted at each response-delivery point: the reader's inline
+//! lookup, a dedup follower inside a batch, or a single-flight follower
+//! when its leader completes — followers' bytes came from the
+//! cache-to-be, so they are hits. A miss is counted exactly once per
+//! simulation actually run, by the leader. Rejections (busy / deadline /
+//! parse / bad-request / shutting-down) increment their own counters and
+//! are excluded from `requests`; a follower whose leader fails inherits
+//! the same typed error and is accounted as the same kind of rejection.
+//! So `hits + misses == requests` holds exactly at any quiescent point —
+//! the `stats` RPC invariant the determinism test pins.
 //!
 //! # Batch execution
 //!
@@ -58,7 +77,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -66,12 +85,12 @@ use iconv_faults::{FaultPoint, FaultSite, Injection};
 use iconv_par::{Job, PoolBusy, WorkerPool};
 use iconv_trace::TraceSink;
 
-use crate::cache::LruCache;
+use crate::cache::{Admission, Body, FlightOutcome, StripedCache};
 use crate::engine;
 use crate::key;
 use crate::protocol::{
     self, batch_summary_body, error_body, finish_item_response, finish_response, pong_body,
-    shutdown_body, stats_body, ErrorKind, Request, StatsSnapshot, Work,
+    shards_body, shutdown_body, stats_body, ErrorKind, Request, StatsSnapshot, Work,
 };
 
 /// Server tunables.
@@ -83,8 +102,12 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded job-queue capacity (overload backpressure threshold).
     pub queue_capacity: usize,
-    /// Report-cache capacity in entries.
+    /// Report-cache capacity in entries (spread across the shards).
     pub cache_capacity: usize,
+    /// Lock shards in the report cache. `0` means
+    /// [`StripedCache::DEFAULT_SHARDS`]; `1` degenerates to the old
+    /// single-lock cache (useful for comparison benchmarks).
+    pub cache_shards: usize,
     /// Maximum runner jobs a single batch may hold in the pool at once
     /// (the in-flight chunk). `0` means "as many as there are workers".
     /// Items beyond the chunk wait on the batch's own work list, so one
@@ -103,6 +126,7 @@ impl Default for ServerConfig {
             workers: iconv_par::default_jobs(),
             queue_capacity: 1024,
             cache_capacity: 16 * 1024,
+            cache_shards: 0,
             batch_chunk: 0,
             faults: None,
         }
@@ -112,8 +136,6 @@ impl Default for ServerConfig {
 #[derive(Default)]
 struct Counters {
     served: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
     busy: AtomicU64,
     deadline: AtomicU64,
     parse_errors: AtomicU64,
@@ -137,7 +159,7 @@ impl Counters {
 
 struct Shared {
     counters: Counters,
-    cache: Mutex<LruCache>,
+    cache: StripedCache,
     pool: WorkerPool,
     workers: usize,
     /// Armed fault plan, if any (see [`ServerConfig::faults`]).
@@ -154,14 +176,6 @@ struct Shared {
 }
 
 impl Shared {
-    /// The report cache, tolerant of lock poisoning: a connection thread
-    /// that panicked while holding the lock must not cascade into every
-    /// other connection (the cache's own operations never leave an entry
-    /// half-written — worst case the poisoned insert is simply absent).
-    fn cache(&self) -> MutexGuard<'_, LruCache> {
-        self.cache.lock().unwrap_or_else(|p| p.into_inner())
-    }
-
     fn request_shutdown(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
         let mut req = self
@@ -175,14 +189,6 @@ impl Shared {
 
     fn snapshot(&self) -> StatsSnapshot {
         let c = &self.counters;
-        let (cache_entries, cache_capacity, evictions) = {
-            let cache = self.cache();
-            (
-                cache.len() as u64,
-                cache.capacity() as u64,
-                cache.evictions(),
-            )
-        };
         let (queue_depth, in_flight) =
             (self.pool.queue_depth() as u64, self.pool.in_flight() as u64);
         let (faults_injected, faults_observed) = self.faults.as_ref().map_or((0, 0), |f| {
@@ -191,11 +197,11 @@ impl Shared {
         });
         StatsSnapshot {
             requests: c.served.load(Ordering::Relaxed),
-            hits: c.hits.load(Ordering::Relaxed),
-            misses: c.misses.load(Ordering::Relaxed),
-            evictions,
-            cache_entries,
-            cache_capacity,
+            hits: self.cache.hits(),
+            misses: self.cache.misses(),
+            evictions: self.cache.evictions(),
+            cache_entries: self.cache.len() as u64,
+            cache_capacity: self.cache.capacity() as u64,
             queue_depth,
             in_flight,
             busy_rejections: c.busy.load(Ordering::Relaxed),
@@ -238,6 +244,13 @@ impl Shared {
         sink.counter("serve.worker_crashes", s.worker_crashes);
         sink.counter("serve.fault.injected", s.faults_injected);
         sink.counter("serve.fault.observed", s.faults_observed);
+        for shard in self.cache.shard_stats() {
+            let i = shard.shard as usize;
+            sink.counter_indexed("serve.shard", i, "hits", shard.hits);
+            sink.counter_indexed("serve.shard", i, "misses", shard.misses);
+            sink.counter_indexed("serve.shard", i, "evictions", shard.evictions);
+            sink.counter_indexed("serve.shard", i, "entries", shard.entries);
+        }
         if let Some(f) = &self.faults {
             let fc = f.counters();
             for site in FaultSite::ALL {
@@ -342,9 +355,14 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     } else {
         cfg.batch_chunk
     };
+    let cache_shards = if cfg.cache_shards == 0 {
+        StripedCache::DEFAULT_SHARDS
+    } else {
+        cfg.cache_shards
+    };
     let shared = Arc::new(Shared {
         counters: Counters::default(),
-        cache: Mutex::new(LruCache::new(cfg.cache_capacity.max(1))),
+        cache: StripedCache::new(cfg.cache_capacity.max(1), cache_shards),
         pool: WorkerPool::new(workers, cfg.queue_capacity.max(1)),
         workers,
         batch_chunk,
@@ -540,7 +558,12 @@ struct BatchRun {
     base_seq: u64,
     summary_seq: u64,
     pending: Mutex<VecDeque<PendingSim>>,
-    /// Item lines still owed by workers (misses + their dedup followers).
+    /// Item lines still owed (misses, their dedup followers, and
+    /// single-flight joins), **plus one sentinel unit** held by the
+    /// admission pass itself: a joined flight's waiter may fire the
+    /// instant it is registered, and the sentinel keeps such early
+    /// completions from seeing the count hit zero and emitting the
+    /// summary before admission finishes.
     remaining: AtomicUsize,
     errors: AtomicU64,
 }
@@ -568,21 +591,57 @@ impl BatchRun {
         }
     }
 
-    /// Answer one deduplicated simulation: run it (or expire it), send
-    /// every item line it owes, and retire those items.
+    /// Settle one item that joined a flight led elsewhere (another
+    /// connection, or another batch): count it, send its line, retire its
+    /// owed unit. Runs as a single-flight waiter, outside any shard lock.
+    fn settle_follower(&self, item: usize, shard: usize, outcome: &FlightOutcome) {
+        let c = &self.shared.counters;
+        match outcome {
+            FlightOutcome::Ready(body) => {
+                self.shared.cache.note_hit(shard);
+                c.batch_hits.fetch_add(1, Ordering::Relaxed);
+                c.served.fetch_add(1, Ordering::Relaxed);
+                c.record_latency(self.t0);
+                self.send_item(item, body);
+            }
+            FlightOutcome::Failed(kind, detail) => {
+                count_rejection(c, *kind);
+                c.batch_errors.fetch_add(1, Ordering::Relaxed);
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.send_item(item, &error_body(*kind, detail));
+            }
+        }
+        self.items_done(1);
+    }
+
+    /// Fail every item of a dedup group with one typed error, completing
+    /// the group's flight so single-flight followers elsewhere inherit
+    /// the same outcome (the caller has already bumped the kind-specific
+    /// counter for its own items).
+    fn fail_items(&self, sim: &PendingSim, kind: ErrorKind, detail: &str) {
+        let k = sim.items.len();
+        let c = &self.shared.counters;
+        c.batch_errors.fetch_add(k as u64, Ordering::Relaxed);
+        self.errors.fetch_add(k as u64, Ordering::Relaxed);
+        self.shared
+            .cache
+            .complete(&sim.key, &FlightOutcome::Failed(kind, detail.to_owned()));
+        let body = error_body(kind, detail);
+        for &i in &sim.items {
+            self.send_item(i, &body);
+        }
+        self.items_done(k);
+    }
+
+    /// Answer one deduplicated simulation: run it (or expire it), complete
+    /// its flight, send every item line it owes, and retire those items.
     fn process(&self, sim: PendingSim) {
         let c = &self.shared.counters;
         let k = sim.items.len();
         if let Some(d) = self.deadline {
             if self.t0.elapsed() > d {
                 c.deadline.fetch_add(k as u64, Ordering::Relaxed);
-                c.batch_errors.fetch_add(k as u64, Ordering::Relaxed);
-                self.errors.fetch_add(k as u64, Ordering::Relaxed);
-                let body = error_body(ErrorKind::Deadline, "deadline expired in queue");
-                for &i in &sim.items {
-                    self.send_item(i, &body);
-                }
-                self.items_done(k);
+                self.fail_items(&sim, ErrorKind::Deadline, "deadline expired in queue");
                 return;
             }
         }
@@ -594,13 +653,7 @@ impl BatchRun {
             if f.decide(FaultSite::DeadlineStorm).is_some() {
                 f.observe(FaultSite::DeadlineStorm);
                 c.deadline.fetch_add(k as u64, Ordering::Relaxed);
-                c.batch_errors.fetch_add(k as u64, Ordering::Relaxed);
-                self.errors.fetch_add(k as u64, Ordering::Relaxed);
-                let body = error_body(ErrorKind::Deadline, "deadline expired in queue");
-                for &i in &sim.items {
-                    self.send_item(i, &body);
-                }
-                self.items_done(k);
+                self.fail_items(&sim, ErrorKind::Deadline, "deadline expired in queue");
                 return;
             }
         }
@@ -613,27 +666,27 @@ impl BatchRun {
             }
             engine::evaluate(&sim.work)
         }));
-        let body = match outcome {
-            Ok(body) => body,
+        let body: Body = match outcome {
+            Ok(body) => Body::from(body),
             Err(_) => {
                 c.worker_crashes.fetch_add(1, Ordering::Relaxed);
-                c.batch_errors.fetch_add(k as u64, Ordering::Relaxed);
-                self.errors.fetch_add(k as u64, Ordering::Relaxed);
-                let body = error_body(ErrorKind::WorkerCrashed, "simulation worker panicked");
-                for &i in &sim.items {
-                    self.send_item(i, &body);
-                }
-                self.items_done(k);
+                self.fail_items(&sim, ErrorKind::WorkerCrashed, "simulation worker panicked");
                 return;
             }
         };
-        self.shared.cache().insert(sim.key, body.clone());
+        // Completing caches the body and answers every joined follower.
+        let shard = self.shared.cache.shard_of(&sim.key);
+        self.shared
+            .cache
+            .complete(&sim.key, &FlightOutcome::Ready(Arc::clone(&body)));
         // The first item of a dedup group is the miss that paid for the
         // simulation; followers are hits by construction.
-        c.misses.fetch_add(1, Ordering::Relaxed);
+        self.shared.cache.note_miss(shard);
         c.batch_misses.fetch_add(1, Ordering::Relaxed);
         if k > 1 {
-            c.hits.fetch_add(k as u64 - 1, Ordering::Relaxed);
+            for _ in 1..k {
+                self.shared.cache.note_hit(shard);
+            }
             c.batch_hits.fetch_add(k as u64 - 1, Ordering::Relaxed);
         }
         c.served.fetch_add(k as u64, Ordering::Relaxed);
@@ -647,30 +700,42 @@ impl BatchRun {
     }
 
     /// Refuse everything still pending (pool rejected the batch's runners)
-    /// and account the refusals.
+    /// and account the refusals; each refused group's flight completes
+    /// Failed so joined followers are not stranded.
     fn refuse_all(&self, e: PoolBusy) {
         let kind = match e {
             PoolBusy::QueueFull => ErrorKind::Busy,
             PoolBusy::ShuttingDown => ErrorKind::ShuttingDown,
         };
-        let body = error_body(kind, &e.to_string());
+        let detail = e.to_string();
         let drained: Vec<PendingSim> = {
             let mut pending = self.pending.lock().expect("batch pending poisoned");
             pending.drain(..).collect()
         };
         let c = &self.shared.counters;
         for sim in drained {
-            let k = sim.items.len() as u64;
             if kind == ErrorKind::Busy {
-                c.busy.fetch_add(k, Ordering::Relaxed);
+                c.busy.fetch_add(sim.items.len() as u64, Ordering::Relaxed);
             }
-            c.batch_errors.fetch_add(k, Ordering::Relaxed);
-            self.errors.fetch_add(k, Ordering::Relaxed);
-            for &i in &sim.items {
-                self.send_item(i, &body);
-            }
-            self.items_done(sim.items.len());
+            self.fail_items(&sim, kind, &detail);
         }
+    }
+}
+
+/// Count a follower's inherited failure against the counter its kind
+/// belongs to — rejections stay out of `requests`, exactly as if the
+/// follower had led the flight and failed the same way itself. Worker
+/// crashes are counted once per actual panic (by the leader), and drain
+/// refusals have no dedicated counter, so both fall through.
+fn count_rejection(c: &Counters, kind: ErrorKind) {
+    match kind {
+        ErrorKind::Busy => {
+            c.busy.fetch_add(1, Ordering::Relaxed);
+        }
+        ErrorKind::Deadline => {
+            c.deadline.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
     }
 }
 
@@ -724,6 +789,10 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
             let body = stats_body(&shared.snapshot());
             send(finish_response(id.as_deref(), &body));
         }
+        Request::Shards { id } => {
+            let body = shards_body(&shared.cache.shard_stats());
+            send(finish_response(id.as_deref(), &body));
+        }
         Request::Shutdown { id } => {
             send(finish_response(id.as_deref(), &shutdown_body()));
             shared.request_shutdown();
@@ -737,31 +806,73 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
                 return 1;
             }
             let cache_key = key::canonical_key(&req.work);
+            let shard = shared.cache.shard_of(&cache_key);
             // Hit fast path: served inline by the reader, deadline ignored
-            // (a hit costs microseconds).
-            let cached = shared.cache().get(&cache_key);
-            if let Some(body) = cached {
-                shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+            // (a hit costs microseconds). One shard lock, pointer clone.
+            if let Some(body) = shared.cache.get(&cache_key) {
+                shared.cache.note_hit(shard);
                 shared.counters.served.fetch_add(1, Ordering::Relaxed);
                 shared.counters.record_latency(t0);
                 send(finish_response(req.id.as_deref(), &body));
                 return 1;
             }
+            // Single-flight admission. The waiter fires if another
+            // connection is already simulating this key: the follower's
+            // bytes come from the cache-to-be, so it is a hit; on failure
+            // it inherits the leader's typed error. A follower's own
+            // deadline is moot — joining costs nothing, like a hit.
+            let w_shared = Arc::clone(shared);
+            let w_tx = tx.clone();
+            let w_id = req.id.clone();
+            let waiter = move |outcome: &FlightOutcome| {
+                let line = match outcome {
+                    FlightOutcome::Ready(body) => {
+                        w_shared.cache.note_hit(shard);
+                        w_shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                        w_shared.counters.record_latency(t0);
+                        finish_response(w_id.as_deref(), body)
+                    }
+                    FlightOutcome::Failed(kind, detail) => {
+                        count_rejection(&w_shared.counters, *kind);
+                        finish_response(w_id.as_deref(), &error_body(*kind, detail))
+                    }
+                };
+                let _ = w_tx.send((seq, line));
+            };
+            match shared.cache.admit(&cache_key, waiter) {
+                Admission::Cached(body) => {
+                    // Raced in between the lock-free get and the admit:
+                    // an ordinary hit.
+                    shared.cache.note_hit(shard);
+                    shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.record_latency(t0);
+                    send(finish_response(req.id.as_deref(), &body));
+                    return 1;
+                }
+                Admission::Joined => return 1,
+                Admission::Lead => {}
+            }
+            // We lead: run the one simulation. Every exit below completes
+            // the flight exactly once so joined followers are answered.
             let err_id = req.id.clone();
             let job_shared = Arc::clone(shared);
             let job_tx = tx.clone();
+            let job_key = cache_key.clone();
             let job = move || {
+                let fail = |kind: ErrorKind, detail: &str| {
+                    job_shared
+                        .cache
+                        .complete(&job_key, &FlightOutcome::Failed(kind, detail.to_owned()));
+                    let _ = job_tx.send((
+                        seq,
+                        finish_response(req.id.as_deref(), &error_body(kind, detail)),
+                    ));
+                };
                 let deadline = req.deadline_ms.map(Duration::from_millis);
                 if let Some(d) = deadline {
                     if t0.elapsed() > d {
                         job_shared.counters.deadline.fetch_add(1, Ordering::Relaxed);
-                        let _ = job_tx.send((
-                            seq,
-                            finish_response(
-                                req.id.as_deref(),
-                                &error_body(ErrorKind::Deadline, "deadline expired in queue"),
-                            ),
-                        ));
+                        fail(ErrorKind::Deadline, "deadline expired in queue");
                         return;
                     }
                 }
@@ -774,13 +885,7 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
                     if f.decide(FaultSite::DeadlineStorm).is_some() {
                         f.observe(FaultSite::DeadlineStorm);
                         job_shared.counters.deadline.fetch_add(1, Ordering::Relaxed);
-                        let _ = job_tx.send((
-                            seq,
-                            finish_response(
-                                req.id.as_deref(),
-                                &error_body(ErrorKind::Deadline, "deadline expired in queue"),
-                            ),
-                        ));
+                        fail(ErrorKind::Deadline, "deadline expired in queue");
                         return;
                     }
                 }
@@ -793,25 +898,22 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
                     }
                     engine::evaluate(&req.work)
                 }));
-                let body = match outcome {
-                    Ok(body) => body,
+                let body: Body = match outcome {
+                    Ok(body) => Body::from(body),
                     Err(_) => {
                         job_shared
                             .counters
                             .worker_crashes
                             .fetch_add(1, Ordering::Relaxed);
-                        let _ = job_tx.send((
-                            seq,
-                            finish_response(
-                                req.id.as_deref(),
-                                &error_body(ErrorKind::WorkerCrashed, "simulation worker panicked"),
-                            ),
-                        ));
+                        fail(ErrorKind::WorkerCrashed, "simulation worker panicked");
                         return;
                     }
                 };
-                job_shared.cache().insert(cache_key, body.clone());
-                job_shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+                // Completing caches the body and answers every follower.
+                job_shared
+                    .cache
+                    .complete(&job_key, &FlightOutcome::Ready(Arc::clone(&body)));
+                job_shared.cache.note_miss(shard);
                 job_shared.counters.served.fetch_add(1, Ordering::Relaxed);
                 job_shared.counters.record_latency(t0);
                 let _ = job_tx.send((seq, finish_response(req.id.as_deref(), &body)));
@@ -824,6 +926,11 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
                     }
                     PoolBusy::ShuttingDown => ErrorKind::ShuttingDown,
                 };
+                // The refused leader still owes the flight its completion
+                // (a follower may have joined between admit and here).
+                shared
+                    .cache
+                    .complete(&cache_key, &FlightOutcome::Failed(kind, e.to_string()));
                 send(finish_response(
                     err_id.as_deref(),
                     &error_body(kind, &e.to_string()),
@@ -872,45 +979,6 @@ fn handle_batch(
     let c = &shared.counters;
     c.batches.fetch_add(1, Ordering::Relaxed);
     c.batch_items.fetch_add(n as u64, Ordering::Relaxed);
-    // Per-item cache pass: hits are answered inline without a worker slot;
-    // the misses dedup onto one PendingSim per canonical key.
-    let mut pending: VecDeque<PendingSim> = VecDeque::new();
-    let mut dedup: BTreeMap<String, usize> = BTreeMap::new();
-    let mut owed = 0usize;
-    for (i, work) in items.into_iter().enumerate() {
-        let cache_key = key::canonical_key(&work);
-        let cached = shared.cache().get(&cache_key);
-        if let Some(body) = cached {
-            c.hits.fetch_add(1, Ordering::Relaxed);
-            c.batch_hits.fetch_add(1, Ordering::Relaxed);
-            c.served.fetch_add(1, Ordering::Relaxed);
-            c.record_latency(t0);
-            send_at(
-                seq + i as u64,
-                finish_item_response(id.as_deref(), i, &body),
-            );
-        } else if let Some(&slot) = dedup.get(&cache_key) {
-            pending[slot].items.push(i);
-            owed += 1;
-        } else {
-            dedup.insert(cache_key.clone(), pending.len());
-            pending.push_back(PendingSim {
-                work,
-                key: cache_key,
-                items: vec![i],
-            });
-            owed += 1;
-        }
-    }
-    if pending.is_empty() {
-        // All hits: the reader settles the whole batch inline.
-        send_at(
-            seq + n as u64,
-            finish_response(id.as_deref(), &batch_summary_body(n as u64, 0)),
-        );
-        return span;
-    }
-    let runners = shared.batch_chunk.min(pending.len()).max(1);
     let run = Arc::new(BatchRun {
         shared: Arc::clone(shared),
         tx: tx.clone(),
@@ -920,28 +988,93 @@ fn handle_batch(
         n_items: n as u64,
         base_seq: seq,
         summary_seq: seq + n as u64,
-        pending: Mutex::new(pending),
-        remaining: AtomicUsize::new(owed),
+        pending: Mutex::new(VecDeque::new()),
+        // The sentinel unit: held by this admission pass, released after
+        // the work list is published (see the field docs).
+        remaining: AtomicUsize::new(1),
         errors: AtomicU64::new(0),
     });
-    let jobs: Vec<Job> = (0..runners)
-        .map(|_| {
-            let run = Arc::clone(&run);
-            Box::new(move || run_batch_step(&run)) as Job
-        })
-        .collect();
-    if let Err(batch_err) = shared.pool.try_submit_batch(jobs) {
-        // The whole chunk did not fit; a single runner still makes the
-        // batch progress (slower, but admitted).
-        let single = Arc::clone(&run);
-        if shared
-            .pool
-            .try_submit(move || run_batch_step(&single))
-            .is_err()
+    // Per-item cache pass: hits are answered inline without a worker
+    // slot; keys already in flight (led by another connection or batch)
+    // are joined; the rest dedup onto one PendingSim per canonical key.
+    // The work list stays local until the pass ends — no runner is
+    // draining it, so dedup slot indices stay valid.
+    let mut pending: VecDeque<PendingSim> = VecDeque::new();
+    let mut dedup: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, work) in items.into_iter().enumerate() {
+        let cache_key = key::canonical_key(&work);
+        let shard = shared.cache.shard_of(&cache_key);
+        if let Some(body) = shared.cache.get(&cache_key) {
+            shared.cache.note_hit(shard);
+            c.batch_hits.fetch_add(1, Ordering::Relaxed);
+            c.served.fetch_add(1, Ordering::Relaxed);
+            c.record_latency(t0);
+            run.send_item(i, &body);
+            continue;
+        }
+        if let Some(&slot) = dedup.get(&cache_key) {
+            // Intra-batch duplicate of a key this batch will lead.
+            pending[slot].items.push(i);
+            run.remaining.fetch_add(1, Ordering::AcqRel);
+            continue;
+        }
+        // Claim the owed unit *before* admitting: a joined waiter may
+        // fire the instant `admit` returns, and must find its own unit
+        // already in the count.
+        run.remaining.fetch_add(1, Ordering::AcqRel);
+        let w_run = Arc::clone(&run);
+        match shared
+            .cache
+            .admit(&cache_key, move |o| w_run.settle_follower(i, shard, o))
         {
-            run.refuse_all(batch_err);
+            Admission::Cached(body) => {
+                // Raced in since the lock-free get: an ordinary hit. Give
+                // the claimed unit back (the sentinel keeps this from
+                // emitting the summary early).
+                shared.cache.note_hit(shard);
+                c.batch_hits.fetch_add(1, Ordering::Relaxed);
+                c.served.fetch_add(1, Ordering::Relaxed);
+                c.record_latency(t0);
+                run.send_item(i, &body);
+                run.items_done(1);
+            }
+            Admission::Joined => {}
+            Admission::Lead => {
+                dedup.insert(cache_key.clone(), pending.len());
+                pending.push_back(PendingSim {
+                    work,
+                    key: cache_key,
+                    items: vec![i],
+                });
+            }
         }
     }
+    let owed_sims = pending.len();
+    *run.pending.lock().expect("batch pending poisoned") = pending;
+    if owed_sims > 0 {
+        let runners = shared.batch_chunk.min(owed_sims).max(1);
+        let jobs: Vec<Job> = (0..runners)
+            .map(|_| {
+                let run = Arc::clone(&run);
+                Box::new(move || run_batch_step(&run)) as Job
+            })
+            .collect();
+        if let Err(batch_err) = shared.pool.try_submit_batch(jobs) {
+            // The whole chunk did not fit; a single runner still makes
+            // the batch progress (slower, but admitted).
+            let single = Arc::clone(&run);
+            if shared
+                .pool
+                .try_submit(move || run_batch_step(&single))
+                .is_err()
+            {
+                run.refuse_all(batch_err);
+            }
+        }
+    }
+    // Release the sentinel; if every item settled inline (all hits, or
+    // fast joins already completed), this emits the summary.
+    run.items_done(1);
     span
 }
 

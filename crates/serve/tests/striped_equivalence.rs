@@ -1,0 +1,113 @@
+//! Striping must not change what the cache *remembers* — only how it
+//! locks. This drives a [`StripedCache`] and a reference model (N
+//! independent single-lock [`LruCache`] shards routed by the same
+//! [`shard_of`] hash) through the same interleaved insert/get trace and
+//! demands identical answers at every step, identical final population,
+//! and identical eviction counts.
+//!
+//! Runs under the offline `proptest` shim: deterministic seed, no
+//! shrinking — a failing case prints its inputs via the assertion message.
+
+use proptest::prelude::*;
+
+use iconv_api::shard_of;
+use iconv_serve::cache::{Body, LruCache, StripedCache};
+
+/// The reference: per-shard LRU with the same capacity split the striped
+/// cache uses (`total.div_ceil(n).max(1)` per shard), no shared state.
+struct Reference {
+    shards: Vec<LruCache<Body>>,
+}
+
+impl Reference {
+    fn new(total_capacity: usize, n_shards: usize) -> Self {
+        let per_shard = total_capacity.div_ceil(n_shards).max(1);
+        Self {
+            shards: (0..n_shards).map(|_| LruCache::new(per_shard)).collect(),
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<Body> {
+        let s = shard_of(key, self.shards.len());
+        self.shards[s].get(key)
+    }
+
+    fn insert(&mut self, key: &str, body: &Body) {
+        let s = shard_of(key, self.shards.len());
+        self.shards[s].insert(key.to_owned(), Arc::clone(body));
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(LruCache::len).sum()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.shards.iter().map(LruCache::evictions).sum()
+    }
+}
+
+use std::sync::Arc;
+
+/// Expand a seed into an interleaved trace of `(key index, is_insert)`
+/// steps (splitmix64 — the shim has no `collection::vec` strategy). The
+/// key space is small on purpose, so traces revisit keys and exercise
+/// promotion and eviction.
+fn trace(seed: u64, len: usize) -> Vec<(u8, bool)> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            ((z % 24) as u8, z & (1 << 32) != 0)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every step answers identically, and the final population and
+    /// eviction ledger agree, for every (capacity, shard count) corner —
+    /// including 1 shard (the old global cache) and more shards than
+    /// capacity.
+    #[test]
+    fn striped_matches_reference(seed in 0u64..u64::MAX,
+                                 len in 1usize..200,
+                                 capacity in 1usize..12,
+                                 n_shards in 1usize..6) {
+        let striped = StripedCache::new(capacity, n_shards);
+        let mut reference = Reference::new(capacity, n_shards);
+        prop_assert_eq!(striped.n_shards(), n_shards);
+        for (step, &(k, is_insert)) in trace(seed, len).iter().enumerate() {
+            let key = format!("tpu;conv;key-{k}");
+            if is_insert {
+                let body: Body = Arc::from(format!("\"ok\":true,\"v\":{k}").as_str());
+                striped.insert(key.clone(), Arc::clone(&body));
+                reference.insert(&key, &body);
+            } else {
+                let got = striped.get(&key);
+                let want = reference.get(&key);
+                prop_assert_eq!(
+                    got.as_deref(), want.as_deref(),
+                    "step {} diverged on {:?} (capacity {}, {} shards)",
+                    step, key, capacity, n_shards
+                );
+            }
+            prop_assert_eq!(striped.len(), reference.len(), "population at step {}", step);
+        }
+        prop_assert_eq!(striped.evictions(), reference.evictions());
+    }
+
+    /// `shard_of` and the striped cache agree on key placement, so the
+    /// per-shard stats a router aggregates describe the same partition the
+    /// reference model used.
+    #[test]
+    fn shard_routing_is_stable(k in 0u8..=255, n_shards in 1usize..9) {
+        let striped = StripedCache::new(64, n_shards);
+        let key = format!("gpu;conv;key-{k}");
+        prop_assert_eq!(striped.shard_of(&key), shard_of(&key, n_shards));
+    }
+}

@@ -67,10 +67,18 @@ pub struct ConvShape {
     pub stride_h: usize,
     /// Horizontal stride.
     pub stride_w: usize,
-    /// Vertical zero padding (both top and bottom).
+    /// Leading (top) vertical zero padding. All geometry in the workspace
+    /// treats `pad_h` as the offset of the first input row; the trailing
+    /// pad only widens the output range via [`ConvShape::out_h`].
     pub pad_h: usize,
-    /// Horizontal zero padding (both left and right).
+    /// Leading (left) horizontal zero padding.
     pub pad_w: usize,
+    /// Trailing (bottom) vertical zero padding. Equal to `pad_h` for the
+    /// common symmetric case; [`ConvShapeBuilder::same_pad`] sets it one
+    /// larger for even effective filters (framework "SAME" semantics).
+    pub pad_h_end: usize,
+    /// Trailing (right) horizontal zero padding.
+    pub pad_w_end: usize,
     /// Vertical dilation (1 = dense filter).
     pub dil_h: usize,
     /// Horizontal dilation (1 = dense filter).
@@ -98,17 +106,30 @@ impl ConvShapeBuilder {
         self
     }
 
-    /// Set both paddings to `p`.
+    /// Set all four paddings to `p` (symmetric).
     pub fn pad(mut self, p: usize) -> Self {
         self.shape.pad_h = p;
         self.shape.pad_w = p;
+        self.shape.pad_h_end = p;
+        self.shape.pad_w_end = p;
         self
     }
 
-    /// Set the paddings individually.
+    /// Set the per-axis paddings (symmetric: trailing pads follow).
     pub fn pad_hw(mut self, ph: usize, pw: usize) -> Self {
         self.shape.pad_h = ph;
         self.shape.pad_w = pw;
+        self.shape.pad_h_end = ph;
+        self.shape.pad_w_end = pw;
+        self
+    }
+
+    /// Override the trailing (bottom/right) paddings independently of the
+    /// leading ones. Call after [`Self::pad`]/[`Self::pad_hw`], which reset
+    /// both sides.
+    pub fn pad_end_hw(mut self, ph_end: usize, pw_end: usize) -> Self {
+        self.shape.pad_h_end = ph_end;
+        self.shape.pad_w_end = pw_end;
         self
     }
 
@@ -126,21 +147,39 @@ impl ConvShapeBuilder {
         self
     }
 
-    /// "Same" padding: choose padding so that `Ho = ceil(Hi/stride)`.
+    /// "Same" padding: choose padding so that `Ho = ceil(Hi/stride)`,
+    /// exactly, for every effective filter size.
     ///
-    /// Only exact for odd effective filter sizes; the common CNN case.
-    /// For an *even* effective filter `f`, symmetric padding cannot hit the
-    /// target exactly: `pad = f/2` on both sides over-pads by one, so a
-    /// stride-1 layer comes out one *larger* (`Ho = Hi + 1`). Frameworks
-    /// that support even "same" filters pad asymmetrically
-    /// (`left = (f−1)/2`, `right = f/2`); this builder keeps a single
-    /// per-axis `pad` field, so it inherits the symmetric rounding — see
-    /// `same_pad_overshoots_by_one_for_even_filters`.
+    /// For an *even* effective filter `f` there is no symmetric padding
+    /// that hits the target, so this pads asymmetrically the way the
+    /// frameworks do: `leading = (f−1)/2`, `trailing = f/2` (one more at
+    /// the bottom/right). Odd filters get the familiar `f/2` on both
+    /// sides — identical to the historical behavior. Callers that need
+    /// the old symmetric rounding (which over-pads even filters by one
+    /// row/column) can use [`Self::same_pad_symmetric`].
     pub fn same_pad(mut self) -> Self {
+        let eff_h = self.shape.dil_h * (self.shape.hf - 1) + 1;
+        let eff_w = self.shape.dil_w * (self.shape.wf - 1) + 1;
+        self.shape.pad_h = (eff_h - 1) / 2;
+        self.shape.pad_w = (eff_w - 1) / 2;
+        self.shape.pad_h_end = eff_h / 2;
+        self.shape.pad_w_end = eff_w / 2;
+        self
+    }
+
+    /// The pre-asymmetric "same" padding: `pad = f/2` on both sides.
+    ///
+    /// Exact for odd effective filters; for even filters this over-pads by
+    /// one, so a stride-1 layer comes out one larger (`Ho = Hi + 1`) —
+    /// see `same_pad_symmetric_overshoots_for_even_filters`. Kept for
+    /// callers that must reproduce historical symmetric-only geometry.
+    pub fn same_pad_symmetric(mut self) -> Self {
         let eff_h = self.shape.dil_h * (self.shape.hf - 1) + 1;
         let eff_w = self.shape.dil_w * (self.shape.wf - 1) + 1;
         self.shape.pad_h = eff_h / 2;
         self.shape.pad_w = eff_w / 2;
+        self.shape.pad_h_end = self.shape.pad_h;
+        self.shape.pad_w_end = self.shape.pad_w;
         self
     }
 
@@ -172,16 +211,16 @@ impl ConvShapeBuilder {
         }
         let eff_h = s.dil_h * (s.hf - 1) + 1;
         let eff_w = s.dil_w * (s.wf - 1) + 1;
-        if s.hi + 2 * s.pad_h < eff_h {
+        if s.hi + s.pad_h + s.pad_h_end < eff_h {
             return Err(ShapeError::new(format!(
                 "effective filter height {eff_h} exceeds padded input height {}",
-                s.hi + 2 * s.pad_h
+                s.hi + s.pad_h + s.pad_h_end
             )));
         }
-        if s.wi + 2 * s.pad_w < eff_w {
+        if s.wi + s.pad_w + s.pad_w_end < eff_w {
             return Err(ShapeError::new(format!(
                 "effective filter width {eff_w} exceeds padded input width {}",
-                s.wi + 2 * s.pad_w
+                s.wi + s.pad_w + s.pad_w_end
             )));
         }
         Ok(s)
@@ -214,6 +253,8 @@ impl ConvShape {
                 stride_w: 1,
                 pad_h: 0,
                 pad_w: 0,
+                pad_h_end: 0,
+                pad_w_end: 0,
                 dil_h: 1,
                 dil_w: 1,
             },
@@ -252,12 +293,20 @@ impl ConvShape {
 
     /// Output height `Ho`.
     pub fn out_h(&self) -> usize {
-        (self.hi + 2 * self.pad_h - self.eff_hf()) / self.stride_h + 1
+        (self.hi + self.pad_h + self.pad_h_end - self.eff_hf()) / self.stride_h + 1
     }
 
     /// Output width `Wo`.
     pub fn out_w(&self) -> usize {
-        (self.wi + 2 * self.pad_w - self.eff_wf()) / self.stride_w + 1
+        (self.wi + self.pad_w + self.pad_w_end - self.eff_wf()) / self.stride_w + 1
+    }
+
+    /// True when either axis pads differently at the two ends (even-filter
+    /// "SAME" geometry). Symmetric shapes render keys, wire encodings and
+    /// display strings exactly as they always have; only asymmetric shapes
+    /// carry the extra trailing-pad fields.
+    pub fn has_asymmetric_pad(&self) -> bool {
+        self.pad_h_end != self.pad_h || self.pad_w_end != self.pad_w
     }
 
     /// Number of rows of the lowered IFMap matrix: `N * Ho * Wo`.
@@ -323,6 +372,8 @@ impl ConvShape {
             && self.stride_w == 1
             && self.pad_h == 0
             && self.pad_w == 0
+            && self.pad_h_end == 0
+            && self.pad_w_end == 0
     }
 
     /// Shape of one batch item (`n = 1`), used when a simulator iterates
@@ -349,6 +400,9 @@ impl fmt::Display for ConvShape {
             self.pad_h,
             self.pad_w
         )?;
+        if self.has_asymmetric_pad() {
+            write!(f, "+{}x{}", self.pad_h_end, self.pad_w_end)?;
+        }
         if self.dil_h != 1 || self.dil_w != 1 {
             write!(f, " d{}x{}", self.dil_h, self.dil_w)?;
         }
@@ -400,24 +454,84 @@ mod tests {
         assert_eq!((s.out_h(), s.out_w()), (14, 14));
     }
 
-    /// Even effective filters have no symmetric "same" padding: `pad = f/2`
-    /// on both sides adds one extra row/column, so stride 1 yields
-    /// `Ho = Hi + 1` (and stride 2 yields `Hi/2 + 1`) rather than the
-    /// `ceil(Hi/stride)` target documented on [`ConvShapeBuilder::same_pad`].
+    /// Even effective filters have no symmetric "same" padding, so
+    /// [`ConvShapeBuilder::same_pad`] pads asymmetrically — one more at the
+    /// trailing edge, the framework convention — and hits the
+    /// `Ho = ceil(Hi/stride)` target exactly.
     #[test]
-    fn same_pad_overshoots_by_one_for_even_filters() {
+    fn same_pad_is_exact_for_even_filters() {
         let s = ConvShape::new(1, 4, 14, 14, 4, 4, 4)
             .same_pad()
             .build()
             .unwrap();
-        assert_eq!((s.pad_h, s.pad_w), (2, 2));
-        assert_eq!((s.out_h(), s.out_w()), (15, 15));
+        assert_eq!((s.pad_h, s.pad_w), (1, 1));
+        assert_eq!((s.pad_h_end, s.pad_w_end), (2, 2));
+        assert!(s.has_asymmetric_pad());
+        assert_eq!((s.out_h(), s.out_w()), (14, 14));
         let s = ConvShape::new(1, 4, 14, 14, 4, 2, 2)
             .stride(2)
             .same_pad()
             .build()
             .unwrap();
-        assert_eq!((s.out_h(), s.out_w()), (8, 8)); // target was ceil(14/2) = 7
+        assert_eq!((s.pad_h, s.pad_h_end), (0, 1));
+        assert_eq!((s.out_h(), s.out_w()), (7, 7)); // target: ceil(14/2) = 7
+    }
+
+    /// The historical symmetric rounding stays available, with the
+    /// documented overshoot: `pad = f/2` on both sides adds one extra
+    /// row/column, so stride 1 yields `Ho = Hi + 1` and stride 2 yields
+    /// `Hi/2 + 1` rather than the `ceil(Hi/stride)` target.
+    #[test]
+    fn same_pad_symmetric_overshoots_for_even_filters() {
+        let s = ConvShape::new(1, 4, 14, 14, 4, 4, 4)
+            .same_pad_symmetric()
+            .build()
+            .unwrap();
+        assert_eq!((s.pad_h, s.pad_w), (2, 2));
+        assert!(!s.has_asymmetric_pad());
+        assert_eq!((s.out_h(), s.out_w()), (15, 15));
+        let s = ConvShape::new(1, 4, 14, 14, 4, 2, 2)
+            .stride(2)
+            .same_pad_symmetric()
+            .build()
+            .unwrap();
+        assert_eq!((s.out_h(), s.out_w()), (8, 8));
+    }
+
+    /// Odd filters are unaffected by the asymmetric fix: both `same_pad`
+    /// flavors produce identical symmetric shapes.
+    #[test]
+    fn same_pad_flavors_agree_on_odd_filters() {
+        for f in [1usize, 3, 5, 7] {
+            let a = ConvShape::new(1, 4, 14, 14, 4, f, f)
+                .same_pad()
+                .build()
+                .unwrap();
+            let b = ConvShape::new(1, 4, 14, 14, 4, f, f)
+                .same_pad_symmetric()
+                .build()
+                .unwrap();
+            assert_eq!(a, b, "f={f}");
+            assert!(!a.has_asymmetric_pad(), "f={f}");
+        }
+    }
+
+    /// Trailing pad participates in validation and output geometry: a
+    /// filter that only fits thanks to the trailing pad builds, and the
+    /// extra output positions come from the trailing edge.
+    #[test]
+    fn trailing_pad_extends_output() {
+        let s = ConvShape::new(1, 1, 5, 5, 1, 3, 3)
+            .pad_hw(0, 0)
+            .pad_end_hw(2, 2)
+            .build()
+            .unwrap();
+        assert_eq!((s.out_h(), s.out_w()), (5, 5));
+        // Too-large filter fits once the trailing pad is counted.
+        assert!(ConvShape::new(1, 1, 2, 2, 1, 3, 3)
+            .pad_end_hw(1, 1)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -41,6 +41,16 @@ pub trait TraceSink {
     fn counter(&mut self, name: &str, value: u64) {
         let _ = (name, value);
     }
+
+    /// Accumulate `value` into `{prefix}.{index}.{name}` — the naming
+    /// convention for per-instance counters (cache shards, fleet
+    /// backends), so rollups can both sum across instances and inspect
+    /// one. Skips the formatting entirely when the sink is disabled.
+    fn counter_indexed(&mut self, prefix: &str, index: usize, name: &str, value: u64) {
+        if self.enabled() {
+            self.counter(&format!("{prefix}.{index}.{name}"), value);
+        }
+    }
 }
 
 /// The no-op sink: every emission compiles to an empty inlinable call.
@@ -226,6 +236,19 @@ mod tests {
         assert_eq!(r.track_total("mem"), 300);
         assert_eq!(r.counters()["cycles"], 1500);
         assert_eq!(r.tracks(), vec!["layer", "mem"]);
+    }
+
+    #[test]
+    fn counter_indexed_names_by_prefix_index_name() {
+        let mut r = Recorder::new();
+        r.counter_indexed("serve.shard", 3, "hits", 7);
+        r.counter_indexed("serve.shard", 3, "hits", 2);
+        r.counter_indexed("serve.shard", 11, "misses", 1);
+        assert_eq!(r.counters()["serve.shard.3.hits"], 9);
+        assert_eq!(r.counters()["serve.shard.11.misses"], 1);
+        // Disabled sinks skip the name formatting and record nothing.
+        let mut n = NullSink;
+        n.counter_indexed("serve.shard", 0, "hits", 1);
     }
 
     #[test]
