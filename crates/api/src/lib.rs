@@ -22,21 +22,32 @@
 //!   key hash shared by the striped in-process cache and the `routed`
 //!   consistent-hash fleet, so shard placement is identical everywhere a
 //!   canonical key is hashed.
+//! - [`hist::LatencyHist`]: the fixed-layout HDR-style latency histogram —
+//!   exact counts, mergeable across connections and backends, bounded
+//!   quantile error — shared by the server's `stats` op and the open-loop
+//!   capacity harness.
+//! - [`zipf::ZipfSampler`]: the deterministic seeded Zipfian key sampler
+//!   the capacity harness skews its canonical-key population with (the
+//!   splitmix primitives are re-exported from `iconv-faults`).
 //!
 //! The wire codecs stay in `iconv-serve`; this crate knows nothing about
 //! JSON or sockets.
 
 #![warn(missing_docs)]
 
+pub mod hist;
 pub mod key;
 pub mod ring;
 pub mod spec;
 pub mod sweep;
 pub mod table;
 pub mod work;
+pub mod zipf;
 
+pub use hist::LatencyHist;
 pub use key::canonical_key;
 pub use ring::{shard_of, stable_hash64, HashRing};
 pub use spec::{resolve_tpu, TpuChip, TpuHwSpec};
 pub use sweep::{SweepError, SweepSpec, SweepTarget, MAX_SWEEP_ITEMS};
 pub use work::Work;
+pub use zipf::ZipfSampler;

@@ -1,0 +1,98 @@
+//! Property battery for the HDR-style latency histogram, against exact
+//! oracles:
+//!
+//! * quantiles vs. a sorted-vector oracle — the estimate never undershoots
+//!   the true order statistic and overshoots by at most the width of the
+//!   bucket the true value lives in;
+//! * `merge(a, b)` is exactly equivalent to recording both streams into
+//!   one histogram (full structural equality, not just matching counts);
+//! * the compact JSON encoding round-trips to an identical histogram.
+//!
+//! Runs under the offline `proptest` shim: deterministic seed, no
+//! shrinking — a failing case prints its inputs via the assertion message.
+
+use proptest::prelude::*;
+
+use iconv_api::hist::{bucket_bounds, bucket_index, LatencyHist};
+use iconv_api::zipf::mix64;
+
+/// Derive a pseudo-random value stream from `(seed, len)`, spanning many
+/// orders of magnitude: each element's top bits pick a shift so streams
+/// mix unit-width linear-region values with huge log-region ones.
+fn stream(seed: u64, len: usize) -> Vec<u64> {
+    (0..len as u64)
+        .map(|i| {
+            let r = mix64(seed ^ i);
+            let shift = (r >> 58) % 60; // 0..=59: values from 64 bits down to ~4
+            r >> shift
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Quantile estimates vs. the exact sorted-vector order statistic.
+    #[test]
+    fn quantiles_match_sorted_oracle(seed in 0u64..u64::MAX, len in 1usize..500) {
+        let values = stream(seed, len);
+        let mut h = LatencyHist::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), len as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * len as f64).ceil() as usize).clamp(1, len);
+            let exact = sorted[rank - 1];
+            let est = h.value_at_quantile(q);
+            // Never undershoots the true order statistic...
+            prop_assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+            // ...and overshoots by at most the width of exact's bucket.
+            let (_, hi) = bucket_bounds(bucket_index(exact));
+            prop_assert!(est <= hi, "q={q}: est {est} > bucket hi {hi} of {exact}");
+        }
+    }
+
+    /// merge(a, b) ≡ record-all: structurally identical histograms.
+    #[test]
+    fn merge_is_record_all(seed_a in 0u64..u64::MAX, seed_b in 0u64..u64::MAX,
+                           len_a in 0usize..300, len_b in 0usize..300) {
+        let (va, vb) = (stream(seed_a, len_a), stream(seed_b, len_b));
+        let mut ha = LatencyHist::new();
+        let mut hb = LatencyHist::new();
+        let mut all = LatencyHist::new();
+        for &v in &va {
+            ha.record(v);
+            all.record(v);
+        }
+        for &v in &vb {
+            hb.record(v);
+            all.record(v);
+        }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(&merged, &all);
+        // Merge is symmetric.
+        let mut other_way = hb;
+        other_way.merge(&ha);
+        prop_assert_eq!(&other_way, &all);
+    }
+
+    /// to_json → from_json is the identity (empty case covered by len 0).
+    #[test]
+    fn json_roundtrip_identity(seed in 0u64..u64::MAX, len in 0usize..300) {
+        let mut h = LatencyHist::new();
+        for &v in &stream(seed, len) {
+            h.record(v);
+        }
+        let encoded = h.to_json();
+        let back = LatencyHist::from_json(&encoded).expect("canonical encoding parses");
+        prop_assert_eq!(&back, &h);
+        // And re-encoding is byte-stable.
+        prop_assert_eq!(back.to_json(), encoded);
+    }
+}

@@ -1,0 +1,72 @@
+//! Determinism contract for the Zipfian sampler: the key sequence is a
+//! pure function of `(seed, draw_index)` — byte-identical across runs and
+//! **independent of thread interleaving**, the same discipline the
+//! `iconv-faults` decision streams pin.
+
+use iconv_api::ZipfSampler;
+
+const N: usize = 228; // the small workload table's population size ballpark
+const DRAWS: u64 = 50_000;
+
+#[test]
+fn same_seed_same_rank_sequence() {
+    let a = ZipfSampler::new(N, 1.1, 0xC0FFEE);
+    let b = ZipfSampler::new(N, 1.1, 0xC0FFEE);
+    let seq_a: Vec<usize> = (0..DRAWS).map(|i| a.rank_at(i)).collect();
+    let seq_b: Vec<usize> = (0..DRAWS).map(|i| b.rank_at(i)).collect();
+    assert_eq!(seq_a, seq_b);
+}
+
+/// Four threads draw disjoint, interleaved slices of the stream in
+/// whatever order the scheduler serves them; reassembled, the sequence
+/// equals the single-threaded one exactly.
+#[test]
+fn rank_stream_is_interleaving_independent() {
+    let z = ZipfSampler::new(N, 1.1, 42);
+    let sequential: Vec<usize> = (0..DRAWS).map(|i| z.rank_at(i)).collect();
+
+    let threads = 4u64;
+    let mut reassembled = vec![usize::MAX; DRAWS as usize];
+    let chunks: Vec<(u64, Vec<usize>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let z = &z;
+                scope.spawn(move || {
+                    // Stride-t slice, walked *backwards* so no thread's
+                    // access order matches the sequential order.
+                    let mut mine: Vec<(u64, usize)> = (0..DRAWS)
+                        .filter(|i| i % threads == t)
+                        .rev()
+                        .map(|i| (i, z.rank_at(i)))
+                        .collect();
+                    mine.reverse();
+                    (t, mine.into_iter().map(|(_, r)| r).collect())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (t, ranks) in chunks {
+        for (k, r) in ranks.into_iter().enumerate() {
+            reassembled[(k as u64 * threads + t) as usize] = r;
+        }
+    }
+    assert_eq!(reassembled, sequential);
+}
+
+#[test]
+fn draws_cover_the_population_head_heavily() {
+    let z = ZipfSampler::new(N, 1.1, 7);
+    let mut counts = vec![0u64; N];
+    for i in 0..DRAWS {
+        counts[z.rank_at(i)] += 1;
+    }
+    // Rank 0 is the hottest key and the head dominates the tail.
+    let hottest = counts.iter().copied().max().unwrap();
+    assert_eq!(counts[0], hottest, "rank 0 must be the hottest");
+    let head: u64 = counts[..N / 10].iter().sum();
+    assert!(
+        head > DRAWS / 2,
+        "top decile drew {head}/{DRAWS}, expected Zipf head dominance"
+    );
+}

@@ -1,0 +1,563 @@
+//! Open-loop capacity measurement: arrival schedules, a
+//! coordinated-omission-safe runner, and a knee-finding rate search.
+//!
+//! The closed-loop `loadgen` path answers "how fast can N lockstep
+//! connections go?" — a number that *hides* overload, because a slow
+//! response silently throttles the generator. This module asks the
+//! capacity question instead: **at a fixed offered rate, what latency do
+//! clients actually experience, and what is the highest rate the server
+//! sustains under a p99 SLO?**
+//!
+//! Three design rules, all load-bearing:
+//!
+//! * **Open loop.** Requests are sent on a virtual-clock schedule derived
+//!   only from `(index, rate)` — the sender never waits for responses, so
+//!   in-flight depth is unbounded and overload shows up as queueing delay
+//!   instead of a lower send rate.
+//! * **Intended-time stamping.** Every latency is measured from the
+//!   *intended* send instant (`index / rate`), not the actual write. If
+//!   the transport stalls, the requests queued behind the stall are
+//!   charged their full wait — the classic coordinated-omission fix. The
+//!   naive (actual-send) histogram is kept alongside for contrast, and a
+//!   regression test pins the gap between the two.
+//! * **Determinism.** The schedule — arrival times, framing mix, Zipfian
+//!   key choices — is a pure function of the seed, via the same
+//!   stateless indexed-draw discipline as `iconv-faults` decision
+//!   streams. Two builds of the same spec are byte-identical.
+//!
+//! [`find_knee`] bisects offered rates against a p99 SLO to report the
+//! max sustained throughput; `loadgen --open-loop` drives all of this and
+//! persists `BENCH_capacity.json`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use iconv_api::hist::LatencyHist;
+use iconv_api::zipf::{mix64, ZipfSampler, GOLDEN_GAMMA};
+
+use crate::protocol::{
+    encode_batch, encode_estimate, encode_sweep, EstimateRequest, SweepSpec, SweepTarget, Work,
+};
+
+/// Salt separating the framing-mix decision stream from the key stream.
+const FRAME_SALT: u64 = 0x6F70_656E_6C6F_6F70; // "openloop"
+/// Salt separating the Zipfian key stream from the framing stream.
+const KEY_SALT: u64 = 0x7A69_7066_6B65_7973; // "zipfkeys"
+/// Per-entry stride in the key-draw index space: a batch entry consumes
+/// one draw per item, and no entry draws more than this many keys.
+const DRAWS_PER_ENTRY: u64 = 64;
+
+/// Percent of entries framed as single `conv`/`gemm` requests.
+const PCT_SINGLE: u64 = 80;
+/// Percent framed as single + multi-item `batch` requests (cumulative).
+const PCT_SINGLE_OR_BATCH: u64 = 95;
+
+/// Parameters for one open-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopSpec {
+    /// Offered arrival rate, requests per second. Must be positive.
+    pub rate_rps: u64,
+    /// Number of scheduled request entries.
+    pub requests: usize,
+    /// Connection-pool size; entries round-robin across connections.
+    pub connections: usize,
+    /// Master seed for the framing mix and the key sampler.
+    pub seed: u64,
+    /// Zipf exponent for key popularity skew. Must be positive.
+    pub zipf_s: f64,
+    /// Items per `batch`-framed entry.
+    pub batch_size: usize,
+}
+
+impl Default for OpenLoopSpec {
+    fn default() -> Self {
+        Self {
+            rate_rps: 300,
+            requests: 3000,
+            connections: 8,
+            seed: 42,
+            zipf_s: 1.1,
+            batch_size: 8,
+        }
+    }
+}
+
+/// One scheduled request: an encoded wire line plus its arrival time and
+/// accounting (how many response lines it elicits, how many estimate
+/// items it carries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Position in the schedule (also the virtual-clock tick).
+    pub index: u64,
+    /// Intended send instant, nanoseconds from the epoch of the run.
+    pub intended_ns: u64,
+    /// The newline-terminated request is `line + "\n"`.
+    pub line: String,
+    /// Response lines this request elicits (batch = items + summary).
+    pub n_lines: usize,
+    /// Estimate items carried (single = 1, batch = k, sweep = expansion).
+    pub items: u64,
+}
+
+/// The intended send instant for schedule position `index` at `rate_rps`:
+/// exactly `index / rate` seconds, in integer nanoseconds (u128 interim
+/// math, so no overflow up to centuries of schedule).
+pub fn intended_ns(index: u64, rate_rps: u64) -> u64 {
+    assert!(rate_rps > 0, "arrival rate must be positive");
+    ((index as u128) * 1_000_000_000u128 / rate_rps as u128) as u64
+}
+
+/// The sweep framing used by open-loop schedules: a small GPU conv sweep
+/// whose expansion is cheap enough to keep sweep entries the same order
+/// of magnitude as batches. Returns the spec and its expansion size.
+fn sweep_framing() -> (SweepSpec, usize) {
+    let base =
+        iconv_tensor::ConvShape::square(1, 3, 8, 16, 3, 1, 1).expect("open-loop sweep base shape");
+    let mut spec = SweepSpec::new(
+        base,
+        SweepTarget::Gpu {
+            algo: iconv_gpusim::GpuAlgo::CudnnImplicit,
+        },
+    );
+    spec.cis = vec![4, 8, 16, 32];
+    let n = spec.expand().expect("open-loop sweep expands").len();
+    (spec, n)
+}
+
+/// Build the full deterministic schedule for `spec` over the canonical
+/// work population `works` (normally the paper workload table). Entry
+/// `i`'s framing and key choices depend only on `(spec.seed, i)`, so the
+/// schedule is reproducible byte-for-byte and independent of evaluation
+/// order.
+pub fn build_schedule(spec: &OpenLoopSpec, works: &[Work]) -> Vec<Entry> {
+    assert!(!works.is_empty(), "schedule needs a non-empty population");
+    assert!(spec.rate_rps > 0, "arrival rate must be positive");
+    let zipf = ZipfSampler::new(works.len(), spec.zipf_s, spec.seed ^ KEY_SALT);
+    let (sweep_spec, sweep_items) = sweep_framing();
+    let sweep_line = encode_sweep(None, &sweep_spec, None);
+    let k = spec.batch_size.max(1);
+    assert!(
+        k as u64 <= DRAWS_PER_ENTRY,
+        "batch_size exceeds the per-entry key-draw stride"
+    );
+    (0..spec.requests as u64)
+        .map(|i| {
+            let frame = mix64((spec.seed ^ FRAME_SALT) ^ i.wrapping_mul(GOLDEN_GAMMA)) % 100;
+            let base_draw = i * DRAWS_PER_ENTRY;
+            let (line, n_lines, items) = if frame < PCT_SINGLE {
+                let work = works[zipf.rank_at(base_draw)];
+                let line = encode_estimate(&EstimateRequest {
+                    id: None,
+                    work,
+                    deadline_ms: None,
+                });
+                (line, 1, 1)
+            } else if frame < PCT_SINGLE_OR_BATCH {
+                let group: Vec<Work> = (0..k as u64)
+                    .map(|j| works[zipf.rank_at(base_draw + j)])
+                    .collect();
+                (encode_batch(None, &group, None), k + 1, k as u64)
+            } else {
+                (sweep_line.clone(), sweep_items + 1, sweep_items as u64)
+            };
+            Entry {
+                index: i,
+                intended_ns: intended_ns(i, spec.rate_rps),
+                line,
+                n_lines,
+                items,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Virtual replay — the coordinated-omission test seam
+// ---------------------------------------------------------------------------
+
+/// A service-time model for [`replay_virtual`]: given an entry, how many
+/// nanoseconds does the (virtual) server take to answer it? Implemented
+/// for closures so tests can script stalls at exact positions.
+pub trait ServiceModel {
+    /// Service time for `entry`, nanoseconds.
+    fn service_ns(&mut self, entry: &Entry) -> u64;
+}
+
+impl<F: FnMut(&Entry) -> u64> ServiceModel for F {
+    fn service_ns(&mut self, entry: &Entry) -> u64 {
+        self(entry)
+    }
+}
+
+/// Replay a schedule against a scripted service model on a virtual clock
+/// with one serial server, returning `(intended, naive)` latency
+/// histograms in microseconds.
+///
+/// The intended histogram stamps each completion against the entry's
+/// scheduled arrival — queueing delay behind a stall is charged in full.
+/// The naive histogram stamps against the moment the (blocked) client
+/// could actually send — exactly the coordinated-omission mistake. Their
+/// divergence under a scripted stall is what the regression test pins.
+pub fn replay_virtual(
+    schedule: &[Entry],
+    model: &mut dyn ServiceModel,
+) -> (LatencyHist, LatencyHist) {
+    let mut now = 0u64;
+    let mut intended = LatencyHist::new();
+    let mut naive = LatencyHist::new();
+    for e in schedule {
+        if now < e.intended_ns {
+            now = e.intended_ns;
+        }
+        let send = now;
+        now += model.service_ns(e);
+        intended.record((now - e.intended_ns) / 1000);
+        naive.record((now - send) / 1000);
+    }
+    (intended, naive)
+}
+
+// ---------------------------------------------------------------------------
+// Wire runner
+// ---------------------------------------------------------------------------
+
+/// Read budget per response line before the runner declares the server
+/// wedged; generous because knee probes intentionally overload it.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Results of one open-loop run over real sockets. All latencies in
+/// microseconds.
+#[derive(Debug, Clone)]
+pub struct OpenLoopRun {
+    /// Intended-time latency (coordinated-omission safe).
+    pub hist: LatencyHist,
+    /// Actual-send-time latency (the naive number, for contrast).
+    pub naive_hist: LatencyHist,
+    /// Response lines carrying a typed error body.
+    pub errors: u64,
+    /// Schedule entries completed.
+    pub entries: u64,
+    /// Estimate items completed.
+    pub items: u64,
+    /// Wall time from epoch to last completion, seconds.
+    pub wall_seconds: f64,
+    /// Completed entries over wall time.
+    pub achieved_rps: f64,
+}
+
+struct ConnOutcome {
+    hist: LatencyHist,
+    naive_hist: LatencyHist,
+    errors: u64,
+    entries: u64,
+    items: u64,
+}
+
+/// Execute `schedule` against the server at `addr` over a pool of
+/// `connections` sockets (entry `i` rides connection `i % connections`).
+/// Each connection splits into a sender thread — which sleeps until each
+/// entry's intended instant and writes regardless of outstanding
+/// responses — and a receiver thread that stamps completions. Returns
+/// the merged run, or the first transport error.
+pub fn run_open_loop(
+    addr: &str,
+    connections: usize,
+    schedule: &[Entry],
+) -> Result<OpenLoopRun, String> {
+    let pool = connections.max(1);
+    let epoch = Instant::now();
+    let outcomes: Vec<Result<ConnOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..pool)
+            .map(|c| {
+                scope.spawn(move || -> Result<ConnOutcome, String> {
+                    let mine: Vec<&Entry> = schedule
+                        .iter()
+                        .filter(|e| e.index as usize % pool == c)
+                        .collect();
+                    if mine.is_empty() {
+                        return Ok(ConnOutcome {
+                            hist: LatencyHist::new(),
+                            naive_hist: LatencyHist::new(),
+                            errors: 0,
+                            entries: 0,
+                            items: 0,
+                        });
+                    }
+                    let stream =
+                        TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                    stream.set_nodelay(true).ok();
+                    stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+                    let reader_stream = stream
+                        .try_clone()
+                        .map_err(|e| format!("clone socket: {e}"))?;
+                    // (intended_ns, actual_send_ns, n_lines, items)
+                    let (tx, rx) = mpsc::channel::<(u64, u64, usize, u64)>();
+
+                    let recv = scope.spawn(move || -> Result<ConnOutcome, String> {
+                        let mut out = ConnOutcome {
+                            hist: LatencyHist::new(),
+                            naive_hist: LatencyHist::new(),
+                            errors: 0,
+                            entries: 0,
+                            items: 0,
+                        };
+                        let mut reader = BufReader::new(reader_stream);
+                        let mut line = String::new();
+                        for (intended_ns, actual_ns, n_lines, items) in rx {
+                            for _ in 0..n_lines {
+                                line.clear();
+                                let n = reader
+                                    .read_line(&mut line)
+                                    .map_err(|e| format!("read: {e}"))?;
+                                if n == 0 {
+                                    return Err("server closed the connection".into());
+                                }
+                                if line.contains("\"error\"") {
+                                    out.errors += 1;
+                                }
+                            }
+                            let done_ns = epoch.elapsed().as_nanos() as u64;
+                            out.hist.record(done_ns.saturating_sub(intended_ns) / 1000);
+                            out.naive_hist
+                                .record(done_ns.saturating_sub(actual_ns) / 1000);
+                            out.entries += 1;
+                            out.items += items;
+                        }
+                        Ok(out)
+                    });
+
+                    let mut send_err = None;
+                    {
+                        let mut writer = stream;
+                        for e in &mine {
+                            let target_ns = e.intended_ns;
+                            let elapsed = epoch.elapsed().as_nanos() as u64;
+                            if elapsed < target_ns {
+                                std::thread::sleep(Duration::from_nanos(target_ns - elapsed));
+                            }
+                            let actual_ns = epoch.elapsed().as_nanos() as u64;
+                            if let Err(e) = writer
+                                .write_all(e.line.as_bytes())
+                                .and_then(|()| writer.write_all(b"\n"))
+                                .and_then(|()| writer.flush())
+                            {
+                                send_err = Some(format!("send: {e}"));
+                                break;
+                            }
+                            if tx
+                                .send((e.intended_ns, actual_ns, e.n_lines, e.items))
+                                .is_err()
+                            {
+                                break; // receiver died; its error wins below
+                            }
+                        }
+                        drop(tx); // receiver drains and exits
+                    }
+                    let got = recv.join().expect("receiver thread panicked")?;
+                    match send_err {
+                        Some(err) => Err(err),
+                        None => Ok(got),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection thread panicked"))
+            .collect()
+    });
+    let wall = epoch.elapsed().as_secs_f64();
+
+    let mut run = OpenLoopRun {
+        hist: LatencyHist::new(),
+        naive_hist: LatencyHist::new(),
+        errors: 0,
+        entries: 0,
+        items: 0,
+        wall_seconds: wall,
+        achieved_rps: 0.0,
+    };
+    for outcome in outcomes {
+        let o = outcome?;
+        run.hist.merge(&o.hist);
+        run.naive_hist.merge(&o.naive_hist);
+        run.errors += o.errors;
+        run.entries += o.entries;
+        run.items += o.items;
+    }
+    run.achieved_rps = run.entries as f64 / wall.max(1e-9);
+    Ok(run)
+}
+
+// ---------------------------------------------------------------------------
+// Knee search
+// ---------------------------------------------------------------------------
+
+/// One probe of the knee search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KneeProbe {
+    /// Offered rate for this probe.
+    pub rate_rps: u64,
+    /// Intended-time p99 observed, microseconds.
+    pub p99_us: u64,
+    /// Completed-entry throughput actually achieved.
+    pub achieved_rps: f64,
+    /// Whether the probe met the SLO.
+    pub ok: bool,
+}
+
+/// Result of [`find_knee`]: the highest probed rate whose intended-time
+/// p99 met the SLO, with the full probe trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knee {
+    /// The SLO the search bisected against, microseconds.
+    pub slo_p99_us: u64,
+    /// Max offered rate that sustained the SLO (0 = even `lo` failed).
+    pub max_rps: u64,
+    /// Intended-time p99 at that rate, microseconds.
+    pub p99_us_at_knee: u64,
+    /// Every probe, in search order.
+    pub probes: Vec<KneeProbe>,
+}
+
+/// Bisect offered rates in `[lo, hi]` for the maximum rate whose
+/// intended-time p99 stays within `slo_p99_us`. `probe` runs one bounded
+/// soak at a rate and returns `(p99_us, achieved_rps)`. The search stops
+/// once the bracket is within 10% of its lower edge — capacity knees are
+/// not sharp enough to justify more probes.
+pub fn find_knee(
+    lo: u64,
+    hi: u64,
+    slo_p99_us: u64,
+    probe: &mut dyn FnMut(u64) -> (u64, f64),
+) -> Knee {
+    assert!(lo >= 1 && hi >= lo, "need 1 <= lo <= hi");
+    let mut probes = Vec::new();
+    let mut run = |rate: u64, probes: &mut Vec<KneeProbe>| -> bool {
+        let (p99_us, achieved_rps) = probe(rate);
+        let ok = p99_us <= slo_p99_us;
+        probes.push(KneeProbe {
+            rate_rps: rate,
+            p99_us,
+            achieved_rps,
+            ok,
+        });
+        ok
+    };
+
+    if !run(lo, &mut probes) {
+        let p99 = probes[0].p99_us;
+        return Knee {
+            slo_p99_us,
+            max_rps: 0,
+            p99_us_at_knee: p99,
+            probes,
+        };
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    let mut best = (lo, probes[0].p99_us);
+    if hi > lo {
+        if run(hi, &mut probes) {
+            best = (hi, probes.last().expect("probe recorded").p99_us);
+            lo = hi;
+        }
+        while hi - lo > std::cmp::max(1, lo / 10) {
+            let mid = lo + (hi - lo) / 2;
+            if run(mid, &mut probes) {
+                best = (mid, probes.last().expect("probe recorded").p99_us);
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    Knee {
+        slo_p99_us,
+        max_rps: best.0,
+        p99_us_at_knee: best.1,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intended_timeline_is_exact() {
+        assert_eq!(intended_ns(0, 1000), 0);
+        assert_eq!(intended_ns(1, 1000), 1_000_000);
+        assert_eq!(intended_ns(3, 3), 1_000_000_000);
+        // u128 interim math: no overflow at large indices × fine rates.
+        assert_eq!(
+            intended_ns(u32::MAX as u64, 1),
+            u32::MAX as u64 * 1_000_000_000
+        );
+    }
+
+    /// Synthetic knee: p99 is flat below a capacity cliff and explodes
+    /// above it. The bisection must land within 10% under the cliff.
+    #[test]
+    fn find_knee_brackets_a_synthetic_cliff() {
+        const CLIFF: u64 = 730;
+        let mut probe = |rate: u64| -> (u64, f64) {
+            if rate <= CLIFF {
+                (900 + rate / 10, rate as f64)
+            } else {
+                (250_000, CLIFF as f64)
+            }
+        };
+        let knee = find_knee(50, 4000, 5_000, &mut probe);
+        assert!(
+            knee.max_rps <= CLIFF,
+            "knee {} above cliff {CLIFF}",
+            knee.max_rps
+        );
+        assert!(
+            knee.max_rps as f64 >= CLIFF as f64 * 0.85,
+            "knee {} too far below cliff {CLIFF}",
+            knee.max_rps
+        );
+        assert!(knee.p99_us_at_knee <= 5_000);
+        assert!(knee.probes.iter().filter(|p| !p.ok).count() >= 1);
+        // The trace brackets the answer: every ok probe <= every failed one.
+        let max_ok = knee
+            .probes
+            .iter()
+            .filter(|p| p.ok)
+            .map(|p| p.rate_rps)
+            .max()
+            .unwrap();
+        let min_bad = knee
+            .probes
+            .iter()
+            .filter(|p| !p.ok)
+            .map(|p| p.rate_rps)
+            .min()
+            .unwrap();
+        assert!(max_ok < min_bad);
+        assert_eq!(knee.max_rps, max_ok);
+    }
+
+    #[test]
+    fn find_knee_reports_zero_when_floor_fails() {
+        let mut probe = |_rate: u64| -> (u64, f64) { (999_999, 0.0) };
+        let knee = find_knee(10, 1000, 1_000, &mut probe);
+        assert_eq!(knee.max_rps, 0);
+        assert_eq!(
+            knee.probes.len(),
+            1,
+            "no point probing above a failed floor"
+        );
+    }
+
+    #[test]
+    fn find_knee_accepts_degenerate_bracket() {
+        let mut probe = |_rate: u64| -> (u64, f64) { (100, 42.0) };
+        let knee = find_knee(7, 7, 1_000, &mut probe);
+        assert_eq!(knee.max_rps, 7);
+        assert_eq!(knee.probes.len(), 1);
+    }
+}

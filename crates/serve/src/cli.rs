@@ -1,0 +1,429 @@
+//! Command-line parsing for `loadgen`, extracted from the binary so the
+//! flag grammar is unit-testable: mode conflicts (closed-loop flags vs.
+//! `--open-loop`), SLO duration strings, and rejection of zero/negative
+//! rates are all contracts with tests, not `main()` folklore.
+
+use std::time::Duration;
+
+use crate::client::DEFAULT_CONNECT_TIMEOUT;
+
+/// Flag summary printed with every parse error.
+pub const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--workers N] \
+     [--models all|small] [--connect-timeout SECS] [--out PATH] [--shutdown] \
+     {closed: [--window N] [--passes N] [--batch N] | \
+     open: --open-loop [--rate RPS] [--requests N] [--slo DUR] [--zipf-s S] \
+     [--seed N] [--batch-size N] [--knee] [--rate-min RPS] [--rate-max RPS]}";
+
+/// Parsed `loadgen` invocation: target/pool settings plus one of the two
+/// generator modes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenArgs {
+    /// External server address; `None` boots in-process topologies.
+    pub addr: Option<String>,
+    /// Connection-pool size (closed: lockstep loops; open: sockets).
+    pub concurrency: usize,
+    /// Worker threads for in-process servers.
+    pub workers: usize,
+    /// Restrict the workload table to the small models.
+    pub small: bool,
+    /// Budget for the initial connect race against a booting server.
+    pub connect_timeout: Duration,
+    /// Report path (defaults per mode).
+    pub out: String,
+    /// Send `shutdown` to the target server when done.
+    pub shutdown: bool,
+    /// Which generator runs.
+    pub mode: Mode,
+}
+
+/// The generator mode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mode {
+    /// Lockstep request/response loops (the original `loadgen`).
+    Closed(ClosedArgs),
+    /// Virtual-clock arrival schedule, coordinated-omission-safe.
+    Open(OpenArgs),
+}
+
+/// Closed-loop knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedArgs {
+    /// Pipelining window per connection.
+    pub window: usize,
+    /// Workload-table passes (pass 1 cold, later passes warm).
+    pub passes: usize,
+    /// Items per `batch` request; 0 = one request line per estimate.
+    pub batch: usize,
+}
+
+/// Open-loop knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenArgs {
+    /// Offered arrival rate for the soak, requests/second.
+    pub rate_rps: u64,
+    /// Scheduled entries per soak.
+    pub requests: usize,
+    /// p99 SLO the knee search bisects against, microseconds.
+    pub slo_p99_us: u64,
+    /// Zipf exponent for key popularity.
+    pub zipf_s: f64,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Items per batch-framed entry.
+    pub batch_size: usize,
+    /// Run the knee search after the soak.
+    pub knee: bool,
+    /// Knee-search bracket floor (default `rate/8`, min 1).
+    pub rate_min: u64,
+    /// Knee-search bracket ceiling (default `rate*8`).
+    pub rate_max: u64,
+}
+
+/// Parse a `--slo` duration string into microseconds. Accepts a positive
+/// integer with a required unit suffix: `us`, `ms`, or `s`.
+pub fn parse_slo(s: &str) -> Result<u64, String> {
+    let (digits, scale) = if let Some(d) = s.strip_suffix("us") {
+        (d, 1u64)
+    } else if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000)
+    } else {
+        return Err(format!(
+            "--slo needs a unit suffix us|ms|s (got {s:?}); {USAGE}"
+        ));
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("--slo needs a positive integer magnitude (got {s:?}); {USAGE}"))?;
+    if n == 0 {
+        return Err(format!("--slo must be positive (got {s:?}); {USAGE}"));
+    }
+    n.checked_mul(scale)
+        .ok_or_else(|| format!("--slo overflows microseconds (got {s:?}); {USAGE}"))
+}
+
+fn positive_u64(name: &str, v: &str) -> Result<u64, String> {
+    v.parse::<u64>()
+        .ok()
+        .filter(|n| *n > 0)
+        .ok_or_else(|| format!("{name} needs a positive integer (got {v:?}); {USAGE}"))
+}
+
+fn positive_usize(name: &str, v: &str) -> Result<usize, String> {
+    v.parse::<usize>()
+        .ok()
+        .filter(|n| *n > 0)
+        .ok_or_else(|| format!("{name} needs a positive integer (got {v:?}); {USAGE}"))
+}
+
+/// Parse a `loadgen` argument list (without the program name).
+///
+/// Mode selection is explicit: `--open-loop` switches to the open-loop
+/// generator. Open-loop flags without the switch are an error (silently
+/// ignoring them would misreport what ran), and closed-loop flags
+/// combined with the switch are a conflict for the same reason.
+pub fn parse_loadgen_args(args: impl IntoIterator<Item = String>) -> Result<LoadgenArgs, String> {
+    let mut addr = None;
+    let mut concurrency = 8usize;
+    let mut workers = iconv_par::default_jobs();
+    let mut small = false;
+    let mut connect_timeout = DEFAULT_CONNECT_TIMEOUT;
+    let mut out: Option<String> = None;
+    let mut shutdown = false;
+
+    let mut open_loop = false;
+    // Closed-only flags, recorded as (flag-name, value) so conflicts name
+    // the offender.
+    let mut window: Option<usize> = None;
+    let mut passes: Option<usize> = None;
+    let mut batch: Option<usize> = None;
+    // Open-only flags.
+    let mut rate: Option<u64> = None;
+    let mut requests: Option<usize> = None;
+    let mut slo: Option<u64> = None;
+    let mut zipf_s: Option<f64> = None;
+    let mut seed: Option<u64> = None;
+    let mut batch_size: Option<usize> = None;
+    let mut knee = false;
+    let mut rate_min: Option<u64> = None;
+    let mut rate_max: Option<u64> = None;
+    let mut open_flags_seen: Vec<&'static str> = Vec::new();
+
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value; {USAGE}"))
+        };
+        match a.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--concurrency" => {
+                concurrency = positive_usize("--concurrency", &value("--concurrency")?)?
+            }
+            "--workers" => workers = positive_usize("--workers", &value("--workers")?)?,
+            "--connect-timeout" => {
+                connect_timeout = Duration::from_secs(positive_u64(
+                    "--connect-timeout",
+                    &value("--connect-timeout")?,
+                )?);
+            }
+            "--out" => out = Some(value("--out")?),
+            "--shutdown" => shutdown = true,
+            "--models" => {
+                small = match value("--models")?.as_str() {
+                    "all" => false,
+                    "small" => true,
+                    other => {
+                        return Err(format!(
+                            "--models must be all|small (got {other:?}); {USAGE}"
+                        ))
+                    }
+                }
+            }
+            // Closed-loop flags.
+            "--window" => window = Some(positive_usize("--window", &value("--window")?)?),
+            "--passes" => passes = Some(positive_usize("--passes", &value("--passes")?)?),
+            "--batch" => batch = Some(positive_usize("--batch", &value("--batch")?)?),
+            // Open-loop flags.
+            "--open-loop" => open_loop = true,
+            "--rate" => {
+                rate = Some(positive_u64("--rate", &value("--rate")?)?);
+                open_flags_seen.push("--rate");
+            }
+            "--requests" => {
+                requests = Some(positive_usize("--requests", &value("--requests")?)?);
+                open_flags_seen.push("--requests");
+            }
+            "--slo" => {
+                slo = Some(parse_slo(&value("--slo")?)?);
+                open_flags_seen.push("--slo");
+            }
+            "--zipf-s" => {
+                let v = value("--zipf-s")?;
+                let s: f64 = v
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .ok_or_else(|| {
+                        format!("--zipf-s needs a positive finite number (got {v:?}); {USAGE}")
+                    })?;
+                zipf_s = Some(s);
+                open_flags_seen.push("--zipf-s");
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                seed = Some(v.parse::<u64>().map_err(|_| {
+                    format!("--seed needs an unsigned integer (got {v:?}); {USAGE}")
+                })?);
+                open_flags_seen.push("--seed");
+            }
+            "--batch-size" => {
+                batch_size = Some(positive_usize("--batch-size", &value("--batch-size")?)?);
+                open_flags_seen.push("--batch-size");
+            }
+            "--knee" => {
+                knee = true;
+                open_flags_seen.push("--knee");
+            }
+            "--rate-min" => {
+                rate_min = Some(positive_u64("--rate-min", &value("--rate-min")?)?);
+                open_flags_seen.push("--rate-min");
+            }
+            "--rate-max" => {
+                rate_max = Some(positive_u64("--rate-max", &value("--rate-max")?)?);
+                open_flags_seen.push("--rate-max");
+            }
+            other => return Err(format!("unknown argument {other:?}; {USAGE}")),
+        }
+    }
+
+    if open_loop {
+        let mut closed_seen = Vec::new();
+        if window.is_some() {
+            closed_seen.push("--window");
+        }
+        if passes.is_some() {
+            closed_seen.push("--passes");
+        }
+        if batch.is_some() {
+            closed_seen.push("--batch");
+        }
+        if !closed_seen.is_empty() {
+            return Err(format!(
+                "closed-loop flag(s) {} conflict with --open-loop; {USAGE}",
+                closed_seen.join(", ")
+            ));
+        }
+        let rate_rps = rate.unwrap_or(300);
+        let rate_min = rate_min.unwrap_or_else(|| (rate_rps / 8).max(1));
+        let rate_max = rate_max.unwrap_or_else(|| rate_rps.saturating_mul(8));
+        if rate_min > rate_max {
+            return Err(format!(
+                "--rate-min {rate_min} exceeds --rate-max {rate_max}; {USAGE}"
+            ));
+        }
+        Ok(LoadgenArgs {
+            addr,
+            concurrency,
+            workers,
+            small,
+            connect_timeout,
+            out: out.unwrap_or_else(|| "BENCH_capacity.json".to_owned()),
+            shutdown,
+            mode: Mode::Open(OpenArgs {
+                rate_rps,
+                requests: requests.unwrap_or(3000),
+                slo_p99_us: slo.unwrap_or(50_000),
+                zipf_s: zipf_s.unwrap_or(1.1),
+                seed: seed.unwrap_or(42),
+                batch_size: batch_size.unwrap_or(8),
+                knee,
+                rate_min,
+                rate_max,
+            }),
+        })
+    } else {
+        if !open_flags_seen.is_empty() {
+            return Err(format!(
+                "{} require(s) --open-loop; {USAGE}",
+                open_flags_seen.join(", ")
+            ));
+        }
+        Ok(LoadgenArgs {
+            addr,
+            concurrency,
+            workers,
+            small,
+            connect_timeout,
+            out: out.unwrap_or_else(|| "BENCH_serve.json".to_owned()),
+            shutdown,
+            mode: Mode::Closed(ClosedArgs {
+                window: window.unwrap_or(32),
+                passes: passes.unwrap_or(2),
+                batch: batch.unwrap_or(0),
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<LoadgenArgs, String> {
+        parse_loadgen_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults_are_closed_loop() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.out, "BENCH_serve.json");
+        match a.mode {
+            Mode::Closed(c) => {
+                assert_eq!(c.window, 32);
+                assert_eq!(c.passes, 2);
+                assert_eq!(c.batch, 0);
+            }
+            Mode::Open(_) => panic!("default mode must be closed"),
+        }
+    }
+
+    #[test]
+    fn open_loop_defaults_and_bracket_derivation() {
+        let a = parse(&["--open-loop"]).unwrap();
+        assert_eq!(a.out, "BENCH_capacity.json");
+        match a.mode {
+            Mode::Open(o) => {
+                assert_eq!(o.rate_rps, 300);
+                assert_eq!(o.requests, 3000);
+                assert_eq!(o.slo_p99_us, 50_000);
+                assert_eq!(o.seed, 42);
+                assert_eq!(o.batch_size, 8);
+                assert!(!o.knee);
+                assert_eq!(o.rate_min, 37); // 300/8
+                assert_eq!(o.rate_max, 2400);
+            }
+            Mode::Closed(_) => panic!("--open-loop must select open mode"),
+        }
+    }
+
+    #[test]
+    fn explicit_out_beats_the_mode_default() {
+        let a = parse(&["--open-loop", "--out", "custom.json"]).unwrap();
+        assert_eq!(a.out, "custom.json");
+    }
+
+    #[test]
+    fn rejects_zero_rate() {
+        let err = parse(&["--open-loop", "--rate", "0"]).unwrap_err();
+        assert!(err.contains("--rate needs a positive integer"), "{err}");
+    }
+
+    #[test]
+    fn rejects_negative_rate() {
+        let err = parse(&["--open-loop", "--rate", "-5"]).unwrap_err();
+        assert!(err.contains("--rate needs a positive integer"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_slo_strings() {
+        for bad in ["250", "ms", "0ms", "-3ms", "1.5s", "fastplease", ""] {
+            let err = parse(&["--open-loop", "--slo", bad]).unwrap_err();
+            assert!(
+                err.contains("--slo"),
+                "SLO {bad:?} gave unrelated error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_slo_units() {
+        assert_eq!(parse_slo("150us").unwrap(), 150);
+        assert_eq!(parse_slo("250ms").unwrap(), 250_000);
+        assert_eq!(parse_slo("1s").unwrap(), 1_000_000);
+    }
+
+    #[test]
+    fn open_flags_without_the_switch_are_errors() {
+        for flags in [
+            &["--rate", "500"][..],
+            &["--slo", "10ms"][..],
+            &["--knee"][..],
+        ] {
+            let err = parse(flags).unwrap_err();
+            assert!(err.contains("require(s) --open-loop"), "{flags:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn closed_flags_with_the_switch_are_conflicts() {
+        let err = parse(&["--open-loop", "--window", "16"]).unwrap_err();
+        assert!(err.contains("conflict with --open-loop"), "{err}");
+        assert!(err.contains("--window"), "{err}");
+        let err = parse(&["--passes", "3", "--open-loop", "--batch", "4"]).unwrap_err();
+        assert!(err.contains("--passes"), "{err}");
+        assert!(err.contains("--batch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_inverted_knee_bracket() {
+        let err = parse(&["--open-loop", "--rate-min", "900", "--rate-max", "100"]).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_zipf_and_garbage_seed() {
+        assert!(parse(&["--open-loop", "--zipf-s", "0"]).is_err());
+        assert!(parse(&["--open-loop", "--zipf-s", "nan"]).is_err());
+        assert!(parse(&["--open-loop", "--seed", "0x2a"]).is_err());
+        // Seed zero is fine — it is a seed, not a count.
+        assert!(parse(&["--open-loop", "--seed", "0"]).is_ok());
+    }
+
+    #[test]
+    fn missing_value_is_reported() {
+        let err = parse(&["--rate"]).unwrap_err();
+        assert!(err.contains("--rate requires a value"), "{err}");
+    }
+}

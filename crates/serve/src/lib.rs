@@ -38,12 +38,20 @@
 //! Binaries: `served` (the server), `routed` (a cache-affinity front-end
 //! that consistent-hashes canonical keys across a fleet of `served`
 //! backends — [`router`]), and `loadgen` (a closed-loop generator replaying
-//! the paper's workload table, writing `BENCH_serve.json`). `expall
-//! --via-serve` routes its summary's layer estimates through a server (or
-//! a router) with byte-identical output — GPU `f64` cycles cross the wire
-//! as IEEE-754 bit strings to keep that guarantee exact.
+//! the paper's workload table, writing `BENCH_serve.json`; with
+//! `--open-loop`, a coordinated-omission-safe capacity harness —
+//! [`capacity`] — that soaks a fixed offered rate, bisects for the
+//! max-sustained-rps knee under a p99 SLO, and writes
+//! `BENCH_capacity.json`). The `stats` op carries a mergeable service-time
+//! histogram ([`iconv_api::LatencyHist`]), striped per cache shard on the
+//! server and fleet-merged through the router. `expall --via-serve` routes
+//! its summary's layer estimates through a server (or a router) with
+//! byte-identical output — GPU `f64` cycles cross the wire as IEEE-754 bit
+//! strings to keep that guarantee exact.
 
 pub mod cache;
+pub mod capacity;
+pub mod cli;
 pub mod client;
 pub mod engine;
 pub mod json;

@@ -33,7 +33,7 @@ use crate::json::{self, write_str, Json};
 // The request vocabulary itself lives in the shared `iconv-api` crate; the
 // wire codecs below are this module's own.
 pub use iconv_api::{
-    SweepError, SweepSpec, SweepTarget, TpuChip, TpuHwSpec, Work, MAX_SWEEP_ITEMS,
+    LatencyHist, SweepError, SweepSpec, SweepTarget, TpuChip, TpuHwSpec, Work, MAX_SWEEP_ITEMS,
 };
 
 /// An estimate request: the work plus delivery metadata.
@@ -216,7 +216,10 @@ pub struct GpuEstimate {
 }
 
 /// The counter snapshot returned by the `stats` op.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Not `Copy`: the service-time histogram carries its bucket vector, so
+/// snapshots are cloned explicitly where two owners need one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     /// Estimate requests answered successfully (`hits + misses`). Rejected
     /// requests (busy, deadline, parse, bad-request) are *not* counted.
@@ -267,6 +270,12 @@ pub struct StatsSnapshot {
     /// Faults the serve seams actually applied; conservation demands this
     /// equal `faults_injected` at any quiescent point.
     pub faults_observed: u64,
+    /// Service-time histogram over successful requests, microseconds,
+    /// measured from request receipt to response enqueue. Its `count()`
+    /// equals `requests` at any quiescent point (the same samples the
+    /// `latency_us_total` / `latency_us_max` scalars summarize), and fleet
+    /// merges add it bucket-wise — exact, not approximated.
+    pub service_hist: LatencyHist,
 }
 
 impl StatsSnapshot {
@@ -298,6 +307,7 @@ impl StatsSnapshot {
             worker_crashes,
             faults_injected,
             faults_observed,
+            service_hist,
         } = self;
         *requests += other.requests;
         *hits += other.hits;
@@ -321,6 +331,7 @@ impl StatsSnapshot {
         *worker_crashes += other.worker_crashes;
         *faults_injected += other.faults_injected;
         *faults_observed += other.faults_observed;
+        service_hist.merge(&other.service_hist);
     }
 }
 
@@ -1070,7 +1081,7 @@ pub fn stats_body(s: &StatsSnapshot) -> String {
          \"latency_us_total\":{},\"latency_us_max\":{},\"workers\":{},\
          \"batches\":{},\"batch_items\":{},\"batch_hits\":{},\"batch_misses\":{},\
          \"batch_errors\":{},\"worker_crashes\":{},\"faults_injected\":{},\
-         \"faults_observed\":{}}}",
+         \"faults_observed\":{},\"service_hist\":{}}}",
         s.requests,
         s.hits,
         s.misses,
@@ -1092,7 +1103,8 @@ pub fn stats_body(s: &StatsSnapshot) -> String {
         s.batch_errors,
         s.worker_crashes,
         s.faults_injected,
-        s.faults_observed
+        s.faults_observed,
+        s.service_hist.to_json()
     )
 }
 
@@ -1186,6 +1198,39 @@ fn need_bits(
         .ok_or_else(|| RequestError::bad(format!("response missing f64-bits \"{key}\"")))
 }
 
+/// Decode a latency histogram object (`{"count":..,"sum":..,"min":..,
+/// "max":..,"buckets":[[i,c],..]}`); the sparse pieces are validated and
+/// rebuilt by [`LatencyHist::from_sparse`].
+fn need_hist(
+    obj: &std::collections::BTreeMap<String, Json>,
+    key: &str,
+) -> Result<LatencyHist, RequestError> {
+    let h = obj
+        .get(key)
+        .and_then(Json::as_obj)
+        .ok_or_else(|| RequestError::bad(format!("response missing histogram \"{key}\"")))?;
+    let buckets = h
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| RequestError::bad(format!("histogram \"{key}\" missing buckets")))?
+        .iter()
+        .map(|entry| {
+            let pair = entry.as_arr().filter(|p| p.len() == 2)?;
+            let i = usize::try_from(pair[0].as_u64()?).ok()?;
+            Some((i, pair[1].as_u64()?))
+        })
+        .collect::<Option<Vec<(usize, u64)>>>()
+        .ok_or_else(|| RequestError::bad(format!("histogram \"{key}\" has malformed buckets")))?;
+    LatencyHist::from_sparse(
+        need_u64(h, "count")?,
+        need_u64(h, "sum")?,
+        need_u64(h, "min")?,
+        need_u64(h, "max")?,
+        &buckets,
+    )
+    .map_err(|e| RequestError::bad(format!("histogram \"{key}\": {e}")))
+}
+
 /// Parse one response line.
 ///
 /// # Errors
@@ -1275,6 +1320,7 @@ pub fn parse_response(line: &str) -> Result<Response, RequestError> {
             worker_crashes: need_u64(s, "worker_crashes")?,
             faults_injected: need_u64(s, "faults_injected")?,
             faults_observed: need_u64(s, "faults_observed")?,
+            service_hist: need_hist(s, "service_hist")?,
         };
         return Ok(Response::Stats { id, stats });
     }

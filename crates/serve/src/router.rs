@@ -741,11 +741,7 @@ fn handle_shards(
 }
 
 /// Handle one client line, returning the response lines to emit in order.
-fn handle_request(
-    line: &str,
-    shared: &RouterShared,
-    conns: &mut [Option<Client>],
-) -> Vec<String> {
+fn handle_request(line: &str, shared: &RouterShared, conns: &mut [Option<Client>]) -> Vec<String> {
     let req = match protocol::parse_request(line) {
         Ok(req) => req,
         Err(e) => {

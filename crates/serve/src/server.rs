@@ -90,7 +90,7 @@ use crate::engine;
 use crate::key;
 use crate::protocol::{
     self, batch_summary_body, error_body, finish_item_response, finish_response, pong_body,
-    shards_body, shutdown_body, stats_body, ErrorKind, Request, StatsSnapshot, Work,
+    shards_body, shutdown_body, stats_body, ErrorKind, LatencyHist, Request, StatsSnapshot, Work,
 };
 
 /// Server tunables.
@@ -147,13 +147,45 @@ struct Counters {
     batch_misses: AtomicU64,
     batch_errors: AtomicU64,
     worker_crashes: AtomicU64,
+    /// Service-time histograms, striped by cache shard so concurrent
+    /// recorders contend no harder than the cache itself; the `stats` op
+    /// merges the stripes (exact — the layout is fixed). Sized to the
+    /// cache's shard count at spawn.
+    service_hists: Vec<Mutex<LatencyHist>>,
 }
 
 impl Counters {
-    fn record_latency(&self, since: Instant) {
+    fn with_stripes(n: usize) -> Self {
+        Self {
+            service_hists: (0..n.max(1))
+                .map(|_| Mutex::new(LatencyHist::new()))
+                .collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Record one successful request's service time, stamped from `since`
+    /// (request receipt). `stripe` is the request's cache-shard index —
+    /// already in hand at every call site — so recording contends only
+    /// with requests of the same shard.
+    fn record_latency(&self, since: Instant, stripe: usize) {
         let us = since.elapsed().as_micros().min(u64::MAX as u128) as u64;
         self.latency_us_total.fetch_add(us, Ordering::Relaxed);
         self.latency_us_max.fetch_max(us, Ordering::Relaxed);
+        let slot = stripe % self.service_hists.len();
+        self.service_hists[slot]
+            .lock()
+            .expect("latency stripe poisoned")
+            .record(us);
+    }
+
+    /// Merge every stripe into one histogram (the `stats` view).
+    fn merged_hist(&self) -> LatencyHist {
+        let mut all = LatencyHist::new();
+        for stripe in &self.service_hists {
+            all.merge(&stripe.lock().expect("latency stripe poisoned"));
+        }
+        all
     }
 }
 
@@ -218,6 +250,7 @@ impl Shared {
             worker_crashes: c.worker_crashes.load(Ordering::Relaxed),
             faults_injected,
             faults_observed,
+            service_hist: c.merged_hist(),
         }
     }
 
@@ -285,6 +318,18 @@ impl ServerHandle {
     /// Current counter snapshot (same numbers as the `stats` RPC).
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.snapshot()
+    }
+
+    /// The per-stripe service-time histograms (one per cache shard), as
+    /// recorded so far. Their bucket-wise sum is exactly the `stats` op's
+    /// `service_hist` — the ledger identity the capacity tests pin.
+    pub fn service_hist_stripes(&self) -> Vec<LatencyHist> {
+        self.shared
+            .counters
+            .service_hists
+            .iter()
+            .map(|m| m.lock().expect("latency stripe poisoned").clone())
+            .collect()
     }
 
     /// Emit the counters into an `iconv-trace` sink.
@@ -361,7 +406,7 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         cfg.cache_shards
     };
     let shared = Arc::new(Shared {
-        counters: Counters::default(),
+        counters: Counters::with_stripes(cache_shards),
         cache: StripedCache::new(cfg.cache_capacity.max(1), cache_shards),
         pool: WorkerPool::new(workers, cfg.queue_capacity.max(1)),
         workers,
@@ -601,7 +646,7 @@ impl BatchRun {
                 self.shared.cache.note_hit(shard);
                 c.batch_hits.fetch_add(1, Ordering::Relaxed);
                 c.served.fetch_add(1, Ordering::Relaxed);
-                c.record_latency(self.t0);
+                c.record_latency(self.t0, shard);
                 self.send_item(item, body);
             }
             FlightOutcome::Failed(kind, detail) => {
@@ -691,7 +736,7 @@ impl BatchRun {
         }
         c.served.fetch_add(k as u64, Ordering::Relaxed);
         for _ in 0..k {
-            c.record_latency(self.t0);
+            c.record_latency(self.t0, shard);
         }
         for &i in &sim.items {
             self.send_item(i, &body);
@@ -812,7 +857,7 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
             if let Some(body) = shared.cache.get(&cache_key) {
                 shared.cache.note_hit(shard);
                 shared.counters.served.fetch_add(1, Ordering::Relaxed);
-                shared.counters.record_latency(t0);
+                shared.counters.record_latency(t0, shard);
                 send(finish_response(req.id.as_deref(), &body));
                 return 1;
             }
@@ -829,7 +874,7 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
                     FlightOutcome::Ready(body) => {
                         w_shared.cache.note_hit(shard);
                         w_shared.counters.served.fetch_add(1, Ordering::Relaxed);
-                        w_shared.counters.record_latency(t0);
+                        w_shared.counters.record_latency(t0, shard);
                         finish_response(w_id.as_deref(), body)
                     }
                     FlightOutcome::Failed(kind, detail) => {
@@ -845,7 +890,7 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
                     // an ordinary hit.
                     shared.cache.note_hit(shard);
                     shared.counters.served.fetch_add(1, Ordering::Relaxed);
-                    shared.counters.record_latency(t0);
+                    shared.counters.record_latency(t0, shard);
                     send(finish_response(req.id.as_deref(), &body));
                     return 1;
                 }
@@ -915,7 +960,7 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
                     .complete(&job_key, &FlightOutcome::Ready(Arc::clone(&body)));
                 job_shared.cache.note_miss(shard);
                 job_shared.counters.served.fetch_add(1, Ordering::Relaxed);
-                job_shared.counters.record_latency(t0);
+                job_shared.counters.record_latency(t0, shard);
                 let _ = job_tx.send((seq, finish_response(req.id.as_deref(), &body)));
             };
             if let Err(e) = shared.pool.try_submit(job) {
@@ -1008,7 +1053,7 @@ fn handle_batch(
             shared.cache.note_hit(shard);
             c.batch_hits.fetch_add(1, Ordering::Relaxed);
             c.served.fetch_add(1, Ordering::Relaxed);
-            c.record_latency(t0);
+            c.record_latency(t0, shard);
             run.send_item(i, &body);
             continue;
         }
@@ -1034,7 +1079,7 @@ fn handle_batch(
                 shared.cache.note_hit(shard);
                 c.batch_hits.fetch_add(1, Ordering::Relaxed);
                 c.served.fetch_add(1, Ordering::Relaxed);
-                c.record_latency(t0);
+                c.record_latency(t0, shard);
                 run.send_item(i, &body);
                 run.items_done(1);
             }

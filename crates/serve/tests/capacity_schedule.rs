@@ -1,0 +1,88 @@
+//! Determinism contract for the open-loop schedule: the full schedule —
+//! arrival instants, framing mix, encoded wire lines, key choices — is a
+//! pure function of the spec. Same seed → byte-identical; different seed
+//! → different traffic; and the intended-time axis is exact integer
+//! arithmetic, not accumulated floating-point drift.
+
+use iconv_api::table::workload_works;
+use iconv_serve::capacity::{build_schedule, intended_ns, OpenLoopSpec};
+
+fn spec(seed: u64) -> OpenLoopSpec {
+    OpenLoopSpec {
+        rate_rps: 750,
+        requests: 1500,
+        seed,
+        ..OpenLoopSpec::default()
+    }
+}
+
+#[test]
+fn same_seed_builds_a_byte_identical_schedule() {
+    let works = workload_works(true);
+    let a = build_schedule(&spec(0xDEAD_BEEF), &works);
+    let b = build_schedule(&spec(0xDEAD_BEEF), &works);
+    assert_eq!(a, b, "schedule must be a pure function of the spec");
+    // Byte-identical includes the encoded wire lines, not just metadata.
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.line, y.line);
+    }
+}
+
+#[test]
+fn different_seeds_build_different_traffic() {
+    let works = workload_works(true);
+    let a = build_schedule(&spec(1), &works);
+    let b = build_schedule(&spec(2), &works);
+    assert_ne!(a, b);
+    // Arrival times are seed-independent: only the traffic differs.
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.intended_ns, y.intended_ns);
+    }
+}
+
+#[test]
+fn intended_instants_are_exact_integer_ticks() {
+    let works = workload_works(true);
+    let sched = build_schedule(&spec(9), &works);
+    for (i, e) in sched.iter().enumerate() {
+        assert_eq!(e.index, i as u64);
+        assert_eq!(e.intended_ns, intended_ns(i as u64, 750));
+        assert_eq!(e.intended_ns, i as u64 * 1_000_000_000 / 750);
+    }
+}
+
+#[test]
+fn framing_mix_covers_all_three_shapes() {
+    let works = workload_works(true);
+    let sched = build_schedule(&spec(42), &works);
+    let singles = sched.iter().filter(|e| e.items == 1).count();
+    let batches = sched.iter().filter(|e| e.items == 8).count();
+    let sweeps = sched
+        .iter()
+        .filter(|e| e.items != 1 && e.items != 8)
+        .count();
+    assert!(
+        singles > 0 && batches > 0 && sweeps > 0,
+        "all framings must appear"
+    );
+    // The mix tracks its 80/15/5 weights loosely (deterministic, so the
+    // bounds only guard against a broken decision stream).
+    assert!(
+        singles * 100 > sched.len() * 60,
+        "singles {singles}/{}",
+        sched.len()
+    );
+    assert!(
+        batches * 100 < sched.len() * 30,
+        "batches {batches}/{}",
+        sched.len()
+    );
+    // Accounting is consistent: a batch of k answers k+1 lines.
+    for e in &sched {
+        if e.items == 1 {
+            assert_eq!(e.n_lines, 1);
+        } else {
+            assert_eq!(e.n_lines as u64, e.items + 1, "items + summary line");
+        }
+    }
+}

@@ -14,7 +14,8 @@ use iconv_gpusim::GpuAlgo;
 use iconv_serve::protocol::{
     batch_summary_body, encode_batch, encode_estimate, encode_simple, error_body, f64_bits,
     f64_from_bits, finish_item_response, finish_response, gpu_body, parse_request, parse_response,
-    pong_body, shutdown_body, stats_body, tpu_body, GpuEstimate, StatsSnapshot, TpuEstimate,
+    pong_body, shutdown_body, stats_body, tpu_body, GpuEstimate, LatencyHist, StatsSnapshot,
+    TpuEstimate,
 };
 use iconv_serve::{json, ErrorKind, EstimateRequest, Request, Response, TpuChip, TpuHwSpec, Work};
 use iconv_tensor::{ConvShape, Layout};
@@ -293,6 +294,15 @@ proptest! {
             worker_crashes: vals.2 % 37,
             faults_injected: vals.0 % 41,
             faults_observed: vals.0 % 41,
+            service_hist: {
+                // A deterministic non-trivial histogram exercises the sparse
+                // bucket encoding on the wire, including the empty case.
+                let mut h = LatencyHist::new();
+                for k in 0..vals.2 % 9 {
+                    h.record(vals.0.wrapping_mul(k + 1) % (1 << 40));
+                }
+                h
+            },
         };
         let line = finish_response(id.as_deref(), &stats_body(&stats));
         match parse_response(&line) {

@@ -1,0 +1,102 @@
+//! The coordinated-omission regression test: a scripted transport stall
+//! must show up in the intended-time histogram and must NOT show up in
+//! the naive (actual-send-time) histogram.
+//!
+//! The scenario: a 1000 req/s open-loop schedule against a virtual
+//! serial server that answers in 100µs — except entry #700, which stalls
+//! for 500ms. Every request scheduled during the stall queues behind it.
+//!
+//! * Stamped from *intended* send time, those queued requests are charged
+//!   their full wait: the p99 blows past 400ms.
+//! * Stamped from *actual* send time (the naive, coordinated-omission
+//!   mistake: the clock starts only when the blocked transport finally
+//!   writes), each queued request looks like a quick 100µs hop — the p99
+//!   stays in the microsecond range and the stall is invisible.
+//!
+//! Both percentiles are pinned exactly: the virtual clock, the schedule,
+//! and the histogram are all deterministic, so any drift in bucket
+//! layout, quantile policy, or schedule math fails this test loudly.
+
+use iconv_api::table::workload_works;
+use iconv_serve::capacity::{build_schedule, replay_virtual, Entry, OpenLoopSpec};
+
+const RATE: u64 = 1000;
+const REQUESTS: usize = 2000;
+/// Service time for every unremarkable entry: 100µs.
+const FAST_NS: u64 = 100_000;
+/// The scripted stall at entry #700: 500ms, i.e. 500 schedule ticks.
+const STALL_AT: u64 = 700;
+const STALL_NS: u64 = 500_000_000;
+
+fn stalled_replay() -> (iconv_api::LatencyHist, iconv_api::LatencyHist) {
+    let spec = OpenLoopSpec {
+        rate_rps: RATE,
+        requests: REQUESTS,
+        seed: 7,
+        ..OpenLoopSpec::default()
+    };
+    let schedule = build_schedule(&spec, &workload_works(true));
+    let mut model = |e: &Entry| -> u64 {
+        if e.index == STALL_AT {
+            STALL_NS
+        } else {
+            FAST_NS
+        }
+    };
+    replay_virtual(&schedule, &mut model)
+}
+
+#[test]
+fn intended_time_p99_sees_the_stall_and_naive_does_not() {
+    let (intended, naive) = stalled_replay();
+    assert_eq!(intended.count(), REQUESTS as u64);
+    assert_eq!(naive.count(), REQUESTS as u64);
+
+    let intended_p99 = intended.value_at_quantile(0.99);
+    let naive_p99 = naive.value_at_quantile(0.99);
+
+    // Sanity bands first, so a failure explains itself.
+    assert!(
+        intended_p99 >= 400_000,
+        "intended p99 {intended_p99}us must reflect the 500ms stall"
+    );
+    assert!(
+        naive_p99 <= 200,
+        "naive p99 {naive_p99}us must hide the stall — that is the bug \
+         this measurement style has"
+    );
+
+    // Exact pins: the replay is fully deterministic.
+    assert_eq!(intended_p99, 483_327, "intended-time p99 drifted");
+    // 101, not 100: the estimate is the upper bound of the [100, 101]
+    // bucket, and the stalled entry itself keeps `max` from clamping it.
+    assert_eq!(naive_p99, 101, "naive p99 drifted");
+    assert_eq!(
+        naive.max(),
+        STALL_NS / 1000,
+        "only the stalled entry itself is slow naively"
+    );
+    assert_eq!(
+        intended.min(),
+        FAST_NS / 1000,
+        "pre-stall entries see pure service time"
+    );
+}
+
+/// With no stall, the two stamping policies agree (the open-loop sender
+/// is never behind schedule on a virtual clock), pinning that the
+/// histograms only diverge when there is real queueing to report.
+#[test]
+fn without_a_stall_the_policies_agree() {
+    let spec = OpenLoopSpec {
+        rate_rps: RATE,
+        requests: REQUESTS,
+        seed: 7,
+        ..OpenLoopSpec::default()
+    };
+    let schedule = build_schedule(&spec, &workload_works(true));
+    let mut model = |_: &Entry| -> u64 { FAST_NS };
+    let (intended, naive) = replay_virtual(&schedule, &mut model);
+    assert_eq!(intended, naive, "no queueing -> identical histograms");
+    assert_eq!(intended.value_at_quantile(0.99), 100);
+}

@@ -1,0 +1,115 @@
+//! Server-side histogram ledger: the per-stripe service-time histograms
+//! merge to exactly the global histogram the `stats` op reports, the
+//! histogram's count partitions with the `hits + misses == requests`
+//! ledger, and the same holds fleet-wide through the router's
+//! merge-and-re-encode stats path (which exercises the wire round-trip of
+//! the sparse encoding).
+
+use iconv_api::LatencyHist;
+use iconv_serve::client::{Client, DEFAULT_CONNECT_TIMEOUT};
+use iconv_serve::protocol::{encode_estimate, EstimateRequest};
+use iconv_serve::router::{spawn_router, RouterConfig};
+use iconv_serve::server::{spawn, ServerConfig};
+
+use iconv_api::table::workload_works;
+
+/// Mixed traffic: every small-model work once as a single request, then
+/// the first 24 again as one batch (warm hits), through `conns` clients.
+fn drive(addr: &str, conns: usize) -> u64 {
+    let works = workload_works(true);
+    let mut items = 0u64;
+    let mut clients: Vec<Client> = (0..conns)
+        .map(|_| Client::connect_retry(addr, DEFAULT_CONNECT_TIMEOUT).expect("connect"))
+        .collect();
+    for (i, &work) in works.iter().enumerate() {
+        let line = encode_estimate(&EstimateRequest {
+            id: None,
+            work,
+            deadline_ms: None,
+        });
+        let resp = clients[i % conns].call(&line).expect("estimate");
+        assert!(
+            !matches!(resp, iconv_serve::protocol::Response::Error { .. }),
+            "estimate failed"
+        );
+        items += 1;
+    }
+    let batch = &works[..24.min(works.len())];
+    let replies = clients[0].batch(batch, None).expect("batch");
+    for reply in replies {
+        reply.expect("batch item");
+        items += 1;
+    }
+    items
+}
+
+#[test]
+fn stripe_hists_sum_exactly_to_the_global_ledger() {
+    let handle = spawn(ServerConfig::default()).expect("spawn server");
+    let addr = handle.local_addr().to_string();
+    let items = drive(&addr, 4);
+
+    let mut control = Client::connect_retry(&addr, DEFAULT_CONNECT_TIMEOUT).expect("connect");
+    let stats = control.stats().expect("stats RPC");
+
+    // The classic ledger...
+    assert_eq!(stats.hits + stats.misses, stats.requests);
+    assert_eq!(stats.requests, items);
+    // ...now extends to the histogram: one recorded latency per request.
+    assert_eq!(stats.service_hist.count(), stats.requests);
+
+    // The per-stripe histograms are the whole story: their merge is
+    // structurally identical to the global histogram on the wire.
+    let mut merged = LatencyHist::new();
+    for stripe in handle.service_hist_stripes() {
+        merged.merge(&stripe);
+    }
+    assert_eq!(merged, stats.service_hist, "stripe merge != global hist");
+    assert!(merged.max() >= merged.min());
+    handle.shutdown();
+}
+
+#[test]
+fn router_fleet_merge_preserves_the_hist_ledger() {
+    let backends: Vec<_> = (0..3)
+        .map(|_| spawn(ServerConfig::default()).expect("spawn backend"))
+        .collect();
+    let router = spawn_router(RouterConfig {
+        backends: backends
+            .iter()
+            .map(|b| b.local_addr().to_string())
+            .collect(),
+        ..RouterConfig::default()
+    })
+    .expect("spawn router");
+    let addr = router.local_addr().to_string();
+    let items = drive(&addr, 4);
+
+    let mut control = Client::connect_retry(&addr, DEFAULT_CONNECT_TIMEOUT).expect("connect");
+    let fleet = control.stats().expect("router stats RPC");
+    assert_eq!(fleet.hits + fleet.misses, fleet.requests);
+    assert_eq!(fleet.requests, items);
+    assert_eq!(fleet.service_hist.count(), fleet.requests);
+
+    // The router's answer must equal a manual merge of the backends'
+    // own snapshots — the router path re-encodes the merged histogram,
+    // so this also proves the sparse encoding survives a second hop.
+    let mut manual = LatencyHist::new();
+    let mut manual_requests = 0u64;
+    for backend in &backends {
+        let mut c =
+            Client::connect_retry(&backend.local_addr().to_string(), DEFAULT_CONNECT_TIMEOUT)
+                .expect("backend connect");
+        let s = c.stats().expect("backend stats");
+        assert_eq!(s.service_hist.count(), s.requests, "backend ledger");
+        manual.merge(&s.service_hist);
+        manual_requests += s.requests;
+    }
+    assert_eq!(manual_requests, fleet.requests);
+    assert_eq!(manual, fleet.service_hist, "fleet merge != manual merge");
+
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
