@@ -1,0 +1,139 @@
+//! GPU hardware selection: the V100 preset plus optional overrides —
+//! the GPU analogue of [`crate::spec::TpuHwSpec`].
+//!
+//! `Work::GpuConv` historically carried only a shape and an algorithm; the
+//! whole V100 configuration was implied. This spec brings the GPU side of
+//! the design space up to parity with the TPU side: every override is
+//! optional, resolution goes through the simulator's typed config builder
+//! so out-of-domain values surface as [`GpuConfigError`]s at request
+//! validation, and the default spec resolves to exactly
+//! [`GpuConfig::v100`] — so pre-existing requests keep their cache keys.
+
+use iconv_core::{BlockConfig, PipelineSchedule};
+use iconv_gpusim::{GpuConfig, GpuConfigError};
+
+/// Hardware overrides for GPU-targeted requests. Every field is optional;
+/// the spec resolves against the V100 preset *before* the cache key is
+/// derived, so `{}` and `{"sms":80}` address the same cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GpuHwSpec {
+    /// Streaming-multiprocessor count override (V100: 80).
+    pub sms: Option<usize>,
+    /// Tensor-core MACs per SM per cycle override (V100: 512).
+    pub tc_macs: Option<u64>,
+    /// Core clock override in MHz (V100 SXM2 boost: 1530).
+    pub clock_mhz: Option<f64>,
+    /// Thread-block GEMM tile override (`bm`/`bn`/`bk` together; the CUDA
+    /// SDK kernel's tile when absent).
+    pub block: Option<(usize, usize, usize)>,
+    /// Concurrent-thread-blocks-per-SM override (bounded by shared memory
+    /// for the double-buffered tiles; the builder enforces the budget).
+    pub blocks_per_sm: Option<usize>,
+    /// Shared-memory fill / compute overlap discipline override.
+    pub schedule: Option<PipelineSchedule>,
+}
+
+impl GpuHwSpec {
+    /// Resolve to the full GPU configuration this spec denotes, validating
+    /// every override through the typed config builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns the builder's [`GpuConfigError`] when an override is out of
+    /// domain (e.g. resident double-buffered tiles that overflow shared
+    /// memory). Request validators surface this as a `bad-request` instead
+    /// of letting a nonsense config reach the simulator.
+    pub fn resolve(&self) -> Result<GpuConfig, GpuConfigError> {
+        let mut b = GpuConfig::builder_from(GpuConfig::v100());
+        if let Some(s) = self.sms {
+            b = b.sms(s);
+        }
+        if let Some(t) = self.tc_macs {
+            b = b.tc_macs_per_sm_cycle(t);
+        }
+        if let Some(c) = self.clock_mhz {
+            b = b.clock_mhz(c);
+        }
+        if let Some((bm, bn, bk)) = self.block {
+            b = b.block(BlockConfig { bm, bn, bk });
+        }
+        if let Some(r) = self.blocks_per_sm {
+            b = b.blocks_per_sm(r);
+        }
+        if let Some(s) = self.schedule {
+            b = b.schedule(s);
+        }
+        b.build()
+    }
+}
+
+/// Resolve a GPU hardware spec that is already known to be valid (anything
+/// that passed request validation, or was built from in-tree presets).
+///
+/// # Panics
+///
+/// Panics if the spec fails validation — constructing a [`super::Work`]
+/// from unvalidated external input without going through
+/// [`GpuHwSpec::resolve`] first is a programming error.
+pub fn resolve_gpu(hw: &GpuHwSpec) -> GpuConfig {
+    hw.resolve().expect("gpu hardware spec failed validation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_resolves_to_v100() {
+        assert_eq!(resolve_gpu(&GpuHwSpec::default()), GpuConfig::v100());
+        // Explicit defaults alias the preset too, mirroring the TPU spec.
+        let explicit = GpuHwSpec {
+            sms: Some(80),
+            tc_macs: Some(512),
+            clock_mhz: Some(1530.0),
+            block: None,
+            blocks_per_sm: Some(2),
+            schedule: Some(PipelineSchedule::DoubleBuffered),
+        };
+        assert_eq!(resolve_gpu(&explicit), GpuConfig::v100());
+    }
+
+    #[test]
+    fn resolve_applies_every_override() {
+        let cfg = resolve_gpu(&GpuHwSpec {
+            sms: Some(108),
+            tc_macs: Some(1024),
+            clock_mhz: Some(1410.0),
+            block: Some((64, 64, 32)),
+            blocks_per_sm: Some(1),
+            schedule: Some(PipelineSchedule::SingleBuffered),
+        });
+        assert_eq!(cfg.sms, 108);
+        assert_eq!(cfg.tc_macs_per_sm_cycle, 1024);
+        assert_eq!(cfg.clock_mhz, 1410.0);
+        assert_eq!((cfg.block.bm, cfg.block.bn, cfg.block.bk), (64, 64, 32));
+        assert_eq!(cfg.blocks_per_sm, 1);
+        assert_eq!(cfg.schedule, PipelineSchedule::SingleBuffered);
+    }
+
+    #[test]
+    fn out_of_domain_overrides_are_typed_errors() {
+        assert_eq!(
+            GpuHwSpec {
+                sms: Some(0),
+                ..GpuHwSpec::default()
+            }
+            .resolve(),
+            Err(GpuConfigError::ZeroSms)
+        );
+        // 16 resident double-buffered CUDA-SDK tiles overflow shared memory.
+        assert!(matches!(
+            GpuHwSpec {
+                blocks_per_sm: Some(16),
+                ..GpuHwSpec::default()
+            }
+            .resolve(),
+            Err(GpuConfigError::SharedMemOverflow { .. })
+        ));
+    }
+}

@@ -87,6 +87,15 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The value as a float, if it is any number (integral literals
+    /// included — the wire spells `1530` and `1530.5` the same way here).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num { float, .. } => Some(*float),
+            _ => None,
+        }
+    }
 }
 
 /// A parse failure: what was expected and the byte offset it failed at.

@@ -11,10 +11,10 @@
 //! ([`iconv_tpusim::TpuConfig::canonical_key`] and friends).
 
 use iconv_core::tpu_group_size;
-use iconv_gpusim::GpuConfig;
 use iconv_tensor::ConvShape;
 use iconv_tpusim::{SimMode, TpuConfig};
 
+use crate::gpuspec::resolve_gpu;
 use crate::spec::resolve_tpu;
 use crate::work::Work;
 
@@ -80,13 +80,18 @@ pub fn canonical_key(work: &Work) -> String {
         Work::TpuGemm { m, n, k, hw } => {
             format!("{};gemm;m{m},n{n},k{k}", resolve_tpu(hw).canonical_key())
         }
-        Work::GpuConv { shape, algo } => {
+        Work::GpuConv { shape, algo, hw } => {
+            // The default spec resolves to exactly the V100 preset, so
+            // pre-existing GPU requests keep their historical keys.
             format!(
                 "{};conv;{};{}",
-                GpuConfig::v100().canonical_key(),
+                resolve_gpu(hw).canonical_key(),
                 algo,
                 shape_key(shape)
             )
+        }
+        Work::Tune { shape, target } => {
+            format!("tune;{};{}", target.key_component(), shape_key(shape))
         }
     }
 }
@@ -94,7 +99,9 @@ pub fn canonical_key(work: &Work) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gpuspec::GpuHwSpec;
     use crate::spec::{TpuChip, TpuHwSpec};
+    use crate::tuned::TuneTarget;
     use iconv_gpusim::GpuAlgo;
 
     fn shape() -> ConvShape {
@@ -182,7 +189,23 @@ mod tests {
                     }
                 }
                 for algo in [GpuAlgo::CudnnImplicit, GpuAlgo::ExplicitIm2col] {
-                    keys.insert(canonical_key(&Work::GpuConv { shape: s, algo }));
+                    for hw in [
+                        GpuHwSpec::default(),
+                        GpuHwSpec {
+                            sms: Some(108),
+                            ..GpuHwSpec::default()
+                        },
+                    ] {
+                        keys.insert(canonical_key(&Work::GpuConv { shape: s, algo, hw }));
+                        n += 1;
+                    }
+                }
+                for target in [
+                    TuneTarget::Tpu { chip: TpuChip::V2 },
+                    TuneTarget::Tpu { chip: TpuChip::V3 },
+                    TuneTarget::Gpu,
+                ] {
+                    keys.insert(canonical_key(&Work::Tune { shape: s, target }));
                     n += 1;
                 }
             }
@@ -195,6 +218,40 @@ mod tests {
         }));
         n += 1;
         assert_eq!(keys.len(), n, "cache-key collision in sweep");
+    }
+
+    #[test]
+    fn default_gpu_hw_keeps_the_historical_v100_key() {
+        let work = Work::GpuConv {
+            shape: shape(),
+            algo: GpuAlgo::CudnnImplicit,
+            hw: GpuHwSpec::default(),
+        };
+        let key = canonical_key(&work);
+        assert!(
+            key.starts_with(&iconv_gpusim::GpuConfig::v100().canonical_key()),
+            "{key}"
+        );
+        // Explicitly-spelled defaults alias the preset key too.
+        let explicit = Work::GpuConv {
+            shape: shape(),
+            algo: GpuAlgo::CudnnImplicit,
+            hw: GpuHwSpec {
+                sms: Some(80),
+                clock_mhz: Some(1530.0),
+                ..GpuHwSpec::default()
+            },
+        };
+        assert_eq!(key, canonical_key(&explicit));
+    }
+
+    #[test]
+    fn tune_keys_name_target_and_shape() {
+        let key = canonical_key(&Work::Tune {
+            shape: shape(),
+            target: TuneTarget::Tpu { chip: TpuChip::V2 },
+        });
+        assert!(key.starts_with("tune;tpu:v2;n8,"), "{key}");
     }
 
     #[test]

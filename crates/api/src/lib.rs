@@ -30,24 +30,33 @@
 //!   the capacity harness skews its canonical-key population with (the
 //!   splitmix primitives are re-exported from `iconv-faults`).
 //!
-//! The wire codecs stay in `iconv-serve`; this crate knows nothing about
-//! JSON or sockets.
+//! - [`proto`]: the NDJSON wire codecs themselves — one typed [`proto::Op`]
+//!   registry plus request/response structs, shared verbatim by the server,
+//!   the clients, and the `routed` front-end (they ride on [`json`], the
+//!   hand-rolled panic-free parser). Sockets stay in `iconv-serve`; this
+//!   crate still knows nothing about I/O.
 
 #![warn(missing_docs)]
 
+pub mod gpuspec;
 pub mod hist;
+pub mod json;
 pub mod key;
+pub mod proto;
 pub mod ring;
 pub mod spec;
 pub mod sweep;
 pub mod table;
+pub mod tuned;
 pub mod work;
 pub mod zipf;
 
+pub use gpuspec::{resolve_gpu, GpuHwSpec};
 pub use hist::LatencyHist;
 pub use key::canonical_key;
 pub use ring::{shard_of, stable_hash64, HashRing};
 pub use spec::{resolve_tpu, TpuChip, TpuHwSpec};
 pub use sweep::{SweepError, SweepSpec, SweepTarget, MAX_SWEEP_ITEMS};
+pub use tuned::{TuneTarget, TunedConfig};
 pub use work::Work;
 pub use zipf::ZipfSampler;

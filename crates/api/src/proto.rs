@@ -1,17 +1,26 @@
 //! The NDJSON wire protocol: request/response types, their codecs, and the
-//! typed error vocabulary.
+//! typed error vocabulary — shared verbatim by the server, the clients,
+//! and the `routed` front-end, so there is exactly one place the wire
+//! format is defined.
 //!
-//! One JSON object per line in each direction. Requests carry an `op`
-//! (`conv`, `gemm`, `batch`, `stats`, `ping`, `shutdown`), an optional
-//! client `id` echoed verbatim in the response, and an optional
-//! `deadline_ms` after which a queued request is answered with a `deadline`
-//! error instead of being simulated. Responses always carry
-//! `"ok":true|false`; failures name one of the [`ErrorKind`] codes.
+//! One JSON object per line in each direction. Requests carry an `op` —
+//! one entry of the [`Op`] registry (`conv`, `gemm`, `tune`, `batch`,
+//! `stats`, `shards`, `ping`, `shutdown`) — an optional client `id` echoed
+//! verbatim in the response, and an optional `deadline_ms` after which a
+//! queued request is answered with a `deadline` error instead of being
+//! simulated. Responses always carry `"ok":true|false`; failures name one
+//! of the [`ErrorKind`] codes.
+//!
+//! A `tune` request (`{"op":"tune","target":"tpu"|"gpu",...}`) asks for
+//! the best design-space configuration for a layer; the response carries
+//! the winning [`TunedConfig`] plus tuned-vs-default cycle counts. A
+//! `conv` request may spell `"hw":"tuned"` to have the server look the
+//! layer's tuned config up (or search for it) and estimate under it.
 //!
 //! A `batch` request carries either `"items": [...]` (an array of estimate
 //! objects, each shaped like a standalone `conv`/`gemm` request without
 //! `id`/`deadline_ms`) or `"sweep": {...}` (a compact
-//! [`iconv_api::SweepSpec`]: base layer + axis value lists). The server
+//! [`crate::SweepSpec`]: base layer + axis value lists). The server
 //! answers with one response line *per item*, tagged `"item": <index>`, in
 //! item order, followed by a summary line `{"ok":true,"batch":{...}}` — so
 //! a well-formed batch of `n` items always produces exactly `n + 1` lines.
@@ -30,11 +39,93 @@ use iconv_tpusim::SimMode;
 
 use crate::json::{self, write_str, Json};
 
-// The request vocabulary itself lives in the shared `iconv-api` crate; the
-// wire codecs below are this module's own.
-pub use iconv_api::{
-    LatencyHist, SweepError, SweepSpec, SweepTarget, TpuChip, TpuHwSpec, Work, MAX_SWEEP_ITEMS,
+// The request vocabulary lives beside this module; re-exported here so the
+// codec surface is self-contained for downstream `use proto::*` callers.
+pub use crate::{
+    GpuHwSpec, LatencyHist, SweepError, SweepSpec, SweepTarget, TpuChip, TpuHwSpec, TuneTarget,
+    TunedConfig, Work, MAX_SWEEP_ITEMS,
 };
+
+/// The operation registry: every verb the wire accepts, in one place.
+/// Adding an op means adding a variant here plus its parse/encode arms —
+/// the server, clients, and router all match on this enum, never on raw
+/// strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Convolution estimate (TPU or GPU, by `target`).
+    Conv,
+    /// Plain GEMM estimate on the TPU model.
+    Gemm,
+    /// Design-space search: best config for a layer on a target.
+    Tune,
+    /// Many estimates admitted as one unit (item array or sweep spec).
+    Batch,
+    /// Counter snapshot.
+    Stats,
+    /// Per-shard cache counters.
+    Shards,
+    /// Liveness probe.
+    Ping,
+    /// Graceful drain.
+    Shutdown,
+}
+
+impl Op {
+    /// Every op, in documentation order.
+    pub const ALL: [Op; 8] = [
+        Op::Conv,
+        Op::Gemm,
+        Op::Tune,
+        Op::Batch,
+        Op::Stats,
+        Op::Shards,
+        Op::Ping,
+        Op::Shutdown,
+    ];
+
+    /// Wire spelling of the op.
+    pub fn wire(self) -> &'static str {
+        match self {
+            Op::Conv => "conv",
+            Op::Gemm => "gemm",
+            Op::Tune => "tune",
+            Op::Batch => "batch",
+            Op::Stats => "stats",
+            Op::Shards => "shards",
+            Op::Ping => "ping",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    /// Inverse of [`Op::wire`].
+    pub fn from_wire(s: &str) -> Option<Op> {
+        Op::ALL.iter().copied().find(|op| op.wire() == s)
+    }
+
+    /// Ops that denote one unit of simulation work — exactly the ops valid
+    /// as `batch` items.
+    pub fn is_estimate(self) -> bool {
+        matches!(self, Op::Conv | Op::Gemm | Op::Tune)
+    }
+
+    /// `"a, b, ... or z"` rendering of a set of ops, for error details.
+    fn expected(ops: &[Op]) -> String {
+        let mut out = String::new();
+        for (i, op) in ops.iter().enumerate() {
+            if i > 0 {
+                out.push_str(if i + 1 == ops.len() { " or " } else { ", " });
+            }
+            out.push_str(op.wire());
+        }
+        out
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire())
+    }
+}
 
 /// An estimate request: the work plus delivery metadata.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,8 +143,21 @@ pub struct EstimateRequest {
 /// Any request the server accepts.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// `conv` / `gemm`.
+    /// `conv` / `gemm` / `tune`.
     Estimate(EstimateRequest),
+    /// A `conv` spelled `"hw":"tuned"`: estimate the layer under its tuned
+    /// configuration. The server resolves the tune (from its store, or by
+    /// searching) and then runs the concrete estimate the winner denotes.
+    TunedEstimate {
+        /// Echoed id.
+        id: Option<String>,
+        /// Layer shape.
+        shape: ConvShape,
+        /// Which target's tuned config to apply.
+        target: TuneTarget,
+        /// Queue deadline applied to the whole resolve-then-estimate.
+        deadline_ms: Option<u64>,
+    },
     /// `batch`: many estimates admitted as one unit. The item list is fully
     /// expanded at parse time (sweeps included), so by the time the server
     /// sees this variant every item is a concrete, validated [`Work`].
@@ -215,6 +319,24 @@ pub struct GpuEstimate {
     pub flops: u64,
 }
 
+/// A successful `tune` response, as decoded by the client. Cycle fields
+/// are reconstructed from hex bit renderings, so they match the server
+/// bit-for-bit (TPU cycle counts are integers but cross the wire through
+/// the same `f64` transport the search measured them in).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuneEstimate {
+    /// The winning design-space configuration.
+    pub best: TunedConfig,
+    /// Cycles under the winning configuration.
+    pub tuned_cycles: f64,
+    /// Cycles under the Table-II default configuration.
+    pub default_cycles: f64,
+    /// Candidates actually measured.
+    pub candidates: u64,
+    /// Candidates pruned before measurement (invalid or key-duplicate).
+    pub pruned: u64,
+}
+
 /// The counter snapshot returned by the `stats` op.
 ///
 /// Not `Copy`: the service-time histogram carries its bucket vector, so
@@ -270,6 +392,15 @@ pub struct StatsSnapshot {
     /// Faults the serve seams actually applied; conservation demands this
     /// equal `faults_injected` at any quiescent point.
     pub faults_observed: u64,
+    /// `tune` requests answered successfully (a subset of `requests`).
+    /// Conservation: `tunes == tune_searches + tune_cached` at any
+    /// quiescent point.
+    pub tunes: u64,
+    /// Tune answers that ran the design-space search.
+    pub tune_searches: u64,
+    /// Tune answers served from the cache / tune store (single-flight
+    /// followers included — their bytes came from a leader's search).
+    pub tune_cached: u64,
     /// Service-time histogram over successful requests, microseconds,
     /// measured from request receipt to response enqueue. Its `count()`
     /// equals `requests` at any quiescent point (the same samples the
@@ -307,6 +438,9 @@ impl StatsSnapshot {
             worker_crashes,
             faults_injected,
             faults_observed,
+            tunes,
+            tune_searches,
+            tune_cached,
             service_hist,
         } = self;
         *requests += other.requests;
@@ -331,6 +465,9 @@ impl StatsSnapshot {
         *worker_crashes += other.worker_crashes;
         *faults_injected += other.faults_injected;
         *faults_observed += other.faults_observed;
+        *tunes += other.tunes;
+        *tune_searches += other.tune_searches;
+        *tune_cached += other.tune_cached;
         service_hist.merge(&other.service_hist);
     }
 }
@@ -374,6 +511,13 @@ pub enum Response {
         id: Option<String>,
         /// The estimate.
         est: GpuEstimate,
+    },
+    /// Tune result.
+    Tune {
+        /// Echoed id.
+        id: Option<String>,
+        /// The search outcome.
+        est: TuneEstimate,
     },
     /// Counter snapshot.
     Stats {
@@ -425,6 +569,7 @@ impl Response {
         match self {
             Response::Tpu { id, .. }
             | Response::Gpu { id, .. }
+            | Response::Tune { id, .. }
             | Response::Stats { id, .. }
             | Response::Shards { id, .. }
             | Response::Pong { id }
@@ -495,28 +640,42 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         e.id.clone_from(&id);
         e
     };
-    let op = obj
+    let op_str = obj
         .get("op")
         .and_then(|v| v.as_str())
         .ok_or_else(|| with_id(RequestError::bad("missing string field \"op\"")))?;
+    let op = Op::from_wire(op_str).ok_or_else(|| {
+        with_id(RequestError::bad(format!(
+            "unknown op {op_str:?} (expected {})",
+            Op::expected(&Op::ALL)
+        )))
+    })?;
     match op {
-        "stats" => return Ok(Request::Stats { id }),
-        "shards" => return Ok(Request::Shards { id }),
-        "ping" => return Ok(Request::Ping { id }),
-        "shutdown" => return Ok(Request::Shutdown { id }),
-        "conv" | "gemm" | "batch" => {}
-        other => {
-            return Err(with_id(RequestError::bad(format!(
-                "unknown op {other:?} (expected conv, gemm, batch, stats, shards, ping or shutdown)"
-            ))))
-        }
+        Op::Stats => return Ok(Request::Stats { id }),
+        Op::Shards => return Ok(Request::Shards { id }),
+        Op::Ping => return Ok(Request::Ping { id }),
+        Op::Shutdown => return Ok(Request::Shutdown { id }),
+        Op::Conv | Op::Gemm | Op::Tune | Op::Batch => {}
     }
     let deadline_ms = parse_deadline(obj).map_err(with_id)?;
-    if op == "batch" {
+    if op == Op::Batch {
         let items = parse_batch_items(obj).map_err(with_id)?;
         return Ok(Request::Batch {
             id,
             items,
+            deadline_ms,
+        });
+    }
+    // `"hw":"tuned"` on a conv defers mode/hw selection to the tune store;
+    // only the top-level form supports it (a batch item's `hw` must be a
+    // concrete object, so items stay pure `Work`).
+    if op == Op::Conv && obj.get("hw").and_then(|v| v.as_str()) == Some("tuned") {
+        let target = parse_tune_target(obj).map_err(with_id)?;
+        let shape = parse_layer(obj.get("layer")).map_err(with_id)?;
+        return Ok(Request::TunedEstimate {
+            id,
+            shape,
+            target,
             deadline_ms,
         });
     }
@@ -526,6 +685,22 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         work,
         deadline_ms,
     }))
+}
+
+/// Parse the `target`(+`chip`) fields of a `tune` request or a
+/// `"hw":"tuned"` conv into the tune target they denote.
+fn parse_tune_target(
+    obj: &std::collections::BTreeMap<String, Json>,
+) -> Result<TuneTarget, RequestError> {
+    match obj.get("target").and_then(|v| v.as_str()).unwrap_or("tpu") {
+        "tpu" => Ok(TuneTarget::Tpu {
+            chip: parse_chip(obj.get("chip"))?,
+        }),
+        "gpu" => Ok(TuneTarget::Gpu),
+        other => Err(RequestError::bad(format!(
+            "unknown target {other:?} (expected tpu or gpu)"
+        ))),
+    }
 }
 
 fn parse_deadline(
@@ -540,19 +715,34 @@ fn parse_deadline(
     }
 }
 
-/// Parse the work fields of a `conv`/`gemm` object (a top-level request or
-/// one batch item — the fields are identical).
+/// Parse the work fields of a `conv`/`gemm`/`tune` object — one function
+/// for a top-level request and for a batch item, so the two framings can
+/// never drift apart.
 fn parse_work(
     obj: &std::collections::BTreeMap<String, Json>,
-    op: &str,
+    op: Op,
 ) -> Result<Work, RequestError> {
-    if op == "gemm" {
-        return Ok(Work::TpuGemm {
-            m: get_usize(obj, "m")?,
-            n: get_usize(obj, "n")?,
-            k: get_usize(obj, "k")?,
-            hw: parse_tpu_hw(obj.get("hw"))?,
-        });
+    match op {
+        Op::Gemm => {
+            return Ok(Work::TpuGemm {
+                m: get_usize(obj, "m")?,
+                n: get_usize(obj, "n")?,
+                k: get_usize(obj, "k")?,
+                hw: parse_tpu_hw(obj.get("hw"))?,
+            })
+        }
+        Op::Tune => {
+            return Ok(Work::Tune {
+                shape: parse_layer(obj.get("layer"))?,
+                target: parse_tune_target(obj)?,
+            })
+        }
+        Op::Conv => {}
+        other => {
+            return Err(RequestError::bad(format!(
+                "op {other} does not denote estimate work"
+            )))
+        }
     }
     let target = obj.get("target").and_then(|v| v.as_str()).unwrap_or("tpu");
     let shape = parse_layer(obj.get("layer"))?;
@@ -565,6 +755,7 @@ fn parse_work(
         "gpu" => Ok(Work::GpuConv {
             shape,
             algo: parse_gpu_algo(obj.get("mode"))?,
+            hw: parse_gpu_hw(obj.get("hw"))?,
         }),
         other => Err(RequestError::bad(format!(
             "unknown target {other:?} (expected tpu or gpu)"
@@ -572,16 +763,19 @@ fn parse_work(
     }
 }
 
-/// Parse one batch item: a `conv`/`gemm` object without `id`/`deadline_ms`.
+/// Parse one batch item: an estimate-op object without `id`/`deadline_ms`.
 fn parse_work_item(v: &Json) -> Result<Work, RequestError> {
     let obj = v
         .as_obj()
         .ok_or_else(|| RequestError::bad("must be an object"))?;
     match obj.get("op").and_then(|v| v.as_str()) {
-        Some(op @ ("conv" | "gemm")) => parse_work(obj, op),
-        Some(other) => Err(RequestError::bad(format!(
-            "unknown item op {other:?} (expected conv or gemm)"
-        ))),
+        Some(s) => match Op::from_wire(s).filter(|op| op.is_estimate()) {
+            Some(op) => parse_work(obj, op),
+            None => Err(RequestError::bad(format!(
+                "unknown item op {s:?} (expected {})",
+                Op::expected(&[Op::Conv, Op::Gemm, Op::Tune])
+            ))),
+        },
         None => Err(RequestError::bad("missing string field \"op\"")),
     }
 }
@@ -765,15 +959,7 @@ fn parse_tpu_hw(v: Option<&Json>) -> Result<TpuHwSpec, RequestError> {
             .as_obj()
             .ok_or_else(|| RequestError::bad("\"hw\" must be an object"))?,
     };
-    let chip = match obj.get("chip").and_then(|v| v.as_str()) {
-        None | Some("v2") => TpuChip::V2,
-        Some("v3") => TpuChip::V3,
-        Some(other) => {
-            return Err(RequestError::bad(format!(
-                "unknown chip {other:?} (expected v2 or v3)"
-            )))
-        }
-    };
+    let chip = parse_chip(obj.get("chip"))?;
     let opt = |key: &str| -> Result<Option<usize>, RequestError> {
         match obj.get(key) {
             None | Some(Json::Null) => Ok(None),
@@ -814,6 +1000,81 @@ fn parse_tpu_hw(v: Option<&Json>) -> Result<TpuHwSpec, RequestError> {
     // Validate through the typed config builder so an out-of-domain
     // override (e.g. an array size that underflows the SRAM budget) is a
     // bad-request here rather than a panic in the engine.
+    spec.resolve()
+        .map_err(|e| RequestError::bad(format!("invalid hw spec: {e}")))?;
+    Ok(spec)
+}
+
+fn parse_chip(v: Option<&Json>) -> Result<TpuChip, RequestError> {
+    match v {
+        None | Some(Json::Null) => Ok(TpuChip::V2),
+        Some(v) => match v.as_str() {
+            Some("v2") => Ok(TpuChip::V2),
+            Some("v3") => Ok(TpuChip::V3),
+            Some(other) => Err(RequestError::bad(format!(
+                "unknown chip {other:?} (expected v2 or v3)"
+            ))),
+            None => Err(RequestError::bad("\"chip\" must be a string")),
+        },
+    }
+}
+
+fn parse_gpu_hw(v: Option<&Json>) -> Result<GpuHwSpec, RequestError> {
+    let obj = match v {
+        None | Some(Json::Null) => return Ok(GpuHwSpec::default()),
+        Some(v) => v
+            .as_obj()
+            .ok_or_else(|| RequestError::bad("\"hw\" must be an object"))?,
+    };
+    let opt = |key: &str| -> Result<Option<usize>, RequestError> {
+        match obj.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => match opt_usize(v, key)? {
+                0 => Err(RequestError::bad(format!("\"{key}\" must be positive"))),
+                v => Ok(Some(v)),
+            },
+        }
+    };
+    let clock_mhz = match obj.get("clock_mhz") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_f64()
+                .ok_or_else(|| RequestError::bad("\"clock_mhz\" must be a number"))?,
+        ),
+    };
+    let block = match (opt("bm")?, opt("bn")?, opt("bk")?) {
+        (None, None, None) => None,
+        (Some(bm), Some(bn), Some(bk)) => Some((bm, bn, bk)),
+        _ => {
+            return Err(RequestError::bad(
+                "\"bm\"/\"bn\"/\"bk\" must be given together",
+            ))
+        }
+    };
+    let schedule = match obj.get("schedule") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| RequestError::bad("\"schedule\" must be a string"))?;
+            Some(PipelineSchedule::from_wire(s).ok_or_else(|| {
+                RequestError::bad(format!(
+                    "unknown schedule {s:?} (expected single or double)"
+                ))
+            })?)
+        }
+    };
+    let spec = GpuHwSpec {
+        sms: opt("sms")?,
+        tc_macs: opt("tc_macs")?.map(|v| v as u64),
+        clock_mhz,
+        block,
+        blocks_per_sm: opt("blocks_per_sm")?,
+        schedule,
+    };
+    // Validate through the typed config builder so an out-of-domain
+    // override (e.g. tiles that overflow shared memory) is a bad-request
+    // here rather than a panic in the engine.
     spec.resolve()
         .map_err(|e| RequestError::bad(format!("invalid hw spec: {e}")))?;
     Ok(spec)
@@ -905,6 +1166,54 @@ fn push_tpu_hw(out: &mut String, hw: &TpuHwSpec) {
     out.push('}');
 }
 
+fn push_gpu_hw(out: &mut String, hw: &GpuHwSpec) {
+    if *hw == GpuHwSpec::default() {
+        return;
+    }
+    out.push_str(",\"hw\":{");
+    let mut first = true;
+    let mut field = |out: &mut String, text: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&text);
+    };
+    if let Some(s) = hw.sms {
+        field(out, format!("\"sms\":{s}"));
+    }
+    if let Some(t) = hw.tc_macs {
+        field(out, format!("\"tc_macs\":{t}"));
+    }
+    if let Some(c) = hw.clock_mhz {
+        // Shortest-roundtrip `Display`: the decimal reparses bit-exactly.
+        field(out, format!("\"clock_mhz\":{c}"));
+    }
+    if let Some((bm, bn, bk)) = hw.block {
+        field(out, format!("\"bm\":{bm},\"bn\":{bn},\"bk\":{bk}"));
+    }
+    if let Some(r) = hw.blocks_per_sm {
+        field(out, format!("\"blocks_per_sm\":{r}"));
+    }
+    if let Some(s) = hw.schedule {
+        field(out, format!("\"schedule\":\"{s}\""));
+    }
+    out.push('}');
+}
+
+/// Append the `target`(+`chip`) fields naming a tune target.
+fn push_tune_target(out: &mut String, target: &TuneTarget) {
+    match target {
+        TuneTarget::Tpu { chip } => {
+            out.push_str("\"target\":\"tpu\"");
+            if *chip == TpuChip::V3 {
+                out.push_str(",\"chip\":\"v3\"");
+            }
+        }
+        TuneTarget::Gpu => out.push_str("\"target\":\"gpu\""),
+    }
+}
+
 fn push_deadline(out: &mut String, deadline_ms: Option<u64>) {
     if let Some(d) = deadline_ms {
         out.push_str(&format!(",\"deadline_ms\":{d}"));
@@ -925,13 +1234,41 @@ fn push_work(out: &mut String, work: &Work) {
             out.push_str(&format!("\"op\":\"gemm\",\"m\":{m},\"n\":{n},\"k\":{k}"));
             push_tpu_hw(out, hw);
         }
-        Work::GpuConv { shape, algo } => {
+        Work::GpuConv { shape, algo, hw } => {
             out.push_str("\"op\":\"conv\",\"target\":\"gpu\",\"mode\":");
             write_str(out, &algo.to_string());
             out.push(',');
             push_layer(out, shape);
+            push_gpu_hw(out, hw);
+        }
+        Work::Tune { shape, target } => {
+            out.push_str("\"op\":\"tune\",");
+            push_tune_target(out, target);
+            out.push(',');
+            push_layer(out, shape);
         }
     }
+}
+
+/// Encode a `conv` request that defers to the tuned config
+/// (`"hw":"tuned"`) as one wire line.
+pub fn encode_tuned_estimate(
+    id: Option<&str>,
+    shape: &ConvShape,
+    target: &TuneTarget,
+    deadline_ms: Option<u64>,
+) -> String {
+    let mut out = String::with_capacity(256);
+    out.push('{');
+    push_id(&mut out, id);
+    out.push_str("\"op\":\"conv\",");
+    push_tune_target(&mut out, target);
+    out.push(',');
+    push_layer(&mut out, shape);
+    out.push_str(",\"hw\":\"tuned\"");
+    push_deadline(&mut out, deadline_ms);
+    out.push('}');
+    out
 }
 
 /// Encode an estimate request as one wire line (no trailing newline).
@@ -1072,6 +1409,70 @@ pub fn gpu_body(est: &GpuEstimate) -> String {
     )
 }
 
+/// Render a tuned config as a JSON object (the `best` field of a tune
+/// response; also the on-disk tune-cache entry format).
+pub fn tuned_config_json(cfg: &TunedConfig) -> String {
+    let mut out = String::with_capacity(128);
+    out.push('{');
+    match cfg {
+        TunedConfig::Tpu { mode, hw } => {
+            out.push_str("\"target\":\"tpu\",\"mode\":");
+            write_str(&mut out, &tpu_mode_wire(*mode));
+            // `push_tpu_hw` spells the chip inside the hw object (and
+            // omits the object entirely for the all-default spec).
+            push_tpu_hw(&mut out, hw);
+        }
+        TunedConfig::Gpu { algo, hw } => {
+            out.push_str("\"target\":\"gpu\",\"mode\":");
+            write_str(&mut out, &algo.to_string());
+            push_gpu_hw(&mut out, hw);
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Inverse of [`tuned_config_json`], from a parsed JSON object.
+///
+/// # Errors
+///
+/// Returns a `BadRequest` [`RequestError`] when the object is not a valid
+/// tuned config (the same validators as request parsing apply).
+pub fn parse_tuned_config(v: &Json) -> Result<TunedConfig, RequestError> {
+    let obj = v
+        .as_obj()
+        .ok_or_else(|| RequestError::bad("tuned config must be an object"))?;
+    match obj.get("target").and_then(|v| v.as_str()) {
+        Some("tpu") => Ok(TunedConfig::Tpu {
+            mode: parse_tpu_mode(obj.get("mode"))?,
+            hw: parse_tpu_hw(obj.get("hw"))?,
+        }),
+        Some("gpu") => Ok(TunedConfig::Gpu {
+            algo: parse_gpu_algo(obj.get("mode"))?,
+            hw: parse_gpu_hw(obj.get("hw"))?,
+        }),
+        _ => Err(RequestError::bad(
+            "tuned config missing target (expected tpu or gpu)",
+        )),
+    }
+}
+
+/// Body of a successful `tune` response.
+pub fn tune_body(est: &TuneEstimate) -> String {
+    format!(
+        "\"ok\":true,\"target\":\"tune\",\"best\":{},\"tuned_cycles\":{},\
+         \"tuned_bits\":\"{}\",\"default_cycles\":{},\"default_bits\":\"{}\",\
+         \"candidates\":{},\"pruned\":{}",
+        tuned_config_json(&est.best),
+        est.tuned_cycles,
+        f64_bits(est.tuned_cycles),
+        est.default_cycles,
+        f64_bits(est.default_cycles),
+        est.candidates,
+        est.pruned
+    )
+}
+
 /// Body of a `stats` response.
 pub fn stats_body(s: &StatsSnapshot) -> String {
     format!(
@@ -1081,7 +1482,8 @@ pub fn stats_body(s: &StatsSnapshot) -> String {
          \"latency_us_total\":{},\"latency_us_max\":{},\"workers\":{},\
          \"batches\":{},\"batch_items\":{},\"batch_hits\":{},\"batch_misses\":{},\
          \"batch_errors\":{},\"worker_crashes\":{},\"faults_injected\":{},\
-         \"faults_observed\":{},\"service_hist\":{}}}",
+         \"faults_observed\":{},\"tunes\":{},\"tune_searches\":{},\
+         \"tune_cached\":{},\"service_hist\":{}}}",
         s.requests,
         s.hits,
         s.misses,
@@ -1104,6 +1506,9 @@ pub fn stats_body(s: &StatsSnapshot) -> String {
         s.worker_crashes,
         s.faults_injected,
         s.faults_observed,
+        s.tunes,
+        s.tune_searches,
+        s.tune_cached,
         s.service_hist.to_json()
     )
 }
@@ -1320,6 +1725,9 @@ pub fn parse_response(line: &str) -> Result<Response, RequestError> {
             worker_crashes: need_u64(s, "worker_crashes")?,
             faults_injected: need_u64(s, "faults_injected")?,
             faults_observed: need_u64(s, "faults_observed")?,
+            tunes: need_u64(s, "tunes")?,
+            tune_searches: need_u64(s, "tune_searches")?,
+            tune_cached: need_u64(s, "tune_cached")?,
             service_hist: need_hist(s, "service_hist")?,
         };
         return Ok(Response::Stats { id, stats });
@@ -1348,6 +1756,19 @@ pub fn parse_response(line: &str) -> Result<Response, RequestError> {
                 transform_cycles: need_bits(obj, "transform_bits")?,
                 blocks: need_u64(obj, "blocks")?,
                 flops: need_u64(obj, "flops")?,
+            },
+        }),
+        Some("tune") => Ok(Response::Tune {
+            id,
+            est: TuneEstimate {
+                best: obj
+                    .get("best")
+                    .ok_or_else(|| RequestError::bad("tune response missing \"best\""))
+                    .and_then(parse_tuned_config)?,
+                tuned_cycles: need_bits(obj, "tuned_bits")?,
+                default_cycles: need_bits(obj, "default_bits")?,
+                candidates: need_u64(obj, "candidates")?,
+                pruned: need_u64(obj, "pruned")?,
             },
         }),
         _ => Err(RequestError::bad("unrecognized response shape")),
@@ -1396,6 +1817,7 @@ mod tests {
                 work: Work::GpuConv {
                     shape: shape(),
                     algo,
+                    hw: GpuHwSpec::default(),
                 },
                 deadline_ms: None,
             };
@@ -1535,6 +1957,7 @@ mod tests {
             Work::GpuConv {
                 shape: shape(),
                 algo: GpuAlgo::CudnnImplicit,
+                hw: GpuHwSpec::default(),
             },
         ];
         let line = encode_batch(Some("b1"), &items, Some(750));
@@ -1694,6 +2117,7 @@ mod tests {
                     .build()
                     .unwrap(),
                 algo: GpuAlgo::CudnnImplicit,
+                hw: GpuHwSpec::default(),
             },
             deadline_ms: None,
         };
@@ -1777,6 +2201,90 @@ mod tests {
         assert_eq!(a.latency_us_max, 90);
         assert_eq!(a.workers, 6);
         assert_eq!(a.cache_capacity, 2000);
+    }
+
+    #[test]
+    fn tune_request_and_response_roundtrip() {
+        let req = EstimateRequest {
+            id: Some("t".into()),
+            work: Work::Tune {
+                shape: shape(),
+                target: TuneTarget::Tpu { chip: TpuChip::V3 },
+            },
+            deadline_ms: Some(500),
+        };
+        let line = encode_estimate(&req);
+        assert!(line.contains("\"op\":\"tune\""), "{line}");
+        assert!(line.contains("\"chip\":\"v3\""), "{line}");
+        assert_eq!(parse_request(&line), Ok(Request::Estimate(req)));
+
+        let est = TuneEstimate {
+            best: TunedConfig::Tpu {
+                mode: SimMode::ChannelFirstGrouped(2),
+                hw: TpuHwSpec {
+                    array: Some(64),
+                    ..TpuHwSpec::default()
+                },
+            },
+            tuned_cycles: 1234.0,
+            default_cycles: 5678.5,
+            candidates: 61,
+            pruned: 9,
+        };
+        let line = finish_response(Some("t"), &tune_body(&est));
+        assert_eq!(
+            parse_response(&line),
+            Ok(Response::Tune {
+                id: Some("t".into()),
+                est,
+            })
+        );
+    }
+
+    #[test]
+    fn tuned_conv_framing_parses_to_tuned_estimate() {
+        let line = encode_tuned_estimate(Some("x"), &shape(), &TuneTarget::Gpu, Some(100));
+        assert!(line.contains("\"hw\":\"tuned\""), "{line}");
+        assert_eq!(
+            parse_request(&line),
+            Ok(Request::TunedEstimate {
+                id: Some("x".into()),
+                shape: shape(),
+                target: TuneTarget::Gpu,
+                deadline_ms: Some(100),
+            })
+        );
+    }
+
+    #[test]
+    fn gpu_hw_spec_roundtrips_and_rejects_overflow() {
+        let req = EstimateRequest {
+            id: None,
+            work: Work::GpuConv {
+                shape: shape(),
+                algo: GpuAlgo::CudnnImplicit,
+                hw: GpuHwSpec {
+                    sms: Some(40),
+                    clock_mhz: Some(1312.5),
+                    block: Some((64, 64, 32)),
+                    schedule: Some(PipelineSchedule::SingleBuffered),
+                    ..GpuHwSpec::default()
+                },
+            },
+            deadline_ms: None,
+        };
+        let line = encode_estimate(&req);
+        assert_eq!(parse_request(&line), Ok(Request::Estimate(req)));
+
+        // Tiles that overflow shared memory at default residency must be
+        // a bad-request at parse time, not an engine panic.
+        let layer = r#"{"n":1,"ci":32,"hi":8,"wi":8,"co":8,"hf":3,"wf":3}"#;
+        let bad = format!(
+            r#"{{"op":"conv","target":"gpu","layer":{layer},"hw":{{"bm":4096,"bn":4096,"bk":4096}}}}"#
+        );
+        let e = parse_request(&bad).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+        assert!(e.detail.contains("invalid hw spec"), "{e}");
     }
 
     #[test]

@@ -187,7 +187,11 @@ impl SweepSpec {
                                 }
                                 Work::TpuConv { shape, mode, hw }
                             }
-                            SweepTarget::Gpu { algo } => Work::GpuConv { shape, algo },
+                            SweepTarget::Gpu { algo } => Work::GpuConv {
+                                shape,
+                                algo,
+                                hw: crate::GpuHwSpec::default(),
+                            },
                         });
                     }
                 }

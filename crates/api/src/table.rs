@@ -6,6 +6,7 @@
 use iconv_gpusim::GpuAlgo;
 use iconv_tpusim::SimMode;
 
+use crate::gpuspec::GpuHwSpec;
 use crate::spec::TpuHwSpec;
 use crate::work::Work;
 
@@ -37,10 +38,12 @@ pub fn workload_works(small: bool) -> Vec<Work> {
             works.push(Work::GpuConv {
                 shape: l.shape,
                 algo: GpuAlgo::CudnnImplicit,
+                hw: GpuHwSpec::default(),
             });
             works.push(Work::GpuConv {
                 shape: l.shape,
                 algo: GpuAlgo::ChannelFirst { reuse: true },
+                hw: GpuHwSpec::default(),
             });
         }
     }

@@ -4,7 +4,9 @@ use iconv_gpusim::GpuAlgo;
 use iconv_tensor::ConvShape;
 use iconv_tpusim::SimMode;
 
+use crate::gpuspec::GpuHwSpec;
 use crate::spec::TpuHwSpec;
+use crate::tuned::TuneTarget;
 
 /// The simulation a request asks for.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,5 +37,16 @@ pub enum Work {
         shape: ConvShape,
         /// Kernel algorithm.
         algo: GpuAlgo,
+        /// Hardware overrides.
+        hw: GpuHwSpec,
+    },
+    /// A design-space search: find the best configuration for this layer
+    /// on this target. Deterministic (pure function of shape × target), so
+    /// it is cached and single-flighted exactly like any estimate.
+    Tune {
+        /// Layer shape.
+        shape: ConvShape,
+        /// Simulator searched, plus its fixed constraints.
+        target: TuneTarget,
     },
 }

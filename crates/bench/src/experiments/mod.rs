@@ -10,3 +10,4 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod table1;
+pub mod tune_table;

@@ -35,6 +35,7 @@ pub const EXPERIMENTS: &[Experiment] = &[
     ("fig16", crate::experiments::fig16::report),
     ("fig17", crate::experiments::fig17::report),
     ("fig18", crate::experiments::fig18::report),
+    ("tune", crate::experiments::tune_table::report),
 ];
 
 /// The ablation studies, for `--ablations` sweeps.

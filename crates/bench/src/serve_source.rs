@@ -17,7 +17,8 @@
 use std::sync::Mutex;
 
 use iconv_api::Work;
-use iconv_serve::{Client, Estimate, MAX_SWEEP_ITEMS};
+use iconv_serve::protocol::encode_estimate;
+use iconv_serve::{Client, Estimate, EstimateRequest, Response, MAX_SWEEP_ITEMS};
 
 use crate::summary::{CycleCount, CycleSource};
 
@@ -58,25 +59,19 @@ impl ServeSource {
 impl CycleSource for ServeSource {
     fn estimate(&self, work: &Work) -> CycleCount {
         let mut client = self.client.lock().expect("serve client poisoned");
-        match *work {
-            Work::TpuConv { shape, mode, hw } => CycleCount::Tpu(
-                client
-                    .tpu_conv(&shape, mode, &hw)
-                    .expect("serve tpu conv estimate failed")
-                    .cycles,
-            ),
-            Work::TpuGemm { m, n, k, hw } => CycleCount::Tpu(
-                client
-                    .tpu_gemm(m, n, k, &hw)
-                    .expect("serve tpu gemm estimate failed")
-                    .cycles,
-            ),
-            Work::GpuConv { shape, algo } => CycleCount::Gpu(
-                client
-                    .gpu_conv(&shape, algo)
-                    .expect("serve gpu conv estimate failed")
-                    .cycles,
-            ),
+        // Ship the `Work` itself rather than going through the per-variant
+        // client helpers: that keeps hardware overrides and `tune` on the
+        // same wire bytes as the serve-side cache key.
+        let line = encode_estimate(&EstimateRequest {
+            id: None,
+            work: *work,
+            deadline_ms: None,
+        });
+        match client.call(&line).expect("serve estimate failed") {
+            Response::Tpu { est, .. } => CycleCount::Tpu(est.cycles),
+            Response::Gpu { est, .. } => CycleCount::Gpu(est.cycles),
+            Response::Tune { est, .. } => CycleCount::Tuned(est.tuned_cycles),
+            other => panic!("unexpected serve response: {other:?}"),
         }
     }
 
@@ -95,6 +90,7 @@ impl CycleSource for ServeSource {
                 match reply.expect("serve batch item failed") {
                     Estimate::Tpu(est) => out.push(CycleCount::Tpu(est.cycles)),
                     Estimate::Gpu(est) => out.push(CycleCount::Gpu(est.cycles)),
+                    Estimate::Tune(est) => out.push(CycleCount::Tuned(est.tuned_cycles)),
                 }
             }
         }

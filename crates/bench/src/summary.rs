@@ -2,161 +2,15 @@
 //! by `expall` to `results/summary.json` so CI or downstream tooling can
 //! track regressions without parsing table output.
 
-use iconv_api::{resolve_tpu, TpuHwSpec, Work};
-use iconv_gpusim::{GpuAlgo, GpuConfig, GpuSim};
+use iconv_api::{GpuHwSpec, TpuHwSpec, Work};
+use iconv_gpusim::{GpuAlgo, GpuConfig};
 use iconv_models::{mean_abs_pct_error, TpuMeasuredProxy};
-use iconv_tensor::ConvShape;
-use iconv_tpusim::{SimMode, Simulator, TpuConfig};
+use iconv_tpusim::SimMode;
 
-/// A cycle total in the currency of whichever engine produced it: TPU
-/// estimates are exact integers, GPU estimates are analytic `f64`s whose
-/// bit pattern must survive any transport.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum CycleCount {
-    /// Cycle-exact TPU total.
-    Tpu(u64),
-    /// Analytic GPU total (`KernelTiming::cycles`, bit-exact).
-    Gpu(f64),
-}
-
-impl CycleCount {
-    /// The TPU total.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the estimate came from the GPU engine — the figure
-    /// reductions know statically which engine each work targets, so a
-    /// mismatch is a bug, not a recoverable condition.
-    pub fn tpu(self) -> u64 {
-        match self {
-            CycleCount::Tpu(c) => c,
-            CycleCount::Gpu(c) => panic!("expected a TPU cycle count, got GPU {c}"),
-        }
-    }
-
-    /// The GPU total.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the estimate came from the TPU engine.
-    pub fn gpu(self) -> f64 {
-        match self {
-            CycleCount::Gpu(c) => c,
-            CycleCount::Tpu(c) => panic!("expected a GPU cycle count, got TPU {c}"),
-        }
-    }
-}
-
-/// Where layer estimates come from: the in-process simulators, or a remote
-/// `iconv-serve` instance (`expall --via-serve`).
-///
-/// Implementations must be *bit*-deterministic: the same query returns the
-/// same value every time, so the summary JSON is byte-identical whichever
-/// source backs it. GPU estimates carry the raw `f64` total cycles
-/// (`KernelTiming::cycles`) because downstream arithmetic must replay the
-/// in-process operation sequence exactly.
-///
-/// The vocabulary is [`iconv_api::Work`]: one `estimate` call per unit, or
-/// a whole table at once via [`estimate_many`](CycleSource::estimate_many)
-/// — which a networked source can override to pipeline a single batched
-/// request instead of `works.len()` round trips.
-pub trait CycleSource: Sync {
-    /// Estimate one unit of work.
-    fn estimate(&self, work: &Work) -> CycleCount;
-
-    /// Estimate a whole table, preserving input order. The default fans
-    /// the per-item [`estimate`](CycleSource::estimate) over `jobs`
-    /// workers; any override must return exactly the same values in the
-    /// same order (pinned by the `estimate_many` contract test).
-    fn estimate_many(&self, jobs: usize, works: &[Work]) -> Vec<CycleCount> {
-        iconv_par::par_map_jobs(jobs, works, |w| self.estimate(w))
-    }
-
-    /// Total cycles of a TPU convolution under `mode` (default hardware).
-    fn tpu_conv_cycles(&self, shape: &ConvShape, mode: SimMode) -> u64 {
-        self.estimate(&Work::TpuConv {
-            shape: *shape,
-            mode,
-            hw: TpuHwSpec::default(),
-        })
-        .tpu()
-    }
-
-    /// Total cycles of a TPU GEMM (default hardware).
-    fn tpu_gemm_cycles(&self, m: usize, n: usize, k: usize) -> u64 {
-        self.estimate(&Work::TpuGemm {
-            m,
-            n,
-            k,
-            hw: TpuHwSpec::default(),
-        })
-        .tpu()
-    }
-
-    /// Total cycles of a GPU convolution under `algo` (bit-exact `f64`).
-    fn gpu_conv_cycles(&self, shape: &ConvShape, algo: GpuAlgo) -> f64 {
-        self.estimate(&Work::GpuConv {
-            shape: *shape,
-            algo,
-        })
-        .gpu()
-    }
-}
-
-/// The in-process source: calls the simulators directly.
-pub struct InProcessSource {
-    sim: Simulator,
-    gpu: GpuSim,
-}
-
-impl InProcessSource {
-    /// Source over the paper's default TPU-v2 / V100 configurations.
-    pub fn new() -> Self {
-        Self {
-            sim: Simulator::new(TpuConfig::tpu_v2()),
-            gpu: GpuSim::new(GpuConfig::v100()),
-        }
-    }
-}
-
-impl Default for InProcessSource {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl CycleSource for InProcessSource {
-    fn estimate(&self, work: &Work) -> CycleCount {
-        match work {
-            Work::TpuConv { shape, mode, hw } => {
-                let cycles = if *hw == TpuHwSpec::default() {
-                    self.sim.simulate_conv("summary", shape, *mode).cycles
-                } else {
-                    Simulator::new(resolve_tpu(hw))
-                        .simulate_conv("summary", shape, *mode)
-                        .cycles
-                };
-                CycleCount::Tpu(cycles)
-            }
-            Work::TpuGemm { m, n, k, hw } => {
-                let cycles = if *hw == TpuHwSpec::default() {
-                    self.sim.simulate_gemm("summary", *m, *n, *k).cycles
-                } else {
-                    Simulator::new(resolve_tpu(hw))
-                        .simulate_gemm("summary", *m, *n, *k)
-                        .cycles
-                };
-                CycleCount::Tpu(cycles)
-            }
-            Work::GpuConv { shape, algo } => CycleCount::Gpu(
-                self.gpu
-                    .simulate_conv("summary", shape, *algo)
-                    .timing
-                    .cycles,
-            ),
-        }
-    }
-}
+// The estimate-source vocabulary lives in `iconv-tune` now (the tuner, the
+// bench runners, and the serve engine all measure through it); these
+// re-exports keep the historical `iconv_bench::summary::*` paths alive.
+pub use iconv_tune::{CycleCount, CycleSource, InProcessSource};
 
 /// One reproduced artifact: our headline number next to the paper's.
 #[derive(Debug, Clone)]
@@ -273,6 +127,7 @@ pub fn compute_jobs_with(jobs: usize, src: &dyn CycleSource) -> Summary {
                 m.layers.iter().map(move |l| Work::GpuConv {
                     shape: l.shape,
                     algo,
+                    hw: GpuHwSpec::default(),
                 })
             })
         })
@@ -307,10 +162,12 @@ pub fn compute_jobs_with(jobs: usize, src: &dyn CycleSource) -> Summary {
                 Work::GpuConv {
                     shape: l.shape,
                     algo: GpuAlgo::CudnnImplicit,
+                    hw: GpuHwSpec::default(),
                 },
                 Work::GpuConv {
                     shape: l.shape,
                     algo: GpuAlgo::ChannelFirst { reuse: true },
+                    hw: GpuHwSpec::default(),
                 },
             ]
         })

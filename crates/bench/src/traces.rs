@@ -137,6 +137,39 @@ fn fig18(rec: &mut Recorder) {
     }
 }
 
+fn tune_trace(rec: &mut Recorder) {
+    // Design-space search: for one representative strided layer, trace the
+    // Table-II default and the tuned winner of each target side by side,
+    // so the before/after spans land in the same file.
+    use iconv_tune::{default_config, tune, InProcessSource, TuneOptions, ALL_TARGETS};
+    let src = InProcessSource::new();
+    let shape = iconv_workloads::alexnet(BATCH).layers[0].shape;
+    for target in ALL_TARGETS {
+        let est = tune(&src, &shape, target, &TuneOptions::default());
+        for (tag, cfg) in [("default", default_config(target)), ("tuned", est.best)] {
+            match cfg.to_work(shape) {
+                iconv_api::Work::TpuConv { shape, mode, hw } => {
+                    Simulator::new(iconv_api::resolve_tpu(&hw)).simulate_conv_traced(
+                        &format!("tune {tag}"),
+                        &shape,
+                        mode,
+                        rec,
+                    );
+                }
+                iconv_api::Work::GpuConv { shape, algo, hw } => {
+                    GpuSim::new(iconv_api::resolve_gpu(&hw)).simulate_conv_traced(
+                        &format!("tune {tag}"),
+                        &shape,
+                        algo,
+                        rec,
+                    );
+                }
+                _ => unreachable!("tuned configs denote concrete conv works"),
+            }
+        }
+    }
+}
+
 /// One trace capture: the experiment id and its builder.
 pub type TraceBuilder = (&'static str, fn(&mut Recorder));
 
@@ -152,6 +185,7 @@ pub const TRACES: &[TraceBuilder] = &[
     ("fig16", fig16),
     ("fig17", fig17),
     ("fig18", fig18),
+    ("tune", tune_trace),
 ];
 
 /// Build every experiment trace on `jobs` workers. Output order and

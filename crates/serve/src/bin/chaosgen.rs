@@ -137,6 +137,7 @@ fn response_id(r: &Response) -> Option<&str> {
     match r {
         Response::Tpu { id, .. }
         | Response::Gpu { id, .. }
+        | Response::Tune { id, .. }
         | Response::Stats { id, .. }
         | Response::Pong { id }
         | Response::ShutdownAck { id }

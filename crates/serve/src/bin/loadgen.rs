@@ -18,11 +18,13 @@
 //! with latency stamped from each request's *intended* send instant, so
 //! the numbers are immune to coordinated omission. Keys are
 //! Zipfian-skewed over the canonical workload table and the framing mixes
-//! single, batch, and sweep requests, all deterministically from
+//! single, batch, sweep, and `tune` requests, all deterministically from
 //! `--seed`. With `--knee` it then bisects offered rates for the maximum
-//! sustained throughput under the `--slo` p99. Without `--addr` it
-//! measures two in-process topologies — one `served`, and a 3-backend
-//! fleet behind `routed` — and writes both to `BENCH_capacity.json`.
+//! sustained throughput under the `--slo` p99, and `--soak` switches the
+//! defaults to the sustained profile (a million scheduled entries at a
+//! rate inside every topology's knee). Without `--addr` it measures two
+//! in-process topologies — one `served`, and a 3-backend fleet behind
+//! `routed` — and writes both to `BENCH_capacity.json`.
 //!
 //! By default it spawns in-process servers so `cargo run --bin loadgen`
 //! is self-contained; `--addr` points it at an external target instead.
@@ -683,7 +685,7 @@ fn write_capacity_report(
     out.push_str(&format!(
         "  \"config\": {{\"rate_rps\": {}, \"requests\": {}, \"connections\": {}, \
          \"seed\": {}, \"zipf_s\": {}, \"batch_size\": {}, \"slo_p99_us\": {}, \
-         \"knee\": {}, \"rate_min\": {}, \"rate_max\": {}}},\n",
+         \"soak\": {}, \"knee\": {}, \"rate_min\": {}, \"rate_max\": {}}},\n",
         open.rate_rps,
         open.requests,
         args.concurrency,
@@ -691,6 +693,7 @@ fn write_capacity_report(
         open.zipf_s,
         open.batch_size,
         open.slo_p99_us,
+        open.soak,
         open.knee,
         open.rate_min,
         open.rate_max,

@@ -11,8 +11,8 @@ use iconv_faults::FaultPlan;
 use iconv_serve::server::{spawn, ServerConfig};
 
 const USAGE: &str = "usage: served [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
-     [--cache-shards N] [--batch-chunk N] [--fault-plan SPEC]\n       SPEC e.g. \
-     seed=42,rate=0.05 (per-site keys: read,write,partial,delay,panic,deadline; delay-ms=N)";
+     [--cache-shards N] [--batch-chunk N] [--tune-cache PATH] [--fault-plan SPEC]\n       SPEC \
+     e.g. seed=42,rate=0.05 (per-site keys: read,write,partial,delay,panic,deadline; delay-ms=N)";
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String> {
     let mut cfg = ServerConfig {
@@ -41,6 +41,9 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, St
             }
             "--batch-chunk" => {
                 cfg.batch_chunk = positive("--batch-chunk", value("--batch-chunk")?)?;
+            }
+            "--tune-cache" => {
+                cfg.tune_cache_path = Some(std::path::PathBuf::from(value("--tune-cache")?));
             }
             "--fault-plan" => {
                 let spec = value("--fault-plan")?;
@@ -86,7 +89,7 @@ fn main() {
     let stats = handle.shutdown();
     eprintln!(
         "served: drained; requests={} hits={} misses={} evictions={} busy={} deadline={} parse={} \
-         batches={} batch_items={} worker_crashes={}",
+         batches={} batch_items={} tunes={} tune_searches={} worker_crashes={}",
         stats.requests,
         stats.hits,
         stats.misses,
@@ -96,6 +99,8 @@ fn main() {
         stats.parse_errors,
         stats.batches,
         stats.batch_items,
+        stats.tunes,
+        stats.tune_searches,
         stats.worker_crashes
     );
     if let Some(plan) = faults {

@@ -25,6 +25,11 @@
 //!   stateless indexed-draw discipline as `iconv-faults` decision
 //!   streams. Two builds of the same spec are byte-identical.
 //!
+//! The framing mix covers the full request vocabulary: single `conv`/
+//! `gemm` estimates, multi-item `batch` requests, `sweep` expansions, and
+//! `tune` design-space searches (whose layer keys follow the same Zipfian
+//! skew, so the server's tune store sees a realistic cold/warm split).
+//!
 //! [`find_knee`] bisects offered rates against a p99 SLO to report the
 //! max sustained throughput; `loadgen --open-loop` drives all of this and
 //! persists `BENCH_capacity.json`.
@@ -38,21 +43,27 @@ use iconv_api::hist::LatencyHist;
 use iconv_api::zipf::{mix64, ZipfSampler, GOLDEN_GAMMA};
 
 use crate::protocol::{
-    encode_batch, encode_estimate, encode_sweep, EstimateRequest, SweepSpec, SweepTarget, Work,
+    encode_batch, encode_estimate, encode_sweep, EstimateRequest, SweepSpec, SweepTarget, TpuChip,
+    TuneTarget, Work,
 };
 
 /// Salt separating the framing-mix decision stream from the key stream.
 const FRAME_SALT: u64 = 0x6F70_656E_6C6F_6F70; // "openloop"
 /// Salt separating the Zipfian key stream from the framing stream.
 const KEY_SALT: u64 = 0x7A69_7066_6B65_7973; // "zipfkeys"
+/// Salt separating the tune-target decision stream from everything else.
+const TUNE_SALT: u64 = 0x7475_6E65_7461_7267; // "tunetarg"
 /// Per-entry stride in the key-draw index space: a batch entry consumes
 /// one draw per item, and no entry draws more than this many keys.
 const DRAWS_PER_ENTRY: u64 = 64;
 
 /// Percent of entries framed as single `conv`/`gemm` requests.
-const PCT_SINGLE: u64 = 80;
+const PCT_SINGLE: u64 = 78;
 /// Percent framed as single + multi-item `batch` requests (cumulative).
-const PCT_SINGLE_OR_BATCH: u64 = 95;
+const PCT_SINGLE_OR_BATCH: u64 = 90;
+/// Percent framed as single + batch + `sweep` requests (cumulative); the
+/// remainder is framed as `tune` design-space searches.
+const PCT_UP_TO_SWEEP: u64 = 95;
 
 /// Parameters for one open-loop run.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,6 +148,20 @@ pub fn build_schedule(spec: &OpenLoopSpec, works: &[Work]) -> Vec<Entry> {
     let zipf = ZipfSampler::new(works.len(), spec.zipf_s, spec.seed ^ KEY_SALT);
     let (sweep_spec, sweep_items) = sweep_framing();
     let sweep_line = encode_sweep(None, &sweep_spec, None);
+    // The tune band draws its layer from the conv shapes of the same
+    // population (first-seen order, deduplicated), so the tune-key
+    // popularity follows the same Zipfian skew as the estimate keys.
+    let mut tune_shapes: Vec<iconv_tensor::ConvShape> = Vec::new();
+    for w in works {
+        if let Work::TpuConv { shape, .. }
+        | Work::GpuConv { shape, .. }
+        | Work::Tune { shape, .. } = w
+        {
+            if !tune_shapes.contains(shape) {
+                tune_shapes.push(*shape);
+            }
+        }
+    }
     let k = spec.batch_size.max(1);
     assert!(
         k as u64 <= DRAWS_PER_ENTRY,
@@ -159,8 +184,22 @@ pub fn build_schedule(spec: &OpenLoopSpec, works: &[Work]) -> Vec<Entry> {
                     .map(|j| works[zipf.rank_at(base_draw + j)])
                     .collect();
                 (encode_batch(None, &group, None), k + 1, k as u64)
-            } else {
+            } else if frame < PCT_UP_TO_SWEEP || tune_shapes.is_empty() {
                 (sweep_line.clone(), sweep_items + 1, sweep_items as u64)
+            } else {
+                let shape = tune_shapes[zipf.rank_at(base_draw) % tune_shapes.len()];
+                let target = match mix64((spec.seed ^ TUNE_SALT) ^ i.wrapping_mul(GOLDEN_GAMMA)) % 3
+                {
+                    0 => TuneTarget::Tpu { chip: TpuChip::V2 },
+                    1 => TuneTarget::Tpu { chip: TpuChip::V3 },
+                    _ => TuneTarget::Gpu,
+                };
+                let line = encode_estimate(&EstimateRequest {
+                    id: None,
+                    work: Work::Tune { shape, target },
+                    deadline_ms: None,
+                });
+                (line, 1, 1)
             };
             Entry {
                 index: i,

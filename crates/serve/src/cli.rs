@@ -11,8 +11,20 @@ use crate::client::DEFAULT_CONNECT_TIMEOUT;
 pub const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--workers N] \
      [--models all|small] [--connect-timeout SECS] [--out PATH] [--shutdown] \
      {closed: [--window N] [--passes N] [--batch N] | \
-     open: --open-loop [--rate RPS] [--requests N] [--slo DUR] [--zipf-s S] \
+     open: --open-loop [--soak] [--rate RPS] [--requests N] [--slo DUR] [--zipf-s S] \
      [--seed N] [--batch-size N] [--knee] [--rate-min RPS] [--rate-max RPS]}";
+
+/// Scheduled entries in the `--soak` profile: a sustained million-request
+/// open-loop run, sized so the capacity report measures steady-state
+/// behavior (cache churn, tune-store warm-up, histogram tails) rather
+/// than a few seconds of transient.
+pub const SOAK_REQUESTS: usize = 1_000_000;
+
+/// Offered rate for the `--soak` profile, requests/second. Chosen to sit
+/// well inside the measured knee of every in-process topology (the
+/// 3-backend routed fleet is the binding one), so the soak exercises
+/// sustained throughput without tipping into overload collapse.
+pub const SOAK_RATE_RPS: u64 = 5_000;
 
 /// Parsed `loadgen` invocation: target/pool settings plus one of the two
 /// generator modes.
@@ -71,6 +83,8 @@ pub struct OpenArgs {
     pub seed: u64,
     /// Items per batch-framed entry.
     pub batch_size: usize,
+    /// Whether the `--soak` profile selected the defaults.
+    pub soak: bool,
     /// Run the knee search after the soak.
     pub knee: bool,
     /// Knee-search bracket floor (default `rate/8`, min 1).
@@ -145,6 +159,7 @@ pub fn parse_loadgen_args(args: impl IntoIterator<Item = String>) -> Result<Load
     let mut zipf_s: Option<f64> = None;
     let mut seed: Option<u64> = None;
     let mut batch_size: Option<usize> = None;
+    let mut soak = false;
     let mut knee = false;
     let mut rate_min: Option<u64> = None;
     let mut rate_max: Option<u64> = None;
@@ -222,6 +237,10 @@ pub fn parse_loadgen_args(args: impl IntoIterator<Item = String>) -> Result<Load
                 batch_size = Some(positive_usize("--batch-size", &value("--batch-size")?)?);
                 open_flags_seen.push("--batch-size");
             }
+            "--soak" => {
+                soak = true;
+                open_flags_seen.push("--soak");
+            }
             "--knee" => {
                 knee = true;
                 open_flags_seen.push("--knee");
@@ -255,7 +274,10 @@ pub fn parse_loadgen_args(args: impl IntoIterator<Item = String>) -> Result<Load
                 closed_seen.join(", ")
             ));
         }
-        let rate_rps = rate.unwrap_or(300);
+        // `--soak` is a profile, not a mode: it only moves the defaults
+        // (a million scheduled entries at a sustainable rate); explicit
+        // `--rate` / `--requests` still win.
+        let rate_rps = rate.unwrap_or(if soak { SOAK_RATE_RPS } else { 300 });
         let rate_min = rate_min.unwrap_or_else(|| (rate_rps / 8).max(1));
         let rate_max = rate_max.unwrap_or_else(|| rate_rps.saturating_mul(8));
         if rate_min > rate_max {
@@ -273,11 +295,12 @@ pub fn parse_loadgen_args(args: impl IntoIterator<Item = String>) -> Result<Load
             shutdown,
             mode: Mode::Open(OpenArgs {
                 rate_rps,
-                requests: requests.unwrap_or(3000),
+                requests: requests.unwrap_or(if soak { SOAK_REQUESTS } else { 3000 }),
                 slo_p99_us: slo.unwrap_or(50_000),
                 zipf_s: zipf_s.unwrap_or(1.1),
                 seed: seed.unwrap_or(42),
                 batch_size: batch_size.unwrap_or(8),
+                soak,
                 knee,
                 rate_min,
                 rate_max,
@@ -346,6 +369,42 @@ mod tests {
             }
             Mode::Closed(_) => panic!("--open-loop must select open mode"),
         }
+    }
+
+    #[test]
+    fn soak_profile_schedules_a_sustained_million_requests() {
+        let a = parse(&["--open-loop", "--soak"]).unwrap();
+        match a.mode {
+            Mode::Open(o) => {
+                assert!(o.soak);
+                assert_eq!(o.requests, SOAK_REQUESTS);
+                assert!(o.requests >= 1_000_000, "soak must schedule >= 1e6");
+                assert_eq!(o.rate_rps, SOAK_RATE_RPS);
+                // The knee bracket derives from the soak rate.
+                assert_eq!(o.rate_min, SOAK_RATE_RPS / 8);
+                assert_eq!(o.rate_max, SOAK_RATE_RPS * 8);
+            }
+            Mode::Closed(_) => panic!("--soak must stay in open mode"),
+        }
+    }
+
+    #[test]
+    fn explicit_flags_beat_the_soak_profile() {
+        let a = parse(&["--open-loop", "--soak", "--rate", "700", "--requests", "99"]).unwrap();
+        match a.mode {
+            Mode::Open(o) => {
+                assert!(o.soak);
+                assert_eq!(o.rate_rps, 700);
+                assert_eq!(o.requests, 99);
+            }
+            Mode::Closed(_) => panic!("--soak must stay in open mode"),
+        }
+    }
+
+    #[test]
+    fn soak_without_the_switch_is_an_error() {
+        let err = parse(&["--soak"]).unwrap_err();
+        assert!(err.contains("require(s) --open-loop"), "{err}");
     }
 
     #[test]

@@ -22,7 +22,8 @@ use iconv_tpusim::SimMode;
 
 use crate::protocol::{
     encode_batch, encode_estimate, encode_simple, parse_response, ErrorKind, EstimateRequest,
-    GpuEstimate, Response, ShardStat, StatsSnapshot, TpuEstimate, TpuHwSpec, Work,
+    GpuEstimate, GpuHwSpec, Response, ShardStat, StatsSnapshot, TpuEstimate, TpuHwSpec,
+    TuneEstimate, TuneTarget, Work,
 };
 
 /// Connect-retry budget shared by every tool that races a freshly-booted
@@ -38,6 +39,8 @@ pub enum Estimate {
     Tpu(TpuEstimate),
     /// A GPU (analytic, f64) estimate.
     Gpu(GpuEstimate),
+    /// A design-space search result.
+    Tune(TuneEstimate),
 }
 
 /// Per-item outcome of a [`Client::batch`] call: the estimate, or the
@@ -254,8 +257,30 @@ impl Client {
         match self.call_estimate(Work::GpuConv {
             shape: *shape,
             algo,
+            hw: GpuHwSpec::default(),
         })? {
             Response::Gpu { est, .. } => Ok(est),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Run (or fetch the cached result of) a design-space search for one
+    /// layer. The response is byte-deterministic for a given
+    /// `(shape, target)`, so repeated tunes are cache hits.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or typed server errors.
+    pub fn tune(
+        &mut self,
+        shape: &ConvShape,
+        target: TuneTarget,
+    ) -> Result<TuneEstimate, ClientError> {
+        match self.call_estimate(Work::Tune {
+            shape: *shape,
+            target,
+        })? {
+            Response::Tune { est, .. } => Ok(est),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
@@ -285,6 +310,7 @@ impl Client {
             match self.recv_response()? {
                 Response::Tpu { est, .. } => out.push(Ok(Estimate::Tpu(est))),
                 Response::Gpu { est, .. } => out.push(Ok(Estimate::Gpu(est))),
+                Response::Tune { est, .. } => out.push(Ok(Estimate::Tune(est))),
                 Response::Error { kind, detail, .. } => {
                     if i == 0 && kind == ErrorKind::BadRequest {
                         // A rejected batch is one error line, not n+1.

@@ -6,10 +6,11 @@
 //! and freshly-computed paths byte-identical and the whole service
 //! deterministic under any concurrency.
 
-use iconv_gpusim::{GpuConfig, GpuSim};
+use iconv_gpusim::GpuSim;
 use iconv_tpusim::{LayerReport, Simulator};
+use iconv_tune::{tune, InProcessSource, TuneOptions};
 
-use crate::protocol::{gpu_body, tpu_body, GpuEstimate, TpuEstimate, Work};
+use crate::protocol::{gpu_body, tpu_body, tune_body, GpuEstimate, TpuEstimate, Work};
 
 /// Resolve a hardware spec to the full TPU configuration it denotes
 /// (re-exported from [`iconv_api`]). This runs *before* cache-key
@@ -17,6 +18,10 @@ use crate::protocol::{gpu_body, tpu_body, GpuEstimate, TpuEstimate, Work};
 /// the cache. Specs are validated when parsed, so resolution cannot fail
 /// on wire-reachable values.
 pub use iconv_api::resolve_tpu;
+
+/// GPU counterpart of [`resolve_tpu`]: the default spec resolves to
+/// exactly the V100 preset, so historical requests hit historical keys.
+pub use iconv_api::resolve_gpu;
 
 fn tpu_estimate(rep: &LayerReport) -> TpuEstimate {
     TpuEstimate {
@@ -44,8 +49,8 @@ pub fn evaluate(work: &Work) -> String {
             let rep = Simulator::new(resolve_tpu(hw)).simulate_gemm("serve", *m, *n, *k);
             tpu_body(&tpu_estimate(&rep))
         }
-        Work::GpuConv { shape, algo } => {
-            let rep = GpuSim::new(GpuConfig::v100()).simulate_conv("serve", shape, *algo);
+        Work::GpuConv { shape, algo, hw } => {
+            let rep = GpuSim::new(resolve_gpu(hw)).simulate_conv("serve", shape, *algo);
             gpu_body(&GpuEstimate {
                 cycles: rep.timing.cycles,
                 compute_cycles: rep.timing.compute_cycles,
@@ -55,6 +60,18 @@ pub fn evaluate(work: &Work) -> String {
                 flops: rep.conv_flops,
             })
         }
+        Work::Tune { shape, target } => {
+            // The search measures candidates sequentially inside this one
+            // job — worker-count independence is what keeps the cached
+            // body byte-identical on any server configuration.
+            let est = tune(
+                &InProcessSource::new(),
+                shape,
+                *target,
+                &TuneOptions::default(),
+            );
+            tune_body(&est)
+        }
     }
 }
 
@@ -62,7 +79,7 @@ pub fn evaluate(work: &Work) -> String {
 mod tests {
     use super::*;
     use crate::protocol::{parse_response, Response, TpuHwSpec};
-    use iconv_gpusim::GpuAlgo;
+    use iconv_gpusim::{GpuAlgo, GpuConfig};
     use iconv_tensor::ConvShape;
     use iconv_tpusim::{SimMode, TpuConfig};
 
@@ -93,6 +110,7 @@ mod tests {
         let work = Work::GpuConv {
             shape: shape(),
             algo: GpuAlgo::ChannelFirst { reuse: true },
+            hw: Default::default(),
         };
         let line = crate::protocol::finish_response(None, &evaluate(&work));
         let Ok(Response::Gpu { est, .. }) = parse_response(&line) else {

@@ -54,9 +54,13 @@ pub mod capacity;
 pub mod cli;
 pub mod client;
 pub mod engine;
-pub mod json;
+// The wire vocabulary and codecs moved to `iconv-api` (`json` / `proto`),
+// so the server, clients, and router all share one definition; these
+// aliases keep every historical `iconv_serve::json` / `::protocol` path
+// resolving to it.
+pub use iconv_api::json;
+pub use iconv_api::proto as protocol;
 pub mod key;
-pub mod protocol;
 pub mod router;
 pub mod server;
 
@@ -67,8 +71,9 @@ pub use client::{
 };
 pub use key::canonical_key;
 pub use protocol::{
-    ErrorKind, EstimateRequest, GpuEstimate, Request, Response, ShardStat, StatsSnapshot,
-    SweepError, SweepSpec, SweepTarget, TpuChip, TpuEstimate, TpuHwSpec, Work, MAX_SWEEP_ITEMS,
+    ErrorKind, EstimateRequest, GpuEstimate, GpuHwSpec, Op, Request, Response, ShardStat,
+    StatsSnapshot, SweepError, SweepSpec, SweepTarget, TpuChip, TpuEstimate, TpuHwSpec,
+    TuneEstimate, TuneTarget, TunedConfig, Work, MAX_SWEEP_ITEMS,
 };
 pub use router::{spawn_router, Breaker, BreakerState, RouterConfig, RouterHandle, RouterStats};
 pub use server::{spawn, ServerConfig, ServerHandle};

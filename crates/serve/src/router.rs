@@ -782,6 +782,28 @@ fn handle_request(line: &str, shared: &RouterShared, conns: &mut [Option<Client>
                 )],
             }
         }
+        Request::TunedEstimate {
+            id, shape, target, ..
+        } => {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return vec![finish_response(
+                    id.as_deref(),
+                    &error_body(ErrorKind::ShuttingDown, "router is draining"),
+                )];
+            }
+            // Key the forward by the layer's *tune* key, so one backend
+            // owns a layer's search, its tune-store entry, and every
+            // `"hw":"tuned"` estimate derived from it — the same affinity
+            // the plain `tune` op gets through its canonical key.
+            let cache_key = key::canonical_key(&Work::Tune { shape, target });
+            match forward_raw(shared, conns, &cache_key, line) {
+                Some(response) => vec![response],
+                None => vec![finish_response(
+                    id.as_deref(),
+                    &error_body(ErrorKind::Busy, "no healthy backend"),
+                )],
+            }
+        }
         Request::Batch {
             id,
             items,

@@ -117,6 +117,11 @@ pub struct ServerConfig {
     /// module-level *Fault seams* notes). `None` — the production default
     /// — compiles every seam down to a branch on this `Option`.
     pub faults: Option<Arc<dyn FaultPoint>>,
+    /// Persistent tune-store path (`served --tune-cache`). Loaded at boot
+    /// — seeding both the best-config store and the response cache, so a
+    /// warm boot answers tunes without re-searching — and saved back on
+    /// graceful shutdown. `None` keeps tunes process-local.
+    pub tune_cache_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -129,6 +134,7 @@ impl Default for ServerConfig {
             cache_shards: 0,
             batch_chunk: 0,
             faults: None,
+            tune_cache_path: None,
         }
     }
 }
@@ -147,6 +153,14 @@ struct Counters {
     batch_misses: AtomicU64,
     batch_errors: AtomicU64,
     worker_crashes: AtomicU64,
+    /// Completed design-space searches answered, however they arrived
+    /// (`tune` op, batch item, or the implicit search behind
+    /// `"hw":"tuned"`). Ledger: `tunes == tune_searches + tune_cached`.
+    tunes: AtomicU64,
+    /// Tunes that actually ran the search (cache/store misses).
+    tune_searches: AtomicU64,
+    /// Tunes answered from the cache, the tune store, or a joined flight.
+    tune_cached: AtomicU64,
     /// Service-time histograms, striped by cache shard so concurrent
     /// recorders contend no harder than the cache itself; the `stats` op
     /// merges the stripes (exact — the layout is fixed). Sized to the
@@ -198,6 +212,12 @@ struct Shared {
     faults: Option<Arc<dyn FaultPoint>>,
     /// Resolved in-flight runner cap per batch (see [`ServerConfig::batch_chunk`]).
     batch_chunk: usize,
+    /// Best-config results of every completed design-space search, keyed
+    /// by canonical tune key — what `"hw":"tuned"` requests consult, and
+    /// what `--tune-cache` persists across restarts.
+    tune_store: Mutex<iconv_tune::TuneCache>,
+    /// Where to save the tune store on graceful shutdown.
+    tune_cache_path: Option<std::path::PathBuf>,
     shutting_down: AtomicBool,
     /// Set by the `shutdown` op; `wait_shutdown_requested` blocks on it.
     shutdown_requested: Mutex<bool>,
@@ -250,6 +270,9 @@ impl Shared {
             worker_crashes: c.worker_crashes.load(Ordering::Relaxed),
             faults_injected,
             faults_observed,
+            tunes: c.tunes.load(Ordering::Relaxed),
+            tune_searches: c.tune_searches.load(Ordering::Relaxed),
+            tune_cached: c.tune_cached.load(Ordering::Relaxed),
             service_hist: c.merged_hist(),
         }
     }
@@ -275,6 +298,9 @@ impl Shared {
         sink.counter("serve.batch.misses", s.batch_misses);
         sink.counter("serve.batch.errors", s.batch_errors);
         sink.counter("serve.worker_crashes", s.worker_crashes);
+        sink.counter("serve.tune.tunes", s.tunes);
+        sink.counter("serve.tune.searches", s.tune_searches);
+        sink.counter("serve.tune.cached", s.tune_cached);
         sink.counter("serve.fault.injected", s.faults_injected);
         sink.counter("serve.fault.observed", s.faults_observed);
         for shard in self.cache.shard_stats() {
@@ -381,6 +407,14 @@ impl ServerHandle {
         for h in threads {
             let _ = h.join();
         }
+        // Persist every search this process completed (best-effort: a
+        // full disk must not turn a clean drain into a crash).
+        if let Some(path) = &self.shared.tune_cache_path {
+            let store = self.shared.tune_store.lock().expect("tune store poisoned");
+            if let Err(e) = store.save(path) {
+                eprintln!("iconv-serve: {e}");
+            }
+        }
         self.shared.snapshot()
     }
 }
@@ -405,12 +439,21 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     } else {
         cfg.cache_shards
     };
+    // A corrupt tune cache refuses the boot rather than silently serving
+    // a cold store — the operator asked for persistence and did not get it.
+    let tune_store = match &cfg.tune_cache_path {
+        Some(path) => iconv_tune::TuneCache::load(path)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+        None => iconv_tune::TuneCache::new(),
+    };
     let shared = Arc::new(Shared {
         counters: Counters::with_stripes(cache_shards),
         cache: StripedCache::new(cfg.cache_capacity.max(1), cache_shards),
         pool: WorkerPool::new(workers, cfg.queue_capacity.max(1)),
         workers,
         batch_chunk,
+        tune_store: Mutex::new(tune_store),
+        tune_cache_path: cfg.tune_cache_path,
         shutting_down: AtomicBool::new(false),
         shutdown_requested: Mutex::new(false),
         shutdown_cv: Condvar::new(),
@@ -418,6 +461,16 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         conns: Mutex::new(Vec::new()),
         conn_threads: Mutex::new(Vec::new()),
     });
+    // Warm the response cache from the loaded store: a tune for a
+    // persisted key is a plain cache hit on the very first request.
+    {
+        let store = shared.tune_store.lock().expect("tune store poisoned");
+        for (tune_key, est) in store.iter() {
+            shared
+                .cache
+                .insert(tune_key.to_owned(), Body::from(protocol::tune_body(est)));
+        }
+    }
     let acceptor = {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
@@ -639,11 +692,12 @@ impl BatchRun {
     /// Settle one item that joined a flight led elsewhere (another
     /// connection, or another batch): count it, send its line, retire its
     /// owed unit. Runs as a single-flight waiter, outside any shard lock.
-    fn settle_follower(&self, item: usize, shard: usize, outcome: &FlightOutcome) {
+    fn settle_follower(&self, item: usize, shard: usize, is_tune: bool, outcome: &FlightOutcome) {
         let c = &self.shared.counters;
         match outcome {
             FlightOutcome::Ready(body) => {
                 self.shared.cache.note_hit(shard);
+                count_tune_cached(c, is_tune, 1);
                 c.batch_hits.fetch_add(1, Ordering::Relaxed);
                 c.served.fetch_add(1, Ordering::Relaxed);
                 c.record_latency(self.t0, shard);
@@ -726,12 +780,15 @@ impl BatchRun {
             .complete(&sim.key, &FlightOutcome::Ready(Arc::clone(&body)));
         // The first item of a dedup group is the miss that paid for the
         // simulation; followers are hits by construction.
+        let is_tune = matches!(sim.work, Work::Tune { .. });
         self.shared.cache.note_miss(shard);
+        note_tune_search(&self.shared, is_tune, &sim.key, &body);
         c.batch_misses.fetch_add(1, Ordering::Relaxed);
         if k > 1 {
             for _ in 1..k {
                 self.shared.cache.note_hit(shard);
             }
+            count_tune_cached(c, is_tune, k as u64 - 1);
             c.batch_hits.fetch_add(k as u64 - 1, Ordering::Relaxed);
         }
         c.served.fetch_add(k as u64, Ordering::Relaxed);
@@ -781,6 +838,41 @@ fn count_rejection(c: &Counters, kind: ErrorKind) {
             c.deadline.fetch_add(1, Ordering::Relaxed);
         }
         _ => {}
+    }
+}
+
+/// Count `n` tunes answered without running a search (cache hit, joined
+/// flight, dedup follower, or tune-store hit). No-op for ordinary
+/// estimates — every response-delivery point calls this with its own
+/// `is_tune`, which keeps `tunes == tune_searches + tune_cached` exact.
+fn count_tune_cached(c: &Counters, is_tune: bool, n: u64) {
+    if is_tune && n > 0 {
+        c.tunes.fetch_add(n, Ordering::Relaxed);
+        c.tune_cached.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A freshly-led tune search succeeded: count it and remember its winner
+/// in the tune store (what `"hw":"tuned"` requests consult, and what
+/// `--tune-cache` persists). The body was rendered by the engine, so
+/// re-parsing it cannot fail; a hypothetical mismatch only skips the store.
+fn note_tune_search(shared: &Shared, is_tune: bool, tune_key: &str, body: &str) {
+    if !is_tune {
+        return;
+    }
+    shared.counters.tunes.fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .tune_searches
+        .fetch_add(1, Ordering::Relaxed);
+    if let Ok(protocol::Response::Tune { est, .. }) =
+        protocol::parse_response(&finish_response(None, body))
+    {
+        shared
+            .tune_store
+            .lock()
+            .expect("tune store poisoned")
+            .insert(tune_key.to_owned(), est);
     }
 }
 
@@ -842,151 +934,341 @@ fn handle_line(line: &str, seq: u64, shared: &Arc<Shared>, tx: &Sender<(u64, Str
             send(finish_response(id.as_deref(), &shutdown_body()));
             shared.request_shutdown();
         }
-        Request::Estimate(req) => {
-            if shared.shutting_down.load(Ordering::SeqCst) {
-                send(finish_response(
-                    req.id.as_deref(),
-                    &error_body(ErrorKind::ShuttingDown, "server is draining"),
-                ));
-                return 1;
-            }
-            let cache_key = key::canonical_key(&req.work);
-            let shard = shared.cache.shard_of(&cache_key);
-            // Hit fast path: served inline by the reader, deadline ignored
-            // (a hit costs microseconds). One shard lock, pointer clone.
-            if let Some(body) = shared.cache.get(&cache_key) {
-                shared.cache.note_hit(shard);
-                shared.counters.served.fetch_add(1, Ordering::Relaxed);
-                shared.counters.record_latency(t0, shard);
-                send(finish_response(req.id.as_deref(), &body));
-                return 1;
-            }
-            // Single-flight admission. The waiter fires if another
-            // connection is already simulating this key: the follower's
-            // bytes come from the cache-to-be, so it is a hit; on failure
-            // it inherits the leader's typed error. A follower's own
-            // deadline is moot — joining costs nothing, like a hit.
-            let w_shared = Arc::clone(shared);
-            let w_tx = tx.clone();
-            let w_id = req.id.clone();
-            let waiter = move |outcome: &FlightOutcome| {
-                let line = match outcome {
-                    FlightOutcome::Ready(body) => {
-                        w_shared.cache.note_hit(shard);
-                        w_shared.counters.served.fetch_add(1, Ordering::Relaxed);
-                        w_shared.counters.record_latency(t0, shard);
-                        finish_response(w_id.as_deref(), body)
-                    }
-                    FlightOutcome::Failed(kind, detail) => {
-                        count_rejection(&w_shared.counters, *kind);
-                        finish_response(w_id.as_deref(), &error_body(*kind, detail))
-                    }
-                };
-                let _ = w_tx.send((seq, line));
-            };
-            match shared.cache.admit(&cache_key, waiter) {
-                Admission::Cached(body) => {
-                    // Raced in between the lock-free get and the admit:
-                    // an ordinary hit.
-                    shared.cache.note_hit(shard);
-                    shared.counters.served.fetch_add(1, Ordering::Relaxed);
-                    shared.counters.record_latency(t0, shard);
-                    send(finish_response(req.id.as_deref(), &body));
-                    return 1;
-                }
-                Admission::Joined => return 1,
-                Admission::Lead => {}
-            }
-            // We lead: run the one simulation. Every exit below completes
-            // the flight exactly once so joined followers are answered.
-            let err_id = req.id.clone();
-            let job_shared = Arc::clone(shared);
-            let job_tx = tx.clone();
-            let job_key = cache_key.clone();
-            let job = move || {
-                let fail = |kind: ErrorKind, detail: &str| {
-                    job_shared
-                        .cache
-                        .complete(&job_key, &FlightOutcome::Failed(kind, detail.to_owned()));
-                    let _ = job_tx.send((
-                        seq,
-                        finish_response(req.id.as_deref(), &error_body(kind, detail)),
-                    ));
-                };
-                let deadline = req.deadline_ms.map(Duration::from_millis);
-                if let Some(d) = deadline {
-                    if t0.elapsed() > d {
-                        job_shared.counters.deadline.fetch_add(1, Ordering::Relaxed);
-                        fail(ErrorKind::Deadline, "deadline expired in queue");
-                        return;
-                    }
-                }
-                // Fault seams: a deadline storm expires the request as if
-                // it had aged out in the queue; an injected panic is raised
-                // *inside* this catch so the typed `worker-crashed` line is
-                // always emitted — a swallowed seq would wedge the writer's
-                // reorder heap and hang the connection forever.
-                if let Some(f) = &job_shared.faults {
-                    if f.decide(FaultSite::DeadlineStorm).is_some() {
-                        f.observe(FaultSite::DeadlineStorm);
-                        job_shared.counters.deadline.fetch_add(1, Ordering::Relaxed);
-                        fail(ErrorKind::Deadline, "deadline expired in queue");
-                        return;
-                    }
-                }
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    if let Some(f) = &job_shared.faults {
-                        if f.decide(FaultSite::WorkerPanic).is_some() {
-                            f.observe(FaultSite::WorkerPanic);
-                            panic!("iconv-faults: injected worker panic");
-                        }
-                    }
-                    engine::evaluate(&req.work)
-                }));
-                let body: Body = match outcome {
-                    Ok(body) => Body::from(body),
-                    Err(_) => {
-                        job_shared
-                            .counters
-                            .worker_crashes
-                            .fetch_add(1, Ordering::Relaxed);
-                        fail(ErrorKind::WorkerCrashed, "simulation worker panicked");
-                        return;
-                    }
-                };
-                // Completing caches the body and answers every follower.
-                job_shared
-                    .cache
-                    .complete(&job_key, &FlightOutcome::Ready(Arc::clone(&body)));
-                job_shared.cache.note_miss(shard);
-                job_shared.counters.served.fetch_add(1, Ordering::Relaxed);
-                job_shared.counters.record_latency(t0, shard);
-                let _ = job_tx.send((seq, finish_response(req.id.as_deref(), &body)));
-            };
-            if let Err(e) = shared.pool.try_submit(job) {
-                let kind = match e {
-                    PoolBusy::QueueFull => {
-                        shared.counters.busy.fetch_add(1, Ordering::Relaxed);
-                        ErrorKind::Busy
-                    }
-                    PoolBusy::ShuttingDown => ErrorKind::ShuttingDown,
-                };
-                // The refused leader still owes the flight its completion
-                // (a follower may have joined between admit and here).
-                shared
-                    .cache
-                    .complete(&cache_key, &FlightOutcome::Failed(kind, e.to_string()));
-                send(finish_response(
-                    err_id.as_deref(),
-                    &error_body(kind, &e.to_string()),
-                ));
-            }
-        }
+        Request::Estimate(req) => return handle_estimate(req, t0, seq, shared, tx),
+        Request::TunedEstimate {
+            id,
+            shape,
+            target,
+            deadline_ms,
+        } => return handle_tuned(id, shape, target, deadline_ms, t0, seq, shared, tx),
         Request::Batch {
             id,
             items,
             deadline_ms,
         } => return handle_batch(id, items, deadline_ms, t0, seq, shared, tx),
+    }
+    1
+}
+
+/// Admit and answer one estimate request (op `conv`, `gemm`, or `tune`):
+/// cache fast path, single-flight admission, or a led worker job.
+/// Returns the sequence span consumed (always 1).
+fn handle_estimate(
+    req: protocol::EstimateRequest,
+    t0: Instant,
+    seq: u64,
+    shared: &Arc<Shared>,
+    tx: &Sender<(u64, String)>,
+) -> u64 {
+    let send = |line: String| {
+        let _ = tx.send((seq, line));
+    };
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        send(finish_response(
+            req.id.as_deref(),
+            &error_body(ErrorKind::ShuttingDown, "server is draining"),
+        ));
+        return 1;
+    }
+    let cache_key = key::canonical_key(&req.work);
+    let shard = shared.cache.shard_of(&cache_key);
+    let is_tune = matches!(req.work, Work::Tune { .. });
+    // Hit fast path: served inline by the reader, deadline ignored
+    // (a hit costs microseconds). One shard lock, pointer clone.
+    if let Some(body) = shared.cache.get(&cache_key) {
+        shared.cache.note_hit(shard);
+        count_tune_cached(&shared.counters, is_tune, 1);
+        shared.counters.served.fetch_add(1, Ordering::Relaxed);
+        shared.counters.record_latency(t0, shard);
+        send(finish_response(req.id.as_deref(), &body));
+        return 1;
+    }
+    // Single-flight admission. The waiter fires if another
+    // connection is already simulating this key: the follower's
+    // bytes come from the cache-to-be, so it is a hit; on failure
+    // it inherits the leader's typed error. A follower's own
+    // deadline is moot — joining costs nothing, like a hit.
+    let w_shared = Arc::clone(shared);
+    let w_tx = tx.clone();
+    let w_id = req.id.clone();
+    let waiter = move |outcome: &FlightOutcome| {
+        let line = match outcome {
+            FlightOutcome::Ready(body) => {
+                w_shared.cache.note_hit(shard);
+                count_tune_cached(&w_shared.counters, is_tune, 1);
+                w_shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                w_shared.counters.record_latency(t0, shard);
+                finish_response(w_id.as_deref(), body)
+            }
+            FlightOutcome::Failed(kind, detail) => {
+                count_rejection(&w_shared.counters, *kind);
+                finish_response(w_id.as_deref(), &error_body(*kind, detail))
+            }
+        };
+        let _ = w_tx.send((seq, line));
+    };
+    match shared.cache.admit(&cache_key, waiter) {
+        Admission::Cached(body) => {
+            // Raced in between the lock-free get and the admit:
+            // an ordinary hit.
+            shared.cache.note_hit(shard);
+            count_tune_cached(&shared.counters, is_tune, 1);
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            shared.counters.record_latency(t0, shard);
+            send(finish_response(req.id.as_deref(), &body));
+            return 1;
+        }
+        Admission::Joined => return 1,
+        Admission::Lead => {}
+    }
+    // We lead: run the one simulation. Every exit below completes
+    // the flight exactly once so joined followers are answered.
+    let err_id = req.id.clone();
+    let job_shared = Arc::clone(shared);
+    let job_tx = tx.clone();
+    let job_key = cache_key.clone();
+    let job = move || {
+        let fail = |kind: ErrorKind, detail: &str| {
+            job_shared
+                .cache
+                .complete(&job_key, &FlightOutcome::Failed(kind, detail.to_owned()));
+            let _ = job_tx.send((
+                seq,
+                finish_response(req.id.as_deref(), &error_body(kind, detail)),
+            ));
+        };
+        let deadline = req.deadline_ms.map(Duration::from_millis);
+        if let Some(d) = deadline {
+            if t0.elapsed() > d {
+                job_shared.counters.deadline.fetch_add(1, Ordering::Relaxed);
+                fail(ErrorKind::Deadline, "deadline expired in queue");
+                return;
+            }
+        }
+        // Fault seams: a deadline storm expires the request as if
+        // it had aged out in the queue; an injected panic is raised
+        // *inside* this catch so the typed `worker-crashed` line is
+        // always emitted — a swallowed seq would wedge the writer's
+        // reorder heap and hang the connection forever.
+        if let Some(f) = &job_shared.faults {
+            if f.decide(FaultSite::DeadlineStorm).is_some() {
+                f.observe(FaultSite::DeadlineStorm);
+                job_shared.counters.deadline.fetch_add(1, Ordering::Relaxed);
+                fail(ErrorKind::Deadline, "deadline expired in queue");
+                return;
+            }
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(f) = &job_shared.faults {
+                if f.decide(FaultSite::WorkerPanic).is_some() {
+                    f.observe(FaultSite::WorkerPanic);
+                    panic!("iconv-faults: injected worker panic");
+                }
+            }
+            engine::evaluate(&req.work)
+        }));
+        let body: Body = match outcome {
+            Ok(body) => Body::from(body),
+            Err(_) => {
+                job_shared
+                    .counters
+                    .worker_crashes
+                    .fetch_add(1, Ordering::Relaxed);
+                fail(ErrorKind::WorkerCrashed, "simulation worker panicked");
+                return;
+            }
+        };
+        // Completing caches the body and answers every follower.
+        job_shared
+            .cache
+            .complete(&job_key, &FlightOutcome::Ready(Arc::clone(&body)));
+        job_shared.cache.note_miss(shard);
+        note_tune_search(&job_shared, is_tune, &job_key, &body);
+        job_shared.counters.served.fetch_add(1, Ordering::Relaxed);
+        job_shared.counters.record_latency(t0, shard);
+        let _ = job_tx.send((seq, finish_response(req.id.as_deref(), &body)));
+    };
+    if let Err(e) = shared.pool.try_submit(job) {
+        let kind = match e {
+            PoolBusy::QueueFull => {
+                shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+                ErrorKind::Busy
+            }
+            PoolBusy::ShuttingDown => ErrorKind::ShuttingDown,
+        };
+        // The refused leader still owes the flight its completion
+        // (a follower may have joined between admit and here).
+        shared
+            .cache
+            .complete(&cache_key, &FlightOutcome::Failed(kind, e.to_string()));
+        send(finish_response(
+            err_id.as_deref(),
+            &error_body(kind, &e.to_string()),
+        ));
+    }
+    1
+}
+
+/// Answer a `conv` spelled `"hw":"tuned"`: resolve the layer's tuned
+/// configuration — from the tune store when the layer has been tuned
+/// before, otherwise by running the design-space search on a worker — and
+/// then estimate the layer under the winning concrete config. The resolve
+/// contributes one tune-ledger bump (`tune_cached` on a store hit,
+/// `tune_searches` when the search ran) and nothing to `hits`/`misses`;
+/// the concrete estimate is an ordinary hit-or-miss request, so
+/// `hits + misses == requests` is preserved. Returns the sequence span
+/// consumed (always 1).
+#[allow(clippy::too_many_arguments)]
+fn handle_tuned(
+    id: Option<String>,
+    shape: iconv_tensor::ConvShape,
+    target: protocol::TuneTarget,
+    deadline_ms: Option<u64>,
+    t0: Instant,
+    seq: u64,
+    shared: &Arc<Shared>,
+    tx: &Sender<(u64, String)>,
+) -> u64 {
+    let send = |line: String| {
+        let _ = tx.send((seq, line));
+    };
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        send(finish_response(
+            id.as_deref(),
+            &error_body(ErrorKind::ShuttingDown, "server is draining"),
+        ));
+        return 1;
+    }
+    let tune_key = key::canonical_key(&Work::Tune { shape, target });
+    // Store fast path: the layer has been tuned before (this boot, or a
+    // warm-loaded cache file). Delegating to `handle_estimate` gives the
+    // concrete work the full ordinary treatment — cache, single-flight,
+    // deadline — under its own canonical key.
+    let stored = shared
+        .tune_store
+        .lock()
+        .expect("tune store poisoned")
+        .get(&tune_key)
+        .copied();
+    if let Some(est) = stored {
+        count_tune_cached(&shared.counters, true, 1);
+        return handle_estimate(
+            protocol::EstimateRequest {
+                id,
+                work: est.best.to_work(shape),
+                deadline_ms,
+            },
+            t0,
+            seq,
+            shared,
+            tx,
+        );
+    }
+    // Store miss: run the search plus the winner's estimate as one worker
+    // job. No single-flight admission here — the tune store dedups
+    // repeats, and concurrent first-tuners at worst race two identical
+    // searches whose byte-identical results collapse in store and cache.
+    let err_id = id.clone();
+    let job_shared = Arc::clone(shared);
+    let job_tx = tx.clone();
+    let job = move || {
+        let send = |line: String| {
+            let _ = job_tx.send((seq, line));
+        };
+        if let Some(d) = deadline_ms.map(Duration::from_millis) {
+            if t0.elapsed() > d {
+                job_shared.counters.deadline.fetch_add(1, Ordering::Relaxed);
+                send(finish_response(
+                    id.as_deref(),
+                    &error_body(ErrorKind::Deadline, "deadline expired in queue"),
+                ));
+                return;
+            }
+        }
+        if let Some(f) = &job_shared.faults {
+            if f.decide(FaultSite::DeadlineStorm).is_some() {
+                f.observe(FaultSite::DeadlineStorm);
+                job_shared.counters.deadline.fetch_add(1, Ordering::Relaxed);
+                send(finish_response(
+                    id.as_deref(),
+                    &error_body(ErrorKind::Deadline, "deadline expired in queue"),
+                ));
+                return;
+            }
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(f) = &job_shared.faults {
+                if f.decide(FaultSite::WorkerPanic).is_some() {
+                    f.observe(FaultSite::WorkerPanic);
+                    panic!("iconv-faults: injected worker panic");
+                }
+            }
+            let est = iconv_tune::tune(
+                &iconv_tune::InProcessSource::new(),
+                &shape,
+                target,
+                &iconv_tune::TuneOptions::default(),
+            );
+            let concrete = est.best.to_work(shape);
+            let concrete_key = key::canonical_key(&concrete);
+            let cached = job_shared.cache.get(&concrete_key);
+            let hit = cached.is_some();
+            let body = cached.unwrap_or_else(|| Body::from(engine::evaluate(&concrete)));
+            (est, concrete_key, body, hit)
+        }));
+        let (est, concrete_key, body, hit) = match outcome {
+            Ok(v) => v,
+            Err(_) => {
+                job_shared
+                    .counters
+                    .worker_crashes
+                    .fetch_add(1, Ordering::Relaxed);
+                send(finish_response(
+                    id.as_deref(),
+                    &error_body(ErrorKind::WorkerCrashed, "simulation worker panicked"),
+                ));
+                return;
+            }
+        };
+        // The search ran: one tune-ledger bump, and the result is made
+        // durable (tune store) and hot (striped cache under the tune key)
+        // so the next asker — `tune` op or `"hw":"tuned"` — is a hit.
+        let c = &job_shared.counters;
+        c.tunes.fetch_add(1, Ordering::Relaxed);
+        c.tune_searches.fetch_add(1, Ordering::Relaxed);
+        job_shared
+            .cache
+            .insert(tune_key.clone(), Body::from(protocol::tune_body(&est)));
+        job_shared
+            .tune_store
+            .lock()
+            .expect("tune store poisoned")
+            .insert(tune_key, est);
+        // The winner's concrete estimate is an ordinary hit-or-miss on its
+        // own canonical key.
+        let shard = job_shared.cache.shard_of(&concrete_key);
+        if hit {
+            job_shared.cache.note_hit(shard);
+        } else {
+            job_shared.cache.insert(concrete_key, Arc::clone(&body));
+            job_shared.cache.note_miss(shard);
+        }
+        c.served.fetch_add(1, Ordering::Relaxed);
+        c.record_latency(t0, shard);
+        send(finish_response(id.as_deref(), &body));
+    };
+    if let Err(e) = shared.pool.try_submit(job) {
+        let kind = match e {
+            PoolBusy::QueueFull => {
+                shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+                ErrorKind::Busy
+            }
+            PoolBusy::ShuttingDown => ErrorKind::ShuttingDown,
+        };
+        send(finish_response(
+            err_id.as_deref(),
+            &error_body(kind, &e.to_string()),
+        ));
     }
     1
 }
@@ -1049,8 +1331,10 @@ fn handle_batch(
     for (i, work) in items.into_iter().enumerate() {
         let cache_key = key::canonical_key(&work);
         let shard = shared.cache.shard_of(&cache_key);
+        let is_tune = matches!(work, Work::Tune { .. });
         if let Some(body) = shared.cache.get(&cache_key) {
             shared.cache.note_hit(shard);
+            count_tune_cached(c, is_tune, 1);
             c.batch_hits.fetch_add(1, Ordering::Relaxed);
             c.served.fetch_add(1, Ordering::Relaxed);
             c.record_latency(t0, shard);
@@ -1068,15 +1352,15 @@ fn handle_batch(
         // already in the count.
         run.remaining.fetch_add(1, Ordering::AcqRel);
         let w_run = Arc::clone(&run);
-        match shared
-            .cache
-            .admit(&cache_key, move |o| w_run.settle_follower(i, shard, o))
-        {
+        match shared.cache.admit(&cache_key, move |o| {
+            w_run.settle_follower(i, shard, is_tune, o)
+        }) {
             Admission::Cached(body) => {
                 // Raced in since the lock-free get: an ordinary hit. Give
                 // the claimed unit back (the sentinel keeps this from
                 // emitting the summary early).
                 shared.cache.note_hit(shard);
+                count_tune_cached(c, is_tune, 1);
                 c.batch_hits.fetch_add(1, Ordering::Relaxed);
                 c.served.fetch_add(1, Ordering::Relaxed);
                 c.record_latency(t0, shard);

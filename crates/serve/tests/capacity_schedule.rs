@@ -52,20 +52,25 @@ fn intended_instants_are_exact_integer_ticks() {
 }
 
 #[test]
-fn framing_mix_covers_all_three_shapes() {
+fn framing_mix_covers_all_four_shapes() {
     let works = workload_works(true);
     let sched = build_schedule(&spec(42), &works);
-    let singles = sched.iter().filter(|e| e.items == 1).count();
+    let tunes = sched
+        .iter()
+        .filter(|e| e.line.contains("\"op\":\"tune\""))
+        .count();
+    let singles = sched.iter().filter(|e| e.items == 1).count() - tunes;
     let batches = sched.iter().filter(|e| e.items == 8).count();
     let sweeps = sched
         .iter()
         .filter(|e| e.items != 1 && e.items != 8)
         .count();
     assert!(
-        singles > 0 && batches > 0 && sweeps > 0,
-        "all framings must appear"
+        singles > 0 && batches > 0 && sweeps > 0 && tunes > 0,
+        "all framings must appear (singles {singles}, batches {batches}, \
+         sweeps {sweeps}, tunes {tunes})"
     );
-    // The mix tracks its 80/15/5 weights loosely (deterministic, so the
+    // The mix tracks its 78/12/5/5 weights loosely (deterministic, so the
     // bounds only guard against a broken decision stream).
     assert!(
         singles * 100 > sched.len() * 60,
@@ -76,6 +81,31 @@ fn framing_mix_covers_all_three_shapes() {
         batches * 100 < sched.len() * 30,
         "batches {batches}/{}",
         sched.len()
+    );
+    assert!(
+        tunes * 100 < sched.len() * 15,
+        "tunes {tunes}/{}",
+        sched.len()
+    );
+    // Tune entries carry every target kind, not just one.
+    let tune_lines: Vec<&str> = sched
+        .iter()
+        .filter(|e| e.line.contains("\"op\":\"tune\""))
+        .map(|e| e.line.as_str())
+        .collect();
+    assert!(
+        tune_lines
+            .iter()
+            .any(|l| l.contains("\"target\":\"tpu\"") && !l.contains("\"chip\":\"v3\"")),
+        "no tune entry targets TPUv2"
+    );
+    assert!(
+        tune_lines.iter().any(|l| l.contains("\"chip\":\"v3\"")),
+        "no tune entry targets TPUv3"
+    );
+    assert!(
+        tune_lines.iter().any(|l| l.contains("\"target\":\"gpu\"")),
+        "no tune entry targets the GPU"
     );
     // Accounting is consistent: a batch of k answers k+1 lines.
     for e in &sched {

@@ -12,12 +12,14 @@ use proptest::prelude::*;
 use iconv_core::PipelineSchedule;
 use iconv_gpusim::GpuAlgo;
 use iconv_serve::protocol::{
-    batch_summary_body, encode_batch, encode_estimate, encode_simple, error_body, f64_bits,
-    f64_from_bits, finish_item_response, finish_response, gpu_body, parse_request, parse_response,
-    pong_body, shutdown_body, stats_body, tpu_body, GpuEstimate, LatencyHist, StatsSnapshot,
-    TpuEstimate,
+    batch_summary_body, encode_batch, encode_estimate, encode_simple, encode_tuned_estimate,
+    error_body, f64_bits, f64_from_bits, finish_item_response, finish_response, gpu_body,
+    parse_request, parse_response, pong_body, shutdown_body, stats_body, tpu_body, tune_body,
+    GpuEstimate, LatencyHist, StatsSnapshot, TpuEstimate, TuneEstimate, TuneTarget, TunedConfig,
 };
-use iconv_serve::{json, ErrorKind, EstimateRequest, Request, Response, TpuChip, TpuHwSpec, Work};
+use iconv_serve::{
+    json, ErrorKind, EstimateRequest, GpuHwSpec, Request, Response, TpuChip, TpuHwSpec, Work,
+};
 use iconv_tensor::{ConvShape, Layout};
 use iconv_tpusim::SimMode;
 
@@ -91,6 +93,33 @@ fn hw_strategy() -> impl proptest::strategy::Strategy<Value = TpuHwSpec> {
         })
 }
 
+/// Valid GPU hardware overrides (every combination here passes the
+/// shared-memory validator `GpuHwSpec::resolve`, which parsing re-runs).
+fn gpu_hw_strategy() -> impl proptest::strategy::Strategy<Value = GpuHwSpec> {
+    (0usize..=2, 0usize..=2, 0usize..=2, 0usize..=1, 0usize..=2).prop_map(
+        |(sms, clock, block, rpsm, sched)| GpuHwSpec {
+            sms: [None, Some(40), Some(108)][sms],
+            tc_macs: None,
+            clock_mhz: [None, Some(1312.5), Some(940.0)][clock],
+            block: [None, Some((64, 64, 32)), Some((128, 64, 32))][block],
+            blocks_per_sm: [None, Some(1)][rpsm],
+            schedule: [
+                None,
+                Some(PipelineSchedule::SingleBuffered),
+                Some(PipelineSchedule::DoubleBuffered),
+            ][sched],
+        },
+    )
+}
+
+fn target_strategy() -> impl proptest::strategy::Strategy<Value = TuneTarget> {
+    prop::sample::select(vec![
+        TuneTarget::Tpu { chip: TpuChip::V2 },
+        TuneTarget::Tpu { chip: TpuChip::V3 },
+        TuneTarget::Gpu,
+    ])
+}
+
 /// Client ids with the characters that stress the string escaper: quotes,
 /// backslashes, control chars, multibyte unicode, astral-plane codepoints.
 fn id_strategy() -> impl proptest::strategy::Strategy<Value = Option<String>> {
@@ -116,18 +145,24 @@ fn id_strategy() -> impl proptest::strategy::Strategy<Value = Option<String>> {
 
 fn work_strategy() -> impl proptest::strategy::Strategy<Value = Work> {
     (
-        0u8..3,
+        0u8..4,
         shape_strategy(),
-        mode_strategy(),
-        algo_strategy(),
-        hw_strategy(),
+        (mode_strategy(), algo_strategy(), target_strategy()),
+        (hw_strategy(), gpu_hw_strategy()),
         (1usize..5000, 1usize..5000, 1usize..5000),
     )
-        .prop_map(|(tag, shape, mode, algo, hw, (m, n, k))| match tag {
-            0 => Work::TpuConv { shape, mode, hw },
-            1 => Work::TpuGemm { m, n, k, hw },
-            _ => Work::GpuConv { shape, algo },
-        })
+        .prop_map(
+            |(tag, shape, (mode, algo, target), (hw, ghw), (m, n, k))| match tag {
+                0 => Work::TpuConv { shape, mode, hw },
+                1 => Work::TpuGemm { m, n, k, hw },
+                2 => Work::GpuConv {
+                    shape,
+                    algo,
+                    hw: ghw,
+                },
+                _ => Work::Tune { shape, target },
+            },
+        )
 }
 
 // ---------------------------------------------------------------------------
@@ -257,6 +292,64 @@ proptest! {
         }
     }
 
+    /// `tune` responses are bit-exact through the wire for any cycle bit
+    /// pattern, and the winning config survives re-parsing; the
+    /// `"hw":"tuned"` conv framing parses back to its fields.
+    #[test]
+    fn tune_response_and_tuned_framing_roundtrip(
+        shape in shape_strategy(),
+        target in target_strategy(),
+        mode in mode_strategy(),
+        hw in hw_strategy(),
+        algo in algo_strategy(),
+        ghw in gpu_hw_strategy(),
+        bits in (0u64..u64::MAX, 0u64..u64::MAX),
+        counts in (0u64..500, 0u64..500),
+        id in id_strategy(),
+        dl in 0u64..=2,
+    ) {
+        let best = match target {
+            TuneTarget::Tpu { .. } => TunedConfig::Tpu { mode, hw },
+            TuneTarget::Gpu => TunedConfig::Gpu { algo, hw: ghw },
+        };
+        // Cycle counts are always finite in practice (NaN/inf have no JSON
+        // decimal rendering); keep the full mantissa/sign space.
+        let finite = |bits: u64| {
+            let v = f64::from_bits(bits);
+            if v.is_finite() { v } else { f64::from_bits(bits & !(0x7ff0u64 << 48)) }
+        };
+        let est = TuneEstimate {
+            best,
+            tuned_cycles: finite(bits.0),
+            default_cycles: finite(bits.1),
+            candidates: counts.0,
+            pruned: counts.1,
+        };
+        let line = finish_response(id.as_deref(), &tune_body(&est));
+        match parse_response(&line) {
+            Ok(Response::Tune { id: got, est: back }) => {
+                prop_assert_eq!(got, id.clone());
+                prop_assert_eq!(back.best, est.best);
+                prop_assert_eq!(back.tuned_cycles.to_bits(), est.tuned_cycles.to_bits());
+                prop_assert_eq!(back.default_cycles.to_bits(), est.default_cycles.to_bits());
+                prop_assert_eq!((back.candidates, back.pruned), counts);
+            }
+            other => panic!("{line} did not parse back: {other:?}"),
+        }
+
+        let deadline_ms = [None, Some(5), Some(9000)][dl as usize];
+        let line = encode_tuned_estimate(id.as_deref(), &shape, &target, deadline_ms);
+        match parse_request(&line) {
+            Ok(Request::TunedEstimate { id: got, shape: s, target: t, deadline_ms: d }) => {
+                prop_assert_eq!(got, id.clone());
+                prop_assert_eq!(s, shape);
+                prop_assert_eq!(t, target);
+                prop_assert_eq!(d, deadline_ms);
+            }
+            other => panic!("{line} did not parse back as tuned conv: {other:?}"),
+        }
+    }
+
     /// f64 bit transport is the identity on raw bit patterns.
     #[test]
     fn f64_bits_roundtrip(bits in 0u64..u64::MAX) {
@@ -294,6 +387,9 @@ proptest! {
             worker_crashes: vals.2 % 37,
             faults_injected: vals.0 % 41,
             faults_observed: vals.0 % 41,
+            tunes: (vals.1 % 43) + (vals.2 % 47),
+            tune_searches: vals.1 % 43,
+            tune_cached: vals.2 % 47,
             service_hist: {
                 // A deterministic non-trivial histogram exercises the sparse
                 // bucket encoding on the wire, including the empty case.

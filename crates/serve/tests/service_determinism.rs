@@ -14,7 +14,8 @@ use std::collections::BTreeMap;
 use iconv_gpusim::GpuAlgo;
 use iconv_serve::protocol::encode_estimate;
 use iconv_serve::{
-    spawn, Client, EstimateRequest, Response, ServerConfig, TpuChip, TpuHwSpec, Work,
+    spawn, Client, EstimateRequest, GpuHwSpec, Response, ServerConfig, TpuChip, TpuHwSpec,
+    TuneTarget, Work,
 };
 use iconv_tpusim::SimMode;
 
@@ -58,6 +59,13 @@ fn request_mix() -> Vec<String> {
     works.push(Work::GpuConv {
         shape: alexnet.layers[2].shape,
         algo: GpuAlgo::ChannelFirst { reuse: true },
+        hw: GpuHwSpec::default(),
+    });
+    // One design-space search: the tune ledger and the byte-identity of
+    // `tune` responses ride the same replay harness as plain estimates.
+    works.push(Work::Tune {
+        shape: alexnet.layers[1].shape,
+        target: TuneTarget::Tpu { chip: TpuChip::V2 },
     });
     works
         .into_iter()
@@ -184,6 +192,18 @@ fn concurrent_clients_get_byte_identical_responses() {
             "{workers} workers: only {} hits of {total} requests",
             stats.hits
         );
+        // Tune ledger: every delivered tune answer is a search or a cached
+        // replay, and exactly one search ran per distinct tune key (the
+        // mix has one) — single-flight plus the warm round make the rest
+        // cached.
+        let tune_total = (clients * 2) as u64;
+        assert_eq!(stats.tunes, tune_total, "{workers} workers");
+        assert_eq!(
+            stats.tunes,
+            stats.tune_searches + stats.tune_cached,
+            "{workers} workers: tune ledger leaked"
+        );
+        assert_eq!(stats.tune_searches, 1, "{workers} workers");
     }
 }
 

@@ -1,0 +1,319 @@
+//! The design-space search itself.
+//!
+//! A tune is a deterministic function of (shape, target): enumerate a
+//! fixed candidate grid with the Table-II default configuration first,
+//! prune candidates that fail hardware validation or alias an already-kept
+//! canonical key, measure the survivors through a [`CycleSource`], and keep
+//! the strict minimum with first-in-order tie-breaking. Because candidate 0
+//! *is* the default, the winner's cycles are `<=` the default's by
+//! construction — the CI gate checks the inequality end to end anyway.
+
+use std::collections::BTreeSet;
+
+use iconv_api::proto::TuneEstimate;
+use iconv_api::{canonical_key, GpuHwSpec, TpuChip, TpuHwSpec, TuneTarget, TunedConfig, Work};
+use iconv_core::PipelineSchedule;
+use iconv_gpusim::GpuAlgo;
+use iconv_tensor::{ConvShape, Layout};
+use iconv_tpusim::SimMode;
+
+use crate::source::{CycleCount, CycleSource};
+
+/// Measurement mechanics for a search. Neither knob may change the result:
+/// `estimate_many` preserves order for every worker count, and chunking
+/// only partitions the candidate table — the determinism proptests pin
+/// both invariances byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneOptions {
+    /// Worker count handed to [`CycleSource::estimate_many`].
+    pub jobs: usize,
+    /// Candidates measured per `estimate_many` call (a networked source
+    /// turns each chunk into one batched request). Clamped to >= 1.
+    pub batch_chunk: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        Self {
+            jobs: 1,
+            batch_chunk: 8,
+        }
+    }
+}
+
+/// The Table-II default configuration for a target — always candidate 0,
+/// and the baseline the tuned result is reported against.
+pub fn default_config(target: TuneTarget) -> TunedConfig {
+    match target {
+        TuneTarget::Tpu { chip } => TunedConfig::Tpu {
+            mode: SimMode::ChannelFirst,
+            hw: TpuHwSpec {
+                chip,
+                ..TpuHwSpec::default()
+            },
+        },
+        TuneTarget::Gpu => TunedConfig::Gpu {
+            algo: GpuAlgo::ChannelFirst { reuse: true },
+            hw: GpuHwSpec::default(),
+        },
+    }
+}
+
+/// The full candidate grid for a target, default first, fixed order.
+/// Includes points that hardware validation rejects (counted as pruned) —
+/// the grid is the *asked* space, not the feasible one.
+pub fn candidates(target: TuneTarget) -> Vec<TunedConfig> {
+    let mut out = vec![default_config(target)];
+    match target {
+        TuneTarget::Tpu { chip } => {
+            // mode x array x layout x schedule, nested in that order. The
+            // grouped modes intentionally overlap ChannelFirst's automatic
+            // group on many shapes — canonical-key dedup prunes the alias.
+            const MODES: [SimMode; 5] = [
+                SimMode::ChannelFirst,
+                SimMode::ChannelFirstGrouped(1),
+                SimMode::ChannelFirstGrouped(2),
+                SimMode::ChannelFirstGrouped(4),
+                SimMode::Explicit,
+            ];
+            const ARRAYS: [Option<usize>; 3] = [None, Some(64), Some(256)];
+            const LAYOUTS: [Option<Layout>; 2] = [None, Some(Layout::Nhwc)];
+            const SCHEDULES: [Option<PipelineSchedule>; 2] =
+                [None, Some(PipelineSchedule::DoubleBuffered)];
+            for mode in MODES {
+                for array in ARRAYS {
+                    for layout in LAYOUTS {
+                        for schedule in SCHEDULES {
+                            out.push(TunedConfig::Tpu {
+                                mode,
+                                hw: TpuHwSpec {
+                                    chip,
+                                    array,
+                                    word_elems: None,
+                                    mxus: None,
+                                    layout,
+                                    schedule,
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        TuneTarget::Gpu => {
+            // algo x (block tile, residency, schedule) alternates. The
+            // GemmEquivalent reference bars are deliberately absent: they
+            // are not a convolution, so they may not win a conv tune. The
+            // bare 128x128x64 tile overflows shared memory at the default
+            // residency — it stays in the grid as a validation-prune probe.
+            const ALGOS: [GpuAlgo; 4] = [
+                GpuAlgo::ChannelFirst { reuse: true },
+                GpuAlgo::ChannelFirst { reuse: false },
+                GpuAlgo::CudnnImplicit,
+                GpuAlgo::ExplicitIm2col,
+            ];
+            let base = GpuHwSpec::default();
+            let hws = [
+                base,
+                GpuHwSpec {
+                    block: Some((64, 64, 32)),
+                    ..base
+                },
+                GpuHwSpec {
+                    block: Some((128, 128, 64)),
+                    blocks_per_sm: Some(1),
+                    ..base
+                },
+                GpuHwSpec {
+                    block: Some((128, 128, 64)),
+                    ..base
+                },
+                GpuHwSpec {
+                    schedule: Some(PipelineSchedule::SingleBuffered),
+                    ..base
+                },
+            ];
+            for algo in ALGOS {
+                for hw in hws {
+                    out.push(TunedConfig::Gpu { algo, hw });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether a candidate's hardware resolves to a valid configuration.
+fn is_valid(cfg: &TunedConfig) -> bool {
+    match cfg {
+        TunedConfig::Tpu { hw, .. } => hw.resolve().is_ok(),
+        TunedConfig::Gpu { hw, .. } => hw.resolve().is_ok(),
+    }
+}
+
+/// Run the design-space search for one layer.
+///
+/// Deterministic in every argument: the candidate order is fixed, pruning
+/// is value-based, measurement order is preserved by the
+/// [`CycleSource::estimate_many`] contract for any `opts.jobs`, and
+/// chunking by `opts.batch_chunk` only partitions the table. Two calls
+/// with the same `(shape, target)` return identical [`TuneEstimate`]s on
+/// any bit-deterministic source.
+pub fn tune(
+    src: &dyn CycleSource,
+    shape: &ConvShape,
+    target: TuneTarget,
+    opts: &TuneOptions,
+) -> TuneEstimate {
+    let grid = candidates(target);
+    let mut kept: Vec<(TunedConfig, Work)> = Vec::with_capacity(grid.len());
+    let mut seen = BTreeSet::new();
+    let mut pruned = 0u64;
+    for cfg in grid {
+        if !is_valid(&cfg) {
+            pruned += 1;
+            continue;
+        }
+        let work = cfg.to_work(*shape);
+        // Candidates that denote the same simulation collapse to the same
+        // canonical key; measuring one of them is measuring all of them.
+        if seen.insert(canonical_key(&work)) {
+            kept.push((cfg, work));
+        } else {
+            pruned += 1;
+        }
+    }
+
+    let works: Vec<Work> = kept.iter().map(|(_, w)| *w).collect();
+    let chunk = opts.batch_chunk.max(1);
+    let mut cycles: Vec<f64> = Vec::with_capacity(works.len());
+    for part in works.chunks(chunk) {
+        cycles.extend(
+            src.estimate_many(opts.jobs, part)
+                .into_iter()
+                .map(CycleCount::as_f64),
+        );
+    }
+
+    // Strict minimum, first-in-order tie-break; index 0 is the default.
+    let mut best = 0usize;
+    for (i, &c) in cycles.iter().enumerate() {
+        if c < cycles[best] {
+            best = i;
+        }
+    }
+    TuneEstimate {
+        best: kept[best].0,
+        tuned_cycles: cycles[best],
+        default_cycles: cycles[0],
+        candidates: works.len() as u64,
+        pruned,
+    }
+}
+
+/// The work value whose canonical key names this search in every cache:
+/// the striped serve cache, the router's hash ring, and the on-disk
+/// tune store all key the same bytes.
+pub fn tune_work(shape: ConvShape, target: TuneTarget) -> Work {
+    Work::Tune { shape, target }
+}
+
+/// Convenience: the canonical tune-cache key for `(shape, target)`.
+pub fn tune_key(shape: &ConvShape, target: TuneTarget) -> String {
+    canonical_key(&tune_work(*shape, target))
+}
+
+/// All tune targets, in reporting order.
+pub const ALL_TARGETS: [TuneTarget; 3] = [
+    TuneTarget::Tpu { chip: TpuChip::V2 },
+    TuneTarget::Tpu { chip: TpuChip::V3 },
+    TuneTarget::Gpu,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::InProcessSource;
+
+    fn shape() -> ConvShape {
+        ConvShape::square(8, 64, 56, 64, 3, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn candidate_zero_is_the_default_for_every_target() {
+        for target in ALL_TARGETS {
+            assert_eq!(candidates(target)[0], default_config(target));
+        }
+    }
+
+    #[test]
+    fn tuned_never_beats_nothing_and_never_loses_to_default() {
+        let src = InProcessSource::new();
+        for target in ALL_TARGETS {
+            let est = tune(&src, &shape(), target, &TuneOptions::default());
+            assert!(
+                est.tuned_cycles <= est.default_cycles,
+                "{target:?}: tuned {} > default {}",
+                est.tuned_cycles,
+                est.default_cycles
+            );
+            assert!(est.candidates > 1);
+            assert_eq!(est.best.target(), target);
+        }
+    }
+
+    #[test]
+    fn gpu_grid_prunes_the_infeasible_tile_and_tpu_grid_dedups_groups() {
+        let src = InProcessSource::new();
+        // The bare 128x128x64 tile fails shared-memory validation for all
+        // four algos.
+        let gpu = tune(&src, &shape(), TuneTarget::Gpu, &TuneOptions::default());
+        assert!(gpu.pruned >= 4, "gpu pruned {}", gpu.pruned);
+        // ci=64 on 128 rows: auto group 2, so ChannelFirstGrouped(2)
+        // aliases ChannelFirst and dedup must catch it.
+        let tpu = tune(
+            &src,
+            &shape(),
+            TuneTarget::Tpu { chip: TpuChip::V2 },
+            &TuneOptions::default(),
+        );
+        assert!(tpu.pruned >= 1, "tpu pruned {}", tpu.pruned);
+    }
+
+    #[test]
+    fn search_is_invariant_to_jobs_and_chunking() {
+        let src = InProcessSource::new();
+        let reference = tune(
+            &src,
+            &shape(),
+            TuneTarget::Tpu { chip: TpuChip::V3 },
+            &TuneOptions {
+                jobs: 1,
+                batch_chunk: 1,
+            },
+        );
+        for jobs in [2, 5] {
+            for batch_chunk in [3, 7, 64] {
+                let got = tune(
+                    &src,
+                    &shape(),
+                    TuneTarget::Tpu { chip: TpuChip::V3 },
+                    &TuneOptions { jobs, batch_chunk },
+                );
+                assert_eq!(got, reference, "jobs={jobs} chunk={batch_chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn tune_key_matches_the_canonical_work_key() {
+        let target = TuneTarget::Gpu;
+        assert_eq!(
+            tune_key(&shape(), target),
+            canonical_key(&Work::Tune {
+                shape: shape(),
+                target
+            })
+        );
+    }
+}
