@@ -10,7 +10,7 @@
 //! because every component is an injective rendering
 //! ([`iconv_tpusim::TpuConfig::canonical_key`] and friends).
 
-use iconv_core::tpu_group_size;
+use iconv_core::{tpu_group_size, ConvPass};
 use iconv_tensor::ConvShape;
 use iconv_tpusim::{SimMode, TpuConfig};
 
@@ -46,19 +46,32 @@ fn shape_key(s: &ConvShape) -> String {
     key
 }
 
-/// Canonical rendering of a TPU lowering mode *for a given shape and
+/// Canonical rendering of a TPU lowering mode *for a given shape, pass and
 /// array*: `ChannelFirst` resolves its automatic group size, and explicit
 /// groups are clamped exactly the way the engine clamps them, so every
-/// spelling that runs the same schedule shares a key.
-fn tpu_mode_key(mode: SimMode, shape: &ConvShape, cfg: &TpuConfig) -> String {
+/// spelling that runs the same schedule shares a key. The duplication axis
+/// is pass-dependent — forward duplicates over `Ci`, dgrad/transpose over
+/// `Co`, and wgrad streams a plain GEMM with no duplication at all (every
+/// group spelling collapses to `g1`).
+fn tpu_mode_key(mode: SimMode, shape: &ConvShape, pass: ConvPass, cfg: &TpuConfig) -> String {
     let rows = cfg.array.rows;
-    let max_group = rows.div_ceil(shape.ci);
+    let channels = if pass.gathers_output_side() {
+        shape.co
+    } else {
+        shape.ci
+    };
+    let max_group = if pass == ConvPass::Wgrad {
+        1
+    } else {
+        rows.div_ceil(channels)
+    };
     match mode {
         SimMode::Explicit => "explicit".to_owned(),
+        SimMode::Indirect => "indirect".to_owned(),
         SimMode::ChannelFirst => {
             format!(
                 "cf:g{}",
-                tpu_group_size(rows, shape.ci, shape.wf).clamp(1, max_group)
+                tpu_group_size(rows, channels, shape.wf).clamp(1, max_group)
             )
         }
         SimMode::ChannelFirstGrouped(g) => format!("cf:g{}", g.clamp(1, max_group)),
@@ -73,7 +86,33 @@ pub fn canonical_key(work: &Work) -> String {
             format!(
                 "{};conv;{};{}",
                 cfg.canonical_key(),
-                tpu_mode_key(*mode, shape, &cfg),
+                tpu_mode_key(*mode, shape, ConvPass::Forward, &cfg),
+                shape_key(shape)
+            )
+        }
+        Work::TpuPass {
+            shape,
+            pass,
+            mode,
+            hw,
+        } => {
+            // A forward-pass spelling denotes exactly the plain conv, so it
+            // aliases the historical key. Non-forward keys insert the pass
+            // segment, which keeps them injective against every plain key
+            // by segment count alone.
+            if *pass == ConvPass::Forward {
+                return canonical_key(&Work::TpuConv {
+                    shape: *shape,
+                    mode: *mode,
+                    hw: *hw,
+                });
+            }
+            let cfg = resolve_tpu(hw);
+            format!(
+                "{};conv;{};{};{}",
+                cfg.canonical_key(),
+                pass.wire(),
+                tpu_mode_key(*mode, shape, *pass, &cfg),
                 shape_key(shape)
             )
         }
@@ -86,6 +125,27 @@ pub fn canonical_key(work: &Work) -> String {
             format!(
                 "{};conv;{};{}",
                 resolve_gpu(hw).canonical_key(),
+                algo,
+                shape_key(shape)
+            )
+        }
+        Work::GpuPass {
+            shape,
+            pass,
+            algo,
+            hw,
+        } => {
+            if *pass == ConvPass::Forward {
+                return canonical_key(&Work::GpuConv {
+                    shape: *shape,
+                    algo: *algo,
+                    hw: *hw,
+                });
+            }
+            format!(
+                "{};conv;{};{};{}",
+                resolve_gpu(hw).canonical_key(),
+                pass.wire(),
                 algo,
                 shape_key(shape)
             )
@@ -252,6 +312,112 @@ mod tests {
             target: TuneTarget::Tpu { chip: TpuChip::V2 },
         });
         assert!(key.starts_with("tune;tpu:v2;n8,"), "{key}");
+    }
+
+    #[test]
+    fn forward_pass_aliases_the_plain_conv_key() {
+        for mode in [SimMode::ChannelFirst, SimMode::Explicit, SimMode::Indirect] {
+            let plain = canonical_key(&Work::TpuConv {
+                shape: shape(),
+                mode,
+                hw: TpuHwSpec::default(),
+            });
+            let spelled = canonical_key(&Work::TpuPass {
+                shape: shape(),
+                pass: ConvPass::Forward,
+                mode,
+                hw: TpuHwSpec::default(),
+            });
+            assert_eq!(plain, spelled);
+        }
+        let plain = canonical_key(&Work::GpuConv {
+            shape: shape(),
+            algo: GpuAlgo::CudnnImplicit,
+            hw: GpuHwSpec::default(),
+        });
+        let spelled = canonical_key(&Work::GpuPass {
+            shape: shape(),
+            pass: ConvPass::Forward,
+            algo: GpuAlgo::CudnnImplicit,
+            hw: GpuHwSpec::default(),
+        });
+        assert_eq!(plain, spelled);
+    }
+
+    #[test]
+    fn pass_keys_never_collide_with_forward_or_each_other() {
+        let mut keys = std::collections::BTreeSet::new();
+        let mut n = 0;
+        for pass in [ConvPass::Wgrad, ConvPass::Dgrad, ConvPass::Transpose] {
+            for mode in [SimMode::ChannelFirst, SimMode::Explicit, SimMode::Indirect] {
+                keys.insert(canonical_key(&Work::TpuPass {
+                    shape: shape(),
+                    pass,
+                    mode,
+                    hw: TpuHwSpec::default(),
+                }));
+                n += 1;
+            }
+            keys.insert(canonical_key(&Work::GpuPass {
+                shape: shape(),
+                pass,
+                algo: GpuAlgo::CudnnImplicit,
+                hw: GpuHwSpec::default(),
+            }));
+            n += 1;
+        }
+        // dgrad and transpose share a cost model but are distinct
+        // vocabulary, so their keys must stay distinct too.
+        assert_eq!(keys.len(), n, "pass-key collision");
+        // ...and none of them collide with the forward key space.
+        for mode in [SimMode::ChannelFirst, SimMode::Explicit] {
+            assert!(!keys.contains(&canonical_key(&Work::TpuConv {
+                shape: shape(),
+                mode,
+                hw: TpuHwSpec::default(),
+            })));
+        }
+    }
+
+    #[test]
+    fn wgrad_group_spellings_collapse_to_one_key() {
+        // wgrad streams a plain GEMM — no duplication axis — so every
+        // channel-first group spelling keys (and runs) identically.
+        let spell = |mode| {
+            canonical_key(&Work::TpuPass {
+                shape: shape(),
+                pass: ConvPass::Wgrad,
+                mode,
+                hw: TpuHwSpec::default(),
+            })
+        };
+        let auto = spell(SimMode::ChannelFirst);
+        assert_eq!(auto, spell(SimMode::ChannelFirstGrouped(1)));
+        assert_eq!(auto, spell(SimMode::ChannelFirstGrouped(4)));
+        assert!(auto.contains(";wgrad;cf:g1;"), "{auto}");
+    }
+
+    #[test]
+    fn dgrad_groups_clamp_against_co_not_ci() {
+        // ci=8, co=64 on a 128-row array: the forward clamp allows groups
+        // up to 16, but dgrad duplicates over co, so its ceiling is 2.
+        let s = ConvShape::square(4, 8, 28, 64, 3, 1, 1).unwrap();
+        let spell = |mode| {
+            canonical_key(&Work::TpuPass {
+                shape: s,
+                pass: ConvPass::Dgrad,
+                mode,
+                hw: TpuHwSpec::default(),
+            })
+        };
+        assert_eq!(
+            spell(SimMode::ChannelFirstGrouped(2)),
+            spell(SimMode::ChannelFirstGrouped(99))
+        );
+        assert_ne!(
+            spell(SimMode::ChannelFirstGrouped(1)),
+            spell(SimMode::ChannelFirstGrouped(2))
+        );
     }
 
     #[test]

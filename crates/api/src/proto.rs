@@ -746,21 +746,55 @@ fn parse_work(
     }
     let target = obj.get("target").and_then(|v| v.as_str()).unwrap_or("tpu");
     let shape = parse_layer(obj.get("layer"))?;
+    let pass = parse_pass(obj.get("pass"))?;
     match target {
-        "tpu" => Ok(Work::TpuConv {
-            shape,
-            mode: parse_tpu_mode(obj.get("mode"))?,
-            hw: parse_tpu_hw(obj.get("hw"))?,
-        }),
-        "gpu" => Ok(Work::GpuConv {
-            shape,
-            algo: parse_gpu_algo(obj.get("mode"))?,
-            hw: parse_gpu_hw(obj.get("hw"))?,
-        }),
+        "tpu" => {
+            let mode = parse_tpu_mode(obj.get("mode"))?;
+            let hw = parse_tpu_hw(obj.get("hw"))?;
+            // An absent or forward `pass` keeps the historical variant (and
+            // therefore the historical cache key and wire bytes).
+            Ok(match pass {
+                iconv_core::ConvPass::Forward => Work::TpuConv { shape, mode, hw },
+                pass => Work::TpuPass {
+                    shape,
+                    pass,
+                    mode,
+                    hw,
+                },
+            })
+        }
+        "gpu" => {
+            let algo = parse_gpu_algo(obj.get("mode"))?;
+            let hw = parse_gpu_hw(obj.get("hw"))?;
+            Ok(match pass {
+                iconv_core::ConvPass::Forward => Work::GpuConv { shape, algo, hw },
+                pass => Work::GpuPass {
+                    shape,
+                    pass,
+                    algo,
+                    hw,
+                },
+            })
+        }
         other => Err(RequestError::bad(format!(
             "unknown target {other:?} (expected tpu or gpu)"
         ))),
     }
+}
+
+/// Parse an optional `"pass"` field; absence denotes the forward pass.
+fn parse_pass(v: Option<&Json>) -> Result<iconv_core::ConvPass, RequestError> {
+    let s = match v {
+        None | Some(Json::Null) => return Ok(iconv_core::ConvPass::Forward),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| RequestError::bad("\"pass\" must be a string"))?,
+    };
+    iconv_core::ConvPass::from_wire(s).ok_or_else(|| {
+        RequestError::bad(format!(
+            "unknown pass {s:?} (expected forward, wgrad, dgrad or transpose)"
+        ))
+    })
 }
 
 /// Parse one batch item: an estimate-op object without `id`/`deadline_ms`.
@@ -929,8 +963,9 @@ fn parse_tpu_mode(v: Option<&Json>) -> Result<SimMode, RequestError> {
     match s {
         "channel-first" => Ok(SimMode::ChannelFirst),
         "explicit" => Ok(SimMode::Explicit),
+        "indirect" => Ok(SimMode::Indirect),
         other => Err(RequestError::bad(format!(
-            "unknown tpu mode {other:?} (expected channel-first, grouped:<g> or explicit)"
+            "unknown tpu mode {other:?} (expected channel-first, grouped:<g>, explicit or indirect)"
         ))),
     }
 }
@@ -948,6 +983,7 @@ fn parse_gpu_algo(v: Option<&Json>) -> Result<GpuAlgo, RequestError> {
         "channel-first" => Ok(GpuAlgo::ChannelFirst { reuse: false }),
         "explicit-im2col" => Ok(GpuAlgo::ExplicitIm2col),
         "gemm-equivalent" => Ok(GpuAlgo::GemmEquivalent),
+        "indirect" => Ok(GpuAlgo::Indirect),
         other => Err(RequestError::bad(format!("unknown gpu mode {other:?}"))),
     }
 }
@@ -1103,6 +1139,7 @@ pub fn tpu_mode_wire(mode: SimMode) -> String {
         SimMode::ChannelFirst => "channel-first".to_owned(),
         SimMode::ChannelFirstGrouped(g) => format!("grouped:{g}"),
         SimMode::Explicit => "explicit".to_owned(),
+        SimMode::Indirect => "indirect".to_owned(),
     }
 }
 
@@ -1230,12 +1267,46 @@ fn push_work(out: &mut String, work: &Work) {
             push_layer(out, shape);
             push_tpu_hw(out, hw);
         }
+        Work::TpuPass {
+            shape,
+            pass,
+            mode,
+            hw,
+        } => {
+            // Non-forward passes add one field; forward spellings re-encode
+            // as the plain conv they denote, keeping historical bytes.
+            out.push_str("\"op\":\"conv\",\"target\":\"tpu\",");
+            if *pass != iconv_core::ConvPass::Forward {
+                out.push_str(&format!("\"pass\":\"{}\",", pass.wire()));
+            }
+            out.push_str("\"mode\":");
+            write_str(out, &tpu_mode_wire(*mode));
+            out.push(',');
+            push_layer(out, shape);
+            push_tpu_hw(out, hw);
+        }
         Work::TpuGemm { m, n, k, hw } => {
             out.push_str(&format!("\"op\":\"gemm\",\"m\":{m},\"n\":{n},\"k\":{k}"));
             push_tpu_hw(out, hw);
         }
         Work::GpuConv { shape, algo, hw } => {
             out.push_str("\"op\":\"conv\",\"target\":\"gpu\",\"mode\":");
+            write_str(out, &algo.to_string());
+            out.push(',');
+            push_layer(out, shape);
+            push_gpu_hw(out, hw);
+        }
+        Work::GpuPass {
+            shape,
+            pass,
+            algo,
+            hw,
+        } => {
+            out.push_str("\"op\":\"conv\",\"target\":\"gpu\",");
+            if *pass != iconv_core::ConvPass::Forward {
+                out.push_str(&format!("\"pass\":\"{}\",", pass.wire()));
+            }
+            out.push_str("\"mode\":");
             write_str(out, &algo.to_string());
             out.push(',');
             push_layer(out, shape);
@@ -1824,6 +1895,102 @@ mod tests {
             let line = encode_estimate(&req);
             assert_eq!(parse_request(&line), Ok(Request::Estimate(req)));
         }
+    }
+
+    #[test]
+    fn pass_requests_roundtrip_and_forward_normalizes() {
+        use iconv_core::ConvPass;
+        // Every non-forward pass roundtrips on both targets.
+        for pass in [ConvPass::Wgrad, ConvPass::Dgrad, ConvPass::Transpose] {
+            for work in [
+                Work::TpuPass {
+                    shape: shape(),
+                    pass,
+                    mode: SimMode::Indirect,
+                    hw: TpuHwSpec::default(),
+                },
+                Work::GpuPass {
+                    shape: shape(),
+                    pass,
+                    algo: GpuAlgo::Indirect,
+                    hw: GpuHwSpec::default(),
+                },
+            ] {
+                let req = EstimateRequest {
+                    id: None,
+                    work,
+                    deadline_ms: None,
+                };
+                let line = encode_estimate(&req);
+                assert!(line.contains(&format!("\"pass\":\"{pass}\"")), "{line}");
+                assert_eq!(parse_request(&line), Ok(Request::Estimate(req)));
+            }
+        }
+        // A spelled-out forward pass encodes and parses as the plain conv
+        // it denotes — the wire never grows a redundant field.
+        let fwd = encode_estimate(&EstimateRequest {
+            id: None,
+            work: Work::TpuPass {
+                shape: shape(),
+                pass: ConvPass::Forward,
+                mode: SimMode::ChannelFirst,
+                hw: TpuHwSpec::default(),
+            },
+            deadline_ms: None,
+        });
+        assert!(!fwd.contains("\"pass\""), "{fwd}");
+        let plain = encode_estimate(&EstimateRequest {
+            id: None,
+            work: Work::TpuConv {
+                shape: shape(),
+                mode: SimMode::ChannelFirst,
+                hw: TpuHwSpec::default(),
+            },
+            deadline_ms: None,
+        });
+        assert_eq!(fwd, plain);
+        // `"pass":"forward"` on the wire parses to the plain variant too.
+        let spelled = plain.replacen(
+            "\"op\":\"conv\",",
+            "\"op\":\"conv\",\"pass\":\"forward\",",
+            1,
+        );
+        assert_eq!(parse_request(&spelled), parse_request(&plain));
+        // Unknown passes are typed bad-requests.
+        let bad = plain.replacen(
+            "\"op\":\"conv\",",
+            "\"op\":\"conv\",\"pass\":\"sideways\",",
+            1,
+        );
+        let e = parse_request(&bad).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+        assert!(e.detail.contains("unknown pass"), "{e}");
+    }
+
+    #[test]
+    fn indirect_mode_parses_on_both_targets() {
+        let tpu = r#"{"op":"conv","mode":"indirect","layer":{"n":8,"ci":64,"hi":56,"wi":56,"co":64,"hf":3,"wf":3,"pad":1}}"#;
+        let Ok(Request::Estimate(req)) = parse_request(tpu) else {
+            panic!("tpu indirect parse failed");
+        };
+        assert!(matches!(
+            req.work,
+            Work::TpuConv {
+                mode: SimMode::Indirect,
+                ..
+            }
+        ));
+        let gpu = r#"{"op":"conv","target":"gpu","mode":"indirect","layer":{"n":8,"ci":64,"hi":56,"wi":56,"co":64,"hf":3,"wf":3,"pad":1}}"#;
+        let Ok(Request::Estimate(req)) = parse_request(gpu) else {
+            panic!("gpu indirect parse failed");
+        };
+        assert!(matches!(
+            req.work,
+            Work::GpuConv {
+                algo: GpuAlgo::Indirect,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! and the `estimate_many` contract tests so they all agree on what "the
 //! full table" means.
 
+use iconv_core::ConvPass;
 use iconv_gpusim::GpuAlgo;
 use iconv_tpusim::SimMode;
 
@@ -10,17 +11,16 @@ use crate::gpuspec::GpuHwSpec;
 use crate::spec::TpuHwSpec;
 use crate::work::Work;
 
+/// The CI pass-matrix leg names, in matrix order: the four
+/// [`ConvPass`]es plus the `indirect` lowering of the forward pass.
+pub const PASS_LEGS: [&str; 5] = ["forward", "wgrad", "dgrad", "transpose", "indirect"];
+
 /// Every layer of the workload CNNs (batch 8), each under four estimators:
 /// TPU channel-first, TPU explicit, GPU cuDNN-implicit, and GPU
 /// channel-first+reuse. `small` restricts to the first model for quick
 /// runs.
 pub fn workload_works(small: bool) -> Vec<Work> {
-    let models = iconv_workloads::all_models(8);
-    let models: Vec<_> = if small {
-        models.into_iter().take(1).collect()
-    } else {
-        models
-    };
+    let models = models(small);
     let hw = TpuHwSpec::default();
     let mut works = Vec::new();
     for m in &models {
@@ -50,6 +50,88 @@ pub fn workload_works(small: bool) -> Vec<Work> {
     works
 }
 
+/// The workload table for one CI pass-matrix leg. `"forward"` is exactly
+/// [`workload_works`] (same works, same order, same cache keys);
+/// `"indirect"` runs the forward pass through the indirect-buffer lowering
+/// on both engines (paired with the implicit baseline); the backward /
+/// transposed legs run their pass under the standard four estimators.
+/// Returns `None` for an unknown leg name.
+pub fn pass_leg_works(small: bool, leg: &str) -> Option<Vec<Work>> {
+    let pass = match leg {
+        "forward" => return Some(workload_works(small)),
+        "indirect" => {
+            let models = models(small);
+            let mut works = Vec::new();
+            for m in &models {
+                for l in &m.layers {
+                    works.push(Work::TpuConv {
+                        shape: l.shape,
+                        mode: SimMode::Indirect,
+                        hw: TpuHwSpec::default(),
+                    });
+                    works.push(Work::TpuConv {
+                        shape: l.shape,
+                        mode: SimMode::ChannelFirst,
+                        hw: TpuHwSpec::default(),
+                    });
+                    works.push(Work::GpuConv {
+                        shape: l.shape,
+                        algo: GpuAlgo::Indirect,
+                        hw: GpuHwSpec::default(),
+                    });
+                    works.push(Work::GpuConv {
+                        shape: l.shape,
+                        algo: GpuAlgo::ChannelFirst { reuse: true },
+                        hw: GpuHwSpec::default(),
+                    });
+                }
+            }
+            return Some(works);
+        }
+        other => ConvPass::from_wire(other)?,
+    };
+    let models = models(small);
+    let mut works = Vec::new();
+    for m in &models {
+        for l in &m.layers {
+            works.push(Work::TpuPass {
+                shape: l.shape,
+                pass,
+                mode: SimMode::ChannelFirst,
+                hw: TpuHwSpec::default(),
+            });
+            works.push(Work::TpuPass {
+                shape: l.shape,
+                pass,
+                mode: SimMode::Explicit,
+                hw: TpuHwSpec::default(),
+            });
+            works.push(Work::GpuPass {
+                shape: l.shape,
+                pass,
+                algo: GpuAlgo::CudnnImplicit,
+                hw: GpuHwSpec::default(),
+            });
+            works.push(Work::GpuPass {
+                shape: l.shape,
+                pass,
+                algo: GpuAlgo::ChannelFirst { reuse: true },
+                hw: GpuHwSpec::default(),
+            });
+        }
+    }
+    Some(works)
+}
+
+fn models(small: bool) -> Vec<iconv_workloads::Model> {
+    let models = iconv_workloads::all_models(8);
+    if small {
+        models.into_iter().take(1).collect()
+    } else {
+        models
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +145,31 @@ mod tests {
         assert_eq!(&all[..small.len()], &small[..]);
         // Four estimators per layer.
         assert_eq!(all.len() % 4, 0);
+    }
+
+    #[test]
+    fn pass_legs_cover_the_matrix_and_forward_is_the_classic_table() {
+        for leg in PASS_LEGS {
+            let works = pass_leg_works(true, leg).expect(leg);
+            assert!(!works.is_empty(), "{leg}");
+            assert_eq!(works.len() % 4, 0, "{leg}");
+        }
+        assert_eq!(pass_leg_works(true, "forward"), Some(workload_works(true)));
+        assert_eq!(pass_leg_works(true, "sideways"), None);
+        // Legs never share cache keys with each other (distinct work).
+        let mut keys = std::collections::BTreeSet::new();
+        let mut n = 0;
+        for leg in PASS_LEGS {
+            for w in pass_leg_works(true, leg).unwrap() {
+                // The indirect leg re-lists the implicit baseline, which the
+                // forward leg also carries — dedup within, distinct across.
+                keys.insert(crate::key::canonical_key(&w));
+                n += 1;
+            }
+        }
+        // forward cf + gpu cf appear again in the indirect leg: 2 dups per
+        // layer across legs.
+        let layers = pass_leg_works(true, "forward").unwrap().len() / 4;
+        assert_eq!(keys.len(), n - 2 * layers, "cross-leg key accounting");
     }
 }

@@ -1,5 +1,6 @@
 //! One unit of simulation work.
 
+use iconv_core::ConvPass;
 use iconv_gpusim::GpuAlgo;
 use iconv_tensor::ConvShape;
 use iconv_tpusim::SimMode;
@@ -31,10 +32,36 @@ pub enum Work {
         /// Hardware overrides.
         hw: TpuHwSpec,
     },
+    /// A non-forward convolution pass (wgrad / dgrad / transposed conv) on
+    /// the TPU model. `ConvPass::Forward` denotes exactly the same
+    /// simulation as [`Work::TpuConv`] and shares its cache key.
+    TpuPass {
+        /// Layer shape (always the *forward* convolution's shape; backward
+        /// passes derive their GEMM views from it).
+        shape: ConvShape,
+        /// Which pass to run.
+        pass: ConvPass,
+        /// Lowering mode.
+        mode: SimMode,
+        /// Hardware overrides.
+        hw: TpuHwSpec,
+    },
     /// A convolution layer on the V100 tensor-core model.
     GpuConv {
         /// Layer shape.
         shape: ConvShape,
+        /// Kernel algorithm.
+        algo: GpuAlgo,
+        /// Hardware overrides.
+        hw: GpuHwSpec,
+    },
+    /// A non-forward convolution pass on the V100 tensor-core model (the
+    /// GPU counterpart of [`Work::TpuPass`]).
+    GpuPass {
+        /// Layer shape (the forward convolution's shape).
+        shape: ConvShape,
+        /// Which pass to run.
+        pass: ConvPass,
         /// Kernel algorithm.
         algo: GpuAlgo,
         /// Hardware overrides.

@@ -1,0 +1,28 @@
+//! Runner for the per-pass cost experiment; see `iconv_bench::experiments`.
+//!
+//! With `--baseline [FILE]` it instead emits the `passes` section of
+//! `BENCH_baseline.json` (cycles + DRAM bytes per CI pass-matrix leg on
+//! the AlexNet table) — the document CI regenerates and diffs against the
+//! committed baseline so pass-cost regressions are caught like cache
+//! regressions are.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => iconv_bench::experiments::passes::run(),
+        Some("--baseline") => {
+            let json = iconv_bench::experiments::passes::baseline_json();
+            match args.get(1) {
+                Some(path) => std::fs::write(path, &json).unwrap_or_else(|e| {
+                    eprintln!("passes: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }),
+                None => print!("{json}"),
+            }
+        }
+        Some(other) => {
+            eprintln!("passes: unknown argument {other:?}; usage: passes [--baseline [FILE]]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -9,5 +9,6 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
+pub mod passes;
 pub mod table1;
 pub mod tune_table;

@@ -36,6 +36,7 @@ pub const EXPERIMENTS: &[Experiment] = &[
     ("fig17", crate::experiments::fig17::report),
     ("fig18", crate::experiments::fig18::report),
     ("tune", crate::experiments::tune_table::report),
+    ("passes", crate::experiments::passes::report),
 ];
 
 /// The ablation studies, for `--ablations` sweeps.

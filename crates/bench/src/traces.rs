@@ -170,6 +170,34 @@ fn tune_trace(rec: &mut Recorder) {
     }
 }
 
+fn passes(rec: &mut Recorder) {
+    // Backward/transposed passes plus the indirect-buffer lowering on one
+    // representative layer each, so the per-pass phase spans are visible.
+    use iconv_core::{ConvPass, ALL_PASSES};
+    let sim = tpu();
+    let g = gpu();
+    let shape = iconv_workloads::alexnet(BATCH).layers[1].shape;
+    for &pass in &ALL_PASSES {
+        sim.simulate_pass_traced(
+            &format!("alexnet conv2 {pass}"),
+            &shape,
+            pass,
+            SimMode::ChannelFirst,
+            rec,
+        );
+    }
+    sim.simulate_conv_traced("alexnet conv2 indirect", &shape, SimMode::Indirect, rec);
+    g.simulate_conv_traced("alexnet conv2 indirect", &shape, GpuAlgo::Indirect, rec);
+    let up = &iconv_workloads::unet(BATCH).layers[10];
+    sim.simulate_pass_traced(
+        &format!("unet {} transpose", up.name),
+        &up.shape,
+        ConvPass::Transpose,
+        SimMode::ChannelFirst,
+        rec,
+    );
+}
+
 /// One trace capture: the experiment id and its builder.
 pub type TraceBuilder = (&'static str, fn(&mut Recorder));
 
@@ -186,6 +214,7 @@ pub const TRACES: &[TraceBuilder] = &[
     ("fig17", fig17),
     ("fig18", fig18),
     ("tune", tune_trace),
+    ("passes", passes),
 ];
 
 /// Build every experiment trace on `jobs` workers. Output order and

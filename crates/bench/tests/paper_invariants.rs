@@ -20,7 +20,7 @@
 //!    strided layers. The cycles assertion is therefore scoped to `ci ≥ 16`
 //!    × {HWCN, NHWC}; the memory assertion is unconditional.
 
-use iconv_core::PipelineSchedule;
+use iconv_core::{ConvPass, PipelineSchedule};
 use iconv_tensor::{ConvShape, Layout};
 use iconv_tpusim::{SimMode, Simulator, TpuConfig};
 
@@ -147,6 +147,156 @@ fn double_buffered_never_slower_across_workload_table() {
         strictly_faster >= 1,
         "double buffering never engaged: {strictly_faster}/{layers}"
     );
+}
+
+/// Every layer the pass battery sweeps: the seven forward workload models
+/// plus the transposed-conv-heavy tables (DCGAN generator, U-Net), batch 8.
+fn pass_sweep_layers() -> Vec<(String, ConvShape)> {
+    let mut models = iconv_workloads::all_models(8);
+    models.extend(iconv_workloads::transpose_models(8));
+    let mut out = Vec::new();
+    for model in &models {
+        for layer in &model.layers {
+            out.push((format!("{}/{}", model.name, layer.name), layer.shape));
+        }
+    }
+    out
+}
+
+/// Claim 1 extended to the backward direction (BP-Im2col): every training
+/// pass is itself an implicit GEMM, so the channel-first implicit schedule
+/// moves exactly the tensor footprint — the *same* three tensors as the
+/// forward pass, with read/write roles permuted — while the explicit
+/// lowering of that pass's GEMM view additionally writes its lowered
+/// matrix out and streams it back. Phase identities stay conserved
+/// (`dispatch + first_fill + steady == cycles`) per pass and mode.
+fn pass_dram_is_tensor_footprint(pass: ConvPass) {
+    let sim = Simulator::new(TpuConfig::tpu_v2());
+    let eb = TpuConfig::tpu_v2().vector_mem.elem_bytes as u64;
+    let mut layers = 0usize;
+    for (name, shape) in pass_sweep_layers() {
+        let implicit = sim.simulate_pass(&name, &shape, pass, SimMode::ChannelFirst);
+        let explicit = sim.simulate_pass(&name, &shape, pass, SimMode::Explicit);
+        assert!(implicit.assert_conserved(), "{name} [{pass} implicit]");
+        assert!(explicit.assert_conserved(), "{name} [{pass} explicit]");
+
+        let footprint =
+            (shape.ifmap_elems() + shape.filter_elems() + shape.ofmap_elems()) as u64 * eb;
+        assert_eq!(
+            implicit.dram_bytes, footprint,
+            "{name} [{pass}]: implicit must move exactly the tensor footprint"
+        );
+        let lowered = pass.lowered_view_elems(&shape) as u64 * eb;
+        assert!(
+            explicit.dram_bytes >= implicit.dram_bytes + 2 * lowered,
+            "{name} [{pass}]: explicit traffic {} < implicit {} + 2x lowered view {}",
+            explicit.dram_bytes,
+            implicit.dram_bytes,
+            lowered
+        );
+        layers += 1;
+    }
+    assert!(layers >= 100, "pass sweep shrank: {layers} layers");
+}
+
+#[test]
+fn invariants_wgrad_implicit_dram_is_tensor_footprint() {
+    pass_dram_is_tensor_footprint(ConvPass::Wgrad);
+}
+
+#[test]
+fn invariants_dgrad_implicit_dram_is_tensor_footprint() {
+    pass_dram_is_tensor_footprint(ConvPass::Dgrad);
+}
+
+#[test]
+fn invariants_transpose_implicit_dram_is_tensor_footprint() {
+    pass_dram_is_tensor_footprint(ConvPass::Transpose);
+}
+
+/// Claim 2 in the backward direction: implicit dgrad never loses to the
+/// explicit lowering of the dgrad view for channel-rich layers. Carve-outs
+/// mirror the forward scoping, adapted to what dgrad's GEMM view actually
+/// streams: dgrad gathers on the *output* side, so the PE-row fill (and
+/// the duplication channel) is `co`, and its GEMM N-dimension is `ci` —
+/// both must be ≥ 16 for the implicit schedule to fill the array the way
+/// §V assumes. First layers (`ci = 3`) and the DCGAN image head
+/// (`ci = 3`) are excluded exactly like forward conv1 is. Full-filter
+/// layers (1×1 output, e.g. the DCGAN z-projection) are also excluded:
+/// with a single output position the explicit lowering duplicates
+/// *nothing* — it is a plain dense GEMM with no transform duplication to
+/// pay for — so im2col's usual memory tax vanishes and the implicit
+/// gather's dispatch overhead can lose by a few percent.
+#[test]
+fn invariants_dgrad_implicit_no_slower_on_channel_rich_layers() {
+    let sim = Simulator::new(TpuConfig::tpu_v2());
+    let mut checked = 0usize;
+    for (name, shape) in pass_sweep_layers() {
+        if shape.ci < 16 || shape.co < 16 || shape.out_h() * shape.out_w() == 1 {
+            continue;
+        }
+        let imp = sim.simulate_pass(&name, &shape, ConvPass::Dgrad, SimMode::ChannelFirst);
+        let exp = sim.simulate_pass(&name, &shape, ConvPass::Dgrad, SimMode::Explicit);
+        assert!(
+            imp.cycles <= exp.cycles,
+            "{name}: implicit dgrad {} cycles > explicit {} cycles",
+            imp.cycles,
+            exp.cycles
+        );
+        checked += 1;
+    }
+    assert!(checked >= 100, "dgrad cycle sweep shrank: {checked} layers");
+}
+
+/// Transposed convolution is dgrad with a learned filter: identical cost
+/// reports under every mode, layer by layer.
+#[test]
+fn invariants_transpose_costs_exactly_like_dgrad() {
+    let sim = Simulator::new(TpuConfig::tpu_v2());
+    for (name, shape) in pass_sweep_layers() {
+        for mode in [SimMode::ChannelFirst, SimMode::Explicit, SimMode::Indirect] {
+            let d = sim.simulate_pass(&name, &shape, ConvPass::Dgrad, mode);
+            let t = sim.simulate_pass(&name, &shape, ConvPass::Transpose, mode);
+            assert_eq!(d, t, "{name} [{mode:?}]");
+        }
+    }
+}
+
+/// The indirect-buffer baseline (Dukhan): its pointer table costs real
+/// DRAM bytes, so it sits *strictly* between implicit (exact footprint)
+/// and the explicit lowering (footprint + 2x lowered copy) on every layer
+/// — the pointer table has one entry per output position x tap, batch- and
+/// channel-free, so it can never approach the lowered matrix. Reports stay
+/// conserved with the dispatch-side gather overhead folded in.
+#[test]
+fn invariants_indirect_dram_strictly_between_implicit_and_explicit() {
+    let sim = Simulator::new(TpuConfig::tpu_v2());
+    for (name, shape) in pass_sweep_layers() {
+        let imp = sim.simulate_conv(&name, &shape, SimMode::ChannelFirst);
+        let ind = sim.simulate_conv(&name, &shape, SimMode::Indirect);
+        let exp = sim.simulate_conv(&name, &shape, SimMode::Explicit);
+        assert!(ind.assert_conserved(), "{name} [indirect]");
+        assert!(
+            imp.dram_bytes < ind.dram_bytes,
+            "{name}: indirect {} must pay for its pointer table over implicit {}",
+            ind.dram_bytes,
+            imp.dram_bytes
+        );
+        assert!(
+            ind.dram_bytes < exp.dram_bytes,
+            "{name}: indirect {} must stay below explicit-lowered {}",
+            ind.dram_bytes,
+            exp.dram_bytes
+        );
+        // Dispatch-side dereference cost is visible but bounded: indirect
+        // never costs more cycles than materializing the lowered matrix.
+        assert!(
+            ind.cycles >= imp.cycles,
+            "{name}: indirect {} cycles below implicit {}",
+            ind.cycles,
+            imp.cycles
+        );
+    }
 }
 
 /// Explicit stride sweep: the cycle and memory advantages must survive

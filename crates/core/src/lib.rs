@@ -52,6 +52,7 @@ pub mod backward;
 pub mod block;
 pub mod decompose;
 pub mod lowered;
+pub mod pass;
 pub mod schedule;
 pub mod sparse;
 
@@ -60,5 +61,6 @@ pub use algo::ConvAlgorithm;
 pub use block::{BlockConfig, BlockDecomposition, FetchOrder, KSlice, OutputBlock};
 pub use decompose::FilterTile;
 pub use lowered::LoweredView;
+pub use pass::{ConvPass, ALL_PASSES};
 pub use schedule::{chunked_steady, tpu_group_size, PipelineSchedule, TileGroup, TileSchedule};
 pub use sparse::SparseFilter;

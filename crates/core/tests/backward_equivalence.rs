@@ -1,0 +1,126 @@
+//! BP-Im2col's core identity, verified bit-exactly: the **implicit dgrad**
+//! (per-tap scatter through the forward pixel map, no materialization) of
+//! a convolution equals an **explicit forward convolution** of the
+//! stride-dilated, zero-padded output gradient with the 180°-rotated,
+//! channel-swapped filter.
+//!
+//! The explicit side materializes everything the implicit path only
+//! *implies*: `dY` is scattered into a dense `(Hi + Hf − 1) × (Wi + Wf − 1)`
+//! plane at positions `eff_f − 1 − pad + o·stride` (zeros between samples
+//! under stride — the "dilated input" of the textbook construction, with a
+//! ragged trailing margin where the forward output stopped short), and the
+//! filter index flip `fh → Hf − 1 − fh` plus the `Ci ↔ Co` swap build the
+//! rotated kernel. A plain stride-1, pad-0 direct convolution over that
+//! pair must then reproduce implicit dgrad exactly — integer tensors, so
+//! equality is bitwise, across ragged shapes, strides 1–3, even filters,
+//! and the asymmetric "SAME" padding.
+
+use iconv_core::backward::dgrad;
+use iconv_tensor::conv_ref::{direct_conv, filter_dims, ofmap_dims};
+use iconv_tensor::{ConvShape, Coord, Layout, Tensor};
+use proptest::prelude::*;
+
+/// Ragged backward-pass shapes: independent heights/widths and filter
+/// sides (even filters included), strides 1–3, and either explicit
+/// leading-symmetric padding or the framework-style asymmetric
+/// [`same_pad`](iconv_tensor::ConvShapeBuilder::same_pad).
+fn backward_shapes() -> impl Strategy<Value = ConvShape> {
+    (
+        1usize..=2, // n
+        1usize..=4, // ci
+        1usize..=4, // co
+        1usize..=4, // hf (even sizes included)
+        1usize..=4, // wf
+        1usize..=3, // stride
+        0usize..=6, // extra rows beyond the minimum input
+        0usize..=6, // extra cols (independent: ragged hi != wi)
+        0usize..=1, // same-pad (asymmetric for even filters) vs explicit
+        0usize..=2, // explicit pad request (clamped below)
+    )
+        .prop_filter_map(
+            "filter must fit",
+            |(n, ci, co, hf, wf, s, eh, ew, same, p)| {
+                let same = same == 1;
+                let hi = hf + eh;
+                let wi = wf + ew;
+                let b = ConvShape::new(n, ci, hi, wi, co, hf, wf).stride(s);
+                if same {
+                    b.same_pad().build().ok()
+                } else {
+                    // The rotated-filter construction needs the leading pad
+                    // to stay inside the filter: pad <= f - 1.
+                    b.pad_hw(p.min(hf - 1), p.min(wf - 1)).build().ok()
+                }
+            },
+        )
+}
+
+/// Materialize the stride-dilated, zero-embedded `dY` plane and the
+/// rotated/swapped filter, returning them with the stride-1 pad-0 shape
+/// whose direct convolution realizes dgrad explicitly.
+fn explicit_dgrad_operands(
+    shape: &ConvShape,
+    filter: &Tensor<i64>,
+    dout: &Tensor<i64>,
+) -> (ConvShape, Tensor<i64>, Tensor<i64>) {
+    let (hp, wp) = (shape.hi + shape.hf - 1, shape.wi + shape.wf - 1);
+    let eq = ConvShape::new(shape.n, shape.co, hp, wp, shape.ci, shape.hf, shape.wf)
+        .stride(1)
+        .pad(0)
+        .build()
+        .expect("equivalent shape is valid by construction");
+
+    // dY lands at `f − 1 − pad + o·stride`; everything else stays zero —
+    // the inter-sample zeros are the stride dilation, the top-left margin
+    // is the flipped leading pad, and the bottom-right margin is ragged
+    // (whatever the forward output left uncovered plus the trailing pad).
+    let mut dilated = Tensor::<i64>::zeros(iconv_tensor::conv_ref::ifmap_dims(&eq), Layout::Nchw);
+    for n in 0..shape.n {
+        for co in 0..shape.co {
+            for oh in 0..shape.out_h() {
+                for ow in 0..shape.out_w() {
+                    let h = shape.hf - 1 - shape.pad_h + oh * shape.stride_h;
+                    let w = shape.wf - 1 - shape.pad_w + ow * shape.stride_w;
+                    dilated.set(Coord::new(n, co, h, w), dout.get(Coord::new(n, co, oh, ow)));
+                }
+            }
+        }
+    }
+
+    // 180° spatial rotation plus the Ci <-> Co role swap.
+    let rotated = Tensor::<i64>::from_fn(filter_dims(&eq), Layout::Nchw, |c| {
+        filter.get(Coord::new(
+            c.c, // original co: the equivalent conv's input channel
+            c.n, // original ci: the equivalent conv's output channel
+            shape.hf - 1 - c.h,
+            shape.wf - 1 - c.w,
+        ))
+    });
+    (eq, dilated, rotated)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Implicit dgrad == explicit conv(dilate(dY), rot180(W)ᵀ), bit for bit.
+    #[test]
+    fn implicit_dgrad_matches_explicit_rotated_conv(
+        shape in backward_shapes(),
+        seed in 0u64..1000,
+    ) {
+        let f = Tensor::<i64>::random(filter_dims(&shape), Layout::Nchw, seed);
+        let dy = Tensor::<i64>::random(ofmap_dims(&shape), Layout::Nchw, seed + 101);
+
+        let implicit = dgrad(&shape, &f, &dy);
+
+        let (eq, dilated, rotated) = explicit_dgrad_operands(&shape, &f, &dy);
+        prop_assert_eq!(eq.out_h(), shape.hi, "equivalent conv must recover Hi");
+        prop_assert_eq!(eq.out_w(), shape.wi, "equivalent conv must recover Wi");
+        let explicit = direct_conv(&eq, &dilated, &rotated);
+
+        prop_assert!(
+            implicit.approx_eq(&explicit, 0.0),
+            "dgrad != rotated-conv for {shape}"
+        );
+    }
+}

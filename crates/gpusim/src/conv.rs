@@ -3,6 +3,8 @@
 use crate::config::GpuConfig;
 use crate::kernel::{time_kernel, KernelTiming};
 use crate::traffic;
+use crate::traffic::Traffic;
+use iconv_core::ConvPass;
 use iconv_tensor::ConvShape;
 use iconv_trace::TraceSink;
 use iconv_workloads::Model;
@@ -26,6 +28,11 @@ pub enum GpuAlgo {
     /// A plain GEMM of the lowered dimensions — not a convolution at all,
     /// the Fig. 4 "GEMM" reference bars.
     GemmEquivalent,
+    /// Dukhan's indirect convolution: the implicit channel-first schedule
+    /// fed through a pointer table. DRAM adds the pointer bytes, and every
+    /// block pays a per-tap pointer dereference the implicit address
+    /// generation computes for free.
+    Indirect,
 }
 
 impl fmt::Display for GpuAlgo {
@@ -36,6 +43,7 @@ impl fmt::Display for GpuAlgo {
             GpuAlgo::ChannelFirst { reuse: false } => write!(f, "channel-first"),
             GpuAlgo::ExplicitIm2col => write!(f, "explicit-im2col"),
             GpuAlgo::GemmEquivalent => write!(f, "gemm-equivalent"),
+            GpuAlgo::Indirect => write!(f, "indirect"),
         }
     }
 }
@@ -107,8 +115,6 @@ impl GpuSim {
     }
 
     /// Simulate one layer under `algo`.
-    ///
-    /// Simulate one layer under `algo`.
     pub fn simulate_conv(&self, name: &str, shape: &ConvShape, algo: GpuAlgo) -> GpuLayerReport {
         let cfg = &self.config;
         let (m, n, _) = shape.gemm_mnk();
@@ -177,6 +183,147 @@ impl GpuSim {
                 timing.cycles += transform;
                 timing.memory_cycles += transform;
                 (timing, transform)
+            }
+            GpuAlgo::Indirect => {
+                let base = if shape.ci >= 16 {
+                    traffic::channel_first(cfg, shape, true)
+                } else {
+                    traffic::channel_last(cfg, shape)
+                };
+                let k = self.k_padded(shape, true);
+                (
+                    self.apply_indirect(shape, ConvPass::Forward, base, m, n, k),
+                    0.0,
+                )
+            }
+        };
+        GpuLayerReport {
+            name: name.to_string(),
+            algo,
+            timing,
+            transform_cycles,
+            conv_flops: shape.flops(),
+        }
+    }
+
+    /// K-dimension padding of a backward/transposed pass's GEMM view.
+    /// dgrad/transpose reduce over taps × `Co`, so the per-tap WMMA padding
+    /// mirrors the forward rule with `Co` in `Ci`'s place; wgrad reduces
+    /// over pixels (no tap structure) and pads once to fragment granularity.
+    fn k_padded_view(&self, shape: &ConvShape, pass: ConvPass, per_tap: bool) -> usize {
+        let (_, _, k) = pass.gemm_mnk(shape);
+        if per_tap && pass.gathers_output_side() && shape.co >= 16 {
+            shape.hf * shape.wf * shape.co.div_ceil(16) * 16
+        } else if per_tap {
+            k.div_ceil(16) * 16
+        } else {
+            let bk = self.config.block.bk;
+            k.div_ceil(bk) * bk
+        }
+    }
+
+    /// Layer the indirect-convolution costs onto an implicit schedule: the
+    /// pointer table adds its bytes to the gathered side, and each block
+    /// serializes one pointer dereference per filter tap before its tensor
+    /// cores can start.
+    fn apply_indirect(
+        &self,
+        shape: &ConvShape,
+        pass: ConvPass,
+        base: Traffic,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) -> KernelTiming {
+        const PTR_BYTES: u64 = 8;
+        let cfg = &self.config;
+        let t = Traffic {
+            a_bytes: base.a_bytes + pass.indirect_ptr_entries(shape) as u64 * PTR_BYTES,
+            ..base
+        };
+        let mut timing = time_kernel(cfg, m, n, k, &t, cfg.sw_pipeline_efficiency);
+        let deref = (timing.blocks * (shape.hf * shape.wf) as u64) as f64;
+        timing.cycles += deref;
+        timing.memory_cycles += deref;
+        timing
+    }
+
+    /// Simulate one convolution pass (forward, wgrad, dgrad, or transposed
+    /// convolution) under `algo`. `ConvPass::Forward` is exactly
+    /// [`GpuSim::simulate_conv`]; the backward passes time the pass's GEMM
+    /// view (see [`ConvPass::gemm_mnk`]) over the corresponding tensor
+    /// traffic.
+    pub fn simulate_pass(
+        &self,
+        name: &str,
+        shape: &ConvShape,
+        pass: ConvPass,
+        algo: GpuAlgo,
+    ) -> GpuLayerReport {
+        if pass == ConvPass::Forward {
+            return self.simulate_conv(name, shape, algo);
+        }
+        let cfg = &self.config;
+        let (m, n, k_view) = pass.gemm_mnk(shape);
+        let (timing, transform_cycles) = match algo {
+            GpuAlgo::CudnnImplicit => {
+                let t = traffic::pass_implicit(cfg, shape, pass);
+                let k = self.k_padded_view(shape, pass, false);
+                // The channel-last layout scatters under a backward gather
+                // the same way it does under a forward stride: dgrad's
+                // dilation holes and wgrad's strided windows both break the
+                // conflict-free staging (1×1 filters escape, as forward).
+                let conflicts = if shape.hf * shape.wf > 1 {
+                    ((shape.stride_h * shape.stride_w) as f64).min(3.0)
+                } else {
+                    1.0
+                };
+                let sw = conflicts.powf(0.25).recip();
+                (
+                    crate::kernel::time_kernel_with_penalty(cfg, m, n, k, &t, sw, conflicts),
+                    0.0,
+                )
+            }
+            GpuAlgo::ChannelFirst { .. } => {
+                let t = traffic::pass_implicit(cfg, shape, pass);
+                let k = self.k_padded_view(shape, pass, true);
+                (
+                    time_kernel(cfg, m, n, k, &t, cfg.sw_pipeline_efficiency),
+                    0.0,
+                )
+            }
+            GpuAlgo::GemmEquivalent => {
+                let t = traffic::view_gemm(cfg, m, n, k_view);
+                let k = self.k_padded_view(shape, pass, false);
+                (time_kernel(cfg, m, n, k, &t, 1.0), 0.0)
+            }
+            GpuAlgo::ExplicitIm2col => {
+                let t = traffic::view_gemm(cfg, m, n, k_view);
+                let k = self.k_padded_view(shape, pass, false);
+                let mut timing = time_kernel(cfg, m, n, k, &t, 1.0);
+                // Materialize the pass's lowered view (for dgrad, the
+                // zero-dilated rotated-filter matrix) — bandwidth-bound,
+                // same structure as the forward transform.
+                let dram = iconv_dram::DramModel::new(cfg.dram);
+                let lowered = pass.lowered_view_elems(shape) as u64 * cfg.elem_bytes;
+                let (src_elems, channels, width) = if pass.gathers_output_side() {
+                    (shape.ofmap_elems(), shape.co, shape.out_w())
+                } else {
+                    (shape.ifmap_elems(), shape.ci, shape.wi)
+                };
+                let src = src_elems as u64 * cfg.elem_bytes;
+                let row_run = (width * channels) as u64 * cfg.elem_bytes;
+                let transform = lowered as f64 / (cfg.dram.bytes_per_cycle * dram.efficiency(4096))
+                    + src as f64 / (cfg.dram.bytes_per_cycle * dram.efficiency(row_run))
+                    + cfg.launch_cycles as f64;
+                timing.cycles += transform;
+                timing.memory_cycles += transform;
+                (timing, transform)
+            }
+            GpuAlgo::Indirect => {
+                let t = traffic::pass_implicit(cfg, shape, pass);
+                let k = self.k_padded_view(shape, pass, true);
+                (self.apply_indirect(shape, pass, t, m, n, k), 0.0)
             }
         };
         GpuLayerReport {
@@ -393,6 +540,7 @@ mod tests {
             GpuAlgo::ChannelFirst { reuse: true },
             GpuAlgo::ExplicitIm2col,
             GpuAlgo::GemmEquivalent,
+            GpuAlgo::Indirect,
         ] {
             let mut rec = Recorder::new();
             let rep = s.simulate_conv_traced("l", &shape, algo, &mut rec);
@@ -414,5 +562,91 @@ mod tests {
         let m = iconv_workloads::alexnet(8);
         let secs = s.model_seconds(&m, GpuAlgo::CudnnImplicit);
         assert!(secs > 0.0 && secs < 1.0, "{secs}");
+    }
+
+    const ALL_ALGOS: [GpuAlgo; 6] = [
+        GpuAlgo::CudnnImplicit,
+        GpuAlgo::ChannelFirst { reuse: true },
+        GpuAlgo::ChannelFirst { reuse: false },
+        GpuAlgo::ExplicitIm2col,
+        GpuAlgo::GemmEquivalent,
+        GpuAlgo::Indirect,
+    ];
+
+    #[test]
+    fn forward_pass_is_simulate_conv() {
+        let s = sim();
+        let shape = layer(128, 28, 128, 3, 2);
+        for algo in ALL_ALGOS {
+            assert_eq!(
+                s.simulate_pass("l", &shape, iconv_core::ConvPass::Forward, algo),
+                s.simulate_conv("l", &shape, algo),
+                "{algo}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_pass_times_every_algo() {
+        let s = sim();
+        for shape in [layer(96, 27, 256, 5, 2), layer(3, 224, 64, 7, 2)] {
+            for pass in iconv_core::ALL_PASSES {
+                for algo in ALL_ALGOS {
+                    let rep = s.simulate_pass("l", &shape, pass, algo);
+                    assert!(
+                        rep.timing.cycles.is_finite() && rep.timing.cycles > 0.0,
+                        "{pass}/{algo}: {}",
+                        rep.timing.cycles
+                    );
+                    assert_eq!(rep.conv_flops, shape.flops(), "{pass}/{algo}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_pass_costs_exactly_like_dgrad() {
+        let s = sim();
+        let shape = layer(128, 28, 256, 3, 2);
+        for algo in ALL_ALGOS {
+            let d = s.simulate_pass("l", &shape, iconv_core::ConvPass::Dgrad, algo);
+            let t = s.simulate_pass("l", &shape, iconv_core::ConvPass::Transpose, algo);
+            assert_eq!(d.timing, t.timing, "{algo}");
+        }
+    }
+
+    #[test]
+    fn indirect_traffic_sits_between_implicit_and_explicit() {
+        let s = sim();
+        let cfg = s.config();
+        let shape = layer(128, 28, 256, 3, 1);
+        for pass in iconv_core::ALL_PASSES {
+            let (m, n, k_view) = pass.gemm_mnk(&shape);
+            let imp = traffic::pass_implicit(cfg, &shape, pass).total();
+            let ptr = pass.indirect_ptr_entries(&shape) as u64 * 8;
+            let ind = imp + ptr;
+            // Explicit lowers the view to DRAM and reads it back on top of
+            // the GEMM's own streams.
+            let exp = traffic::view_gemm(cfg, m, n, k_view).total()
+                + pass.lowered_view_elems(&shape) as u64 * cfg.elem_bytes;
+            assert!(ind > imp, "{pass}: pointer table adds traffic");
+            assert!(ind < exp, "{pass}: indirect {ind} vs explicit {exp}");
+        }
+    }
+
+    #[test]
+    fn indirect_dereference_slows_the_kernel() {
+        let s = sim();
+        let shape = layer(128, 28, 256, 3, 1);
+        for pass in iconv_core::ALL_PASSES {
+            let ind = s.simulate_pass("l", &shape, pass, GpuAlgo::Indirect);
+            let imp = s.simulate_pass("l", &shape, pass, GpuAlgo::ChannelFirst { reuse: true });
+            assert!(
+                ind.timing.cycles > imp.timing.cycles,
+                "{pass}: indirect {} vs implicit {}",
+                ind.timing.cycles,
+                imp.timing.cycles
+            );
+        }
     }
 }

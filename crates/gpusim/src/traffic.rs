@@ -17,7 +17,7 @@
 //! * **GEMM-equivalent** — dense `A` rows; the Fig. 4 reference bars.
 
 use crate::config::GpuConfig;
-use iconv_core::{BlockDecomposition, FetchOrder};
+use iconv_core::{BlockDecomposition, ConvPass, FetchOrder};
 use iconv_tensor::ConvShape;
 use std::collections::HashMap;
 
@@ -47,6 +47,13 @@ const L2_BYTES: u64 = 6 * 1024 * 1024;
 
 fn common_bc(cfg: &GpuConfig, shape: &ConvShape) -> (u64, u64, u64, u64) {
     let (m, n, k) = shape.gemm_mnk();
+    view_bc(cfg, m, n, k)
+}
+
+/// The B/C side of any `M×N×K` GEMM view under the block schedule — the
+/// backward passes run the same tiling over swapped tensor roles, so the
+/// view dimensions are a parameter rather than always `shape.gemm_mnk()`.
+fn view_bc(cfg: &GpuConfig, m: usize, n: usize, k: usize) -> (u64, u64, u64, u64) {
     let blocks_m = m.div_ceil(cfg.block.bm) as u64;
     let blocks_n = n.div_ceil(cfg.block.bn) as u64;
     // B column-tile: re-read per m-block only when it cannot stay in L2.
@@ -140,8 +147,15 @@ pub fn channel_first(cfg: &GpuConfig, shape: &ConvShape, reuse: bool) -> Traffic
 /// Traffic of a plain GEMM of the lowered dimensions (the Fig. 4 reference):
 /// dense `A` rows streamed once per output-column block.
 pub fn gemm_equivalent(cfg: &GpuConfig, shape: &ConvShape) -> Traffic {
-    let (m, _n, k) = shape.gemm_mnk();
-    let (_bm, blocks_n, b_bytes, c_bytes) = common_bc(cfg, shape);
+    let (m, n, k) = shape.gemm_mnk();
+    view_gemm(cfg, m, n, k)
+}
+
+/// [`gemm_equivalent`] generalized to any `M×N×K` view — the dense-matrix
+/// traffic of a backward or transposed pass run as a plain (or explicitly
+/// lowered) GEMM.
+pub fn view_gemm(cfg: &GpuConfig, m: usize, n: usize, k: usize) -> Traffic {
+    let (_bm, blocks_n, b_bytes, c_bytes) = view_bc(cfg, m, n, k);
     // An A row-tile (bm × K) that fits in half the L2 is read once and
     // reused across the output-column blocks (swizzled launch order).
     let a_tile = (cfg.block.bm * k) as u64 * cfg.elem_bytes;
@@ -151,6 +165,37 @@ pub fn gemm_equivalent(cfg: &GpuConfig, shape: &ConvShape) -> Traffic {
         b_bytes,
         c_bytes,
         a_run_bytes: (k as u64 * cfg.elem_bytes).max(4096),
+    }
+}
+
+/// Traffic of an *implicit* backward/transposed pass: the gathered operand
+/// streams straight from its tensor (no lowered matrix, no materialized
+/// zero dilation — BP-Im2col), so the A side is exactly the source tensor's
+/// footprint; B and C follow the pass's GEMM view, which maps them onto the
+/// other operand and the result tensor byte-for-byte (`K·N` is the filter
+/// for dgrad and dY for wgrad; `M·N` is the written gradient).
+pub fn pass_implicit(cfg: &GpuConfig, shape: &ConvShape, pass: ConvPass) -> Traffic {
+    let (m, n, k) = pass.gemm_mnk(shape);
+    let (_bm, _bn, b_bytes, c_bytes) = view_bc(cfg, m, n, k);
+    let (src_elems, channels, width) = if pass.gathers_output_side() {
+        (shape.ofmap_elems(), shape.co, shape.out_w())
+    } else {
+        (shape.ifmap_elems(), shape.ci, shape.wi)
+    };
+    // Gathers are contiguous across channels (× consecutive pixels when the
+    // layer is dense in `w` — dilation holes break the run exactly like a
+    // forward stride).
+    let per_pixel = channels as u64 * cfg.elem_bytes;
+    let run = if shape.stride_w == 1 && shape.dil_w == 1 {
+        per_pixel * width as u64
+    } else {
+        per_pixel
+    };
+    Traffic {
+        a_bytes: src_elems as u64 * cfg.elem_bytes,
+        b_bytes,
+        c_bytes,
+        a_run_bytes: run,
     }
 }
 
@@ -235,6 +280,35 @@ mod tests {
         let s = shape(1);
         let b = explicit_transform_bytes(&cfg(), &s);
         assert!(b > 8 * s.ifmap_elems() as u64 * 2);
+    }
+
+    #[test]
+    fn pass_implicit_traffic_is_the_tensor_footprint() {
+        // B-resident shape: every pass's implicit traffic is exactly the
+        // three tensor footprints (no lowered matrix ever hits DRAM).
+        let c = cfg();
+        let s = shape(2);
+        for pass in iconv_core::ALL_PASSES {
+            let t = pass_implicit(&c, &s, pass);
+            let (m, n, k) = pass.gemm_mnk(&s);
+            let src = if pass.gathers_output_side() {
+                s.ofmap_elems()
+            } else {
+                s.ifmap_elems()
+            };
+            assert_eq!(t.a_bytes, src as u64 * c.elem_bytes, "{pass}");
+            assert_eq!(
+                t.b_bytes,
+                (k * n) as u64 * c.elem_bytes,
+                "{pass} B resident"
+            );
+            assert_eq!(t.c_bytes, (m * n) as u64 * c.elem_bytes, "{pass}");
+        }
+        // dgrad's B side is the filter; wgrad's is dY.
+        let d = pass_implicit(&c, &s, iconv_core::ConvPass::Dgrad);
+        assert_eq!(d.b_bytes, s.filter_elems() as u64 * c.elem_bytes);
+        let w = pass_implicit(&c, &s, iconv_core::ConvPass::Wgrad);
+        assert_eq!(w.b_bytes, s.ofmap_elems() as u64 * c.elem_bytes);
     }
 
     #[test]

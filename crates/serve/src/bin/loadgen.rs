@@ -32,7 +32,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use iconv_api::table::workload_works;
+use iconv_api::table::pass_leg_works;
 use iconv_serve::cache::{Body, LruCache, StripedCache};
 use iconv_serve::capacity::{
     build_schedule, find_knee, run_open_loop, Knee, OpenLoopRun, OpenLoopSpec,
@@ -706,7 +706,7 @@ fn write_capacity_report(
 }
 
 fn run_open_mode(args: &LoadgenArgs, open: &OpenArgs) {
-    let works = workload_works(args.small);
+    let works = pass_leg_works(args.small, &args.pass).expect("pass validated at parse");
     let mut topologies = Vec::new();
     let mut servers: Vec<ServerHandle> = Vec::new();
 
@@ -800,7 +800,7 @@ fn run_closed_mode(args: &LoadgenArgs, closed: &ClosedArgs) {
             std::process::exit(1);
         }
     };
-    let works = workload_works(args.small);
+    let works = pass_leg_works(args.small, &args.pass).expect("pass validated at parse");
     eprintln!(
         "loadgen: {} requests/pass x {} passes, {} connection(s), {}",
         works.len(),

@@ -154,7 +154,9 @@ pub fn build_schedule(spec: &OpenLoopSpec, works: &[Work]) -> Vec<Entry> {
     let mut tune_shapes: Vec<iconv_tensor::ConvShape> = Vec::new();
     for w in works {
         if let Work::TpuConv { shape, .. }
+        | Work::TpuPass { shape, .. }
         | Work::GpuConv { shape, .. }
+        | Work::GpuPass { shape, .. }
         | Work::Tune { shape, .. } = w
         {
             if !tune_shapes.contains(shape) {

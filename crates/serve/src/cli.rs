@@ -9,7 +9,8 @@ use crate::client::DEFAULT_CONNECT_TIMEOUT;
 
 /// Flag summary printed with every parse error.
 pub const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--workers N] \
-     [--models all|small] [--connect-timeout SECS] [--out PATH] [--shutdown] \
+     [--models all|small] [--pass forward|wgrad|dgrad|transpose|indirect] \
+     [--connect-timeout SECS] [--out PATH] [--shutdown] \
      {closed: [--window N] [--passes N] [--batch N] | \
      open: --open-loop [--soak] [--rate RPS] [--requests N] [--slo DUR] [--zipf-s S] \
      [--seed N] [--batch-size N] [--knee] [--rate-min RPS] [--rate-max RPS]}";
@@ -38,6 +39,11 @@ pub struct LoadgenArgs {
     pub workers: usize,
     /// Restrict the workload table to the small models.
     pub small: bool,
+    /// Which convolution-pass leg the workload table estimates: `forward`
+    /// (the historical four-estimator table), a backward/transposed pass,
+    /// or the `indirect` lowering of the forward pass. Matches the CI
+    /// pass-matrix leg names.
+    pub pass: String,
     /// Budget for the initial connect race against a booting server.
     pub connect_timeout: Duration,
     /// Report path (defaults per mode).
@@ -142,6 +148,7 @@ pub fn parse_loadgen_args(args: impl IntoIterator<Item = String>) -> Result<Load
     let mut concurrency = 8usize;
     let mut workers = iconv_par::default_jobs();
     let mut small = false;
+    let mut pass = "forward".to_owned();
     let mut connect_timeout = DEFAULT_CONNECT_TIMEOUT;
     let mut out: Option<String> = None;
     let mut shutdown = false;
@@ -192,6 +199,18 @@ pub fn parse_loadgen_args(args: impl IntoIterator<Item = String>) -> Result<Load
                     other => {
                         return Err(format!(
                             "--models must be all|small (got {other:?}); {USAGE}"
+                        ))
+                    }
+                }
+            }
+            "--pass" => {
+                let v = value("--pass")?;
+                match v.as_str() {
+                    "forward" | "wgrad" | "dgrad" | "transpose" | "indirect" => pass = v,
+                    other => {
+                        return Err(format!(
+                            "--pass must be forward|wgrad|dgrad|transpose|indirect \
+                             (got {other:?}); {USAGE}"
                         ))
                     }
                 }
@@ -290,6 +309,7 @@ pub fn parse_loadgen_args(args: impl IntoIterator<Item = String>) -> Result<Load
             concurrency,
             workers,
             small,
+            pass: pass.clone(),
             connect_timeout,
             out: out.unwrap_or_else(|| "BENCH_capacity.json".to_owned()),
             shutdown,
@@ -318,6 +338,7 @@ pub fn parse_loadgen_args(args: impl IntoIterator<Item = String>) -> Result<Load
             concurrency,
             workers,
             small,
+            pass,
             connect_timeout,
             out: out.unwrap_or_else(|| "BENCH_serve.json".to_owned()),
             shutdown,
@@ -350,6 +371,16 @@ mod tests {
             }
             Mode::Open(_) => panic!("default mode must be closed"),
         }
+    }
+
+    #[test]
+    fn pass_flag_selects_a_leg_and_rejects_strangers() {
+        assert_eq!(parse(&[]).unwrap().pass, "forward");
+        for leg in ["forward", "wgrad", "dgrad", "transpose", "indirect"] {
+            assert_eq!(parse(&["--pass", leg]).unwrap().pass, leg);
+        }
+        let e = parse(&["--pass", "sideways"]).unwrap_err();
+        assert!(e.contains("--pass"), "{e}");
     }
 
     #[test]

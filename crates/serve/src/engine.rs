@@ -45,12 +45,37 @@ pub fn evaluate(work: &Work) -> String {
             let rep = Simulator::new(resolve_tpu(hw)).simulate_conv("serve", shape, *mode);
             tpu_body(&tpu_estimate(&rep))
         }
+        Work::TpuPass {
+            shape,
+            pass,
+            mode,
+            hw,
+        } => {
+            let rep = Simulator::new(resolve_tpu(hw)).simulate_pass("serve", shape, *pass, *mode);
+            tpu_body(&tpu_estimate(&rep))
+        }
         Work::TpuGemm { m, n, k, hw } => {
             let rep = Simulator::new(resolve_tpu(hw)).simulate_gemm("serve", *m, *n, *k);
             tpu_body(&tpu_estimate(&rep))
         }
         Work::GpuConv { shape, algo, hw } => {
             let rep = GpuSim::new(resolve_gpu(hw)).simulate_conv("serve", shape, *algo);
+            gpu_body(&GpuEstimate {
+                cycles: rep.timing.cycles,
+                compute_cycles: rep.timing.compute_cycles,
+                memory_cycles: rep.timing.memory_cycles,
+                transform_cycles: rep.transform_cycles,
+                blocks: rep.timing.blocks,
+                flops: rep.conv_flops,
+            })
+        }
+        Work::GpuPass {
+            shape,
+            pass,
+            algo,
+            hw,
+        } => {
+            let rep = GpuSim::new(resolve_gpu(hw)).simulate_pass("serve", shape, *pass, *algo);
             gpu_body(&GpuEstimate {
                 cycles: rep.timing.cycles,
                 compute_cycles: rep.timing.compute_cycles,

@@ -49,11 +49,23 @@ fn shape_strategy() -> impl proptest::strategy::Strategy<Value = ConvShape> {
 }
 
 fn mode_strategy() -> impl proptest::strategy::Strategy<Value = SimMode> {
-    (0u8..3, 1usize..=16).prop_map(|(tag, g)| match tag {
+    (0u8..4, 1usize..=16).prop_map(|(tag, g)| match tag {
         0 => SimMode::ChannelFirst,
         1 => SimMode::Explicit,
+        2 => SimMode::Indirect,
         _ => SimMode::ChannelFirstGrouped(g),
     })
+}
+
+/// Non-forward passes only: a `ConvPass::Forward` pass-variant normalizes
+/// to the plain conv on the wire (by design), so it is not roundtrip-
+/// identical and is covered by the unit tests instead.
+fn pass_strategy() -> impl proptest::strategy::Strategy<Value = iconv_core::ConvPass> {
+    prop::sample::select(vec![
+        iconv_core::ConvPass::Wgrad,
+        iconv_core::ConvPass::Dgrad,
+        iconv_core::ConvPass::Transpose,
+    ])
 }
 
 fn algo_strategy() -> impl proptest::strategy::Strategy<Value = GpuAlgo> {
@@ -63,6 +75,7 @@ fn algo_strategy() -> impl proptest::strategy::Strategy<Value = GpuAlgo> {
         GpuAlgo::ChannelFirst { reuse: false },
         GpuAlgo::ExplicitIm2col,
         GpuAlgo::GemmEquivalent,
+        GpuAlgo::Indirect,
     ])
 }
 
@@ -145,18 +158,35 @@ fn id_strategy() -> impl proptest::strategy::Strategy<Value = Option<String>> {
 
 fn work_strategy() -> impl proptest::strategy::Strategy<Value = Work> {
     (
-        0u8..4,
+        0u8..6,
         shape_strategy(),
-        (mode_strategy(), algo_strategy(), target_strategy()),
+        (
+            mode_strategy(),
+            algo_strategy(),
+            target_strategy(),
+            pass_strategy(),
+        ),
         (hw_strategy(), gpu_hw_strategy()),
         (1usize..5000, 1usize..5000, 1usize..5000),
     )
         .prop_map(
-            |(tag, shape, (mode, algo, target), (hw, ghw), (m, n, k))| match tag {
+            |(tag, shape, (mode, algo, target, pass), (hw, ghw), (m, n, k))| match tag {
                 0 => Work::TpuConv { shape, mode, hw },
                 1 => Work::TpuGemm { m, n, k, hw },
                 2 => Work::GpuConv {
                     shape,
+                    algo,
+                    hw: ghw,
+                },
+                3 => Work::TpuPass {
+                    shape,
+                    pass,
+                    mode,
+                    hw,
+                },
+                4 => Work::GpuPass {
+                    shape,
+                    pass,
                     algo,
                     hw: ghw,
                 },

@@ -13,6 +13,7 @@
 use crate::config::TpuConfig;
 use crate::report::{LayerReport, ModelReport, Phases};
 use iconv_core::schedule::{tpu_group_size, TileSchedule};
+use iconv_core::ConvPass;
 use iconv_dram::DramModel;
 use iconv_sram::PortStats;
 use iconv_tensor::{ConvShape, Layout};
@@ -59,6 +60,11 @@ pub enum SimMode {
     /// Explicit im2col: a memory-bound lowering pass, then a GEMM over the
     /// materialized matrix (the Fig. 2b baseline).
     Explicit,
+    /// Dukhan's indirect-convolution baseline: the implicit channel-first
+    /// schedule fed through a pointer table instead of address generation.
+    /// DRAM traffic is the tensor footprint plus the pointer bytes, and
+    /// every row tile pays a per-tap pointer-dereference dispatch cost.
+    Indirect,
 }
 
 /// The simulator: immutable configuration plus per-call simulation.
@@ -98,23 +104,33 @@ impl Simulator {
 
     /// DRAM run length (bytes) for filling IFMap tiles, by layout.
     fn ifmap_run_bytes(&self, shape: &ConvShape) -> u64 {
+        self.gather_run_bytes(shape, shape.ci, shape.wi)
+    }
+
+    /// DRAM run length (bytes) for gathering a `channels`-deep,
+    /// `width`-wide tensor under this layer's stride, by layout. With
+    /// `(shape.ci, shape.wi)` this is the classic IFMap fill run; the
+    /// backward passes gather the output-side tensor instead
+    /// (`(shape.co, shape.out_w())`), whose stride-dilated view scatters
+    /// exactly like a strided forward gather.
+    fn gather_run_bytes(&self, shape: &ConvShape, channels: usize, width: usize) -> u64 {
         let eb = self.config.vector_mem.elem_bytes as u64;
         let dense_w = shape.stride_w == 1 && shape.dil_w == 1;
         match self.config.ifmap_layout {
             // HWCN/NHWC: channels (× batch for HWCN) of one pixel are
             // contiguous; dense-width layers extend the run across pixels.
             Layout::Hwcn => {
-                let per_pixel = (shape.ci * shape.n) as u64 * eb;
+                let per_pixel = (channels * shape.n) as u64 * eb;
                 if dense_w {
-                    per_pixel * shape.wi as u64
+                    per_pixel * width as u64
                 } else {
                     per_pixel
                 }
             }
             Layout::Nhwc => {
-                let per_pixel = shape.ci as u64 * eb;
+                let per_pixel = channels as u64 * eb;
                 if dense_w {
-                    per_pixel * shape.wi as u64
+                    per_pixel * width as u64
                 } else {
                     per_pixel
                 }
@@ -122,7 +138,7 @@ impl Simulator {
             // CHW layouts: only the width dimension is contiguous.
             Layout::Nchw | Layout::Chwn => {
                 if dense_w {
-                    shape.wi as u64 * eb
+                    width as u64 * eb
                 } else {
                     eb
                 }
@@ -152,6 +168,58 @@ impl Simulator {
             }
             SimMode::ChannelFirstGrouped(g) => self.simulate_channel_first(name, shape, g, sink),
             SimMode::Explicit => self.simulate_explicit(name, shape, sink),
+            SimMode::Indirect => {
+                let g = tpu_group_size(self.config.array.rows, shape.ci, shape.wf);
+                let rep = self.simulate_channel_first(name, shape, g, sink);
+                self.apply_indirect_overhead(rep, shape, ConvPass::Forward, sink)
+            }
+        };
+        emit_layer_trace(sink, &rep);
+        rep
+    }
+
+    /// Simulate one convolution pass (forward, wgrad, dgrad, or transposed
+    /// convolution) of the layer described by `shape` under `mode`.
+    /// `ConvPass::Forward` is exactly [`Simulator::simulate_conv`].
+    pub fn simulate_pass(
+        &self,
+        name: &str,
+        shape: &ConvShape,
+        pass: ConvPass,
+        mode: SimMode,
+    ) -> LayerReport {
+        self.simulate_pass_traced(name, shape, pass, mode, &mut NullSink)
+    }
+
+    /// [`Simulator::simulate_pass`] with conserved phase spans and counters
+    /// emitted into `sink`.
+    pub fn simulate_pass_traced(
+        &self,
+        name: &str,
+        shape: &ConvShape,
+        pass: ConvPass,
+        mode: SimMode,
+        sink: &mut dyn TraceSink,
+    ) -> LayerReport {
+        if pass == ConvPass::Forward {
+            return self.simulate_conv_traced(name, shape, mode, sink);
+        }
+        let rows = self.config.array.rows;
+        // dgrad/transpose duplicate over the *output* channels (the gathered
+        // tensor is dY); wgrad has no duplication axis (its K runs over
+        // pixels), so every group spelling collapses to the same schedule.
+        let auto_group = match pass {
+            ConvPass::Wgrad => 1,
+            _ => tpu_group_size(rows, shape.co, shape.wf),
+        };
+        let rep = match mode {
+            SimMode::ChannelFirst => self.simulate_pass_implicit(name, shape, pass, auto_group),
+            SimMode::ChannelFirstGrouped(g) => self.simulate_pass_implicit(name, shape, pass, g),
+            SimMode::Explicit => self.simulate_pass_explicit(name, shape, pass, sink),
+            SimMode::Indirect => {
+                let rep = self.simulate_pass_implicit(name, shape, pass, auto_group);
+                self.apply_indirect_overhead(rep, shape, pass, sink)
+            }
         };
         emit_layer_trace(sink, &rep);
         rep
@@ -503,6 +571,192 @@ impl Simulator {
             + self.dram.transfer_cycles(lowered_bytes, 4096)
     }
 
+    /// Implicit (channel-first) execution of a backward or transposed pass.
+    ///
+    /// The BP-Im2col observation: dgrad is the forward channel-first
+    /// schedule with the tensor roles swapped — the gathered operand is the
+    /// stride-dilated output gradient (`Co` channels), the resident operand
+    /// is the 180°-rotated filter, and the stream writes input pixels. No
+    /// zero padding is ever materialized: the address generator skips
+    /// dilation holes exactly as the forward path skips stride holes, so
+    /// DRAM traffic is the tensor footprint, same as forward. wgrad is the
+    /// plain-GEMM shape (K runs over pixels, so taps give no packing trick)
+    /// with the IFMap gathered on the fly.
+    fn simulate_pass_implicit(
+        &self,
+        name: &str,
+        shape: &ConvShape,
+        pass: ConvPass,
+        group: usize,
+    ) -> LayerReport {
+        let cfg = &self.config;
+        let (rows, cols) = (cfg.array.rows, cfg.array.cols);
+        let eb = cfg.vector_mem.elem_bytes as u64;
+        let (m, out_cols, _) = pass.gemm_mnk(shape);
+        let ifmap_bytes = shape.ifmap_elems() as u64 * eb;
+        let filter_bytes = shape.filter_elems() as u64 * eb;
+        let ofmap_bytes = shape.ofmap_elems() as u64 * eb;
+
+        // --- Compute phase: streamed passes over the array.
+        let (total_passes, row_occ, group) = match pass {
+            // K over pixels: dense GEMM tiling of the reduction dimension.
+            ConvPass::Wgrad => {
+                let k = shape.n * shape.out_h() * shape.out_w();
+                let passes = k.div_ceil(rows) as u64 * shape.co.div_ceil(cols) as u64;
+                let occ = k as f64 / (k.div_ceil(rows) * rows) as f64;
+                (passes, occ, 1)
+            }
+            // K over taps × Co: the mirrored channel-first pass structure,
+            // duplicating the rotated filter `group` ways when Co is small.
+            _ => {
+                let group = group.clamp(1, rows.div_ceil(shape.co));
+                let cap = (group * shape.co).min(rows).max(1);
+                let passes_per_row = (shape.wf * shape.co).div_ceil(cap) as u64;
+                let passes = shape.hf as u64 * passes_per_row * shape.ci.div_ceil(cols) as u64;
+                let occ =
+                    ((shape.wf * shape.co) as f64 / (passes_per_row as f64 * rows as f64)).min(1.0);
+                (passes, occ, group)
+            }
+        };
+        let stream_cycles = total_passes.div_ceil(cfg.mxus as u64) * m as u64;
+        let packing = self.word_packing(shape);
+        let write_elems_per_array = (m * out_cols / rows.max(1)) as f64;
+        let port_demand = (1.0 + write_elems_per_array / (stream_cycles.max(1) as f64))
+            * cfg.mxus as f64
+            / packing as f64;
+        let stall = port_demand.max(1.0);
+        let compute_cycles =
+            (stream_cycles as f64 * stall).ceil() as u64 + (rows + cols - 1) as u64 + rows as u64;
+
+        // --- Memory phase: the pass reads two of the three tensors and
+        // writes the third; the gathered one pays its layout's run length.
+        let mem_cycles = if pass.gathers_output_side() {
+            let run = self.gather_run_bytes(shape, shape.co, shape.out_w());
+            self.dram.transfer_cycles(ofmap_bytes, run)
+                + self.dram.transfer_cycles(filter_bytes, 4096)
+                + self.dram.transfer_cycles(ifmap_bytes, 4096)
+        } else {
+            self.dram
+                .transfer_cycles(ifmap_bytes, self.ifmap_run_bytes(shape))
+                + self.dram.transfer_cycles(ofmap_bytes, 4096)
+                + self.dram.transfer_cycles(filter_bytes, 4096)
+        };
+
+        // --- Workspace and chunking: the gathered operand's resident tile,
+        // duplicated per group member on the dgrad side.
+        let workspace_bytes = if pass.gathers_output_side() {
+            ofmap_bytes * group as u64
+        } else {
+            ifmap_bytes
+        };
+        let budget = (cfg.total_sram_bytes() as f64 * cfg.ifmap_buffer_fraction / 2.0) as u64;
+        let chunks = workspace_bytes
+            .div_ceil(budget.max(1))
+            .max(cfg.min_pipeline_stages);
+
+        // --- Pipeline: identical closed form to the forward path, so the
+        // conservation identities hold by construction.
+        let first_fill = mem_cycles.div_ceil(chunks);
+        let steady = cfg
+            .schedule
+            .steady_cycles(compute_cycles, mem_cycles, chunks);
+        let cycles = cfg.dispatch_cycles + first_fill + steady;
+        let exposed = (first_fill + steady).saturating_sub(compute_cycles);
+        debug_assert!(first_fill + steady >= compute_cycles);
+
+        let col_occ = out_cols as f64 / (out_cols.div_ceil(cols) * cols) as f64;
+        let reads = (stream_cycles as f64 * row_occ / packing as f64) as u64;
+        let writes = (m * out_cols) as u64 / (rows * packing) as u64;
+
+        LayerReport {
+            name: name.to_string(),
+            cycles,
+            compute_cycles,
+            exposed_memory_cycles: exposed,
+            // Useful MACs only: the dgrad view's dilation holes are skipped
+            // by the address generator, never multiplied.
+            flops: shape.flops(),
+            dram_bytes: ifmap_bytes + filter_bytes + ofmap_bytes,
+            workspace_bytes,
+            sram: PortStats {
+                cycles: compute_cycles,
+                reads,
+                writes,
+            },
+            array_occupancy: row_occ * col_occ,
+            phases: Phases {
+                dispatch: cfg.dispatch_cycles,
+                first_fill,
+                steady,
+            },
+        }
+    }
+
+    /// Explicit execution of a backward or transposed pass: materialize the
+    /// pass's lowered view (for dgrad, the zero-dilated rotated-filter
+    /// matrix), then run the dense GEMM over it — the same
+    /// transform-then-GEMM structure as forward explicit im2col.
+    fn simulate_pass_explicit(
+        &self,
+        name: &str,
+        shape: &ConvShape,
+        pass: ConvPass,
+        sink: &mut dyn TraceSink,
+    ) -> LayerReport {
+        let eb = self.config.vector_mem.elem_bytes as u64;
+        let (m, n, k) = pass.gemm_mnk(shape);
+        let lowered_bytes = pass.lowered_view_elems(shape) as u64 * eb;
+        let (src_bytes, gather_run) = if pass.gathers_output_side() {
+            (
+                shape.ofmap_elems() as u64 * eb,
+                self.gather_run_bytes(shape, shape.co, shape.out_w()),
+            )
+        } else {
+            (shape.ifmap_elems() as u64 * eb, self.ifmap_run_bytes(shape))
+        };
+        let transform = self.dram.transfer_cycles(src_bytes, gather_run)
+            + self.dram.transfer_cycles(lowered_bytes, 4096);
+        let mut gemm = self.gemm_report(name, m, n, k, sink);
+        gemm.name = name.to_string();
+        gemm.cycles += transform;
+        gemm.exposed_memory_cycles += transform;
+        gemm.phases.first_fill += transform;
+        gemm.dram_bytes += src_bytes + lowered_bytes; // transform traffic
+        gemm.flops = shape.flops();
+        sink.counter("tpusim.transform_cycles", transform);
+        gemm
+    }
+
+    /// Layer Dukhan's indirect-convolution costs onto an implicit report:
+    /// the pointer table streams in ahead of the pipeline (extending the
+    /// exposed head), and every row tile pays a per-tap pointer dereference
+    /// before it can issue (a dispatch-side cost — indirection serializes
+    /// address resolution that the implicit address generator computes for
+    /// free). The phase partition stays exact.
+    fn apply_indirect_overhead(
+        &self,
+        mut rep: LayerReport,
+        shape: &ConvShape,
+        pass: ConvPass,
+        sink: &mut dyn TraceSink,
+    ) -> LayerReport {
+        const PTR_BYTES: u64 = 8;
+        let entries = pass.indirect_ptr_entries(shape) as u64;
+        let ptr_bytes = entries * PTR_BYTES;
+        let ptr_cycles = self.dram.transfer_cycles(ptr_bytes, 4096);
+        let (m, _, _) = pass.gemm_mnk(shape);
+        let taps = (shape.hf * shape.wf) as u64;
+        let dispatch_extra = m.div_ceil(self.config.array.rows) as u64 * taps;
+        rep.cycles += ptr_cycles + dispatch_extra;
+        rep.phases.first_fill += ptr_cycles;
+        rep.phases.dispatch += dispatch_extra;
+        rep.exposed_memory_cycles += ptr_cycles;
+        rep.dram_bytes += ptr_bytes;
+        sink.counter("tpusim.indirect_ptr_cycles", ptr_cycles);
+        sink.counter("tpusim.indirect_dispatch_cycles", dispatch_extra);
+        rep
+    }
+
     /// Simulate every conv layer of `model`.
     pub fn simulate_model(&self, model: &Model, mode: SimMode) -> ModelReport {
         self.simulate_model_traced(model, mode, &mut NullSink)
@@ -742,6 +996,7 @@ mod tests {
             SimMode::ChannelFirst,
             SimMode::ChannelFirstGrouped(2),
             SimMode::Explicit,
+            SimMode::Indirect,
         ] {
             let mut rec = Recorder::new();
             let r = sim().simulate_conv_traced("l", &s, mode, &mut rec);
@@ -779,6 +1034,116 @@ mod tests {
             let r = sim().simulate_conv_sparse("l", &sparse);
             assert!(r.assert_conserved());
         }
+    }
+
+    #[test]
+    fn every_pass_conserves_under_every_mode() {
+        use iconv_core::ALL_PASSES;
+        let shapes = [
+            layer(64, 56, 64, 3, 1, 8),
+            layer(96, 27, 256, 5, 2, 8),
+            layer(3, 227, 96, 11, 4, 8),
+        ];
+        let modes = [
+            SimMode::ChannelFirst,
+            SimMode::ChannelFirstGrouped(2),
+            SimMode::Explicit,
+            SimMode::Indirect,
+        ];
+        for s in &shapes {
+            for pass in ALL_PASSES {
+                for mode in modes {
+                    let r = sim().simulate_pass("l", s, pass, mode);
+                    assert!(r.assert_conserved(), "{pass} {mode:?}");
+                    assert_eq!(r.flops, s.flops(), "{pass} {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pass_dram_ordering_implicit_indirect_explicit() {
+        use iconv_core::ALL_PASSES;
+        let eb = sim().config().vector_mem.elem_bytes as u64;
+        let s = layer(96, 27, 256, 5, 2, 8);
+        let footprint = (s.ifmap_elems() + s.filter_elems() + s.ofmap_elems()) as u64 * eb;
+        for pass in ALL_PASSES {
+            let imp = sim().simulate_pass("l", &s, pass, SimMode::ChannelFirst);
+            let ind = sim().simulate_pass("l", &s, pass, SimMode::Indirect);
+            let exp = sim().simulate_pass("l", &s, pass, SimMode::Explicit);
+            // Implicit moves exactly the tensor footprint; the pointer
+            // table sits strictly between it and the materialized matrix.
+            assert_eq!(imp.dram_bytes, footprint, "{pass}");
+            let lowered = pass.lowered_view_elems(&s) as u64 * eb;
+            assert!(exp.dram_bytes >= footprint + 2 * lowered, "{pass}");
+            assert!(
+                imp.dram_bytes < ind.dram_bytes && ind.dram_bytes < exp.dram_bytes,
+                "{pass}: {} / {} / {}",
+                imp.dram_bytes,
+                ind.dram_bytes,
+                exp.dram_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn forward_pass_is_simulate_conv() {
+        use iconv_core::ConvPass;
+        let s = layer(64, 56, 64, 3, 1, 8);
+        for mode in [SimMode::ChannelFirst, SimMode::Explicit, SimMode::Indirect] {
+            let a = sim().simulate_conv("l", &s, mode);
+            let b = sim().simulate_pass("l", &s, ConvPass::Forward, mode);
+            assert_eq!(a, b, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn transpose_costs_exactly_like_dgrad() {
+        use iconv_core::ConvPass;
+        let s = layer(64, 28, 32, 4, 2, 8);
+        for mode in [SimMode::ChannelFirst, SimMode::Explicit, SimMode::Indirect] {
+            let d = sim().simulate_pass("l", &s, ConvPass::Dgrad, mode);
+            let t = sim().simulate_pass("l", &s, ConvPass::Transpose, mode);
+            assert_eq!(d, t, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn dgrad_implicit_beats_explicit_on_deep_layers() {
+        use iconv_core::ConvPass;
+        // ci >= 16: the materialized dilated view dwarfs the footprint.
+        let s = layer(64, 56, 64, 3, 2, 8);
+        let imp = sim().simulate_pass("l", &s, ConvPass::Dgrad, SimMode::ChannelFirst);
+        let exp = sim().simulate_pass("l", &s, ConvPass::Dgrad, SimMode::Explicit);
+        assert!(imp.cycles <= exp.cycles, "{} vs {}", imp.cycles, exp.cycles);
+    }
+
+    #[test]
+    fn wgrad_group_spellings_share_one_schedule() {
+        use iconv_core::ConvPass;
+        let s = layer(8, 56, 128, 3, 1, 8);
+        let auto = sim().simulate_pass("l", &s, ConvPass::Wgrad, SimMode::ChannelFirst);
+        let g4 = sim().simulate_pass("l", &s, ConvPass::Wgrad, SimMode::ChannelFirstGrouped(4));
+        assert_eq!(auto, g4);
+    }
+
+    #[test]
+    fn pass_traced_spans_partition_cycles() {
+        use iconv_core::{ConvPass, ALL_PASSES};
+        use iconv_trace::Recorder;
+        let s = layer(96, 28, 128, 3, 2, 4);
+        for pass in ALL_PASSES {
+            for mode in [SimMode::ChannelFirst, SimMode::Explicit, SimMode::Indirect] {
+                let mut rec = Recorder::new();
+                let r = sim().simulate_pass_traced("l", &s, pass, mode, &mut rec);
+                assert_eq!(rec.track_total("l"), r.cycles, "{pass} {mode:?}");
+            }
+        }
+        // Indirect overhead lands in the dispatch + exposed head, visibly.
+        let fwd = sim().simulate_pass("l", &s, ConvPass::Forward, SimMode::ChannelFirst);
+        let ind = sim().simulate_pass("l", &s, ConvPass::Forward, SimMode::Indirect);
+        assert!(ind.phases.dispatch > fwd.phases.dispatch);
+        assert!(ind.cycles > fwd.cycles);
     }
 
     #[test]

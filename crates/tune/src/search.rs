@@ -69,12 +69,13 @@ pub fn candidates(target: TuneTarget) -> Vec<TunedConfig> {
             // mode x array x layout x schedule, nested in that order. The
             // grouped modes intentionally overlap ChannelFirst's automatic
             // group on many shapes — canonical-key dedup prunes the alias.
-            const MODES: [SimMode; 5] = [
+            const MODES: [SimMode; 6] = [
                 SimMode::ChannelFirst,
                 SimMode::ChannelFirstGrouped(1),
                 SimMode::ChannelFirstGrouped(2),
                 SimMode::ChannelFirstGrouped(4),
                 SimMode::Explicit,
+                SimMode::Indirect,
             ];
             const ARRAYS: [Option<usize>; 3] = [None, Some(64), Some(256)];
             const LAYOUTS: [Option<Layout>; 2] = [None, Some(Layout::Nhwc)];
@@ -106,11 +107,12 @@ pub fn candidates(target: TuneTarget) -> Vec<TunedConfig> {
             // are not a convolution, so they may not win a conv tune. The
             // bare 128x128x64 tile overflows shared memory at the default
             // residency — it stays in the grid as a validation-prune probe.
-            const ALGOS: [GpuAlgo; 4] = [
+            const ALGOS: [GpuAlgo; 5] = [
                 GpuAlgo::ChannelFirst { reuse: true },
                 GpuAlgo::ChannelFirst { reuse: false },
                 GpuAlgo::CudnnImplicit,
                 GpuAlgo::ExplicitIm2col,
+                GpuAlgo::Indirect,
             ];
             let base = GpuHwSpec::default();
             let hws = [

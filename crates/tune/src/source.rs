@@ -135,6 +135,31 @@ pub trait CycleSource: Sync {
         })
         .gpu()
     }
+
+    /// Total cycles of a TPU convolution pass under `mode` (default
+    /// hardware). `ConvPass::Forward` is exactly
+    /// [`tpu_conv_cycles`](CycleSource::tpu_conv_cycles).
+    fn tpu_pass_cycles(&self, shape: &ConvShape, pass: iconv_core::ConvPass, mode: SimMode) -> u64 {
+        self.estimate(&Work::TpuPass {
+            shape: *shape,
+            pass,
+            mode,
+            hw: TpuHwSpec::default(),
+        })
+        .tpu()
+    }
+
+    /// Total cycles of a GPU convolution pass under `algo` (bit-exact
+    /// `f64`, default hardware).
+    fn gpu_pass_cycles(&self, shape: &ConvShape, pass: iconv_core::ConvPass, algo: GpuAlgo) -> f64 {
+        self.estimate(&Work::GpuPass {
+            shape: *shape,
+            pass,
+            algo,
+            hw: GpuHwSpec::default(),
+        })
+        .gpu()
+    }
 }
 
 /// The in-process source: calls the simulators directly.
@@ -182,6 +207,23 @@ impl CycleSource for InProcessSource {
                 };
                 CycleCount::Tpu(cycles)
             }
+            Work::TpuPass {
+                shape,
+                pass,
+                mode,
+                hw,
+            } => {
+                let cycles = if *hw == TpuHwSpec::default() {
+                    self.sim
+                        .simulate_pass("summary", shape, *pass, *mode)
+                        .cycles
+                } else {
+                    Simulator::new(resolve_tpu(hw))
+                        .simulate_pass("summary", shape, *pass, *mode)
+                        .cycles
+                };
+                CycleCount::Tpu(cycles)
+            }
             Work::GpuConv { shape, algo, hw } => {
                 let cycles = if *hw == GpuHwSpec::default() {
                     self.gpu
@@ -191,6 +233,25 @@ impl CycleSource for InProcessSource {
                 } else {
                     GpuSim::new(resolve_gpu(hw))
                         .simulate_conv("summary", shape, *algo)
+                        .timing
+                        .cycles
+                };
+                CycleCount::Gpu(cycles)
+            }
+            Work::GpuPass {
+                shape,
+                pass,
+                algo,
+                hw,
+            } => {
+                let cycles = if *hw == GpuHwSpec::default() {
+                    self.gpu
+                        .simulate_pass("summary", shape, *pass, *algo)
+                        .timing
+                        .cycles
+                } else {
+                    GpuSim::new(resolve_gpu(hw))
+                        .simulate_pass("summary", shape, *pass, *algo)
                         .timing
                         .cycles
                 };

@@ -244,6 +244,89 @@ pub fn mobilenet_v1(n: usize) -> Model {
     }
 }
 
+/// DCGAN generator (Radford et al. 2016), 64×64 output: four stride-2
+/// 4×4 transposed convolutions on top of the z-projection — *not* in the
+/// paper's workload set; included as a transposed-conv-heavy table for the
+/// backprop/transpose pass sweeps (`passes` runner, CI pass matrix).
+///
+/// Each layer is described by its **forward** [`ConvShape`] — the
+/// convolution whose `ConvPass::Transpose` pass performs the upsample —
+/// so `ci` is the layer's *output* channels and `hw` its *output* spatial
+/// size, per the pass-vocabulary convention (DESIGN.md §15).
+pub fn dcgan_generator(n: usize) -> Model {
+    Model {
+        name: "DCGAN-G",
+        layers: vec![
+            // z (100) 1x1 -> 4x4x1024 full projection.
+            conv("tconv1", n, 1024, 4, 100, 4, 1, 0),
+            // 4x4x1024 -> 8x8x512, then doubling spatial / halving depth.
+            conv("tconv2", n, 512, 8, 1024, 4, 2, 1),
+            conv("tconv3", n, 256, 16, 512, 4, 2, 1),
+            conv("tconv4", n, 128, 32, 256, 4, 2, 1),
+            conv("tconv5", n, 3, 64, 128, 4, 2, 1),
+        ],
+    }
+}
+
+/// U-Net (Ronneberger et al. 2015) at a padded 256×256 resolution:
+/// double-conv encoder, 1024-channel bottleneck, and a decoder whose
+/// 2×2 stride-2 up-convolutions are transposed convs. Like
+/// [`dcgan_generator`], the `up*` layers are described by their forward
+/// [`ConvShape`]s; the decoder convs consume concatenated skip channels.
+pub fn unet(n: usize) -> Model {
+    let mut layers = Vec::new();
+    // Encoder: (in_ch, out_ch, spatial) double-conv stages.
+    let enc = [
+        (3usize, 64usize, 256usize),
+        (64, 128, 128),
+        (128, 256, 64),
+        (256, 512, 32),
+        (512, 1024, 16), // bottleneck
+    ];
+    for (i, &(cin, cout, hw)) in enc.iter().enumerate() {
+        let tag = if i == 4 {
+            "bott".into()
+        } else {
+            format!("enc{}", i + 1)
+        };
+        layers.push(conv(&format!("{tag}a"), n, cin, hw, cout, 3, 1, 1));
+        layers.push(conv(&format!("{tag}b"), n, cout, hw, cout, 3, 1, 1));
+    }
+    // Decoder: up-conv (forward shape of the 2x2 s2 transposed conv) then
+    // a double conv over the concatenated skip + upsampled channels.
+    let dec = [
+        (4usize, 1024usize, 32usize),
+        (3, 512, 64),
+        (2, 256, 128),
+        (1, 128, 256),
+    ];
+    for (stage, cin, hw) in dec {
+        layers.push(conv(&format!("up{stage}"), n, cin / 2, hw, cin, 2, 2, 0));
+        layers.push(conv(&format!("dec{stage}a"), n, cin, hw, cin / 2, 3, 1, 1));
+        layers.push(conv(
+            &format!("dec{stage}b"),
+            n,
+            cin / 2,
+            hw,
+            cin / 2,
+            3,
+            1,
+            1,
+        ));
+    }
+    layers.push(conv("head", n, 64, 256, 2, 1, 1, 0));
+    Model {
+        name: "UNet",
+        layers,
+    }
+}
+
+/// The transposed-conv-heavy tables ([`dcgan_generator`], [`unet`]) used
+/// by the pass sweeps.
+pub fn transpose_models(n: usize) -> Vec<Model> {
+    vec![dcgan_generator(n), unet(n)]
+}
+
 /// All seven evaluated networks at batch size `n`, in the paper's figure
 /// order.
 pub fn all_models(n: usize) -> Vec<Model> {
@@ -411,6 +494,43 @@ mod tests {
         // Depthwise FLOPs are tiny next to the pointwise partner.
         let pw1 = m.layers.iter().find(|l| l.name == "pw1").unwrap();
         assert!(pw1.total_flops() > 3 * dw1.total_flops());
+    }
+
+    #[test]
+    fn transpose_tables_are_upconv_heavy() {
+        let models = transpose_models(1);
+        assert_eq!(models.len(), 2);
+
+        let g = &models[0];
+        assert_eq!(g.name, "DCGAN-G");
+        assert_eq!(g.layers.len(), 5);
+        // Four of five generator layers are stride-2 4x4 upsamples.
+        let strided = g.layers.iter().filter(|l| l.shape.stride_h == 2).count();
+        assert_eq!(strided, 4);
+        assert!(g.layers.iter().all(|l| l.shape.hf == 4));
+        // Forward-shape convention: depth halves / spatial doubles going up
+        // the generator, so consecutive forward shapes chain co -> ci.
+        for w in g.layers.windows(2) {
+            assert_eq!(w[0].shape.ci, w[1].shape.co);
+        }
+
+        let u = &models[1];
+        assert_eq!(u.name, "UNet");
+        // 5 double-conv stages + 4 x (up + double conv) + 1x1 head = 23.
+        assert_eq!(u.layers.len(), 23);
+        let ups: Vec<_> = u
+            .layers
+            .iter()
+            .filter(|l| l.name.starts_with("up"))
+            .collect();
+        assert_eq!(ups.len(), 4);
+        // Every up-conv is the forward shape of a 2x2 stride-2 transposed
+        // conv that exactly doubles the spatial size: out = hw / 2.
+        for l in &ups {
+            assert_eq!((l.shape.hf, l.shape.stride_h, l.shape.pad_h), (2, 2, 0));
+            assert_eq!(l.shape.out_h(), l.shape.hi / 2);
+            assert_eq!(l.shape.co, 2 * l.shape.ci);
+        }
     }
 
     #[test]
